@@ -1,0 +1,85 @@
+//! Criterion bench: cascade simulation throughput from precomputed decision
+//! tables (paper §V-D: 1.3M cascades in ~1 minute; this design should beat
+//! that by orders of magnitude on a modern CPU).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use tahoma_core::evaluator::{simulate_all, DecisionTables};
+use tahoma_core::thresholds::{calibrate_all, PAPER_PRECISION_SETTINGS};
+use tahoma_core::{build_cascades, BuilderConfig};
+use tahoma_costmodel::DeviceProfile;
+use tahoma_imagery::ObjectKind;
+use tahoma_zoo::repository::{build_surrogate_repository, SurrogateBuildConfig};
+use tahoma_zoo::PredicateSpec;
+
+fn bench_naive_vs_tables(c: &mut Criterion) {
+    // The §V-D ablation: per-cascade evaluation straight from raw scores
+    // (no precomputed decision tables) vs the table-driven design.
+    let repo = build_surrogate_repository(
+        PredicateSpec::for_kind(ObjectKind::Fence),
+        &SurrogateBuildConfig {
+            n_config: 400,
+            n_eval: 1000,
+            seed: 9,
+            variants: Some(tahoma_zoo::variant::paper_variants().into_iter().step_by(12).collect()),
+            ..Default::default()
+        },
+        &DeviceProfile::k80(),
+    );
+    let thresholds = calibrate_all(&repo, &PAPER_PRECISION_SETTINGS);
+    let tables = DecisionTables::build(&repo, &thresholds);
+    let cascades: Vec<_> = build_cascades(&BuilderConfig::paper_main(&repo))
+        .into_iter()
+        .take(2_000)
+        .collect();
+    let mut group = c.benchmark_group("threshold_independence_ablation");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(cascades.len() as u64));
+    group.bench_function("precomputed_tables", |b| {
+        b.iter(|| {
+            for cascade in &cascades {
+                black_box(tahoma_core::evaluator::simulate_one(&tables, cascade));
+            }
+        })
+    });
+    group.bench_function("naive_from_scores", |b| {
+        b.iter(|| {
+            for cascade in &cascades {
+                black_box(tahoma_core::evaluator::simulate_one_naive(
+                    &repo, &thresholds, cascade,
+                ));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_cascade_eval(c: &mut Criterion) {
+    let repo = build_surrogate_repository(
+        PredicateSpec::for_kind(ObjectKind::Fence),
+        &SurrogateBuildConfig {
+            n_config: 400,
+            n_eval: 1000,
+            seed: 9,
+            variants: Some(tahoma_zoo::variant::paper_variants().into_iter().step_by(4).collect()),
+            ..Default::default()
+        },
+        &DeviceProfile::k80(),
+    );
+    let thresholds = calibrate_all(&repo, &PAPER_PRECISION_SETTINGS);
+    let tables = DecisionTables::build(&repo, &thresholds);
+    let cascades = build_cascades(&BuilderConfig::paper_main(&repo));
+    let mut group = c.benchmark_group("cascade_simulation");
+    group.sample_size(10);
+    for n in [10_000usize, 80_000] {
+        let subset: Vec<_> = cascades.iter().copied().take(n).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(simulate_all(&tables, subset.clone())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cascade_eval, bench_naive_vs_tables);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench: codec encode/decode — the load/decode side of the
+//! ARCHIVE and ONGOING deployment scenarios.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tahoma_imagery::{BlockCodec, Codec, ColorMode, Image, RawCodec};
+use tahoma_mathx::DetRng;
+
+fn scene() -> Image {
+    let mut rng = DetRng::new(8);
+    Image::from_fn(224, 224, ColorMode::Rgb, |c, y, x| {
+        (0.4 + 0.1 * ((x + y + c * 37) as f32 / 224.0) + 0.02 * rng.standard_normal() as f32)
+            .clamp(0.0, 1.0)
+    })
+    .unwrap()
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let img = scene();
+    let raw = RawCodec;
+    let block = BlockCodec::default();
+    let raw_bytes = raw.encode(&img);
+    let block_bytes = block.encode(&img);
+
+    c.bench_function("raw_encode_224rgb", |b| {
+        b.iter(|| black_box(raw.encode(black_box(&img))))
+    });
+    c.bench_function("raw_decode_224rgb", |b| {
+        b.iter(|| black_box(raw.decode(black_box(&raw_bytes)).unwrap()))
+    });
+    c.bench_function("block_encode_224rgb", |b| {
+        b.iter(|| black_box(block.encode(black_box(&img))))
+    });
+    c.bench_function("block_decode_224rgb", |b| {
+        b.iter(|| black_box(block.decode(black_box(&block_bytes)).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_codecs);
+criterion_main!(benches);

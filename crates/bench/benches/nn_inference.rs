@@ -1,0 +1,30 @@
+//! Criterion bench: real CNN forward passes across the architecture axis
+//! (the inference times the analytic device profile abstracts).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tahoma_imagery::{ColorMode, Representation};
+use tahoma_zoo::ArchSpec;
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nn_forward");
+    let cases = [
+        ("c1x16-d16@30gray", ArchSpec { conv_layers: 1, conv_nodes: 16, dense_nodes: 16 },
+         Representation::new(30, ColorMode::Gray)),
+        ("c2x16-d32@60rgb", ArchSpec { conv_layers: 2, conv_nodes: 16, dense_nodes: 32 },
+         Representation::new(60, ColorMode::Rgb)),
+        ("c4x32-d64@120rgb", ArchSpec { conv_layers: 4, conv_nodes: 32, dense_nodes: 64 },
+         Representation::new(120, ColorMode::Rgb)),
+    ];
+    for (name, arch, rep) in cases {
+        let mut model = arch.cnn_spec(rep).build(7).unwrap();
+        let input = vec![0.5f32; rep.value_count()];
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            b.iter(|| black_box(model.forward_logit(black_box(&input))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench: Pareto frontier computation (paper §V-E cites
+//! O(n log n); the main experiments run it over ~1.3M points).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tahoma_core::pareto_frontier;
+use tahoma_mathx::DetRng;
+
+fn points(n: usize, seed: u64) -> (Vec<f32>, Vec<f64>) {
+    let mut rng = DetRng::new(seed);
+    let acc: Vec<f32> = (0..n).map(|_| rng.uniform_in(0.5, 1.0) as f32).collect();
+    let thr: Vec<f64> = (0..n).map(|_| rng.uniform_in(10.0, 2e4)).collect();
+    (acc, thr)
+}
+
+fn bench_pareto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pareto_frontier");
+    group.sample_size(10);
+    for n in [1_000usize, 100_000, 1_300_000] {
+        let (acc, thr) = points(n, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(pareto_frontier(black_box(&acc), black_box(&thr))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pareto);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench: end-to-end system initialization (repository scoring +
+//! threshold calibration + cascade enumeration + simulation) at reduced
+//! scale — the paper's per-predicate "system initialization" phase.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tahoma_core::pipeline::TahomaSystem;
+use tahoma_costmodel::DeviceProfile;
+use tahoma_imagery::ObjectKind;
+use tahoma_zoo::repository::{build_surrogate_repository, SurrogateBuildConfig};
+use tahoma_zoo::PredicateSpec;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let cfg = SurrogateBuildConfig {
+        n_config: 250,
+        n_eval: 400,
+        seed: 3,
+        variants: Some(tahoma_zoo::variant::paper_variants().into_iter().step_by(8).collect()),
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("repository_build_45_models", |b| {
+        b.iter(|| {
+            black_box(build_surrogate_repository(
+                PredicateSpec::for_kind(ObjectKind::Fence),
+                &cfg,
+                &DeviceProfile::k80(),
+            ))
+        })
+    });
+    let repo = build_surrogate_repository(
+        PredicateSpec::for_kind(ObjectKind::Fence),
+        &cfg,
+        &DeviceProfile::k80(),
+    );
+    group.bench_function("system_initialize_45_models", |b| {
+        b.iter(|| black_box(TahomaSystem::initialize_paper_main(repo.clone())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

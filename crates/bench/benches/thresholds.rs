@@ -1,0 +1,46 @@
+//! Criterion bench: decision-threshold grid search (paper §V-C) for a full
+//! repository at all five precision settings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tahoma_core::thresholds::{calibrate, calibrate_all, PAPER_PRECISION_SETTINGS};
+use tahoma_costmodel::DeviceProfile;
+use tahoma_imagery::ObjectKind;
+use tahoma_mathx::DetRng;
+use tahoma_zoo::repository::{build_surrogate_repository, SurrogateBuildConfig};
+use tahoma_zoo::PredicateSpec;
+
+fn bench_thresholds(c: &mut Criterion) {
+    // Single-model calibration on a 400-score config split.
+    let mut rng = DetRng::new(4);
+    let scores: Vec<f32> = (0..400)
+        .map(|i| {
+            let mu = if i % 2 == 0 { 0.7 } else { 0.3 };
+            (mu + 0.2 * rng.standard_normal()).clamp(0.0, 1.0) as f32
+        })
+        .collect();
+    let labels: Vec<bool> = (0..400).map(|i| i % 2 == 0).collect();
+    c.bench_function("calibrate_single_model", |b| {
+        b.iter(|| black_box(calibrate(black_box(&scores), black_box(&labels), 0.95)))
+    });
+
+    let repo = build_surrogate_repository(
+        PredicateSpec::for_kind(ObjectKind::Fence),
+        &SurrogateBuildConfig {
+            n_config: 400,
+            n_eval: 100,
+            seed: 5,
+            ..Default::default()
+        },
+        &DeviceProfile::k80(),
+    );
+    let mut group = c.benchmark_group("calibrate_all");
+    group.sample_size(10);
+    group.bench_function("calibrate_all_361_models_x5_settings", |b| {
+        b.iter(|| black_box(calibrate_all(&repo, &PAPER_PRECISION_SETTINGS)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_thresholds);
+criterion_main!(benches);

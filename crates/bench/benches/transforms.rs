@@ -1,0 +1,33 @@
+//! Criterion bench: physical-representation materialization (the transform
+//! costs §VI argues must be part of query optimization).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tahoma_imagery::{ColorMode, Image, Representation};
+
+fn full_frame() -> Image {
+    Image::from_fn(224, 224, ColorMode::Rgb, |c, y, x| {
+        ((c * 13 + y * 7 + x * 3) % 17) as f32 / 17.0
+    })
+    .unwrap()
+}
+
+fn bench_transforms(c: &mut Criterion) {
+    let frame = full_frame();
+    let mut group = c.benchmark_group("representation_apply");
+    for rep in [
+        Representation::new(30, ColorMode::Gray),
+        Representation::new(30, ColorMode::Red),
+        Representation::new(30, ColorMode::Rgb),
+        Representation::new(120, ColorMode::Rgb),
+        Representation::new(224, ColorMode::Gray),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(rep.tag()), &rep, |b, rep| {
+            b.iter(|| black_box(rep.apply(black_box(&frame)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transforms);
+criterion_main!(benches);

@@ -1,0 +1,148 @@
+//! Figure 10: ablation of the input-transformation families (§VII-E).
+//!
+//! Four cascade sets per predicate — None (224x224 RGB only), Color
+//! Variations, Resizing, Full — compared by ALC average throughput over the
+//! Full set's accuracy range, under the ONGOING scenario (data-handling
+//! costs counted, so the transforms must "more than pay for" themselves, as
+//! §VII-E stresses). Paper: resizing alone is worth ~10x over None; the
+//! full set wins everywhere.
+
+use crate::context::{ExperimentContext, EXPERIMENT_SEED};
+use crate::format::{self, Table};
+use tahoma_core::pipeline::TahomaSystem;
+use tahoma_core::{alc, BuilderConfig};
+use tahoma_costmodel::{DeviceProfile, Scenario};
+use tahoma_imagery::ObjectKind;
+use tahoma_zoo::repository::build_surrogate_repository;
+use tahoma_zoo::variant::cross_variants;
+use tahoma_zoo::{ArchSpec, TransformSet};
+
+/// One predicate's four-arm comparison (average throughput, fps).
+#[derive(Debug, Clone)]
+pub struct Fig10Row {
+    /// The predicate.
+    pub kind: ObjectKind,
+    /// Average throughput per arm, in `TransformSet::ALL` order.
+    pub avg_fps: [f64; 4],
+}
+
+/// Results for Fig. 10.
+pub struct Fig10 {
+    /// One row per predicate.
+    pub rows: Vec<Fig10Row>,
+    /// Mean across predicates per arm.
+    pub mean_fps: [f64; 4],
+}
+
+/// Build a system whose specialized pool is restricted to one transform arm.
+fn arm_system(ctx: &ExperimentContext, kind: ObjectKind, arm: TransformSet) -> TahomaSystem {
+    let pred = ctx.run(kind).pred;
+    let archs = ArchSpec::all_paper();
+    let variants = cross_variants(&archs, &arm.representations());
+    let mut cfg = ctx
+        .scale
+        .build_config(EXPERIMENT_SEED ^ ((kind.index() as u64) << 8));
+    cfg.variants = Some(variants);
+    let repo = build_surrogate_repository(pred, &cfg, &DeviceProfile::k80());
+    let builder = BuilderConfig::paper_main(&repo);
+    TahomaSystem::initialize(
+        repo,
+        &tahoma_core::thresholds::PAPER_PRECISION_SETTINGS,
+        &builder,
+    )
+}
+
+/// Run the experiment. The Full arm reuses the context's main systems.
+pub fn run(ctx: &ExperimentContext) -> Fig10 {
+    let profiler = ExperimentContext::profiler_static(Scenario::Ongoing);
+    let mut rows = Vec::with_capacity(ctx.runs.len());
+    for run in &ctx.runs {
+        let kind = run.pred.kind;
+        let full_frontier = run.system.frontier(&profiler).acc_thr();
+        // Paper: averages computed over the accuracy range of the Full
+        // cascade *set* for each predicate.
+        let full_min = run.system.outcomes.outcomes.iter().map(|o| o.accuracy as f64)
+            .fold(f64::INFINITY, f64::min);
+        let full_max = run.system.outcomes.outcomes.iter().map(|o| o.accuracy as f64)
+            .fold(0.0, f64::max);
+        let mut avg_fps = [0.0f64; 4];
+        for (i, arm) in TransformSet::ALL.into_iter().enumerate() {
+            let frontier = if arm == TransformSet::Full {
+                full_frontier.clone()
+            } else {
+                arm_system(ctx, kind, arm).frontier(&profiler).acc_thr()
+            };
+            avg_fps[i] = alc::average_throughput(&frontier, full_min, full_max);
+        }
+        rows.push(Fig10Row { kind, avg_fps });
+    }
+    let mut mean_fps = [0.0f64; 4];
+    for (i, slot) in mean_fps.iter_mut().enumerate() {
+        *slot = rows.iter().map(|r: &Fig10Row| r.avg_fps[i]).sum::<f64>()
+            / rows.len().max(1) as f64;
+    }
+    Fig10 { rows, mean_fps }
+}
+
+/// Render the paper-style summary.
+pub fn render(r: &Fig10) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 10 — average optimal-cascade throughput by transform family (ONGOING)\n");
+    out.push_str("(paper expectation: Resizing ~10x over None; Full >= every subset)\n\n");
+    let mut t = Table::new(vec![
+        "predicate",
+        "None",
+        "Color Variations",
+        "Resizing",
+        "Full",
+    ]);
+    for row in &r.rows {
+        t.row(vec![
+            row.kind.to_string(),
+            format::fps(row.avg_fps[0]),
+            format::fps(row.avg_fps[1]),
+            format::fps(row.avg_fps[2]),
+            format::fps(row.avg_fps[3]),
+        ]);
+    }
+    t.row(vec![
+        "MEAN".to_string(),
+        format::fps(r.mean_fps[0]),
+        format::fps(r.mean_fps[1]),
+        format::fps(r.mean_fps[2]),
+        format::fps(r.mean_fps[3]),
+    ]);
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\nResizing / None = {}; Full / None = {}\n",
+        format::speedup(r.mean_fps[2] / r.mean_fps[0].max(1e-9)),
+        format::speedup(r.mean_fps[3] / r.mean_fps[0].max(1e-9)),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resizing_dominates_the_ablation() {
+        let ctx = crate::context::shared_quick_context();
+        let r = run(ctx);
+        assert_eq!(r.rows.len(), 10);
+        let [none, color, resize, full] = r.mean_fps;
+        assert!(
+            resize > none * 3.0,
+            "Resizing {resize:.0} should be several times None {none:.0}"
+        );
+        assert!(
+            resize > color,
+            "Resizing {resize:.0} should beat Color Variations {color:.0}"
+        );
+        assert!(
+            full >= resize * 0.9,
+            "Full {full:.0} should be at least on par with Resizing {resize:.0}"
+        );
+        assert!(render(&r).contains("Figure 10"));
+    }
+}

@@ -1,0 +1,111 @@
+//! Figure 5: TAHOMA's cascade design space vs the Baseline cascades
+//! (komondor predicate, CAMERA cost model).
+//!
+//! Paper: the Baseline set (full-color 224x224 first stages terminating in
+//! ResNet50) occupies a small, slow sliver of the space; TAHOMA's input
+//! transformations and extra depth make its cloud — and frontier — far
+//! larger and faster.
+
+use crate::context::{accuracy_range, baseline_cascades, intersect_ranges, priced_points_for,
+    ExperimentContext};
+use crate::format::{self, Table};
+use tahoma_core::{alc, pareto_frontier};
+use tahoma_costmodel::Scenario;
+use tahoma_imagery::ObjectKind;
+
+/// Results for Fig. 5.
+pub struct Fig5 {
+    /// Size of TAHOMA's cascade set.
+    pub n_tahoma: usize,
+    /// Size of the Baseline cascade set.
+    pub n_baseline: usize,
+    /// TAHOMA's Pareto frontier (accuracy, throughput).
+    pub tahoma_frontier: Vec<(f64, f64)>,
+    /// Baseline's Pareto frontier.
+    pub baseline_frontier: Vec<(f64, f64)>,
+    /// Fastest cascade in each set (fps).
+    pub tahoma_max_fps: f64,
+    /// Fastest baseline cascade (fps).
+    pub baseline_max_fps: f64,
+    /// ALC speedup of TAHOMA over Baseline on the shared accuracy range.
+    pub alc_speedup: f64,
+}
+
+/// Run the experiment.
+pub fn run(ctx: &ExperimentContext) -> Fig5 {
+    let run = ctx.run(ObjectKind::Komondor);
+    let scenario = Scenario::Camera;
+    let profiler = ExperimentContext::profiler_static(scenario);
+    let tahoma_frontier = run.system.frontier(&profiler).acc_thr();
+    let tahoma_all = run.system.priced_points(&profiler);
+    let baseline = baseline_cascades(run);
+    let n_baseline = baseline.len();
+    let baseline_points = priced_points_for(run, baseline, scenario);
+    let acc: Vec<f32> = baseline_points.iter().map(|(a, _)| *a as f32).collect();
+    let thr: Vec<f64> = baseline_points.iter().map(|(_, t)| *t).collect();
+    let baseline_frontier: Vec<(f64, f64)> = pareto_frontier(&acc, &thr)
+        .into_iter()
+        .map(|p| (p.accuracy, p.throughput))
+        .collect();
+    // Paper: ALC over the full sets' accuracy ranges, intersected.
+    let range = intersect_ranges(accuracy_range(&tahoma_all), accuracy_range(&baseline_points));
+    Fig5 {
+        n_tahoma: run.system.n_cascades(),
+        n_baseline,
+        tahoma_max_fps: tahoma_all.iter().map(|(_, t)| *t).fold(0.0, f64::max),
+        baseline_max_fps: baseline_points.iter().map(|(_, t)| *t).fold(0.0, f64::max),
+        alc_speedup: alc::speedup(&tahoma_frontier, &baseline_frontier, range.0, range.1),
+        tahoma_frontier,
+        baseline_frontier,
+    }
+}
+
+/// Render the paper-style summary.
+pub fn render(r: &Fig5) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 5 — TAHOMA design space vs Baseline cascades (komondor, CAMERA)\n\n");
+    let mut t = Table::new(vec!["set", "cascades", "max fps", "frontier points"]);
+    t.row(vec![
+        "TAHOMA".to_string(),
+        r.n_tahoma.to_string(),
+        format::fps(r.tahoma_max_fps),
+        r.tahoma_frontier.len().to_string(),
+    ]);
+    t.row(vec![
+        "Baseline".to_string(),
+        r.n_baseline.to_string(),
+        format::fps(r.baseline_max_fps),
+        r.baseline_frontier.len().to_string(),
+    ]);
+    out.push_str(&t.render());
+    out.push_str("\nTAHOMA Pareto frontier:\n");
+    out.push_str(&format::series(&r.tahoma_frontier, 10));
+    out.push_str("\nBaseline Pareto frontier:\n");
+    out.push_str(&format::series(&r.baseline_frontier, 10));
+    out.push_str(&format!(
+        "\nALC speedup of TAHOMA over Baseline: {}\n",
+        format::speedup(r.alc_speedup)
+    ));
+    out.push_str("paper expectation: TAHOMA cloud markedly larger and faster than Baseline\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tahoma_space_dwarfs_baseline() {
+        let ctx = crate::context::shared_quick_context();
+        let r = run(ctx);
+        assert!(r.n_tahoma > r.n_baseline * 50);
+        assert!(
+            r.tahoma_max_fps > r.baseline_max_fps * 2.0,
+            "TAHOMA max {} vs baseline max {}",
+            r.tahoma_max_fps,
+            r.baseline_max_fps
+        );
+        assert!(r.alc_speedup > 1.0, "ALC speedup {}", r.alc_speedup);
+        assert!(render(&r).contains("Figure 5"));
+    }
+}

@@ -1,0 +1,170 @@
+//! Figure 6: average speedups of TAHOMA over its baselines per deployment
+//! scenario.
+//!
+//! Three comparisons, averaged over the ten predicates:
+//! * **ResNet** — optimal cascade with accuracy closest above ResNet50's,
+//!   against ResNet50 alone (paper: 98x under INFER-ONLY);
+//! * **Baseline (fastest)** — TAHOMA at the accuracy of the fastest Baseline
+//!   cascade, against that cascade (paper: 59x);
+//! * **Baseline (average)** — ALC ratio over the Baseline set's accuracy
+//!   range (paper: 35x).
+//!
+//! Data-handling costs shrink all three as scenarios get heavier, down to
+//! ~2x under ARCHIVE.
+
+use crate::context::{
+    accuracy_range, baseline_cascades, intersect_ranges, priced_points_for, resnet_point,
+    ExperimentContext, PredicateRun,
+};
+use crate::format::{self, Table};
+use tahoma_core::selector::select_matching_accuracy;
+use tahoma_core::{alc, pareto_frontier};
+use tahoma_costmodel::Scenario;
+use tahoma_mathx::mean;
+
+/// Speedups for one scenario (averages over predicates).
+#[derive(Debug, Clone)]
+pub struct ScenarioSpeedups {
+    /// The scenario.
+    pub scenario: Scenario,
+    /// vs ResNet50 at matching accuracy.
+    pub vs_resnet: f64,
+    /// vs the fastest Baseline cascade at its accuracy.
+    pub vs_baseline_fastest: f64,
+    /// ALC ratio over the Baseline accuracy range.
+    pub vs_baseline_average: f64,
+}
+
+/// Results for Fig. 6.
+pub struct Fig6 {
+    /// One row per scenario, in the paper's order.
+    pub rows: Vec<ScenarioSpeedups>,
+}
+
+fn speedups_for(run: &PredicateRun, scenario: Scenario) -> (f64, f64, f64) {
+    let profiler = ExperimentContext::profiler_static(scenario);
+    let frontier = run.system.frontier(&profiler);
+
+    // vs ResNet at matching accuracy.
+    let (resnet_acc, resnet_fps) = resnet_point(run, scenario);
+    let matched = select_matching_accuracy(&frontier.points, resnet_acc)
+        .expect("frontier nonempty");
+    let vs_resnet = matched.throughput / resnet_fps;
+
+    // Baseline set and its frontier.
+    let baseline_points = priced_points_for(run, baseline_cascades(run), scenario);
+    let acc: Vec<f32> = baseline_points.iter().map(|(a, _)| *a as f32).collect();
+    let thr: Vec<f64> = baseline_points.iter().map(|(_, t)| *t).collect();
+    let baseline_frontier: Vec<(f64, f64)> = pareto_frontier(&acc, &thr)
+        .into_iter()
+        .map(|p| (p.accuracy, p.throughput))
+        .collect();
+
+    // vs fastest baseline at its accuracy level.
+    let (fb_acc, fb_fps) = baseline_frontier
+        .iter()
+        .copied()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("not NaN"))
+        .expect("baseline frontier nonempty");
+    let matched_fb = select_matching_accuracy(&frontier.points, fb_acc)
+        .expect("frontier nonempty");
+    let vs_baseline_fastest = matched_fb.throughput / fb_fps;
+
+    // Average over the baseline set's accuracy range (paper: the smallest
+    // full-set range), intersected with TAHOMA's own.
+    let tahoma_frontier = frontier.acc_thr();
+    let tahoma_range = (
+        run.system.outcomes.outcomes.iter().map(|o| o.accuracy as f64).fold(f64::INFINITY, f64::min),
+        run.system.outcomes.outcomes.iter().map(|o| o.accuracy as f64).fold(0.0, f64::max),
+    );
+    let range = intersect_ranges(tahoma_range, accuracy_range(&baseline_points));
+    let vs_baseline_average =
+        alc::speedup(&tahoma_frontier, &baseline_frontier, range.0, range.1);
+
+    (vs_resnet, vs_baseline_fastest, vs_baseline_average)
+}
+
+/// Run the experiment over all predicates and scenarios.
+pub fn run(ctx: &ExperimentContext) -> Fig6 {
+    let rows = Scenario::ALL
+        .iter()
+        .map(|&scenario| {
+            let mut vr = Vec::new();
+            let mut vf = Vec::new();
+            let mut va = Vec::new();
+            for run in &ctx.runs {
+                let (r, f, a) = speedups_for(run, scenario);
+                vr.push(r);
+                vf.push(f);
+                va.push(a);
+            }
+            ScenarioSpeedups {
+                scenario,
+                vs_resnet: mean(&vr),
+                vs_baseline_fastest: mean(&vf),
+                vs_baseline_average: mean(&va),
+            }
+        })
+        .collect();
+    Fig6 { rows }
+}
+
+/// Render the paper-style summary.
+pub fn render(r: &Fig6) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 6 — average TAHOMA speedup over baselines per scenario\n");
+    out.push_str("(paper anchors, INFER ONLY: ResNet 98x, Baseline-fastest 59x, Baseline-average 35x;\n");
+    out.push_str(" ARCHIVE compresses everything toward ~2x)\n\n");
+    let mut t = Table::new(vec![
+        "scenario",
+        "vs ResNet50",
+        "vs Baseline (fastest)",
+        "vs Baseline (average)",
+    ]);
+    for row in &r.rows {
+        t.row(vec![
+            row.scenario.to_string(),
+            format::speedup(row.vs_resnet),
+            format::speedup(row.vs_baseline_fastest),
+            format::speedup(row.vs_baseline_average),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_shape_matches_paper() {
+        let ctx = crate::context::shared_quick_context();
+        let r = run(ctx);
+        assert_eq!(r.rows.len(), 4);
+        let by = |s: Scenario| {
+            r.rows
+                .iter()
+                .find(|row| row.scenario == s)
+                .expect("scenario present")
+        };
+        let infer = by(Scenario::InferOnly);
+        let archive = by(Scenario::Archive);
+        // Large wins when only inference is counted...
+        assert!(
+            infer.vs_resnet > 10.0,
+            "INFER-ONLY vs ResNet only {:.1}x",
+            infer.vs_resnet
+        );
+        assert!(infer.vs_baseline_average > 5.0);
+        // ...compressed by data handling, but still a win, under ARCHIVE.
+        assert!(
+            archive.vs_resnet < infer.vs_resnet / 4.0,
+            "ARCHIVE {:.1}x not much below INFER-ONLY {:.1}x",
+            archive.vs_resnet,
+            infer.vs_resnet
+        );
+        assert!(archive.vs_resnet > 1.0, "ARCHIVE should still beat ResNet");
+        assert!(render(&r).contains("Figure 6"));
+    }
+}

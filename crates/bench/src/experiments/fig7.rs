@@ -1,0 +1,125 @@
+//! Figure 7: throughput of the fastest Pareto-optimal cascade vs ResNet50,
+//! per scenario, averaged over the ten predicates.
+//!
+//! Paper: under INFER-ONLY the fastest "cascades" are single specialized
+//! classifiers averaging 20,926 fps — 280x ResNet50's ~75 fps — at an
+//! average accuracy cost of ~12%; ONGOING still reaches 5,484 fps (81x).
+
+use crate::context::{resnet_point, ExperimentContext};
+use crate::format::{self, Table};
+use tahoma_core::selector::select_fastest;
+use tahoma_costmodel::Scenario;
+use tahoma_mathx::mean;
+
+/// One scenario's row.
+#[derive(Debug, Clone)]
+pub struct Fig7Row {
+    /// The scenario.
+    pub scenario: Scenario,
+    /// Mean throughput of the fastest optimal cascade (fps).
+    pub tahoma_fps: f64,
+    /// Mean ResNet50 throughput (fps).
+    pub resnet_fps: f64,
+    /// Mean accuracy loss of the fastest cascade vs ResNet50 (fraction).
+    pub accuracy_loss_vs_resnet: f64,
+    /// Fraction of predicates whose fastest choice is a single model.
+    pub single_model_fraction: f64,
+}
+
+/// Results for Fig. 7.
+pub struct Fig7 {
+    /// One row per scenario.
+    pub rows: Vec<Fig7Row>,
+}
+
+/// Run the experiment.
+pub fn run(ctx: &ExperimentContext) -> Fig7 {
+    let rows = Scenario::ALL
+        .iter()
+        .map(|&scenario| {
+            let profiler = ExperimentContext::profiler_static(scenario);
+            let mut fps = Vec::new();
+            let mut resnet = Vec::new();
+            let mut loss = Vec::new();
+            let mut singles = 0usize;
+            for run in &ctx.runs {
+                let frontier = run.system.frontier(&profiler);
+                let fastest = select_fastest(&frontier.points).expect("nonempty frontier");
+                fps.push(fastest.throughput);
+                let (r_acc, r_fps) = resnet_point(run, scenario);
+                resnet.push(r_fps);
+                loss.push((r_acc - fastest.accuracy).max(0.0));
+                if run.system.outcomes.cascades[fastest.idx].depth() == 1 {
+                    singles += 1;
+                }
+            }
+            Fig7Row {
+                scenario,
+                tahoma_fps: mean(&fps),
+                resnet_fps: mean(&resnet),
+                accuracy_loss_vs_resnet: mean(&loss),
+                single_model_fraction: singles as f64 / ctx.runs.len() as f64,
+            }
+        })
+        .collect();
+    Fig7 { rows }
+}
+
+/// Render the paper-style summary.
+pub fn render(r: &Fig7) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 7 — fastest optimal cascade vs ResNet50 (mean over 10 predicates)\n");
+    out.push_str("(paper anchors: INFER ONLY 20,926 fps = 280x ResNet at ~12% accuracy cost;\n");
+    out.push_str(" ONGOING 5,484 fps = 81x; fastest choices are single specialized models)\n\n");
+    let mut t = Table::new(vec![
+        "scenario",
+        "TAHOMA fps",
+        "ResNet50 fps",
+        "speedup",
+        "acc loss",
+        "single-model",
+    ]);
+    for row in &r.rows {
+        t.row(vec![
+            row.scenario.to_string(),
+            format::fps(row.tahoma_fps),
+            format::fps(row.resnet_fps),
+            format::speedup(row.tahoma_fps / row.resnet_fps),
+            format!("{:.1}%", row.accuracy_loss_vs_resnet * 100.0),
+            format!("{:.0}%", row.single_model_fraction * 100.0),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fastest_cascades_match_paper_shape() {
+        let ctx = crate::context::shared_quick_context();
+        let r = run(ctx);
+        let by = |s: Scenario| r.rows.iter().find(|row| row.scenario == s).unwrap();
+        let infer = by(Scenario::InferOnly);
+        // Order of magnitude: tens of thousands of fps, >100x ResNet.
+        assert!(
+            infer.tahoma_fps > 10_000.0,
+            "INFER-ONLY fastest {:.0} fps",
+            infer.tahoma_fps
+        );
+        assert!(infer.tahoma_fps / infer.resnet_fps > 100.0);
+        // Accuracy is traded away (paper: ~12%).
+        assert!(infer.accuracy_loss_vs_resnet > 0.01);
+        // The fastest pick is almost always a single specialized model.
+        assert!(infer.single_model_fraction >= 0.8);
+        // Scenario ordering: INFER-ONLY > ONGOING > CAMERA > ARCHIVE.
+        let ongoing = by(Scenario::Ongoing).tahoma_fps;
+        let camera = by(Scenario::Camera).tahoma_fps;
+        let archive = by(Scenario::Archive).tahoma_fps;
+        assert!(infer.tahoma_fps > ongoing && ongoing > camera && camera > archive,
+            "ordering violated: {} {} {} {}", infer.tahoma_fps, ongoing, camera, archive);
+        assert!(render(&r).contains("Figure 7"));
+    }
+}

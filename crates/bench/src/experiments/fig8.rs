@@ -1,0 +1,124 @@
+//! Figure 8: NoScope vs TAHOMA+DD on the coral and jackson streams.
+//!
+//! Paper: coral — NoScope 3,494 fps vs TAHOMA+DD 10,700 fps (3.1x);
+//! jackson — 260 fps vs 7,150 fps (27.5x). Footnote 2: coral's difference
+//! detector reuses 25.2% of frames vs jackson's 3.8%, and NoScope's fixed
+//! specialized model falls through to YOLOv2 often on jackson, which is
+//! exactly where TAHOMA's richer cascade space wins big.
+
+use crate::context::{ExperimentContext, Scale, EXPERIMENT_SEED};
+use crate::format::{self, Table};
+use tahoma_noscope::{
+    run_with_dd, NoScopeConfig, NoScopeSystem, RunReport, TahomaDdSystem, VideoDataset,
+};
+use tahoma_video::{DifferenceDetector, FrameSkipper, VideoStream};
+
+/// One dataset's comparison.
+#[derive(Debug, Clone)]
+pub struct Fig8Row {
+    /// Dataset name.
+    pub dataset: String,
+    /// NoScope run report.
+    pub noscope: RunReport,
+    /// TAHOMA+DD run report.
+    pub tahoma: RunReport,
+    /// The selected TAHOMA cascade (description).
+    pub tahoma_plan: String,
+}
+
+/// Results for Fig. 8.
+pub struct Fig8 {
+    /// coral and jackson rows.
+    pub rows: Vec<Fig8Row>,
+}
+
+fn run_dataset(dataset: &VideoDataset, scale: Scale) -> Fig8Row {
+    let frames = VideoStream::new(dataset.stream.clone()).take_frames(dataset.n_frames);
+    let skipper = FrameSkipper::paper_default();
+
+    let noscope_sys = NoScopeSystem::build(dataset, &NoScopeConfig::default());
+    let mut dd = DifferenceDetector::new(dataset.dd_threshold);
+    let noscope = run_with_dd(&frames, skipper, &mut dd, &noscope_sys);
+
+    let build_cfg = scale.build_config(EXPERIMENT_SEED ^ 0xF18);
+    let tahoma_sys = TahomaDdSystem::build(dataset, build_cfg, noscope.accuracy);
+    let mut dd = DifferenceDetector::new(dataset.dd_threshold);
+    let tahoma = run_with_dd(&frames, skipper, &mut dd, &tahoma_sys);
+
+    Fig8Row {
+        dataset: dataset.stream.name.clone(),
+        noscope,
+        tahoma,
+        tahoma_plan: tahoma_sys.description().to_string(),
+    }
+}
+
+/// Run the experiment.
+pub fn run(ctx: &ExperimentContext) -> Fig8 {
+    let n = ctx.scale.stream_frames();
+    let rows = vec![
+        run_dataset(&VideoDataset::coral(EXPERIMENT_SEED ^ 0xC0, n), ctx.scale),
+        run_dataset(&VideoDataset::jackson(EXPERIMENT_SEED ^ 0x1A, n), ctx.scale),
+    ];
+    Fig8 { rows }
+}
+
+/// Render the paper-style summary.
+pub fn render(r: &Fig8) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 8 — NoScope vs TAHOMA+DD (INFER-ONLY costs, 1-of-30 frame skip)\n");
+    out.push_str("(paper anchors: coral 3,494 -> 10,700 fps = 3.1x, 25.2% DD reuse;\n");
+    out.push_str("                jackson 260 -> 7,150 fps = 27.5x, 3.8% DD reuse)\n\n");
+    let mut t = Table::new(vec![
+        "dataset",
+        "NoScope fps",
+        "TAHOMA+DD fps",
+        "speedup",
+        "NS acc",
+        "T acc",
+        "DD reuse",
+    ]);
+    for row in &r.rows {
+        t.row(vec![
+            row.dataset.clone(),
+            format::fps(row.noscope.throughput_fps),
+            format::fps(row.tahoma.throughput_fps),
+            format::speedup(row.tahoma.throughput_fps / row.noscope.throughput_fps),
+            format::acc(row.noscope.accuracy),
+            format::acc(row.tahoma.accuracy),
+            format!("{:.1}%", row.noscope.reuse_rate * 100.0),
+        ]);
+    }
+    out.push_str(&t.render());
+    for row in &r.rows {
+        out.push_str(&format!("{} plan: {}\n", row.dataset, row.tahoma_plan));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tahoma_dd_wins_with_larger_margin_on_jackson() {
+        let ctx = crate::context::shared_quick_context();
+        let r = run(ctx);
+        assert_eq!(r.rows.len(), 2);
+        let coral = &r.rows[0];
+        let jackson = &r.rows[1];
+        let coral_speedup = coral.tahoma.throughput_fps / coral.noscope.throughput_fps;
+        let jackson_speedup = jackson.tahoma.throughput_fps / jackson.noscope.throughput_fps;
+        assert!(
+            coral_speedup > 1.0,
+            "coral: TAHOMA+DD not faster ({coral_speedup:.2}x)"
+        );
+        assert!(
+            jackson_speedup > coral_speedup,
+            "jackson speedup {jackson_speedup:.1}x should exceed coral {coral_speedup:.1}x"
+        );
+        // Footnote 2: coral reuses far more than jackson.
+        assert!(coral.noscope.reuse_rate > 2.0 * jackson.noscope.reuse_rate);
+        assert!(render(&r).contains("Figure 8"));
+    }
+}

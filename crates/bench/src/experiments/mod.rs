@@ -1,0 +1,14 @@
+//! One module per paper table/figure, plus the design-choice ablations
+//! called out in DESIGN.md §5.
+
+pub mod ablation;
+pub mod fig10;
+pub mod fig11;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table2;
+pub mod table3;

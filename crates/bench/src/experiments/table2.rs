@@ -1,0 +1,105 @@
+//! Table II: the ten binary predicates, with this reproduction's synthetic
+//! substitution parameters alongside the paper's ImageNet provenance.
+
+use crate::context::ExperimentContext;
+use crate::format::{self, Table};
+use tahoma_costmodel::Scenario;
+
+/// One predicate row.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Predicate name.
+    pub name: &'static str,
+    /// ImageNet synset id from the paper.
+    pub imagenet_id: &'static str,
+    /// Surrogate difficulty ceiling.
+    pub d_max: f64,
+    /// ResNet50 eval accuracy on this predicate.
+    pub resnet_accuracy: f64,
+    /// Best specialized-model eval accuracy.
+    pub best_specialized_accuracy: f64,
+}
+
+/// Results for Table II.
+pub struct Table2 {
+    /// Ten rows in paper order.
+    pub rows: Vec<Table2Row>,
+}
+
+/// Run the experiment.
+pub fn run(ctx: &ExperimentContext) -> Table2 {
+    let rows = ctx
+        .runs
+        .iter()
+        .map(|run| {
+            let repo = &run.system.repo;
+            let resnet_accuracy = repo.eval_accuracy(repo.resnet.expect("resnet"));
+            let best_specialized_accuracy = repo
+                .specialized_ids()
+                .into_iter()
+                .map(|id| repo.eval_accuracy(id))
+                .fold(0.0, f64::max);
+            Table2Row {
+                name: run.pred.kind.name(),
+                imagenet_id: run.pred.kind.imagenet_id(),
+                d_max: run.pred.d_max,
+                resnet_accuracy,
+                best_specialized_accuracy,
+            }
+        })
+        .collect();
+    Table2 { rows }
+}
+
+/// Render the paper-style summary.
+pub fn render(r: &Table2, ctx: &ExperimentContext) -> String {
+    let mut out = String::new();
+    out.push_str("Table II — binary predicates (ImageNet categories -> synthetic glyph classes)\n\n");
+    let mut t = Table::new(vec![
+        "predicate",
+        "imagenet id",
+        "d_max",
+        "resnet acc",
+        "best specialized acc",
+    ]);
+    for row in &r.rows {
+        t.row(vec![
+            row.name.to_string(),
+            row.imagenet_id.to_string(),
+            format!("{:.1}", row.d_max),
+            format::acc(row.resnet_accuracy),
+            format::acc(row.best_specialized_accuracy),
+        ]);
+    }
+    out.push_str(&t.render());
+    let run0 = &ctx.runs[0];
+    out.push_str(&format!(
+        "\nper predicate: {} models, {} cascades, config n={}, eval n={}\n",
+        run0.system.repo.len(),
+        run0.system.n_cascades(),
+        run0.system.repo.config.len(),
+        run0.system.repo.eval.len(),
+    ));
+    let _ = Scenario::ALL; // scenarios reported by the other experiments
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_table2() {
+        let ctx = crate::context::shared_quick_context();
+        let r = run(ctx);
+        assert_eq!(r.rows.len(), 10);
+        assert_eq!(r.rows[0].name, "acorn");
+        assert_eq!(r.rows[6].name, "komondor");
+        for row in &r.rows {
+            assert!(row.imagenet_id.starts_with('n'));
+            assert!(row.resnet_accuracy > 0.75, "{}: {}", row.name, row.resnet_accuracy);
+            assert!(row.best_specialized_accuracy > 0.6);
+        }
+        assert!(render(&r, ctx).contains("Table II"));
+    }
+}

@@ -1,0 +1,152 @@
+//! Minimal aligned-table and series rendering for experiment output.
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with a header row.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Table {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Table {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows present.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(cell);
+                for _ in cell.len()..widths[i] {
+                    out.push(' ');
+                }
+            }
+            // strip trailing spaces
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        render_row(&self.header, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Format a throughput in fps with sensible precision.
+pub fn fps(x: f64) -> String {
+    if x >= 1000.0 {
+        format!("{x:.0}")
+    } else if x >= 100.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+/// Format a speedup factor.
+pub fn speedup(x: f64) -> String {
+    if x >= 100.0 {
+        format!("{x:.0}x")
+    } else {
+        format!("{x:.1}x")
+    }
+}
+
+/// Format an accuracy.
+pub fn acc(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Render an (accuracy, throughput) series as compact rows, downsampled to
+/// at most `max_rows` (figures in the paper are scatter plots; text output
+/// shows the frontier shape).
+pub fn series(points: &[(f64, f64)], max_rows: usize) -> String {
+    let mut out = String::new();
+    let stride = points.len().div_ceil(max_rows.max(1)).max(1);
+    for (i, (a, t)) in points.iter().enumerate() {
+        if i % stride == 0 || i + 1 == points.len() {
+            out.push_str(&format!("  acc={:.3}  thr={:>10} fps\n", a, fps(*t)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["name", "fps"]);
+        t.row(vec!["a", "10"]);
+        t.row(vec!["longer-name", "2000"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].starts_with("longer-name"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_width_checked() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fps(20926.4), "20926");
+        assert_eq!(fps(104.26), "104.3");
+        assert_eq!(fps(57.5), "57.50");
+        assert_eq!(speedup(98.4), "98.4x");
+        assert_eq!(speedup(3.11), "3.1x");
+        assert_eq!(acc(0.9185), "0.918");
+    }
+
+    #[test]
+    fn series_downsamples() {
+        let pts: Vec<(f64, f64)> = (0..100).map(|i| (i as f64 / 100.0, i as f64)).collect();
+        let s = series(&pts, 10);
+        assert!(s.lines().count() <= 12);
+    }
+}

@@ -1,0 +1,181 @@
+//! Area-to-the-left-of-the-curve (ALC) throughput comparison (§VII-A).
+//!
+//! The paper compares cascade sets by integrating throughput over a shared
+//! accuracy range: plot points as (throughput, accuracy), interpolate as a
+//! step function, integrate the area to the left of the curve, and divide by
+//! the range width for an average throughput; the ratio of two ALCs is a
+//! speedup. The step envelope `T(a) = max { throughput_i : accuracy_i >= a }`
+//! also covers re-costed point sets that are no longer strict frontiers
+//! ("These cascades are no longer a strict Pareto frontier, but we can still
+//! compute ALC").
+
+/// Step-envelope throughput at accuracy level `a`:
+/// the best throughput among points with accuracy >= `a` (0 when none).
+pub fn envelope_at(points: &[(f64, f64)], a: f64) -> f64 {
+    points
+        .iter()
+        .filter(|(acc, _)| *acc >= a)
+        .map(|(_, thr)| *thr)
+        .fold(0.0, f64::max)
+}
+
+/// ALC of a point set over `[acc_lo, acc_hi]` via exact integration of the
+/// step envelope. Points are (accuracy, throughput).
+///
+/// Panics if `acc_lo > acc_hi`.
+pub fn alc(points: &[(f64, f64)], acc_lo: f64, acc_hi: f64) -> f64 {
+    assert!(acc_lo <= acc_hi, "invalid accuracy range {acc_lo}..{acc_hi}");
+    if points.is_empty() || acc_lo == acc_hi {
+        return 0.0;
+    }
+    // The envelope is piecewise constant with breakpoints at the points'
+    // accuracies; integrate segment by segment.
+    let mut breaks: Vec<f64> = points
+        .iter()
+        .map(|(a, _)| *a)
+        .filter(|a| *a > acc_lo && *a < acc_hi)
+        .collect();
+    breaks.push(acc_lo);
+    breaks.push(acc_hi);
+    breaks.sort_by(|x, y| x.partial_cmp(y).expect("accuracies not NaN"));
+    breaks.dedup();
+    let mut area = 0.0;
+    for w in breaks.windows(2) {
+        let (lo, hi) = (w[0], w[1]);
+        // Envelope is constant on (lo, hi); sample just above lo.
+        let t = envelope_at(points, lo + (hi - lo) * 1e-9);
+        area += t * (hi - lo);
+    }
+    area
+}
+
+/// Average throughput over the range: ALC / width.
+pub fn average_throughput(points: &[(f64, f64)], acc_lo: f64, acc_hi: f64) -> f64 {
+    if acc_hi <= acc_lo {
+        return 0.0;
+    }
+    alc(points, acc_lo, acc_hi) / (acc_hi - acc_lo)
+}
+
+/// Speedup of set `a` over set `b` on the shared range (ratio of ALCs).
+/// Returns `f64::INFINITY` when `b` has zero area and `a` does not.
+pub fn speedup(a: &[(f64, f64)], b: &[(f64, f64)], acc_lo: f64, acc_hi: f64) -> f64 {
+    let alc_a = alc(a, acc_lo, acc_hi);
+    let alc_b = alc(b, acc_lo, acc_hi);
+    if alc_b == 0.0 {
+        if alc_a == 0.0 {
+            return 1.0;
+        }
+        return f64::INFINITY;
+    }
+    alc_a / alc_b
+}
+
+/// Shared accuracy range across several point sets (paper: "use the accuracy
+/// range for the full set of cascades for each configuration and choose the
+/// smallest said range"): the intersection of each set's [min, max].
+/// Returns `None` when the intersection is empty.
+pub fn shared_accuracy_range(sets: &[&[(f64, f64)]]) -> Option<(f64, f64)> {
+    let mut lo = f64::NEG_INFINITY;
+    let mut hi = f64::INFINITY;
+    for set in sets {
+        if set.is_empty() {
+            return None;
+        }
+        let min = set.iter().map(|(a, _)| *a).fold(f64::INFINITY, f64::min);
+        let max = set.iter().map(|(a, _)| *a).fold(f64::NEG_INFINITY, f64::max);
+        lo = lo.max(min);
+        hi = hi.min(max);
+    }
+    (lo < hi).then_some((lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_picks_best_reachable_throughput() {
+        let pts = [(0.9, 10.0), (0.8, 50.0), (0.7, 100.0)];
+        assert_eq!(envelope_at(&pts, 0.95), 0.0);
+        assert_eq!(envelope_at(&pts, 0.85), 10.0);
+        assert_eq!(envelope_at(&pts, 0.75), 50.0);
+        assert_eq!(envelope_at(&pts, 0.6), 100.0);
+    }
+
+    #[test]
+    fn alc_of_single_point_is_rectangle() {
+        let pts = [(0.9, 100.0)];
+        // Envelope = 100 over [0.7, 0.9], 0 above.
+        let a = alc(&pts, 0.7, 0.9);
+        assert!((a - 100.0 * 0.2).abs() < 1e-9);
+        let b = alc(&pts, 0.7, 1.0);
+        assert!((b - 100.0 * 0.2).abs() < 1e-9, "area above max accuracy is zero");
+    }
+
+    #[test]
+    fn alc_steps_accumulate() {
+        let pts = [(0.8, 50.0), (0.9, 10.0)];
+        // [0.7, 0.8): 50; [0.8, 0.9): wait — envelope at a in (0.7,0.8) is
+        // max(thr of points with acc >= a) = 50; in (0.8, 0.9) it's 10.
+        let a = alc(&pts, 0.7, 0.9);
+        assert!((a - (50.0 * 0.1 + 10.0 * 0.1)).abs() < 1e-9, "got {a}");
+    }
+
+    #[test]
+    fn average_throughput_divides_by_width() {
+        let pts = [(1.0, 80.0)];
+        let avg = average_throughput(&pts, 0.5, 1.0);
+        assert!((avg - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_is_ratio() {
+        let fast = [(0.9, 1000.0)];
+        let slow = [(0.9, 10.0)];
+        let s = speedup(&fast, &slow, 0.5, 0.9);
+        assert!((s - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_handles_zero_area() {
+        let some = [(0.9, 10.0)];
+        let none: [(f64, f64); 0] = [];
+        assert_eq!(speedup(&some, &none, 0.5, 0.9), f64::INFINITY);
+        assert_eq!(speedup(&none, &none, 0.5, 0.9), 1.0);
+    }
+
+    #[test]
+    fn shared_range_intersects() {
+        let a = [(0.6, 1.0), (0.9, 1.0)];
+        let b = [(0.7, 1.0), (0.95, 1.0)];
+        let (lo, hi) = shared_accuracy_range(&[&a, &b]).unwrap();
+        assert!((lo - 0.7).abs() < 1e-12);
+        assert!((hi - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_ranges_are_none() {
+        let a = [(0.6, 1.0), (0.7, 1.0)];
+        let b = [(0.8, 1.0), (0.9, 1.0)];
+        assert!(shared_accuracy_range(&[&a, &b]).is_none());
+    }
+
+    #[test]
+    fn alc_monotone_in_range_width() {
+        let pts = [(0.7, 30.0), (0.85, 20.0), (0.95, 5.0)];
+        let narrow = alc(&pts, 0.75, 0.85);
+        let wide = alc(&pts, 0.7, 0.95);
+        assert!(wide > narrow);
+    }
+
+    #[test]
+    fn non_frontier_sets_are_handled() {
+        // A dominated point must not raise the envelope anywhere.
+        let frontier = [(0.8, 100.0), (0.9, 50.0)];
+        let with_dominated = [(0.8, 100.0), (0.9, 50.0), (0.85, 40.0)];
+        let a = alc(&frontier, 0.7, 0.95);
+        let b = alc(&with_dominated, 0.7, 0.95);
+        assert!((a - b).abs() < 1e-9);
+    }
+}

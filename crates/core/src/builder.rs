@@ -1,0 +1,252 @@
+//! Cascade-set enumeration (paper §V-D, §VII-A).
+//!
+//! The paper's main configuration: all one- and two-level cascades over the
+//! 360-model pool plus ResNet50, and three-level cascades with ResNet50 as
+//! the terminal classifier, across five precision settings — "1,301,405
+//! possible cascades per predicate". The paper does not spell out its exact
+//! tie between precision settings and levels; we share one precision setting
+//! across all non-terminal levels of a cascade, which lands within 0.3% of
+//! the paper's count (1,298,161) and keeps the set product-structured.
+//! Deeper full cross-products for the §VII-F depth study are supported with
+//! a configurable pool.
+
+use crate::cascade::{Cascade, MAX_LEVELS};
+use tahoma_zoo::{ModelId, ModelRepository};
+
+/// What to enumerate.
+#[derive(Debug, Clone)]
+pub struct BuilderConfig {
+    /// Specialized model pool (non-terminal and terminal candidates).
+    pub pool: Vec<ModelId>,
+    /// Expensive reference model appended as a terminal level, if any.
+    pub reference: Option<ModelId>,
+    /// Number of precision settings (indexes into the `ThresholdTable`).
+    pub n_settings: usize,
+    /// Maximum depth counting only pool levels (1 or 2 in the main
+    /// experiments; 3 for the depth study).
+    pub max_pool_depth: usize,
+    /// Also emit each pool prefix with the reference appended as an extra
+    /// terminal level.
+    pub with_reference_terminal: bool,
+}
+
+impl BuilderConfig {
+    /// The paper's main configuration over a repository: 1- and 2-level
+    /// cascades from the full pool, plus reference-terminated variants.
+    pub fn paper_main(repo: &ModelRepository) -> BuilderConfig {
+        BuilderConfig {
+            pool: repo.specialized_ids(),
+            reference: repo.resnet,
+            n_settings: crate::thresholds::PAPER_PRECISION_SETTINGS.len(),
+            max_pool_depth: 2,
+            with_reference_terminal: true,
+        }
+    }
+
+    /// Count the cascades this configuration will produce (used to
+    /// preallocate and by the depth study's cost projections).
+    pub fn count(&self) -> usize {
+        let p = self.pool.len();
+        let has_ref = self.reference.is_some();
+        let s = self.n_settings;
+        // Depth-1: each pool model alone, plus the reference alone.
+        let mut total = p + has_ref as usize;
+        // Depth-k (k >= 2): (k-1)-length pool prefix x pool terminal,
+        // per setting.
+        for depth in 2..=self.max_pool_depth {
+            total += s * p.pow((depth - 1) as u32) * p;
+        }
+        // Reference-terminated: pool prefixes of length 1..=max_pool_depth,
+        // per setting.
+        if has_ref && self.with_reference_terminal {
+            for depth in 1..=self.max_pool_depth {
+                total += s * p.pow(depth as u32);
+            }
+        }
+        total
+    }
+}
+
+/// Advance a mixed-radix odometer; false when it wraps to all zeros.
+fn advance(idx: &mut [usize], base: usize) -> bool {
+    for slot in idx.iter_mut().rev() {
+        *slot += 1;
+        if *slot < base {
+            return true;
+        }
+        *slot = 0;
+    }
+    false
+}
+
+/// Enumerate the configured cascade set.
+///
+/// Ordering is deterministic: depth-1 cascades first (pool order, then the
+/// reference), then per precision setting the deeper sets.
+pub fn build_cascades(cfg: &BuilderConfig) -> Vec<Cascade> {
+    assert!(
+        cfg.max_pool_depth >= 1 && cfg.max_pool_depth < MAX_LEVELS,
+        "max_pool_depth must be in 1..{MAX_LEVELS}"
+    );
+    assert!(cfg.n_settings > 0 && cfg.n_settings <= u8::MAX as usize);
+    assert!(!cfg.pool.is_empty(), "empty model pool");
+    let mut out = Vec::with_capacity(cfg.count());
+    let pool: Vec<u16> = cfg.pool.iter().map(|m| m.0 as u16).collect();
+    let reference = cfg.reference.map(|m| m.0 as u16);
+
+    let prefix_of = |idx: &[usize], setting: u8| -> Cascade {
+        let mut c = Cascade::new(&[(pool[idx[0]], setting)]);
+        for &j in &idx[1..] {
+            c = c.appended(pool[j], setting);
+        }
+        c
+    };
+
+    // Depth 1.
+    for &m in &pool {
+        out.push(Cascade::single(m));
+    }
+    if let Some(r) = reference {
+        out.push(Cascade::single(r));
+    }
+
+    for setting in 0..cfg.n_settings as u8 {
+        // Pool-terminated cascades of depth 2..=max_pool_depth.
+        for depth in 2..=cfg.max_pool_depth {
+            let mut idx = vec![0usize; depth - 1];
+            loop {
+                let prefix = prefix_of(&idx, setting);
+                for &terminal in &pool {
+                    out.push(prefix.appended(terminal, 0));
+                }
+                if !advance(&mut idx, pool.len()) {
+                    break;
+                }
+            }
+        }
+        // Reference-terminated cascades over prefixes of length
+        // 1..=max_pool_depth.
+        if let (Some(r), true) = (reference, cfg.with_reference_terminal) {
+            for depth in 1..=cfg.max_pool_depth {
+                let mut idx = vec![0usize; depth];
+                loop {
+                    out.push(prefix_of(&idx, setting).appended(r, 0));
+                    if !advance(&mut idx, pool.len()) {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    debug_assert_eq!(out.len(), cfg.count(), "count() must match enumeration");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(pool_n: usize, reference: bool, settings: usize, depth: usize) -> BuilderConfig {
+        BuilderConfig {
+            pool: (0..pool_n as u32).map(ModelId).collect(),
+            reference: reference.then_some(ModelId(900)),
+            n_settings: settings,
+            max_pool_depth: depth,
+            with_reference_terminal: reference,
+        }
+    }
+
+    #[test]
+    fn depth_one_only() {
+        let c = cfg(4, false, 3, 1);
+        let cascades = build_cascades(&c);
+        assert_eq!(cascades.len(), 4);
+        assert!(cascades.iter().all(|c| c.depth() == 1));
+    }
+
+    #[test]
+    fn two_level_cross_product_count() {
+        // pool 3, 2 settings, no reference: 3 + 2 * 3*3 = 21.
+        let c = cfg(3, false, 2, 2);
+        let cascades = build_cascades(&c);
+        assert_eq!(cascades.len(), 21);
+        assert_eq!(c.count(), 21);
+    }
+
+    #[test]
+    fn reference_adds_terminated_variants() {
+        // pool 3, 2 settings, reference, depth 2:
+        // depth1: 3 + 1 = 4
+        // per setting: 2-level 3*3 = 9; ref-terminated prefixes: len1 (3) + len2 (9) = 12
+        // total = 4 + 2*(9 + 12) = 46.
+        let c = cfg(3, true, 2, 2);
+        let cascades = build_cascades(&c);
+        assert_eq!(cascades.len(), 46);
+        assert_eq!(c.count(), 46);
+        // Some cascade must end in the reference at depth 3.
+        assert!(cascades
+            .iter()
+            .any(|c| c.depth() == 3 && c.model_at(2) == 900));
+    }
+
+    #[test]
+    fn paper_main_count_matches_documented_value() {
+        // 360-model pool, resnet reference, 5 settings, depth 2:
+        // 361 + 5*(360*360 + 360 + 360*360) = 1,298,161.
+        let c = cfg(360, true, 5, 2);
+        assert_eq!(c.count(), 1_298_161);
+    }
+
+    #[test]
+    fn enumeration_is_unique() {
+        let c = cfg(5, true, 2, 2);
+        let cascades = build_cascades(&c);
+        let set: std::collections::HashSet<Cascade> = cascades.iter().copied().collect();
+        assert_eq!(set.len(), cascades.len(), "duplicate cascades emitted");
+    }
+
+    #[test]
+    fn settings_are_shared_across_non_terminal_levels() {
+        let c = cfg(4, true, 3, 3);
+        for cascade in build_cascades(&c) {
+            if cascade.depth() >= 3 {
+                let s0 = cascade.setting_at(0);
+                for l in 1..cascade.depth() - 1 {
+                    assert_eq!(cascade.setting_at(l), s0, "{cascade}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn depth_three_count() {
+        // pool 2, 1 setting, no ref, depth 3:
+        // depth1: 2; depth2: 2*2 = 4; depth3: 2^2 * 2 = 8 → 14.
+        let c = cfg(2, false, 1, 3);
+        let cascades = build_cascades(&c);
+        assert_eq!(cascades.len(), 14);
+        assert_eq!(c.count(), 14);
+    }
+
+    #[test]
+    fn terminal_levels_use_setting_zero() {
+        let c = cfg(3, true, 2, 2);
+        for cascade in build_cascades(&c) {
+            let last = cascade.depth() - 1;
+            assert_eq!(cascade.setting_at(last), 0, "{cascade}");
+        }
+    }
+
+    #[test]
+    fn odometer_advances_correctly() {
+        let mut idx = vec![0usize; 2];
+        let mut seen = vec![idx.clone()];
+        while advance(&mut idx, 3) {
+            seen.push(idx.clone());
+        }
+        assert_eq!(seen.len(), 9);
+        assert_eq!(seen[1], vec![0, 1]);
+        assert_eq!(seen[3], vec![1, 0]);
+        assert_eq!(seen[8], vec![2, 2]);
+    }
+}

@@ -1,0 +1,143 @@
+//! Compact cascade representation.
+//!
+//! Millions of cascades are enumerated per predicate, so the encoding is a
+//! fixed-size value type: up to [`MAX_LEVELS`] levels of (model index,
+//! precision-setting index). The final level's setting is ignored — its
+//! output is always accepted (§IV, Definition 7).
+
+use std::fmt;
+
+/// Maximum cascade depth supported by the evaluator.
+pub const MAX_LEVELS: usize = 4;
+
+/// One classifier cascade: an ordered list of (model, setting) levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cascade {
+    levels: [(u16, u8); MAX_LEVELS],
+    len: u8,
+}
+
+impl Cascade {
+    /// Build from explicit levels. Panics when empty or longer than
+    /// [`MAX_LEVELS`].
+    pub fn new(levels: &[(u16, u8)]) -> Cascade {
+        assert!(
+            !levels.is_empty() && levels.len() <= MAX_LEVELS,
+            "cascade must have 1..={MAX_LEVELS} levels, got {}",
+            levels.len()
+        );
+        let mut arr = [(0u16, 0u8); MAX_LEVELS];
+        arr[..levels.len()].copy_from_slice(levels);
+        Cascade {
+            levels: arr,
+            len: levels.len() as u8,
+        }
+    }
+
+    /// Single-model "cascade" (the degenerate case the paper notes often
+    /// wins when raw speed is the priority, §VII-B).
+    pub fn single(model: u16) -> Cascade {
+        Cascade::new(&[(model, 0)])
+    }
+
+    /// Number of levels.
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.len as usize
+    }
+
+    /// The levels as (model index, setting index) pairs.
+    #[inline]
+    pub fn levels(&self) -> &[(u16, u8)] {
+        &self.levels[..self.len as usize]
+    }
+
+    /// Model index at a level.
+    #[inline]
+    pub fn model_at(&self, level: usize) -> u16 {
+        debug_assert!(level < self.depth());
+        self.levels[level].0
+    }
+
+    /// Setting index at a level (meaningless for the final level).
+    #[inline]
+    pub fn setting_at(&self, level: usize) -> u8 {
+        debug_assert!(level < self.depth());
+        self.levels[level].1
+    }
+
+    /// Append a terminal level, returning the extended cascade.
+    /// Panics at [`MAX_LEVELS`].
+    pub fn appended(&self, model: u16, setting: u8) -> Cascade {
+        assert!(self.depth() < MAX_LEVELS, "cascade already at max depth");
+        let mut c = *self;
+        c.levels[c.len as usize] = (model, setting);
+        c.len += 1;
+        c
+    }
+}
+
+impl fmt::Display for Cascade {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (m, s)) in self.levels().iter().enumerate() {
+            if i > 0 {
+                write!(f, " -> ")?;
+            }
+            if i + 1 == self.depth() {
+                write!(f, "m{m}")?; // terminal level: setting unused
+            } else {
+                write!(f, "m{m}(s{s})")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let c = Cascade::new(&[(5, 2), (9, 0)]);
+        assert_eq!(c.depth(), 2);
+        assert_eq!(c.model_at(0), 5);
+        assert_eq!(c.setting_at(0), 2);
+        assert_eq!(c.model_at(1), 9);
+    }
+
+    #[test]
+    fn single_is_depth_one() {
+        let c = Cascade::single(7);
+        assert_eq!(c.depth(), 1);
+        assert_eq!(c.model_at(0), 7);
+    }
+
+    #[test]
+    fn appended_extends() {
+        let c = Cascade::single(1).appended(2, 3).appended(4, 0);
+        assert_eq!(c.depth(), 3);
+        assert_eq!(c.levels(), &[(1, 0), (2, 3), (4, 0)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_deep_panics() {
+        let mut c = Cascade::single(0);
+        for i in 0..MAX_LEVELS {
+            c = c.appended(i as u16, 0);
+        }
+    }
+
+    #[test]
+    fn display_marks_terminal_level() {
+        let c = Cascade::new(&[(3, 1), (8, 0)]);
+        assert_eq!(c.to_string(), "m3(s1) -> m8");
+    }
+
+    #[test]
+    fn value_type_is_small() {
+        // The enumeration materializes millions of these.
+        assert!(std::mem::size_of::<Cascade>() <= 20);
+    }
+}

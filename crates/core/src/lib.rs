@@ -1,0 +1,55 @@
+//! TAHOMA core: physical-representation-based predicate optimization.
+//!
+//! This crate implements the paper's contribution end to end:
+//!
+//! 1. **Decision thresholds** ([`thresholds`], §V-C): per model, a grid
+//!    search on the config split finds `(p_low, p_high)` meeting a target
+//!    precision while maximizing recall. Thresholds are calibrated
+//!    *independently of any cascade* — the design choice that makes
+//!    million-cascade evaluation tractable (§V-D).
+//! 2. **Cascade construction** ([`builder`]): one- and two-level cascades
+//!    over the model pool plus ResNet50-terminated variants — ~1.3 M
+//!    cascades per predicate at paper scale — and deeper sweeps for the
+//!    depth study (§VII-F).
+//! 3. **Cascade evaluation** ([`evaluator`], §V-D/E): every model's
+//!    precomputed eval-split outputs are reduced to per-(model, setting)
+//!    decision tables; simulating a cascade is then a table walk. Accuracy
+//!    and stop-level histograms are *scenario-independent*; deployment
+//!    scenarios re-price the same outcomes cheaply.
+//! 4. **Pareto frontiers and ALC** ([`pareto`], [`mod@alc`], §V-E, §VII-A):
+//!    Kung-Luccio-Preparata maxima in O(n log n), step-function
+//!    area-to-left-of-curve for frontier-vs-frontier speedups.
+//! 5. **Cascade selection** ([`selector`]): the user's accuracy/throughput
+//!    constraints (`U_acc`, `U_thru`), ResNet-matching selection, and the
+//!    scenario-oblivious-vs-aware comparison behind Table III.
+//! 6. **Query processing** ([`query`], §IV): a SQL-subset parser that
+//!    decomposes queries into metadata predicates plus binary
+//!    `contains_object` predicates, and an executor that runs the selected
+//!    cascade over a corpus, producing the binary-predicate relation.
+//!
+//! [`pipeline::TahomaSystem`] ties the stages together behind the
+//! architecture in the paper's Fig. 2.
+
+pub mod alc;
+pub mod builder;
+pub mod cascade;
+pub mod error;
+pub mod evaluator;
+pub mod materialized;
+pub mod pareto;
+pub mod pipeline;
+pub mod planner;
+pub mod query;
+pub mod selector;
+pub mod thresholds;
+
+pub use alc::{alc, average_throughput, shared_accuracy_range, speedup};
+pub use builder::{build_cascades, BuilderConfig};
+pub use cascade::{Cascade, MAX_LEVELS};
+pub use error::CoreError;
+pub use evaluator::{simulate_all, CascadeOutcomes, CostContext};
+pub use pareto::{pareto_frontier, ParetoPoint};
+pub use pipeline::{Frontier, TahomaSystem};
+pub use selector::{select_fastest, select_matching_accuracy, select_with_constraints, Constraints};
+pub use thresholds::{calibrate, calibrate_all, DecisionThresholds, ThresholdTable,
+    PAPER_PRECISION_SETTINGS};

@@ -1,0 +1,146 @@
+//! Pareto frontiers over (accuracy, throughput) (paper §V-E).
+//!
+//! The paper cites Kung, Luccio & Preparata: 2-D maxima in O(n log n) —
+//! sort by one coordinate, sweep keeping the running maximum of the other.
+
+/// One point on (or off) the frontier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParetoPoint {
+    /// Index into the original cascade set.
+    pub idx: usize,
+    /// Eval accuracy.
+    pub accuracy: f64,
+    /// Throughput in frames/second.
+    pub throughput: f64,
+}
+
+/// Compute the Pareto-optimal subset (maximal in both accuracy and
+/// throughput). Returns points sorted by throughput descending — accuracy is
+/// therefore strictly ascending along the result.
+///
+/// Dominated-or-equal duplicates are dropped: a point enters the frontier
+/// only if its accuracy strictly exceeds every faster point's accuracy.
+pub fn pareto_frontier(accuracy: &[f32], throughput: &[f64]) -> Vec<ParetoPoint> {
+    assert_eq!(accuracy.len(), throughput.len());
+    let n = accuracy.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    // Sort by throughput desc; ties broken by accuracy desc so the best of a
+    // tie group is seen first and the rest are dominated.
+    order.sort_by(|&a, &b| {
+        throughput[b]
+            .partial_cmp(&throughput[a])
+            .expect("throughput not NaN")
+            .then(
+                accuracy[b]
+                    .partial_cmp(&accuracy[a])
+                    .expect("accuracy not NaN"),
+            )
+    });
+    let mut frontier = Vec::new();
+    let mut best_acc = f32::NEG_INFINITY;
+    for idx in order {
+        if accuracy[idx] > best_acc {
+            best_acc = accuracy[idx];
+            frontier.push(ParetoPoint {
+                idx,
+                accuracy: accuracy[idx] as f64,
+                throughput: throughput[idx],
+            });
+        }
+    }
+    frontier
+}
+
+/// Check the defining property: no point in `points` dominates any frontier
+/// member (used by property tests).
+pub fn is_pareto_optimal(
+    frontier: &[ParetoPoint],
+    accuracy: &[f32],
+    throughput: &[f64],
+) -> bool {
+    frontier.iter().all(|f| {
+        !(0..accuracy.len()).any(|i| {
+            accuracy[i] as f64 >= f.accuracy
+                && throughput[i] >= f.throughput
+                && ((accuracy[i] as f64) > f.accuracy || throughput[i] > f.throughput)
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_frontier() {
+        //   A(0.9, 10) B(0.8, 20) C(0.7, 5) D(0.85, 15)
+        // C is dominated by everything; D dominated by nothing.
+        let acc = [0.9f32, 0.8, 0.7, 0.85];
+        let thr = [10.0f64, 20.0, 5.0, 15.0];
+        let f = pareto_frontier(&acc, &thr);
+        let idxs: Vec<usize> = f.iter().map(|p| p.idx).collect();
+        assert_eq!(idxs, vec![1, 3, 0]);
+    }
+
+    #[test]
+    fn frontier_accuracy_strictly_increases_as_throughput_drops() {
+        let acc = [0.6f32, 0.7, 0.7, 0.9, 0.5];
+        let thr = [50.0f64, 40.0, 45.0, 10.0, 60.0];
+        let f = pareto_frontier(&acc, &thr);
+        for w in f.windows(2) {
+            assert!(w[0].throughput > w[1].throughput);
+            assert!(w[0].accuracy < w[1].accuracy);
+        }
+    }
+
+    #[test]
+    fn single_point() {
+        let f = pareto_frontier(&[0.5], &[1.0]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].idx, 0);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(pareto_frontier(&[], &[]).is_empty());
+    }
+
+    #[test]
+    fn duplicates_collapse_to_one() {
+        let acc = [0.8f32, 0.8, 0.8];
+        let thr = [10.0f64, 10.0, 10.0];
+        let f = pareto_frontier(&acc, &thr);
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn no_member_is_dominated() {
+        let mut rng = tahoma_mathx::DetRng::new(3);
+        let n = 5000;
+        let acc: Vec<f32> = (0..n).map(|_| rng.uniform_in(0.5, 1.0) as f32).collect();
+        let thr: Vec<f64> = (0..n).map(|_| rng.uniform_in(1.0, 1e4)).collect();
+        let f = pareto_frontier(&acc, &thr);
+        assert!(!f.is_empty());
+        assert!(is_pareto_optimal(&f, &acc, &thr));
+        // Every non-frontier point must be dominated by some frontier point.
+        let on_frontier: std::collections::HashSet<usize> =
+            f.iter().map(|p| p.idx).collect();
+        for i in 0..n {
+            if !on_frontier.contains(&i) {
+                let dominated = f.iter().any(|p| {
+                    p.accuracy >= acc[i] as f64 && p.throughput >= thr[i]
+                });
+                assert!(dominated, "point {i} neither on frontier nor dominated");
+            }
+        }
+    }
+
+    #[test]
+    fn anticorrelated_points_all_survive() {
+        // Perfect accuracy/throughput tradeoff: everything is optimal.
+        let acc: Vec<f32> = (0..100).map(|i| 0.5 + i as f32 * 0.004).collect();
+        let thr: Vec<f64> = (0..100).map(|i| 1000.0 - i as f64 * 9.0).collect();
+        let f = pareto_frontier(&acc, &thr);
+        assert_eq!(f.len(), 100);
+    }
+}

@@ -1,0 +1,339 @@
+//! End-to-end system assembly (paper Fig. 2).
+//!
+//! `TahomaSystem::initialize` is the paper's *system initialization* phase:
+//! calibrate thresholds on the config split, enumerate the cascade set, and
+//! simulate every cascade against the precomputed eval outputs. At *query
+//! time*, [`TahomaSystem::frontier`] prices the outcomes under the current
+//! deployment scenario and hands the Pareto-optimal set to the selector —
+//! cheap enough to re-run per query, which is exactly how the paper argues
+//! deployment-awareness should work (§V-D: cascade selection "can be part of
+//! query planning at query execution time").
+
+use crate::builder::{build_cascades, BuilderConfig};
+use crate::cascade::Cascade;
+use crate::error::CoreError;
+use crate::evaluator::{simulate_all, CascadeOutcomes, CostContext, DecisionTables};
+use crate::pareto::{pareto_frontier, ParetoPoint};
+use crate::selector::{select_matching_accuracy, select_with_constraints, Constraints};
+use crate::thresholds::{calibrate_all, ThresholdTable};
+use tahoma_costmodel::CostProfiler;
+use tahoma_zoo::{ModelId, ModelRepository};
+
+/// A priced Pareto frontier plus the pricing it was computed under.
+#[derive(Debug, Clone)]
+pub struct Frontier {
+    /// Frontier points sorted by throughput descending.
+    pub points: Vec<ParetoPoint>,
+}
+
+impl Frontier {
+    /// As (accuracy, throughput) pairs, for the ALC machinery.
+    pub fn acc_thr(&self) -> Vec<(f64, f64)> {
+        self.points
+            .iter()
+            .map(|p| (p.accuracy, p.throughput))
+            .collect()
+    }
+
+    /// The most accurate point.
+    pub fn most_accurate(&self) -> Option<ParetoPoint> {
+        self.points
+            .iter()
+            .copied()
+            .max_by(|a, b| a.accuracy.partial_cmp(&b.accuracy).expect("not NaN"))
+    }
+}
+
+/// One initialized TAHOMA instance for a single binary predicate.
+#[derive(Debug)]
+pub struct TahomaSystem {
+    /// The model repository (scores + inference costs).
+    pub repo: ModelRepository,
+    /// Calibrated thresholds per (model, precision setting).
+    pub thresholds: ThresholdTable,
+    /// Precomputed decision tables over the eval split.
+    pub tables: DecisionTables,
+    /// Scenario-independent outcomes of the full cascade set.
+    pub outcomes: CascadeOutcomes,
+}
+
+impl TahomaSystem {
+    /// Run system initialization: calibrate, enumerate, simulate.
+    pub fn initialize(
+        repo: ModelRepository,
+        precision_settings: &[f64],
+        builder: &BuilderConfig,
+    ) -> TahomaSystem {
+        let thresholds = calibrate_all(&repo, precision_settings);
+        let tables = DecisionTables::build(&repo, &thresholds);
+        let cascades = build_cascades(builder);
+        let outcomes = simulate_all(&tables, cascades);
+        TahomaSystem {
+            repo,
+            thresholds,
+            tables,
+            outcomes,
+        }
+    }
+
+    /// Convenience: initialize with the paper's main configuration.
+    pub fn initialize_paper_main(repo: ModelRepository) -> TahomaSystem {
+        let builder = BuilderConfig::paper_main(&repo);
+        TahomaSystem::initialize(
+            repo,
+            &crate::thresholds::PAPER_PRECISION_SETTINGS,
+            &builder,
+        )
+    }
+
+    /// Number of cascades under evaluation.
+    pub fn n_cascades(&self) -> usize {
+        self.outcomes.cascades.len()
+    }
+
+    /// Price every cascade under a profiler: (accuracy, throughput) pairs in
+    /// cascade order.
+    pub fn priced_points(&self, profiler: &dyn CostProfiler) -> Vec<(f64, f64)> {
+        let ctx = CostContext::build(&self.repo, profiler);
+        self.outcomes
+            .cascades
+            .iter()
+            .zip(&self.outcomes.outcomes)
+            .map(|(c, o)| {
+                (
+                    o.accuracy as f64,
+                    ctx.throughput_fps(c, o, self.outcomes.n_images),
+                )
+            })
+            .collect()
+    }
+
+    /// The Pareto frontier under a profiler's scenario.
+    pub fn frontier(&self, profiler: &dyn CostProfiler) -> Frontier {
+        let ctx = CostContext::build(&self.repo, profiler);
+        let acc: Vec<f32> = self.outcomes.outcomes.iter().map(|o| o.accuracy).collect();
+        let thr: Vec<f64> = self
+            .outcomes
+            .cascades
+            .iter()
+            .zip(&self.outcomes.outcomes)
+            .map(|(c, o)| ctx.throughput_fps(c, o, self.outcomes.n_images))
+            .collect();
+        Frontier {
+            points: pareto_frontier(&acc, &thr),
+        }
+    }
+
+    /// Re-price a set of cascade indices under another scenario (the
+    /// oblivious-vs-aware machinery of Fig. 9 / Table III). Returned points
+    /// are (accuracy, throughput) in the given index order — generally *not*
+    /// a frontier under the new pricing.
+    pub fn reprice(
+        &self,
+        indices: &[usize],
+        profiler: &dyn CostProfiler,
+    ) -> Vec<(f64, f64)> {
+        let ctx = CostContext::build(&self.repo, profiler);
+        indices
+            .iter()
+            .map(|&i| {
+                let c = &self.outcomes.cascades[i];
+                let o = &self.outcomes.outcomes[i];
+                (
+                    o.accuracy as f64,
+                    ctx.throughput_fps(c, o, self.outcomes.n_images),
+                )
+            })
+            .collect()
+    }
+
+    /// Select a cascade under user constraints in a scenario.
+    pub fn select(
+        &self,
+        profiler: &dyn CostProfiler,
+        constraints: Constraints,
+    ) -> Result<SelectedCascade, CoreError> {
+        let frontier = self.frontier(profiler);
+        let point = select_with_constraints(&frontier.points, constraints)?;
+        Ok(self.selected(point))
+    }
+
+    /// Select the optimal cascade matching a reference model's accuracy
+    /// (the ResNet50 comparisons of §VII-B).
+    pub fn select_matching_model(
+        &self,
+        profiler: &dyn CostProfiler,
+        reference: ModelId,
+    ) -> Result<SelectedCascade, CoreError> {
+        let ref_acc = self.repo.eval_accuracy(reference);
+        let frontier = self.frontier(profiler);
+        let point = select_matching_accuracy(&frontier.points, ref_acc)?;
+        Ok(self.selected(point))
+    }
+
+    fn selected(&self, point: ParetoPoint) -> SelectedCascade {
+        SelectedCascade {
+            cascade: self.outcomes.cascades[point.idx],
+            accuracy: point.accuracy,
+            throughput: point.throughput,
+            description: self.describe(&self.outcomes.cascades[point.idx]),
+        }
+    }
+
+    /// Human-readable cascade description using model tags, e.g.
+    /// `"c1x16-d16@30x30-gray (p>=0.97) -> resnet50"`.
+    pub fn describe(&self, cascade: &Cascade) -> String {
+        let mut s = String::new();
+        for (l, &(m, setting)) in cascade.levels().iter().enumerate() {
+            if l > 0 {
+                s.push_str(" -> ");
+            }
+            s.push_str(&self.repo.entries[m as usize].variant.tag());
+            if l + 1 < cascade.depth() {
+                s.push_str(&format!(
+                    " (p>={:.2})",
+                    self.thresholds.settings[setting as usize]
+                ));
+            }
+        }
+        s
+    }
+}
+
+/// A cascade chosen for execution, with its expected operating point.
+#[derive(Debug, Clone)]
+pub struct SelectedCascade {
+    /// The cascade.
+    pub cascade: Cascade,
+    /// Eval accuracy.
+    pub accuracy: f64,
+    /// Expected throughput under the selection scenario (fps).
+    pub throughput: f64,
+    /// Human-readable plan.
+    pub description: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tahoma_costmodel::{AnalyticProfiler, Scenario};
+    use tahoma_imagery::ObjectKind;
+    use tahoma_zoo::repository::{build_surrogate_repository, SurrogateBuildConfig};
+    use tahoma_zoo::PredicateSpec;
+
+    fn small_system(kind: ObjectKind) -> TahomaSystem {
+        let repo = build_surrogate_repository(
+            PredicateSpec::for_kind(kind),
+            &SurrogateBuildConfig {
+                n_config: 200,
+                n_eval: 250,
+                seed: 17,
+                variants: Some(
+                    tahoma_zoo::variant::paper_variants()
+                        .into_iter()
+                        .step_by(12)
+                        .collect(),
+                ),
+                ..Default::default()
+            },
+            &tahoma_costmodel::DeviceProfile::k80(),
+        );
+        let builder = BuilderConfig {
+            n_settings: 3,
+            ..BuilderConfig::paper_main(&repo)
+        };
+        TahomaSystem::initialize(repo, &[0.93, 0.95, 0.99], &builder)
+    }
+
+    #[test]
+    fn initialization_produces_consistent_state() {
+        let sys = small_system(ObjectKind::Fence);
+        // pool 30 + resnet: depth1 = 31; per setting: 30*30 + 30 + 30*30 = 1830
+        // total = 31 + 3*1830 = 5521.
+        assert_eq!(sys.n_cascades(), 5521);
+        assert_eq!(sys.outcomes.outcomes.len(), sys.n_cascades());
+    }
+
+    #[test]
+    fn frontier_is_nonempty_and_sorted() {
+        let sys = small_system(ObjectKind::Fence);
+        let f = sys.frontier(&AnalyticProfiler::paper_testbed(Scenario::Camera));
+        assert!(f.points.len() > 3, "frontier has {} points", f.points.len());
+        for w in f.points.windows(2) {
+            assert!(w[0].throughput > w[1].throughput);
+            assert!(w[0].accuracy < w[1].accuracy);
+        }
+    }
+
+    #[test]
+    fn cascades_beat_resnet_at_matching_accuracy() {
+        let sys = small_system(ObjectKind::Komondor);
+        let profiler = AnalyticProfiler::paper_testbed(Scenario::InferOnly);
+        let resnet = sys.repo.resnet.unwrap();
+        let selected = sys.select_matching_model(&profiler, resnet).unwrap();
+        let resnet_fps = 1.0 / sys.repo.entry(resnet).infer_s;
+        assert!(
+            selected.throughput > resnet_fps * 5.0,
+            "cascade {} fps vs resnet {resnet_fps:.1} fps",
+            selected.throughput
+        );
+        assert!(selected.accuracy >= sys.repo.eval_accuracy(resnet) - 1e-9);
+    }
+
+    #[test]
+    fn scenario_changes_the_frontier() {
+        let sys = small_system(ObjectKind::Scorpion);
+        let f_infer = sys.frontier(&AnalyticProfiler::paper_testbed(Scenario::InferOnly));
+        let f_camera = sys.frontier(&AnalyticProfiler::paper_testbed(Scenario::Camera));
+        let fastest_infer = f_infer.points[0].throughput;
+        let fastest_camera = f_camera.points[0].throughput;
+        assert!(
+            fastest_infer > fastest_camera * 2.0,
+            "INFER-ONLY {fastest_infer:.0} fps should dwarf CAMERA {fastest_camera:.0} fps"
+        );
+        // And the chosen cascade indices differ for at least part of the
+        // frontier (the Fig. 9 phenomenon).
+        let set_a: std::collections::HashSet<usize> =
+            f_infer.points.iter().map(|p| p.idx).collect();
+        let set_b: std::collections::HashSet<usize> =
+            f_camera.points.iter().map(|p| p.idx).collect();
+        assert!(set_a != set_b, "frontiers identical across scenarios");
+    }
+
+    #[test]
+    fn reprice_preserves_accuracy_but_not_throughput() {
+        let sys = small_system(ObjectKind::Wallet);
+        let infer = AnalyticProfiler::paper_testbed(Scenario::InferOnly);
+        let camera = AnalyticProfiler::paper_testbed(Scenario::Camera);
+        let f = sys.frontier(&infer);
+        let idxs: Vec<usize> = f.points.iter().map(|p| p.idx).collect();
+        let repriced = sys.reprice(&idxs, &camera);
+        for (p, (acc, thr)) in f.points.iter().zip(&repriced) {
+            assert!((p.accuracy - acc).abs() < 1e-12);
+            assert!(*thr <= p.throughput + 1e-9, "CAMERA cannot be faster than INFER-ONLY");
+        }
+    }
+
+    #[test]
+    fn describe_names_models_and_settings() {
+        let sys = small_system(ObjectKind::Acorn);
+        let c = Cascade::new(&[(0, 2), (1, 0)]);
+        let d = sys.describe(&c);
+        assert!(d.contains(" -> "), "{d}");
+        assert!(d.contains("p>=0.99"), "{d}");
+    }
+
+    #[test]
+    fn constraint_selection_trades_accuracy_for_speed() {
+        let sys = small_system(ObjectKind::Pinwheel);
+        let profiler = AnalyticProfiler::paper_testbed(Scenario::Ongoing);
+        let strict = sys
+            .select(&profiler, Constraints { max_accuracy_loss: Some(0.0), max_throughput_loss: None })
+            .unwrap();
+        let loose = sys
+            .select(&profiler, Constraints { max_accuracy_loss: Some(0.10), max_throughput_loss: None })
+            .unwrap();
+        assert!(loose.throughput >= strict.throughput);
+        assert!(loose.accuracy <= strict.accuracy + 1e-12);
+    }
+}

@@ -1,0 +1,163 @@
+//! Multi-predicate ordering — the paper's explicitly-deferred future work
+//! (§IV: "further query optimization could be done considering multiple
+//! binary predicates in concert, we leave that for future work").
+//!
+//! For a conjunctive query with several `contains_object` predicates, the
+//! classic System-R-style rule applies: evaluate predicates in increasing
+//! `cost / rejection-rate` order so cheap, selective predicates prune the
+//! item set before expensive ones run. Selectivity comes from each
+//! cascade's simulated eval-split outcomes (its positive rate); cost from
+//! the scenario-priced expected per-image time.
+
+use crate::cascade::Cascade;
+use crate::evaluator::{CostContext, Outcome};
+use tahoma_imagery::ObjectKind;
+
+/// One content predicate with its selected cascade and statistics.
+#[derive(Debug, Clone)]
+pub struct PlannedPredicate {
+    /// The category tested.
+    pub kind: ObjectKind,
+    /// The cascade implementing it.
+    pub cascade: Cascade,
+    /// Expected per-image cost under the deployment scenario (seconds).
+    pub expected_cost_s: f64,
+    /// Expected fraction of items that pass (labeled positive).
+    pub selectivity: f64,
+}
+
+impl PlannedPredicate {
+    /// Build from a cascade's simulated outcome and pricing.
+    ///
+    /// Selectivity is estimated from the cascade's positive rate on the
+    /// eval split, which the simulation already knows via its accuracy and
+    /// the split's base rate; here we take it directly as an argument so
+    /// callers can use corpus-specific priors when they have them.
+    pub fn new(
+        kind: ObjectKind,
+        cascade: Cascade,
+        outcome: &Outcome,
+        n_images: usize,
+        cost: &CostContext,
+        selectivity: f64,
+    ) -> PlannedPredicate {
+        PlannedPredicate {
+            kind,
+            cascade,
+            expected_cost_s: cost.expected_cost_s(&cascade, outcome, n_images),
+            selectivity: selectivity.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The rank metric: cost per unit of rejection. Lower runs earlier.
+    /// A predicate that rejects nothing (selectivity 1) is infinitely
+    /// unattractive to run early.
+    pub fn rank(&self) -> f64 {
+        let rejection = 1.0 - self.selectivity;
+        if rejection <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.expected_cost_s / rejection
+        }
+    }
+}
+
+/// Order predicates for conjunctive evaluation: ascending `cost/rejection`.
+/// Ties break on lower cost, then on kind for determinism.
+pub fn order_predicates(mut preds: Vec<PlannedPredicate>) -> Vec<PlannedPredicate> {
+    preds.sort_by(|a, b| {
+        a.rank()
+            .partial_cmp(&b.rank())
+            .expect("ranks are not NaN")
+            .then(
+                a.expected_cost_s
+                    .partial_cmp(&b.expected_cost_s)
+                    .expect("costs are not NaN"),
+            )
+            .then(a.kind.cmp(&b.kind))
+    });
+    preds
+}
+
+/// Expected per-item cost of evaluating the predicates in the given order
+/// with short-circuiting (independence assumption across predicates).
+pub fn expected_conjunction_cost_s(ordered: &[PlannedPredicate]) -> f64 {
+    let mut surviving = 1.0f64;
+    let mut total = 0.0f64;
+    for p in ordered {
+        total += surviving * p.expected_cost_s;
+        surviving *= p.selectivity;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pred(kind: ObjectKind, cost: f64, sel: f64) -> PlannedPredicate {
+        PlannedPredicate {
+            kind,
+            cascade: Cascade::single(0),
+            expected_cost_s: cost,
+            selectivity: sel,
+        }
+    }
+
+    #[test]
+    fn cheap_selective_predicates_run_first() {
+        let ordered = order_predicates(vec![
+            pred(ObjectKind::Acorn, 10e-3, 0.5),  // rank 0.02
+            pred(ObjectKind::Fence, 1e-3, 0.5),   // rank 0.002
+            pred(ObjectKind::Wallet, 1e-3, 0.95), // rank 0.02
+        ]);
+        assert_eq!(ordered[0].kind, ObjectKind::Fence);
+        // Acorn and Wallet tie on rank 0.02; lower cost (wallet) wins.
+        assert_eq!(ordered[1].kind, ObjectKind::Wallet);
+        assert_eq!(ordered[2].kind, ObjectKind::Acorn);
+    }
+
+    #[test]
+    fn ordering_minimizes_expected_cost_for_two_predicates() {
+        // Exhaustively check the rank rule against brute force on a grid.
+        for &(c1, s1) in &[(1e-3, 0.2), (5e-3, 0.9), (2e-3, 0.5)] {
+            for &(c2, s2) in &[(1e-4, 0.8), (8e-3, 0.1), (3e-3, 0.6)] {
+                let a = pred(ObjectKind::Acorn, c1, s1);
+                let b = pred(ObjectKind::Fence, c2, s2);
+                let ordered = order_predicates(vec![a.clone(), b.clone()]);
+                let chosen = expected_conjunction_cost_s(&ordered);
+                let alt = expected_conjunction_cost_s(&[b.clone(), a.clone()]);
+                let alt2 = expected_conjunction_cost_s(&[a, b]);
+                let best = alt.min(alt2);
+                assert!(
+                    chosen <= best + 1e-12,
+                    "({c1},{s1}) x ({c2},{s2}): chosen {chosen} > best {best}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_rejecting_predicate_goes_last() {
+        let ordered = order_predicates(vec![
+            pred(ObjectKind::Acorn, 1e-6, 1.0), // rejects nothing
+            pred(ObjectKind::Fence, 1e-2, 0.3),
+        ]);
+        assert_eq!(ordered[0].kind, ObjectKind::Fence);
+        assert!(ordered[1].rank().is_infinite());
+    }
+
+    #[test]
+    fn short_circuit_cost_accounts_for_survival() {
+        let a = pred(ObjectKind::Acorn, 1e-3, 0.25);
+        let b = pred(ObjectKind::Fence, 4e-3, 0.5);
+        let cost = expected_conjunction_cost_s(&[a, b]);
+        // 1e-3 on every item + 4e-3 on the surviving quarter.
+        assert!((cost - (1e-3 + 0.25 * 4e-3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_plan_is_free() {
+        assert_eq!(expected_conjunction_cost_s(&[]), 0.0);
+    }
+}

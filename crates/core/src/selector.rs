@@ -1,0 +1,199 @@
+//! Cascade selection against user constraints (paper §V-A).
+//!
+//! "A TAHOMA user provides their constraints on accuracy (U_acc) and
+//! throughput (U_thru) at query time (in the form of the highest tolerable
+//! loss in either of those parameters)." The selector picks from the
+//! Pareto-optimal set: maximize throughput subject to the accuracy floor, or
+//! (for baseline comparisons) the optimal cascade whose accuracy is closest
+//! to but not below a reference accuracy.
+
+use crate::error::CoreError;
+use crate::pareto::ParetoPoint;
+
+/// User tolerances, as fractions of the best available value.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Constraints {
+    /// Highest tolerable relative accuracy loss vs. the most accurate
+    /// Pareto-optimal cascade (e.g. 0.05 = accept 5% worse accuracy).
+    pub max_accuracy_loss: Option<f64>,
+    /// Highest tolerable relative throughput loss vs. the fastest
+    /// Pareto-optimal cascade.
+    pub max_throughput_loss: Option<f64>,
+}
+
+/// Select the best cascade under the constraints: the highest-throughput
+/// frontier point whose accuracy and throughput both clear their floors.
+///
+/// With no constraints at all, selects the most *accurate* frontier point
+/// (the conservative default).
+pub fn select_with_constraints(
+    frontier: &[ParetoPoint],
+    constraints: Constraints,
+) -> Result<ParetoPoint, CoreError> {
+    if frontier.is_empty() {
+        return Err(CoreError::EmptySet("Pareto frontier"));
+    }
+    let best_acc = frontier.iter().map(|p| p.accuracy).fold(0.0, f64::max);
+    let best_thr = frontier.iter().map(|p| p.throughput).fold(0.0, f64::max);
+    let acc_floor = constraints
+        .max_accuracy_loss
+        .map(|l| best_acc * (1.0 - l));
+    let thr_floor = constraints
+        .max_throughput_loss
+        .map(|l| best_thr * (1.0 - l));
+    match (acc_floor, thr_floor) {
+        (None, None) => {
+            // Most accurate point.
+            frontier
+                .iter()
+                .copied()
+                .max_by(|a, b| a.accuracy.partial_cmp(&b.accuracy).expect("not NaN"))
+                .ok_or(CoreError::EmptySet("Pareto frontier"))
+        }
+        _ => frontier
+            .iter()
+            .filter(|p| acc_floor.is_none_or(|f| p.accuracy >= f - 1e-12))
+            .filter(|p| thr_floor.is_none_or(|f| p.throughput >= f - 1e-12))
+            .copied()
+            .max_by(|a, b| {
+                a.throughput
+                    .partial_cmp(&b.throughput)
+                    .expect("not NaN")
+                    .then(a.accuracy.partial_cmp(&b.accuracy).expect("not NaN"))
+            })
+            .ok_or(CoreError::NoFeasibleCascade),
+    }
+}
+
+/// The paper's baseline-matching rule (§VII-A): "choose the optimal cascade
+/// whose accuracy is both higher and closest to the accuracy of the single
+/// classifier". Falls back to the most accurate point when nothing clears
+/// the reference.
+pub fn select_matching_accuracy(
+    frontier: &[ParetoPoint],
+    reference_accuracy: f64,
+) -> Result<ParetoPoint, CoreError> {
+    if frontier.is_empty() {
+        return Err(CoreError::EmptySet("Pareto frontier"));
+    }
+    frontier
+        .iter()
+        .filter(|p| p.accuracy >= reference_accuracy)
+        .copied()
+        .min_by(|a, b| a.accuracy.partial_cmp(&b.accuracy).expect("not NaN"))
+        .or_else(|| {
+            frontier
+                .iter()
+                .copied()
+                .max_by(|a, b| a.accuracy.partial_cmp(&b.accuracy).expect("not NaN"))
+        })
+        .ok_or(CoreError::EmptySet("Pareto frontier"))
+}
+
+/// The fastest frontier point (the paper's "if speed is the priority" row,
+/// Fig. 7).
+pub fn select_fastest(frontier: &[ParetoPoint]) -> Result<ParetoPoint, CoreError> {
+    frontier
+        .iter()
+        .copied()
+        .max_by(|a, b| a.throughput.partial_cmp(&b.throughput).expect("not NaN"))
+        .ok_or(CoreError::EmptySet("Pareto frontier"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frontier() -> Vec<ParetoPoint> {
+        // throughput desc, accuracy asc — a valid frontier shape.
+        vec![
+            ParetoPoint { idx: 0, accuracy: 0.70, throughput: 5000.0 },
+            ParetoPoint { idx: 1, accuracy: 0.85, throughput: 800.0 },
+            ParetoPoint { idx: 2, accuracy: 0.92, throughput: 120.0 },
+            ParetoPoint { idx: 3, accuracy: 0.96, throughput: 40.0 },
+        ]
+    }
+
+    #[test]
+    fn no_constraints_picks_most_accurate() {
+        let p = select_with_constraints(&frontier(), Constraints::default()).unwrap();
+        assert_eq!(p.idx, 3);
+    }
+
+    #[test]
+    fn accuracy_loss_budget_buys_throughput() {
+        // 5% loss from 0.96 → floor 0.912: eligible {2, 3}; fastest is 2.
+        let p = select_with_constraints(
+            &frontier(),
+            Constraints { max_accuracy_loss: Some(0.05), max_throughput_loss: None },
+        )
+        .unwrap();
+        assert_eq!(p.idx, 2);
+        // 12% loss → floor 0.845: point 1 becomes eligible.
+        let p = select_with_constraints(
+            &frontier(),
+            Constraints { max_accuracy_loss: Some(0.12), max_throughput_loss: None },
+        )
+        .unwrap();
+        assert_eq!(p.idx, 1);
+    }
+
+    #[test]
+    fn zero_loss_means_most_accurate() {
+        let p = select_with_constraints(
+            &frontier(),
+            Constraints { max_accuracy_loss: Some(0.0), max_throughput_loss: None },
+        )
+        .unwrap();
+        assert_eq!(p.idx, 3);
+    }
+
+    #[test]
+    fn throughput_constraint_filters() {
+        // Keep within 90% of best throughput (5000) → only point 0.
+        let p = select_with_constraints(
+            &frontier(),
+            Constraints { max_accuracy_loss: None, max_throughput_loss: Some(0.10) },
+        )
+        .unwrap();
+        assert_eq!(p.idx, 0);
+    }
+
+    #[test]
+    fn conflicting_constraints_are_infeasible() {
+        let r = select_with_constraints(
+            &frontier(),
+            Constraints {
+                max_accuracy_loss: Some(0.0),
+                max_throughput_loss: Some(0.0),
+            },
+        );
+        assert_eq!(r.unwrap_err(), CoreError::NoFeasibleCascade);
+    }
+
+    #[test]
+    fn matching_accuracy_picks_closest_above() {
+        let p = select_matching_accuracy(&frontier(), 0.84).unwrap();
+        assert_eq!(p.idx, 1, "0.85 is the closest accuracy >= 0.84");
+        let p = select_matching_accuracy(&frontier(), 0.93).unwrap();
+        assert_eq!(p.idx, 3);
+    }
+
+    #[test]
+    fn matching_accuracy_falls_back_to_best() {
+        let p = select_matching_accuracy(&frontier(), 0.99).unwrap();
+        assert_eq!(p.idx, 3, "nothing clears 0.99; fall back to most accurate");
+    }
+
+    #[test]
+    fn fastest() {
+        assert_eq!(select_fastest(&frontier()).unwrap().idx, 0);
+    }
+
+    #[test]
+    fn empty_frontier_errors() {
+        assert!(select_with_constraints(&[], Constraints::default()).is_err());
+        assert!(select_matching_accuracy(&[], 0.5).is_err());
+        assert!(select_fastest(&[]).is_err());
+    }
+}

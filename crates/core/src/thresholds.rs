@@ -1,0 +1,390 @@
+//! Decision-threshold calibration (paper §V-C).
+//!
+//! Each model gets a pair `(p_low, p_high)`: outputs `<= p_low` are accepted
+//! as negative, `>= p_high` as positive, and anything between is *uncertain*
+//! and falls through to the next cascade level. Thresholds are chosen per
+//! model on the config split so that the precision of the accepted decisions
+//! meets a target while recall (the fraction of items decided) is maximized.
+//! Crucially they are calibrated independently of any cascade, so the same
+//! calibration serves every cascade a model appears in (§V-D).
+
+use tahoma_zoo::ModelRepository;
+
+/// The five precision settings used in the paper's experiments (§VII-A).
+pub const PAPER_PRECISION_SETTINGS: [f64; 5] = [0.91, 0.93, 0.95, 0.97, 0.99];
+
+/// A model's calibrated decision thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecisionThresholds {
+    /// Scores `<= p_low` are accepted as negative.
+    pub p_low: f32,
+    /// Scores `>= p_high` are accepted as positive.
+    pub p_high: f32,
+}
+
+impl DecisionThresholds {
+    /// Thresholds that never accept (everything is uncertain).
+    pub fn never_decide() -> DecisionThresholds {
+        DecisionThresholds {
+            p_low: -1.0,
+            p_high: 2.0,
+        }
+    }
+
+    /// Classify one score: `Some(label)` when decided, `None` when
+    /// uncertain.
+    #[inline]
+    pub fn decide(&self, score: f32) -> Option<bool> {
+        if score <= self.p_low {
+            Some(false)
+        } else if score >= self.p_high {
+            Some(true)
+        } else {
+            None
+        }
+    }
+
+    /// Fraction of scores that are decided (non-uncertain).
+    pub fn decided_fraction(&self, scores: &[f32]) -> f64 {
+        if scores.is_empty() {
+            return 0.0;
+        }
+        let n = scores.iter().filter(|&&s| self.decide(s).is_some()).count();
+        n as f64 / scores.len() as f64
+    }
+}
+
+/// Calibrate thresholds for one model's config-split scores.
+///
+/// Positive side: the smallest `p_high` such that precision of
+/// `{score >= p_high}` is at least `target_precision` — smallest because
+/// that maximizes positive recall. Negative side symmetrically with negative
+/// predictive value. An unattainable side never decides.
+///
+/// Panics if `scores` and `labels` lengths differ.
+pub fn calibrate(scores: &[f32], labels: &[bool], target_precision: f64) -> DecisionThresholds {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    if scores.is_empty() {
+        return DecisionThresholds::never_decide();
+    }
+
+    // Sort (score, label) pairs descending once; the positive-side sweep is
+    // a prefix walk, the negative side a suffix walk of the same order.
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .expect("scores are not NaN")
+    });
+
+    // Positive side: walk descending; realizable cuts are at positions where
+    // the next score is strictly smaller.
+    let mut p_high = 2.0f32;
+    {
+        let mut tp = 0usize;
+        let mut best: Option<f32> = None;
+        for (rank, &i) in order.iter().enumerate() {
+            if labels[i] {
+                tp += 1;
+            }
+            let next_differs = rank + 1 == order.len()
+                || scores[order[rank + 1]] < scores[i];
+            if next_differs {
+                let precision = tp as f64 / (rank + 1) as f64;
+                if precision >= target_precision {
+                    best = Some(scores[i]); // larger prefix = higher recall
+                }
+            }
+        }
+        if let Some(t) = best {
+            p_high = t;
+        }
+    }
+
+    // Negative side: walk ascending. Candidate cuts stop strictly below
+    // `p_high` so the two acceptance regions never overlap — the positive
+    // side keeps priority and both sides keep their calibrated precision.
+    let mut p_low = -1.0f32;
+    {
+        let mut tn = 0usize;
+        let mut best: Option<f32> = None;
+        for (rank, &i) in order.iter().rev().enumerate() {
+            if scores[i] >= p_high {
+                break;
+            }
+            if !labels[i] {
+                tn += 1;
+            }
+            let pos_in_asc = rank; // 0-based from the smallest score
+            let next_differs = pos_in_asc + 1 == order.len()
+                || scores[order[order.len() - 2 - pos_in_asc]] > scores[i];
+            if next_differs {
+                let npv = tn as f64 / (pos_in_asc + 1) as f64;
+                if npv >= target_precision {
+                    best = Some(scores[i]);
+                }
+            }
+        }
+        if let Some(t) = best {
+            p_low = t;
+        }
+    }
+    debug_assert!(p_low < p_high);
+    DecisionThresholds { p_low, p_high }
+}
+
+/// Calibrated thresholds for every (model, precision setting) pair.
+#[derive(Debug, Clone)]
+pub struct ThresholdTable {
+    /// The precision settings, in index order.
+    pub settings: Vec<f64>,
+    /// `per_model[model_index][setting_index]`.
+    pub per_model: Vec<Vec<DecisionThresholds>>,
+}
+
+impl ThresholdTable {
+    /// Look up thresholds for a (model, setting) pair.
+    #[inline]
+    pub fn get(&self, model_index: usize, setting_index: usize) -> DecisionThresholds {
+        self.per_model[model_index][setting_index]
+    }
+
+    /// Number of settings.
+    pub fn n_settings(&self) -> usize {
+        self.settings.len()
+    }
+}
+
+/// Calibrate every model in a repository against its config split, for all
+/// requested precision settings.
+pub fn calibrate_all(repo: &ModelRepository, settings: &[f64]) -> ThresholdTable {
+    let labels = &repo.config.labels;
+    let per_model = repo
+        .entries
+        .iter()
+        .map(|e| {
+            settings
+                .iter()
+                .map(|&t| calibrate(&e.config_scores, labels, t))
+                .collect()
+        })
+        .collect();
+    ThresholdTable {
+        settings: settings.to_vec(),
+        per_model,
+    }
+}
+
+/// Measured precision of the positive decisions of `thr` on a labeled set.
+/// Returns `None` when no positive decisions are made.
+pub fn positive_precision(
+    thr: DecisionThresholds,
+    scores: &[f32],
+    labels: &[bool],
+) -> Option<f64> {
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    for (&s, &l) in scores.iter().zip(labels) {
+        if thr.decide(s) == Some(true) {
+            if l {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+        }
+    }
+    if tp + fp == 0 {
+        None
+    } else {
+        Some(tp as f64 / (tp + fp) as f64)
+    }
+}
+
+/// Measured negative predictive value of the negative decisions.
+/// Returns `None` when no negative decisions are made.
+pub fn negative_precision(
+    thr: DecisionThresholds,
+    scores: &[f32],
+    labels: &[bool],
+) -> Option<f64> {
+    let mut tn = 0usize;
+    let mut fneg = 0usize;
+    for (&s, &l) in scores.iter().zip(labels) {
+        if thr.decide(s) == Some(false) {
+            if l {
+                fneg += 1;
+            } else {
+                tn += 1;
+            }
+        }
+    }
+    if tn + fneg == 0 {
+        None
+    } else {
+        Some(tn as f64 / (tn + fneg) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decide_regions() {
+        let t = DecisionThresholds { p_low: 0.2, p_high: 0.8 };
+        assert_eq!(t.decide(0.1), Some(false));
+        assert_eq!(t.decide(0.2), Some(false));
+        assert_eq!(t.decide(0.5), None);
+        assert_eq!(t.decide(0.8), Some(true));
+        assert_eq!(t.decide(0.95), Some(true));
+    }
+
+    #[test]
+    fn perfectly_separable_scores_decide_everything() {
+        let scores = [0.05, 0.1, 0.15, 0.85, 0.9, 0.95];
+        let labels = [false, false, false, true, true, true];
+        let t = calibrate(&scores, &labels, 0.95);
+        // All positives and negatives can be accepted at full precision.
+        assert_eq!(t.decided_fraction(&scores), 1.0);
+        for (&s, &l) in scores.iter().zip(&labels) {
+            assert_eq!(t.decide(s), Some(l));
+        }
+    }
+
+    #[test]
+    fn noisy_overlap_leaves_uncertain_region() {
+        // Scores interleave in the middle; only the extremes are clean.
+        let scores = [0.02, 0.30, 0.45, 0.55, 0.40, 0.60, 0.70, 0.98,
+                      0.05, 0.35, 0.50, 0.65, 0.44, 0.58, 0.72, 0.95];
+        let labels = [false, false, false, true, true, false, true, true,
+                      false, false, true, true, false, true, false, true];
+        let t = calibrate(&scores, &labels, 0.99);
+        let decided = t.decided_fraction(&scores);
+        assert!(decided < 1.0, "expected an uncertain region, decided {decided}");
+        assert!(decided > 0.0, "thresholds should decide the clean extremes");
+        // Accepted decisions must meet the precision target on the
+        // calibration data itself.
+        if let Some(p) = positive_precision(t, &scores, &labels) {
+            assert!(p >= 0.99, "positive precision {p}");
+        }
+        if let Some(p) = negative_precision(t, &scores, &labels) {
+            assert!(p >= 0.99, "negative precision {p}");
+        }
+    }
+
+    #[test]
+    fn higher_targets_decide_no_more() {
+        let mut rng = tahoma_mathx::DetRng::new(5);
+        let n = 400;
+        let mut scores = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let label = i % 2 == 0;
+            let mu = if label { 0.7 } else { 0.3 };
+            scores.push((mu + 0.18 * rng.standard_normal()).clamp(0.0, 1.0) as f32);
+            labels.push(label);
+        }
+        let mut last = f64::INFINITY;
+        for &target in &PAPER_PRECISION_SETTINGS {
+            let t = calibrate(&scores, &labels, target);
+            let frac = t.decided_fraction(&scores);
+            assert!(
+                frac <= last + 1e-9,
+                "decided fraction should not grow with target: {frac} after {last}"
+            );
+            last = frac;
+        }
+    }
+
+    #[test]
+    fn unattainable_target_never_decides() {
+        // Labels are random w.r.t. scores; precision 0.99 is unattainable
+        // on the negative side and positive side alike (n large enough that
+        // no realizable prefix is pure).
+        let scores: Vec<f32> = (0..100).map(|i| i as f32 / 100.0).collect();
+        let labels: Vec<bool> = (0..100).map(|i| (i * 7) % 3 == 0).collect();
+        let t = calibrate(&scores, &labels, 0.999);
+        // Whatever was decided meets the bar; here nothing can, except
+        // possibly single extreme points which the tie rules allow.
+        let frac = t.decided_fraction(&scores);
+        assert!(frac < 0.10, "decided {frac} under an unattainable target");
+    }
+
+    #[test]
+    fn empty_input_never_decides() {
+        let t = calibrate(&[], &[], 0.95);
+        assert_eq!(t.decide(0.5), None);
+    }
+
+    #[test]
+    fn tied_scores_cut_at_boundaries_only() {
+        // Five identical scores, mixed labels: the only realizable cuts are
+        // all-or-nothing, so precision 0.9 is unattainable on the positive
+        // side (3/5 = 0.6).
+        let scores = [0.5, 0.5, 0.5, 0.5, 0.5];
+        let labels = [true, true, true, false, false];
+        let t = calibrate(&scores, &labels, 0.9);
+        assert_eq!(t.decide(0.5), None);
+    }
+
+    #[test]
+    fn calibrate_all_covers_every_model_and_setting() {
+        use tahoma_costmodel::DeviceProfile;
+        use tahoma_zoo::repository::{build_surrogate_repository, SurrogateBuildConfig};
+        use tahoma_zoo::PredicateSpec;
+        let repo = build_surrogate_repository(
+            PredicateSpec::for_kind(tahoma_imagery::ObjectKind::Fence),
+            &SurrogateBuildConfig {
+                n_config: 150,
+                n_eval: 100,
+                seed: 3,
+                ..Default::default()
+            },
+            &DeviceProfile::k80(),
+        );
+        let table = calibrate_all(&repo, &PAPER_PRECISION_SETTINGS);
+        assert_eq!(table.per_model.len(), repo.len());
+        assert_eq!(table.n_settings(), 5);
+        // Every calibrated threshold meets its target on the config split.
+        for (mi, entry) in repo.entries.iter().enumerate() {
+            for (si, &target) in table.settings.iter().enumerate() {
+                let t = table.get(mi, si);
+                assert!(t.p_low <= t.p_high);
+                if let Some(p) =
+                    positive_precision(t, &entry.config_scores, &repo.config.labels)
+                {
+                    assert!(
+                        p >= target - 1e-9,
+                        "model {mi} setting {si}: precision {p} < {target}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stronger_models_decide_more_at_fixed_precision() {
+        use tahoma_costmodel::DeviceProfile;
+        use tahoma_zoo::repository::{build_surrogate_repository, SurrogateBuildConfig};
+        use tahoma_zoo::PredicateSpec;
+        let repo = build_surrogate_repository(
+            PredicateSpec::for_kind(tahoma_imagery::ObjectKind::Komondor),
+            &SurrogateBuildConfig {
+                n_config: 300,
+                n_eval: 100,
+                seed: 4,
+                ..Default::default()
+            },
+            &DeviceProfile::k80(),
+        );
+        let table = calibrate_all(&repo, &[0.95]);
+        // Weakest spec model (id 0: 1x16-d16 on 30px) vs resnet.
+        let weak = table.get(0, 0).decided_fraction(&repo.entries[0].config_scores);
+        let r = repo.resnet.unwrap().index();
+        let strong = table.get(r, 0).decided_fraction(&repo.entries[r].config_scores);
+        assert!(
+            strong > weak,
+            "resnet decided {strong} should exceed weakest model {weak}"
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Calibration constants anchoring the analytic cost model to the paper's
+//! measured numbers (see DESIGN.md §2.3).
+//!
+//! The paper reports, on an AWS p2.xlarge (NVIDIA Tesla K80):
+//! * fine-tuned ResNet50: ~75 fps average (§VII-B);
+//! * YOLOv2: 8.52 billion operations, ~67 fps (§I);
+//! * fastest specialized cascades: 20,926 fps average under INFER-ONLY
+//!   (§VII-B) — these are single 30x30 single-channel models;
+//! * ARCHIVE throughput ceiling ≈ 142 fps at 10% permissible accuracy loss
+//!   (Table III), implying full-image load+decode ≈ 7 ms.
+//!
+//! The constants below make the analytic profiles reproduce those anchors;
+//! the tests in this module pin them.
+
+/// Effective K80 FLOP throughput for our small-CNN workloads (FLOPs/s).
+/// Solved jointly with the ingest term from ResNet50's ~75 fps anchor
+/// (3.86 GFLOPs, 224x224x3 input).
+pub const K80_EFFECTIVE_FLOPS: f64 = 3.8e11;
+
+/// Fixed per-image inference overhead (kernel launch, scheduling), seconds.
+/// Solved from the ~21k fps ceiling of the smallest models (§VII-B).
+pub const K80_PER_IMAGE_OVERHEAD_S: f64 = 32e-6;
+
+/// Host-to-device input ingest bandwidth (bytes/s of f32 samples),
+/// per-image (unbatched staging, as the paper's Keras pipeline measures).
+/// This is what pins full-resolution shallow CNNs to the low hundreds of
+/// fps — the Baseline cluster visible in Fig. 5 — while 30x30 inputs fly.
+pub const K80_INGEST_BYTES_PER_SEC: f64 = 2.0e8;
+
+/// ResNet50 inference FLOPs for a 224x224x3 input (He et al. 2016).
+pub const RESNET50_FLOPS: u64 = 3_860_000_000;
+
+/// YOLOv2 inference FLOPs for a 416x416 input (paper §I).
+pub const YOLOV2_FLOPS: u64 = 8_520_000_000;
+
+/// YOLOv2 measured throughput anchor (fps) — the paper quotes ~67 fps; the
+/// reference model uses this measured value rather than the FLOPs model
+/// (YOLO's fused architecture beats the generic FLOPs fit).
+pub const YOLOV2_MEASURED_FPS: f64 = 67.0;
+
+/// SSD seek / request overhead, seconds.
+pub const SSD_SEEK_S: f64 = 50e-6;
+
+/// SSD streaming read rate, bytes per second.
+pub const SSD_BYTES_PER_SEC: f64 = 500e6;
+
+/// Average stored size of a full-resolution compressed frame in ARCHIVE
+/// (bytes). Matches our block codec's output on synthetic 224x224 scenes at
+/// quality 75 (~0.4 bytes/pixel over 150,528 samples).
+pub const ARCHIVE_FRAME_BYTES: usize = 60_000;
+
+/// Full-frame decode cost per sample, seconds (block codec / JPEG-class).
+/// Together with the load terms this yields the ~7 ms ARCHIVE fixed cost.
+pub const DECODE_S_PER_SAMPLE: f64 = 45e-9;
+
+/// Dequantization cost per sample when loading a stored raw representation
+/// in ONGOING, seconds.
+pub const DEQUANT_S_PER_SAMPLE: f64 = 2e-9;
+
+/// Per-transform-invocation overhead, seconds.
+pub const TRANSFORM_OP_OVERHEAD_S: f64 = 15e-6;
+
+/// Single-channel extraction cost per source pixel, seconds (plane copy).
+pub const EXTRACT_S_PER_PIXEL: f64 = 2.5e-9;
+
+/// Grayscale reduction cost per source pixel, seconds (3 reads + weighted
+/// sum per output pixel).
+pub const GRAY_S_PER_PIXEL: f64 = 8e-9;
+
+/// Resize read cost per input sample, seconds.
+pub const RESIZE_S_PER_IN_SAMPLE: f64 = 8e-9;
+
+/// Resize write cost per output sample, seconds.
+pub const RESIZE_S_PER_OUT_SAMPLE: f64 = 4e-9;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet_compute_time_matches_paper_anchor() {
+        let t = RESNET50_FLOPS as f64 / K80_EFFECTIVE_FLOPS
+            + K80_PER_IMAGE_OVERHEAD_S
+            + (224 * 224 * 3 * 4) as f64 / K80_INGEST_BYTES_PER_SEC;
+        let fps = 1.0 / t;
+        assert!((70.0..80.0).contains(&fps), "ResNet50 anchor: {fps:.1} fps");
+    }
+
+    #[test]
+    fn smallest_model_near_paper_ceiling() {
+        // 30x30 gray, 1 conv layer of 16 + dense 16 ≈ 0.39 MFLOPs.
+        let flops = 0.39e6;
+        // (900 f32 samples ingest + overhead dominate)
+        let t = flops / K80_EFFECTIVE_FLOPS
+            + K80_PER_IMAGE_OVERHEAD_S
+            + (900 * 4) as f64 / K80_INGEST_BYTES_PER_SEC;
+        let fps = 1.0 / t;
+        assert!(
+            (18_000.0..26_000.0).contains(&fps),
+            "smallest model anchor: {fps:.0} fps (paper: 20,926)"
+        );
+    }
+
+    #[test]
+    fn archive_fixed_cost_matches_table3_ceiling() {
+        let t = SSD_SEEK_S
+            + ARCHIVE_FRAME_BYTES as f64 / SSD_BYTES_PER_SEC
+            + (224 * 224 * 3) as f64 * DECODE_S_PER_SAMPLE;
+        let ceiling_fps = 1.0 / t;
+        assert!(
+            (130.0..160.0).contains(&ceiling_fps),
+            "ARCHIVE ceiling {ceiling_fps:.0} fps (Table III caps at ~142)"
+        );
+    }
+
+    #[test]
+    fn camera_transform_bounds_small_gray_rep() {
+        // 30x30 gray from 224x224 RGB: gray reduction + 1-plane resize.
+        let px = 224.0 * 224.0;
+        let t = TRANSFORM_OP_OVERHEAD_S
+            + GRAY_S_PER_PIXEL * px
+            + RESIZE_S_PER_IN_SAMPLE * px
+            + RESIZE_S_PER_OUT_SAMPLE * 900.0;
+        let fps = 1.0 / t;
+        assert!(
+            (1_000.0..1_600.0).contains(&fps),
+            "CAMERA small-rep transform ceiling {fps:.0} fps"
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Compute-device profiles: inference time from FLOPs and input size.
+
+use crate::calibration;
+
+/// A compute device on which classifier inference runs.
+///
+/// `t_infer = overhead + flops / flops_per_sec + input_bytes / ingest_rate`.
+/// The ingest term models host-to-device input transfer: it is what caps
+/// full-resolution inputs well below the small-input throughput ceiling even
+/// for shallow networks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceProfile {
+    /// Human-readable device name.
+    pub name: &'static str,
+    /// Effective arithmetic throughput, FLOPs per second.
+    pub flops_per_sec: f64,
+    /// Fixed per-image overhead in seconds (kernel launch, scheduling).
+    pub per_image_overhead_s: f64,
+    /// Input ingest bandwidth in bytes per second (f32 samples).
+    pub ingest_bytes_per_sec: f64,
+}
+
+impl DeviceProfile {
+    /// Tesla K80-class GPU calibrated to the paper's measured anchors.
+    pub fn k80() -> DeviceProfile {
+        DeviceProfile {
+            name: "tesla-k80",
+            flops_per_sec: calibration::K80_EFFECTIVE_FLOPS,
+            per_image_overhead_s: calibration::K80_PER_IMAGE_OVERHEAD_S,
+            ingest_bytes_per_sec: calibration::K80_INGEST_BYTES_PER_SEC,
+        }
+    }
+
+    /// A slower edge-class accelerator (1/8 the K80's arithmetic rate,
+    /// cheaper ingest since camera memory is local). Used by the
+    /// deployment-diversity examples.
+    pub fn edge_tpu() -> DeviceProfile {
+        DeviceProfile {
+            name: "edge-accelerator",
+            flops_per_sec: calibration::K80_EFFECTIVE_FLOPS / 8.0,
+            per_image_overhead_s: 20e-6,
+            ingest_bytes_per_sec: 4e9,
+        }
+    }
+
+    /// Inference seconds for a model of the given FLOPs and input values.
+    pub fn infer_time(&self, flops: u64, input_values: usize) -> f64 {
+        self.per_image_overhead_s
+            + flops as f64 / self.flops_per_sec
+            + (input_values * 4) as f64 / self.ingest_bytes_per_sec
+    }
+
+    /// Convenience: throughput in frames/second for one model in isolation.
+    pub fn infer_fps(&self, flops: u64, input_values: usize) -> f64 {
+        1.0 / self.infer_time(flops, input_values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet_anchor() {
+        let dev = DeviceProfile::k80();
+        let fps = dev.infer_fps(calibration::RESNET50_FLOPS, 224 * 224 * 3);
+        assert!((70.0..80.0).contains(&fps), "{fps}");
+    }
+
+    #[test]
+    fn more_flops_is_slower() {
+        let dev = DeviceProfile::k80();
+        assert!(dev.infer_time(1_000_000, 900) < dev.infer_time(100_000_000, 900));
+    }
+
+    #[test]
+    fn bigger_inputs_are_slower() {
+        let dev = DeviceProfile::k80();
+        assert!(dev.infer_time(1_000_000, 900) < dev.infer_time(1_000_000, 150_528));
+    }
+
+    #[test]
+    fn overhead_bounds_throughput() {
+        let dev = DeviceProfile::k80();
+        let fps = dev.infer_fps(0, 0);
+        assert!(fps <= 1.0 / dev.per_image_overhead_s + 1.0);
+    }
+
+    #[test]
+    fn edge_device_slower_than_k80_on_compute() {
+        let k80 = DeviceProfile::k80();
+        let edge = DeviceProfile::edge_tpu();
+        let flops = 100_000_000u64;
+        assert!(edge.infer_time(flops, 2700) > k80.infer_time(flops, 2700));
+    }
+}

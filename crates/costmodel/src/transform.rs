@@ -1,0 +1,121 @@
+//! Cost of materializing a physical representation from the full frame.
+//!
+//! Mirrors the actual pipeline in `tahoma_imagery::repr::Representation::
+//! apply`: color reduction runs over the full-resolution frame, then the
+//! (cheaper) resize touches only the surviving channels. The asymmetry is
+//! deliberate and observable in the experiments: a 30x30 *red* input is
+//! cheaper to produce than a 30x30 *gray* input because channel extraction
+//! is a plane copy while grayscale is a weighted sum of three planes.
+
+use crate::calibration;
+use tahoma_imagery::{ColorMode, Representation};
+
+/// Analytic cost model for the transform stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransformCostModel {
+    /// Fixed overhead per transform invocation, seconds.
+    pub op_overhead_s: f64,
+    /// Per-source-pixel cost of single-channel extraction.
+    pub extract_s_per_pixel: f64,
+    /// Per-source-pixel cost of grayscale reduction.
+    pub gray_s_per_pixel: f64,
+    /// Per-input-sample cost of the resize read path.
+    pub resize_s_per_in_sample: f64,
+    /// Per-output-sample cost of the resize write path.
+    pub resize_s_per_out_sample: f64,
+    /// Side length of the full-resolution source frame.
+    pub source_size: usize,
+}
+
+impl Default for TransformCostModel {
+    fn default() -> Self {
+        TransformCostModel {
+            op_overhead_s: calibration::TRANSFORM_OP_OVERHEAD_S,
+            extract_s_per_pixel: calibration::EXTRACT_S_PER_PIXEL,
+            gray_s_per_pixel: calibration::GRAY_S_PER_PIXEL,
+            resize_s_per_in_sample: calibration::RESIZE_S_PER_IN_SAMPLE,
+            resize_s_per_out_sample: calibration::RESIZE_S_PER_OUT_SAMPLE,
+            source_size: tahoma_imagery::repr::FULL_SIZE,
+        }
+    }
+}
+
+impl TransformCostModel {
+    /// Seconds to produce `rep` from the in-memory full-resolution frame.
+    /// The identity representation costs nothing (the frame is already in
+    /// the right form).
+    pub fn transform_time(&self, rep: Representation) -> f64 {
+        if rep.is_identity() && rep.size == self.source_size {
+            return 0.0;
+        }
+        let src_px = (self.source_size * self.source_size) as f64;
+        let mut t = self.op_overhead_s;
+        // Stage 1: color reduction over the full-resolution frame.
+        match rep.mode {
+            ColorMode::Rgb => {}
+            ColorMode::Gray => t += self.gray_s_per_pixel * src_px,
+            ColorMode::Red | ColorMode::Green | ColorMode::Blue => {
+                t += self.extract_s_per_pixel * src_px
+            }
+        }
+        // Stage 2: resize over surviving channels.
+        if rep.size != self.source_size {
+            let ch = rep.mode.channels() as f64;
+            let out = (rep.size * rep.size) as f64;
+            t += self.resize_s_per_in_sample * src_px * ch
+                + self.resize_s_per_out_sample * out * ch;
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> TransformCostModel {
+        TransformCostModel::default()
+    }
+
+    #[test]
+    fn identity_is_free() {
+        assert_eq!(m().transform_time(Representation::full()), 0.0);
+    }
+
+    #[test]
+    fn extraction_cheaper_than_gray() {
+        let red = m().transform_time(Representation::new(30, ColorMode::Red));
+        let gray = m().transform_time(Representation::new(30, ColorMode::Gray));
+        assert!(red < gray, "red {red} !< gray {gray}");
+    }
+
+    #[test]
+    fn rgb_resize_touches_three_planes() {
+        let rgb = m().transform_time(Representation::new(30, ColorMode::Rgb));
+        let red = m().transform_time(Representation::new(30, ColorMode::Red));
+        // RGB resize reads 3x the samples but skips the extraction pass.
+        assert!(rgb > red, "rgb {rgb} !> red {red}");
+    }
+
+    #[test]
+    fn smaller_targets_slightly_cheaper() {
+        let s30 = m().transform_time(Representation::new(30, ColorMode::Gray));
+        let s120 = m().transform_time(Representation::new(120, ColorMode::Gray));
+        assert!(s30 < s120);
+    }
+
+    #[test]
+    fn full_size_color_change_skips_resize() {
+        let t224_gray = m().transform_time(Representation::new(224, ColorMode::Gray));
+        let expected = m().op_overhead_s + m().gray_s_per_pixel * (224.0 * 224.0);
+        assert!((t224_gray - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_paper_representations_have_finite_positive_or_zero_cost() {
+        for rep in Representation::paper_set() {
+            let t = m().transform_time(rep);
+            assert!(t.is_finite() && t >= 0.0, "{rep}: {t}");
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Error type for the image substrate.
+
+use std::fmt;
+
+/// Errors produced by image construction, transformation and codecs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImageryError {
+    /// Requested dimensions are zero or would overflow the buffer size.
+    InvalidDimensions { width: usize, height: usize },
+    /// Pixel buffer length does not match `width * height * channels`.
+    BufferSizeMismatch { expected: usize, actual: usize },
+    /// A color conversion that is not defined (e.g. grayscale -> red).
+    UnsupportedConversion { from: &'static str, to: &'static str },
+    /// Byte stream did not parse as the expected codec format.
+    Decode(String),
+    /// The operation needs a full-resolution RGB source image.
+    NotRgbSource,
+}
+
+impl fmt::Display for ImageryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageryError::InvalidDimensions { width, height } => {
+                write!(f, "invalid image dimensions {width}x{height}")
+            }
+            ImageryError::BufferSizeMismatch { expected, actual } => {
+                write!(f, "pixel buffer size mismatch: expected {expected}, got {actual}")
+            }
+            ImageryError::UnsupportedConversion { from, to } => {
+                write!(f, "unsupported color conversion: {from} -> {to}")
+            }
+            ImageryError::Decode(msg) => write!(f, "decode error: {msg}"),
+            ImageryError::NotRgbSource => {
+                write!(f, "operation requires a full-resolution RGB source image")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ImageryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ImageryError::InvalidDimensions { width: 0, height: 5 };
+        assert!(e.to_string().contains("0x5"));
+        let e = ImageryError::BufferSizeMismatch { expected: 12, actual: 3 };
+        assert!(e.to_string().contains("12"));
+        let e = ImageryError::Decode("bad magic".into());
+        assert!(e.to_string().contains("bad magic"));
+    }
+}

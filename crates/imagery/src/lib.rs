@@ -1,0 +1,40 @@
+//! Image substrate for the TAHOMA reproduction.
+//!
+//! TAHOMA's central idea is that the *physical representation* of a
+//! classifier's input — its resolution and color depth — is part of the query
+//! plan. This crate supplies everything the optimizer manipulates at the data
+//! layer:
+//!
+//! * [`image::Image`] — planar `f32` rasters with [`color::ColorMode`]s
+//!   (full RGB, single R/G/B channels, grayscale);
+//! * [`transform`] — the input transformation functions **F** from §V-B of
+//!   the paper: resolution scaling, channel extraction, grayscale reduction,
+//!   plus flip augmentation and normalization;
+//! * [`repr::Representation`] — a (size, color-mode) pair, the unit the cost
+//!   model and cascade evaluator reason about;
+//! * [`codec`] — on-disk encodings (raw planar, PPM, lossy block codec) so
+//!   that load/decode costs in the ARCHIVE and ONGOING deployment scenarios
+//!   are grounded in real byte counts and real decode work;
+//! * [`synth`] — the synthetic planted-object corpus that substitutes for
+//!   ImageNet categories (see DESIGN.md §2), and
+//! * [`dataset`] — labeled datasets with the paper's train/config/eval split
+//!   protocol and left-right flip augmentation.
+
+pub mod codec;
+pub mod color;
+pub mod dataset;
+pub mod error;
+pub mod image;
+pub mod repr;
+pub mod store;
+pub mod synth;
+pub mod transform;
+
+pub use codec::{BlockCodec, Codec, PpmCodec, RawCodec};
+pub use color::ColorMode;
+pub use dataset::{Dataset, DatasetBundle, DatasetSpec, LabeledImage};
+pub use error::ImageryError;
+pub use image::Image;
+pub use repr::Representation;
+pub use store::RepresentationStore;
+pub use synth::{ObjectKind, SceneParams, SceneRenderer};

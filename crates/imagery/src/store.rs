@@ -1,0 +1,163 @@
+//! Representation store: the ONGOING scenario's ingest-time materialization
+//! (paper §III: "video is continually ingested [...] transformed into
+//! appropriate representations that are stored on SSD for later queries").
+//!
+//! On ingest, the store materializes a configured set of representations
+//! per frame with the raw codec (one byte per sample, the layout the cost
+//! model prices). At query time a model fetches exactly its
+//! representation's bytes — no full-frame load, no transform. The store
+//! tracks byte totals so storage-amplification tradeoffs (how many
+//! representations is it worth pre-computing?) are measurable.
+
+use crate::codec::{Codec, RawCodec};
+use crate::error::ImageryError;
+use crate::image::Image;
+use crate::repr::Representation;
+use bytes::Bytes;
+use std::collections::HashMap;
+
+/// In-memory stand-in for the SSD-backed representation store.
+#[derive(Debug, Default)]
+pub struct RepresentationStore {
+    reps: Vec<Representation>,
+    blobs: HashMap<(u64, Representation), Bytes>,
+    total_bytes: usize,
+    ingested: u64,
+}
+
+impl RepresentationStore {
+    /// Create a store that materializes the given representations on
+    /// ingest. Panics on an empty set.
+    pub fn new(reps: Vec<Representation>) -> RepresentationStore {
+        assert!(!reps.is_empty(), "store needs at least one representation");
+        RepresentationStore {
+            reps,
+            blobs: HashMap::new(),
+            total_bytes: 0,
+            ingested: 0,
+        }
+    }
+
+    /// The representations materialized per frame.
+    pub fn representations(&self) -> &[Representation] {
+        &self.reps
+    }
+
+    /// Ingest one full-resolution RGB frame: produce and encode every
+    /// configured representation.
+    pub fn ingest(&mut self, id: u64, full: &Image) -> Result<(), ImageryError> {
+        for &rep in &self.reps.clone() {
+            let materialized = rep.apply(full)?;
+            let bytes = RawCodec.encode(&materialized);
+            self.total_bytes += bytes.len();
+            self.blobs.insert((id, rep), bytes);
+        }
+        self.ingested += 1;
+        Ok(())
+    }
+
+    /// Fetch one stored representation, decoding it to pixels.
+    /// `None` when the frame or representation was never ingested.
+    pub fn fetch(&self, id: u64, rep: Representation) -> Option<Result<Image, ImageryError>> {
+        self.blobs.get(&(id, rep)).map(|b| RawCodec.decode(b))
+    }
+
+    /// Raw stored bytes for one representation (what the ONGOING load cost
+    /// is proportional to).
+    pub fn stored_bytes(&self, id: u64, rep: Representation) -> Option<usize> {
+        self.blobs.get(&(id, rep)).map(|b| b.len())
+    }
+
+    /// Total bytes across all frames and representations.
+    pub fn total_bytes(&self) -> usize {
+        self.total_bytes
+    }
+
+    /// Frames ingested.
+    pub fn frames(&self) -> u64 {
+        self.ingested
+    }
+
+    /// Storage amplification vs keeping only the compressed full frame of
+    /// `full_frame_bytes` (e.g. the ARCHIVE layout's ~60 KB).
+    pub fn amplification_vs(&self, full_frame_bytes: usize) -> f64 {
+        if self.ingested == 0 || full_frame_bytes == 0 {
+            return 0.0;
+        }
+        (self.total_bytes as f64 / self.ingested as f64) / full_frame_bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::ColorMode;
+
+    fn frame(seed: u64) -> Image {
+        Image::from_fn(224, 224, ColorMode::Rgb, |c, y, x| {
+            (((c as u64 * 31 + y as u64 * 7 + x as u64 * 3 + seed) % 11) as f32) / 11.0
+        })
+        .expect("valid dims")
+    }
+
+    fn small_reps() -> Vec<Representation> {
+        vec![
+            Representation::new(30, ColorMode::Gray),
+            Representation::new(60, ColorMode::Rgb),
+        ]
+    }
+
+    #[test]
+    fn ingest_then_fetch_roundtrips() {
+        let mut store = RepresentationStore::new(small_reps());
+        store.ingest(7, &frame(1)).unwrap();
+        let rep = Representation::new(30, ColorMode::Gray);
+        let img = store.fetch(7, rep).expect("stored").expect("decodes");
+        assert_eq!(img.width(), 30);
+        assert_eq!(img.mode(), ColorMode::Gray);
+        // Stored bytes equal header + one byte per sample.
+        assert_eq!(store.stored_bytes(7, rep), Some(13 + 900));
+    }
+
+    #[test]
+    fn missing_entries_are_none() {
+        let mut store = RepresentationStore::new(small_reps());
+        store.ingest(1, &frame(2)).unwrap();
+        assert!(store.fetch(2, small_reps()[0]).is_none());
+        assert!(store
+            .fetch(1, Representation::new(120, ColorMode::Red))
+            .is_none());
+    }
+
+    #[test]
+    fn byte_accounting_accumulates() {
+        let mut store = RepresentationStore::new(small_reps());
+        store.ingest(1, &frame(3)).unwrap();
+        let per_frame = store.total_bytes();
+        store.ingest(2, &frame(4)).unwrap();
+        assert_eq!(store.total_bytes(), per_frame * 2);
+        assert_eq!(store.frames(), 2);
+        // 30x30 gray (913 B) + 60x60 rgb (10,813 B)
+        assert_eq!(per_frame, (13 + 900) + (13 + 60 * 60 * 3));
+    }
+
+    #[test]
+    fn small_rep_store_is_cheaper_than_archive_frames() {
+        // The ONGOING bet: a handful of small representations costs less
+        // storage than even one compressed full frame.
+        let mut store = RepresentationStore::new(small_reps());
+        store.ingest(1, &frame(5)).unwrap();
+        let amp = store.amplification_vs(60_000);
+        assert!(amp < 0.5, "amplification {amp}");
+        // ...but materializing all 20 paper representations is not free.
+        let mut all = RepresentationStore::new(Representation::paper_set());
+        all.ingest(1, &frame(5)).unwrap();
+        assert!(all.amplification_vs(60_000) > amp * 5.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_rep_set_panics() {
+        RepresentationStore::new(vec![]);
+    }
+}

@@ -1,0 +1,46 @@
+//! Weight initialization schemes.
+
+use tahoma_mathx::DetRng;
+
+/// Glorot/Xavier uniform: U(-a, a) with `a = sqrt(6 / (fan_in + fan_out))`.
+/// The standard choice for sigmoid/linear outputs.
+pub fn xavier_uniform(rng: &mut DetRng, fan_in: usize, fan_out: usize, n: usize) -> Vec<f32> {
+    let a = (6.0 / (fan_in + fan_out).max(1) as f64).sqrt();
+    (0..n).map(|_| rng.uniform_in(-a, a) as f32).collect()
+}
+
+/// He normal: N(0, sqrt(2 / fan_in)) — the standard choice ahead of ReLU.
+pub fn he_normal(rng: &mut DetRng, fan_in: usize, n: usize) -> Vec<f32> {
+    let sd = (2.0 / fan_in.max(1) as f64).sqrt();
+    (0..n).map(|_| rng.normal(0.0, sd) as f32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = DetRng::new(1);
+        let a = (6.0f64 / 20.0).sqrt() as f32;
+        for v in xavier_uniform(&mut rng, 10, 10, 1000) {
+            assert!(v.abs() <= a);
+        }
+    }
+
+    #[test]
+    fn he_scale_tracks_fan_in() {
+        let mut rng = DetRng::new(2);
+        let w = he_normal(&mut rng, 200, 10_000);
+        let var = w.iter().map(|v| (*v as f64).powi(2)).sum::<f64>() / w.len() as f64;
+        let expected = 2.0 / 200.0;
+        assert!((var - expected).abs() < expected * 0.2, "var {var}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = he_normal(&mut DetRng::new(3), 16, 64);
+        let b = he_normal(&mut DetRng::new(3), 16, 64);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,687 @@
+//! Neural network layers with forward, backward and FLOP accounting.
+//!
+//! Layers are constructed against a fixed input [`Shape`] (the reproduction
+//! only ever trains fixed-size inputs, matching the paper's per-model input
+//! representations), cache what they need during `forward`, and accumulate
+//! parameter gradients during `backward`. FLOP counts follow the paper's
+//! convention of counting a multiply-accumulate as two operations (it quotes
+//! YOLOv2 at "8.52 billion operations").
+
+use crate::init::{he_normal, xavier_uniform};
+use crate::tensor::Shape;
+use tahoma_mathx::DetRng;
+
+/// A differentiable layer.
+pub trait Layer {
+    /// Human-readable layer kind.
+    fn name(&self) -> &'static str;
+    /// Downcasting hook used by the serializer.
+    fn as_any(&self) -> &dyn std::any::Any;
+    /// Output shape for this layer's fixed input shape.
+    fn output_shape(&self) -> Shape;
+    /// Run the layer forward, caching activations needed by `backward`.
+    fn forward(&mut self, input: &[f32]) -> Vec<f32>;
+    /// Propagate `grad_out` (dL/d output) to dL/d input, accumulating
+    /// parameter gradients. Must be called after `forward`.
+    fn backward(&mut self, grad_out: &[f32]) -> Vec<f32>;
+    /// Visit (parameters, gradients) slices for the optimizer.
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32]));
+    /// Reset accumulated gradients to zero.
+    fn zero_grads(&mut self);
+    /// Number of trainable parameters.
+    fn param_count(&self) -> usize;
+    /// FLOPs for one forward pass.
+    fn flops(&self) -> u64;
+}
+
+/// 2-D convolution, stride 1, "same" zero padding, odd square kernels.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    input: Shape,
+    out_c: usize,
+    k: usize,
+    weights: Vec<f32>, // [out_c][in_c][k][k]
+    bias: Vec<f32>,    // [out_c]
+    grad_w: Vec<f32>,
+    grad_b: Vec<f32>,
+    cache_input: Vec<f32>,
+}
+
+impl Conv2d {
+    /// Create a convolution layer with He-normal weights.
+    ///
+    /// Panics if `k` is even (same-padding needs odd kernels) or zero.
+    pub fn new(input: Shape, out_c: usize, k: usize, rng: &mut DetRng) -> Conv2d {
+        assert!(k % 2 == 1 && k > 0, "Conv2d requires odd kernel, got {k}");
+        assert!(out_c > 0, "Conv2d requires out_c > 0");
+        let fan_in = input.c * k * k;
+        let n_w = out_c * input.c * k * k;
+        Conv2d {
+            input,
+            out_c,
+            k,
+            weights: he_normal(rng, fan_in, n_w),
+            bias: vec![0.0; out_c],
+            grad_w: vec![0.0; n_w],
+            grad_b: vec![0.0; out_c],
+            cache_input: Vec::new(),
+        }
+    }
+
+    /// Construct from explicit weights (used by deserialization).
+    pub fn from_parts(
+        input: Shape,
+        out_c: usize,
+        k: usize,
+        weights: Vec<f32>,
+        bias: Vec<f32>,
+    ) -> Conv2d {
+        assert_eq!(weights.len(), out_c * input.c * k * k);
+        assert_eq!(bias.len(), out_c);
+        let n_w = weights.len();
+        Conv2d {
+            input,
+            out_c,
+            k,
+            weights,
+            bias,
+            grad_w: vec![0.0; n_w],
+            grad_b: vec![0.0; out_c],
+            cache_input: Vec::new(),
+        }
+    }
+
+    /// Layer geometry accessors for serialization.
+    pub fn geometry(&self) -> (Shape, usize, usize) {
+        (self.input, self.out_c, self.k)
+    }
+
+    /// Borrow weights and bias for serialization.
+    pub fn weights_bias(&self) -> (&[f32], &[f32]) {
+        (&self.weights, &self.bias)
+    }
+
+    #[inline]
+    fn w_idx(&self, o: usize, i: usize, ky: usize, kx: usize) -> usize {
+        ((o * self.input.c + i) * self.k + ky) * self.k + kx
+    }
+}
+
+impl Layer for Conv2d {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn output_shape(&self) -> Shape {
+        Shape::new(self.out_c, self.input.h, self.input.w)
+    }
+
+    fn forward(&mut self, input: &[f32]) -> Vec<f32> {
+        let (c_in, h, w) = (self.input.c, self.input.h, self.input.w);
+        debug_assert_eq!(input.len(), self.input.len());
+        self.cache_input.clear();
+        self.cache_input.extend_from_slice(input);
+        let pad = self.k / 2;
+        let mut out = vec![0.0f32; self.out_c * h * w];
+        for o in 0..self.out_c {
+            let out_plane = &mut out[o * h * w..(o + 1) * h * w];
+            out_plane.fill(self.bias[o]);
+            for i in 0..c_in {
+                let in_plane = &input[i * h * w..(i + 1) * h * w];
+                for ky in 0..self.k {
+                    for kx in 0..self.k {
+                        let wgt = self.weights[self.w_idx(o, i, ky, kx)];
+                        if wgt == 0.0 {
+                            continue;
+                        }
+                        // y + ky - pad must land in [0, h)
+                        let y_lo = pad.saturating_sub(ky);
+                        let y_hi = (h + pad - ky).min(h);
+                        for y in y_lo..y_hi {
+                            let sy = y + ky - pad;
+                            let x_lo = pad.saturating_sub(kx);
+                            let x_hi = (w + pad - kx).min(w);
+                            let src = &in_plane[sy * w + x_lo + kx - pad..sy * w + x_hi + kx - pad];
+                            let dst = &mut out_plane[y * w + x_lo..y * w + x_hi];
+                            for (d, s) in dst.iter_mut().zip(src) {
+                                *d += wgt * s;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &[f32]) -> Vec<f32> {
+        let (c_in, h, w) = (self.input.c, self.input.h, self.input.w);
+        debug_assert_eq!(grad_out.len(), self.out_c * h * w);
+        debug_assert_eq!(self.cache_input.len(), self.input.len());
+        let pad = self.k / 2;
+        let mut grad_in = vec![0.0f32; self.input.len()];
+        for o in 0..self.out_c {
+            let g_plane = &grad_out[o * h * w..(o + 1) * h * w];
+            self.grad_b[o] += g_plane.iter().sum::<f32>();
+            for i in 0..c_in {
+                let in_plane = &self.cache_input[i * h * w..(i + 1) * h * w];
+                let gi_plane_base = i * h * w;
+                for ky in 0..self.k {
+                    for kx in 0..self.k {
+                        let widx = self.w_idx(o, i, ky, kx);
+                        let wgt = self.weights[widx];
+                        let mut gw = 0.0f32;
+                        let y_lo = pad.saturating_sub(ky);
+                        let y_hi = (h + pad - ky).min(h);
+                        for y in y_lo..y_hi {
+                            let sy = y + ky - pad;
+                            let x_lo = pad.saturating_sub(kx);
+                            let x_hi = (w + pad - kx).min(w);
+                            let g_row = &g_plane[y * w + x_lo..y * w + x_hi];
+                            let in_row =
+                                &in_plane[sy * w + x_lo + kx - pad..sy * w + x_hi + kx - pad];
+                            for (g, s) in g_row.iter().zip(in_row) {
+                                gw += g * s;
+                            }
+                            let gi_row = &mut grad_in[gi_plane_base + sy * w + x_lo + kx - pad
+                                ..gi_plane_base + sy * w + x_hi + kx - pad];
+                            for (gi, g) in gi_row.iter_mut().zip(g_row) {
+                                *gi += wgt * g;
+                            }
+                        }
+                        self.grad_w[widx] += gw;
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        f(&mut self.weights, &mut self.grad_w);
+        f(&mut self.bias, &mut self.grad_b);
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_w.fill(0.0);
+        self.grad_b.fill(0.0);
+    }
+
+    fn param_count(&self) -> usize {
+        self.weights.len() + self.bias.len()
+    }
+
+    fn flops(&self) -> u64 {
+        // MACs * 2; same padding keeps spatial dims.
+        (self.out_c * self.input.c * self.k * self.k * self.input.h * self.input.w) as u64 * 2
+    }
+}
+
+/// 2x2 max pooling with stride 2 (floor semantics).
+#[derive(Debug, Clone)]
+pub struct MaxPool2 {
+    input: Shape,
+    argmax: Vec<usize>,
+}
+
+impl MaxPool2 {
+    /// Create a pool layer. Panics if the input is smaller than 2x2.
+    pub fn new(input: Shape) -> MaxPool2 {
+        assert!(
+            input.h >= 2 && input.w >= 2,
+            "MaxPool2 needs input >= 2x2, got {input}"
+        );
+        MaxPool2 {
+            input,
+            argmax: Vec::new(),
+        }
+    }
+
+    /// Input shape accessor for serialization.
+    pub fn input_shape(&self) -> Shape {
+        self.input
+    }
+}
+
+impl Layer for MaxPool2 {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn name(&self) -> &'static str {
+        "maxpool2"
+    }
+
+    fn output_shape(&self) -> Shape {
+        self.input.pooled2()
+    }
+
+    fn forward(&mut self, input: &[f32]) -> Vec<f32> {
+        let (c, h, w) = (self.input.c, self.input.h, self.input.w);
+        let (oh, ow) = (h / 2, w / 2);
+        let mut out = vec![0.0f32; c * oh * ow];
+        self.argmax.clear();
+        self.argmax.resize(out.len(), 0);
+        for ch in 0..c {
+            let plane = &input[ch * h * w..(ch + 1) * h * w];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_i = 0usize;
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            let idx = (oy * 2 + dy) * w + ox * 2 + dx;
+                            let v = plane[idx];
+                            if v > best {
+                                best = v;
+                                best_i = ch * h * w + idx;
+                            }
+                        }
+                    }
+                    let oidx = (ch * oh + oy) * ow + ox;
+                    out[oidx] = best;
+                    self.argmax[oidx] = best_i;
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &[f32]) -> Vec<f32> {
+        let mut grad_in = vec![0.0f32; self.input.len()];
+        for (oidx, &src) in self.argmax.iter().enumerate() {
+            grad_in[src] += grad_out[oidx];
+        }
+        grad_in
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
+
+    fn zero_grads(&mut self) {}
+
+    fn param_count(&self) -> usize {
+        0
+    }
+
+    fn flops(&self) -> u64 {
+        // 3 comparisons per output element.
+        (self.output_shape().len() * 3) as u64
+    }
+}
+
+/// Rectified linear activation.
+#[derive(Debug, Clone)]
+pub struct Relu {
+    shape: Shape,
+    mask: Vec<bool>,
+}
+
+impl Relu {
+    /// Create a ReLU over the given shape.
+    pub fn new(shape: Shape) -> Relu {
+        Relu {
+            shape,
+            mask: Vec::new(),
+        }
+    }
+}
+
+impl Layer for Relu {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+
+    fn output_shape(&self) -> Shape {
+        self.shape
+    }
+
+    fn forward(&mut self, input: &[f32]) -> Vec<f32> {
+        self.mask.clear();
+        self.mask.reserve(input.len());
+        let mut out = Vec::with_capacity(input.len());
+        for &v in input {
+            let keep = v > 0.0;
+            self.mask.push(keep);
+            out.push(if keep { v } else { 0.0 });
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &[f32]) -> Vec<f32> {
+        grad_out
+            .iter()
+            .zip(&self.mask)
+            .map(|(&g, &keep)| if keep { g } else { 0.0 })
+            .collect()
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
+
+    fn zero_grads(&mut self) {}
+
+    fn param_count(&self) -> usize {
+        0
+    }
+
+    fn flops(&self) -> u64 {
+        self.shape.len() as u64
+    }
+}
+
+/// Fully connected layer. Treats its input as flat.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    n_in: usize,
+    n_out: usize,
+    weights: Vec<f32>, // [n_out][n_in]
+    bias: Vec<f32>,
+    grad_w: Vec<f32>,
+    grad_b: Vec<f32>,
+    cache_input: Vec<f32>,
+}
+
+impl Dense {
+    /// Create a dense layer with Xavier-uniform weights.
+    pub fn new(n_in: usize, n_out: usize, rng: &mut DetRng) -> Dense {
+        assert!(n_in > 0 && n_out > 0, "Dense dims must be positive");
+        Dense {
+            n_in,
+            n_out,
+            weights: xavier_uniform(rng, n_in, n_out, n_in * n_out),
+            bias: vec![0.0; n_out],
+            grad_w: vec![0.0; n_in * n_out],
+            grad_b: vec![0.0; n_out],
+            cache_input: Vec::new(),
+        }
+    }
+
+    /// Construct from explicit weights (used by deserialization).
+    pub fn from_parts(n_in: usize, n_out: usize, weights: Vec<f32>, bias: Vec<f32>) -> Dense {
+        assert_eq!(weights.len(), n_in * n_out);
+        assert_eq!(bias.len(), n_out);
+        let n_w = weights.len();
+        Dense {
+            n_in,
+            n_out,
+            weights,
+            bias,
+            grad_w: vec![0.0; n_w],
+            grad_b: vec![0.0; n_out],
+            cache_input: Vec::new(),
+        }
+    }
+
+    /// (n_in, n_out) accessor for serialization.
+    pub fn geometry(&self) -> (usize, usize) {
+        (self.n_in, self.n_out)
+    }
+
+    /// Borrow weights and bias for serialization.
+    pub fn weights_bias(&self) -> (&[f32], &[f32]) {
+        (&self.weights, &self.bias)
+    }
+}
+
+impl Layer for Dense {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+
+    fn output_shape(&self) -> Shape {
+        Shape::flat(self.n_out)
+    }
+
+    fn forward(&mut self, input: &[f32]) -> Vec<f32> {
+        debug_assert_eq!(input.len(), self.n_in);
+        self.cache_input.clear();
+        self.cache_input.extend_from_slice(input);
+        let mut out = Vec::with_capacity(self.n_out);
+        for o in 0..self.n_out {
+            let row = &self.weights[o * self.n_in..(o + 1) * self.n_in];
+            let dot: f32 = row.iter().zip(input).map(|(w, x)| w * x).sum();
+            out.push(dot + self.bias[o]);
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &[f32]) -> Vec<f32> {
+        debug_assert_eq!(grad_out.len(), self.n_out);
+        let mut grad_in = vec![0.0f32; self.n_in];
+        for (o, &g) in grad_out.iter().enumerate() {
+            self.grad_b[o] += g;
+            let row = &self.weights[o * self.n_in..(o + 1) * self.n_in];
+            let grow = &mut self.grad_w[o * self.n_in..(o + 1) * self.n_in];
+            for i in 0..self.n_in {
+                grow[i] += g * self.cache_input[i];
+                grad_in[i] += g * row[i];
+            }
+        }
+        grad_in
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        f(&mut self.weights, &mut self.grad_w);
+        f(&mut self.bias, &mut self.grad_b);
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_w.fill(0.0);
+        self.grad_b.fill(0.0);
+    }
+
+    fn param_count(&self) -> usize {
+        self.weights.len() + self.bias.len()
+    }
+
+    fn flops(&self) -> u64 {
+        (self.n_in * self.n_out) as u64 * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff_check<L: Layer>(layer: &mut L, input: &[f32], eps: f32) {
+        // Loss = sum of outputs; analytic grad_in must match finite diff.
+        let out = layer.forward(input);
+        let grad_out = vec![1.0f32; out.len()];
+        let grad_in = layer.backward(&grad_out);
+        for i in 0..input.len() {
+            let mut plus = input.to_vec();
+            plus[i] += eps;
+            let mut minus = input.to_vec();
+            minus[i] -= eps;
+            let f_plus: f32 = layer.forward(&plus).iter().sum();
+            let f_minus: f32 = layer.forward(&minus).iter().sum();
+            let numeric = (f_plus - f_minus) / (2.0 * eps);
+            assert!(
+                (numeric - grad_in[i]).abs() < 2e-2,
+                "{} input grad mismatch at {i}: numeric {numeric} analytic {}",
+                layer.name(),
+                grad_in[i]
+            );
+        }
+    }
+
+    #[test]
+    fn conv_identity_kernel_passes_through() {
+        let shape = Shape::new(1, 4, 4);
+        let mut conv = Conv2d::from_parts(
+            shape,
+            1,
+            3,
+            // 3x3 kernel with 1 in the center.
+            vec![0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0],
+            vec![0.0],
+        );
+        let input: Vec<f32> = (0..16).map(|i| i as f32 / 16.0).collect();
+        let out = conv.forward(&input);
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn conv_shift_kernel_applies_padding() {
+        // Kernel that reads the pixel to the left: out(x) = in(x-1); the
+        // leftmost column must read zero padding.
+        let shape = Shape::new(1, 1, 4);
+        let mut conv = Conv2d::from_parts(
+            shape,
+            1,
+            3,
+            vec![0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            vec![0.0],
+        );
+        let out = conv.forward(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(out, vec![0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn conv_bias_added() {
+        let shape = Shape::new(1, 2, 2);
+        let mut conv = Conv2d::from_parts(shape, 1, 1, vec![0.0], vec![0.5]);
+        let out = conv.forward(&[1.0; 4]);
+        assert_eq!(out, vec![0.5; 4]);
+    }
+
+    #[test]
+    fn conv_multichannel_sums_inputs() {
+        let shape = Shape::new(2, 2, 2);
+        // 1x1 kernels: out = 1*ch0 + 2*ch1.
+        let mut conv = Conv2d::from_parts(shape, 1, 1, vec![1.0, 2.0], vec![0.0]);
+        let input = vec![1.0, 1.0, 1.0, 1.0, 3.0, 3.0, 3.0, 3.0];
+        let out = conv.forward(&input);
+        assert_eq!(out, vec![7.0; 4]);
+    }
+
+    #[test]
+    fn conv_gradient_matches_finite_difference() {
+        let shape = Shape::new(2, 3, 3);
+        let mut rng = DetRng::new(42);
+        let mut conv = Conv2d::new(shape, 2, 3, &mut rng);
+        let input: Vec<f32> = (0..shape.len()).map(|i| ((i * 7) % 5) as f32 / 5.0 - 0.4).collect();
+        finite_diff_check(&mut conv, &input, 1e-2);
+    }
+
+    #[test]
+    fn conv_weight_gradient_matches_finite_difference() {
+        let shape = Shape::new(1, 3, 3);
+        let mut rng = DetRng::new(3);
+        let mut conv = Conv2d::new(shape, 1, 3, &mut rng);
+        let input: Vec<f32> = (0..9).map(|i| (i as f32 - 4.0) / 9.0).collect();
+        let out = conv.forward(&input);
+        conv.zero_grads();
+        conv.backward(&vec![1.0; out.len()]);
+        // Check one weight by perturbation.
+        let (w, _) = conv.weights_bias();
+        let orig = w[4];
+        let analytic = conv.grad_w[4];
+        let eps = 1e-2;
+        conv.weights[4] = orig + eps;
+        let f_plus: f32 = conv.forward(&input).iter().sum();
+        conv.weights[4] = orig - eps;
+        let f_minus: f32 = conv.forward(&input).iter().sum();
+        conv.weights[4] = orig;
+        let numeric = (f_plus - f_minus) / (2.0 * eps);
+        assert!(
+            (numeric - analytic).abs() < 1e-2,
+            "numeric {numeric} analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn pool_selects_maxima() {
+        let shape = Shape::new(1, 2, 4);
+        let mut pool = MaxPool2::new(shape);
+        let out = pool.forward(&[1.0, 5.0, 2.0, 0.0, 3.0, 4.0, 1.0, 7.0]);
+        assert_eq!(out, vec![5.0, 7.0]);
+    }
+
+    #[test]
+    fn pool_backward_routes_to_argmax() {
+        let shape = Shape::new(1, 2, 2);
+        let mut pool = MaxPool2::new(shape);
+        pool.forward(&[0.1, 0.9, 0.2, 0.3]);
+        let gin = pool.backward(&[2.0]);
+        assert_eq!(gin, vec![0.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn pool_floors_odd_dims() {
+        let shape = Shape::new(1, 5, 5);
+        let mut pool = MaxPool2::new(shape);
+        let out = pool.forward(&[1.0; 25]);
+        assert_eq!(out.len(), 4);
+        assert_eq!(pool.output_shape(), Shape::new(1, 2, 2));
+    }
+
+    #[test]
+    fn relu_clamps_and_masks() {
+        let mut relu = Relu::new(Shape::flat(4));
+        let out = relu.forward(&[-1.0, 2.0, 0.0, 3.0]);
+        assert_eq!(out, vec![0.0, 2.0, 0.0, 3.0]);
+        let gin = relu.backward(&[1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(gin, vec![0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn dense_computes_affine_map() {
+        let mut dense = Dense::from_parts(2, 2, vec![1.0, 2.0, 3.0, 4.0], vec![0.5, -0.5]);
+        let out = dense.forward(&[1.0, 1.0]);
+        assert_eq!(out, vec![3.5, 6.5]);
+    }
+
+    #[test]
+    fn dense_gradient_matches_finite_difference() {
+        let mut rng = DetRng::new(7);
+        let mut dense = Dense::new(6, 3, &mut rng);
+        let input: Vec<f32> = (0..6).map(|i| (i as f32) / 6.0 - 0.5).collect();
+        finite_diff_check(&mut dense, &input, 1e-2);
+    }
+
+    #[test]
+    fn dense_accumulates_gradients_across_calls() {
+        let mut dense = Dense::from_parts(1, 1, vec![2.0], vec![0.0]);
+        dense.forward(&[3.0]);
+        dense.backward(&[1.0]);
+        dense.forward(&[3.0]);
+        dense.backward(&[1.0]);
+        assert_eq!(dense.grad_w[0], 6.0); // 2 calls x input 3
+        dense.zero_grads();
+        assert_eq!(dense.grad_w[0], 0.0);
+    }
+
+    #[test]
+    fn flop_counts() {
+        let mut rng = DetRng::new(1);
+        let conv = Conv2d::new(Shape::new(3, 10, 10), 16, 3, &mut rng);
+        assert_eq!(conv.flops(), (16 * 3 * 9 * 100) as u64 * 2);
+        let dense = Dense::new(100, 10, &mut rng);
+        assert_eq!(dense.flops(), 2000);
+        let pool = MaxPool2::new(Shape::new(4, 8, 8));
+        assert_eq!(pool.flops(), (4 * 4 * 4 * 3) as u64);
+        let relu = Relu::new(Shape::flat(50));
+        assert_eq!(relu.flops(), 50);
+    }
+
+    #[test]
+    fn param_counts() {
+        let mut rng = DetRng::new(1);
+        let conv = Conv2d::new(Shape::new(3, 8, 8), 16, 3, &mut rng);
+        assert_eq!(conv.param_count(), 16 * 3 * 9 + 16);
+        let dense = Dense::new(64, 32, &mut rng);
+        assert_eq!(dense.param_count(), 64 * 32 + 32);
+    }
+}

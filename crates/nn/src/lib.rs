@@ -1,0 +1,37 @@
+//! From-scratch convolutional neural network substrate.
+//!
+//! The paper trains its specialized classifiers with Keras/TensorFlow on a
+//! GPU; this crate replaces that dependency with a self-contained CPU
+//! implementation of exactly the architecture family in the paper's Fig. 3:
+//! stacks of `conv(3x3, same) -> ReLU -> maxpool(2x2)`, a fully connected
+//! ReLU layer, and a single sigmoid output for binary classification.
+//!
+//! It provides:
+//! * [`tensor::Shape`] — `(channels, height, width)` bookkeeping;
+//! * [`layer`] — forward/backward implementations of every layer, each with
+//!   exact FLOP accounting (the cost model prices inference from these);
+//! * [`model::Sequential`] and [`model::CnnSpec`] — composition and the
+//!   paper's architecture constructor;
+//! * [`train::Trainer`] — minibatch SGD/Adam training with binary
+//!   cross-entropy on logits;
+//! * [`serialize`] — a compact self-contained weight format.
+//!
+//! The zoo crate uses this for the *real* training path (scaled-down
+//! experiments, examples, and tests); the paper-scale experiments use the
+//! calibrated surrogate family instead (see DESIGN.md §2.4).
+
+pub mod init;
+pub mod layer;
+pub mod loss;
+pub mod model;
+pub mod optim;
+pub mod serialize;
+pub mod tensor;
+pub mod train;
+
+pub use layer::{Conv2d, Dense, Layer, MaxPool2, Relu};
+pub use loss::{bce_with_logits, bce_with_logits_grad};
+pub use model::{CnnSpec, Sequential};
+pub use optim::{Adam, Optimizer, Sgd};
+pub use tensor::Shape;
+pub use train::{TrainReport, Trainer};

@@ -1,0 +1,350 @@
+//! Model composition and the paper's CNN architecture constructor.
+//!
+//! [`CnnSpec`] encodes exactly the Fig. 3 family: `L` repetitions of
+//! `conv(3x3, same, n_conv) -> ReLU -> maxpool(2x2)`, then a dense ReLU
+//! layer of `n_dense` units, then a single-logit dense output. The paper
+//! varies `L` in {1, 2, 4}, `n_conv` in {16, 32}, and `n_dense` in
+//! {16, 32, 64} (§VII-A).
+
+use crate::layer::{Conv2d, Dense, Layer, MaxPool2, Relu};
+use crate::tensor::Shape;
+use std::fmt;
+use tahoma_mathx::{logistic, DetRng};
+
+/// A feed-forward stack of layers.
+pub struct Sequential {
+    input: Shape,
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Create an empty model over the given input shape.
+    pub fn new(input: Shape) -> Sequential {
+        Sequential {
+            input,
+            layers: Vec::new(),
+        }
+    }
+
+    /// Append a layer. Panics if the layer's declared output doesn't chain
+    /// from the current output shape (dense layers accept any flat input of
+    /// the right length).
+    pub fn push(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Input shape.
+    pub fn input_shape(&self) -> Shape {
+        self.input
+    }
+
+    /// Output shape of the final layer (the input shape for an empty model).
+    pub fn output_shape(&self) -> Shape {
+        self.layers.last().map_or(self.input, |l| l.output_shape())
+    }
+
+    /// Borrow the layer stack.
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Run the network forward, returning the raw output vector.
+    pub fn forward(&mut self, input: &[f32]) -> Vec<f32> {
+        assert_eq!(
+            input.len(),
+            self.input.len(),
+            "input length {} != expected {}",
+            input.len(),
+            self.input.len()
+        );
+        let mut x = input.to_vec();
+        for layer in &mut self.layers {
+            x = layer.forward(&x);
+        }
+        x
+    }
+
+    /// Forward pass returning the single output logit. Panics unless the
+    /// final layer produces exactly one value.
+    pub fn forward_logit(&mut self, input: &[f32]) -> f32 {
+        let out = self.forward(input);
+        assert_eq!(out.len(), 1, "forward_logit requires single-output model");
+        out[0]
+    }
+
+    /// Probability that the input is a positive example (sigmoid of logit).
+    pub fn predict_proba(&mut self, input: &[f32]) -> f32 {
+        logistic(self.forward_logit(input) as f64) as f32
+    }
+
+    /// Backpropagate an output gradient through all layers, accumulating
+    /// parameter gradients. Call after `forward`.
+    pub fn backward(&mut self, grad_out: &[f32]) {
+        let mut g = grad_out.to_vec();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+    }
+
+    /// Zero all accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grads();
+        }
+    }
+
+    /// Visit all (params, grads) pairs in stable order, passing a slot id.
+    pub fn visit_params(&mut self, mut f: impl FnMut(usize, &mut [f32], &mut [f32])) {
+        let mut slot = 0usize;
+        for layer in &mut self.layers {
+            layer.visit_params(&mut |p, g| {
+                f(slot, p, g);
+                slot += 1;
+            });
+        }
+    }
+
+    /// Total trainable parameter count.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    /// Total FLOPs for one forward pass.
+    pub fn flops(&self) -> u64 {
+        self.layers.iter().map(|l| l.flops()).sum()
+    }
+
+    /// One-line architecture summary, e.g.
+    /// `"3x30x30 -> conv2d -> relu -> maxpool2 -> dense -> relu -> dense"`.
+    pub fn summary(&self) -> String {
+        let mut s = self.input.to_string();
+        for layer in &self.layers {
+            s.push_str(" -> ");
+            s.push_str(layer.name());
+        }
+        s
+    }
+}
+
+impl fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sequential({})", self.summary())
+    }
+}
+
+/// Declarative spec for the paper's CNN family (Fig. 3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CnnSpec {
+    /// Input shape (channels x height x width).
+    pub input: Shape,
+    /// Output channels of each conv block; length = number of conv layers.
+    pub conv_channels: Vec<usize>,
+    /// Convolution kernel side (odd).
+    pub kernel: usize,
+    /// Units in the fully connected ReLU layer.
+    pub dense_units: usize,
+}
+
+impl CnnSpec {
+    /// Build the network with deterministic initialization.
+    ///
+    /// Returns an error message if pooling would shrink the spatial extent
+    /// to zero (too many conv blocks for the input size).
+    pub fn build(&self, seed: u64) -> Result<Sequential, String> {
+        assert!(self.kernel % 2 == 1, "kernel must be odd");
+        let mut rng = DetRng::new(seed);
+        let mut model = Sequential::new(self.input);
+        let mut shape = self.input;
+        for (li, &out_c) in self.conv_channels.iter().enumerate() {
+            if shape.h < 2 || shape.w < 2 {
+                return Err(format!(
+                    "conv block {li}: spatial extent {shape} too small to pool"
+                ));
+            }
+            let conv = Conv2d::new(shape, out_c, self.kernel, &mut rng);
+            shape = conv.output_shape();
+            model.push(Box::new(conv));
+            model.push(Box::new(Relu::new(shape)));
+            let pool = MaxPool2::new(shape);
+            shape = pool.output_shape();
+            model.push(Box::new(pool));
+            if shape.is_empty() {
+                return Err(format!("conv block {li}: pooled to empty shape"));
+            }
+        }
+        let flat = shape.len();
+        model.push(Box::new(Dense::new(flat, self.dense_units, &mut rng)));
+        model.push(Box::new(Relu::new(Shape::flat(self.dense_units))));
+        model.push(Box::new(Dense::new(self.dense_units, 1, &mut rng)));
+        Ok(model)
+    }
+
+    /// FLOPs of the built model without building it (used by the analytic
+    /// cost model; must agree with `build(..).flops()`).
+    pub fn flops(&self) -> u64 {
+        let mut total = 0u64;
+        let mut shape = self.input;
+        for &out_c in &self.conv_channels {
+            total += (out_c * shape.c * self.kernel * self.kernel * shape.h * shape.w) as u64 * 2;
+            shape = Shape::new(out_c, shape.h, shape.w);
+            total += shape.len() as u64; // relu
+            let pooled = shape.pooled2();
+            total += (pooled.len() * 3) as u64; // pool
+            shape = pooled;
+        }
+        total += (shape.len() * self.dense_units) as u64 * 2;
+        total += self.dense_units as u64; // relu
+        total += self.dense_units as u64 * 2; // final dense
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> CnnSpec {
+        CnnSpec {
+            input: Shape::new(1, 8, 8),
+            conv_channels: vec![4, 8],
+            kernel: 3,
+            dense_units: 8,
+        }
+    }
+
+    #[test]
+    fn build_produces_expected_stack() {
+        let model = tiny_spec().build(1).unwrap();
+        assert_eq!(
+            model.summary(),
+            "1x8x8 -> conv2d -> relu -> maxpool2 -> conv2d -> relu -> maxpool2 -> dense -> relu -> dense"
+        );
+        assert_eq!(model.output_shape(), Shape::flat(1));
+    }
+
+    #[test]
+    fn forward_logit_runs() {
+        let mut model = tiny_spec().build(2).unwrap();
+        let input = vec![0.5; 64];
+        let z = model.forward_logit(&input);
+        assert!(z.is_finite());
+        let p = model.predict_proba(&input);
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let mut a = tiny_spec().build(3).unwrap();
+        let mut b = tiny_spec().build(3).unwrap();
+        let input: Vec<f32> = (0..64).map(|i| i as f32 / 64.0).collect();
+        assert_eq!(a.forward_logit(&input), b.forward_logit(&input));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = tiny_spec().build(3).unwrap();
+        let mut b = tiny_spec().build(4).unwrap();
+        let input: Vec<f32> = (0..64).map(|i| i as f32 / 64.0).collect();
+        assert_ne!(a.forward_logit(&input), b.forward_logit(&input));
+    }
+
+    #[test]
+    fn spec_flops_matches_built_model() {
+        for spec in [
+            tiny_spec(),
+            CnnSpec {
+                input: Shape::new(3, 30, 30),
+                conv_channels: vec![16],
+                kernel: 3,
+                dense_units: 16,
+            },
+            CnnSpec {
+                input: Shape::new(3, 30, 30),
+                conv_channels: vec![16, 16, 16, 16],
+                kernel: 3,
+                dense_units: 64,
+            },
+        ] {
+            let model = spec.build(9).unwrap();
+            assert_eq!(spec.flops(), model.flops(), "spec {spec:?}");
+        }
+    }
+
+    #[test]
+    fn too_many_pools_is_an_error() {
+        let spec = CnnSpec {
+            input: Shape::new(1, 4, 4),
+            conv_channels: vec![2, 2, 2, 2],
+            kernel: 3,
+            dense_units: 4,
+        };
+        assert!(spec.build(0).is_err());
+    }
+
+    #[test]
+    fn paper_sizes_support_four_conv_layers() {
+        // 30 -> 15 -> 7 -> 3 -> 1: still nonempty after four pools.
+        for size in [30usize, 60, 120, 224] {
+            let spec = CnnSpec {
+                input: Shape::new(3, size, size),
+                conv_channels: vec![16, 16, 16, 16],
+                kernel: 3,
+                dense_units: 16,
+            };
+            assert!(spec.build(0).is_ok(), "size {size}");
+        }
+    }
+
+    #[test]
+    fn gradient_descent_reduces_loss_end_to_end() {
+        use crate::loss::{bce_with_logits, bce_with_logits_grad};
+        use crate::optim::{Optimizer, Sgd};
+        let mut model = CnnSpec {
+            input: Shape::new(1, 6, 6),
+            conv_channels: vec![3],
+            kernel: 3,
+            dense_units: 6,
+        }
+        .build(5)
+        .unwrap();
+        // Two simple patterns: bright center vs bright corner.
+        let mut pos = vec![0.0f32; 36];
+        pos[14] = 1.0;
+        pos[15] = 1.0;
+        pos[20] = 1.0;
+        pos[21] = 1.0;
+        let mut neg = vec![0.0f32; 36];
+        neg[0] = 1.0;
+        neg[1] = 1.0;
+        neg[6] = 1.0;
+        neg[7] = 1.0;
+        let mut opt = Sgd::new(0.1, 0.9);
+        let loss_at = |model: &mut Sequential, pos: &[f32], neg: &[f32]| {
+            bce_with_logits(model.forward_logit(pos), true)
+                + bce_with_logits(model.forward_logit(neg), false)
+        };
+        let before = loss_at(&mut model, &pos, &neg);
+        for _ in 0..60 {
+            model.zero_grads();
+            let zp = model.forward_logit(&pos);
+            model.backward(&[bce_with_logits_grad(zp, true)]);
+            let zn = model.forward_logit(&neg);
+            model.backward(&[bce_with_logits_grad(zn, false)]);
+            opt.begin_step();
+            model.visit_params(|slot, p, g| opt.update(slot, p, g, 0.5));
+        }
+        let after = loss_at(&mut model, &pos, &neg);
+        assert!(
+            after < before * 0.2,
+            "loss did not drop: before {before}, after {after}"
+        );
+    }
+
+    #[test]
+    fn param_count_positive_and_stable() {
+        let model = tiny_spec().build(0).unwrap();
+        // conv1: 4*1*9+4 = 40; conv2: 8*4*9+8 = 296; dense: (8*2*2)*8+8 = 264;
+        // out: 8*1+1 = 9. Total 609.
+        assert_eq!(model.param_count(), 609);
+    }
+}

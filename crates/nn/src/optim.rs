@@ -1,0 +1,183 @@
+//! Gradient-descent optimizers operating on (param, grad) slice pairs.
+//!
+//! State (momentum / Adam moments) is keyed by visit order, which is stable
+//! because `Sequential::visit_params` walks layers in construction order.
+
+/// An optimizer consuming accumulated gradients.
+pub trait Optimizer {
+    /// Begin an update pass (called once per step before visiting params).
+    fn begin_step(&mut self);
+    /// Apply an update to one (params, grads) pair. `slot` identifies the
+    /// parameter group across steps.
+    fn update(&mut self, slot: usize, params: &mut [f32], grads: &[f32], scale: f32);
+}
+
+/// SGD with classical momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient in [0, 1).
+    pub momentum: f32,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// Create an SGD optimizer.
+    pub fn new(lr: f32, momentum: f32) -> Sgd {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum in [0,1)");
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn begin_step(&mut self) {}
+
+    fn update(&mut self, slot: usize, params: &mut [f32], grads: &[f32], scale: f32) {
+        while self.velocity.len() <= slot {
+            self.velocity.push(Vec::new());
+        }
+        let vel = &mut self.velocity[slot];
+        if vel.len() != params.len() {
+            vel.clear();
+            vel.resize(params.len(), 0.0);
+        }
+        for i in 0..params.len() {
+            let g = grads[i] * scale;
+            vel[i] = self.momentum * vel[i] - self.lr * g;
+            params[i] += vel[i];
+        }
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical floor.
+    pub eps: f32,
+    t: u64,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Create an Adam optimizer with the canonical betas.
+    pub fn new(lr: f32) -> Adam {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn begin_step(&mut self) {
+        self.t += 1;
+    }
+
+    fn update(&mut self, slot: usize, params: &mut [f32], grads: &[f32], scale: f32) {
+        while self.m.len() <= slot {
+            self.m.push(Vec::new());
+            self.v.push(Vec::new());
+        }
+        let (m, v) = (&mut self.m[slot], &mut self.v[slot]);
+        if m.len() != params.len() {
+            m.clear();
+            m.resize(params.len(), 0.0);
+            v.clear();
+            v.resize(params.len(), 0.0);
+        }
+        let t = self.t.max(1) as f32;
+        let bc1 = 1.0 - self.beta1.powf(t);
+        let bc2 = 1.0 - self.beta2.powf(t);
+        for i in 0..params.len() {
+            let g = grads[i] * scale;
+            m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g;
+            v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = m[i] / bc1;
+            let v_hat = v[i] / bc2;
+            params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimize f(x) = (x - 3)^2 using an optimizer; grad = 2(x - 3).
+    fn minimize<O: Optimizer>(mut opt: O, steps: usize) -> f32 {
+        let mut x = [0.0f32];
+        for _ in 0..steps {
+            opt.begin_step();
+            let g = [2.0 * (x[0] - 3.0)];
+            opt.update(0, &mut x, &g, 1.0);
+        }
+        x[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let x = minimize(Sgd::new(0.1, 0.0), 100);
+        assert!((x - 3.0).abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let x = minimize(Sgd::new(0.05, 0.9), 200);
+        assert!((x - 3.0).abs() < 1e-2, "x = {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let x = minimize(Adam::new(0.1), 300);
+        assert!((x - 3.0).abs() < 1e-2, "x = {x}");
+    }
+
+    #[test]
+    fn gradient_scale_is_applied() {
+        // With scale = 0 nothing moves.
+        let mut opt = Sgd::new(0.5, 0.0);
+        let mut x = [1.0f32];
+        opt.begin_step();
+        opt.update(0, &mut x, &[10.0], 0.0);
+        assert_eq!(x[0], 1.0);
+    }
+
+    #[test]
+    fn slots_are_independent() {
+        let mut opt = Sgd::new(0.1, 0.9);
+        let mut a = [0.0f32];
+        let mut b = [0.0f32];
+        for _ in 0..10 {
+            opt.begin_step();
+            opt.update(0, &mut a, &[1.0], 1.0);
+            opt.update(1, &mut b, &[-1.0], 1.0);
+        }
+        assert!(a[0] < 0.0);
+        assert!(b[0] > 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn sgd_rejects_zero_lr() {
+        Sgd::new(0.0, 0.5);
+    }
+}

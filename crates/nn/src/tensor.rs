@@ -1,0 +1,94 @@
+//! Shape bookkeeping for planar `(channels, height, width)` buffers.
+//!
+//! Feature maps are plain `Vec<f32>` in channel-planar order — the same
+//! layout `tahoma_imagery::Image` uses, so an image's buffer feeds a network
+//! without any shuffling. `Shape` carries the interpretation.
+
+use std::fmt;
+
+/// Dimensions of a feature map: channels x height x width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape {
+    /// Channel count.
+    pub c: usize,
+    /// Height in rows.
+    pub h: usize,
+    /// Width in columns.
+    pub w: usize,
+}
+
+impl Shape {
+    /// Construct a shape.
+    pub const fn new(c: usize, h: usize, w: usize) -> Shape {
+        Shape { c, h, w }
+    }
+
+    /// A flat vector of `n` values (c = n, h = w = 1).
+    pub const fn flat(n: usize) -> Shape {
+        Shape { c: n, h: 1, w: 1 }
+    }
+
+    /// Total element count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.c * self.h * self.w
+    }
+
+    /// True when any dimension is zero.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Linear index of `(c, y, x)`.
+    #[inline]
+    pub fn idx(&self, c: usize, y: usize, x: usize) -> usize {
+        debug_assert!(c < self.c && y < self.h && x < self.w);
+        (c * self.h + y) * self.w + x
+    }
+
+    /// Shape after a 2x2/stride-2 max pool (floor semantics, as in Keras'
+    /// default `MaxPooling2D`).
+    pub fn pooled2(&self) -> Shape {
+        Shape::new(self.c, self.h / 2, self.w / 2)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.c, self.h, self.w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_and_idx() {
+        let s = Shape::new(3, 4, 5);
+        assert_eq!(s.len(), 60);
+        assert_eq!(s.idx(0, 0, 0), 0);
+        assert_eq!(s.idx(2, 3, 4), 59);
+        assert_eq!(s.idx(1, 0, 0), 20);
+    }
+
+    #[test]
+    fn flat_shape() {
+        let s = Shape::flat(7);
+        assert_eq!(s.len(), 7);
+        assert_eq!(s.idx(6, 0, 0), 6);
+    }
+
+    #[test]
+    fn pooled_floors() {
+        assert_eq!(Shape::new(8, 7, 7).pooled2(), Shape::new(8, 3, 3));
+        assert_eq!(Shape::new(8, 30, 30).pooled2(), Shape::new(8, 15, 15));
+        assert_eq!(Shape::new(8, 1, 1).pooled2(), Shape::new(8, 0, 0));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Shape::new(3, 224, 224).to_string(), "3x224x224");
+    }
+}

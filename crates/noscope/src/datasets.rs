@@ -1,0 +1,68 @@
+//! The two public NoScope video datasets, reconstructed synthetically
+//! (DESIGN.md §2.5).
+
+use tahoma_imagery::ObjectKind;
+use tahoma_video::StreamConfig;
+use tahoma_zoo::PredicateSpec;
+
+/// A video dataset: stream dynamics plus task hardness.
+#[derive(Debug, Clone)]
+pub struct VideoDataset {
+    /// Stream generator configuration.
+    pub stream: StreamConfig,
+    /// Predicate hardness driving the surrogate classifiers on this stream.
+    pub pred: PredicateSpec,
+    /// Total frames before frame skipping.
+    pub n_frames: usize,
+    /// Difference-detector MSE threshold.
+    pub dd_threshold: f64,
+}
+
+impl VideoDataset {
+    /// The `coral` dataset: an easy, slow-changing reef camera. NoScope
+    /// reported high difference-detector reuse (25.2%) and high throughput.
+    pub fn coral(seed: u64, n_frames: usize) -> VideoDataset {
+        VideoDataset {
+            stream: StreamConfig::coral(seed),
+            pred: PredicateSpec {
+                kind: ObjectKind::Coho,
+                // An easy task: NoScope's own specialized model rarely
+                // falls through to YOLOv2 on coral (its 3,494 fps implies
+                // near-zero fallthrough).
+                d_max: 6.0,
+            },
+            n_frames,
+            dd_threshold: 2.6e-4,
+        }
+    }
+
+    /// The `jackson` dataset: a busy intersection. Low reuse (3.8%), a hard
+    /// task that forces NoScope to call YOLOv2 often (footnote 2).
+    pub fn jackson(seed: u64, n_frames: usize) -> VideoDataset {
+        VideoDataset {
+            stream: StreamConfig::jackson(seed),
+            pred: PredicateSpec {
+                kind: ObjectKind::Wallet,
+                // Hard enough that a single fixed specialized model is
+                // uncertain on a sizable fraction of frames (NoScope's 260
+                // fps implies ~25% YOLOv2 fallthrough).
+                d_max: 4.2,
+            },
+            n_frames,
+            dd_threshold: 6.3e-4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coral_is_easier_than_jackson() {
+        let c = VideoDataset::coral(1, 100);
+        let j = VideoDataset::jackson(1, 100);
+        assert!(c.pred.d_max > j.pred.d_max);
+        assert!(c.stream.drift < j.stream.drift);
+    }
+}

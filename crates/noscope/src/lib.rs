@@ -1,0 +1,21 @@
+//! NoScope-style baseline and the TAHOMA+DD comparison system (paper
+//! §VII-C, Fig. 8).
+//!
+//! NoScope's pipeline per sampled frame: difference detector → one
+//! specialized CNN with decision thresholds → YOLOv2-class reference when
+//! uncertain. `TAHOMA+DD` keeps the same difference detector and frame
+//! skipping but replaces the fixed specialized-model stage with TAHOMA's
+//! selected Pareto-optimal cascade (chosen at the accuracy level closest
+//! above NoScope's), drawn from the full physical-representation design
+//! space. Throughput accounting follows the paper: INFER-ONLY costs, only
+//! actively processed frames counted.
+
+pub mod datasets;
+pub mod runner;
+pub mod system;
+pub mod tahoma_dd;
+
+pub use datasets::VideoDataset;
+pub use runner::{run_with_dd, FrameClassifier, RunReport};
+pub use system::{NoScopeConfig, NoScopeSystem};
+pub use tahoma_dd::TahomaDdSystem;

@@ -1,0 +1,157 @@
+//! NoScope-style difference detector (paper §VII-C).
+//!
+//! "The difference detector measures the similarity between the current
+//! frame and previously seen ones and reuses previous results if the
+//! compared frames meet a similarity threshold." This implementation
+//! compares against the last *labeled* (processed) frame: if the thumbnail
+//! MSE is under the threshold, the previous label is reused and no
+//! classifier runs.
+
+use crate::stream::{thumb_mse, Frame};
+
+/// What to do with a frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DdDecision {
+    /// Reuse the previous label (classifiers skipped).
+    Reuse(bool),
+    /// Frame differs; run the classifier pipeline and then `commit`.
+    Process,
+}
+
+/// Stateful difference detector.
+#[derive(Debug, Clone)]
+pub struct DifferenceDetector {
+    /// MSE threshold under which frames count as unchanged.
+    pub threshold: f64,
+    last_thumb: Option<Vec<f32>>,
+    last_label: bool,
+    reused: u64,
+    processed: u64,
+}
+
+impl DifferenceDetector {
+    /// Create a detector with the given similarity threshold.
+    pub fn new(threshold: f64) -> DifferenceDetector {
+        DifferenceDetector {
+            threshold,
+            last_thumb: None,
+            last_label: false,
+            reused: 0,
+            processed: 0,
+        }
+    }
+
+    /// Inspect a frame. `Reuse` carries the label to emit; `Process` means
+    /// the caller must classify and then call [`DifferenceDetector::commit`].
+    pub fn inspect(&mut self, frame: &Frame) -> DdDecision {
+        if let Some(last) = &self.last_thumb {
+            if thumb_mse(last, &frame.thumb) < self.threshold {
+                self.reused += 1;
+                return DdDecision::Reuse(self.last_label);
+            }
+        }
+        DdDecision::Process
+    }
+
+    /// Record a processed frame's label as the new reference.
+    pub fn commit(&mut self, frame: &Frame, label: bool) {
+        self.last_thumb = Some(frame.thumb.clone());
+        self.last_label = label;
+        self.processed += 1;
+    }
+
+    /// Fraction of inspected frames that were reused.
+    pub fn reuse_rate(&self) -> f64 {
+        let total = self.reused + self.processed;
+        if total == 0 {
+            0.0
+        } else {
+            self.reused as f64 / total as f64
+        }
+    }
+
+    /// (reused, processed) counters.
+    pub fn counts(&self) -> (u64, u64) {
+        (self.reused, self.processed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{StreamConfig, VideoStream};
+
+    fn frame(idx: u64, label: bool, thumb: Vec<f32>) -> Frame {
+        Frame {
+            idx,
+            label,
+            difficulty: 0.5,
+            thumb,
+        }
+    }
+
+    #[test]
+    fn first_frame_is_always_processed() {
+        let mut dd = DifferenceDetector::new(0.1);
+        let f = frame(0, true, vec![0.5; 4]);
+        assert_eq!(dd.inspect(&f), DdDecision::Process);
+    }
+
+    #[test]
+    fn identical_frames_reuse_previous_label() {
+        let mut dd = DifferenceDetector::new(1e-6);
+        let a = frame(0, true, vec![0.5; 4]);
+        assert_eq!(dd.inspect(&a), DdDecision::Process);
+        dd.commit(&a, true);
+        let b = frame(1, true, vec![0.5; 4]);
+        assert_eq!(dd.inspect(&b), DdDecision::Reuse(true));
+        assert_eq!(dd.counts(), (1, 1));
+    }
+
+    #[test]
+    fn changed_frames_are_processed() {
+        let mut dd = DifferenceDetector::new(0.01);
+        let a = frame(0, false, vec![0.0; 4]);
+        dd.inspect(&a);
+        dd.commit(&a, false);
+        let b = frame(1, true, vec![1.0; 4]);
+        assert_eq!(dd.inspect(&b), DdDecision::Process);
+    }
+
+    #[test]
+    fn reuse_propagates_wrong_labels_when_threshold_too_loose() {
+        // A detector with a huge threshold reuses everything — including
+        // across a label change. This is why NoScope's threshold matters.
+        let mut dd = DifferenceDetector::new(f64::INFINITY);
+        let a = frame(0, false, vec![0.0; 4]);
+        dd.inspect(&a);
+        dd.commit(&a, false);
+        let b = frame(1, true, vec![1.0; 4]);
+        assert_eq!(dd.inspect(&b), DdDecision::Reuse(false), "stale label reused");
+    }
+
+    #[test]
+    fn coral_reuses_much_more_than_jackson() {
+        // Footnote 2 of the paper: 25.2% reuse on coral vs 3.8% on jackson.
+        let threshold = 2.5e-4;
+        let run = |cfg: StreamConfig| {
+            let mut s = VideoStream::new(cfg);
+            let mut dd = DifferenceDetector::new(threshold);
+            for f in s.take_frames(3000) {
+                match dd.inspect(&f) {
+                    DdDecision::Reuse(_) => {}
+                    DdDecision::Process => dd.commit(&f, f.label),
+                }
+            }
+            dd.reuse_rate()
+        };
+        let coral = run(StreamConfig::coral(2));
+        let jackson = run(StreamConfig::jackson(2));
+        assert!(
+            coral > 3.0 * jackson,
+            "coral reuse {coral:.3} should dwarf jackson {jackson:.3}"
+        );
+        assert!(coral > 0.10, "coral reuse too low: {coral:.3}");
+        assert!(jackson < 0.15, "jackson reuse too high: {jackson:.3}");
+    }
+}

@@ -1,0 +1,60 @@
+//! Frame skipping (paper §VII-C: "both systems used basic frame skipping,
+//! only processing one of every 30 frames").
+
+use crate::stream::Frame;
+
+/// Samples one of every `stride` frames.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameSkipper {
+    /// Keep every `stride`-th frame (stride >= 1).
+    pub stride: usize,
+}
+
+impl FrameSkipper {
+    /// The paper's setting: 1 of every 30 frames.
+    pub fn paper_default() -> FrameSkipper {
+        FrameSkipper { stride: 30 }
+    }
+
+    /// Whether a frame index is sampled.
+    #[inline]
+    pub fn keeps(&self, idx: u64) -> bool {
+        idx.is_multiple_of(self.stride.max(1) as u64)
+    }
+
+    /// Filter a frame sequence down to the sampled frames.
+    pub fn sample<'a>(&self, frames: &'a [Frame]) -> Vec<&'a Frame> {
+        frames.iter().filter(|f| self.keeps(f.idx)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{StreamConfig, VideoStream};
+
+    #[test]
+    fn keeps_every_nth() {
+        let s = FrameSkipper { stride: 30 };
+        assert!(s.keeps(0));
+        assert!(!s.keeps(1));
+        assert!(!s.keeps(29));
+        assert!(s.keeps(30));
+        assert!(s.keeps(600));
+    }
+
+    #[test]
+    fn stride_one_keeps_all() {
+        let s = FrameSkipper { stride: 1 };
+        assert!((0..100).all(|i| s.keeps(i)));
+    }
+
+    #[test]
+    fn sample_reduces_by_stride() {
+        let mut stream = VideoStream::new(StreamConfig::coral(1));
+        let frames = stream.take_frames(900);
+        let sampled = FrameSkipper::paper_default().sample(&frames);
+        assert_eq!(sampled.len(), 30);
+        assert!(sampled.iter().all(|f| f.idx % 30 == 0));
+    }
+}

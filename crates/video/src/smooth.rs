@@ -1,0 +1,162 @@
+//! Temporal label smoothing — the paper's §IX future-work direction
+//! ("take full advantage of spatio-temporal locality present in adjacent
+//! video frames").
+//!
+//! Object presence in video is bursty (runs of positives), so isolated
+//! label flips are usually classifier noise, not one-frame objects.
+//! [`MajoritySmoother`] emits, for each frame, the majority vote over a
+//! sliding window of raw labels (with a configurable decision delay equal
+//! to the window half-width).
+
+/// Sliding-window majority-vote smoother.
+#[derive(Debug, Clone)]
+pub struct MajoritySmoother {
+    /// Window length (odd; even inputs are bumped up by one).
+    window: usize,
+    buffer: Vec<bool>,
+}
+
+impl MajoritySmoother {
+    /// Create a smoother with the given window (minimum 1, forced odd).
+    pub fn new(window: usize) -> MajoritySmoother {
+        let mut window = window.max(1);
+        if window.is_multiple_of(2) {
+            window += 1;
+        }
+        MajoritySmoother {
+            window,
+            buffer: Vec::new(),
+        }
+    }
+
+    /// The effective (odd) window length.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Smooth a whole label sequence. Edges use truncated windows, so the
+    /// output length equals the input length.
+    pub fn smooth(&self, labels: &[bool]) -> Vec<bool> {
+        let half = self.window / 2;
+        (0..labels.len())
+            .map(|i| {
+                let lo = i.saturating_sub(half);
+                let hi = (i + half + 1).min(labels.len());
+                let pos = labels[lo..hi].iter().filter(|&&l| l).count();
+                2 * pos > hi - lo
+            })
+            .collect()
+    }
+
+    /// Streaming interface: push a raw label, get the smoothed label for
+    /// the frame `window/2` positions back once enough context exists
+    /// (before that, the raw label is returned).
+    pub fn push(&mut self, label: bool) -> bool {
+        self.buffer.push(label);
+        if self.buffer.len() > self.window {
+            self.buffer.remove(0);
+        }
+        let n = self.buffer.len();
+        if n < self.window {
+            return label;
+        }
+        let pos = self.buffer.iter().filter(|&&l| l).count();
+        2 * pos > n
+    }
+}
+
+/// Fraction of positions where two label sequences agree.
+pub fn agreement(a: &[bool], b: &[bool]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    if a.is_empty() {
+        return 1.0;
+    }
+    a.iter().zip(b).filter(|(x, y)| x == y).count() as f64 / a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{StreamConfig, VideoStream};
+    use tahoma_mathx::DetRng;
+
+    #[test]
+    fn removes_isolated_flips() {
+        let s = MajoritySmoother::new(3);
+        let noisy = [false, false, true, false, false, true, true, true, false, true, true];
+        let out = s.smooth(&noisy);
+        // The isolated positive at index 2 disappears; the isolated
+        // negative at index 8 inside the positive run is filled.
+        assert!(!out[2]);
+        assert!(out[8]);
+    }
+
+    #[test]
+    fn preserves_clean_runs() {
+        let s = MajoritySmoother::new(5);
+        let clean: Vec<bool> = (0..40).map(|i| (10..30).contains(&i)).collect();
+        let out = s.smooth(&clean);
+        assert_eq!(out, clean);
+    }
+
+    #[test]
+    fn even_windows_are_bumped_to_odd() {
+        assert_eq!(MajoritySmoother::new(4).window(), 5);
+        assert_eq!(MajoritySmoother::new(1).window(), 1);
+    }
+
+    #[test]
+    fn window_one_is_identity() {
+        let s = MajoritySmoother::new(1);
+        let labels = [true, false, true, true, false];
+        assert_eq!(s.smooth(&labels), labels);
+    }
+
+    #[test]
+    fn smoothing_improves_noisy_labels_on_bursty_streams() {
+        // Generate ground truth from a bursty stream, corrupt it with 15%
+        // symmetric noise, and verify smoothing recovers accuracy.
+        let mut stream = VideoStream::new(StreamConfig::coral(21));
+        let truth: Vec<bool> = stream.take_frames(4000).iter().map(|f| f.label).collect();
+        let mut rng = DetRng::new(9);
+        let noisy: Vec<bool> = truth
+            .iter()
+            .map(|&l| if rng.bernoulli(0.15) { !l } else { l })
+            .collect();
+        let smoothed = MajoritySmoother::new(7).smooth(&noisy);
+        let acc_raw = agreement(&noisy, &truth);
+        let acc_smooth = agreement(&smoothed, &truth);
+        assert!(
+            acc_smooth > acc_raw + 0.05,
+            "smoothing did not help: raw {acc_raw:.3} vs smoothed {acc_smooth:.3}"
+        );
+    }
+
+    #[test]
+    fn streaming_matches_batch_in_steady_state() {
+        let labels: Vec<bool> = (0..60).map(|i| (i / 7) % 2 == 0).collect();
+        let batch = MajoritySmoother::new(5).smooth(&labels);
+        let mut streaming = MajoritySmoother::new(5);
+        // push(i) emits the smoothed value for position i - 2 (half window).
+        let emitted: Vec<bool> = labels.iter().map(|&l| streaming.push(l)).collect();
+        let half = 2;
+        let mut agree = 0;
+        let mut total = 0;
+        for i in half..labels.len() - half {
+            total += 1;
+            if emitted[i + half] == batch[i] {
+                agree += 1;
+            }
+        }
+        assert!(
+            agree as f64 / total as f64 > 0.95,
+            "streaming/batch agreement {agree}/{total}"
+        );
+    }
+
+    #[test]
+    fn agreement_bounds() {
+        assert_eq!(agreement(&[], &[]), 1.0);
+        assert_eq!(agreement(&[true, false], &[true, true]), 0.5);
+    }
+}

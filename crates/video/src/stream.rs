@@ -1,0 +1,286 @@
+//! Temporally coherent synthetic video streams.
+//!
+//! Object presence follows a two-state Markov chain (bursty runs, like a
+//! fish passing a reef camera or a car crossing an intersection), the
+//! background drifts slowly, and each frame carries a small grayscale
+//! thumbnail whose content reflects both — exactly what a difference
+//! detector needs to be *usefully* imperfect.
+
+use tahoma_mathx::DetRng;
+
+/// One video frame's query-relevant state.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// Frame index in the stream.
+    pub idx: u64,
+    /// Ground truth: target object present.
+    pub label: bool,
+    /// Classification difficulty in [0, 1].
+    pub difficulty: f32,
+    /// Small grayscale thumbnail (side x side) for difference detection.
+    pub thumb: Vec<f32>,
+}
+
+/// Stream generation parameters.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Stream name (for reports).
+    pub name: String,
+    /// Per-frame probability of the object appearing when absent.
+    pub p_enter: f64,
+    /// Per-frame probability of the object leaving when present.
+    pub p_exit: f64,
+    /// Background drift per frame (0 = static camera).
+    pub drift: f64,
+    /// Per-frame thumbnail pixel noise.
+    pub noise: f64,
+    /// Object contrast in the thumbnail.
+    pub object_contrast: f64,
+    /// Difficulty random-walk step.
+    pub difficulty_step: f64,
+    /// Difficulty walk start value.
+    pub difficulty_start: f64,
+    /// Difficulty walk lower clamp.
+    pub difficulty_min: f64,
+    /// Difficulty walk upper clamp.
+    pub difficulty_max: f64,
+    /// Thumbnail side length.
+    pub thumb_side: usize,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl StreamConfig {
+    /// A coral-reef-like stream (paper's `coral` dataset): static camera,
+    /// long presence runs, low drift — a difference detector can reuse many
+    /// results (NoScope reported 25.2% reuse; footnote 2).
+    pub fn coral(seed: u64) -> StreamConfig {
+        StreamConfig {
+            name: "coral".into(),
+            p_enter: 0.02,
+            p_exit: 0.015,
+            drift: 0.002,
+            noise: 0.008,
+            object_contrast: 0.5,
+            difficulty_step: 0.02,
+            // Reef scenes are easy: big fish against static coral.
+            difficulty_start: 0.25,
+            difficulty_min: 0.02,
+            difficulty_max: 0.55,
+            thumb_side: 16,
+            seed,
+        }
+    }
+
+    /// A street-intersection-like stream (paper's `jackson` dataset): busier
+    /// scene, short presence runs, higher drift — little reuse (3.8%) and a
+    /// harder classification task.
+    pub fn jackson(seed: u64) -> StreamConfig {
+        StreamConfig {
+            name: "jackson".into(),
+            p_enter: 0.10,
+            p_exit: 0.18,
+            drift: 0.004,
+            noise: 0.012,
+            object_contrast: 0.3,
+            difficulty_step: 0.05,
+            // Busy intersections are hard: small, occluded, variable.
+            difficulty_start: 0.50,
+            difficulty_min: 0.20,
+            difficulty_max: 0.75,
+            thumb_side: 16,
+            seed,
+        }
+    }
+}
+
+/// Deterministic frame generator.
+#[derive(Debug, Clone)]
+pub struct VideoStream {
+    config: StreamConfig,
+    rng: DetRng,
+    background: Vec<f64>,
+    object_pattern: Vec<f64>,
+    present: bool,
+    difficulty: f64,
+    next_idx: u64,
+}
+
+impl VideoStream {
+    /// Create a stream from its config.
+    pub fn new(config: StreamConfig) -> VideoStream {
+        let mut rng = DetRng::new(config.seed ^ 0x51DE0);
+        let n = config.thumb_side * config.thumb_side;
+        let background: Vec<f64> = (0..n).map(|_| rng.uniform_in(0.3, 0.7)).collect();
+        // The object occupies a fixed soft blob in the thumbnail.
+        let side = config.thumb_side;
+        let (cx, cy) = (side as f64 * 0.5, side as f64 * 0.55);
+        let object_pattern: Vec<f64> = (0..n)
+            .map(|i| {
+                let x = (i % side) as f64;
+                let y = (i / side) as f64;
+                let d2 = (x - cx).powi(2) + (y - cy).powi(2);
+                (-d2 / (side as f64 * 0.8)).exp()
+            })
+            .collect();
+        let difficulty = config.difficulty_start;
+        VideoStream {
+            config,
+            rng,
+            background,
+            object_pattern,
+            present: false,
+            difficulty,
+            next_idx: 0,
+        }
+    }
+
+    /// The stream's config.
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+
+    /// Generate the next frame.
+    pub fn next_frame(&mut self) -> Frame {
+        let cfg = &self.config;
+        // Markov presence transition.
+        self.present = if self.present {
+            !self.rng.bernoulli(cfg.p_exit)
+        } else {
+            self.rng.bernoulli(cfg.p_enter)
+        };
+        // Background drift.
+        for v in &mut self.background {
+            *v = (*v + cfg.drift * self.rng.standard_normal()).clamp(0.0, 1.0);
+        }
+        // Difficulty random walk, clamped to the stream's hardness band.
+        self.difficulty += cfg.difficulty_step * self.rng.standard_normal();
+        self.difficulty = self.difficulty.clamp(cfg.difficulty_min, cfg.difficulty_max);
+        // Thumbnail.
+        let thumb: Vec<f32> = self
+            .background
+            .iter()
+            .zip(&self.object_pattern)
+            .map(|(&bg, &obj)| {
+                let signal = if self.present {
+                    cfg.object_contrast * obj
+                } else {
+                    0.0
+                };
+                ((bg + signal + cfg.noise * self.rng.standard_normal()).clamp(0.0, 1.0)) as f32
+            })
+            .collect();
+        let frame = Frame {
+            idx: self.next_idx,
+            label: self.present,
+            difficulty: self.difficulty as f32,
+            thumb,
+        };
+        self.next_idx += 1;
+        frame
+    }
+
+    /// Generate `n` frames.
+    pub fn take_frames(&mut self, n: usize) -> Vec<Frame> {
+        (0..n).map(|_| self.next_frame()).collect()
+    }
+}
+
+/// Mean squared difference between two equally sized thumbnails.
+pub fn thumb_mse(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "thumbnail size mismatch");
+    if a.is_empty() {
+        return 0.0;
+    }
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| ((x - y) as f64).powi(2))
+        .sum::<f64>()
+        / a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = VideoStream::new(StreamConfig::coral(7));
+        let mut b = VideoStream::new(StreamConfig::coral(7));
+        for _ in 0..50 {
+            let fa = a.next_frame();
+            let fb = b.next_frame();
+            assert_eq!(fa.label, fb.label);
+            assert_eq!(fa.thumb, fb.thumb);
+        }
+    }
+
+    #[test]
+    fn presence_is_bursty_on_coral() {
+        let mut s = VideoStream::new(StreamConfig::coral(3));
+        let frames = s.take_frames(4000);
+        // Count label transitions; a bursty chain has far fewer transitions
+        // than a Bernoulli sequence of the same rate.
+        let transitions = frames.windows(2).filter(|w| w[0].label != w[1].label).count();
+        let positives = frames.iter().filter(|f| f.label).count();
+        assert!(positives > 100, "object never appears ({positives})");
+        let rate = positives as f64 / frames.len() as f64;
+        let bernoulli_expected = 2.0 * rate * (1.0 - rate) * frames.len() as f64;
+        assert!(
+            (transitions as f64) < bernoulli_expected * 0.25,
+            "transitions {transitions} not bursty (bernoulli {bernoulli_expected:.0})"
+        );
+    }
+
+    #[test]
+    fn jackson_changes_faster_than_coral() {
+        let mut coral = VideoStream::new(StreamConfig::coral(5));
+        let mut jackson = VideoStream::new(StreamConfig::jackson(5));
+        let fc = coral.take_frames(800);
+        let fj = jackson.take_frames(800);
+        let mean_mse = |fs: &[Frame]| {
+            fs.windows(2)
+                .map(|w| thumb_mse(&w[0].thumb, &w[1].thumb))
+                .sum::<f64>()
+                / (fs.len() - 1) as f64
+        };
+        assert!(
+            mean_mse(&fj) > mean_mse(&fc) * 1.5,
+            "jackson should drift faster"
+        );
+    }
+
+    #[test]
+    fn object_presence_changes_the_thumbnail() {
+        let mut s = VideoStream::new(StreamConfig::coral(11));
+        let frames = s.take_frames(4000);
+        let mean_center = |fs: &[&Frame]| {
+            let side = 16;
+            fs.iter()
+                .map(|f| f.thumb[(side / 2) * side + side / 2] as f64)
+                .sum::<f64>()
+                / fs.len().max(1) as f64
+        };
+        let pos: Vec<&Frame> = frames.iter().filter(|f| f.label).collect();
+        let neg: Vec<&Frame> = frames.iter().filter(|f| !f.label).collect();
+        assert!(!pos.is_empty() && !neg.is_empty());
+        assert!(
+            mean_center(&pos) > mean_center(&neg) + 0.05,
+            "object blob not visible in thumbnails"
+        );
+    }
+
+    #[test]
+    fn difficulty_stays_in_unit_interval() {
+        let mut s = VideoStream::new(StreamConfig::jackson(13));
+        for f in s.take_frames(1000) {
+            assert!((0.0..=1.0).contains(&f.difficulty));
+        }
+    }
+
+    #[test]
+    fn thumb_mse_basics() {
+        assert_eq!(thumb_mse(&[0.0, 0.0], &[0.0, 0.0]), 0.0);
+        assert!((thumb_mse(&[0.0, 1.0], &[1.0, 1.0]) - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,38 @@
+//! The model zoo: everything TAHOMA's optimizer chooses between.
+//!
+//! §V-B of the paper: the model design space is the cross product of
+//! architecture specifications **A** (number/width of conv layers, dense
+//! width — 18 combinations) and input transformation functions **F** (4
+//! resolutions x 5 color modes — 20 representations), i.e. **360 specialized
+//! models per predicate**, plus a fine-tuned ResNet50 and (for the NoScope
+//! comparison) a YOLOv2-class reference.
+//!
+//! Two interchangeable ways to obtain model behavior:
+//!
+//! * [`surrogate::SurrogateScorer`] — the calibrated statistical family used
+//!   at paper scale (DESIGN.md §2.4): per-(model, image) scores from a
+//!   latent signal-detection model with shared per-image difficulty;
+//! * [`trainer`] — the real path: trains `tahoma-nn` CNNs on rendered
+//!   datasets at reduced scale and produces the same repository shape.
+//!
+//! Either way the product is a [`repository::ModelRepository`]: for every
+//! model, its scores on the config and eval splits plus its inference cost —
+//! exactly the inputs the core optimizer consumes.
+
+pub mod arch;
+pub mod population;
+pub mod predicates;
+pub mod reference;
+pub mod repository;
+pub mod surrogate;
+pub mod trainer;
+pub mod transform_sets;
+pub mod variant;
+
+pub use arch::ArchSpec;
+pub use population::Population;
+pub use predicates::PredicateSpec;
+pub use repository::{ModelEntry, ModelRepository};
+pub use surrogate::{SurrogateParams, SurrogateScorer};
+pub use transform_sets::TransformSet;
+pub use variant::{ModelId, ModelKind, ModelVariant};

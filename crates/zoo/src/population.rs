@@ -1,0 +1,121 @@
+//! Evaluation populations: the (label, difficulty) view of a dataset split.
+//!
+//! The optimizer never needs pixels once models have been scored — it needs
+//! each image's ground truth and, for the surrogate path, its shared
+//! difficulty. A [`Population`] is that view. It can be extracted from a
+//! rendered [`Dataset`] (real path) or synthesized directly at paper scale
+//! without rendering 224x224 pixels (surrogate path) — the difficulty
+//! distribution matches the renderer's (a weighted sum of independent
+//! uniform hardness knobs).
+
+use tahoma_imagery::{Dataset, ObjectKind};
+use tahoma_mathx::DetRng;
+
+/// Labels and difficulties for one split, in item order.
+#[derive(Debug, Clone)]
+pub struct Population {
+    /// Stable per-item ids.
+    pub ids: Vec<u64>,
+    /// Ground-truth labels.
+    pub labels: Vec<bool>,
+    /// Per-item difficulty in [0, 1], shared by all models.
+    pub difficulties: Vec<f32>,
+}
+
+impl Population {
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Count of positive items.
+    pub fn positives(&self) -> usize {
+        self.labels.iter().filter(|&&l| l).count()
+    }
+
+    /// Extract the population view of a rendered dataset.
+    pub fn from_dataset(ds: &Dataset) -> Population {
+        Population {
+            ids: ds.items.iter().map(|i| i.id).collect(),
+            labels: ds.items.iter().map(|i| i.label).collect(),
+            difficulties: ds.items.iter().map(|i| i.difficulty).collect(),
+        }
+    }
+
+    /// Synthesize a balanced population without rendering pixels.
+    ///
+    /// Difficulties follow the renderer's recipe: `0.40*u1 + 0.30*u2 +
+    /// 0.15*u3 + 0.15*u4` over independent uniforms, matching
+    /// `SceneRenderer::difficulty` in distribution.
+    pub fn synthetic(kind: ObjectKind, n: usize, seed: u64) -> Population {
+        let mut rng = DetRng::from_coords(seed ^ 0xB0B0, kind.index() as u64);
+        let mut ids = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        let mut difficulties = Vec::with_capacity(n);
+        for i in 0..n {
+            ids.push(i as u64);
+            labels.push(i % 2 == 0 && i < n - (n % 2));
+            let d = 0.40 * rng.uniform()
+                + 0.30 * rng.uniform()
+                + 0.15 * rng.uniform()
+                + 0.15 * rng.uniform();
+            difficulties.push(d as f32);
+        }
+        Population {
+            ids,
+            labels,
+            difficulties,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tahoma_imagery::DatasetSpec;
+
+    #[test]
+    fn synthetic_is_balanced_and_deterministic() {
+        let a = Population::synthetic(ObjectKind::Fence, 100, 7);
+        let b = Population::synthetic(ObjectKind::Fence, 100, 7);
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.difficulties, b.difficulties);
+        assert_eq!(a.positives(), 50);
+    }
+
+    #[test]
+    fn synthetic_differs_across_kinds_and_seeds() {
+        let a = Population::synthetic(ObjectKind::Fence, 50, 7);
+        let b = Population::synthetic(ObjectKind::Acorn, 50, 7);
+        let c = Population::synthetic(ObjectKind::Fence, 50, 8);
+        assert_ne!(a.difficulties, b.difficulties);
+        assert_ne!(a.difficulties, c.difficulties);
+    }
+
+    #[test]
+    fn difficulties_are_in_unit_interval_with_sane_moments() {
+        let p = Population::synthetic(ObjectKind::Coho, 10_000, 3);
+        let ds: Vec<f64> = p.difficulties.iter().map(|&d| d as f64).collect();
+        for &d in &ds {
+            assert!((0.0..=1.0).contains(&d));
+        }
+        let mean = tahoma_mathx::mean(&ds);
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        let sd = tahoma_mathx::std_dev(&ds);
+        assert!((0.1..0.25).contains(&sd), "sd {sd}");
+    }
+
+    #[test]
+    fn from_dataset_matches_items() {
+        let bundle = DatasetSpec::tiny(ObjectKind::Cloak, 16, 5).generate();
+        let p = Population::from_dataset(&bundle.eval);
+        assert_eq!(p.len(), bundle.eval.len());
+        assert_eq!(p.positives(), bundle.eval.positives());
+        assert_eq!(p.ids[0], bundle.eval.items[0].id);
+    }
+}

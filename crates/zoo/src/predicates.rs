@@ -1,0 +1,129 @@
+//! The binary-predicate registry (paper Table II) with the per-predicate
+//! difficulty parameters that drive the surrogate accuracy model.
+
+use tahoma_imagery::{ColorMode, ObjectKind};
+
+/// One `contains_object(...)` predicate and its intrinsic hardness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredicateSpec {
+    /// Target category (carries name + ImageNet synset id).
+    pub kind: ObjectKind,
+    /// Maximum achievable latent separation `d_max`: the separation an
+    /// unboundedly capable model would reach on this category's synthetic
+    /// scenes. Spread across predicates so the experiments cover easy
+    /// (komondor-like, strong texture) through hard (ferret-like, low
+    /// contrast and generic shape) tasks, as the paper's per-predicate
+    /// plots do.
+    pub d_max: f64,
+}
+
+impl PredicateSpec {
+    /// All ten predicates in Table II order.
+    pub fn all_paper() -> Vec<PredicateSpec> {
+        ObjectKind::ALL.iter().map(|&k| PredicateSpec::for_kind(k)).collect()
+    }
+
+    /// The spec for one category.
+    pub fn for_kind(kind: ObjectKind) -> PredicateSpec {
+        let d_max = match kind {
+            ObjectKind::Acorn => 3.6,
+            ObjectKind::Amphibian => 3.0,
+            ObjectKind::Cloak => 3.3,
+            ObjectKind::Coho => 2.8,
+            ObjectKind::Fence => 4.2,
+            ObjectKind::Ferret => 2.6,
+            ObjectKind::Komondor => 4.6,
+            ObjectKind::Pinwheel => 4.4,
+            ObjectKind::Scorpion => 3.1,
+            ObjectKind::Wallet => 2.9,
+        };
+        PredicateSpec { kind, d_max }
+    }
+
+    /// How much information a color mode retains *for this category*.
+    ///
+    /// Extends [`ColorMode::information_factor`] with a per-category channel
+    /// affinity derived from the glyph's color signature: an amphibian
+    /// (green glyph) loses little in the green channel but a lot in blue; a
+    /// komondor (near-white) survives any single channel.
+    pub fn channel_factor(&self, mode: ColorMode) -> f64 {
+        let base = mode.information_factor();
+        let tweak = match (self.kind, mode) {
+            (_, ColorMode::Rgb) | (_, ColorMode::Gray) => 0.0,
+            (ObjectKind::Amphibian, ColorMode::Green) => 0.08,
+            (ObjectKind::Amphibian, ColorMode::Blue) => -0.06,
+            (ObjectKind::Coho, ColorMode::Red) => 0.08,
+            (ObjectKind::Coho, ColorMode::Blue) => -0.05,
+            (ObjectKind::Pinwheel, ColorMode::Red) => 0.06,
+            (ObjectKind::Pinwheel, ColorMode::Green) => -0.04,
+            (ObjectKind::Cloak, ColorMode::Blue) => 0.07,
+            (ObjectKind::Komondor, _) => 0.05, // bright glyph, any channel works
+            (ObjectKind::Acorn, ColorMode::Red) => 0.05,
+            (ObjectKind::Scorpion, ColorMode::Red) => 0.04,
+            _ => 0.0,
+        };
+        (base + tweak).clamp(0.3, 1.0)
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        self.kind.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_predicates_cover_table2() {
+        let all = PredicateSpec::all_paper();
+        assert_eq!(all.len(), 10);
+        assert_eq!(all[0].name(), "acorn");
+        assert_eq!(all[9].name(), "wallet");
+    }
+
+    #[test]
+    fn difficulty_spread_is_meaningful() {
+        let all = PredicateSpec::all_paper();
+        let min = all.iter().map(|p| p.d_max).fold(f64::INFINITY, f64::min);
+        let max = all.iter().map(|p| p.d_max).fold(0.0, f64::max);
+        assert!(min >= 2.0, "easiest possible predicate too hard: {min}");
+        assert!(max <= 5.0);
+        assert!(max - min >= 1.5, "insufficient spread {min}..{max}");
+    }
+
+    #[test]
+    fn channel_affinity_respects_glyph_colors() {
+        let amphibian = PredicateSpec::for_kind(ObjectKind::Amphibian);
+        assert!(
+            amphibian.channel_factor(ColorMode::Green)
+                > amphibian.channel_factor(ColorMode::Blue)
+        );
+        let coho = PredicateSpec::for_kind(ObjectKind::Coho);
+        assert!(coho.channel_factor(ColorMode::Red) > coho.channel_factor(ColorMode::Blue));
+    }
+
+    #[test]
+    fn rgb_never_loses_information() {
+        for p in PredicateSpec::all_paper() {
+            for mode in ColorMode::ALL {
+                assert!(
+                    p.channel_factor(ColorMode::Rgb) >= p.channel_factor(mode),
+                    "{}: {mode}",
+                    p.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn factors_stay_in_unit_range() {
+        for p in PredicateSpec::all_paper() {
+            for mode in ColorMode::ALL {
+                let f = p.channel_factor(mode);
+                assert!((0.3..=1.0).contains(&f));
+            }
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Reference deep models: the expensive classifiers cascades terminate in.
+
+use crate::variant::{ModelId, ModelKind, ModelVariant};
+use tahoma_imagery::Representation;
+
+/// The fine-tuned ResNet50 reference (paper §VII-A: pre-trained on ImageNet,
+/// final layers retrained per binary predicate). Consumes the identity
+/// representation.
+pub fn resnet50(id: ModelId) -> ModelVariant {
+    ModelVariant {
+        id,
+        kind: ModelKind::ResNet50,
+        input: Representation::full(),
+    }
+}
+
+/// The YOLOv2-class detector used as the terminal classifier in the NoScope
+/// comparison (§VII-C). Also consumes the full frame.
+pub fn yolov2(id: ModelId) -> ModelVariant {
+    ModelVariant {
+        id,
+        kind: ModelKind::YoloV2,
+        input: Representation::full(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn references_consume_full_frames() {
+        assert!(resnet50(ModelId(0)).input.is_identity());
+        assert!(yolov2(ModelId(1)).input.is_identity());
+    }
+
+    #[test]
+    fn references_are_flagged() {
+        assert!(resnet50(ModelId(0)).is_reference());
+        assert!(yolov2(ModelId(0)).is_reference());
+    }
+}

@@ -1,0 +1,89 @@
+//! Transform-family subsets for the input-transformation ablation
+//! (paper §VII-E, Fig. 10).
+
+use tahoma_imagery::{ColorMode, Representation};
+
+/// Which input transformations the cascade set may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransformSet {
+    /// No transformations: only full-size, full-color inputs.
+    None,
+    /// Only color-channel extraction / grayscale (full size).
+    ColorVariations,
+    /// Only resolution reduction (full color).
+    Resizing,
+    /// The full TAHOMA transform space.
+    Full,
+}
+
+impl TransformSet {
+    /// All four ablation arms in the paper's order.
+    pub const ALL: [TransformSet; 4] = [
+        TransformSet::None,
+        TransformSet::ColorVariations,
+        TransformSet::Resizing,
+        TransformSet::Full,
+    ];
+
+    /// Display name matching Fig. 10's legend.
+    pub fn name(self) -> &'static str {
+        match self {
+            TransformSet::None => "None",
+            TransformSet::ColorVariations => "Color Variations",
+            TransformSet::Resizing => "Resizing",
+            TransformSet::Full => "Full",
+        }
+    }
+
+    /// The representations this arm may feed to models.
+    pub fn representations(self) -> Vec<Representation> {
+        match self {
+            TransformSet::None => vec![Representation::full()],
+            TransformSet::ColorVariations => ColorMode::ALL
+                .iter()
+                .map(|&m| Representation::new(tahoma_imagery::repr::FULL_SIZE, m))
+                .collect(),
+            TransformSet::Resizing => tahoma_imagery::repr::PAPER_SIZES
+                .iter()
+                .map(|&s| Representation::new(s, ColorMode::Rgb))
+                .collect(),
+            TransformSet::Full => Representation::paper_set(),
+        }
+    }
+}
+
+impl std::fmt::Display for TransformSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arm_sizes() {
+        assert_eq!(TransformSet::None.representations().len(), 1);
+        assert_eq!(TransformSet::ColorVariations.representations().len(), 5);
+        assert_eq!(TransformSet::Resizing.representations().len(), 4);
+        assert_eq!(TransformSet::Full.representations().len(), 20);
+    }
+
+    #[test]
+    fn subsets_are_contained_in_full() {
+        let full: std::collections::HashSet<_> =
+            TransformSet::Full.representations().into_iter().collect();
+        for set in [TransformSet::None, TransformSet::ColorVariations, TransformSet::Resizing] {
+            for rep in set.representations() {
+                assert!(full.contains(&rep), "{set}: {rep} not in Full");
+            }
+        }
+    }
+
+    #[test]
+    fn none_is_identity_only() {
+        let reps = TransformSet::None.representations();
+        assert!(reps[0].is_identity());
+    }
+}

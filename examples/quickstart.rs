@@ -1,0 +1,85 @@
+//! Quickstart: initialize TAHOMA for one predicate, inspect the
+//! accuracy/throughput frontier under two deployment scenarios, and select
+//! cascades under user constraints.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use tahoma::prelude::*;
+
+fn main() {
+    // --- System initialization (paper Fig. 2, left half) ----------------
+    // A surrogate-backed repository: 90 of the paper's 360 models to keep
+    // this example under a second. See `train_tiny_cnn` for the real
+    // training path.
+    let pred = PredicateSpec::for_kind(ObjectKind::Fence);
+    let cfg = SurrogateBuildConfig {
+        n_config: 400,
+        n_eval: 600,
+        seed: 42,
+        variants: Some(paper_variants().into_iter().step_by(4).collect()),
+        ..Default::default()
+    };
+    let repo = build_surrogate_repository(pred, &cfg, &DeviceProfile::k80());
+    println!(
+        "repository: {} models for contains_object({})",
+        repo.len(),
+        pred.kind
+    );
+
+    let system = TahomaSystem::initialize_paper_main(repo);
+    println!("cascade set: {} cascades simulated\n", system.n_cascades());
+
+    // --- Query time: scenario-aware frontiers ---------------------------
+    for scenario in [Scenario::InferOnly, Scenario::Camera] {
+        let profiler = AnalyticProfiler::paper_testbed(scenario);
+        let frontier = system.frontier(&profiler);
+        println!("{scenario}: {} Pareto-optimal cascades", frontier.points.len());
+        for p in frontier.points.iter().take(3) {
+            println!(
+                "  {:>9.1} fps @ accuracy {:.3}   {}",
+                p.throughput,
+                p.accuracy,
+                system.describe(&system.outcomes.cascades[p.idx])
+            );
+        }
+        println!("  ...");
+    }
+
+    // --- Constraint-driven selection (U_acc from §V-A) ------------------
+    let profiler = AnalyticProfiler::paper_testbed(Scenario::Camera);
+    for loss in [0.0, 0.05, 0.10] {
+        let chosen = system
+            .select(
+                &profiler,
+                Constraints {
+                    max_accuracy_loss: Some(loss),
+                    max_throughput_loss: None,
+                },
+            )
+            .expect("feasible");
+        println!(
+            "\nU_acc = {:>4.0}% loss -> {:>8.1} fps @ accuracy {:.3}\n  plan: {}",
+            loss * 100.0,
+            chosen.throughput,
+            chosen.accuracy,
+            chosen.description
+        );
+    }
+
+    // --- Versus the expensive reference ---------------------------------
+    let resnet = system.repo.resnet.expect("resnet present");
+    let resnet_acc = system.repo.eval_accuracy(resnet);
+    let resnet_fps = 1.0 / system.repo.entry(resnet).infer_s;
+    let matched = system
+        .select_matching_model(&AnalyticProfiler::paper_testbed(Scenario::InferOnly), resnet)
+        .expect("feasible");
+    println!(
+        "\nResNet50 alone: {resnet_fps:.1} fps @ accuracy {resnet_acc:.3}\n\
+         TAHOMA at >= that accuracy (INFER-ONLY): {:.0} fps ({:.0}x)\n  plan: {}",
+        matched.throughput,
+        matched.throughput / resnet_fps,
+        matched.description
+    );
+}

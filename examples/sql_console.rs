@@ -1,0 +1,135 @@
+//! Mini SQL console over a synthetic visual corpus (paper §IV: content-based
+//! queries decompose into metadata predicates plus binary content
+//! predicates).
+//!
+//! ```text
+//! cargo run --release --example sql_console
+//! cargo run --release --example sql_console -- \
+//!     "SELECT * FROM frames WHERE contains_object(scorpion) AND camera < 3"
+//! ```
+
+use std::collections::BTreeMap;
+use tahoma::core::evaluator::CostContext;
+use tahoma::core::query::SurrogateItemScorer;
+use tahoma::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let queries: Vec<String> = if args.is_empty() {
+        vec![
+            "SELECT * FROM frames WHERE contains_object(fence)".to_string(),
+            "SELECT * FROM frames WHERE contains_object(fence) AND location = 'Detroit'"
+                .to_string(),
+            "SELECT * FROM frames WHERE contains_object(komondor) AND \
+             contains_object(fence) AND timestamp >= 1700100000"
+                .to_string(),
+        ]
+    } else {
+        args
+    };
+
+    // One corpus, one scenario, one initialized system per queried category.
+    let corpus = Corpus::synthetic(8_000, 0.25, 5);
+    let profiler = AnalyticProfiler::paper_testbed(Scenario::Ongoing);
+    println!("corpus: {} frames | scenario: ONGOING\n", corpus.len());
+
+    // Cache initialized systems per predicate kind.
+    let mut systems: BTreeMap<ObjectKind, (tahoma::core::pipeline::TahomaSystem, SurrogateScorer)> =
+        BTreeMap::new();
+
+    for sql in &queries {
+        println!("tahoma> {sql}");
+        let query = match Query::parse(sql) {
+            Ok(q) => q,
+            Err(e) => {
+                println!("  error: {e}\n");
+                continue;
+            }
+        };
+        // Initialize a system per content predicate on demand.
+        for &kind in &query.content {
+            systems.entry(kind).or_insert_with(|| {
+                let pred = PredicateSpec::for_kind(kind);
+                let cfg = SurrogateBuildConfig {
+                    n_config: 300,
+                    n_eval: 400,
+                    seed: 31 ^ kind.index() as u64,
+                    variants: Some(paper_variants().into_iter().step_by(8).collect()),
+                    ..Default::default()
+                };
+                let scorer = SurrogateScorer {
+                    pred,
+                    params: cfg.params,
+                    seed: cfg.seed,
+                };
+                let repo = build_surrogate_repository(pred, &cfg, &DeviceProfile::k80());
+                (
+                    tahoma::core::pipeline::TahomaSystem::initialize_paper_main(repo),
+                    scorer,
+                )
+            });
+        }
+        if query.content.is_empty() {
+            let survivors = corpus
+                .items
+                .iter()
+                .filter(|i| query.metadata.iter().all(|p| p.holds(i)))
+                .count();
+            println!("  {survivors} rows (metadata only)\n");
+            continue;
+        }
+        // Execute each content predicate with its own selected cascade.
+        // (Multi-predicate planning in concert is the paper's future work;
+        // we run them independently and intersect, as §IV describes.)
+        let mut matched: Option<Vec<u64>> = None;
+        let mut survivors = 0usize;
+        for &kind in &query.content {
+            let (system, scorer) = &systems[&kind];
+            let chosen = system
+                .select(
+                    &profiler,
+                    Constraints {
+                        max_accuracy_loss: Some(0.02),
+                        max_throughput_loss: None,
+                    },
+                )
+                .expect("feasible cascade");
+            let cost = CostContext::build(&system.repo, &profiler);
+            let processor = QueryProcessor::new(&system.repo, &system.thresholds, &cost);
+            let single = Query {
+                table: query.table.clone(),
+                metadata: query.metadata.clone(),
+                content: vec![kind],
+            };
+            let mut cascades = BTreeMap::new();
+            cascades.insert(kind, chosen.cascade);
+            let scorer = SurrogateItemScorer {
+                scorer,
+                repo: &system.repo,
+            };
+            let result = processor
+                .execute(&single, &corpus, &cascades, &scorer)
+                .expect("query executes");
+            survivors = result.metadata_survivors;
+            let rel = &result.relations[0];
+            println!(
+                "  contains_object({kind}): cascade [{}] -> {:.0} fps, relation accuracy {:.3}",
+                chosen.description, rel.throughput_fps, rel.accuracy
+            );
+            matched = Some(match matched {
+                None => result.matched_ids,
+                Some(prev) => {
+                    let set: std::collections::HashSet<u64> =
+                        result.matched_ids.into_iter().collect();
+                    prev.into_iter().filter(|id| set.contains(id)).collect()
+                }
+            });
+        }
+        let matched = matched.unwrap_or_default();
+        println!(
+            "  {} rows match (of {survivors} after metadata filter); first ids: {:?}\n",
+            matched.len(),
+            &matched[..matched.len().min(8)]
+        );
+    }
+}

@@ -1,0 +1,112 @@
+//! Retrospective analytics over an archived traffic-camera corpus — the
+//! ARCHIVE deployment scenario plus the SQL query layer (paper §III, §IV).
+//!
+//! Story: a fleet engineer wants historical frames from Detroit showing a
+//! fence (a stand-in for the paper's "delivery van with a unique logo"
+//! investigation). Frames are stored compressed on SSD, so every classified
+//! image pays load + decode before any representation can be built.
+//!
+//! ```text
+//! cargo run --release --example traffic_archive
+//! ```
+
+use std::collections::BTreeMap;
+use tahoma::core::evaluator::CostContext;
+use tahoma::core::query::SurrogateItemScorer;
+use tahoma::prelude::*;
+
+fn main() {
+    let kind = ObjectKind::Fence;
+    let pred = PredicateSpec::for_kind(kind);
+    let cfg = SurrogateBuildConfig {
+        n_config: 400,
+        n_eval: 600,
+        seed: 1207,
+        variants: Some(paper_variants().into_iter().step_by(4).collect()),
+        ..Default::default()
+    };
+    let repo = build_surrogate_repository(pred, &cfg, &DeviceProfile::k80());
+    let scorer = SurrogateScorer {
+        pred,
+        params: cfg.params,
+        seed: cfg.seed,
+    };
+    let system = TahomaSystem::initialize_paper_main(repo);
+
+    // The archived corpus: 20k frames across four cities.
+    let corpus = Corpus::synthetic(20_000, 0.22, 99);
+    println!("corpus: {} archived frames", corpus.len());
+
+    // Parse the analyst's query.
+    let sql = "SELECT * FROM frames WHERE contains_object(fence) \
+               AND location = 'Detroit' AND camera < 6";
+    let query = Query::parse(sql).expect("query parses");
+    println!("query: {sql}");
+    println!(
+        "plan: {} metadata predicate(s) first, then contains_object({}) via cascade\n",
+        query.metadata.len(),
+        kind
+    );
+
+    // Scenario-aware selection under ARCHIVE at a 5% accuracy budget.
+    let archive = AnalyticProfiler::paper_testbed(Scenario::Archive);
+    let aware = system
+        .select(
+            &archive,
+            Constraints {
+                max_accuracy_loss: Some(0.05),
+                max_throughput_loss: None,
+            },
+        )
+        .expect("feasible");
+
+    // What a scenario-oblivious planner (INFER-ONLY habits) would have run.
+    let infer_only = AnalyticProfiler::paper_testbed(Scenario::InferOnly);
+    let oblivious = system
+        .select(
+            &infer_only,
+            Constraints {
+                max_accuracy_loss: Some(0.05),
+                max_throughput_loss: None,
+            },
+        )
+        .expect("feasible");
+
+    let cost = CostContext::build(&system.repo, &archive);
+    let processor = QueryProcessor::new(&system.repo, &system.thresholds, &cost);
+    let item_scorer = SurrogateItemScorer {
+        scorer: &scorer,
+        repo: &system.repo,
+    };
+
+    for (label, cascade) in [("scenario-AWARE", aware.cascade), ("oblivious", oblivious.cascade)] {
+        let mut cascades = BTreeMap::new();
+        cascades.insert(kind, cascade);
+        let result = processor
+            .execute(&query, &corpus, &cascades, &item_scorer)
+            .expect("query executes");
+        let rel = &result.relations[0];
+        println!("{label} cascade: {}", system.describe(&cascade));
+        println!(
+            "  classified {} Detroit frames in {:.2} simulated s  ({:.1} fps)",
+            result.metadata_survivors,
+            rel.simulated_time_s,
+            rel.throughput_fps
+        );
+        println!(
+            "  matches: {}   relation accuracy vs ground truth: {:.3}",
+            result.matched_ids.len(),
+            rel.accuracy
+        );
+        println!(
+            "  per-level decisions: {:?}\n",
+            &rel.level_histogram[..cascade.depth()]
+        );
+    }
+
+    println!(
+        "Under ARCHIVE the full-frame load+decode (~{:.1} ms/frame) dominates;\n\
+         scenario awareness narrows but never flips the ordering (Table III's point).",
+        archive.per_image_fixed_s() * 1e3
+    );
+}

@@ -1,0 +1,80 @@
+//! Integration of the NoScope comparison pipeline (Fig. 8 machinery) at
+//! reduced scale.
+
+use tahoma::noscope::{
+    run_with_dd, NoScopeConfig, NoScopeSystem, TahomaDdSystem, VideoDataset,
+};
+use tahoma::prelude::*;
+use tahoma::video::{DifferenceDetector, FrameSkipper, VideoStream};
+
+fn small_cfg(seed: u64) -> SurrogateBuildConfig {
+    SurrogateBuildConfig {
+        n_config: 200,
+        n_eval: 250,
+        seed,
+        variants: Some(paper_variants().into_iter().step_by(9).collect()),
+        ..Default::default()
+    }
+}
+
+#[test]
+fn full_pipeline_reproduces_fig8_shape() {
+    let skipper = FrameSkipper::paper_default();
+    let mut results = Vec::new();
+    for ds in [VideoDataset::coral(3, 24_000), VideoDataset::jackson(3, 24_000)] {
+        let frames = VideoStream::new(ds.stream.clone()).take_frames(ds.n_frames);
+        let noscope = NoScopeSystem::build(&ds, &NoScopeConfig::default());
+        let mut dd = DifferenceDetector::new(ds.dd_threshold);
+        let ns = run_with_dd(&frames, skipper, &mut dd, &noscope);
+        let tahoma = TahomaDdSystem::build(&ds, small_cfg(17), ns.accuracy);
+        let mut dd = DifferenceDetector::new(ds.dd_threshold);
+        let td = run_with_dd(&frames, skipper, &mut dd, &tahoma);
+        results.push((ds.stream.name.clone(), ns, td));
+    }
+    let (coral_ns, coral_td) = (&results[0].1, &results[0].2);
+    let (jackson_ns, jackson_td) = (&results[1].1, &results[1].2);
+
+    // TAHOMA+DD wins on both datasets.
+    assert!(coral_td.throughput_fps > coral_ns.throughput_fps);
+    assert!(jackson_td.throughput_fps > jackson_ns.throughput_fps);
+    // ...and by a much larger factor on jackson (paper: 3.1x vs 27.5x).
+    let coral_speedup = coral_td.throughput_fps / coral_ns.throughput_fps;
+    let jackson_speedup = jackson_td.throughput_fps / jackson_ns.throughput_fps;
+    assert!(
+        jackson_speedup > 3.0 * coral_speedup,
+        "jackson {jackson_speedup:.1}x vs coral {coral_speedup:.1}x"
+    );
+    // NoScope itself is far slower on jackson (YOLO fallthrough).
+    assert!(coral_ns.throughput_fps > 5.0 * jackson_ns.throughput_fps);
+    // Difference-detector reuse ordering (footnote 2).
+    assert!(coral_ns.reuse_rate > jackson_ns.reuse_rate);
+}
+
+#[test]
+fn noscope_accuracy_meets_its_precision_discipline() {
+    // With thresholds at 0.95 precision and a strong reference terminal,
+    // NoScope's end-to-end accuracy should be high on the easy stream.
+    let ds = VideoDataset::coral(5, 15_000);
+    let frames = VideoStream::new(ds.stream.clone()).take_frames(ds.n_frames);
+    let noscope = NoScopeSystem::build(&ds, &NoScopeConfig::default());
+    let mut dd = DifferenceDetector::new(ds.dd_threshold);
+    let report = run_with_dd(&frames, FrameSkipper::paper_default(), &mut dd, &noscope);
+    assert!(report.accuracy > 0.9, "coral accuracy {}", report.accuracy);
+}
+
+#[test]
+fn dd_reuse_respects_stream_dynamics_end_to_end() {
+    // Identical pipeline, different stream dynamics: reuse tracks drift.
+    let skipper = FrameSkipper { stride: 30 };
+    let rates: Vec<f64> = [VideoDataset::coral(7, 18_000), VideoDataset::jackson(7, 18_000)]
+        .into_iter()
+        .map(|ds| {
+            let frames = VideoStream::new(ds.stream.clone()).take_frames(ds.n_frames);
+            let noscope = NoScopeSystem::build(&ds, &NoScopeConfig::default());
+            let mut dd = DifferenceDetector::new(ds.dd_threshold);
+            run_with_dd(&frames, skipper, &mut dd, &noscope).reuse_rate
+        })
+        .collect();
+    assert!(rates[0] > 0.10, "coral reuse {:.3}", rates[0]);
+    assert!(rates[1] < rates[0] / 2.0, "jackson reuse {:.3}", rates[1]);
+}

@@ -1,0 +1,155 @@
+//! Property-based tests on the core invariants (proptest).
+
+use proptest::prelude::*;
+use tahoma::core::alc;
+use tahoma::core::pareto::{is_pareto_optimal, pareto_frontier};
+use tahoma::core::thresholds::{calibrate, negative_precision, positive_precision};
+use tahoma::imagery::{transform, BlockCodec, Codec, ColorMode, Image, RawCodec};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The frontier is Pareto-optimal and every non-member is dominated.
+    #[test]
+    fn pareto_frontier_is_sound_and_complete(
+        points in prop::collection::vec((0.0f32..1.0, 1.0f64..1e5), 1..300)
+    ) {
+        let acc: Vec<f32> = points.iter().map(|(a, _)| *a).collect();
+        let thr: Vec<f64> = points.iter().map(|(_, t)| *t).collect();
+        let frontier = pareto_frontier(&acc, &thr);
+        prop_assert!(!frontier.is_empty());
+        prop_assert!(is_pareto_optimal(&frontier, &acc, &thr));
+        let members: std::collections::HashSet<usize> =
+            frontier.iter().map(|p| p.idx).collect();
+        for i in 0..acc.len() {
+            if !members.contains(&i) {
+                let dominated = frontier.iter().any(|p| {
+                    p.accuracy >= acc[i] as f64 && p.throughput >= thr[i]
+                });
+                prop_assert!(dominated, "point {} not dominated", i);
+            }
+        }
+    }
+
+    /// ALC is monotone in the point set: adding points never shrinks it.
+    #[test]
+    fn alc_monotone_under_point_addition(
+        base in prop::collection::vec((0.5f64..1.0, 1.0f64..1e4), 1..50),
+        extra in prop::collection::vec((0.5f64..1.0, 1.0f64..1e4), 1..20)
+    ) {
+        let lo = 0.5;
+        let hi = 1.0;
+        let a1 = alc::alc(&base, lo, hi);
+        let mut all = base.clone();
+        all.extend(extra);
+        let a2 = alc::alc(&all, lo, hi);
+        prop_assert!(a2 >= a1 - 1e-9, "ALC shrank: {a1} -> {a2}");
+    }
+
+    /// ALC is additive over adjacent accuracy ranges.
+    #[test]
+    fn alc_splits_over_ranges(
+        points in prop::collection::vec((0.5f64..1.0, 1.0f64..1e4), 1..60),
+        mid in 0.6f64..0.9
+    ) {
+        let total = alc::alc(&points, 0.5, 1.0);
+        let left = alc::alc(&points, 0.5, mid);
+        let right = alc::alc(&points, mid, 1.0);
+        prop_assert!((total - left - right).abs() < 1e-6 * total.max(1.0));
+    }
+
+    /// Calibrated thresholds always meet the precision target on the data
+    /// they were calibrated on (whenever they decide anything at all).
+    #[test]
+    fn calibration_meets_target_precision(
+        seed in 0u64..1000,
+        target in 0.85f64..0.99,
+        n in 50usize..300
+    ) {
+        let mut rng = tahoma::mathx::DetRng::new(seed);
+        let mut scores = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let label = i % 2 == 0;
+            let mu = if label { 0.65 } else { 0.35 };
+            scores.push((mu + 0.2 * rng.standard_normal()).clamp(0.0, 1.0) as f32);
+            labels.push(label);
+        }
+        let thr = calibrate(&scores, &labels, target);
+        prop_assert!(thr.p_low < thr.p_high);
+        if let Some(p) = positive_precision(thr, &scores, &labels) {
+            prop_assert!(p >= target - 1e-9, "positive precision {p} < {target}");
+        }
+        if let Some(p) = negative_precision(thr, &scores, &labels) {
+            prop_assert!(p >= target - 1e-9, "negative precision {p} < {target}");
+        }
+    }
+
+    /// Raw codec roundtrip error is bounded by quantization everywhere.
+    #[test]
+    fn raw_codec_roundtrip(
+        w in 1usize..24, h in 1usize..24, seed in 0u64..500
+    ) {
+        let mut rng = tahoma::mathx::DetRng::new(seed);
+        let img = Image::from_fn(w, h, ColorMode::Rgb, |_, _, _| {
+            rng.uniform() as f32
+        }).unwrap();
+        let out = RawCodec.decode(&RawCodec.encode(&img)).unwrap();
+        for (a, b) in img.data().iter().zip(out.data()) {
+            prop_assert!((a - b).abs() <= 0.5 / 255.0 + 1e-6);
+        }
+    }
+
+    /// Block codec roundtrip error is bounded by its quantization step.
+    #[test]
+    fn block_codec_roundtrip(
+        seed in 0u64..200, quality in 20u8..95
+    ) {
+        let mut rng = tahoma::mathx::DetRng::new(seed);
+        let img = Image::from_fn(16, 16, ColorMode::Gray, |_, _, _| {
+            rng.uniform() as f32
+        }).unwrap();
+        let codec = BlockCodec::new(quality);
+        let out = codec.decode(&codec.encode(&img)).unwrap();
+        // step/255 residual quantization + mean quantization slack.
+        let bound = (2.0 + (100.0 - quality as f32) * 62.0 / 99.0) / 255.0 + 2.0 / 255.0;
+        for (a, b) in img.data().iter().zip(out.data()) {
+            prop_assert!((a - b).abs() <= bound, "err {} > bound {bound}", (a - b).abs());
+        }
+    }
+
+    /// Horizontal flip is an involution on arbitrary images.
+    #[test]
+    fn flip_involution(w in 1usize..20, h in 1usize..20, seed in 0u64..100) {
+        let mut rng = tahoma::mathx::DetRng::new(seed);
+        let img = Image::from_fn(w, h, ColorMode::Rgb, |_, _, _| rng.uniform() as f32).unwrap();
+        let back = transform::flip_horizontal(&transform::flip_horizontal(&img));
+        prop_assert_eq!(img, back);
+    }
+
+    /// Bilinear resize output stays within the input's value range.
+    #[test]
+    fn resize_respects_range(
+        w in 2usize..32, h in 2usize..32, ow in 1usize..32, oh in 1usize..32,
+        seed in 0u64..100
+    ) {
+        let mut rng = tahoma::mathx::DetRng::new(seed);
+        let img = Image::from_fn(w, h, ColorMode::Gray, |_, _, _| rng.uniform() as f32).unwrap();
+        let lo = img.data().iter().cloned().fold(f32::INFINITY, f32::min);
+        let hi = img.data().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let out = transform::resize_bilinear(&img, ow, oh).unwrap();
+        for &v in out.data() {
+            prop_assert!(v >= lo - 1e-5 && v <= hi + 1e-5);
+        }
+    }
+
+    /// DetRng is insensitive to interleaving: two streams derived from
+    /// different coordinates never correlate exactly.
+    #[test]
+    fn rng_streams_are_distinct(seed in 0u64..10_000) {
+        let mut a = tahoma::mathx::DetRng::from_coords(seed, 0);
+        let mut b = tahoma::mathx::DetRng::from_coords(seed, 1);
+        let matches = (0..32).filter(|_| a.uniform() == b.uniform()).count();
+        prop_assert!(matches < 4);
+    }
+}

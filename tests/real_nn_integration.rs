@@ -1,0 +1,160 @@
+//! Integration of the *real* training path with the optimizer: models
+//! trained by `tahoma-nn` on rendered pixels drive the same cascade
+//! machinery the surrogate experiments use.
+
+use tahoma::prelude::*;
+use tahoma::zoo::trainer::{build_real_repository, RealTrainConfig};
+use tahoma::zoo::variant::cross_variants;
+
+fn mini_space() -> Vec<ModelVariant> {
+    cross_variants(
+        &[
+            ArchSpec { conv_layers: 1, conv_nodes: 4, dense_nodes: 8 },
+            ArchSpec { conv_layers: 2, conv_nodes: 8, dense_nodes: 16 },
+        ],
+        &[
+            Representation::new(12, ColorMode::Gray),
+            Representation::new(24, ColorMode::Rgb),
+        ],
+    )
+}
+
+fn train_system() -> &'static tahoma::core::pipeline::TahomaSystem {
+    // Training real CNNs is the dominant cost here; share one system
+    // across the tests in this file.
+    use std::sync::OnceLock;
+    static SYSTEM: OnceLock<tahoma::core::pipeline::TahomaSystem> = OnceLock::new();
+    SYSTEM.get_or_init(build_train_system)
+}
+
+fn build_train_system() -> tahoma::core::pipeline::TahomaSystem {
+    let spec = DatasetSpec {
+        n_train: 160,
+        n_config: 80,
+        n_eval: 80,
+        ..DatasetSpec::tiny(ObjectKind::Komondor, 24, 5)
+    };
+    let bundle = spec.generate();
+    let cfg = RealTrainConfig {
+        epochs: 20,
+        batch_size: 16,
+        lr: 0.01,
+        early_stop_loss: 0.08,
+        seed: 2,
+    };
+    let (repo, _) =
+        build_real_repository(&bundle, &mini_space(), &cfg, &DeviceProfile::k80()).unwrap();
+    let builder = BuilderConfig {
+        pool: repo.specialized_ids(),
+        reference: None,
+        n_settings: 3,
+        max_pool_depth: 2,
+        with_reference_terminal: false,
+    };
+    tahoma::core::pipeline::TahomaSystem::initialize(repo, &[0.93, 0.95, 0.99], &builder)
+}
+
+#[test]
+fn real_models_learn_above_chance_and_form_a_frontier() {
+    let system = train_system();
+    // At least one real model beats chance clearly on the eval split.
+    let best = system
+        .repo
+        .specialized_ids()
+        .into_iter()
+        .map(|id| system.repo.eval_accuracy(id))
+        .fold(0.0, f64::max);
+    assert!(best > 0.75, "best real model accuracy {best}");
+
+    let profiler = AnalyticProfiler::paper_testbed(Scenario::InferOnly);
+    let frontier = system.frontier(&profiler);
+    assert!(!frontier.points.is_empty());
+    // Frontier throughput spans the model cost spread.
+    let fastest = frontier.points.first().unwrap().throughput;
+    let slowest = frontier.points.last().unwrap().throughput;
+    assert!(fastest >= slowest);
+}
+
+#[test]
+fn richer_inputs_help_real_models_too() {
+    // The surrogate family assumes bigger inputs carry more signal; verify
+    // the real path agrees in aggregate: the best 24px RGB model is at
+    // least as accurate as the best 12px gray model.
+    let system = train_system();
+    let mut best_small = 0.0f64;
+    let mut best_large = 0.0f64;
+    for id in system.repo.specialized_ids() {
+        let entry = system.repo.entry(id);
+        let acc = system.repo.eval_accuracy(id);
+        if entry.variant.input.size == 12 {
+            best_small = best_small.max(acc);
+        } else {
+            best_large = best_large.max(acc);
+        }
+    }
+    assert!(
+        best_large >= best_small - 0.05,
+        "24px rgb best {best_large} unexpectedly far below 12px gray best {best_small}"
+    );
+}
+
+#[test]
+fn thresholds_calibrated_on_real_scores_meet_precision_on_config_split() {
+    let system = train_system();
+    for (mi, entry) in system.repo.entries.iter().enumerate() {
+        for (si, &target) in system.thresholds.settings.iter().enumerate() {
+            let thr = system.thresholds.get(mi, si);
+            if let Some(p) = tahoma::core::thresholds::positive_precision(
+                thr,
+                &entry.config_scores,
+                &system.repo.config.labels,
+            ) {
+                assert!(
+                    p >= target - 1e-9,
+                    "model {mi} setting {si}: precision {p} < {target}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn trained_weights_roundtrip_through_serialization() {
+    use tahoma::nn::{serialize, Adam, CnnSpec, Shape, Trainer};
+    use tahoma::nn::train::Example;
+    // Train one tiny model on rendered data, save, reload, verify identical
+    // predictions.
+    let bundle = DatasetSpec::tiny(ObjectKind::Acorn, 16, 3).generate();
+    let rep = Representation::new(16, ColorMode::Gray);
+    let mut model = CnnSpec {
+        input: Shape::new(1, 16, 16),
+        conv_channels: vec![4],
+        kernel: 3,
+        dense_units: 8,
+    }
+    .build(1)
+    .unwrap();
+    let examples: Vec<Example> = bundle
+        .train
+        .items
+        .iter()
+        .take(60)
+        .map(|it| Example {
+            input: tahoma::imagery::transform::standardize(&rep.apply(&it.image).unwrap())
+                .into_data(),
+            label: it.label,
+        })
+        .collect();
+    Trainer {
+        epochs: 8,
+        batch_size: 8,
+        early_stop_loss: 0.05,
+        seed: 4,
+    }
+    .train(&mut model, &examples, &mut Adam::new(0.01));
+    let bytes = serialize::save(&model).unwrap();
+    let mut reloaded = serialize::load(&bytes).unwrap();
+    for ex in examples.iter().take(10) {
+        assert_eq!(model.forward_logit(&ex.input), reloaded.forward_logit(&ex.input));
+    }
+}
