@@ -21,7 +21,12 @@ fn bench_naive_vs_tables(c: &mut Criterion) {
             n_config: 400,
             n_eval: 1000,
             seed: 9,
-            variants: Some(tahoma_zoo::variant::paper_variants().into_iter().step_by(12).collect()),
+            variants: Some(
+                tahoma_zoo::variant::paper_variants()
+                    .into_iter()
+                    .step_by(12)
+                    .collect(),
+            ),
             ..Default::default()
         },
         &DeviceProfile::k80(),
@@ -46,7 +51,9 @@ fn bench_naive_vs_tables(c: &mut Criterion) {
         b.iter(|| {
             for cascade in &cascades {
                 black_box(tahoma_core::evaluator::simulate_one_naive(
-                    &repo, &thresholds, cascade,
+                    &repo,
+                    &thresholds,
+                    cascade,
                 ));
             }
         })
@@ -61,7 +68,12 @@ fn bench_cascade_eval(c: &mut Criterion) {
             n_config: 400,
             n_eval: 1000,
             seed: 9,
-            variants: Some(tahoma_zoo::variant::paper_variants().into_iter().step_by(4).collect()),
+            variants: Some(
+                tahoma_zoo::variant::paper_variants()
+                    .into_iter()
+                    .step_by(4)
+                    .collect(),
+            ),
             ..Default::default()
         },
         &DeviceProfile::k80(),

@@ -1,30 +1,130 @@
-//! Criterion bench: real CNN forward passes across the architecture axis
-//! (the inference times the analytic device profile abstracts).
+//! Criterion bench: real CNN inference across the architecture axis.
+//!
+//! Three views of the hot path:
+//! * `conv_forward`: a single convolution layer, scalar reference loop vs
+//!   the im2col+GEMM path at batch 1 — the kernel-level speedup;
+//! * `conv_forward_batch`: the GEMM conv across batch sizes (per-image
+//!   throughput must not degrade as the batch grows);
+//! * `nn_forward`: whole-model inference, per-image `forward_logit` vs
+//!   `predict_proba_batch` over 1/8/32-image minibatches.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use tahoma_imagery::{ColorMode, Representation};
+use tahoma_nn::{Conv2d, Layer, Shape};
 use tahoma_zoo::ArchSpec;
 
-fn bench_inference(c: &mut Criterion) {
-    let mut group = c.benchmark_group("nn_forward");
-    let cases = [
-        ("c1x16-d16@30gray", ArchSpec { conv_layers: 1, conv_nodes: 16, dense_nodes: 16 },
-         Representation::new(30, ColorMode::Gray)),
-        ("c2x16-d32@60rgb", ArchSpec { conv_layers: 2, conv_nodes: 16, dense_nodes: 32 },
-         Representation::new(60, ColorMode::Rgb)),
-        ("c4x32-d64@120rgb", ArchSpec { conv_layers: 4, conv_nodes: 32, dense_nodes: 64 },
-         Representation::new(120, ColorMode::Rgb)),
-    ];
-    for (name, arch, rep) in cases {
-        let mut model = arch.cnn_spec(rep).build(7).unwrap();
-        let input = vec![0.5f32; rep.value_count()];
-        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
-            b.iter(|| black_box(model.forward_logit(black_box(&input))))
+/// Conv layers representative of the paper family's hot spots: early layers
+/// see few channels over many pixels, deep layers many channels over few.
+fn conv_cases() -> Vec<(&'static str, Shape, usize)> {
+    vec![
+        ("3ch-30px-16f", Shape::new(3, 30, 30), 16),
+        ("16ch-30px-16f", Shape::new(16, 30, 30), 16),
+        ("3ch-120px-32f", Shape::new(3, 120, 120), 32),
+        ("32ch-60px-32f", Shape::new(32, 60, 60), 32),
+    ]
+}
+
+fn bench_conv_scalar_vs_gemm(c: &mut Criterion) {
+    let mut rng = tahoma_mathx::DetRng::new(0xC0);
+    let mut group = c.benchmark_group("conv_forward");
+    for (name, shape, out_c) in conv_cases() {
+        let mut conv = Conv2d::new(shape, out_c, 3, &mut rng);
+        let input: Vec<f32> = (0..shape.len()).map(|i| (i % 97) as f32 / 97.0).collect();
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("scalar", name), &name, |b, _| {
+            b.iter(|| black_box(conv.forward_scalar(black_box(&input))))
+        });
+        group.bench_with_input(BenchmarkId::new("gemm", name), &name, |b, _| {
+            b.iter(|| black_box(conv.forward(black_box(&input))))
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_inference);
+fn bench_conv_batch_sweep(c: &mut Criterion) {
+    let mut rng = tahoma_mathx::DetRng::new(0xC1);
+    let shape = Shape::new(16, 30, 30);
+    let mut conv = Conv2d::new(shape, 16, 3, &mut rng);
+    let mut group = c.benchmark_group("conv_forward_batch/16ch-30px-16f");
+    for batch in [1usize, 8, 32] {
+        let input: Vec<f32> = (0..batch * shape.len())
+            .map(|i| (i % 89) as f32 / 89.0)
+            .collect();
+        let mut out = Vec::new();
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            b.iter(|| {
+                conv.forward_batch(black_box(&input), batch, &mut out, false);
+                black_box(out.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_model_inference(c: &mut Criterion) {
+    let cases = [
+        (
+            "c1x16-d16@30gray",
+            ArchSpec {
+                conv_layers: 1,
+                conv_nodes: 16,
+                dense_nodes: 16,
+            },
+            Representation::new(30, ColorMode::Gray),
+        ),
+        (
+            "c2x16-d32@60rgb",
+            ArchSpec {
+                conv_layers: 2,
+                conv_nodes: 16,
+                dense_nodes: 32,
+            },
+            Representation::new(60, ColorMode::Rgb),
+        ),
+        (
+            "c4x32-d64@120rgb",
+            ArchSpec {
+                conv_layers: 4,
+                conv_nodes: 32,
+                dense_nodes: 64,
+            },
+            Representation::new(120, ColorMode::Rgb),
+        ),
+    ];
+    let mut group = c.benchmark_group("nn_forward");
+    for (name, arch, rep) in cases {
+        let mut model = arch.cnn_spec(rep).build(7).unwrap();
+        let input = vec![0.5f32; rep.value_count()];
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("single", name), &name, |b, _| {
+            b.iter(|| black_box(model.forward_logit(black_box(&input))))
+        });
+        for batch in [8usize, 32] {
+            let batch_input: Vec<f32> = input
+                .iter()
+                .cycle()
+                .take(batch * rep.value_count())
+                .copied()
+                .collect();
+            group.throughput(Throughput::Elements(batch as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("batch{batch}"), name),
+                &batch,
+                |b, &batch| {
+                    b.iter(|| black_box(model.predict_proba_batch(black_box(&batch_input), batch)))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_conv_scalar_vs_gemm,
+    bench_conv_batch_sweep,
+    bench_model_inference
+);
 criterion_main!(benches);

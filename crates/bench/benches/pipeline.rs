@@ -15,7 +15,12 @@ fn bench_pipeline(c: &mut Criterion) {
         n_config: 250,
         n_eval: 400,
         seed: 3,
-        variants: Some(tahoma_zoo::variant::paper_variants().into_iter().step_by(8).collect()),
+        variants: Some(
+            tahoma_zoo::variant::paper_variants()
+                .into_iter()
+                .step_by(8)
+                .collect(),
+        ),
         ..Default::default()
     };
     let mut group = c.benchmark_group("pipeline");

@@ -120,7 +120,10 @@ impl ExperimentContext {
 /// CNN-cascade work), plus ResNet50 alone.
 pub fn baseline_cascades(run: &PredicateRun) -> Vec<Cascade> {
     let repo = &run.system.repo;
-    let resnet = repo.resnet.expect("surrogate repositories include resnet").0 as u16;
+    let resnet = repo
+        .resnet
+        .expect("surrogate repositories include resnet")
+        .0 as u16;
     let full_color = tahoma_imagery::Representation::new(224, ColorMode::Rgb);
     let mut out = Vec::new();
     out.push(Cascade::single(resnet));
@@ -165,8 +168,7 @@ pub fn resnet_point(run: &PredicateRun, scenario: Scenario) -> (f64, f64) {
     let acc = repo.eval_accuracy(resnet);
     let profiler = AnalyticProfiler::paper_testbed(scenario);
     let entry = repo.entry(resnet);
-    let cost = profiler
-        .standalone_cost_s(entry.variant.input, entry.infer_s);
+    let cost = profiler.standalone_cost_s(entry.variant.input, entry.infer_s);
     (acc, 1.0 / cost)
 }
 
@@ -198,7 +200,10 @@ pub fn shared_quick_context() -> &'static ExperimentContext {
 /// ALC over full-set ranges, not frontier ranges).
 pub fn accuracy_range(points: &[(f64, f64)]) -> (f64, f64) {
     let lo = points.iter().map(|(a, _)| *a).fold(f64::INFINITY, f64::min);
-    let hi = points.iter().map(|(a, _)| *a).fold(f64::NEG_INFINITY, f64::max);
+    let hi = points
+        .iter()
+        .map(|(a, _)| *a)
+        .fold(f64::NEG_INFINITY, f64::max);
     (lo, hi)
 }
 

@@ -61,9 +61,19 @@ pub fn run(ctx: &ExperimentContext) -> Fig10 {
         let full_frontier = run.system.frontier(&profiler).acc_thr();
         // Paper: averages computed over the accuracy range of the Full
         // cascade *set* for each predicate.
-        let full_min = run.system.outcomes.outcomes.iter().map(|o| o.accuracy as f64)
+        let full_min = run
+            .system
+            .outcomes
+            .outcomes
+            .iter()
+            .map(|o| o.accuracy as f64)
             .fold(f64::INFINITY, f64::min);
-        let full_max = run.system.outcomes.outcomes.iter().map(|o| o.accuracy as f64)
+        let full_max = run
+            .system
+            .outcomes
+            .outcomes
+            .iter()
+            .map(|o| o.accuracy as f64)
             .fold(0.0, f64::max);
         let mut avg_fps = [0.0f64; 4];
         for (i, arm) in TransformSet::ALL.into_iter().enumerate() {
@@ -78,8 +88,8 @@ pub fn run(ctx: &ExperimentContext) -> Fig10 {
     }
     let mut mean_fps = [0.0f64; 4];
     for (i, slot) in mean_fps.iter_mut().enumerate() {
-        *slot = rows.iter().map(|r: &Fig10Row| r.avg_fps[i]).sum::<f64>()
-            / rows.len().max(1) as f64;
+        *slot =
+            rows.iter().map(|r: &Fig10Row| r.avg_fps[i]).sum::<f64>() / rows.len().max(1) as f64;
     }
     Fig10 { rows, mean_fps }
 }

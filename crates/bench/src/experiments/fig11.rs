@@ -131,7 +131,13 @@ pub fn render(r: &Fig11) -> String {
         "(reduced pool of {} models for depth-3 tractability; paper: 2L+R -> 3L buys ~1%\n while eval time grows ~40x; full 3-level space would be {} cascades)\n\n",
         r.pool_size, r.projected_full_depth3
     ));
-    let mut t = Table::new(vec!["set", "cascades", "eval seconds", "avg fps", "gain vs prev"]);
+    let mut t = Table::new(vec![
+        "set",
+        "cascades",
+        "eval seconds",
+        "avg fps",
+        "gain vs prev",
+    ]);
     let mut prev: Option<f64> = None;
     for row in &r.rows {
         let gain = prev.map_or("-".to_string(), |p| {
@@ -185,7 +191,10 @@ mod tests {
             gain_deep < gain_shallow,
             "deep gain {gain_deep:.3} should be below shallow gain {gain_shallow:.3}"
         );
-        assert!(gain_deep < 1.25, "2L+R -> 3L+R gain {gain_deep:.3} too large");
+        assert!(
+            gain_deep < 1.25,
+            "2L+R -> 3L+R gain {gain_deep:.3} too large"
+        );
         // Cascade counts explode with depth.
         assert!(by_row(&r, "3 level").n_cascades > by_row(&r, "2 level").n_cascades * 10);
         assert!(render(&r).contains("Figure 11"));

@@ -38,17 +38,13 @@ pub fn run(ctx: &ExperimentContext) -> Fig4 {
     let scenario = Scenario::Camera;
     let (aware_frontier, _) = frontier_points(run, scenario);
     let (_, oblivious_idx) = frontier_points(run, Scenario::InferOnly);
-    let oblivious_points = run
-        .system
-        .reprice(&oblivious_idx, &ExperimentContext::profiler_static(scenario));
+    let oblivious_points = run.system.reprice(
+        &oblivious_idx,
+        &ExperimentContext::profiler_static(scenario),
+    );
     let range = alc::shared_accuracy_range(&[&aware_frontier, &oblivious_points])
         .expect("overlapping accuracy ranges");
-    let aware_over_oblivious = alc::speedup(
-        &aware_frontier,
-        &oblivious_points,
-        range.0,
-        range.1,
-    );
+    let aware_over_oblivious = alc::speedup(&aware_frontier, &oblivious_points, range.0, range.1);
     Fig4 {
         n_cascades: run.system.n_cascades(),
         aware_frontier,

@@ -6,8 +6,9 @@
 //! transformations and extra depth make its cloud — and frontier — far
 //! larger and faster.
 
-use crate::context::{accuracy_range, baseline_cascades, intersect_ranges, priced_points_for,
-    ExperimentContext};
+use crate::context::{
+    accuracy_range, baseline_cascades, intersect_ranges, priced_points_for, ExperimentContext,
+};
 use crate::format::{self, Table};
 use tahoma_core::{alc, pareto_frontier};
 use tahoma_costmodel::Scenario;
@@ -48,7 +49,10 @@ pub fn run(ctx: &ExperimentContext) -> Fig5 {
         .map(|p| (p.accuracy, p.throughput))
         .collect();
     // Paper: ALC over the full sets' accuracy ranges, intersected.
-    let range = intersect_ranges(accuracy_range(&tahoma_all), accuracy_range(&baseline_points));
+    let range = intersect_ranges(
+        accuracy_range(&tahoma_all),
+        accuracy_range(&baseline_points),
+    );
     Fig5 {
         n_tahoma: run.system.n_cascades(),
         n_baseline,

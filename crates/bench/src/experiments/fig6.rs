@@ -47,8 +47,8 @@ fn speedups_for(run: &PredicateRun, scenario: Scenario) -> (f64, f64, f64) {
 
     // vs ResNet at matching accuracy.
     let (resnet_acc, resnet_fps) = resnet_point(run, scenario);
-    let matched = select_matching_accuracy(&frontier.points, resnet_acc)
-        .expect("frontier nonempty");
+    let matched =
+        select_matching_accuracy(&frontier.points, resnet_acc).expect("frontier nonempty");
     let vs_resnet = matched.throughput / resnet_fps;
 
     // Baseline set and its frontier.
@@ -66,20 +66,28 @@ fn speedups_for(run: &PredicateRun, scenario: Scenario) -> (f64, f64, f64) {
         .copied()
         .max_by(|a, b| a.1.partial_cmp(&b.1).expect("not NaN"))
         .expect("baseline frontier nonempty");
-    let matched_fb = select_matching_accuracy(&frontier.points, fb_acc)
-        .expect("frontier nonempty");
+    let matched_fb = select_matching_accuracy(&frontier.points, fb_acc).expect("frontier nonempty");
     let vs_baseline_fastest = matched_fb.throughput / fb_fps;
 
     // Average over the baseline set's accuracy range (paper: the smallest
     // full-set range), intersected with TAHOMA's own.
     let tahoma_frontier = frontier.acc_thr();
     let tahoma_range = (
-        run.system.outcomes.outcomes.iter().map(|o| o.accuracy as f64).fold(f64::INFINITY, f64::min),
-        run.system.outcomes.outcomes.iter().map(|o| o.accuracy as f64).fold(0.0, f64::max),
+        run.system
+            .outcomes
+            .outcomes
+            .iter()
+            .map(|o| o.accuracy as f64)
+            .fold(f64::INFINITY, f64::min),
+        run.system
+            .outcomes
+            .outcomes
+            .iter()
+            .map(|o| o.accuracy as f64)
+            .fold(0.0, f64::max),
     );
     let range = intersect_ranges(tahoma_range, accuracy_range(&baseline_points));
-    let vs_baseline_average =
-        alc::speedup(&tahoma_frontier, &baseline_frontier, range.0, range.1);
+    let vs_baseline_average = alc::speedup(&tahoma_frontier, &baseline_frontier, range.0, range.1);
 
     (vs_resnet, vs_baseline_fastest, vs_baseline_average)
 }
@@ -113,7 +121,9 @@ pub fn run(ctx: &ExperimentContext) -> Fig6 {
 pub fn render(r: &Fig6) -> String {
     let mut out = String::new();
     out.push_str("Figure 6 — average TAHOMA speedup over baselines per scenario\n");
-    out.push_str("(paper anchors, INFER ONLY: ResNet 98x, Baseline-fastest 59x, Baseline-average 35x;\n");
+    out.push_str(
+        "(paper anchors, INFER ONLY: ResNet 98x, Baseline-fastest 59x, Baseline-average 35x;\n",
+    );
     out.push_str(" ARCHIVE compresses everything toward ~2x)\n\n");
     let mut t = Table::new(vec![
         "scenario",

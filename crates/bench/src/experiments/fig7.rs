@@ -118,8 +118,14 @@ mod tests {
         let ongoing = by(Scenario::Ongoing).tahoma_fps;
         let camera = by(Scenario::Camera).tahoma_fps;
         let archive = by(Scenario::Archive).tahoma_fps;
-        assert!(infer.tahoma_fps > ongoing && ongoing > camera && camera > archive,
-            "ordering violated: {} {} {} {}", infer.tahoma_fps, ongoing, camera, archive);
+        assert!(
+            infer.tahoma_fps > ongoing && ongoing > camera && camera > archive,
+            "ordering violated: {} {} {} {}",
+            infer.tahoma_fps,
+            ongoing,
+            camera,
+            archive
+        );
         assert!(render(&r).contains("Figure 7"));
     }
 }

@@ -9,7 +9,7 @@
 use crate::context::{ExperimentContext, Scale, EXPERIMENT_SEED};
 use crate::format::{self, Table};
 use tahoma_noscope::{
-    run_with_dd, NoScopeConfig, NoScopeSystem, RunReport, TahomaDdSystem, VideoDataset,
+    run_with_dd_batched, NoScopeConfig, NoScopeSystem, RunReport, TahomaDdSystem, VideoDataset,
 };
 use tahoma_video::{DifferenceDetector, FrameSkipper, VideoStream};
 
@@ -38,12 +38,12 @@ fn run_dataset(dataset: &VideoDataset, scale: Scale) -> Fig8Row {
 
     let noscope_sys = NoScopeSystem::build(dataset, &NoScopeConfig::default());
     let mut dd = DifferenceDetector::new(dataset.dd_threshold);
-    let noscope = run_with_dd(&frames, skipper, &mut dd, &noscope_sys);
+    let noscope = run_with_dd_batched(&frames, skipper, &mut dd, &noscope_sys);
 
     let build_cfg = scale.build_config(EXPERIMENT_SEED ^ 0xF18);
     let tahoma_sys = TahomaDdSystem::build(dataset, build_cfg, noscope.accuracy);
     let mut dd = DifferenceDetector::new(dataset.dd_threshold);
-    let tahoma = run_with_dd(&frames, skipper, &mut dd, &tahoma_sys);
+    let tahoma = run_with_dd_batched(&frames, skipper, &mut dd, &tahoma_sys);
 
     Fig8Row {
         dataset: dataset.stream.name.clone(),

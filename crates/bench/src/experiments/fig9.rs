@@ -56,8 +56,7 @@ pub fn run(ctx: &ExperimentContext) -> Fig9 {
             let aware_idx: std::collections::HashSet<usize> =
                 aware_frontier.points.iter().map(|p| p.idx).collect();
             let overlap = infer_idx.iter().filter(|i| aware_idx.contains(i)).count();
-            let range = alc::shared_accuracy_range(&[&aware, &oblivious])
-                .expect("ranges overlap");
+            let range = alc::shared_accuracy_range(&[&aware, &oblivious]).expect("ranges overlap");
             Fig9Panel {
                 kind,
                 aware_over_oblivious: alc::speedup(&aware, &oblivious, range.0, range.1),

@@ -54,7 +54,9 @@ pub fn run(ctx: &ExperimentContext) -> Table2 {
 /// Render the paper-style summary.
 pub fn render(r: &Table2, ctx: &ExperimentContext) -> String {
     let mut out = String::new();
-    out.push_str("Table II — binary predicates (ImageNet categories -> synthetic glyph classes)\n\n");
+    out.push_str(
+        "Table II — binary predicates (ImageNet categories -> synthetic glyph classes)\n\n",
+    );
     let mut t = Table::new(vec![
         "predicate",
         "imagenet id",
@@ -97,7 +99,12 @@ mod tests {
         assert_eq!(r.rows[6].name, "komondor");
         for row in &r.rows {
             assert!(row.imagenet_id.starts_with('n'));
-            assert!(row.resnet_accuracy > 0.75, "{}: {}", row.name, row.resnet_accuracy);
+            assert!(
+                row.resnet_accuracy > 0.75,
+                "{}: {}",
+                row.name,
+                row.resnet_accuracy
+            );
             assert!(row.best_specialized_accuracy > 0.6);
         }
         assert!(render(&r, ctx).contains("Table II"));

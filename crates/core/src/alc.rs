@@ -24,7 +24,10 @@ pub fn envelope_at(points: &[(f64, f64)], a: f64) -> f64 {
 ///
 /// Panics if `acc_lo > acc_hi`.
 pub fn alc(points: &[(f64, f64)], acc_lo: f64, acc_hi: f64) -> f64 {
-    assert!(acc_lo <= acc_hi, "invalid accuracy range {acc_lo}..{acc_hi}");
+    assert!(
+        acc_lo <= acc_hi,
+        "invalid accuracy range {acc_lo}..{acc_hi}"
+    );
     if points.is_empty() || acc_lo == acc_hi {
         return 0.0;
     }
@@ -83,7 +86,10 @@ pub fn shared_accuracy_range(sets: &[&[(f64, f64)]]) -> Option<(f64, f64)> {
             return None;
         }
         let min = set.iter().map(|(a, _)| *a).fold(f64::INFINITY, f64::min);
-        let max = set.iter().map(|(a, _)| *a).fold(f64::NEG_INFINITY, f64::max);
+        let max = set
+            .iter()
+            .map(|(a, _)| *a)
+            .fold(f64::NEG_INFINITY, f64::max);
         lo = lo.max(min);
         hi = hi.min(max);
     }
@@ -110,7 +116,10 @@ mod tests {
         let a = alc(&pts, 0.7, 0.9);
         assert!((a - 100.0 * 0.2).abs() < 1e-9);
         let b = alc(&pts, 0.7, 1.0);
-        assert!((b - 100.0 * 0.2).abs() < 1e-9, "area above max accuracy is zero");
+        assert!(
+            (b - 100.0 * 0.2).abs() < 1e-9,
+            "area above max accuracy is zero"
+        );
     }
 
     #[test]

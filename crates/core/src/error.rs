@@ -43,8 +43,13 @@ mod tests {
     #[test]
     fn display_is_informative() {
         assert!(CoreError::UnknownModel(7).to_string().contains('7'));
-        assert!(CoreError::UnknownCategory("dog".into()).to_string().contains("dog"));
-        let e = CoreError::Parse { position: 3, message: "expected ident".into() };
+        assert!(CoreError::UnknownCategory("dog".into())
+            .to_string()
+            .contains("dog"));
+        let e = CoreError::Parse {
+            position: 3,
+            message: "expected ident".into(),
+        };
         assert!(e.to_string().contains("byte 3"));
     }
 }

@@ -120,10 +120,7 @@ pub fn simulate_one(tables: &DecisionTables, cascade: &Cascade) -> Outcome {
     // Borrow all rows up front.
     let mut rows: [&[u8]; MAX_LEVELS] = [&[]; MAX_LEVELS];
     for (l, row) in rows.iter_mut().take(depth - 1).enumerate() {
-        *row = tables.thresholded_row(
-            cascade.model_at(l) as usize,
-            cascade.setting_at(l) as usize,
-        );
+        *row = tables.thresholded_row(cascade.model_at(l) as usize, cascade.setting_at(l) as usize);
     }
     rows[depth - 1] = tables.terminal_row(cascade.model_at(depth - 1) as usize);
     for i in 0..tables.n_images {
@@ -164,21 +161,32 @@ pub fn simulate_all(tables: &DecisionTables, cascades: Vec<Cascade>) -> CascadeO
             stop_counts: [0; MAX_LEVELS],
         },
     );
-    let threads = std::thread::available_parallelism().map_or(4, |t| t.get());
+    // Cap workers at the number of cascades so `n < threads` never produces
+    // empty-range chunks, and run small inputs inline — spawning a thread
+    // scope for one chunk (or zero cascades) is pure overhead.
+    let threads = std::thread::available_parallelism()
+        .map_or(4, |t| t.get())
+        .min(n.max(1));
     let chunk = n.div_ceil(threads).max(1);
-    crossbeam::thread::scope(|scope| {
-        let mut remaining: &mut [Outcome] = &mut outcomes;
-        for cs in cascades.chunks(chunk) {
-            let (head, tail) = remaining.split_at_mut(cs.len());
-            remaining = tail;
-            scope.spawn(move |_| {
-                for (slot, c) in head.iter_mut().zip(cs) {
-                    *slot = simulate_one(tables, c);
-                }
-            });
+    if n <= chunk {
+        for (slot, c) in outcomes.iter_mut().zip(&cascades) {
+            *slot = simulate_one(tables, c);
         }
-    })
-    .expect("simulation threads do not panic");
+    } else {
+        crossbeam::thread::scope(|scope| {
+            let mut remaining: &mut [Outcome] = &mut outcomes;
+            for cs in cascades.chunks(chunk) {
+                let (head, tail) = remaining.split_at_mut(cs.len());
+                remaining = tail;
+                scope.spawn(move |_| {
+                    for (slot, c) in head.iter_mut().zip(cs) {
+                        *slot = simulate_one(tables, c);
+                    }
+                });
+            }
+        })
+        .expect("simulation threads do not panic");
+    }
     CascadeOutcomes {
         n_images: tables.n_images,
         cascades,
@@ -332,7 +340,12 @@ mod tests {
                 n_config: 200,
                 n_eval: 300,
                 seed: 11,
-                variants: Some(tahoma_zoo::variant::paper_variants().into_iter().step_by(9).collect()),
+                variants: Some(
+                    tahoma_zoo::variant::paper_variants()
+                        .into_iter()
+                        .step_by(9)
+                        .collect(),
+                ),
                 ..Default::default()
             },
             &tahoma_costmodel::DeviceProfile::k80(),
@@ -425,6 +438,23 @@ mod tests {
         let bulk = simulate_all(&tables, cascades.clone());
         for (i, c) in cascades.iter().enumerate() {
             assert_eq!(bulk.outcomes[i], simulate_one(&tables, c), "cascade {c}");
+        }
+    }
+
+    #[test]
+    fn simulate_all_handles_fewer_cascades_than_threads() {
+        // Regression test for the chunking path: inputs smaller than the
+        // worker count (including a single cascade and the empty set) must
+        // not spawn empty-range workers or lose outcomes.
+        let repo = small_repo(ObjectKind::Fence);
+        let (tables, _) = tables_for(&repo);
+        for n in [0usize, 1, 2] {
+            let cascades: Vec<Cascade> = (0..n).map(|i| Cascade::single(i as u16)).collect();
+            let bulk = simulate_all(&tables, cascades.clone());
+            assert_eq!(bulk.outcomes.len(), n);
+            for (i, c) in cascades.iter().enumerate() {
+                assert_eq!(bulk.outcomes[i], simulate_one(&tables, c), "{c}");
+            }
         }
     }
 

@@ -50,6 +50,9 @@ pub use error::CoreError;
 pub use evaluator::{simulate_all, CascadeOutcomes, CostContext};
 pub use pareto::{pareto_frontier, ParetoPoint};
 pub use pipeline::{Frontier, TahomaSystem};
-pub use selector::{select_fastest, select_matching_accuracy, select_with_constraints, Constraints};
-pub use thresholds::{calibrate, calibrate_all, DecisionThresholds, ThresholdTable,
-    PAPER_PRECISION_SETTINGS};
+pub use selector::{
+    select_fastest, select_matching_accuracy, select_with_constraints, Constraints,
+};
+pub use thresholds::{
+    calibrate, calibrate_all, DecisionThresholds, ThresholdTable, PAPER_PRECISION_SETTINGS,
+};

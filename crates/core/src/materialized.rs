@@ -258,11 +258,7 @@ mod tests {
             params: cfg.params,
             seed: cfg.seed,
         };
-        let repo = build_surrogate_repository(
-            pred,
-            &cfg,
-            &tahoma_costmodel::DeviceProfile::k80(),
-        );
+        let repo = build_surrogate_repository(pred, &cfg, &tahoma_costmodel::DeviceProfile::k80());
         let builder = BuilderConfig {
             n_settings: 2,
             ..BuilderConfig::paper_main(&repo)
@@ -364,7 +360,11 @@ mod tests {
     #[test]
     fn invalidation_clears_only_the_target_predicate() {
         let mut store = MaterializedStore::new();
-        let row = MaterializedRow { value: true, score: 0.9, decided_at: 0 };
+        let row = MaterializedRow {
+            value: true,
+            score: 0.9,
+            decided_at: 0,
+        };
         store.put(ObjectKind::Fence, 1, row);
         store.put(ObjectKind::Acorn, 1, row);
         store.invalidate(ObjectKind::Fence);

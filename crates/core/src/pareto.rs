@@ -53,11 +53,7 @@ pub fn pareto_frontier(accuracy: &[f32], throughput: &[f64]) -> Vec<ParetoPoint>
 
 /// Check the defining property: no point in `points` dominates any frontier
 /// member (used by property tests).
-pub fn is_pareto_optimal(
-    frontier: &[ParetoPoint],
-    accuracy: &[f32],
-    throughput: &[f64],
-) -> bool {
+pub fn is_pareto_optimal(frontier: &[ParetoPoint], accuracy: &[f32], throughput: &[f64]) -> bool {
     frontier.iter().all(|f| {
         !(0..accuracy.len()).any(|i| {
             accuracy[i] as f64 >= f.accuracy
@@ -123,13 +119,12 @@ mod tests {
         assert!(!f.is_empty());
         assert!(is_pareto_optimal(&f, &acc, &thr));
         // Every non-frontier point must be dominated by some frontier point.
-        let on_frontier: std::collections::HashSet<usize> =
-            f.iter().map(|p| p.idx).collect();
+        let on_frontier: std::collections::HashSet<usize> = f.iter().map(|p| p.idx).collect();
         for i in 0..n {
             if !on_frontier.contains(&i) {
-                let dominated = f.iter().any(|p| {
-                    p.accuracy >= acc[i] as f64 && p.throughput >= thr[i]
-                });
+                let dominated = f
+                    .iter()
+                    .any(|p| p.accuracy >= acc[i] as f64 && p.throughput >= thr[i]);
                 assert!(dominated, "point {i} neither on frontier nor dominated");
             }
         }

@@ -79,11 +79,7 @@ impl TahomaSystem {
     /// Convenience: initialize with the paper's main configuration.
     pub fn initialize_paper_main(repo: ModelRepository) -> TahomaSystem {
         let builder = BuilderConfig::paper_main(&repo);
-        TahomaSystem::initialize(
-            repo,
-            &crate::thresholds::PAPER_PRECISION_SETTINGS,
-            &builder,
-        )
+        TahomaSystem::initialize(repo, &crate::thresholds::PAPER_PRECISION_SETTINGS, &builder)
     }
 
     /// Number of cascades under evaluation.
@@ -128,11 +124,7 @@ impl TahomaSystem {
     /// oblivious-vs-aware machinery of Fig. 9 / Table III). Returned points
     /// are (accuracy, throughput) in the given index order — generally *not*
     /// a frontier under the new pricing.
-    pub fn reprice(
-        &self,
-        indices: &[usize],
-        profiler: &dyn CostProfiler,
-    ) -> Vec<(f64, f64)> {
+    pub fn reprice(&self, indices: &[usize], profiler: &dyn CostProfiler) -> Vec<(f64, f64)> {
         let ctx = CostContext::build(&self.repo, profiler);
         indices
             .iter()
@@ -310,7 +302,10 @@ mod tests {
         let repriced = sys.reprice(&idxs, &camera);
         for (p, (acc, thr)) in f.points.iter().zip(&repriced) {
             assert!((p.accuracy - acc).abs() < 1e-12);
-            assert!(*thr <= p.throughput + 1e-9, "CAMERA cannot be faster than INFER-ONLY");
+            assert!(
+                *thr <= p.throughput + 1e-9,
+                "CAMERA cannot be faster than INFER-ONLY"
+            );
         }
     }
 
@@ -328,10 +323,22 @@ mod tests {
         let sys = small_system(ObjectKind::Pinwheel);
         let profiler = AnalyticProfiler::paper_testbed(Scenario::Ongoing);
         let strict = sys
-            .select(&profiler, Constraints { max_accuracy_loss: Some(0.0), max_throughput_loss: None })
+            .select(
+                &profiler,
+                Constraints {
+                    max_accuracy_loss: Some(0.0),
+                    max_throughput_loss: None,
+                },
+            )
             .unwrap();
         let loose = sys
-            .select(&profiler, Constraints { max_accuracy_loss: Some(0.10), max_throughput_loss: None })
+            .select(
+                &profiler,
+                Constraints {
+                    max_accuracy_loss: Some(0.10),
+                    max_throughput_loss: None,
+                },
+            )
             .unwrap();
         assert!(loose.throughput >= strict.throughput);
         assert!(loose.accuracy <= strict.accuracy + 1e-12);

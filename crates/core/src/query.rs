@@ -359,7 +359,9 @@ impl Query {
                     "location" => match value {
                         Token::Str(s) => MetaPredicate::Location(op, s),
                         other => {
-                            return Err(tz.error(format!("location needs a string, found {other:?}")))
+                            return Err(
+                                tz.error(format!("location needs a string, found {other:?}"))
+                            )
                         }
                     },
                     "camera" => match value {
@@ -371,8 +373,9 @@ impl Query {
                     "timestamp" => match value {
                         Token::Num(n) => MetaPredicate::Timestamp(op, n),
                         other => {
-                            return Err(tz
-                                .error(format!("timestamp needs a number, found {other:?}")))
+                            return Err(
+                                tz.error(format!("timestamp needs a number, found {other:?}"))
+                            )
                         }
                     },
                     _ => return Err(CoreError::UnknownField(field)),
@@ -556,9 +559,7 @@ impl<'a> QueryProcessor<'a> {
                     decided = Some((score >= 0.5, score, l as u8));
                     break;
                 }
-                let thr = self
-                    .thresholds
-                    .get(m, cascade.setting_at(l) as usize);
+                let thr = self.thresholds.get(m, cascade.setting_at(l) as usize);
                 if let Some(label) = thr.decide(score) {
                     decided = Some((label, score, l as u8));
                     break;
@@ -582,7 +583,11 @@ impl<'a> QueryProcessor<'a> {
             kind,
             rows,
             simulated_time_s: total_time,
-            throughput_fps: if total_time > 0.0 { n / total_time } else { 0.0 },
+            throughput_fps: if total_time > 0.0 {
+                n / total_time
+            } else {
+                0.0
+            },
             level_histogram,
             accuracy: correct as f64 / n,
         })

@@ -35,9 +35,7 @@ pub fn select_with_constraints(
     }
     let best_acc = frontier.iter().map(|p| p.accuracy).fold(0.0, f64::max);
     let best_thr = frontier.iter().map(|p| p.throughput).fold(0.0, f64::max);
-    let acc_floor = constraints
-        .max_accuracy_loss
-        .map(|l| best_acc * (1.0 - l));
+    let acc_floor = constraints.max_accuracy_loss.map(|l| best_acc * (1.0 - l));
     let thr_floor = constraints
         .max_throughput_loss
         .map(|l| best_thr * (1.0 - l));
@@ -107,10 +105,26 @@ mod tests {
     fn frontier() -> Vec<ParetoPoint> {
         // throughput desc, accuracy asc — a valid frontier shape.
         vec![
-            ParetoPoint { idx: 0, accuracy: 0.70, throughput: 5000.0 },
-            ParetoPoint { idx: 1, accuracy: 0.85, throughput: 800.0 },
-            ParetoPoint { idx: 2, accuracy: 0.92, throughput: 120.0 },
-            ParetoPoint { idx: 3, accuracy: 0.96, throughput: 40.0 },
+            ParetoPoint {
+                idx: 0,
+                accuracy: 0.70,
+                throughput: 5000.0,
+            },
+            ParetoPoint {
+                idx: 1,
+                accuracy: 0.85,
+                throughput: 800.0,
+            },
+            ParetoPoint {
+                idx: 2,
+                accuracy: 0.92,
+                throughput: 120.0,
+            },
+            ParetoPoint {
+                idx: 3,
+                accuracy: 0.96,
+                throughput: 40.0,
+            },
         ]
     }
 
@@ -125,14 +139,20 @@ mod tests {
         // 5% loss from 0.96 → floor 0.912: eligible {2, 3}; fastest is 2.
         let p = select_with_constraints(
             &frontier(),
-            Constraints { max_accuracy_loss: Some(0.05), max_throughput_loss: None },
+            Constraints {
+                max_accuracy_loss: Some(0.05),
+                max_throughput_loss: None,
+            },
         )
         .unwrap();
         assert_eq!(p.idx, 2);
         // 12% loss → floor 0.845: point 1 becomes eligible.
         let p = select_with_constraints(
             &frontier(),
-            Constraints { max_accuracy_loss: Some(0.12), max_throughput_loss: None },
+            Constraints {
+                max_accuracy_loss: Some(0.12),
+                max_throughput_loss: None,
+            },
         )
         .unwrap();
         assert_eq!(p.idx, 1);
@@ -142,7 +162,10 @@ mod tests {
     fn zero_loss_means_most_accurate() {
         let p = select_with_constraints(
             &frontier(),
-            Constraints { max_accuracy_loss: Some(0.0), max_throughput_loss: None },
+            Constraints {
+                max_accuracy_loss: Some(0.0),
+                max_throughput_loss: None,
+            },
         )
         .unwrap();
         assert_eq!(p.idx, 3);
@@ -153,7 +176,10 @@ mod tests {
         // Keep within 90% of best throughput (5000) → only point 0.
         let p = select_with_constraints(
             &frontier(),
-            Constraints { max_accuracy_loss: None, max_throughput_loss: Some(0.10) },
+            Constraints {
+                max_accuracy_loss: None,
+                max_throughput_loss: Some(0.10),
+            },
         )
         .unwrap();
         assert_eq!(p.idx, 0);

@@ -87,8 +87,7 @@ pub fn calibrate(scores: &[f32], labels: &[bool], target_precision: f64) -> Deci
             if labels[i] {
                 tp += 1;
             }
-            let next_differs = rank + 1 == order.len()
-                || scores[order[rank + 1]] < scores[i];
+            let next_differs = rank + 1 == order.len() || scores[order[rank + 1]] < scores[i];
             if next_differs {
                 let precision = tp as f64 / (rank + 1) as f64;
                 if precision >= target_precision {
@@ -177,11 +176,7 @@ pub fn calibrate_all(repo: &ModelRepository, settings: &[f64]) -> ThresholdTable
 
 /// Measured precision of the positive decisions of `thr` on a labeled set.
 /// Returns `None` when no positive decisions are made.
-pub fn positive_precision(
-    thr: DecisionThresholds,
-    scores: &[f32],
-    labels: &[bool],
-) -> Option<f64> {
+pub fn positive_precision(thr: DecisionThresholds, scores: &[f32], labels: &[bool]) -> Option<f64> {
     let mut tp = 0usize;
     let mut fp = 0usize;
     for (&s, &l) in scores.iter().zip(labels) {
@@ -202,11 +197,7 @@ pub fn positive_precision(
 
 /// Measured negative predictive value of the negative decisions.
 /// Returns `None` when no negative decisions are made.
-pub fn negative_precision(
-    thr: DecisionThresholds,
-    scores: &[f32],
-    labels: &[bool],
-) -> Option<f64> {
+pub fn negative_precision(thr: DecisionThresholds, scores: &[f32], labels: &[bool]) -> Option<f64> {
     let mut tn = 0usize;
     let mut fneg = 0usize;
     for (&s, &l) in scores.iter().zip(labels) {
@@ -231,7 +222,10 @@ mod tests {
 
     #[test]
     fn decide_regions() {
-        let t = DecisionThresholds { p_low: 0.2, p_high: 0.8 };
+        let t = DecisionThresholds {
+            p_low: 0.2,
+            p_high: 0.8,
+        };
         assert_eq!(t.decide(0.1), Some(false));
         assert_eq!(t.decide(0.2), Some(false));
         assert_eq!(t.decide(0.5), None);
@@ -254,13 +248,20 @@ mod tests {
     #[test]
     fn noisy_overlap_leaves_uncertain_region() {
         // Scores interleave in the middle; only the extremes are clean.
-        let scores = [0.02, 0.30, 0.45, 0.55, 0.40, 0.60, 0.70, 0.98,
-                      0.05, 0.35, 0.50, 0.65, 0.44, 0.58, 0.72, 0.95];
-        let labels = [false, false, false, true, true, false, true, true,
-                      false, false, true, true, false, true, false, true];
+        let scores = [
+            0.02, 0.30, 0.45, 0.55, 0.40, 0.60, 0.70, 0.98, 0.05, 0.35, 0.50, 0.65, 0.44, 0.58,
+            0.72, 0.95,
+        ];
+        let labels = [
+            false, false, false, true, true, false, true, true, false, false, true, true, false,
+            true, false, true,
+        ];
         let t = calibrate(&scores, &labels, 0.99);
         let decided = t.decided_fraction(&scores);
-        assert!(decided < 1.0, "expected an uncertain region, decided {decided}");
+        assert!(
+            decided < 1.0,
+            "expected an uncertain region, decided {decided}"
+        );
         assert!(decided > 0.0, "thresholds should decide the clean extremes");
         // Accepted decisions must meet the precision target on the
         // calibration data itself.
@@ -350,9 +351,7 @@ mod tests {
             for (si, &target) in table.settings.iter().enumerate() {
                 let t = table.get(mi, si);
                 assert!(t.p_low <= t.p_high);
-                if let Some(p) =
-                    positive_precision(t, &entry.config_scores, &repo.config.labels)
-                {
+                if let Some(p) = positive_precision(t, &entry.config_scores, &repo.config.labels) {
                     assert!(
                         p >= target - 1e-9,
                         "model {mi} setting {si}: precision {p} < {target}"
@@ -379,9 +378,13 @@ mod tests {
         );
         let table = calibrate_all(&repo, &[0.95]);
         // Weakest spec model (id 0: 1x16-d16 on 30px) vs resnet.
-        let weak = table.get(0, 0).decided_fraction(&repo.entries[0].config_scores);
+        let weak = table
+            .get(0, 0)
+            .decided_fraction(&repo.entries[0].config_scores);
         let r = repo.resnet.unwrap().index();
-        let strong = table.get(r, 0).decided_fraction(&repo.entries[r].config_scores);
+        let strong = table
+            .get(r, 0)
+            .decided_fraction(&repo.entries[r].config_scores);
         assert!(
             strong > weak,
             "resnet decided {strong} should exceed weakest model {weak}"

@@ -196,7 +196,11 @@ mod tests {
 
     #[test]
     fn cost_breakdown_totals_and_fps() {
-        let c = CostBreakdown { load_s: 1e-3, transform_s: 2e-3, infer_s: 7e-3 };
+        let c = CostBreakdown {
+            load_s: 1e-3,
+            transform_s: 2e-3,
+            infer_s: 7e-3,
+        };
         assert!((c.total_s() - 1e-2).abs() < 1e-15);
         assert!((c.fps() - 100.0).abs() < 1e-9);
         let zero = CostBreakdown::default();

@@ -62,8 +62,8 @@ impl TransformCostModel {
         if rep.size != self.source_size {
             let ch = rep.mode.channels() as f64;
             let out = (rep.size * rep.size) as f64;
-            t += self.resize_s_per_in_sample * src_px * ch
-                + self.resize_s_per_out_sample * out * ch;
+            t +=
+                self.resize_s_per_in_sample * src_px * ch + self.resize_s_per_out_sample * out * ch;
         }
         t
     }

@@ -101,7 +101,10 @@ impl Codec for RawCodec {
                 buf.remaining()
             )));
         }
-        let data: Vec<f32> = buf.chunk()[..expected].iter().map(|&b| dequantize(b)).collect();
+        let data: Vec<f32> = buf.chunk()[..expected]
+            .iter()
+            .map(|&b| dequantize(b))
+            .collect();
         Image::from_planar(w, h, mode, data)
     }
 }
@@ -176,7 +179,11 @@ impl Codec for PpmCodec {
             return Err(ImageryError::Decode("truncated PPM payload".into()));
         }
         let payload = &bytes[pos..pos + expected];
-        let mode = if channels == 3 { ColorMode::Rgb } else { ColorMode::Gray };
+        let mode = if channels == 3 {
+            ColorMode::Rgb
+        } else {
+            ColorMode::Gray
+        };
         let mut img = Image::zeros(w, h, mode)?;
         let mut i = 0;
         for y in 0..h {
@@ -360,7 +367,8 @@ mod tests {
     fn noisy_scene(w: usize, h: usize, mode: ColorMode, seed: u64) -> Image {
         let mut rng = DetRng::new(seed);
         Image::from_fn(w, h, mode, |c, y, x| {
-            let base = 0.4 + 0.2 * ((x as f32 / w as f32) + (y as f32 / h as f32)) + c as f32 * 0.05;
+            let base =
+                0.4 + 0.2 * ((x as f32 / w as f32) + (y as f32 / h as f32)) + c as f32 * 0.05;
             (base + rng.normal(0.0, 0.02) as f32).clamp(0.0, 1.0)
         })
         .unwrap()
@@ -456,7 +464,10 @@ mod tests {
         let img = noisy_scene(64, 64, ColorMode::Rgb, 5);
         let low = BlockCodec::new(20).encode(&img).len();
         let high = BlockCodec::new(95).encode(&img).len();
-        assert!(low < high, "low-q {low} should be smaller than high-q {high}");
+        assert!(
+            low < high,
+            "low-q {low} should be smaller than high-q {high}"
+        );
     }
 
     #[test]

@@ -107,7 +107,12 @@ mod tests {
     #[test]
     fn channel_counts() {
         assert_eq!(ColorMode::Rgb.channels(), 3);
-        for m in [ColorMode::Red, ColorMode::Green, ColorMode::Blue, ColorMode::Gray] {
+        for m in [
+            ColorMode::Red,
+            ColorMode::Green,
+            ColorMode::Blue,
+            ColorMode::Gray,
+        ] {
             assert_eq!(m.channels(), 1);
         }
     }

@@ -304,7 +304,8 @@ mod tests {
     #[test]
     fn flip_augmentation_preserves_labels_and_difficulty() {
         let mut ds = Dataset::new("t");
-        let (img, d) = SceneRenderer::new(ObjectKind::Coho, SceneParams::small(16), 1).render(0, true);
+        let (img, d) =
+            SceneRenderer::new(ObjectKind::Coho, SceneParams::small(16), 1).render(0, true);
         ds.items.push(LabeledImage {
             id: 0,
             label: true,

@@ -10,7 +10,10 @@ pub enum ImageryError {
     /// Pixel buffer length does not match `width * height * channels`.
     BufferSizeMismatch { expected: usize, actual: usize },
     /// A color conversion that is not defined (e.g. grayscale -> red).
-    UnsupportedConversion { from: &'static str, to: &'static str },
+    UnsupportedConversion {
+        from: &'static str,
+        to: &'static str,
+    },
     /// Byte stream did not parse as the expected codec format.
     Decode(String),
     /// The operation needs a full-resolution RGB source image.
@@ -24,7 +27,10 @@ impl fmt::Display for ImageryError {
                 write!(f, "invalid image dimensions {width}x{height}")
             }
             ImageryError::BufferSizeMismatch { expected, actual } => {
-                write!(f, "pixel buffer size mismatch: expected {expected}, got {actual}")
+                write!(
+                    f,
+                    "pixel buffer size mismatch: expected {expected}, got {actual}"
+                )
             }
             ImageryError::UnsupportedConversion { from, to } => {
                 write!(f, "unsupported color conversion: {from} -> {to}")
@@ -45,9 +51,15 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = ImageryError::InvalidDimensions { width: 0, height: 5 };
+        let e = ImageryError::InvalidDimensions {
+            width: 0,
+            height: 5,
+        };
         assert!(e.to_string().contains("0x5"));
-        let e = ImageryError::BufferSizeMismatch { expected: 12, actual: 3 };
+        let e = ImageryError::BufferSizeMismatch {
+            expected: 12,
+            actual: 3,
+        };
         assert!(e.to_string().contains("12"));
         let e = ImageryError::Decode("bad magic".into());
         assert!(e.to_string().contains("bad magic"));

@@ -227,7 +227,13 @@ mod tests {
     #[test]
     fn from_planar_checks_length() {
         let err = Image::from_planar(2, 2, ColorMode::Rgb, vec![0.0; 5]).unwrap_err();
-        assert!(matches!(err, ImageryError::BufferSizeMismatch { expected: 12, actual: 5 }));
+        assert!(matches!(
+            err,
+            ImageryError::BufferSizeMismatch {
+                expected: 12,
+                actual: 5
+            }
+        ));
         assert!(Image::from_planar(2, 2, ColorMode::Gray, vec![0.5; 4]).is_ok());
     }
 

@@ -85,7 +85,10 @@ impl ObjectKind {
 
     /// Stable small integer for seed derivation.
     pub fn index(self) -> usize {
-        ObjectKind::ALL.iter().position(|&k| k == self).expect("kind in ALL")
+        ObjectKind::ALL
+            .iter()
+            .position(|&k| k == self)
+            .expect("kind in ALL")
     }
 
     /// RGB color signature of the glyph (distinct hues so that single-channel
@@ -164,8 +167,7 @@ impl ObjectKind {
                 // Crescent body with a stinger dot.
                 let outer = r2 < 0.85;
                 let inner = (u - 0.25) * (u - 0.25) + v * v < 0.42;
-                let sting =
-                    (u - 0.55) * (u - 0.55) + (v + 0.65) * (v + 0.65) < 0.035;
+                let sting = (u - 0.55) * (u - 0.55) + (v + 0.65) * (v + 0.65) < 0.035;
                 (outer && !inner) || sting
             }
             ObjectKind::Wallet => {
@@ -262,10 +264,7 @@ impl SceneRenderer {
     /// The same `(seed, id, label)` always produces the same scene.
     pub fn render(&self, id: u64, label: bool) -> (Image, f32) {
         let stream = id.wrapping_mul(2).wrapping_add(label as u64);
-        let mut rng = DetRng::from_coords(
-            self.seed ^ ((self.kind.index() as u64) << 48),
-            stream,
-        );
+        let mut rng = DetRng::from_coords(self.seed ^ ((self.kind.index() as u64) << 48), stream);
         let s = self.params.size;
         let mut img = self.background(&mut rng, s);
 
@@ -304,8 +303,7 @@ impl SceneRenderer {
     /// Difficulty heuristic in [0, 1]; larger is harder.
     fn difficulty(&self, scale: f32, contrast: f32, clutter: usize, sigma: f32) -> f32 {
         let p = &self.params;
-        let scale_term = 1.0
-            - (scale - p.min_scale) / (p.max_scale - p.min_scale).max(1e-6);
+        let scale_term = 1.0 - (scale - p.min_scale) / (p.max_scale - p.min_scale).max(1e-6);
         let contrast_term = 1.0 - (contrast - p.min_contrast) / (1.0 - p.min_contrast).max(1e-6);
         let clutter_term = clutter as f32 / p.max_clutter.max(1) as f32;
         let noise_term = sigma / p.max_noise.max(1e-6);
@@ -333,9 +331,10 @@ impl SceneRenderer {
             let [fx, fy, phase, amp] = waves[c];
             let u = x as f32 / s as f32;
             let v = y as f32 / s as f32;
-            (base[c] + amp * (fx * u * std::f32::consts::TAU + fy * v * std::f32::consts::TAU
-                + phase)
-                .cos())
+            (base[c]
+                + amp
+                    * (fx * u * std::f32::consts::TAU + fy * v * std::f32::consts::TAU + phase)
+                        .cos())
             .clamp(0.0, 1.0)
         })
         .expect("background dims valid")

@@ -37,9 +37,12 @@ pub fn convert_mode(src: &Image, target: ColorMode) -> Result<Image, ImageryErro
             }
             Image::from_planar(w, h, ColorMode::Gray, out)
         }
-        (from, ColorMode::Gray) if from.channels() == 1 => {
-            Image::from_planar(src.width(), src.height(), ColorMode::Gray, src.data().to_vec())
-        }
+        (from, ColorMode::Gray) if from.channels() == 1 => Image::from_planar(
+            src.width(),
+            src.height(),
+            ColorMode::Gray,
+            src.data().to_vec(),
+        ),
         (from, to) => Err(ImageryError::UnsupportedConversion {
             from: from.tag(),
             to: to.tag(),
@@ -139,8 +142,7 @@ pub fn standardize(src: &Image) -> Image {
     let inv = if sd > 1e-6 { 1.0 / sd } else { 0.0 };
     let (mean, inv) = (mean as f32, inv as f32);
     let out: Vec<f32> = data.iter().map(|v| (v - mean) * inv).collect();
-    Image::from_planar(src.width(), src.height(), src.mode(), out)
-        .expect("same shape as source")
+    Image::from_planar(src.width(), src.height(), src.mode(), out).expect("same shape as source")
 }
 
 #[cfg(test)]
@@ -165,7 +167,11 @@ mod tests {
     #[test]
     fn convert_extracts_channels() {
         let img = gradient_rgb(4, 4);
-        for (mode, c) in [(ColorMode::Red, 0), (ColorMode::Green, 1), (ColorMode::Blue, 2)] {
+        for (mode, c) in [
+            (ColorMode::Red, 0),
+            (ColorMode::Green, 1),
+            (ColorMode::Blue, 2),
+        ] {
             let out = convert_mode(&img, mode).unwrap();
             assert_eq!(out.mode(), mode);
             assert_eq!(out.plane(0), img.plane(c));
@@ -174,8 +180,13 @@ mod tests {
 
     #[test]
     fn convert_gray_uses_luma() {
-        let img = Image::from_fn(1, 1, ColorMode::Rgb, |c, _, _| if c == 1 { 1.0 } else { 0.0 })
-            .unwrap();
+        let img = Image::from_fn(
+            1,
+            1,
+            ColorMode::Rgb,
+            |c, _, _| if c == 1 { 1.0 } else { 0.0 },
+        )
+        .unwrap();
         let g = convert_mode(&img, ColorMode::Gray).unwrap();
         assert!((g.get(0, 0, 0) - 0.587).abs() < 1e-6);
     }
@@ -258,8 +269,8 @@ mod tests {
         let s = standardize(&img);
         let data = s.data();
         let mean: f32 = data.iter().sum::<f32>() / data.len() as f32;
-        let var: f32 = data.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
-            / data.len() as f32;
+        let var: f32 =
+            data.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / data.len() as f32;
         assert!(mean.abs() < 1e-4);
         assert!((var - 1.0).abs() < 1e-3);
     }

@@ -11,9 +11,7 @@ pub mod rng;
 pub mod stats;
 
 pub use rng::{hash64, split_seed, DetRng};
-pub use stats::{
-    logistic, mean, normal_cdf, normal_quantile, percentile, std_dev, Summary,
-};
+pub use stats::{logistic, mean, normal_cdf, normal_quantile, percentile, std_dev, Summary};
 
 #[cfg(test)]
 mod tests {

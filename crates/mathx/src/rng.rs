@@ -69,10 +69,7 @@ impl DetRng {
     #[inline]
     fn next_raw(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -220,7 +217,10 @@ mod tests {
         let base = 99;
         let mut seen = std::collections::HashSet::new();
         for stream in 0..10_000u64 {
-            assert!(seen.insert(split_seed(base, stream)), "collision at {stream}");
+            assert!(
+                seen.insert(split_seed(base, stream)),
+                "collision at {stream}"
+            );
         }
     }
 

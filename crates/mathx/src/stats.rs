@@ -23,9 +23,7 @@ fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t
-            - 0.284_496_736)
-            * t
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
             * (-x * x).exp();
@@ -35,7 +33,10 @@ fn erf(x: f64) -> f64 {
 /// Inverse standard normal CDF (Acklam's rational approximation).
 /// Accurate to ~1e-9 over (0, 1); panics outside the open interval.
 pub fn normal_quantile(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "normal_quantile requires p in (0,1), got {p}");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "normal_quantile requires p in (0,1), got {p}"
+    );
     const A: [f64; 6] = [
         -3.969683028665376e+01,
         2.209460984245205e+02,

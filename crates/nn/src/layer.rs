@@ -6,7 +6,24 @@
 //! parameter gradients during `backward`. FLOP counts follow the paper's
 //! convention of counting a multiply-accumulate as two operations (it quotes
 //! YOLOv2 at "8.52 billion operations").
+//!
+//! Every layer carries two execution paths:
+//!
+//! * the **batched GEMM path** (`forward_batch`/`backward_batch`): inputs are
+//!   batch-major, channel-planar (`[image][channel][y][x]`), carried through
+//!   the whole stack in reused buffers with no per-image allocation. `Conv2d`
+//!   forward runs [`crate::gemm::conv2d_forward`] (virtual im2col — the patch
+//!   matrix is addressed, not materialized) per image and its backward uses
+//!   the materialized [`crate::gemm::im2col`]; `Dense` multiplies the whole
+//!   minibatch at once. The per-image `forward` is a batch-of-1 wrapper over
+//!   this path.
+//! * the **scalar reference path** (`Conv2d::forward_scalar`, plus the
+//!   per-image `backward` implementations), kept verbatim from the original
+//!   implementation. It defines the semantics the GEMM path must reproduce
+//!   (property-tested in `tests/proptests.rs`) and serves as the baseline in
+//!   the `nn_inference` bench.
 
+use crate::gemm::{self, GemmScratch};
 use crate::init::{he_normal, xavier_uniform};
 use crate::tensor::Shape;
 use tahoma_mathx::DetRng;
@@ -24,6 +41,17 @@ pub trait Layer {
     /// Propagate `grad_out` (dL/d output) to dL/d input, accumulating
     /// parameter gradients. Must be called after `forward`.
     fn backward(&mut self, grad_out: &[f32]) -> Vec<f32>;
+    /// Run a whole minibatch forward into `out` (resized by the callee).
+    /// `input` holds `batch` images back to back in channel-planar order.
+    /// With `cache` set, activations needed by [`Layer::backward_batch`] are
+    /// recorded; inference paths pass `false` and skip that bookkeeping
+    /// (backward after a cache-less forward is a contract violation).
+    fn forward_batch(&mut self, input: &[f32], batch: usize, out: &mut Vec<f32>, cache: bool);
+    /// Batched counterpart of [`Layer::backward`]: propagate a whole
+    /// minibatch of output gradients into `grad_in`, accumulating parameter
+    /// gradients over the batch. Must be called after `forward_batch` with
+    /// the same `batch`.
+    fn backward_batch(&mut self, grad_out: &[f32], batch: usize, grad_in: &mut Vec<f32>);
     /// Visit (parameters, gradients) slices for the optimizer.
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32]));
     /// Reset accumulated gradients to zero.
@@ -45,6 +73,9 @@ pub struct Conv2d {
     grad_w: Vec<f32>,
     grad_b: Vec<f32>,
     cache_input: Vec<f32>,
+    scratch: GemmScratch,
+    col: Vec<f32>,
+    dcol: Vec<f32>,
 }
 
 impl Conv2d {
@@ -65,6 +96,9 @@ impl Conv2d {
             grad_w: vec![0.0; n_w],
             grad_b: vec![0.0; out_c],
             cache_input: Vec::new(),
+            scratch: GemmScratch::default(),
+            col: Vec::new(),
+            dcol: Vec::new(),
         }
     }
 
@@ -88,6 +122,9 @@ impl Conv2d {
             grad_w: vec![0.0; n_w],
             grad_b: vec![0.0; out_c],
             cache_input: Vec::new(),
+            scratch: GemmScratch::default(),
+            col: Vec::new(),
+            dcol: Vec::new(),
         }
     }
 
@@ -105,22 +142,11 @@ impl Conv2d {
     fn w_idx(&self, o: usize, i: usize, ky: usize, kx: usize) -> usize {
         ((o * self.input.c + i) * self.k + ky) * self.k + kx
     }
-}
 
-impl Layer for Conv2d {
-    fn as_any(&self) -> &dyn std::any::Any {
-        self
-    }
-
-    fn name(&self) -> &'static str {
-        "conv2d"
-    }
-
-    fn output_shape(&self) -> Shape {
-        Shape::new(self.out_c, self.input.h, self.input.w)
-    }
-
-    fn forward(&mut self, input: &[f32]) -> Vec<f32> {
+    /// The original six-nested-loop convolution, kept as the semantic
+    /// reference for the GEMM path and as the baseline in benches. Caches
+    /// the input exactly like `forward`, so `backward` composes with it.
+    pub fn forward_scalar(&mut self, input: &[f32]) -> Vec<f32> {
         let (c_in, h, w) = (self.input.c, self.input.h, self.input.w);
         debug_assert_eq!(input.len(), self.input.len());
         self.cache_input.clear();
@@ -138,13 +164,18 @@ impl Layer for Conv2d {
                         if wgt == 0.0 {
                             continue;
                         }
-                        // y + ky - pad must land in [0, h)
+                        // y + ky - pad must land in [0, h); saturate both
+                        // ends so kernels larger than the image read only
+                        // padding instead of underflowing the index math.
                         let y_lo = pad.saturating_sub(ky);
-                        let y_hi = (h + pad - ky).min(h);
+                        let y_hi = (h + pad).saturating_sub(ky).min(h);
+                        let x_lo = pad.saturating_sub(kx);
+                        let x_hi = (w + pad).saturating_sub(kx).min(w);
+                        if x_hi <= x_lo {
+                            continue;
+                        }
                         for y in y_lo..y_hi {
                             let sy = y + ky - pad;
-                            let x_lo = pad.saturating_sub(kx);
-                            let x_hi = (w + pad - kx).min(w);
                             let src = &in_plane[sy * w + x_lo + kx - pad..sy * w + x_hi + kx - pad];
                             let dst = &mut out_plane[y * w + x_lo..y * w + x_hi];
                             for (d, s) in dst.iter_mut().zip(src) {
@@ -156,6 +187,52 @@ impl Layer for Conv2d {
             }
         }
         out
+    }
+}
+
+impl Layer for Conv2d {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn output_shape(&self) -> Shape {
+        Shape::new(self.out_c, self.input.h, self.input.w)
+    }
+
+    fn forward(&mut self, input: &[f32]) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.forward_batch(input, 1, &mut out, true);
+        out
+    }
+
+    fn forward_batch(&mut self, input: &[f32], batch: usize, out: &mut Vec<f32>, cache: bool) {
+        let (c_in, h, w) = (self.input.c, self.input.h, self.input.w);
+        let in_len = self.input.len();
+        let out_len = self.out_c * h * w;
+        debug_assert_eq!(input.len(), batch * in_len);
+        if cache {
+            self.cache_input.clear();
+            self.cache_input.extend_from_slice(input);
+        }
+        out.resize(batch * out_len, 0.0);
+        for b in 0..batch {
+            gemm::conv2d_forward(
+                &mut self.scratch,
+                &input[b * in_len..(b + 1) * in_len],
+                c_in,
+                h,
+                w,
+                self.k,
+                &self.weights,
+                &self.bias,
+                self.out_c,
+                &mut out[b * out_len..(b + 1) * out_len],
+            );
+        }
     }
 
     fn backward(&mut self, grad_out: &[f32]) -> Vec<f32> {
@@ -176,11 +253,14 @@ impl Layer for Conv2d {
                         let wgt = self.weights[widx];
                         let mut gw = 0.0f32;
                         let y_lo = pad.saturating_sub(ky);
-                        let y_hi = (h + pad - ky).min(h);
+                        let y_hi = (h + pad).saturating_sub(ky).min(h);
+                        let x_lo = pad.saturating_sub(kx);
+                        let x_hi = (w + pad).saturating_sub(kx).min(w);
+                        if x_hi <= x_lo {
+                            continue;
+                        }
                         for y in y_lo..y_hi {
                             let sy = y + ky - pad;
-                            let x_lo = pad.saturating_sub(kx);
-                            let x_hi = (w + pad - kx).min(w);
                             let g_row = &g_plane[y * w + x_lo..y * w + x_hi];
                             let in_row =
                                 &in_plane[sy * w + x_lo + kx - pad..sy * w + x_hi + kx - pad];
@@ -199,6 +279,61 @@ impl Layer for Conv2d {
             }
         }
         grad_in
+    }
+
+    fn backward_batch(&mut self, grad_out: &[f32], batch: usize, grad_in: &mut Vec<f32>) {
+        let (c_in, h, w) = (self.input.c, self.input.h, self.input.w);
+        let (in_len, hw) = (self.input.len(), h * w);
+        let out_len = self.out_c * hw;
+        let kk_total = c_in * self.k * self.k;
+        debug_assert_eq!(grad_out.len(), batch * out_len);
+        debug_assert_eq!(self.cache_input.len(), batch * in_len);
+        grad_in.clear();
+        grad_in.resize(batch * in_len, 0.0);
+        for b in 0..batch {
+            let g_img = &grad_out[b * out_len..(b + 1) * out_len];
+            for (o, g_plane) in g_img.chunks_exact(hw).enumerate() {
+                self.grad_b[o] += g_plane.iter().sum::<f32>();
+            }
+            // grad_W += G · colᵀ  (out_c x hw times hw x kk_total).
+            gemm::im2col(
+                &self.cache_input[b * in_len..(b + 1) * in_len],
+                c_in,
+                h,
+                w,
+                self.k,
+                &mut self.col,
+            );
+            gemm::gemm_nt(
+                &mut self.scratch,
+                self.out_c,
+                kk_total,
+                hw,
+                g_img,
+                &self.col,
+                &mut self.grad_w,
+            );
+            // grad_col = Wᵀ · G, then scatter back to image layout.
+            self.dcol.clear();
+            self.dcol.resize(kk_total * hw, 0.0);
+            gemm::gemm_tn(
+                &mut self.scratch,
+                kk_total,
+                hw,
+                self.out_c,
+                &self.weights,
+                g_img,
+                &mut self.dcol,
+            );
+            gemm::col2im_add(
+                &self.dcol,
+                c_in,
+                h,
+                w,
+                self.k,
+                &mut grad_in[b * in_len..(b + 1) * in_len],
+            );
+        }
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
@@ -245,6 +380,35 @@ impl MaxPool2 {
     pub fn input_shape(&self) -> Shape {
         self.input
     }
+
+    /// Pool one image at `img_base` within a batch buffer, recording argmax
+    /// positions as absolute indices into that buffer.
+    fn pool_one(&mut self, input: &[f32], img_base: usize, out: &mut [f32], out_base: usize) {
+        let (c, h, w) = (self.input.c, self.input.h, self.input.w);
+        let (oh, ow) = (h / 2, w / 2);
+        for ch in 0..c {
+            let plane = &input[img_base + ch * h * w..img_base + (ch + 1) * h * w];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_i = 0usize;
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            let idx = (oy * 2 + dy) * w + ox * 2 + dx;
+                            let v = plane[idx];
+                            if v > best {
+                                best = v;
+                                best_i = img_base + ch * h * w + idx;
+                            }
+                        }
+                    }
+                    let oidx = out_base + (ch * oh + oy) * ow + ox;
+                    out[oidx] = best;
+                    self.argmax[oidx] = best_i;
+                }
+            }
+        }
+    }
 }
 
 impl Layer for MaxPool2 {
@@ -261,34 +425,22 @@ impl Layer for MaxPool2 {
     }
 
     fn forward(&mut self, input: &[f32]) -> Vec<f32> {
-        let (c, h, w) = (self.input.c, self.input.h, self.input.w);
-        let (oh, ow) = (h / 2, w / 2);
-        let mut out = vec![0.0f32; c * oh * ow];
-        self.argmax.clear();
-        self.argmax.resize(out.len(), 0);
-        for ch in 0..c {
-            let plane = &input[ch * h * w..(ch + 1) * h * w];
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut best = f32::NEG_INFINITY;
-                    let mut best_i = 0usize;
-                    for dy in 0..2 {
-                        for dx in 0..2 {
-                            let idx = (oy * 2 + dy) * w + ox * 2 + dx;
-                            let v = plane[idx];
-                            if v > best {
-                                best = v;
-                                best_i = ch * h * w + idx;
-                            }
-                        }
-                    }
-                    let oidx = (ch * oh + oy) * ow + ox;
-                    out[oidx] = best;
-                    self.argmax[oidx] = best_i;
-                }
-            }
-        }
+        let mut out = Vec::new();
+        self.forward_batch(input, 1, &mut out, true);
         out
+    }
+
+    fn forward_batch(&mut self, input: &[f32], batch: usize, out: &mut Vec<f32>, _cache: bool) {
+        // The argmax indices double as the pooling workspace, so they are
+        // recorded regardless of `cache`.
+        let in_len = self.input.len();
+        let out_len = self.output_shape().len();
+        debug_assert_eq!(input.len(), batch * in_len);
+        out.resize(batch * out_len, 0.0);
+        self.argmax.resize(batch * out_len, 0);
+        for b in 0..batch {
+            self.pool_one(input, b * in_len, out, b * out_len);
+        }
     }
 
     fn backward(&mut self, grad_out: &[f32]) -> Vec<f32> {
@@ -297,6 +449,15 @@ impl Layer for MaxPool2 {
             grad_in[src] += grad_out[oidx];
         }
         grad_in
+    }
+
+    fn backward_batch(&mut self, grad_out: &[f32], batch: usize, grad_in: &mut Vec<f32>) {
+        debug_assert_eq!(grad_out.len(), self.argmax.len());
+        grad_in.clear();
+        grad_in.resize(batch * self.input.len(), 0.0);
+        for (oidx, &src) in self.argmax.iter().enumerate() {
+            grad_in[src] += grad_out[oidx];
+        }
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
@@ -344,15 +505,27 @@ impl Layer for Relu {
     }
 
     fn forward(&mut self, input: &[f32]) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.forward_batch(input, 1, &mut out, true);
+        out
+    }
+
+    fn forward_batch(&mut self, input: &[f32], _batch: usize, out: &mut Vec<f32>, cache: bool) {
+        out.clear();
+        if !cache {
+            // Inference: a pure clamp, no mask bookkeeping — vectorizes to
+            // a single max-with-zero sweep.
+            out.extend(input.iter().map(|&v| v.max(0.0)));
+            return;
+        }
         self.mask.clear();
         self.mask.reserve(input.len());
-        let mut out = Vec::with_capacity(input.len());
+        out.reserve(input.len());
         for &v in input {
             let keep = v > 0.0;
             self.mask.push(keep);
             out.push(if keep { v } else { 0.0 });
         }
-        out
     }
 
     fn backward(&mut self, grad_out: &[f32]) -> Vec<f32> {
@@ -361,6 +534,17 @@ impl Layer for Relu {
             .zip(&self.mask)
             .map(|(&g, &keep)| if keep { g } else { 0.0 })
             .collect()
+    }
+
+    fn backward_batch(&mut self, grad_out: &[f32], _batch: usize, grad_in: &mut Vec<f32>) {
+        debug_assert_eq!(grad_out.len(), self.mask.len());
+        grad_in.clear();
+        grad_in.extend(
+            grad_out
+                .iter()
+                .zip(&self.mask)
+                .map(|(&g, &keep)| if keep { g } else { 0.0 }),
+        );
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
@@ -386,6 +570,7 @@ pub struct Dense {
     grad_w: Vec<f32>,
     grad_b: Vec<f32>,
     cache_input: Vec<f32>,
+    scratch: GemmScratch,
 }
 
 impl Dense {
@@ -400,6 +585,7 @@ impl Dense {
             grad_w: vec![0.0; n_in * n_out],
             grad_b: vec![0.0; n_out],
             cache_input: Vec::new(),
+            scratch: GemmScratch::default(),
         }
     }
 
@@ -416,6 +602,7 @@ impl Dense {
             grad_w: vec![0.0; n_w],
             grad_b: vec![0.0; n_out],
             cache_input: Vec::new(),
+            scratch: GemmScratch::default(),
         }
     }
 
@@ -444,16 +631,43 @@ impl Layer for Dense {
     }
 
     fn forward(&mut self, input: &[f32]) -> Vec<f32> {
-        debug_assert_eq!(input.len(), self.n_in);
-        self.cache_input.clear();
-        self.cache_input.extend_from_slice(input);
-        let mut out = Vec::with_capacity(self.n_out);
-        for o in 0..self.n_out {
-            let row = &self.weights[o * self.n_in..(o + 1) * self.n_in];
-            let dot: f32 = row.iter().zip(input).map(|(w, x)| w * x).sum();
-            out.push(dot + self.bias[o]);
-        }
+        let mut out = Vec::new();
+        self.forward_batch(input, 1, &mut out, true);
         out
+    }
+
+    fn forward_batch(&mut self, input: &[f32], batch: usize, out: &mut Vec<f32>, cache: bool) {
+        debug_assert_eq!(input.len(), batch * self.n_in);
+        if cache {
+            self.cache_input.clear();
+            self.cache_input.extend_from_slice(input);
+        }
+        out.clear();
+        if batch == 1 {
+            // A single image is a matrix-vector product; plain dot products
+            // beat the GEMM path's packing overhead.
+            out.reserve(self.n_out);
+            for o in 0..self.n_out {
+                let row = &self.weights[o * self.n_in..(o + 1) * self.n_in];
+                let dot: f32 = row.iter().zip(input).map(|(w, x)| w * x).sum();
+                out.push(dot + self.bias[o]);
+            }
+            return;
+        }
+        out.resize(batch * self.n_out, 0.0);
+        for row in out.chunks_exact_mut(self.n_out) {
+            row.copy_from_slice(&self.bias);
+        }
+        // out[batch x n_out] += X[batch x n_in] · Wᵀ (W stored n_out x n_in).
+        gemm::gemm_nt(
+            &mut self.scratch,
+            batch,
+            self.n_out,
+            self.n_in,
+            input,
+            &self.weights,
+            out,
+        );
     }
 
     fn backward(&mut self, grad_out: &[f32]) -> Vec<f32> {
@@ -469,6 +683,38 @@ impl Layer for Dense {
             }
         }
         grad_in
+    }
+
+    fn backward_batch(&mut self, grad_out: &[f32], batch: usize, grad_in: &mut Vec<f32>) {
+        debug_assert_eq!(grad_out.len(), batch * self.n_out);
+        debug_assert_eq!(self.cache_input.len(), batch * self.n_in);
+        for g_row in grad_out.chunks_exact(self.n_out) {
+            for (gb, &g) in self.grad_b.iter_mut().zip(g_row) {
+                *gb += g;
+            }
+        }
+        // grad_W[n_out x n_in] += Gᵀ[n_out x batch] · X[batch x n_in].
+        gemm::gemm_tn(
+            &mut self.scratch,
+            self.n_out,
+            self.n_in,
+            batch,
+            grad_out,
+            &self.cache_input,
+            &mut self.grad_w,
+        );
+        // grad_X[batch x n_in] = G[batch x n_out] · W[n_out x n_in].
+        grad_in.clear();
+        grad_in.resize(batch * self.n_in, 0.0);
+        gemm::gemm_nn(
+            &mut self.scratch,
+            batch,
+            self.n_in,
+            self.n_out,
+            grad_out,
+            &self.weights,
+            grad_in,
+        );
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
@@ -510,6 +756,35 @@ mod tests {
             assert!(
                 (numeric - grad_in[i]).abs() < 2e-2,
                 "{} input grad mismatch at {i}: numeric {numeric} analytic {}",
+                layer.name(),
+                grad_in[i]
+            );
+        }
+    }
+
+    /// Batched finite-diff: batched analytic input grads must match numeric
+    /// grads computed per perturbed batch buffer.
+    fn finite_diff_check_batch<L: Layer>(layer: &mut L, input: &[f32], batch: usize, eps: f32) {
+        let mut out = Vec::new();
+        layer.forward_batch(input, batch, &mut out, true);
+        let grad_out = vec![1.0f32; out.len()];
+        let mut grad_in = Vec::new();
+        layer.backward_batch(&grad_out, batch, &mut grad_in);
+        assert_eq!(grad_in.len(), input.len());
+        for i in 0..input.len() {
+            let mut plus = input.to_vec();
+            plus[i] += eps;
+            let mut minus = input.to_vec();
+            minus[i] -= eps;
+            let mut o = Vec::new();
+            layer.forward_batch(&plus, batch, &mut o, true);
+            let f_plus: f32 = o.iter().sum();
+            layer.forward_batch(&minus, batch, &mut o, true);
+            let f_minus: f32 = o.iter().sum();
+            let numeric = (f_plus - f_minus) / (2.0 * eps);
+            assert!(
+                (numeric - grad_in[i]).abs() < 2e-2,
+                "{} batched input grad mismatch at {i}: numeric {numeric} analytic {}",
                 layer.name(),
                 grad_in[i]
             );
@@ -567,12 +842,109 @@ mod tests {
     }
 
     #[test]
+    fn conv_gemm_matches_scalar_reference() {
+        let shape = Shape::new(3, 7, 5);
+        let mut rng = DetRng::new(17);
+        let mut conv = Conv2d::new(shape, 4, 3, &mut rng);
+        let input: Vec<f32> = (0..shape.len())
+            .map(|i| ((i * 13) % 11) as f32 / 11.0 - 0.5)
+            .collect();
+        let scalar = conv.forward_scalar(&input);
+        let gemm_out = conv.forward(&input);
+        assert_eq!(scalar.len(), gemm_out.len());
+        for (i, (&a, &b)) in scalar.iter().zip(&gemm_out).enumerate() {
+            assert!((a - b).abs() < 1e-5, "idx {i}: scalar {a} gemm {b}");
+        }
+    }
+
+    #[test]
+    fn conv_batch_matches_per_image() {
+        let shape = Shape::new(2, 6, 6);
+        let mut rng = DetRng::new(23);
+        let mut conv = Conv2d::new(shape, 3, 3, &mut rng);
+        let batch = 4;
+        let input: Vec<f32> = (0..batch * shape.len())
+            .map(|i| ((i * 7) % 13) as f32 / 13.0 - 0.4)
+            .collect();
+        let mut batched = Vec::new();
+        conv.forward_batch(&input, batch, &mut batched, true);
+        let out_len = conv.output_shape().len();
+        for b in 0..batch {
+            let single = conv.forward(&input[b * shape.len()..(b + 1) * shape.len()]);
+            for (i, (&x, &y)) in single
+                .iter()
+                .zip(&batched[b * out_len..(b + 1) * out_len])
+                .enumerate()
+            {
+                assert!((x - y).abs() < 1e-6, "image {b} idx {i}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
     fn conv_gradient_matches_finite_difference() {
         let shape = Shape::new(2, 3, 3);
         let mut rng = DetRng::new(42);
         let mut conv = Conv2d::new(shape, 2, 3, &mut rng);
-        let input: Vec<f32> = (0..shape.len()).map(|i| ((i * 7) % 5) as f32 / 5.0 - 0.4).collect();
+        let input: Vec<f32> = (0..shape.len())
+            .map(|i| ((i * 7) % 5) as f32 / 5.0 - 0.4)
+            .collect();
         finite_diff_check(&mut conv, &input, 1e-2);
+    }
+
+    #[test]
+    fn conv_batched_gradient_matches_finite_difference() {
+        let shape = Shape::new(2, 3, 4);
+        let mut rng = DetRng::new(43);
+        let mut conv = Conv2d::new(shape, 2, 3, &mut rng);
+        let batch = 3;
+        let input: Vec<f32> = (0..batch * shape.len())
+            .map(|i| ((i * 7) % 5) as f32 / 5.0 - 0.4)
+            .collect();
+        conv.zero_grads();
+        finite_diff_check_batch(&mut conv, &input, batch, 1e-2);
+    }
+
+    #[test]
+    fn conv_batched_param_grads_match_per_image_sum() {
+        let shape = Shape::new(2, 4, 4);
+        let mut rng = DetRng::new(51);
+        let mut conv = Conv2d::new(shape, 3, 3, &mut rng);
+        let batch = 3;
+        let input: Vec<f32> = (0..batch * shape.len())
+            .map(|i| ((i * 11) % 7) as f32 / 7.0 - 0.5)
+            .collect();
+        let out_len = conv.output_shape().len();
+
+        // Per-image accumulation through the scalar backward.
+        conv.zero_grads();
+        for b in 0..batch {
+            let img = &input[b * shape.len()..(b + 1) * shape.len()];
+            let out = conv.forward(img);
+            conv.backward(&vec![1.0; out.len()]);
+        }
+        let scalar_gw = conv.grad_w.clone();
+        let scalar_gb = conv.grad_b.clone();
+
+        // One batched pass.
+        conv.zero_grads();
+        let mut out = Vec::new();
+        conv.forward_batch(&input, batch, &mut out, true);
+        let mut grad_in = Vec::new();
+        conv.backward_batch(&vec![1.0; batch * out_len], batch, &mut grad_in);
+
+        for (i, (&a, &b)) in scalar_gw.iter().zip(&conv.grad_w).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-3 * (1.0 + a.abs()),
+                "grad_w {i}: per-image {a} batched {b}"
+            );
+        }
+        for (i, (&a, &b)) in scalar_gb.iter().zip(&conv.grad_b).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-3 * (1.0 + a.abs()),
+                "grad_b {i}: per-image {a} batched {b}"
+            );
+        }
     }
 
     #[test]
@@ -619,6 +991,33 @@ mod tests {
     }
 
     #[test]
+    fn pool_batch_matches_per_image() {
+        let shape = Shape::new(2, 4, 4);
+        let mut pool = MaxPool2::new(shape);
+        let batch = 3;
+        let input: Vec<f32> = (0..batch * shape.len())
+            .map(|i| ((i * 31) % 17) as f32)
+            .collect();
+        let mut batched = Vec::new();
+        pool.forward_batch(&input, batch, &mut batched, true);
+        let out_len = pool.output_shape().len();
+        // Batched backward routes each image's gradient inside its own slot.
+        let mut grad_in = Vec::new();
+        pool.backward_batch(&vec![1.0; batch * out_len], batch, &mut grad_in);
+        for b in 0..batch {
+            let img = &input[b * shape.len()..(b + 1) * shape.len()];
+            let single = pool.forward(img);
+            assert_eq!(&batched[b * out_len..(b + 1) * out_len], &single[..]);
+            let gin = pool.backward(&vec![1.0; out_len]);
+            assert_eq!(
+                &grad_in[b * shape.len()..(b + 1) * shape.len()],
+                &gin[..],
+                "image {b} gradient"
+            );
+        }
+    }
+
+    #[test]
     fn pool_floors_odd_dims() {
         let shape = Shape::new(1, 5, 5);
         let mut pool = MaxPool2::new(shape);
@@ -637,10 +1036,38 @@ mod tests {
     }
 
     #[test]
+    fn relu_batched_matches_scalar() {
+        let mut relu = Relu::new(Shape::flat(3));
+        let input = [-1.0f32, 2.0, 0.5, 3.0, -0.25, 0.0];
+        let mut out = Vec::new();
+        relu.forward_batch(&input, 2, &mut out, true);
+        assert_eq!(out, vec![0.0, 2.0, 0.5, 3.0, 0.0, 0.0]);
+        let mut gin = Vec::new();
+        relu.backward_batch(&[1.0; 6], 2, &mut gin);
+        assert_eq!(gin, vec![0.0, 1.0, 1.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
     fn dense_computes_affine_map() {
         let mut dense = Dense::from_parts(2, 2, vec![1.0, 2.0, 3.0, 4.0], vec![0.5, -0.5]);
         let out = dense.forward(&[1.0, 1.0]);
         assert_eq!(out, vec![3.5, 6.5]);
+    }
+
+    #[test]
+    fn dense_batch_matches_per_image() {
+        let mut rng = DetRng::new(29);
+        let mut dense = Dense::new(10, 4, &mut rng);
+        let batch = 5;
+        let input: Vec<f32> = (0..batch * 10).map(|i| (i as f32 / 25.0) - 1.0).collect();
+        let mut batched = Vec::new();
+        dense.forward_batch(&input, batch, &mut batched, true);
+        for b in 0..batch {
+            let single = dense.forward(&input[b * 10..(b + 1) * 10]);
+            for (i, (&x, &y)) in single.iter().zip(&batched[b * 4..(b + 1) * 4]).enumerate() {
+                assert!((x - y).abs() < 1e-5, "image {b} idx {i}: {x} vs {y}");
+            }
+        }
     }
 
     #[test]
@@ -649,6 +1076,46 @@ mod tests {
         let mut dense = Dense::new(6, 3, &mut rng);
         let input: Vec<f32> = (0..6).map(|i| (i as f32) / 6.0 - 0.5).collect();
         finite_diff_check(&mut dense, &input, 1e-2);
+    }
+
+    #[test]
+    fn dense_batched_gradient_matches_finite_difference() {
+        let mut rng = DetRng::new(8);
+        let mut dense = Dense::new(5, 3, &mut rng);
+        let input: Vec<f32> = (0..20).map(|i| (i as f32) / 20.0 - 0.5).collect();
+        finite_diff_check_batch(&mut dense, &input, 4, 1e-2);
+    }
+
+    #[test]
+    fn dense_batched_param_grads_match_per_image_sum() {
+        let mut rng = DetRng::new(77);
+        let mut dense = Dense::new(6, 2, &mut rng);
+        let batch = 3;
+        let input: Vec<f32> = (0..batch * 6)
+            .map(|i| ((i * 5) % 9) as f32 / 9.0 - 0.4)
+            .collect();
+
+        dense.zero_grads();
+        for b in 0..batch {
+            dense.forward(&input[b * 6..(b + 1) * 6]);
+            dense.backward(&[1.0, -0.5]);
+        }
+        let per_image_gw = dense.grad_w.clone();
+        let per_image_gb = dense.grad_b.clone();
+
+        dense.zero_grads();
+        let mut out = Vec::new();
+        dense.forward_batch(&input, batch, &mut out, true);
+        let g: Vec<f32> = (0..batch).flat_map(|_| [1.0, -0.5]).collect();
+        let mut gin = Vec::new();
+        dense.backward_batch(&g, batch, &mut gin);
+
+        for (i, (&a, &b)) in per_image_gw.iter().zip(&dense.grad_w).enumerate() {
+            assert!((a - b).abs() < 1e-4, "grad_w {i}: {a} vs {b}");
+        }
+        for (i, (&a, &b)) in per_image_gb.iter().zip(&dense.grad_b).enumerate() {
+            assert!((a - b).abs() < 1e-5, "grad_b {i}: {a} vs {b}");
+        }
     }
 
     #[test]

@@ -6,20 +6,57 @@
 //! stacks of `conv(3x3, same) -> ReLU -> maxpool(2x2)`, a fully connected
 //! ReLU layer, and a single sigmoid output for binary classification.
 //!
-//! It provides:
+//! # Inference engine: batched im2col + GEMM
+//!
+//! Raw inference throughput is the system's foundational currency — the
+//! paper's cascades only pay off because cheap models classify frames orders
+//! of magnitude faster than the reference CNN — so the hot path is built
+//! around dense matrix multiplication rather than nested convolution loops:
+//!
+//! * [`gemm`] implements a blocked, cache-tiled f32 GEMM with a register-tile
+//!   micro-kernel that LLVM auto-vectorizes to FMA code (build with
+//!   `-C target-cpu=native`; the repo's `.cargo/config.toml` does);
+//! * [`gemm::im2col`] lowers each image to a patch matrix, turning a
+//!   convolution into one GEMM against the filter matrix, and
+//!   [`gemm::col2im_add`] scatters gradients back for the batched backward
+//!   pass;
+//! * every [`layer::Layer`] implements `forward_batch`/`backward_batch`, and
+//!   [`model::Sequential::forward_batch`] / `predict_proba_batch` carry whole
+//!   minibatches through the stack in reused ping-pong buffers — no
+//!   per-image allocation anywhere on the path. The per-image API
+//!   (`forward`, `predict_proba`) is a thin batch-of-1 wrapper, and the
+//!   original scalar convolution survives as `Conv2d::forward_scalar`: the
+//!   semantic reference the GEMM path is property-tested against and the
+//!   baseline the `nn_inference` bench measures speedups over.
+//!
+//! ## Layout contract
+//!
+//! All activations are **channel-planar, batch-major** `Vec<f32>`s: a batch
+//! buffer holds `batch` images back to back, each image its channels back to
+//! back as `h x w` row-major planes (`[image][channel][y][x]`). This is the
+//! same layout `tahoma_imagery::Image` uses, so image buffers feed networks
+//! without any shuffling; [`tensor::Shape`] carries the interpretation.
+//! Weight layouts: `Conv2d` stores `[out_c][in_c][k][k]` (so the filter
+//! matrix is `out_c x (in_c*k*k)`, multiplying im2col output directly) and
+//! `Dense` stores `[n_out][n_in]`.
+//!
+//! # Modules
+//!
 //! * [`tensor::Shape`] — `(channels, height, width)` bookkeeping;
+//! * [`gemm`] — blocked GEMM, im2col/col2im lowering;
 //! * [`layer`] — forward/backward implementations of every layer, each with
 //!   exact FLOP accounting (the cost model prices inference from these);
 //! * [`model::Sequential`] and [`model::CnnSpec`] — composition and the
 //!   paper's architecture constructor;
-//! * [`train::Trainer`] — minibatch SGD/Adam training with binary
-//!   cross-entropy on logits;
+//! * [`train::Trainer`] — minibatch SGD/Adam training (forward and backward
+//!   both run the batched GEMM path) with binary cross-entropy on logits;
 //! * [`serialize`] — a compact self-contained weight format.
 //!
 //! The zoo crate uses this for the *real* training path (scaled-down
 //! experiments, examples, and tests); the paper-scale experiments use the
 //! calibrated surrogate family instead (see DESIGN.md §2.4).
 
+pub mod gemm;
 pub mod init;
 pub mod layer;
 pub mod loss;
@@ -29,6 +66,7 @@ pub mod serialize;
 pub mod tensor;
 pub mod train;
 
+pub use gemm::GemmScratch;
 pub use layer::{Conv2d, Dense, Layer, MaxPool2, Relu};
 pub use loss::{bce_with_logits, bce_with_logits_grad};
 pub use model::{CnnSpec, Sequential};

@@ -12,9 +12,15 @@ use std::fmt;
 use tahoma_mathx::{logistic, DetRng};
 
 /// A feed-forward stack of layers.
+///
+/// Owns a pair of ping-pong activation buffers so whole minibatches flow
+/// through [`Sequential::forward_batch`]/[`Sequential::backward_batch`]
+/// without any per-image (or even per-call, after warm-up) allocation.
 pub struct Sequential {
     input: Shape,
     layers: Vec<Box<dyn Layer>>,
+    buf_a: Vec<f32>,
+    buf_b: Vec<f32>,
 }
 
 impl Sequential {
@@ -23,6 +29,8 @@ impl Sequential {
         Sequential {
             input,
             layers: Vec::new(),
+            buf_a: Vec::new(),
+            buf_b: Vec::new(),
         }
     }
 
@@ -48,20 +56,53 @@ impl Sequential {
         &self.layers
     }
 
-    /// Run the network forward, returning the raw output vector.
+    /// Run the network forward, returning the raw output vector. A thin
+    /// batch-of-1 wrapper over [`Sequential::forward_batch`], so it runs on
+    /// the same im2col+GEMM path.
     pub fn forward(&mut self, input: &[f32]) -> Vec<f32> {
+        self.forward_batch(input, 1)
+    }
+
+    /// Carry a whole minibatch through every layer, caching activations so
+    /// [`Sequential::backward_batch`] can follow (the training entry point).
+    /// `input` holds `batch` images back to back (batch-major,
+    /// channel-planar); the result holds `batch` output vectors back to
+    /// back. Activations move through two reused ping-pong buffers — no
+    /// per-image allocation.
+    pub fn forward_batch(&mut self, input: &[f32], batch: usize) -> Vec<f32> {
+        self.run_batch(input, batch, true)
+    }
+
+    /// Inference-only batched forward: skips every backward-pass cache
+    /// (input snapshots, ReLU masks), which saves one full copy of each
+    /// activation buffer per layer. `backward`/`backward_batch` must not be
+    /// called after it.
+    pub fn infer_batch(&mut self, input: &[f32], batch: usize) -> Vec<f32> {
+        self.run_batch(input, batch, false)
+    }
+
+    fn run_batch(&mut self, input: &[f32], batch: usize, cache: bool) -> Vec<f32> {
+        assert!(batch > 0, "forward_batch requires batch >= 1");
         assert_eq!(
             input.len(),
-            self.input.len(),
-            "input length {} != expected {}",
+            batch * self.input.len(),
+            "input length {} != batch {batch} x {}",
             input.len(),
             self.input.len()
         );
-        let mut x = input.to_vec();
-        for layer in &mut self.layers {
-            x = layer.forward(&x);
+        let Sequential {
+            layers,
+            buf_a,
+            buf_b,
+            ..
+        } = self;
+        buf_a.clear();
+        buf_a.extend_from_slice(input);
+        for layer in layers.iter_mut() {
+            layer.forward_batch(buf_a, batch, buf_b, cache);
+            std::mem::swap(buf_a, buf_b);
         }
-        x
+        buf_a.clone()
     }
 
     /// Forward pass returning the single output logit. Panics unless the
@@ -72,9 +113,43 @@ impl Sequential {
         out[0]
     }
 
+    /// Batched [`Sequential::forward_logit`]: one logit per image. Panics
+    /// unless the model has a single output.
+    pub fn forward_logits_batch(&mut self, input: &[f32], batch: usize) -> Vec<f32> {
+        let out = self.forward_batch(input, batch);
+        assert_eq!(
+            out.len(),
+            batch,
+            "forward_logits_batch requires single-output model"
+        );
+        out
+    }
+
     /// Probability that the input is a positive example (sigmoid of logit).
     pub fn predict_proba(&mut self, input: &[f32]) -> f32 {
         logistic(self.forward_logit(input) as f64) as f32
+    }
+
+    /// Batched inference logits (cache-less): one logit per image. Panics
+    /// unless the model has a single output.
+    pub fn predict_logits_batch(&mut self, input: &[f32], batch: usize) -> Vec<f32> {
+        let out = self.infer_batch(input, batch);
+        assert_eq!(
+            out.len(),
+            batch,
+            "predict_logits_batch requires single-output model"
+        );
+        out
+    }
+
+    /// Batched [`Sequential::predict_proba`]: one probability per image,
+    /// through the cache-less inference path.
+    pub fn predict_proba_batch(&mut self, input: &[f32], batch: usize) -> Vec<f32> {
+        let mut out = self.predict_logits_batch(input, batch);
+        for v in &mut out {
+            *v = logistic(*v as f64) as f32;
+        }
+        out
     }
 
     /// Backpropagate an output gradient through all layers, accumulating
@@ -83,6 +158,25 @@ impl Sequential {
         let mut g = grad_out.to_vec();
         for layer in self.layers.iter_mut().rev() {
             g = layer.backward(&g);
+        }
+    }
+
+    /// Batched backward pass: `grad_out` holds one output gradient per image
+    /// (batch-major). Parameter gradients accumulate the whole batch in one
+    /// sweep through each layer's GEMM-backed `backward_batch`. Must follow
+    /// a [`Sequential::forward_batch`] with the same `batch`.
+    pub fn backward_batch(&mut self, grad_out: &[f32], batch: usize) {
+        let Sequential {
+            layers,
+            buf_a,
+            buf_b,
+            ..
+        } = self;
+        buf_a.clear();
+        buf_a.extend_from_slice(grad_out);
+        for layer in layers.iter_mut().rev() {
+            layer.backward_batch(buf_a, batch, buf_b);
+            std::mem::swap(buf_a, buf_b);
         }
     }
 
@@ -338,6 +432,93 @@ mod tests {
             after < before * 0.2,
             "loss did not drop: before {before}, after {after}"
         );
+    }
+
+    #[test]
+    fn forward_batch_of_one_matches_forward() {
+        let mut model = tiny_spec().build(6).unwrap();
+        let input: Vec<f32> = (0..64).map(|i| (i as f32 / 32.0) - 1.0).collect();
+        let single = model.forward_logit(&input);
+        let batched = model.forward_logits_batch(&input, 1);
+        assert_eq!(batched.len(), 1);
+        assert_eq!(single, batched[0]);
+    }
+
+    #[test]
+    fn forward_batch_matches_per_image_forward() {
+        let mut model = tiny_spec().build(7).unwrap();
+        let batch = 5;
+        let input: Vec<f32> = (0..batch * 64)
+            .map(|i| ((i * 37) % 100) as f32 / 50.0 - 1.0)
+            .collect();
+        let batched = model.forward_logits_batch(&input, batch);
+        for b in 0..batch {
+            let single = model.forward_logit(&input[b * 64..(b + 1) * 64]);
+            assert!(
+                (single - batched[b]).abs() < 1e-4,
+                "image {b}: single {single} batched {}",
+                batched[b]
+            );
+        }
+    }
+
+    #[test]
+    fn predict_proba_batch_is_sigmoid_of_logits() {
+        let mut model = tiny_spec().build(8).unwrap();
+        let batch = 3;
+        let input: Vec<f32> = (0..batch * 64).map(|i| (i % 13) as f32 / 13.0).collect();
+        let probs = model.predict_proba_batch(&input, batch);
+        assert_eq!(probs.len(), batch);
+        for (b, &p) in probs.iter().enumerate() {
+            assert!((0.0..=1.0).contains(&p));
+            let single = model.predict_proba(&input[b * 64..(b + 1) * 64]);
+            assert!((p - single).abs() < 1e-5, "image {b}: {p} vs {single}");
+        }
+    }
+
+    #[test]
+    fn batched_backward_matches_per_image_accumulation() {
+        let spec = CnnSpec {
+            input: Shape::new(1, 6, 6),
+            conv_channels: vec![3],
+            kernel: 3,
+            dense_units: 6,
+        };
+        let batch = 4;
+        let input: Vec<f32> = (0..batch * 36)
+            .map(|i| ((i * 7) % 19) as f32 / 19.0 - 0.5)
+            .collect();
+        let grads: Vec<f32> = (0..batch)
+            .map(|b| if b % 2 == 0 { 1.0 } else { -0.5 })
+            .collect();
+
+        // Per-image reference.
+        let mut ref_model = spec.build(11).unwrap();
+        ref_model.zero_grads();
+        for b in 0..batch {
+            ref_model.forward(&input[b * 36..(b + 1) * 36]);
+            ref_model.backward(&[grads[b]]);
+        }
+        let mut ref_grads: Vec<Vec<f32>> = Vec::new();
+        ref_model.visit_params(|_, _, g| ref_grads.push(g.to_vec()));
+
+        // Batched pass on an identically initialized model.
+        let mut model = spec.build(11).unwrap();
+        model.zero_grads();
+        model.forward_batch(&input, batch);
+        model.backward_batch(&grads, batch);
+        let mut got_grads: Vec<Vec<f32>> = Vec::new();
+        model.visit_params(|_, _, g| got_grads.push(g.to_vec()));
+
+        assert_eq!(ref_grads.len(), got_grads.len());
+        for (slot, (r, g)) in ref_grads.iter().zip(&got_grads).enumerate() {
+            for (i, (&a, &b)) in r.iter().zip(g).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-3 * (1.0 + a.abs()),
+                    "slot {slot} grad {i}: per-image {a} batched {b}"
+                );
+            }
+        }
     }
 
     #[test]

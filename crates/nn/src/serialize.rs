@@ -176,7 +176,9 @@ pub fn load(bytes: &[u8]) -> Result<Sequential, SerializeError> {
                 model.push(Box::new(Dense::from_parts(n_in, n_out, w, b)));
             }
             tag => {
-                return Err(SerializeError::Malformed(format!("unknown layer tag {tag}")));
+                return Err(SerializeError::Malformed(format!(
+                    "unknown layer tag {tag}"
+                )));
             }
         }
     }
@@ -219,10 +221,7 @@ mod tests {
 
     #[test]
     fn rejects_bad_magic() {
-        assert!(matches!(
-            load(b"NOPE"),
-            Err(SerializeError::Malformed(_))
-        ));
+        assert!(matches!(load(b"NOPE"), Err(SerializeError::Malformed(_))));
     }
 
     #[test]
@@ -242,7 +241,10 @@ mod tests {
         let bytes = save(&m).unwrap();
         // Every strict prefix must fail cleanly, never panic.
         for cut in 0..bytes.len() {
-            assert!(load(&bytes[..cut]).is_err(), "prefix of {cut} bytes decoded");
+            assert!(
+                load(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
         }
     }
 }

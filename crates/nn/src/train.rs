@@ -82,17 +82,27 @@ impl Trainer {
             final_accuracy: 0.0,
             epochs_run: 0,
         };
+        // Reused minibatch buffers: the whole batch flows through the
+        // GEMM-backed `forward_batch`/`backward_batch` in one pass.
+        let mut xb: Vec<f32> = Vec::with_capacity(self.batch_size.max(1) * expected);
+        let mut gb: Vec<f32> = Vec::with_capacity(self.batch_size.max(1));
         for _epoch in 0..self.epochs {
             rng.shuffle(&mut order);
             let mut loss_sum = 0.0f64;
             for batch in order.chunks(self.batch_size.max(1)) {
                 model.zero_grads();
+                xb.clear();
                 for &i in batch {
-                    let ex = &examples[i];
-                    let z = model.forward_logit(&ex.input);
-                    loss_sum += bce_with_logits(z, ex.label) as f64;
-                    model.backward(&[bce_with_logits_grad(z, ex.label)]);
+                    xb.extend_from_slice(&examples[i].input);
                 }
+                let logits = model.forward_logits_batch(&xb, batch.len());
+                gb.clear();
+                for (&i, &z) in batch.iter().zip(&logits) {
+                    let label = examples[i].label;
+                    loss_sum += bce_with_logits(z, label) as f64;
+                    gb.push(bce_with_logits_grad(z, label));
+                }
+                model.backward_batch(&gb, batch.len());
                 let scale = 1.0 / batch.len() as f32;
                 opt.begin_step();
                 model.visit_params(|slot, p, g| opt.update(slot, p, g, scale));
@@ -109,21 +119,48 @@ impl Trainer {
     }
 }
 
+/// Scoring batch size: large enough to amortize the GEMM setup, small
+/// enough to keep activation buffers cache-resident.
+pub const SCORE_BATCH: usize = 32;
+
 /// Fraction of examples classified correctly at probability threshold 0.5.
+/// Runs the batched inference path in [`SCORE_BATCH`]-sized chunks.
 pub fn accuracy(model: &mut Sequential, examples: &[Example]) -> f64 {
     if examples.is_empty() {
         return 0.0;
     }
-    let correct = examples
-        .iter()
-        .filter(|ex| (model.forward_logit(&ex.input) >= 0.0) == ex.label)
-        .count();
+    let in_len = model.input_shape().len();
+    let mut xb: Vec<f32> = Vec::with_capacity(SCORE_BATCH * in_len);
+    let mut correct = 0usize;
+    for chunk in examples.chunks(SCORE_BATCH) {
+        xb.clear();
+        for ex in chunk {
+            xb.extend_from_slice(&ex.input);
+        }
+        let logits = model.predict_logits_batch(&xb, chunk.len());
+        correct += chunk
+            .iter()
+            .zip(&logits)
+            .filter(|(ex, &z)| (z >= 0.0) == ex.label)
+            .count();
+    }
     correct as f64 / examples.len() as f64
 }
 
-/// Scores (sigmoid probabilities) for a batch of inputs.
+/// Scores (sigmoid probabilities) for a set of inputs, batched through the
+/// GEMM inference path.
 pub fn predict_scores(model: &mut Sequential, inputs: &[Vec<f32>]) -> Vec<f32> {
-    inputs.iter().map(|x| model.predict_proba(x)).collect()
+    let in_len = model.input_shape().len();
+    let mut xb: Vec<f32> = Vec::with_capacity(SCORE_BATCH * in_len);
+    let mut out = Vec::with_capacity(inputs.len());
+    for chunk in inputs.chunks(SCORE_BATCH) {
+        xb.clear();
+        for x in chunk {
+            xb.extend_from_slice(x);
+        }
+        out.extend(model.predict_proba_batch(&xb, chunk.len()));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -145,7 +182,11 @@ mod tests {
                 *v = rng.uniform_in(0.0, 0.25) as f32;
             }
             // square in the top half for positives, bottom half otherwise
-            let y0 = if label { rng.index(2) } else { 4 + rng.index(2) };
+            let y0 = if label {
+                rng.index(2)
+            } else {
+                4 + rng.index(2)
+            };
             let x0 = rng.index(6);
             for dy in 0..2 {
                 for dx in 0..2 {

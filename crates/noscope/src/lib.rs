@@ -16,6 +16,6 @@ pub mod system;
 pub mod tahoma_dd;
 
 pub use datasets::VideoDataset;
-pub use runner::{run_with_dd, FrameClassifier, RunReport};
+pub use runner::{run_with_dd, run_with_dd_batched, FrameClassifier, RunReport};
 pub use system::{NoScopeConfig, NoScopeSystem};
 pub use tahoma_dd::TahomaDdSystem;

@@ -8,6 +8,13 @@ use tahoma_video::{DifferenceDetector, Frame, FrameSkipper};
 pub trait FrameClassifier {
     /// Classify one frame, returning (label, cost in seconds).
     fn classify(&self, frame: &Frame) -> (bool, f64);
+    /// Classify a batch of frames, returning (label, cost) per frame in
+    /// order. The default loops [`FrameClassifier::classify`]; classifiers
+    /// backed by a real CNN override this to run the batched GEMM inference
+    /// path.
+    fn classify_batch(&self, frames: &[&Frame]) -> Vec<(bool, f64)> {
+        frames.iter().map(|f| self.classify(f)).collect()
+    }
     /// Name for reports.
     fn name(&self) -> &str;
 }
@@ -66,10 +73,108 @@ pub fn run_with_dd(
     RunReport {
         frames: n,
         processed,
-        reuse_rate: if n == 0 { 0.0 } else { 1.0 - processed as f64 / n as f64 },
-        accuracy: if n == 0 { 0.0 } else { correct as f64 / n as f64 },
+        reuse_rate: if n == 0 {
+            0.0
+        } else {
+            1.0 - processed as f64 / n as f64
+        },
+        accuracy: if n == 0 {
+            0.0
+        } else {
+            correct as f64 / n as f64
+        },
         total_time_s: total_time,
-        throughput_fps: if total_time > 0.0 { n as f64 / total_time } else { 0.0 },
+        throughput_fps: if total_time > 0.0 {
+            n as f64 / total_time
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Batched counterpart of [`run_with_dd`], equivalent in its report (the
+/// classifier costs are summed in bulk rather than interleaved with the
+/// per-frame detector cost, so `total_time_s` can differ from the
+/// sequential loop by float-rounding ULPs; every count and label is
+/// identical).
+///
+/// The difference detector's Reuse/Process partition depends only on
+/// thumbnail similarity — never on the labels being classified — so the loop
+/// splits into two phases: walk the stream once recording decisions
+/// (committing keyframes with placeholder labels), then classify every
+/// Process frame in one [`FrameClassifier::classify_batch`] call and
+/// propagate labels to the Reuse frames that followed each keyframe. This
+/// lets CNN-backed classifiers amortize inference over whole minibatches
+/// instead of being called frame by frame.
+pub fn run_with_dd_batched(
+    frames: &[Frame],
+    skipper: FrameSkipper,
+    dd: &mut DifferenceDetector,
+    classifier: &dyn FrameClassifier,
+) -> RunReport {
+    let sampled = skipper.sample(frames);
+    let carried_label = dd.last_label();
+    // Phase 1: decisions. For each sampled frame, record the index into the
+    // process list whose label it will inherit (its own, or the preceding
+    // keyframe's).
+    let mut to_process: Vec<&Frame> = Vec::new();
+    let mut label_source: Vec<Option<usize>> = Vec::with_capacity(sampled.len());
+    for &frame in &sampled {
+        match dd.inspect(frame) {
+            DdDecision::Reuse(_) => {
+                label_source.push(to_process.len().checked_sub(1));
+            }
+            DdDecision::Process => {
+                dd.commit(frame, false); // placeholder; relabeled below
+                label_source.push(Some(to_process.len()));
+                to_process.push(frame);
+            }
+        }
+    }
+    // Phase 2: one batched classification of every Process frame.
+    let results = classifier.classify_batch(&to_process);
+    debug_assert_eq!(results.len(), to_process.len());
+    if let Some(&(label, _)) = results.last() {
+        dd.relabel_last(label);
+    }
+    // Phase 3: assemble the report exactly as the sequential loop would.
+    // Every processed frame pays its classifier cost exactly once, so the
+    // total is a plain sum; per-frame labels come from the source map.
+    let total_time =
+        sampled.len() as f64 * DD_COST_S + results.iter().map(|&(_, cost)| cost).sum::<f64>();
+    let mut correct = 0usize;
+    for (&frame, src) in sampled.iter().zip(&label_source) {
+        let label = match src {
+            // A reuse frame before any keyframe in this run inherits the
+            // label the detector carried in, matching the sequential loop.
+            None => carried_label,
+            Some(i) => results[*i].0,
+        };
+        if label == frame.label {
+            correct += 1;
+        }
+    }
+    let n = sampled.len();
+    let processed = to_process.len();
+    RunReport {
+        frames: n,
+        processed,
+        reuse_rate: if n == 0 {
+            0.0
+        } else {
+            1.0 - processed as f64 / n as f64
+        },
+        accuracy: if n == 0 {
+            0.0
+        } else {
+            correct as f64 / n as f64
+        },
+        total_time_s: total_time,
+        throughput_fps: if total_time > 0.0 {
+            n as f64 / total_time
+        } else {
+            0.0
+        },
     }
 }
 
@@ -110,6 +215,58 @@ mod tests {
         assert!(on.reuse_rate > off.reuse_rate);
         assert!(on.total_time_s < off.total_time_s);
         assert!(on.throughput_fps > off.throughput_fps);
+    }
+
+    #[test]
+    fn batched_runner_matches_sequential_exactly() {
+        // The batched two-phase runner must reproduce the sequential report
+        // bit for bit on both datasets' dynamics, including detector state.
+        for cfg in [StreamConfig::coral(7), StreamConfig::jackson(7)] {
+            let frames = VideoStream::new(cfg).take_frames(4500);
+            let mut dd_seq = DifferenceDetector::new(2.5e-4);
+            let seq = run_with_dd(&frames, FrameSkipper::paper_default(), &mut dd_seq, &Oracle);
+            let mut dd_bat = DifferenceDetector::new(2.5e-4);
+            let bat =
+                run_with_dd_batched(&frames, FrameSkipper::paper_default(), &mut dd_bat, &Oracle);
+            assert_eq!(seq.frames, bat.frames);
+            assert_eq!(seq.processed, bat.processed);
+            assert_eq!(seq.reuse_rate, bat.reuse_rate);
+            assert_eq!(seq.accuracy, bat.accuracy);
+            // Costs are summed in a different order; equal up to rounding.
+            assert!(
+                (seq.total_time_s - bat.total_time_s).abs() < 1e-9 * seq.total_time_s.max(1e-12),
+                "total time {} vs {}",
+                seq.total_time_s,
+                bat.total_time_s
+            );
+            assert_eq!(dd_seq.counts(), dd_bat.counts());
+            assert_eq!(dd_seq.last_label(), dd_bat.last_label());
+        }
+    }
+
+    #[test]
+    fn batched_runner_chains_across_calls() {
+        // Detector state carried between batched runs keeps reuse labels
+        // consistent with one long sequential run.
+        let frames = VideoStream::new(StreamConfig::coral(9)).take_frames(6000);
+        let (a, b) = frames.split_at(3000);
+        let mut dd_seq = DifferenceDetector::new(2.5e-4);
+        let s1 = run_with_dd(a, FrameSkipper { stride: 10 }, &mut dd_seq, &Oracle);
+        let s2 = run_with_dd(b, FrameSkipper { stride: 10 }, &mut dd_seq, &Oracle);
+        let mut dd_bat = DifferenceDetector::new(2.5e-4);
+        let b1 = run_with_dd_batched(a, FrameSkipper { stride: 10 }, &mut dd_bat, &Oracle);
+        let b2 = run_with_dd_batched(b, FrameSkipper { stride: 10 }, &mut dd_bat, &Oracle);
+        assert_eq!(s1.accuracy, b1.accuracy);
+        assert_eq!(s2.accuracy, b2.accuracy);
+        // Costs are summed in a different order; equal up to rounding.
+        let (seq_t, bat_t) = (
+            s1.total_time_s + s2.total_time_s,
+            b1.total_time_s + b2.total_time_s,
+        );
+        assert!(
+            (seq_t - bat_t).abs() < 1e-9 * seq_t.max(1e-12),
+            "total time {seq_t} vs {bat_t}"
+        );
     }
 
     #[test]

@@ -110,13 +110,9 @@ impl NoScopeSystem {
         let uncertain = frames
             .iter()
             .filter(|f| {
-                let s = self.scorer.score(
-                    &self.specialized,
-                    Split::Eval,
-                    f.idx,
-                    f.label,
-                    f.difficulty,
-                );
+                let s =
+                    self.scorer
+                        .score(&self.specialized, Split::Eval, f.idx, f.label, f.difficulty);
                 self.thresholds.decide(s).is_none()
             })
             .count();
@@ -163,8 +159,13 @@ pub struct FrameScorer {
 impl FrameScorer {
     /// Score one variant on one frame.
     pub fn score(&self, variant: &ModelVariant, frame: &Frame) -> f32 {
-        self.scorer
-            .score(variant, Split::Eval, frame.idx, frame.label, frame.difficulty)
+        self.scorer.score(
+            variant,
+            Split::Eval,
+            frame.idx,
+            frame.label,
+            frame.difficulty,
+        )
     }
 }
 

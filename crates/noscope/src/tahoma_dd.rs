@@ -94,9 +94,13 @@ impl FrameClassifier for TahomaDdSystem {
             let m = self.cascade.model_at(l) as usize;
             cost += self.cost.infer_s[m];
             let variant = &self.system.repo.entries[m].variant;
-            let score =
-                self.scorer
-                    .score(variant, Split::Eval, frame.idx, frame.label, frame.difficulty);
+            let score = self.scorer.score(
+                variant,
+                Split::Eval,
+                frame.idx,
+                frame.label,
+                frame.difficulty,
+            );
             if l + 1 == depth {
                 return (score >= 0.5, cost);
             }

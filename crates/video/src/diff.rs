@@ -60,6 +60,22 @@ impl DifferenceDetector {
         self.processed += 1;
     }
 
+    /// Replace the label attached to the last committed keyframe.
+    ///
+    /// The Reuse/Process partition depends only on thumbnail similarity, so
+    /// batched runners can commit keyframes with placeholder labels, classify
+    /// every Process frame in one batch, and patch the final label in
+    /// afterwards without changing any decision.
+    pub fn relabel_last(&mut self, label: bool) {
+        self.last_label = label;
+    }
+
+    /// The label attached to the last committed keyframe (`false` before
+    /// any commit).
+    pub fn last_label(&self) -> bool {
+        self.last_label
+    }
+
     /// Fraction of inspected frames that were reused.
     pub fn reuse_rate(&self) -> f64 {
         let total = self.reused + self.processed;
@@ -127,7 +143,11 @@ mod tests {
         dd.inspect(&a);
         dd.commit(&a, false);
         let b = frame(1, true, vec![1.0; 4]);
-        assert_eq!(dd.inspect(&b), DdDecision::Reuse(false), "stale label reused");
+        assert_eq!(
+            dd.inspect(&b),
+            DdDecision::Reuse(false),
+            "stale label reused"
+        );
     }
 
     #[test]

@@ -83,7 +83,9 @@ mod tests {
     #[test]
     fn removes_isolated_flips() {
         let s = MajoritySmoother::new(3);
-        let noisy = [false, false, true, false, false, true, true, true, false, true, true];
+        let noisy = [
+            false, false, true, false, false, true, true, true, false, true, true,
+        ];
         let out = s.smooth(&noisy);
         // The isolated positive at index 2 disappears; the isolated
         // negative at index 8 inside the positive run is filled.

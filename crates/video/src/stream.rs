@@ -155,7 +155,9 @@ impl VideoStream {
         }
         // Difficulty random walk, clamped to the stream's hardness band.
         self.difficulty += cfg.difficulty_step * self.rng.standard_normal();
-        self.difficulty = self.difficulty.clamp(cfg.difficulty_min, cfg.difficulty_max);
+        self.difficulty = self
+            .difficulty
+            .clamp(cfg.difficulty_min, cfg.difficulty_max);
         // Thumbnail.
         let thumb: Vec<f32> = self
             .background
@@ -221,7 +223,10 @@ mod tests {
         let frames = s.take_frames(4000);
         // Count label transitions; a bursty chain has far fewer transitions
         // than a Bernoulli sequence of the same rate.
-        let transitions = frames.windows(2).filter(|w| w[0].label != w[1].label).count();
+        let transitions = frames
+            .windows(2)
+            .filter(|w| w[0].label != w[1].label)
+            .count();
         let positives = frames.iter().filter(|f| f.label).count();
         assert!(positives > 100, "object never appears ({positives})");
         let rate = positives as f64 / frames.len() as f64;

@@ -44,7 +44,10 @@ impl ArchSpec {
 
     /// Stable identifier like `"c4x32-d64"`.
     pub fn tag(&self) -> String {
-        format!("c{}x{}-d{}", self.conv_layers, self.conv_nodes, self.dense_nodes)
+        format!(
+            "c{}x{}-d{}",
+            self.conv_layers, self.conv_nodes, self.dense_nodes
+        )
     }
 
     /// Relative representational capacity used by the surrogate accuracy
@@ -96,11 +99,24 @@ mod tests {
 
     #[test]
     fn capacity_is_monotone_in_each_axis() {
-        let base = ArchSpec { conv_layers: 1, conv_nodes: 16, dense_nodes: 16 };
+        let base = ArchSpec {
+            conv_layers: 1,
+            conv_nodes: 16,
+            dense_nodes: 16,
+        };
         assert!((base.capacity_score() - 1.0).abs() < 1e-12);
-        let deeper = ArchSpec { conv_layers: 2, ..base };
-        let wider = ArchSpec { conv_nodes: 32, ..base };
-        let denser = ArchSpec { dense_nodes: 64, ..base };
+        let deeper = ArchSpec {
+            conv_layers: 2,
+            ..base
+        };
+        let wider = ArchSpec {
+            conv_nodes: 32,
+            ..base
+        };
+        let denser = ArchSpec {
+            dense_nodes: 64,
+            ..base
+        };
         assert!(deeper.capacity_score() > base.capacity_score());
         assert!(wider.capacity_score() > base.capacity_score());
         assert!(denser.capacity_score() > base.capacity_score());
@@ -111,11 +127,19 @@ mod tests {
 
     #[test]
     fn flops_increase_with_input_size_and_depth() {
-        let arch = ArchSpec { conv_layers: 2, conv_nodes: 16, dense_nodes: 32 };
+        let arch = ArchSpec {
+            conv_layers: 2,
+            conv_nodes: 16,
+            dense_nodes: 32,
+        };
         let small = arch.flops(Representation::new(30, ColorMode::Gray));
         let big = arch.flops(Representation::new(224, ColorMode::Rgb));
         assert!(big > small * 50, "{big} vs {small}");
-        let deep = ArchSpec { conv_layers: 4, conv_nodes: 16, dense_nodes: 32 };
+        let deep = ArchSpec {
+            conv_layers: 4,
+            conv_nodes: 16,
+            dense_nodes: 32,
+        };
         assert!(
             deep.flops(Representation::new(60, ColorMode::Rgb))
                 > arch.flops(Representation::new(60, ColorMode::Rgb))
@@ -126,11 +150,22 @@ mod tests {
     fn grayscale_deep_vs_color_shallow_tradeoff_exists() {
         // The paper's §I M1/M2 example: a deeper grayscale model can cost
         // fewer FLOPs than a shallower full-color one at the same size.
-        let m1 = ArchSpec { conv_layers: 1, conv_nodes: 32, dense_nodes: 32 }; // color, shallow
-        let m2 = ArchSpec { conv_layers: 2, conv_nodes: 16, dense_nodes: 32 }; // gray, deeper
+        let m1 = ArchSpec {
+            conv_layers: 1,
+            conv_nodes: 32,
+            dense_nodes: 32,
+        }; // color, shallow
+        let m2 = ArchSpec {
+            conv_layers: 2,
+            conv_nodes: 16,
+            dense_nodes: 32,
+        }; // gray, deeper
         let f1 = m1.flops(Representation::new(120, ColorMode::Rgb));
         let f2 = m2.flops(Representation::new(120, ColorMode::Gray));
-        assert!(f2 < f1, "gray-deep {f2} should cost less than color-shallow {f1}");
+        assert!(
+            f2 < f1,
+            "gray-deep {f2} should cost less than color-shallow {f1}"
+        );
     }
 
     #[test]
@@ -142,15 +177,26 @@ mod tests {
         for arch in ArchSpec::all_paper() {
             assert!(arch.cnn_spec(small).build(1).is_ok(), "{arch} on {small}");
         }
-        let tiny_arch = ArchSpec { conv_layers: 4, conv_nodes: 16, dense_nodes: 16 };
+        let tiny_arch = ArchSpec {
+            conv_layers: 4,
+            conv_nodes: 16,
+            dense_nodes: 16,
+        };
         for rep in Representation::paper_set() {
-            assert!(tiny_arch.cnn_spec(rep).build(1).is_ok(), "{tiny_arch} on {rep}");
+            assert!(
+                tiny_arch.cnn_spec(rep).build(1).is_ok(),
+                "{tiny_arch} on {rep}"
+            );
         }
     }
 
     #[test]
     fn tag_format() {
-        let a = ArchSpec { conv_layers: 4, conv_nodes: 32, dense_nodes: 64 };
+        let a = ArchSpec {
+            conv_layers: 4,
+            conv_nodes: 32,
+            dense_nodes: 64,
+        };
         assert_eq!(a.tag(), "c4x32-d64");
     }
 }

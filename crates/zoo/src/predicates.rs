@@ -20,7 +20,10 @@ pub struct PredicateSpec {
 impl PredicateSpec {
     /// All ten predicates in Table II order.
     pub fn all_paper() -> Vec<PredicateSpec> {
-        ObjectKind::ALL.iter().map(|&k| PredicateSpec::for_kind(k)).collect()
+        ObjectKind::ALL
+            .iter()
+            .map(|&k| PredicateSpec::for_kind(k))
+            .collect()
     }
 
     /// The spec for one category.
@@ -97,8 +100,7 @@ mod tests {
     fn channel_affinity_respects_glyph_colors() {
         let amphibian = PredicateSpec::for_kind(ObjectKind::Amphibian);
         assert!(
-            amphibian.channel_factor(ColorMode::Green)
-                > amphibian.channel_factor(ColorMode::Blue)
+            amphibian.channel_factor(ColorMode::Green) > amphibian.channel_factor(ColorMode::Blue)
         );
         let coho = PredicateSpec::for_kind(ObjectKind::Coho);
         assert!(coho.channel_factor(ColorMode::Red) > coho.channel_factor(ColorMode::Blue));

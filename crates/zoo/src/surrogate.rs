@@ -133,10 +133,7 @@ impl SurrogateScorer {
             }
             ModelKind::YoloV2 => self.pred.d_max * 1.04 + 0.25,
         };
-        let mut rng = DetRng::from_coords(
-            split_seed(self.seed, 0xB1A5),
-            variant.id.0 as u64,
-        );
+        let mut rng = DetRng::from_coords(split_seed(self.seed, 0xB1A5), variant.id.0 as u64);
         let bias = rng.normal(0.0, self.params.model_bias_sd);
         (base * (1.0 + bias)).max(0.05)
     }
@@ -232,10 +229,7 @@ mod tests {
         let s = scorer(ObjectKind::Fence);
         let p = pop(ObjectKind::Fence);
         let v = paper_variants()[17];
-        assert_eq!(
-            s.scores(&v, Split::Eval, &p),
-            s.scores(&v, Split::Eval, &p)
-        );
+        assert_eq!(s.scores(&v, Split::Eval, &p), s.scores(&v, Split::Eval, &p));
     }
 
     #[test]
@@ -271,12 +265,20 @@ mod tests {
         let s = scorer(ObjectKind::Scorpion);
         let p = pop(ObjectKind::Scorpion);
         let weak = variant(
-            ArchSpec { conv_layers: 1, conv_nodes: 16, dense_nodes: 16 },
+            ArchSpec {
+                conv_layers: 1,
+                conv_nodes: 16,
+                dense_nodes: 16,
+            },
             Representation::new(30, ColorMode::Blue),
             0,
         );
         let strong = variant(
-            ArchSpec { conv_layers: 4, conv_nodes: 32, dense_nodes: 64 },
+            ArchSpec {
+                conv_layers: 4,
+                conv_nodes: 32,
+                dense_nodes: 64,
+            },
             Representation::new(224, ColorMode::Rgb),
             1,
         );
@@ -301,9 +303,21 @@ mod tests {
             }
             let min = accs.iter().cloned().fold(f64::INFINITY, f64::min);
             let max = accs.iter().cloned().fold(0.0, f64::max);
-            assert!(min > 0.5, "{}: weakest model below chance: {min}", pred.name());
-            assert!(max < 0.995, "{}: strongest model implausibly perfect", pred.name());
-            assert!(max - min > 0.08, "{}: no accuracy spread ({min}..{max})", pred.name());
+            assert!(
+                min > 0.5,
+                "{}: weakest model below chance: {min}",
+                pred.name()
+            );
+            assert!(
+                max < 0.995,
+                "{}: strongest model implausibly perfect",
+                pred.name()
+            );
+            assert!(
+                max - min > 0.08,
+                "{}: no accuracy spread ({min}..{max})",
+                pred.name()
+            );
         }
     }
 
@@ -341,8 +355,7 @@ mod tests {
         let b = paper_variants()[359];
         let sa = s.scores(&a, Split::Eval, &p);
         let sb = s.scores(&b, Split::Eval, &p);
-        let wrong =
-            |sc: &[f32], i: usize| (sc[i] >= 0.5) != p.labels[i];
+        let wrong = |sc: &[f32], i: usize| (sc[i] >= 0.5) != p.labels[i];
         let n = p.len() as f64;
         let pa = (0..p.len()).filter(|&i| wrong(&sa, i)).count() as f64 / n;
         let pb = (0..p.len()).filter(|&i| wrong(&sb, i)).count() as f64 / n;

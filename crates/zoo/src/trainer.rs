@@ -152,11 +152,10 @@ pub fn build_real_repository(
                         seed: cfg.seed ^ v.id.0 as u64,
                     };
                     let report = trainer.train(&mut model, &examples, &mut Adam::new(cfg.lr));
+                    // Score whole splits through the batched GEMM inference
+                    // path instead of image-at-a-time forward passes.
                     let mut score_split = |cache: &HashMap<Representation, Vec<Vec<f32>>>| {
-                        cache[&v.input]
-                            .iter()
-                            .map(|x| model.predict_proba(x))
-                            .collect::<Vec<f32>>()
+                        tahoma_nn::train::predict_scores(&mut model, &cache[&v.input])
                     };
                     let config_scores = score_split(config_cache);
                     let eval_scores = score_split(eval_cache);
@@ -240,9 +239,13 @@ mod tests {
     #[test]
     fn trains_and_scores_real_models() {
         let bundle = DatasetSpec::tiny(ObjectKind::Pinwheel, 24, 13).generate();
-        let (repo, outcomes) =
-            build_real_repository(&bundle, &tiny_variants(), &quick_cfg(), &DeviceProfile::k80())
-                .unwrap();
+        let (repo, outcomes) = build_real_repository(
+            &bundle,
+            &tiny_variants(),
+            &quick_cfg(),
+            &DeviceProfile::k80(),
+        )
+        .unwrap();
         assert_eq!(repo.len(), 2);
         assert!(repo.validate().is_ok());
         assert_eq!(outcomes.len(), 2);
@@ -267,16 +270,12 @@ mod tests {
     fn rejects_reference_variants() {
         let bundle = DatasetSpec::tiny(ObjectKind::Fence, 24, 1).generate();
         let bad = vec![crate::reference::resnet50(crate::variant::ModelId(0))];
-        assert!(
-            build_real_repository(&bundle, &bad, &quick_cfg(), &DeviceProfile::k80()).is_err()
-        );
+        assert!(build_real_repository(&bundle, &bad, &quick_cfg(), &DeviceProfile::k80()).is_err());
     }
 
     #[test]
     fn rejects_empty_variant_list() {
         let bundle = DatasetSpec::tiny(ObjectKind::Fence, 24, 1).generate();
-        assert!(
-            build_real_repository(&bundle, &[], &quick_cfg(), &DeviceProfile::k80()).is_err()
-        );
+        assert!(build_real_repository(&bundle, &[], &quick_cfg(), &DeviceProfile::k80()).is_err());
     }
 }

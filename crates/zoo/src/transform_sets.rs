@@ -74,7 +74,11 @@ mod tests {
     fn subsets_are_contained_in_full() {
         let full: std::collections::HashSet<_> =
             TransformSet::Full.representations().into_iter().collect();
-        for set in [TransformSet::None, TransformSet::ColorVariations, TransformSet::Resizing] {
+        for set in [
+            TransformSet::None,
+            TransformSet::ColorVariations,
+            TransformSet::Resizing,
+        ] {
             for rep in set.representations() {
                 assert!(full.contains(&rep), "{set}: {rep} not in Full");
             }

@@ -193,7 +193,11 @@ mod tests {
 
     #[test]
     fn cross_variants_respects_inputs() {
-        let archs = [ArchSpec { conv_layers: 1, conv_nodes: 16, dense_nodes: 16 }];
+        let archs = [ArchSpec {
+            conv_layers: 1,
+            conv_nodes: 16,
+            dense_nodes: 16,
+        }];
         let inputs = [
             Representation::new(16, ColorMode::Gray),
             Representation::new(32, ColorMode::Rgb),

@@ -67,7 +67,13 @@ fn main() {
     // The trigger can afford a slower, more accurate cascade than query
     // time would pick (§V-A).
     let accurate = system
-        .select(&profiler, Constraints { max_accuracy_loss: Some(0.0), max_throughput_loss: None })
+        .select(
+            &profiler,
+            Constraints {
+                max_accuracy_loss: Some(0.0),
+                max_throughput_loss: None,
+            },
+        )
         .expect("feasible");
     println!(
         "\ntrigger cascade ({}): {:.0} fps @ accuracy {:.3}",
@@ -92,7 +98,13 @@ fn main() {
     // --- 3. Query time: served from the store ----------------------------
     let items: Vec<&CorpusItem> = corpus.items.iter().collect();
     let fast = system
-        .select(&profiler, Constraints { max_accuracy_loss: Some(0.05), max_throughput_loss: None })
+        .select(
+            &profiler,
+            Constraints {
+                max_accuracy_loss: Some(0.05),
+                max_throughput_loss: None,
+            },
+        )
         .expect("feasible");
     let (rows, query_time) = read_through(
         &mut mat_store,

@@ -35,7 +35,10 @@ fn main() {
     for scenario in [Scenario::InferOnly, Scenario::Camera] {
         let profiler = AnalyticProfiler::paper_testbed(scenario);
         let frontier = system.frontier(&profiler);
-        println!("{scenario}: {} Pareto-optimal cascades", frontier.points.len());
+        println!(
+            "{scenario}: {} Pareto-optimal cascades",
+            frontier.points.len()
+        );
         for p in frontier.points.iter().take(3) {
             println!(
                 "  {:>9.1} fps @ accuracy {:.3}   {}",
@@ -73,7 +76,10 @@ fn main() {
     let resnet_acc = system.repo.eval_accuracy(resnet);
     let resnet_fps = 1.0 / system.repo.entry(resnet).infer_s;
     let matched = system
-        .select_matching_model(&AnalyticProfiler::paper_testbed(Scenario::InferOnly), resnet)
+        .select_matching_model(
+            &AnalyticProfiler::paper_testbed(Scenario::InferOnly),
+            resnet,
+        )
         .expect("feasible");
     println!(
         "\nResNet50 alone: {resnet_fps:.1} fps @ accuracy {resnet_acc:.3}\n\

@@ -79,7 +79,10 @@ fn main() {
         repo: &system.repo,
     };
 
-    for (label, cascade) in [("scenario-AWARE", aware.cascade), ("oblivious", oblivious.cascade)] {
+    for (label, cascade) in [
+        ("scenario-AWARE", aware.cascade),
+        ("oblivious", oblivious.cascade),
+    ] {
         let mut cascades = BTreeMap::new();
         cascades.insert(kind, cascade);
         let result = processor
@@ -89,9 +92,7 @@ fn main() {
         println!("{label} cascade: {}", system.describe(&cascade));
         println!(
             "  classified {} Detroit frames in {:.2} simulated s  ({:.1} fps)",
-            result.metadata_survivors,
-            rel.simulated_time_s,
-            rel.throughput_fps
+            result.metadata_survivors, rel.simulated_time_s, rel.throughput_fps
         );
         println!(
             "  matches: {}   relation accuracy vs ground truth: {:.3}",

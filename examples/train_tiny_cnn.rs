@@ -30,8 +30,16 @@ fn main() {
 
     // 2. A mini design space: 2 architectures x 3 representations.
     let archs = [
-        ArchSpec { conv_layers: 1, conv_nodes: 4, dense_nodes: 8 },
-        ArchSpec { conv_layers: 2, conv_nodes: 8, dense_nodes: 16 },
+        ArchSpec {
+            conv_layers: 1,
+            conv_nodes: 4,
+            dense_nodes: 8,
+        },
+        ArchSpec {
+            conv_layers: 2,
+            conv_nodes: 8,
+            dense_nodes: 16,
+        },
     ];
     let reps = [
         Representation::new(12, ColorMode::Gray),
@@ -49,9 +57,8 @@ fn main() {
         seed: 11,
     };
     let t0 = std::time::Instant::now();
-    let (repo, outcomes) =
-        build_real_repository(&bundle, &variants, &cfg, &DeviceProfile::k80())
-            .expect("training succeeds");
+    let (repo, outcomes) = build_real_repository(&bundle, &variants, &cfg, &DeviceProfile::k80())
+        .expect("training succeeds");
     println!("trained in {:.1}s:", t0.elapsed().as_secs_f64());
     for o in &outcomes {
         println!(
@@ -73,7 +80,10 @@ fn main() {
     };
     let system =
         tahoma::core::pipeline::TahomaSystem::initialize(repo, &PAPER_PRECISION_SETTINGS, &builder);
-    println!("\ncascade set over real models: {} cascades", system.n_cascades());
+    println!(
+        "\ncascade set over real models: {} cascades",
+        system.n_cascades()
+    );
 
     let profiler = AnalyticProfiler::paper_testbed(Scenario::InferOnly);
     let frontier = system.frontier(&profiler);
@@ -87,7 +97,40 @@ fn main() {
         );
     }
 
-    // 4. Does cascading real models beat the best single real model?
+    // 4. Throughput check: the batched im2col+GEMM inference path on a
+    //    freshly built model, per-image vs. 32-image minibatches.
+    let arch = archs[1];
+    let rep = reps[2];
+    let mut model = arch.cnn_spec(rep).build(99).expect("bench model builds");
+    let input = vec![0.5f32; rep.value_count()];
+    let batch32: Vec<f32> = input
+        .iter()
+        .cycle()
+        .take(32 * rep.value_count())
+        .copied()
+        .collect();
+    let time_per_image = |f: &mut dyn FnMut() -> usize| {
+        let t0 = std::time::Instant::now();
+        let mut images = 0usize;
+        while t0.elapsed().as_millis() < 200 {
+            images += f();
+        }
+        t0.elapsed().as_secs_f64() / images as f64
+    };
+    let single = time_per_image(&mut || {
+        let _ = model.predict_proba(&input);
+        1
+    });
+    let batched = time_per_image(&mut || model.predict_proba_batch(&batch32, 32).len());
+    println!(
+        "\ninference on {} @ {}px rgb: {:.0} img/s per-image, {:.0} img/s batch-32",
+        arch.tag(),
+        rep.size,
+        1.0 / single,
+        1.0 / batched,
+    );
+
+    // 5. Does cascading real models beat the best single real model?
     let best_single = system
         .outcomes
         .cascades

@@ -72,8 +72,7 @@ pub mod prelude {
     pub use tahoma_zoo::repository::{build_surrogate_repository, SurrogateBuildConfig};
     pub use tahoma_zoo::variant::paper_variants;
     pub use tahoma_zoo::{
-        ArchSpec, ModelId, ModelKind, ModelRepository, ModelVariant, PredicateSpec,
-        SurrogateScorer,
+        ArchSpec, ModelId, ModelKind, ModelRepository, ModelVariant, PredicateSpec, SurrogateScorer,
     };
 }
 

@@ -1,9 +1,7 @@
 //! Integration of the NoScope comparison pipeline (Fig. 8 machinery) at
 //! reduced scale.
 
-use tahoma::noscope::{
-    run_with_dd, NoScopeConfig, NoScopeSystem, TahomaDdSystem, VideoDataset,
-};
+use tahoma::noscope::{run_with_dd, NoScopeConfig, NoScopeSystem, TahomaDdSystem, VideoDataset};
 use tahoma::prelude::*;
 use tahoma::video::{DifferenceDetector, FrameSkipper, VideoStream};
 
@@ -21,7 +19,10 @@ fn small_cfg(seed: u64) -> SurrogateBuildConfig {
 fn full_pipeline_reproduces_fig8_shape() {
     let skipper = FrameSkipper::paper_default();
     let mut results = Vec::new();
-    for ds in [VideoDataset::coral(3, 24_000), VideoDataset::jackson(3, 24_000)] {
+    for ds in [
+        VideoDataset::coral(3, 24_000),
+        VideoDataset::jackson(3, 24_000),
+    ] {
         let frames = VideoStream::new(ds.stream.clone()).take_frames(ds.n_frames);
         let noscope = NoScopeSystem::build(&ds, &NoScopeConfig::default());
         let mut dd = DifferenceDetector::new(ds.dd_threshold);
@@ -66,15 +67,18 @@ fn noscope_accuracy_meets_its_precision_discipline() {
 fn dd_reuse_respects_stream_dynamics_end_to_end() {
     // Identical pipeline, different stream dynamics: reuse tracks drift.
     let skipper = FrameSkipper { stride: 30 };
-    let rates: Vec<f64> = [VideoDataset::coral(7, 18_000), VideoDataset::jackson(7, 18_000)]
-        .into_iter()
-        .map(|ds| {
-            let frames = VideoStream::new(ds.stream.clone()).take_frames(ds.n_frames);
-            let noscope = NoScopeSystem::build(&ds, &NoScopeConfig::default());
-            let mut dd = DifferenceDetector::new(ds.dd_threshold);
-            run_with_dd(&frames, skipper, &mut dd, &noscope).reuse_rate
-        })
-        .collect();
+    let rates: Vec<f64> = [
+        VideoDataset::coral(7, 18_000),
+        VideoDataset::jackson(7, 18_000),
+    ]
+    .into_iter()
+    .map(|ds| {
+        let frames = VideoStream::new(ds.stream.clone()).take_frames(ds.n_frames);
+        let noscope = NoScopeSystem::build(&ds, &NoScopeConfig::default());
+        let mut dd = DifferenceDetector::new(ds.dd_threshold);
+        run_with_dd(&frames, skipper, &mut dd, &noscope).reuse_rate
+    })
+    .collect();
     assert!(rates[0] > 0.10, "coral reuse {:.3}", rates[0]);
     assert!(rates[1] < rates[0] / 2.0, "jackson reuse {:.3}", rates[1]);
 }

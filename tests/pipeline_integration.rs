@@ -25,7 +25,12 @@ fn frontier_accuracy_is_scenario_invariant() {
         .iter()
         .map(|&s| AnalyticProfiler::paper_testbed(s))
         .collect();
-    let base: Vec<f32> = system.outcomes.outcomes.iter().map(|o| o.accuracy).collect();
+    let base: Vec<f32> = system
+        .outcomes
+        .outcomes
+        .iter()
+        .map(|o| o.accuracy)
+        .collect();
     for p in &profilers {
         for point in &system.frontier(p).points {
             assert!((point.accuracy - base[point.idx] as f64).abs() < 1e-9);
@@ -129,7 +134,10 @@ fn paper_headline_shape_holds_at_reduced_scale() {
     let infer = AnalyticProfiler::paper_testbed(Scenario::InferOnly);
     let fast = system.select_matching_model(&infer, resnet).unwrap();
     let speedup_infer = fast.throughput / resnet_fps;
-    assert!(speedup_infer > 10.0, "INFER-ONLY speedup {speedup_infer:.1}");
+    assert!(
+        speedup_infer > 10.0,
+        "INFER-ONLY speedup {speedup_infer:.1}"
+    );
 
     let archive = AnalyticProfiler::paper_testbed(Scenario::Archive);
     let arch_pick = system.select_matching_model(&archive, resnet).unwrap();

@@ -5,9 +5,75 @@ use tahoma::core::alc;
 use tahoma::core::pareto::{is_pareto_optimal, pareto_frontier};
 use tahoma::core::thresholds::{calibrate, negative_precision, positive_precision};
 use tahoma::imagery::{transform, BlockCodec, Codec, ColorMode, Image, RawCodec};
+use tahoma::nn::{Conv2d, Layer, Shape};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The GEMM-path convolution forward agrees with the legacy scalar loop
+    /// across random shapes, kernel sizes and weights. The two paths sum in
+    /// different orders, so equality holds to a k-scaled float tolerance
+    /// rather than bitwise.
+    #[test]
+    fn conv_gemm_forward_matches_scalar_loop(
+        c_in in 1usize..5, out_c in 1usize..9,
+        h in 1usize..14, w in 1usize..14,
+        half_k in 0usize..3, seed in 0u64..10_000
+    ) {
+        let shape = Shape::new(c_in, h, w);
+        let kk = 2 * half_k + 1;
+        let mut rng = tahoma::mathx::DetRng::new(seed);
+        let mut conv = Conv2d::new(shape, out_c, kk, &mut rng);
+        let input: Vec<f32> = (0..shape.len())
+            .map(|_| rng.uniform_in(-1.0, 1.0) as f32)
+            .collect();
+        let scalar = conv.forward_scalar(&input);
+        let gemm = conv.forward(&input);
+        prop_assert_eq!(scalar.len(), gemm.len());
+        let k_total = (c_in * kk * kk) as f32;
+        for (i, (&a, &b)) in scalar.iter().zip(&gemm).enumerate() {
+            let tol = 1e-5 * (1.0 + a.abs()) * k_total.sqrt().max(1.0);
+            prop_assert!(
+                (a - b).abs() <= tol,
+                "shape {}x{}x{} k{} out{} idx {}: scalar {} gemm {}",
+                c_in, h, w, kk, out_c, i, a, b
+            );
+        }
+    }
+
+    /// `forward_batch` agrees with per-image `forward` for every image slot
+    /// and batch size, including batch=1 (the wrapper the per-image API is
+    /// built on).
+    #[test]
+    fn conv_forward_batch_matches_per_image(
+        c_in in 1usize..4, out_c in 1usize..8,
+        h in 2usize..11, w in 2usize..11,
+        batch in 1usize..6, seed in 0u64..10_000
+    ) {
+        let shape = Shape::new(c_in, h, w);
+        let mut rng = tahoma::mathx::DetRng::new(seed);
+        let mut conv = Conv2d::new(shape, out_c, 3, &mut rng);
+        let input: Vec<f32> = (0..batch * shape.len())
+            .map(|_| rng.uniform_in(-1.0, 1.0) as f32)
+            .collect();
+        let mut batched = Vec::new();
+        conv.forward_batch(&input, batch, &mut batched, true);
+        let out_len = conv.output_shape().len();
+        prop_assert_eq!(batched.len(), batch * out_len);
+        for b in 0..batch {
+            let single = conv.forward(&input[b * shape.len()..(b + 1) * shape.len()]);
+            for (i, (&x, &y)) in single
+                .iter()
+                .zip(&batched[b * out_len..(b + 1) * out_len])
+                .enumerate()
+            {
+                prop_assert!(
+                    (x - y).abs() <= 1e-5 * (1.0 + x.abs()),
+                    "image {} idx {}: single {} batched {}", b, i, x, y
+                );
+            }
+        }
+    }
 
     /// The frontier is Pareto-optimal and every non-member is dominated.
     #[test]

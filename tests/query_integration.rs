@@ -65,7 +65,11 @@ fn execute(fx: &Fixture, sql: &str, scenario: Scenario) -> QueryResult {
 #[test]
 fn metadata_pushdown_reduces_classified_items() {
     let fx = fixture(ObjectKind::Fence);
-    let all = execute(&fx, "SELECT * FROM f WHERE contains_object(fence)", Scenario::Ongoing);
+    let all = execute(
+        &fx,
+        "SELECT * FROM f WHERE contains_object(fence)",
+        Scenario::Ongoing,
+    );
     let filtered = execute(
         &fx,
         "SELECT * FROM f WHERE contains_object(fence) AND location = 'Detroit'",
@@ -73,18 +77,28 @@ fn metadata_pushdown_reduces_classified_items() {
     );
     assert_eq!(all.metadata_survivors, fx.corpus.len());
     assert!(filtered.metadata_survivors < all.metadata_survivors);
-    assert_eq!(filtered.relations[0].rows.len(), filtered.metadata_survivors);
+    assert_eq!(
+        filtered.relations[0].rows.len(),
+        filtered.metadata_survivors
+    );
     // The filtered result must be a subset of the unfiltered result.
     let all_set: std::collections::HashSet<u64> = all.matched_ids.iter().copied().collect();
     for id in &filtered.matched_ids {
-        assert!(all_set.contains(id), "id {id} appears only in filtered result");
+        assert!(
+            all_set.contains(id),
+            "id {id} appears only in filtered result"
+        );
     }
 }
 
 #[test]
 fn relation_accuracy_is_high_and_rows_complete() {
     let fx = fixture(ObjectKind::Komondor);
-    let r = execute(&fx, "SELECT * FROM f WHERE contains_object(komondor)", Scenario::Camera);
+    let r = execute(
+        &fx,
+        "SELECT * FROM f WHERE contains_object(komondor)",
+        Scenario::Camera,
+    );
     let rel = &r.relations[0];
     assert_eq!(rel.rows.len(), fx.corpus.len());
     assert!(rel.accuracy > 0.8, "relation accuracy {}", rel.accuracy);
@@ -102,7 +116,10 @@ fn simulated_time_respects_scenario_ordering() {
     let archive = execute(&fx, sql, Scenario::Archive);
     let t = |r: &QueryResult| r.relations[0].simulated_time_s;
     assert!(t(&infer) < t(&ongoing), "INFER-ONLY should be cheapest");
-    assert!(t(&ongoing) < t(&archive), "ARCHIVE should be most expensive");
+    assert!(
+        t(&ongoing) < t(&archive),
+        "ARCHIVE should be most expensive"
+    );
 }
 
 #[test]

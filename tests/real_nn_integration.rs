@@ -9,8 +9,16 @@ use tahoma::zoo::variant::cross_variants;
 fn mini_space() -> Vec<ModelVariant> {
     cross_variants(
         &[
-            ArchSpec { conv_layers: 1, conv_nodes: 4, dense_nodes: 8 },
-            ArchSpec { conv_layers: 2, conv_nodes: 8, dense_nodes: 16 },
+            ArchSpec {
+                conv_layers: 1,
+                conv_nodes: 4,
+                dense_nodes: 8,
+            },
+            ArchSpec {
+                conv_layers: 2,
+                conv_nodes: 8,
+                dense_nodes: 16,
+            },
         ],
         &[
             Representation::new(12, ColorMode::Gray),
@@ -120,8 +128,8 @@ fn thresholds_calibrated_on_real_scores_meet_precision_on_config_split() {
 
 #[test]
 fn trained_weights_roundtrip_through_serialization() {
-    use tahoma::nn::{serialize, Adam, CnnSpec, Shape, Trainer};
     use tahoma::nn::train::Example;
+    use tahoma::nn::{serialize, Adam, CnnSpec, Shape, Trainer};
     // Train one tiny model on rendered data, save, reload, verify identical
     // predictions.
     let bundle = DatasetSpec::tiny(ObjectKind::Acorn, 16, 3).generate();
@@ -155,6 +163,9 @@ fn trained_weights_roundtrip_through_serialization() {
     let bytes = serialize::save(&model).unwrap();
     let mut reloaded = serialize::load(&bytes).unwrap();
     for ex in examples.iter().take(10) {
-        assert_eq!(model.forward_logit(&ex.input), reloaded.forward_logit(&ex.input));
+        assert_eq!(
+            model.forward_logit(&ex.input),
+            reloaded.forward_logit(&ex.input)
+        );
     }
 }

@@ -1,0 +1,216 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! small slice of the `bytes` API it actually uses: [`BytesMut`] as a growable
+//! write buffer, [`Bytes`] as a cheaply clonable frozen buffer, [`Buf`] as a
+//! little-endian cursor over `&[u8]`, and [`BufMut`] for the `put_*` writers.
+//! Semantics match the real crate for this subset; nothing else is provided.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Immutable, cheaply clonable byte buffer (`Arc<[u8]>` under the hood).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// Copy a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes { data: data.into() }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes { data: v.into() }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Bytes {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+/// Growable byte buffer that freezes into [`Bytes`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Convert into an immutable [`Bytes`] without copying more than once.
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data.into(),
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Little-endian read cursor. Implemented for `&[u8]`, which advances in
+/// place exactly like the real crate's blanket impl.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// True when at least one byte remains.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+    /// Skip `n` bytes. Panics if fewer remain.
+    fn advance(&mut self, n: usize);
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    /// Read a little-endian u32.
+    fn get_u32_le(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self.chunk()[..4].try_into().expect("4 bytes"));
+        self.advance(4);
+        v
+    }
+
+    /// Read a little-endian f32.
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+}
+
+/// Little-endian writers over a growable buffer.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a little-endian u32.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian f32.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_u32_le(v.to_bits());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_le_values() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_slice(b"HDR!");
+        b.put_u8(7);
+        b.put_u32_le(0xDEAD_BEEF);
+        b.put_f32_le(1.5);
+        let frozen = b.freeze();
+        let mut r: &[u8] = &frozen;
+        assert_eq!(&r[..4], b"HDR!");
+        r.advance(4);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_f32_le(), 1.5);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn bytes_clones_share_storage() {
+        let b: Bytes = vec![1u8, 2, 3].into();
+        let c = b.clone();
+        assert_eq!(&b[..], &c[..]);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+    }
+}

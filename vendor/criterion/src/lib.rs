@@ -1,0 +1,293 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment cannot fetch crates.io, so this crate reimplements
+//! the slice of criterion's API the workspace benches use — `Criterion`,
+//! `BenchmarkGroup`, `BenchmarkId`, `Throughput`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros — over a plain wall-clock
+//! measurement loop: a warm-up to estimate per-iteration time, then
+//! `sample_size` samples sized to a target sample duration, reporting the
+//! median (and throughput when configured). It prints results instead of
+//! producing HTML reports; there is no statistical regression machinery.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Per-sample target duration; samples run enough iterations to fill it.
+const TARGET_SAMPLE: Duration = Duration::from_millis(25);
+/// Warm-up budget before measuring.
+const WARMUP: Duration = Duration::from_millis(80);
+
+/// Throughput annotation for a benchmark, used to derive rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Measurement loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples_wanted: usize,
+    /// Median seconds per iteration, filled by [`Bencher::iter`].
+    sec_per_iter: Option<f64>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    fn new(samples_wanted: usize) -> Bencher {
+        Bencher {
+            samples_wanted,
+            sec_per_iter: None,
+            iters_per_sample: 0,
+        }
+    }
+
+    /// Measure a closure: warm up, choose an iteration count per sample,
+    /// record `sample_size` samples, and keep the median.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up while estimating the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_iters < 1 || (warm_start.elapsed() < WARMUP && warm_iters < 1_000_000) {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let est = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let iters = ((TARGET_SAMPLE.as_secs_f64() / est.max(1e-9)) as u64).clamp(1, 10_000_000);
+
+        let mut samples = Vec::with_capacity(self.samples_wanted);
+        for _ in 0..self.samples_wanted {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            samples.push(t0.elapsed().as_secs_f64() / iters as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        self.sec_per_iter = Some(samples[samples.len() / 2]);
+        self.iters_per_sample = iters;
+    }
+}
+
+fn format_time(sec: f64) -> String {
+    if sec < 1e-6 {
+        format!("{:.2} ns", sec * 1e9)
+    } else if sec < 1e-3 {
+        format!("{:.2} µs", sec * 1e6)
+    } else if sec < 1.0 {
+        format!("{:.2} ms", sec * 1e3)
+    } else {
+        format!("{sec:.3} s")
+    }
+}
+
+fn report(group: Option<&str>, id: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let full = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    let sec = b
+        .sec_per_iter
+        .unwrap_or_else(|| panic!("benchmark {full} never called Bencher::iter"));
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!("  {:>12.0} elem/s", n as f64 / sec),
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>12.2} MiB/s", n as f64 / sec / (1024.0 * 1024.0))
+        }
+        None => String::new(),
+    };
+    println!(
+        "{full:<48} time: [{:>10}]{rate}   ({} iters/sample)",
+        format_time(sec),
+        b.iters_per_sample
+    );
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Chainable arg hook kept for API compatibility; arguments are ignored.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Default number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Criterion {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(None, id, &b, None);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size,
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Throughput annotation applied to subsequently run benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(Some(&self.name), &id.id, &b, self.throughput);
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        report(Some(&self.name), &id.id, &b, self.throughput);
+        self
+    }
+
+    /// Close the group (separator line, mirroring criterion's summary).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Prevent the optimizer from eliding a value. Re-exported for parity with
+/// criterion's own `black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Define a benchmark group function from target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` from benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2);
+        g.throughput(Throughput::Elements(10));
+        g.bench_with_input(BenchmarkId::from_parameter(5), &5, |b, x| b.iter(|| x * 2));
+        g.finish();
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert!(format_time(5e-9).ends_with("ns"));
+        assert!(format_time(5e-6).ends_with("µs"));
+        assert!(format_time(5e-3).ends_with("ms"));
+        assert!(format_time(5.0).ends_with("s"));
+    }
+}

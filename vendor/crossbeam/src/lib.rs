@@ -1,0 +1,90 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::thread::scope` with the call shape the workspace
+//! uses (`scope(|s| { s.spawn(move |_| ...); })`), implemented on top of
+//! `std::thread::scope` (stabilized long after crossbeam pioneered the
+//! pattern). Differences from the real crate: a panic in an unjoined child
+//! propagates as a panic out of `scope` rather than as an `Err`, which is
+//! equivalent for callers that `.expect()` the result — as all callers here
+//! do.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Error type of [`scope`]: the payload of a panicked child thread.
+    pub type ScopeError = Box<dyn Any + Send + 'static>;
+
+    /// A scope handle; spawned closures receive a copy of it (and may spawn
+    /// further threads through it, though the workspace never does).
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread to finish, returning its result or the panic
+        /// payload.
+        pub fn join(self) -> Result<T, ScopeError> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives the scope itself,
+        /// mirroring crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let me = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&me)),
+            }
+        }
+    }
+
+    /// Run `f` with a scope in which borrowed-data threads can be spawned;
+    /// all threads are joined before `scope` returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, ScopeError>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_fill_disjoint_chunks() {
+        let mut data = vec![0u32; 64];
+        super::thread::scope(|scope| {
+            for (i, chunk) in data.chunks_mut(16).enumerate() {
+                scope.spawn(move |_| {
+                    for v in chunk {
+                        *v = i as u32;
+                    }
+                });
+            }
+        })
+        .expect("threads do not panic");
+        assert_eq!(data[0], 0);
+        assert_eq!(data[63], 3);
+    }
+
+    #[test]
+    fn join_returns_value() {
+        let out = super::thread::scope(|scope| {
+            let h = scope.spawn(|_| 21 * 2);
+            h.join().expect("no panic")
+        })
+        .expect("scope ok");
+        assert_eq!(out, 42);
+    }
+}

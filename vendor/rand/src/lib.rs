@@ -1,0 +1,69 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Only the two core traits are provided — enough for `tahoma_mathx::DetRng`
+//! to keep its `rand`-compatible surface without pulling the real crate into
+//! an offline build. No generators or distributions live here.
+
+/// A source of random bits, matching `rand::RngCore`'s shape.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+/// A generator constructible from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// Seed byte array type.
+    type Seed;
+
+    /// Build the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Build the generator from a `u64` convenience seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 += 1;
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for b in dest {
+                *b = self.next_u64() as u8;
+            }
+        }
+    }
+
+    impl SeedableRng for Counter {
+        type Seed = [u8; 8];
+        fn from_seed(seed: Self::Seed) -> Self {
+            Counter(u64::from_le_bytes(seed))
+        }
+        fn seed_from_u64(state: u64) -> Self {
+            Counter(state)
+        }
+    }
+
+    #[test]
+    fn traits_are_implementable() {
+        let mut c = Counter::seed_from_u64(41);
+        assert_eq!(c.next_u64(), 42);
+        let mut buf = [0u8; 3];
+        Counter::from_seed([0; 8]).fill_bytes(&mut buf);
+        assert_eq!(buf, [1, 2, 3]);
+        assert_eq!(Counter::seed_from_u64(0).next_u32(), 1);
+    }
+}
