@@ -1,16 +1,26 @@
 //! Criterion bench: real CNN inference across the architecture axis.
 //!
-//! Three views of the hot path:
+//! Five views of the hot path:
 //! * `conv_forward`: a single convolution layer, scalar reference loop vs
 //!   the im2col+GEMM path at batch 1 — the kernel-level speedup;
 //! * `conv_forward_batch`: the GEMM conv across batch sizes (per-image
 //!   throughput must not degrade as the batch grows);
+//! * `gemm_dispatch` / `conv_dispatch`: every runtime-dispatchable kernel
+//!   tier pinned explicitly (portable / avx2 / avx512 / auto) so a tier
+//!   regression shows as its own line — the explicit-SIMD tiers must beat
+//!   the portable auto-vectorized kernel in the default (non-native)
+//!   build, and `conv_dispatch` includes the small-k first-layer shape the
+//!   AVX-512 wide tile targets;
+//! * `gemm_threads` / `conv_batch_threads`: forced worker counts over a
+//!   large GEMM and a batched conv (on a single-core runner these show the
+//!   spawn overhead; on multi-core runners, the speedup);
 //! * `nn_forward`: whole-model inference, per-image `forward_logit` vs
 //!   `predict_proba_batch` over 1/8/32-image minibatches.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use tahoma_imagery::{ColorMode, Representation};
+use tahoma_nn::gemm::{self, GemmScratch, Kernel, Trans};
 use tahoma_nn::{Conv2d, Layer, Shape};
 use tahoma_zoo::ArchSpec;
 
@@ -55,6 +65,162 @@ fn bench_conv_batch_sweep(c: &mut Criterion) {
         group.throughput(Throughput::Elements(batch as u64));
         group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
             b.iter(|| {
+                conv.forward_batch(black_box(&input), batch, &mut out, false);
+                black_box(out.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Kernel tiers to sweep: every supported explicit tier plus `Auto` (what
+/// production callers run).
+fn kernel_cases() -> Vec<Kernel> {
+    let mut ks = Kernel::available();
+    ks.push(Kernel::Auto);
+    ks
+}
+
+fn bench_gemm_dispatch(c: &mut Criterion) {
+    let mut rng = tahoma_mathx::DetRng::new(0xD1);
+    // A conv-shaped direct-path product and a fat packed-path product.
+    let shapes = [
+        ("16x900x144", 16usize, 900usize, 144usize),
+        ("64x2048x256", 64, 2048, 256),
+    ];
+    let mut group = c.benchmark_group("gemm_dispatch");
+    for (name, m, n, k) in shapes {
+        let a: Vec<f32> = (0..m * k)
+            .map(|_| rng.uniform_in(-1.0, 1.0) as f32)
+            .collect();
+        let b: Vec<f32> = (0..k * n)
+            .map(|_| rng.uniform_in(-1.0, 1.0) as f32)
+            .collect();
+        let mut cbuf = vec![0.0f32; m * n];
+        group.throughput(Throughput::Elements((2 * m * n * k) as u64));
+        for kernel in kernel_cases() {
+            let mut scratch = GemmScratch::with_kernel(kernel);
+            scratch.threads = Some(1);
+            group.bench_with_input(BenchmarkId::new(kernel.name(), name), &name, |bch, _| {
+                bch.iter(|| {
+                    cbuf.fill(0.0);
+                    gemm::gemm(
+                        &mut scratch,
+                        m,
+                        n,
+                        k,
+                        black_box(&a),
+                        Trans::N,
+                        black_box(&b),
+                        Trans::N,
+                        &mut cbuf,
+                    );
+                    black_box(cbuf[0])
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_conv_dispatch(c: &mut Criterion) {
+    let mut rng = tahoma_mathx::DetRng::new(0xD2);
+    // 16ch is the deep-layer shape; 1ch/3ch are the small-k first-layer
+    // shapes the AVX-512 wide tile targets.
+    let cases = [
+        ("1ch-30px-16f", Shape::new(1, 30, 30), 16usize),
+        ("3ch-30px-16f", Shape::new(3, 30, 30), 16),
+        ("16ch-30px-16f", Shape::new(16, 30, 30), 16),
+    ];
+    let mut group = c.benchmark_group("conv_dispatch");
+    for (name, shape, out_c) in cases {
+        let k_total = shape.c * 9;
+        let weights: Vec<f32> = (0..out_c * k_total)
+            .map(|_| rng.uniform_in(-1.0, 1.0) as f32)
+            .collect();
+        let bias: Vec<f32> = (0..out_c)
+            .map(|_| rng.uniform_in(-1.0, 1.0) as f32)
+            .collect();
+        let input: Vec<f32> = (0..shape.len()).map(|i| (i % 97) as f32 / 97.0).collect();
+        let mut out = vec![0.0f32; out_c * shape.h * shape.w];
+        group.throughput(Throughput::Elements(
+            (2 * out_c * k_total * shape.h * shape.w) as u64,
+        ));
+        for kernel in kernel_cases() {
+            let mut scratch = GemmScratch::with_kernel(kernel);
+            scratch.threads = Some(1);
+            group.bench_with_input(BenchmarkId::new(kernel.name(), name), &name, |bch, _| {
+                bch.iter(|| {
+                    gemm::conv2d_forward(
+                        &mut scratch,
+                        black_box(&input),
+                        shape.c,
+                        shape.h,
+                        shape.w,
+                        3,
+                        &weights,
+                        &bias,
+                        out_c,
+                        &mut out,
+                    );
+                    black_box(out[0])
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_gemm_threads(c: &mut Criterion) {
+    let mut rng = tahoma_mathx::DetRng::new(0xD3);
+    let (m, n, k) = (64usize, 4096usize, 256usize);
+    let a: Vec<f32> = (0..m * k)
+        .map(|_| rng.uniform_in(-1.0, 1.0) as f32)
+        .collect();
+    let b: Vec<f32> = (0..k * n)
+        .map(|_| rng.uniform_in(-1.0, 1.0) as f32)
+        .collect();
+    let mut cbuf = vec![0.0f32; m * n];
+    let mut group = c.benchmark_group("gemm_threads/64x4096x256");
+    group.throughput(Throughput::Elements((2 * m * n * k) as u64));
+    for threads in [1usize, 2, 4] {
+        let mut scratch = GemmScratch::with_threads(threads);
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |bch, _| {
+            bch.iter(|| {
+                cbuf.fill(0.0);
+                gemm::gemm(
+                    &mut scratch,
+                    m,
+                    n,
+                    k,
+                    black_box(&a),
+                    Trans::N,
+                    black_box(&b),
+                    Trans::N,
+                    &mut cbuf,
+                );
+                black_box(cbuf[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_conv_batch_threads(c: &mut Criterion) {
+    let mut rng = tahoma_mathx::DetRng::new(0xD4);
+    let shape = Shape::new(16, 30, 30);
+    let batch = 32usize;
+    let input: Vec<f32> = (0..batch * shape.len())
+        .map(|i| (i % 89) as f32 / 89.0)
+        .collect();
+    let mut group = c.benchmark_group("conv_batch_threads/16ch-30px-16f-b32");
+    group.throughput(Throughput::Elements(batch as u64));
+    for threads in [1usize, 2, 4] {
+        let mut conv = Conv2d::new(shape, 16, 3, &mut rng);
+        conv.set_threads(Some(threads));
+        let mut out = Vec::new();
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |bch, _| {
+            bch.iter(|| {
                 conv.forward_batch(black_box(&input), batch, &mut out, false);
                 black_box(out.len())
             })
@@ -125,6 +291,10 @@ criterion_group!(
     benches,
     bench_conv_scalar_vs_gemm,
     bench_conv_batch_sweep,
+    bench_gemm_dispatch,
+    bench_conv_dispatch,
+    bench_gemm_threads,
+    bench_conv_batch_threads,
     bench_model_inference
 );
 criterion_main!(benches);

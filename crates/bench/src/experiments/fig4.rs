@@ -65,7 +65,7 @@ pub fn render(r: &Fig4) -> String {
     out.push_str(&format::series(&r.aware_frontier, 12));
     out.push_str("\nINFER-ONLY-chosen cascades re-costed here (orange in the paper):\n");
     let mut sorted = r.oblivious_points.clone();
-    sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("not NaN"));
+    sorted.sort_by(|a, b| tahoma_core::order::nan_lowest(b.1, a.1));
     out.push_str(&format::series(&sorted, 12));
     let mut t = Table::new(vec!["metric", "value"]);
     t.row(vec![

@@ -64,7 +64,7 @@ fn speedups_for(run: &PredicateRun, scenario: Scenario) -> (f64, f64, f64) {
     let (fb_acc, fb_fps) = baseline_frontier
         .iter()
         .copied()
-        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("not NaN"))
+        .max_by(|a, b| tahoma_core::order::nan_lowest(a.1, b.1))
         .expect("baseline frontier nonempty");
     let matched_fb = select_matching_accuracy(&frontier.points, fb_acc).expect("frontier nonempty");
     let vs_baseline_fastest = matched_fb.throughput / fb_fps;

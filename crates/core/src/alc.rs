@@ -32,7 +32,10 @@ pub fn alc(points: &[(f64, f64)], acc_lo: f64, acc_hi: f64) -> f64 {
         return 0.0;
     }
     // The envelope is piecewise constant with breakpoints at the points'
-    // accuracies; integrate segment by segment.
+    // accuracies; integrate segment by segment. A NaN accuracy fails both
+    // range comparisons and contributes no breakpoint (and `envelope_at`'s
+    // `>=` filter ignores the point entirely), so malformed points simply
+    // drop out of the integral; the sort stays total regardless.
     let mut breaks: Vec<f64> = points
         .iter()
         .map(|(a, _)| *a)
@@ -40,7 +43,7 @@ pub fn alc(points: &[(f64, f64)], acc_lo: f64, acc_hi: f64) -> f64 {
         .collect();
     breaks.push(acc_lo);
     breaks.push(acc_hi);
-    breaks.sort_by(|x, y| x.partial_cmp(y).expect("accuracies not NaN"));
+    breaks.sort_by(|x, y| crate::order::nan_last(*x, *y));
     breaks.dedup();
     let mut area = 0.0;
     for w in breaks.windows(2) {

@@ -36,6 +36,7 @@ pub mod cascade;
 pub mod error;
 pub mod evaluator;
 pub mod materialized;
+pub mod order;
 pub mod pareto;
 pub mod pipeline;
 pub mod planner;
@@ -48,6 +49,7 @@ pub use builder::{build_cascades, BuilderConfig};
 pub use cascade::{Cascade, MAX_LEVELS};
 pub use error::CoreError;
 pub use evaluator::{simulate_all, CascadeOutcomes, CostContext};
+pub use order::{nan_last, nan_lowest};
 pub use pareto::{pareto_frontier, ParetoPoint};
 pub use pipeline::{Frontier, TahomaSystem};
 pub use selector::{

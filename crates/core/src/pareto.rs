@@ -20,25 +20,26 @@ pub struct ParetoPoint {
 ///
 /// Dominated-or-equal duplicates are dropped: a point enters the frontier
 /// only if its accuracy strictly exceeds every faster point's accuracy.
+/// Malformed measurements demote rather than panic: a point with a NaN
+/// accuracy or throughput is excluded from the frontier outright (its
+/// operating point is unknowable, so it can dominate nothing), and the
+/// sort itself stays total under NaN inputs.
 pub fn pareto_frontier(accuracy: &[f32], throughput: &[f64]) -> Vec<ParetoPoint> {
     assert_eq!(accuracy.len(), throughput.len());
     let n = accuracy.len();
     let mut order: Vec<usize> = (0..n).collect();
-    // Sort by throughput desc; ties broken by accuracy desc so the best of a
-    // tie group is seen first and the rest are dominated.
+    // Sort by throughput desc (NaN last); ties broken by accuracy desc so
+    // the best of a tie group is seen first and the rest are dominated.
     order.sort_by(|&a, &b| {
-        throughput[b]
-            .partial_cmp(&throughput[a])
-            .expect("throughput not NaN")
-            .then(
-                accuracy[b]
-                    .partial_cmp(&accuracy[a])
-                    .expect("accuracy not NaN"),
-            )
+        crate::order::nan_lowest(throughput[b], throughput[a])
+            .then_with(|| crate::order::nan_lowest_f32(accuracy[b], accuracy[a]))
     });
     let mut frontier = Vec::new();
     let mut best_acc = f32::NEG_INFINITY;
     for idx in order {
+        if accuracy[idx].is_nan() || throughput[idx].is_nan() {
+            continue;
+        }
         if accuracy[idx] > best_acc {
             best_acc = accuracy[idx];
             frontier.push(ParetoPoint {
@@ -99,6 +100,15 @@ mod tests {
     #[test]
     fn empty_input() {
         assert!(pareto_frontier(&[], &[]).is_empty());
+    }
+
+    #[test]
+    fn nan_points_are_excluded_not_fatal() {
+        let acc = [0.9f32, f32::NAN, 0.8, 0.95];
+        let thr = [10.0f64, 50.0, f64::NAN, f64::NAN];
+        let f = pareto_frontier(&acc, &thr);
+        let idxs: Vec<usize> = f.iter().map(|p| p.idx).collect();
+        assert_eq!(idxs, vec![0], "only the fully-measured point survives");
     }
 
     #[test]

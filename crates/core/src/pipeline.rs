@@ -35,12 +35,12 @@ impl Frontier {
             .collect()
     }
 
-    /// The most accurate point.
+    /// The most accurate point (a NaN accuracy never wins).
     pub fn most_accurate(&self) -> Option<ParetoPoint> {
         self.points
             .iter()
             .copied()
-            .max_by(|a, b| a.accuracy.partial_cmp(&b.accuracy).expect("not NaN"))
+            .max_by(|a, b| crate::order::nan_lowest(a.accuracy, b.accuracy))
     }
 }
 

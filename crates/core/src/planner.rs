@@ -11,6 +11,7 @@
 
 use crate::cascade::Cascade;
 use crate::evaluator::{CostContext, Outcome};
+use crate::order::nan_last;
 use tahoma_imagery::ObjectKind;
 
 /// One content predicate with its selected cascade and statistics.
@@ -51,7 +52,10 @@ impl PlannedPredicate {
 
     /// The rank metric: cost per unit of rejection. Lower runs earlier.
     /// A predicate that rejects nothing (selectivity 1) is infinitely
-    /// unattractive to run early.
+    /// unattractive to run early. A NaN cost (or a NaN selectivity, which
+    /// survives the constructor's clamp) yields a NaN rank, which
+    /// [`order_predicates`] treats as worse than infinite — a predicate
+    /// whose statistics are unmeasurable runs last.
     pub fn rank(&self) -> f64 {
         let rejection = 1.0 - self.selectivity;
         if rejection <= 0.0 {
@@ -63,24 +67,41 @@ impl PlannedPredicate {
 }
 
 /// Order predicates for conjunctive evaluation: ascending `cost/rejection`.
-/// Ties break on lower cost, then on kind for determinism.
+///
+/// The ordering is *total and deterministic* for every float input,
+/// including the degenerate ones:
+///
+/// 1. ascending [`PlannedPredicate::rank`], NaN ranks after `+∞` (a
+///    predicate with unmeasurable statistics never runs early, and never
+///    panics the planner);
+/// 2. ties — in particular *all* infinite-rank predicates, which share
+///    `rank() == +∞` whenever selectivity ≥ 1 — break on lower expected
+///    cost (NaN cost last): among predicates that reject nothing, the
+///    cheapest runs first, bounding the wasted work;
+/// 3. remaining ties break on lower selectivity (NaN last), preferring the
+///    predicate more likely to reject if the estimates were conservative;
+/// 4. and finally on [`ObjectKind`], so equal-statistics predicates come
+///    out in a stable, input-permutation-independent order.
 pub fn order_predicates(mut preds: Vec<PlannedPredicate>) -> Vec<PlannedPredicate> {
     preds.sort_by(|a, b| {
-        a.rank()
-            .partial_cmp(&b.rank())
-            .expect("ranks are not NaN")
-            .then(
-                a.expected_cost_s
-                    .partial_cmp(&b.expected_cost_s)
-                    .expect("costs are not NaN"),
-            )
-            .then(a.kind.cmp(&b.kind))
+        nan_last(a.rank(), b.rank())
+            .then_with(|| nan_last(a.expected_cost_s, b.expected_cost_s))
+            .then_with(|| nan_last(a.selectivity, b.selectivity))
+            .then_with(|| a.kind.cmp(&b.kind))
     });
     preds
 }
 
 /// Expected per-item cost of evaluating the predicates in the given order
 /// with short-circuiting (independence assumption across predicates).
+///
+/// The estimate is a plain product-sum, so it propagates whatever the
+/// inputs carry: a NaN cost or selectivity makes the total NaN (callers
+/// comparing plans should use [`crate::order::nan_last`], under which such
+/// a plan loses to any measurable one), and an infinite cost makes it
+/// infinite. An infinite *rank* is harmless here — rank only orders
+/// predicates; the cost of a non-rejecting predicate still enters the sum
+/// weighted by the survival probability of everything before it.
 pub fn expected_conjunction_cost_s(ordered: &[PlannedPredicate]) -> f64 {
     let mut surviving = 1.0f64;
     let mut total = 0.0f64;
@@ -159,5 +180,34 @@ mod tests {
     #[test]
     fn empty_plan_is_free() {
         assert_eq!(expected_conjunction_cost_s(&[]), 0.0);
+    }
+
+    #[test]
+    fn nan_statistics_demote_instead_of_panicking() {
+        let ordered = order_predicates(vec![
+            pred(ObjectKind::Acorn, f64::NAN, 0.5), // NaN rank
+            pred(ObjectKind::Fence, 1e-2, 0.3),
+            pred(ObjectKind::Wallet, 1e-3, f64::NAN), // NaN rank via selectivity
+        ]);
+        assert_eq!(ordered[0].kind, ObjectKind::Fence, "measurable runs first");
+        assert!(ordered[1].rank().is_nan());
+        assert!(ordered[2].rank().is_nan());
+        // Among the unmeasurable, the one with a real (lower) cost first.
+        assert_eq!(ordered[1].kind, ObjectKind::Wallet);
+    }
+
+    #[test]
+    fn infinite_ranks_order_by_cost_then_kind() {
+        // Three non-rejecting predicates all rank +inf; cheapest first, and
+        // an exact cost tie falls through to the kind ordering.
+        let ordered = order_predicates(vec![
+            pred(ObjectKind::Wallet, 5e-3, 1.0),
+            pred(ObjectKind::Fence, 1e-3, 1.0),
+            pred(ObjectKind::Acorn, 1e-3, 1.0),
+        ]);
+        assert!(ordered.iter().all(|p| p.rank() == f64::INFINITY));
+        assert_eq!(ordered[0].kind, ObjectKind::Acorn);
+        assert_eq!(ordered[1].kind, ObjectKind::Fence);
+        assert_eq!(ordered[2].kind, ObjectKind::Wallet);
     }
 }

@@ -8,6 +8,7 @@
 //! to but not below a reference accuracy.
 
 use crate::error::CoreError;
+use crate::order::{nan_last, nan_lowest};
 use crate::pareto::ParetoPoint;
 
 /// User tolerances, as fractions of the best available value.
@@ -41,11 +42,11 @@ pub fn select_with_constraints(
         .map(|l| best_thr * (1.0 - l));
     match (acc_floor, thr_floor) {
         (None, None) => {
-            // Most accurate point.
+            // Most accurate point (a NaN accuracy never wins).
             frontier
                 .iter()
                 .copied()
-                .max_by(|a, b| a.accuracy.partial_cmp(&b.accuracy).expect("not NaN"))
+                .max_by(|a, b| nan_lowest(a.accuracy, b.accuracy))
                 .ok_or(CoreError::EmptySet("Pareto frontier"))
         }
         _ => frontier
@@ -54,10 +55,8 @@ pub fn select_with_constraints(
             .filter(|p| thr_floor.is_none_or(|f| p.throughput >= f - 1e-12))
             .copied()
             .max_by(|a, b| {
-                a.throughput
-                    .partial_cmp(&b.throughput)
-                    .expect("not NaN")
-                    .then(a.accuracy.partial_cmp(&b.accuracy).expect("not NaN"))
+                nan_lowest(a.throughput, b.throughput)
+                    .then_with(|| nan_lowest(a.accuracy, b.accuracy))
             })
             .ok_or(CoreError::NoFeasibleCascade),
     }
@@ -78,12 +77,12 @@ pub fn select_matching_accuracy(
         .iter()
         .filter(|p| p.accuracy >= reference_accuracy)
         .copied()
-        .min_by(|a, b| a.accuracy.partial_cmp(&b.accuracy).expect("not NaN"))
+        .min_by(|a, b| nan_last(a.accuracy, b.accuracy))
         .or_else(|| {
             frontier
                 .iter()
                 .copied()
-                .max_by(|a, b| a.accuracy.partial_cmp(&b.accuracy).expect("not NaN"))
+                .max_by(|a, b| nan_lowest(a.accuracy, b.accuracy))
         })
         .ok_or(CoreError::EmptySet("Pareto frontier"))
 }
@@ -94,7 +93,7 @@ pub fn select_fastest(frontier: &[ParetoPoint]) -> Result<ParetoPoint, CoreError
     frontier
         .iter()
         .copied()
-        .max_by(|a, b| a.throughput.partial_cmp(&b.throughput).expect("not NaN"))
+        .max_by(|a, b| nan_lowest(a.throughput, b.throughput))
         .ok_or(CoreError::EmptySet("Pareto frontier"))
 }
 
@@ -221,5 +220,32 @@ mod tests {
         assert!(select_with_constraints(&[], Constraints::default()).is_err());
         assert!(select_matching_accuracy(&[], 0.5).is_err());
         assert!(select_fastest(&[]).is_err());
+    }
+
+    #[test]
+    fn nan_points_never_win_selection() {
+        // A degenerate point with NaN statistics must lose every selection
+        // rule instead of panicking or being picked.
+        let mut points = frontier();
+        points.push(ParetoPoint {
+            idx: 9,
+            accuracy: f64::NAN,
+            throughput: f64::NAN,
+        });
+        let p = select_with_constraints(&points, Constraints::default()).unwrap();
+        assert_eq!(p.idx, 3);
+        let p = select_with_constraints(
+            &points,
+            Constraints {
+                max_accuracy_loss: Some(0.05),
+                max_throughput_loss: None,
+            },
+        )
+        .unwrap();
+        assert_eq!(p.idx, 2);
+        let p = select_matching_accuracy(&points, 0.84).unwrap();
+        assert_eq!(p.idx, 1);
+        let p = select_fastest(&points).unwrap();
+        assert_eq!(p.idx, 0);
     }
 }

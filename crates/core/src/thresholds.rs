@@ -69,25 +69,33 @@ pub fn calibrate(scores: &[f32], labels: &[bool], target_precision: f64) -> Deci
     }
 
     // Sort (score, label) pairs descending once; the positive-side sweep is
-    // a prefix walk, the negative side a suffix walk of the same order.
+    // a prefix walk, the negative side a suffix walk of the same order. A
+    // NaN score (a degenerate model) sorts as lower than every real score,
+    // so it lands at the low end of the walk; NaN never satisfies either
+    // threshold inequality in `decide`, so such items stay uncertain no
+    // matter where the cuts land.
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| {
-        scores[b]
-            .partial_cmp(&scores[a])
-            .expect("scores are not NaN")
-    });
+    order.sort_by(|&a, &b| crate::order::nan_lowest_f32(scores[b], scores[a]));
 
-    // Positive side: walk descending; realizable cuts are at positions where
-    // the next score is strictly smaller.
+    // Positive side: walk descending; realizable cuts are at positions
+    // where the next score is strictly smaller. NaN scores (all at the low
+    // end of the walk) can never be decided positive, so they are neither
+    // cut candidates nor counted toward precision — the walk stops at the
+    // first one, and the cut just above a NaN block is still realizable.
     let mut p_high = 2.0f32;
     {
         let mut tp = 0usize;
         let mut best: Option<f32> = None;
         for (rank, &i) in order.iter().enumerate() {
+            if scores[i].is_nan() {
+                break;
+            }
             if labels[i] {
                 tp += 1;
             }
-            let next_differs = rank + 1 == order.len() || scores[order[rank + 1]] < scores[i];
+            let next_differs = rank + 1 == order.len()
+                || scores[order[rank + 1]].is_nan()
+                || scores[order[rank + 1]] < scores[i];
             if next_differs {
                 let precision = tp as f64 / (rank + 1) as f64;
                 if precision >= target_precision {
@@ -103,22 +111,30 @@ pub fn calibrate(scores: &[f32], labels: &[bool], target_precision: f64) -> Deci
     // Negative side: walk ascending. Candidate cuts stop strictly below
     // `p_high` so the two acceptance regions never overlap — the positive
     // side keeps priority and both sides keep their calibrated precision.
+    // NaN scores sit at the start of the ascending walk; they stay
+    // uncertain at runtime, so they are skipped as candidates and excluded
+    // from the NPV counts.
     let mut p_low = -1.0f32;
     {
         let mut tn = 0usize;
+        let mut seen = 0usize; // non-NaN items at or below the candidate
         let mut best: Option<f32> = None;
         for (rank, &i) in order.iter().rev().enumerate() {
+            if scores[i].is_nan() {
+                continue;
+            }
             if scores[i] >= p_high {
                 break;
             }
             if !labels[i] {
                 tn += 1;
             }
+            seen += 1;
             let pos_in_asc = rank; // 0-based from the smallest score
             let next_differs = pos_in_asc + 1 == order.len()
                 || scores[order[order.len() - 2 - pos_in_asc]] > scores[i];
             if next_differs {
-                let npv = tn as f64 / (pos_in_asc + 1) as f64;
+                let npv = tn as f64 / seen as f64;
                 if npv >= target_precision {
                     best = Some(scores[i]);
                 }
@@ -128,7 +144,10 @@ pub fn calibrate(scores: &[f32], labels: &[bool], target_precision: f64) -> Deci
             p_low = t;
         }
     }
-    debug_assert!(p_low < p_high);
+    // NaN-scored inputs can surface a NaN cut (which never decides, see
+    // `decide`); the overlap invariant is "not inverted", which a NaN
+    // passes vacuously.
+    debug_assert!(p_low < p_high || p_low.is_nan() || p_high.is_nan());
     DecisionThresholds { p_low, p_high }
 }
 
@@ -315,6 +334,37 @@ mod tests {
     fn empty_input_never_decides() {
         let t = calibrate(&[], &[], 0.95);
         assert_eq!(t.decide(0.5), None);
+    }
+
+    #[test]
+    fn nan_scores_calibrate_without_panicking_and_stay_uncertain() {
+        let scores = [0.05, f32::NAN, 0.9, f32::NAN, 0.1, 0.95];
+        let labels = [false, true, true, false, false, true];
+        let t = calibrate(&scores, &labels, 0.9);
+        assert!(t.p_low < t.p_high, "cuts inverted or NaN: {t:?}");
+        // A NaN score satisfies neither inequality: always uncertain.
+        assert_eq!(t.decide(f32::NAN), None);
+        // The clean extremes still calibrate: both sides are pure here.
+        assert_eq!(t.decide(0.95), Some(true));
+        assert_eq!(t.decide(0.05), Some(false));
+    }
+
+    #[test]
+    fn nan_scores_are_not_cut_candidates_and_do_not_mask_real_cuts() {
+        // The only realizable positive cut is at 0.9; the NaN entry must
+        // neither become the cut itself nor make 0.9 look unrealizable.
+        let scores = [0.9, f32::NAN];
+        let labels = [true, true];
+        let t = calibrate(&scores, &labels, 0.5);
+        assert_eq!(t.p_high, 0.9);
+        assert_eq!(t.decide(0.9), Some(true));
+        assert_eq!(t.decide(f32::NAN), None);
+        // Mirror case on the negative side: cut at 0.1 despite the NaN.
+        let scores = [0.1, f32::NAN, 0.9];
+        let labels = [false, false, true];
+        let t = calibrate(&scores, &labels, 0.9);
+        assert_eq!(t.p_low, 0.1);
+        assert_eq!(t.decide(0.1), Some(false));
     }
 
     #[test]

@@ -134,7 +134,7 @@ impl MeasuredProfiler {
             f();
             samples.push(t0.elapsed().as_secs_f64());
         }
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        samples.sort_by(f64::total_cmp);
         samples[reps / 2]
     }
 
@@ -183,7 +183,7 @@ impl MeasuredProfiler {
             let _ = model.forward_logit(input);
             samples.push(t0.elapsed().as_secs_f64());
         }
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        samples.sort_by(f64::total_cmp);
         samples[reps / 2]
     }
 }

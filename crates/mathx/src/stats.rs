@@ -107,7 +107,9 @@ pub fn percentile(xs: &[f64], q: f64) -> f64 {
     assert!(!xs.is_empty(), "percentile of empty slice");
     assert!((0.0..=100.0).contains(&q), "q must be in [0,100]");
     let mut v: Vec<f64> = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    // total_cmp keeps the sort total under NaN inputs (NaN sorts last,
+    // so it only influences the top percentiles it genuinely occupies).
+    v.sort_by(f64::total_cmp);
     let rank = q / 100.0 * (v.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;

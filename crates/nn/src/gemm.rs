@@ -1,5 +1,5 @@
-//! Blocked, cache-tiled f32 matrix multiply and the im2col convolution
-//! lowering.
+//! Blocked, cache-tiled f32 matrix multiply with runtime SIMD dispatch, a
+//! threaded macro-kernel, and the im2col convolution lowering.
 //!
 //! This is the engine room of the batched inference path: `Conv2d`'s
 //! forward runs [`conv2d_forward`] (a virtual-im2col GEMM that addresses the
@@ -10,19 +10,33 @@
 //!
 //! * three blocking loops (`NC` columns of B, `KC` of the shared dimension,
 //!   `MC` rows of A) size working sets for the cache hierarchy;
-//! * A- and B-blocks are packed into panel-contiguous, zero-padded buffers,
-//!   which also absorbs the `N`/`T` layout variants — the kernel only ever
-//!   sees full `MR x NR` tiles;
-//! * an `MR x NR` register-tile micro-kernel does the FLOPs. It is written
-//!   as plain loops over fixed-size row-local arrays with `f32::mul_add`, a
-//!   shape LLVM reliably auto-vectorizes to FMA register tiles (compile with
-//!   `-C target-cpu=native`, see `.cargo/config.toml`; there are no
-//!   intrinsics and no `unsafe`). Measured at ~90 GFLOP/s single-threaded on
-//!   an AVX-512 host, ~45% of theoretical peak.
+//! * A-blocks are packed into panel-contiguous, zero-padded buffers, which
+//!   also absorbs the `N`/`T` layout variants; B is either packed the same
+//!   way or addressed in place through a per-row offset table (the direct
+//!   and virtual-im2col paths) — every micro-kernel reads row `p` of its B
+//!   operand at `b[offsets[p] + j0..]`, so one kernel family serves all
+//!   three addressing modes;
+//! * an `MR x NR` register-tile micro-kernel does the FLOPs, selected at
+//!   runtime from three tiers (see [`Kernel`]):
 //!
-//! Accumulation order within a dot product differs from a naive loop, so
-//! results can differ from the scalar reference path by a few ULPs — the
-//! property tests in `tests/proptests.rs` bound this.
+//!   | tier | requires | shape |
+//!   |------|----------|-------|
+//!   | `Avx512` | `avx512f` (runtime-detected) | 6 rows x 2 zmm, plus a 6 x 4-zmm **wide tile** ([`NR_WIDE`] = 64 columns) that the conv path swaps in when the accumulation depth is short (`k <= 32`, the first-layer convs where per-tile fixed costs dominate) |
+//!   | `Avx2` | `avx2` + `fma` (runtime-detected) | 6 rows x 2 ymm, two 16-column halves per `NR` strip |
+//!   | `Portable` | nothing | plain loops over fixed-size arrays with `f32::mul_add`, auto-vectorized when the build enables wide FMA (e.g. `RUSTFLAGS="-C target-cpu=native"`); on a baseline non-FMA build it stays correct but falls back to library `fmaf`, which is why the runtime-dispatched tiers exist |
+//!
+//!   All tiers run the *same* per-element chain of fused multiply-adds in
+//!   the same `k` order, so their results are **bitwise identical** to each
+//!   other (property-tested in `tests/proptests.rs`); only accumulation
+//!   *across* tiles (vs. the scalar reference path) differs by a few ULPs.
+//!
+//! * the macro-kernel threads across `NR`-aligned column ranges of C via
+//!   `std::thread::scope` when the problem is big enough ([`GemmScratch`]'s
+//!   `threads` knob; automatic sizing spawns roughly one thread per
+//!   [`PAR_MIN_FLOPS`] of work, never more than the machine has cores).
+//!   Column-splitting leaves every output element's accumulation order
+//!   untouched, so threaded results are bitwise equal to single-threaded
+//!   ones.
 
 /// Micro-kernel tile rows (register blocking in M).
 pub const MR: usize = 6;
@@ -32,6 +46,15 @@ pub const MR: usize = 6;
 /// leaving registers for the operand loads (measured fastest among 2/4/6/8
 /// row variants on an AVX-512 host).
 pub const NR: usize = 32;
+/// Wide-tile columns for the short-`k` conv fast path: 4 zmm vectors, so a
+/// 6-row tile commits 24 of the 32 AVX-512 registers to accumulators and
+/// halves the per-tile loop/epilogue overhead that dominates at small `k`.
+pub const NR_WIDE: usize = 64;
+/// Accumulation depth at or below which the conv path prefers the wide
+/// tile: `k = c_in * kk * kk <= 32` covers 1-3 input channels with 3x3
+/// kernels — exactly the first-layer shapes where the standard tile spends
+/// more time on fixed costs than FLOPs.
+const SMALL_K_MAX: usize = 32;
 
 /// Cache-blocking size along M (rows of A per packed block; multiple of MR).
 const MC: usize = 60;
@@ -46,6 +69,10 @@ const DIRECT_K_MAX: usize = 8192;
 /// Combined budget for one column block of B plus its C block in the direct
 /// path — sized to stay comfortably inside a 2 MiB L2.
 const DIRECT_BLOCK_BYTES: usize = 3 * 512 * 1024;
+/// Auto-threading grain: spawn roughly one worker per this many FLOPs
+/// (~0.2 ms of single-thread work), so scoped-thread spawn cost stays a
+/// few percent of each worker's runtime.
+const PAR_MIN_FLOPS: f64 = 1.6e7;
 
 /// Whether an operand is used as stored or transposed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,9 +83,102 @@ pub enum Trans {
     T,
 }
 
-/// Reusable packing buffers; keep one per call site to avoid per-call
-/// allocation on hot paths. The `conv_*` fields are used only by
-/// [`conv2d_forward`]; plain [`gemm`] calls leave them empty.
+/// Micro-kernel selection. `Auto` (the default) resolves per call through
+/// `is_x86_feature_detected!`; the explicit variants exist so benches and
+/// property tests can pin a tier. Forcing a tier the running CPU does not
+/// support silently resolves to detection instead (never to an illegal
+/// instruction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Kernel {
+    /// Detect the best supported tier at call time.
+    #[default]
+    Auto,
+    /// The dependency-free `f32::mul_add` kernel (any CPU).
+    Portable,
+    /// Explicit AVX2+FMA intrinsics (x86-64 with `avx2` and `fma`).
+    Avx2,
+    /// Explicit AVX-512 intrinsics (x86-64 with `avx512f`), including the
+    /// wide small-`k` conv tile.
+    Avx512,
+}
+
+impl Kernel {
+    /// The best tier the running CPU supports.
+    pub fn detect() -> Kernel {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                return Kernel::Avx512;
+            }
+            if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                return Kernel::Avx2;
+            }
+        }
+        Kernel::Portable
+    }
+
+    /// Every tier the running CPU can execute, portable first. Benches and
+    /// property tests iterate this to compare tiers.
+    pub fn available() -> Vec<Kernel> {
+        let mut out = vec![Kernel::Portable];
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                out.push(Kernel::Avx2);
+            }
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                out.push(Kernel::Avx512);
+            }
+        }
+        out
+    }
+
+    /// Whether the running CPU can execute this tier (`Auto` trivially).
+    fn supported(self) -> bool {
+        match self {
+            Kernel::Auto | Kernel::Portable => true,
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Avx2 => {
+                std::arch::is_x86_feature_detected!("avx2")
+                    && std::arch::is_x86_feature_detected!("fma")
+            }
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Avx512 => std::arch::is_x86_feature_detected!("avx512f"),
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => false,
+        }
+    }
+
+    /// Resolve `Auto` to a concrete supported tier, and demote an
+    /// explicitly requested tier the CPU cannot run. (Feature detection is
+    /// cached by the standard library, so this is branch-cheap per call.)
+    fn resolve(self) -> Kernel {
+        match self {
+            Kernel::Auto => Kernel::detect(),
+            k if k.supported() => k,
+            _ => Kernel::detect(),
+        }
+    }
+
+    /// Short stable name for bench labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Auto => "auto",
+            Kernel::Portable => "portable",
+            Kernel::Avx2 => "avx2",
+            Kernel::Avx512 => "avx512",
+        }
+    }
+}
+
+/// Reusable packing buffers plus the per-call-site execution knobs; keep
+/// one per call site to avoid per-call allocation on hot paths. The
+/// `conv_*` fields are used only by [`conv2d_forward`]; plain [`gemm`]
+/// calls leave them empty.
 #[derive(Debug, Clone, Default)]
 pub struct GemmScratch {
     packed_a: Vec<f32>,
@@ -67,6 +187,154 @@ pub struct GemmScratch {
     conv_offsets: Vec<usize>,
     conv_edge_col: Vec<f32>,
     conv_edge_out: Vec<f32>,
+    /// Per-row B offsets for in-place (direct / virtual-im2col) addressing.
+    off_main: Vec<usize>,
+    /// Per-row B offsets for panel-packed (stride `NR`) addressing.
+    off_panel: Vec<usize>,
+    /// Worker scratches for threaded runs (see [`GemmScratch::worker_pool`]).
+    pool: Vec<GemmScratch>,
+    /// Micro-kernel tier; `Kernel::Auto` detects per call.
+    pub kernel: Kernel,
+    /// Worker-thread override: `None` sizes automatically from the problem
+    /// (staying single-threaded below [`PAR_MIN_FLOPS`] per worker);
+    /// `Some(t)` forces up to `t` workers regardless of size (used by tests
+    /// to exercise the split on small problems, and by batch loops to pin
+    /// their inner GEMMs to one thread).
+    pub threads: Option<usize>,
+}
+
+impl GemmScratch {
+    /// Scratch pinned to one micro-kernel tier (benches, property tests).
+    pub fn with_kernel(kernel: Kernel) -> GemmScratch {
+        GemmScratch {
+            kernel,
+            ..GemmScratch::default()
+        }
+    }
+
+    /// Scratch with an explicit worker-thread count.
+    pub fn with_threads(threads: usize) -> GemmScratch {
+        GemmScratch {
+            threads: Some(threads),
+            ..GemmScratch::default()
+        }
+    }
+
+    /// Split off `n` single-threaded worker scratches inheriting this
+    /// scratch's kernel selection, growing the pool as needed. For callers
+    /// that parallelize an *outer* loop (e.g. a batch of images) and need
+    /// one scratch per worker with nested threading disabled.
+    pub fn worker_pool(&mut self, n: usize) -> &mut [GemmScratch] {
+        if self.pool.len() < n {
+            self.pool.resize_with(n, GemmScratch::default);
+        }
+        for w in &mut self.pool[..n] {
+            w.kernel = self.kernel;
+            w.threads = Some(1);
+        }
+        &mut self.pool[..n]
+    }
+}
+
+/// Machine parallelism, detected once (`available_parallelism` performs a
+/// syscall per call, which would tax every batch-of-1 forward).
+fn hw_threads() -> usize {
+    static HW: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *HW.get_or_init(|| std::thread::available_parallelism().map_or(1, |v| v.get()))
+}
+
+/// Worker-thread count for a loop over `batch` items of `item_flops` each:
+/// the explicit request clamped to the batch, or an automatic size that
+/// stays serial until there is at least [`PAR_MIN_FLOPS`] of work per
+/// worker (and never exceeds the machine's parallelism).
+pub fn batch_threads(requested: Option<usize>, item_flops: u64, batch: usize) -> usize {
+    match requested {
+        Some(t) => t.clamp(1, batch.max(1)),
+        None => {
+            if batch < 2 || hw_threads() <= 1 {
+                return 1;
+            }
+            let by_work = (item_flops as f64 * batch as f64 / PAR_MIN_FLOPS) as usize;
+            by_work.min(hw_threads()).min(batch).max(1)
+        }
+    }
+}
+
+/// Worker count for one GEMM of the given shape (see
+/// [`GemmScratch::threads`] for the policy).
+fn plan_threads(requested: Option<usize>, m: usize, n: usize, k: usize) -> usize {
+    let strips = n.div_ceil(NR);
+    if m == 0 || n == 0 || k == 0 {
+        return 1;
+    }
+    match requested {
+        Some(t) => t.clamp(1, strips),
+        None => {
+            if hw_threads() <= 1 {
+                return 1;
+            }
+            let by_work = (2.0 * (m * n) as f64 * k as f64 / PAR_MIN_FLOPS) as usize;
+            by_work.min(hw_threads()).min(strips).max(1)
+        }
+    }
+}
+
+/// Split `n` columns into at most `t` contiguous `NR`-aligned ranges.
+fn column_chunks(n: usize, t: usize) -> Vec<(usize, usize)> {
+    let strips = n.div_ceil(NR);
+    let t = t.clamp(1, strips);
+    let per = strips.div_ceil(t);
+    let mut out = Vec::with_capacity(t);
+    let mut s = 0;
+    while s < strips {
+        let e = (s + per).min(strips);
+        out.push((s * NR, (e * NR).min(n)));
+        s = e;
+    }
+    out
+}
+
+/// A raw C pointer that column-partitioned workers share. Each worker
+/// writes a disjoint set of columns, so no element is ever written by two
+/// threads; reads never occur outside the owner.
+#[derive(Clone, Copy)]
+struct CPtr(*mut f32);
+// SAFETY: workers write strictly disjoint column ranges of C (enforced by
+// `column_chunks`), so concurrent access never aliases an element.
+unsafe impl Send for CPtr {}
+unsafe impl Sync for CPtr {}
+
+/// `dst[i] += src[i]` over a raw row segment.
+///
+/// # Safety
+/// `dst..dst + src.len()` must be writable and not concurrently accessed.
+#[inline(always)]
+unsafe fn add_row(dst: *mut f32, src: &[f32]) {
+    for (i, &v) in src.iter().enumerate() {
+        // SAFETY: in-bounds by the caller's contract.
+        unsafe { *dst.add(i) += v };
+    }
+}
+
+/// `dst[i] = base + src[i]` over a raw row segment (write-only bias-fused
+/// epilogue).
+///
+/// # Safety
+/// `dst..dst + src.len()` must be writable and not concurrently accessed.
+#[inline(always)]
+unsafe fn set_bias_row(dst: *mut f32, base: f32, src: &[f32]) {
+    for (i, &v) in src.iter().enumerate() {
+        // SAFETY: in-bounds by the caller's contract.
+        unsafe { *dst.add(i) = base + v };
+    }
+}
+
+/// Fill `dst` with `p * stride` for `p in 0..k` — the offset table that
+/// lets one kernel family address packed panels, in-place rows, and the
+/// virtual patch matrix uniformly.
+fn fill_offsets(dst: &mut Vec<usize>, k: usize, stride: usize) {
+    dst.clear();
+    dst.extend((0..k).map(|p| p * stride));
 }
 
 /// `C += A · B` where `C` is `m x n` row-major and `A`/`B` are interpreted
@@ -92,82 +360,96 @@ pub fn gemm(
     if m == 0 || n == 0 || k == 0 {
         return;
     }
+    let kernel = scratch.kernel.resolve();
     if ta == Trans::N && tb == Trans::N && k <= DIRECT_K_MAX {
-        return gemm_direct_nn(scratch, m, n, k, a, b, c, None);
+        return gemm_direct_nn(scratch, kernel, m, n, k, a, b, c, None);
     }
-    scratch.packed_a.resize(MC * KC, 0.0);
-    scratch.packed_b.resize(KC * NC, 0.0);
-
-    for jc in (0..n).step_by(NC) {
-        let nc = NC.min(n - jc);
-        for pc in (0..k).step_by(KC) {
-            let kc = KC.min(k - pc);
-            pack_b(&mut scratch.packed_b, b, tb, k, n, pc, kc, jc, nc);
-            for ic in (0..m).step_by(MC) {
-                let mc = MC.min(m - ic);
-                pack_a(&mut scratch.packed_a, a, ta, m, k, ic, mc, pc, kc);
-                macro_kernel(
-                    &scratch.packed_a,
-                    &scratch.packed_b,
-                    mc,
-                    nc,
-                    kc,
-                    c,
-                    n,
-                    ic,
-                    jc,
-                );
-            }
+    let t = plan_threads(scratch.threads, m, n, k);
+    let c_ptr = CPtr(c.as_mut_ptr());
+    if t <= 1 {
+        return gemm_blocked_cols(scratch, kernel, m, n, k, a, ta, b, tb, c_ptr, 0, n);
+    }
+    let chunks = column_chunks(n, t);
+    let pool = scratch.worker_pool(chunks.len());
+    std::thread::scope(|scope| {
+        for (w, &(jlo, jhi)) in pool.iter_mut().zip(&chunks) {
+            scope.spawn(move || {
+                gemm_blocked_cols(w, kernel, m, n, k, a, ta, b, tb, c_ptr, jlo, jhi);
+            });
         }
-    }
+    });
 }
 
-/// Run the packed `mc x nc` block through `MR x NR` micro-kernel tiles,
-/// accumulating into `C` (row-major, leading dimension `ldc`) at offset
-/// `(ic, jc)`.
+/// The fully blocked path over columns `[jlo, jhi)` of C: pack B strips and
+/// A blocks, run packed tiles. One invocation per worker thread.
 #[allow(clippy::too_many_arguments)]
-fn macro_kernel(
-    packed_a: &[f32],
-    packed_b: &[f32],
-    mc: usize,
-    nc: usize,
-    kc: usize,
-    c: &mut [f32],
-    ldc: usize,
-    ic: usize,
-    jc: usize,
+fn gemm_blocked_cols(
+    scratch: &mut GemmScratch,
+    kernel: Kernel,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    ta: Trans,
+    b: &[f32],
+    tb: Trans,
+    c: CPtr,
+    jlo: usize,
+    jhi: usize,
 ) {
-    let mc_panels = mc.div_ceil(MR);
-    let nc_panels = nc.div_ceil(NR);
-    for ip in 0..mc_panels {
-        let a_panel = &packed_a[ip * MR * kc..(ip * MR + MR) * kc];
-        let mr = MR.min(mc - ip * MR);
-        for jp in 0..nc_panels {
-            let b_panel = &packed_b[jp * NR * kc..(jp * NR + NR) * kc];
-            let nr = NR.min(nc - jp * NR);
-            let mut acc = [[0.0f32; NR]; MR];
-            micro_kernel(kc, a_panel, b_panel, &mut acc);
-            let c_row0 = ic + ip * MR;
-            let c_col0 = jc + jp * NR;
-            for (i, acc_row) in acc.iter().enumerate().take(mr) {
-                let row = &mut c[(c_row0 + i) * ldc + c_col0..];
-                for (dst, &v) in row.iter_mut().zip(acc_row.iter()).take(nr) {
-                    *dst += v;
+    let GemmScratch {
+        packed_a,
+        packed_b,
+        off_panel,
+        ..
+    } = scratch;
+    packed_a.resize(MC * KC, 0.0);
+    packed_b.resize(KC * NC, 0.0);
+    for jc in (jlo..jhi).step_by(NC) {
+        let nc = NC.min(jhi - jc);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            pack_b(packed_b, b, tb, k, n, pc, kc, jc, nc);
+            fill_offsets(off_panel, kc, NR);
+            for ic in (0..m).step_by(MC) {
+                let mc = MC.min(m - ic);
+                pack_a(packed_a, a, ta, m, k, ic, mc, pc, kc);
+                let mc_panels = mc.div_ceil(MR);
+                let nc_panels = nc.div_ceil(NR);
+                for ip in 0..mc_panels {
+                    let a_panel = &packed_a[ip * MR * kc..(ip * MR + MR) * kc];
+                    let mr = MR.min(mc - ip * MR);
+                    for jp in 0..nc_panels {
+                        let b_panel = &packed_b[jp * NR * kc..(jp * NR + NR) * kc];
+                        let nr = NR.min(nc - jp * NR);
+                        let mut acc = [[0.0f32; NR]; MR];
+                        tile(kernel, kc, a_panel, b_panel, off_panel, 0, mr, &mut acc);
+                        let row0 = ic + ip * MR;
+                        let col0 = jc + jp * NR;
+                        for (i, acc_row) in acc.iter().enumerate().take(mr) {
+                            // SAFETY: row/col in bounds; this worker owns
+                            // columns [jlo, jhi) exclusively.
+                            unsafe { add_row(c.0.add((row0 + i) * n + col0), &acc_row[..nr]) };
+                        }
+                    }
                 }
             }
         }
     }
 }
 
-/// The no-pack fast path for `C += A · B` with both operands as stored:
-/// only A is packed (whole matrix, zero-padded to `MR`-row panels); the
-/// kernel reads `B` in place through its leading dimension. Skipping the
-/// B-pack halves B-side memory traffic, which dominates when `m` is small —
-/// exactly the shape of the im2col convolution (`m = out_c`), where this
-/// path is ~35% faster end to end than the packed one.
+/// The no-pack fast path for `C += A · B` (or `C = bias ⊕ A · B`) with both
+/// operands as stored: only A is packed (whole matrix, zero-padded to
+/// `MR`-row panels); the kernel reads `B` in place through the shared
+/// offset table. Skipping the B-pack halves B-side memory traffic, which
+/// dominates when `m` is small — exactly the shape of the im2col
+/// convolution (`m = out_c`), where this path is ~35% faster end to end
+/// than the packed one. Threads across `NR`-aligned column ranges when the
+/// problem is large enough.
 #[allow(clippy::too_many_arguments)]
 fn gemm_direct_nn(
     scratch: &mut GemmScratch,
+    kernel: Kernel,
     m: usize,
     n: usize,
     k: usize,
@@ -176,45 +458,105 @@ fn gemm_direct_nn(
     c: &mut [f32],
     init: Option<&[f32]>,
 ) {
+    let t = plan_threads(scratch.threads, m, n, k);
+    let GemmScratch {
+        packed_a,
+        packed_b,
+        off_main,
+        off_panel,
+        ..
+    } = scratch;
     let m_panels = m.div_ceil(MR);
-    scratch.packed_a.resize(m_panels * MR * k, 0.0);
-    pack_a(&mut scratch.packed_a, a, Trans::N, m, k, 0, m, 0, k);
+    packed_a.resize(m_panels * MR * k, 0.0);
+    pack_a(packed_a, a, Trans::N, m, k, 0, m, 0, k);
+    fill_offsets(off_main, k, n);
+    let c_ptr = CPtr(c.as_mut_ptr());
+    if t <= 1 {
+        return direct_nn_cols(
+            kernel, packed_a, off_main, m, n, k, b, c_ptr, init, 0, n, off_panel, packed_b,
+        );
+    }
+    let packed_a = &*packed_a;
+    let off_main = &*off_main;
+    std::thread::scope(|scope| {
+        for (jlo, jhi) in column_chunks(n, t) {
+            scope.spawn(move || {
+                let mut off_panel = Vec::new();
+                let mut tail_b = Vec::new();
+                direct_nn_cols(
+                    kernel,
+                    packed_a,
+                    off_main,
+                    m,
+                    n,
+                    k,
+                    b,
+                    c_ptr,
+                    init,
+                    jlo,
+                    jhi,
+                    &mut off_panel,
+                    &mut tail_b,
+                );
+            });
+        }
+    });
+}
 
-    // Two-level column blocking. Outer: balanced `jc` blocks sized so the
-    // C block plus B block stay L2-resident (C tiles are written in strided
-    // strips, so they must hit cache). Inner: one `k x NR` strip of B is
-    // pushed through every A panel while it is L1-hot, so B streams out of
-    // L2 exactly once per block regardless of m.
+/// Direct-path worker over columns `[jlo, jhi)` of C.
+///
+/// Two-level column blocking. Outer: balanced `jc` blocks sized so the
+/// C block plus B block stay L2-resident (C tiles are written in strided
+/// strips, so they must hit cache). Inner: one `k x NR` strip of B is
+/// pushed through every A panel while it is L1-hot, so B streams out of
+/// L2 exactly once per block regardless of m.
+#[allow(clippy::too_many_arguments)]
+fn direct_nn_cols(
+    kernel: Kernel,
+    packed_a: &[f32],
+    off_main: &[usize],
+    m: usize,
+    n: usize,
+    k: usize,
+    b: &[f32],
+    c: CPtr,
+    init: Option<&[f32]>,
+    jlo: usize,
+    jhi: usize,
+    off_panel: &mut Vec<usize>,
+    tail_b: &mut Vec<f32>,
+) {
+    if jhi <= jlo {
+        return;
+    }
+    let m_panels = m.div_ceil(MR);
+    let span = jhi - jlo;
     let max_nc = (DIRECT_BLOCK_BYTES / (4 * (m + k))).max(NR);
-    let blocks = n.div_ceil(max_nc).max(1);
-    let nc_block = n.div_ceil(blocks).div_ceil(NR).max(1) * NR;
+    let blocks = span.div_ceil(max_nc).max(1);
+    let nc_block = span.div_ceil(blocks).div_ceil(NR).max(1) * NR;
 
-    for jc in (0..n).step_by(nc_block) {
-        let nc = nc_block.min(n - jc);
+    for jc in (jlo..jhi).step_by(nc_block) {
+        let nc = nc_block.min(jhi - jc);
         let full_nr = nc / NR;
         let tail = nc - full_nr * NR;
         for jp in 0..full_nr {
             let j0 = jc + jp * NR;
             for ip in 0..m_panels {
-                let a_panel = &scratch.packed_a[ip * MR * k..(ip * MR + MR) * k];
+                let a_panel = &packed_a[ip * MR * k..(ip * MR + MR) * k];
                 let mr = MR.min(m - ip * MR);
                 let mut acc = [[0.0f32; NR]; MR];
-                direct_tile(k, a_panel, &b[j0..], n, mr, &mut acc);
+                tile(kernel, k, a_panel, b, off_main, j0, mr, &mut acc);
                 for (i, acc_row) in acc.iter().enumerate().take(mr) {
-                    let row = &mut c[(ip * MR + i) * n + j0..(ip * MR + i) * n + j0 + NR];
-                    match init {
-                        // Fused epilogue: C = bias + A·B, write-only (no
-                        // read-modify-write pass over C).
-                        Some(bias) => {
-                            let base = bias[ip * MR + i];
-                            for (dst, &v) in row.iter_mut().zip(acc_row.iter()) {
-                                *dst = base + v;
-                            }
-                        }
-                        None => {
-                            for (dst, &v) in row.iter_mut().zip(acc_row.iter()) {
-                                *dst += v;
-                            }
+                    let row = ip * MR + i;
+                    // SAFETY: row < m, j0 + NR <= n; this worker owns
+                    // columns [jlo, jhi) exclusively.
+                    unsafe {
+                        let dst = c.0.add(row * n + j0);
+                        match init {
+                            // Fused epilogue: C = bias + A·B, write-only (no
+                            // read-modify-write pass over C).
+                            Some(bias) => set_bias_row(dst, bias[row], &acc_row[..NR]),
+                            None => add_row(dst, &acc_row[..NR]),
                         }
                     }
                 }
@@ -222,31 +564,27 @@ fn gemm_direct_nn(
         }
         if tail > 0 {
             // Pack the ragged final columns of the block, zero-padded to NR.
-            scratch.packed_b.resize(k * NR, 0.0);
+            tail_b.resize(k * NR, 0.0);
+            fill_offsets(off_panel, k, NR);
             let j0 = jc + full_nr * NR;
             for p in 0..k {
-                let dst = &mut scratch.packed_b[p * NR..(p + 1) * NR];
+                let dst = &mut tail_b[p * NR..(p + 1) * NR];
                 dst[..tail].copy_from_slice(&b[p * n + j0..p * n + j0 + tail]);
                 dst[tail..].fill(0.0);
             }
             for ip in 0..m_panels {
-                let a_panel = &scratch.packed_a[ip * MR * k..(ip * MR + MR) * k];
+                let a_panel = &packed_a[ip * MR * k..(ip * MR + MR) * k];
                 let mr = MR.min(m - ip * MR);
                 let mut acc = [[0.0f32; NR]; MR];
-                direct_tile(k, a_panel, &scratch.packed_b, NR, mr, &mut acc);
+                tile(kernel, k, a_panel, tail_b, off_panel, 0, mr, &mut acc);
                 for (i, acc_row) in acc.iter().enumerate().take(mr) {
-                    let row = &mut c[(ip * MR + i) * n + j0..(ip * MR + i) * n + jc + nc];
-                    match init {
-                        Some(bias) => {
-                            let base = bias[ip * MR + i];
-                            for (dst, &v) in row.iter_mut().zip(acc_row.iter()).take(tail) {
-                                *dst = base + v;
-                            }
-                        }
-                        None => {
-                            for (dst, &v) in row.iter_mut().zip(acc_row.iter()).take(tail) {
-                                *dst += v;
-                            }
+                    let row = ip * MR + i;
+                    // SAFETY: as above; only `tail` columns are live.
+                    unsafe {
+                        let dst = c.0.add(row * n + j0);
+                        match init {
+                            Some(bias) => set_bias_row(dst, bias[row], &acc_row[..tail]),
+                            None => add_row(dst, &acc_row[..tail]),
                         }
                     }
                 }
@@ -281,7 +619,8 @@ pub fn gemm_nn_bias(
         }
         return gemm(scratch, m, n, k, a, Trans::N, b, Trans::N, c);
     }
-    gemm_direct_nn(scratch, m, n, k, a, b, c, Some(bias))
+    let kernel = scratch.kernel.resolve();
+    gemm_direct_nn(scratch, kernel, m, n, k, a, b, c, Some(bias))
 }
 
 /// Convolution forward pass without materializing the patch matrix:
@@ -299,6 +638,11 @@ pub fn gemm_nn_bias(
 /// positions are exactly the `2*pad` edge columns; those output pixels are
 /// recomputed afterwards with a small correctly-padded patch GEMM
 /// (`2*pad*h` of `h*w` pixels) that overwrites the wrapped garbage.
+///
+/// The pixel sweep threads across `NR`-pixel strips for large images (same
+/// policy as [`gemm`]), and on the AVX-512 tier switches to the
+/// [`NR_WIDE`]-column tile when the accumulation depth is short (the
+/// first-layer shapes; see the module docs).
 ///
 /// The backward pass still materializes [`im2col`]; this path is for the
 /// throughput-critical forward direction.
@@ -325,12 +669,13 @@ pub fn conv2d_forward(
     if hw == 0 || out_c == 0 {
         return;
     }
+    let kernel = scratch.kernel.resolve();
 
     // 1. Frame every plane in zero slack wide enough for any (ky, kx)
-    //    offset, plus an NR guard at the very end for the last strip.
+    //    offset, plus a wide-tile guard at the very end for the last strip.
     let slack = pad * w + pad + w;
     let cstride = hw + 2 * slack;
-    let need = c_in * cstride + NR;
+    let need = c_in * cstride + NR_WIDE;
     if scratch.conv_padded.len() != need {
         scratch.conv_padded.clear();
         scratch.conv_padded.resize(need, 0.0);
@@ -368,45 +713,76 @@ pub fn conv2d_forward(
         k_total,
     );
 
-    // 4. Main sweep: offset-addressed B, bias-fused write-only epilogue.
+    // 4. Main sweep over full NR strips: offset-addressed B, bias-fused
+    //    write-only epilogue. Threaded across strip ranges.
     let full_nr = hw / NR;
     let tail = hw - full_nr * NR;
-    for jp in 0..=full_nr {
-        let j0 = jp * NR;
-        let nr = if jp < full_nr { NR } else { tail };
-        if nr == 0 {
-            break;
+    let out_ptr = CPtr(out.as_mut_ptr());
+    let t = plan_threads(scratch.threads, out_c, hw, k_total).min(full_nr.max(1));
+    if full_nr > 0 {
+        if t <= 1 {
+            conv_sweep(
+                kernel,
+                &scratch.packed_a,
+                &scratch.conv_padded,
+                &scratch.conv_offsets,
+                out_c,
+                hw,
+                k_total,
+                bias,
+                out_ptr,
+                0,
+                full_nr,
+            );
+        } else {
+            let packed_a = &scratch.packed_a;
+            let padded = &scratch.conv_padded;
+            let offsets = &scratch.conv_offsets;
+            let per = full_nr.div_ceil(t);
+            std::thread::scope(|scope| {
+                let mut s = 0;
+                while s < full_nr {
+                    let e = (s + per).min(full_nr);
+                    scope.spawn(move || {
+                        conv_sweep(
+                            kernel, packed_a, padded, offsets, out_c, hw, k_total, bias, out_ptr,
+                            s, e,
+                        );
+                    });
+                    s = e;
+                }
+            });
         }
-        if nr < NR {
-            // Gather the ragged final columns into a packed strip.
-            scratch.packed_b.resize(k_total * NR, 0.0);
-            for (p, &off) in scratch.conv_offsets.iter().enumerate() {
-                let dst = &mut scratch.packed_b[p * NR..(p + 1) * NR];
-                dst[..nr].copy_from_slice(&scratch.conv_padded[off + j0..off + j0 + nr]);
-                dst[nr..].fill(0.0);
-            }
+    }
+    if tail > 0 {
+        // Gather the ragged final columns into a packed strip.
+        let j0 = full_nr * NR;
+        scratch.packed_b.resize(k_total * NR, 0.0);
+        for (p, &off) in scratch.conv_offsets.iter().enumerate() {
+            let dst = &mut scratch.packed_b[p * NR..(p + 1) * NR];
+            dst[..tail].copy_from_slice(&scratch.conv_padded[off + j0..off + j0 + tail]);
+            dst[tail..].fill(0.0);
         }
+        fill_offsets(&mut scratch.off_panel, k_total, NR);
         for ip in 0..m_panels {
             let a_panel = &scratch.packed_a[ip * MR * k_total..(ip * MR + MR) * k_total];
             let mr = MR.min(out_c - ip * MR);
             let mut acc = [[0.0f32; NR]; MR];
-            if nr < NR {
-                direct_tile(k_total, a_panel, &scratch.packed_b, NR, mr, &mut acc);
-            } else {
-                micro_kernel_conv(
-                    k_total,
-                    a_panel,
-                    &scratch.conv_padded,
-                    &scratch.conv_offsets,
-                    j0,
-                    &mut acc,
-                );
-            }
+            tile(
+                kernel,
+                k_total,
+                a_panel,
+                &scratch.packed_b,
+                &scratch.off_panel,
+                0,
+                mr,
+                &mut acc,
+            );
             for (i, acc_row) in acc.iter().enumerate().take(mr) {
-                let base = bias[ip * MR + i];
-                let row = &mut out[(ip * MR + i) * hw + j0..(ip * MR + i) * hw + j0 + nr];
-                for (dst, &v) in row.iter_mut().zip(acc_row.iter()) {
-                    *dst = base + v;
+                let row = ip * MR + i;
+                let dst = &mut out[row * hw + j0..row * hw + j0 + tail];
+                for (d, &v) in dst.iter_mut().zip(acc_row.iter()) {
+                    *d = bias[row] + v;
                 }
             }
         }
@@ -474,43 +850,57 @@ pub fn conv2d_forward(
     scratch.conv_edge_out = edge_out;
 }
 
-/// Offset-addressed variant of [`micro_kernel_direct`] for the virtual
-/// patch matrix: row `p` of B lives at `padded[offsets[p] + j0..]`.
-#[inline(always)]
-fn micro_kernel_conv(
-    kc: usize,
-    a: &[f32],
+/// Conv main-sweep worker over full strips `[s0, s1)` (strip = `NR`
+/// pixels). On the AVX-512 tier with short accumulation depth, pairs of
+/// adjacent strips run through the wide tile.
+#[allow(clippy::too_many_arguments)]
+fn conv_sweep(
+    kernel: Kernel,
+    packed_a: &[f32],
     padded: &[f32],
     offsets: &[usize],
-    j0: usize,
-    acc: &mut [[f32; NR]; MR],
+    out_c: usize,
+    hw: usize,
+    k_total: usize,
+    bias: &[f32],
+    out: CPtr,
+    s0: usize,
+    s1: usize,
 ) {
-    let mut c0 = acc[0];
-    let mut c1 = acc[1];
-    let mut c2 = acc[2];
-    let mut c3 = acc[3];
-    let mut c4 = acc[4];
-    let mut c5 = acc[5];
-    for p in 0..kc {
-        let a_step: &[f32; MR] = a[p * MR..p * MR + MR].try_into().expect("packed panel");
-        let base = offsets[p] + j0;
-        let b_step: &[f32; NR] = padded[base..base + NR].try_into().expect("padded strip");
-        for j in 0..NR {
-            let bv = b_step[j];
-            c0[j] = a_step[0].mul_add(bv, c0[j]);
-            c1[j] = a_step[1].mul_add(bv, c1[j]);
-            c2[j] = a_step[2].mul_add(bv, c2[j]);
-            c3[j] = a_step[3].mul_add(bv, c3[j]);
-            c4[j] = a_step[4].mul_add(bv, c4[j]);
-            c5[j] = a_step[5].mul_add(bv, c5[j]);
+    let m_panels = out_c.div_ceil(MR);
+    let wide = kernel == Kernel::Avx512 && k_total <= SMALL_K_MAX;
+    let mut s = s0;
+    while s < s1 {
+        let j0 = s * NR;
+        if wide && s + 1 < s1 {
+            for ip in 0..m_panels {
+                let a_panel = &packed_a[ip * MR * k_total..(ip * MR + MR) * k_total];
+                let mr = MR.min(out_c - ip * MR);
+                let mut acc = [[0.0f32; NR_WIDE]; MR];
+                wide_tile(kernel, k_total, a_panel, padded, offsets, j0, mr, &mut acc);
+                for (i, acc_row) in acc.iter().enumerate().take(mr) {
+                    let row = ip * MR + i;
+                    // SAFETY: j0 + NR_WIDE <= s1 * NR <= hw; this worker
+                    // owns strips [s0, s1) exclusively.
+                    unsafe { set_bias_row(out.0.add(row * hw + j0), bias[row], &acc_row[..]) };
+                }
+            }
+            s += 2;
+            continue;
         }
+        for ip in 0..m_panels {
+            let a_panel = &packed_a[ip * MR * k_total..(ip * MR + MR) * k_total];
+            let mr = MR.min(out_c - ip * MR);
+            let mut acc = [[0.0f32; NR]; MR];
+            tile(kernel, k_total, a_panel, padded, offsets, j0, mr, &mut acc);
+            for (i, acc_row) in acc.iter().enumerate().take(mr) {
+                let row = ip * MR + i;
+                // SAFETY: j0 + NR <= hw; strips [s0, s1) owned exclusively.
+                unsafe { set_bias_row(out.0.add(row * hw + j0), bias[row], &acc_row[..]) };
+            }
+        }
+        s += 1;
     }
-    acc[0] = c0;
-    acc[1] = c1;
-    acc[2] = c2;
-    acc[3] = c3;
-    acc[4] = c4;
-    acc[5] = c5;
 }
 
 /// `C += A · B` with both operands as stored.
@@ -552,108 +942,294 @@ pub fn gemm_tn(
     gemm(scratch, m, n, k, a, Trans::T, b, Trans::N, c);
 }
 
-/// The register-tile kernel: `acc += A_panel · B_panel` over `kc` steps.
-/// `a` holds `kc` groups of `MR` row values, `b` holds `kc` groups of `NR`
-/// column values (panel-major packing). Fixed trip counts over arrays let
-/// LLVM keep `acc` entirely in vector registers.
-#[inline(always)]
-fn micro_kernel(kc: usize, a: &[f32], b: &[f32], acc: &mut [[f32; NR]; MR]) {
-    // A packed B panel is the direct layout with a leading dimension of NR.
-    micro_kernel_direct(kc, a, b, NR, acc);
+/// Run one `mr x NR` tile (`mr <= MR`) on the selected kernel tier,
+/// accumulating into the first `mr` rows of `acc`. `a` is an `MR`-strided
+/// packed panel; row `p` of the B operand lives at `b[offsets[p] + j0..]`.
+/// The 4- and 2-row variants skip padded-row work on ragged final panels.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn tile(
+    kernel: Kernel,
+    kc: usize,
+    a: &[f32],
+    b: &[f32],
+    offsets: &[usize],
+    j0: usize,
+    mr: usize,
+    acc: &mut [[f32; NR]; MR],
+) {
+    match kernel {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: these variants are only produced by `Kernel::resolve`
+        // after runtime detection of the required CPU features.
+        Kernel::Avx512 => unsafe {
+            match mr {
+                5 | 6 => x86::kernel_avx512::<MR>(kc, a, b, offsets, j0, acc),
+                3 | 4 => x86::kernel_avx512::<4>(kc, a, b, offsets, j0, acc),
+                _ => x86::kernel_avx512::<2>(kc, a, b, offsets, j0, acc),
+            }
+        },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above — `avx2` and `fma` were detected at runtime.
+        Kernel::Avx2 => unsafe {
+            match mr {
+                5 | 6 => x86::kernel_avx2::<MR>(kc, a, b, offsets, j0, acc),
+                3 | 4 => x86::kernel_avx2::<4>(kc, a, b, offsets, j0, acc),
+                _ => x86::kernel_avx2::<2>(kc, a, b, offsets, j0, acc),
+            }
+        },
+        _ => match mr {
+            5 | 6 => kernel_portable::<MR>(kc, a, b, offsets, j0, acc),
+            3 | 4 => kernel_portable::<4>(kc, a, b, offsets, j0, acc),
+            _ => kernel_portable::<2>(kc, a, b, offsets, j0, acc),
+        },
+    }
 }
 
-/// Variant of [`micro_kernel`] whose B operand is read in place from a
-/// row-major matrix with leading dimension `ldb` (no packing). `b` must
-/// cover `NR` full columns; ragged edges go through a packed tail instead.
-#[inline(always)]
-fn micro_kernel_direct(kc: usize, a: &[f32], b: &[f32], ldb: usize, acc: &mut [[f32; NR]; MR]) {
-    let mut c0 = acc[0];
-    let mut c1 = acc[1];
-    let mut c2 = acc[2];
-    let mut c3 = acc[3];
-    let mut c4 = acc[4];
-    let mut c5 = acc[5];
-    for p in 0..kc {
-        let a_step: &[f32; MR] = a[p * MR..p * MR + MR].try_into().expect("packed panel");
-        let b_step: &[f32; NR] = b[p * ldb..p * ldb + NR].try_into().expect("B row chunk");
-        for j in 0..NR {
-            let bv = b_step[j];
-            c0[j] = a_step[0].mul_add(bv, c0[j]);
-            c1[j] = a_step[1].mul_add(bv, c1[j]);
-            c2[j] = a_step[2].mul_add(bv, c2[j]);
-            c3[j] = a_step[3].mul_add(bv, c3[j]);
-            c4[j] = a_step[4].mul_add(bv, c4[j]);
-            c5[j] = a_step[5].mul_add(bv, c5[j]);
+/// [`NR_WIDE`]-column counterpart of [`tile`] for the short-`k` conv path.
+/// Falls back to two standard tiles on non-AVX-512 tiers (callers only use
+/// it when the wide tile is active, but the fallback keeps it total).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn wide_tile(
+    kernel: Kernel,
+    kc: usize,
+    a: &[f32],
+    b: &[f32],
+    offsets: &[usize],
+    j0: usize,
+    mr: usize,
+    acc: &mut [[f32; NR_WIDE]; MR],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if kernel == Kernel::Avx512 {
+        // SAFETY: `Avx512` is only produced after runtime detection.
+        unsafe {
+            match mr {
+                5 | 6 => x86::kernel_avx512_wide::<MR>(kc, a, b, offsets, j0, acc),
+                3 | 4 => x86::kernel_avx512_wide::<4>(kc, a, b, offsets, j0, acc),
+                _ => x86::kernel_avx512_wide::<2>(kc, a, b, offsets, j0, acc),
+            }
+        }
+        return;
+    }
+    for half in 0..2 {
+        let mut half_acc = [[0.0f32; NR]; MR];
+        for (dst, src) in half_acc.iter_mut().zip(acc.iter()) {
+            dst.copy_from_slice(&src[half * NR..(half + 1) * NR]);
+        }
+        tile(kernel, kc, a, b, offsets, j0 + half * NR, mr, &mut half_acc);
+        for (src, dst) in half_acc.iter().zip(acc.iter_mut()) {
+            dst[half * NR..(half + 1) * NR].copy_from_slice(src);
         }
     }
-    acc[0] = c0;
-    acc[1] = c1;
-    acc[2] = c2;
-    acc[3] = c3;
-    acc[4] = c4;
-    acc[5] = c5;
 }
 
-/// 4-row remainder variant of [`micro_kernel_direct`]: reads the same
-/// `MR`-strided A panel but only its first four rows, so a partial final
-/// panel with 3-4 live rows skips a third of the tile FLOPs instead of
-/// multiplying padded zeros.
+/// The portable register-tile kernel: `acc[..ROWS] += A_panel · B_rows`
+/// over `kc` steps. Plain loops over fixed-size arrays with `f32::mul_add`,
+/// a shape LLVM turns into FMA register tiles when the build enables a
+/// wide FMA target (and into correct-but-slow `fmaf` calls otherwise — the
+/// explicit SIMD tiers exist so the default build never pays that).
 #[inline(always)]
-fn micro_kernel_direct_4(kc: usize, a: &[f32], b: &[f32], ldb: usize, acc: &mut [[f32; NR]; 4]) {
-    let mut c0 = acc[0];
-    let mut c1 = acc[1];
-    let mut c2 = acc[2];
-    let mut c3 = acc[3];
+fn kernel_portable<const ROWS: usize>(
+    kc: usize,
+    a: &[f32],
+    b: &[f32],
+    offsets: &[usize],
+    j0: usize,
+    acc: &mut [[f32; NR]; MR],
+) {
+    let mut local = [[0.0f32; NR]; ROWS];
+    for (dst, src) in local.iter_mut().zip(acc.iter()) {
+        *dst = *src;
+    }
     for p in 0..kc {
         let a_step: &[f32; MR] = a[p * MR..p * MR + MR].try_into().expect("packed panel");
-        let b_step: &[f32; NR] = b[p * ldb..p * ldb + NR].try_into().expect("B row chunk");
+        let base = offsets[p] + j0;
+        let b_step: &[f32; NR] = b[base..base + NR].try_into().expect("B strip");
         for j in 0..NR {
             let bv = b_step[j];
-            c0[j] = a_step[0].mul_add(bv, c0[j]);
-            c1[j] = a_step[1].mul_add(bv, c1[j]);
-            c2[j] = a_step[2].mul_add(bv, c2[j]);
-            c3[j] = a_step[3].mul_add(bv, c3[j]);
+            for (i, row) in local.iter_mut().enumerate() {
+                row[j] = a_step[i].mul_add(bv, row[j]);
+            }
         }
     }
-    acc[0] = c0;
-    acc[1] = c1;
-    acc[2] = c2;
-    acc[3] = c3;
+    for (src, dst) in local.iter().zip(acc.iter_mut()) {
+        *dst = *src;
+    }
 }
 
-/// 2-row remainder variant of [`micro_kernel_direct`].
-#[inline(always)]
-fn micro_kernel_direct_2(kc: usize, a: &[f32], b: &[f32], ldb: usize, acc: &mut [[f32; NR]; 2]) {
-    let mut c0 = acc[0];
-    let mut c1 = acc[1];
-    for p in 0..kc {
-        let a_step: &[f32; MR] = a[p * MR..p * MR + MR].try_into().expect("packed panel");
-        let b_step: &[f32; NR] = b[p * ldb..p * ldb + NR].try_into().expect("B row chunk");
-        for j in 0..NR {
-            let bv = b_step[j];
-            c0[j] = a_step[0].mul_add(bv, c0[j]);
-            c1[j] = a_step[1].mul_add(bv, c1[j]);
+/// Explicit `std::arch` kernels. Each function is gated on a
+/// `#[target_feature]` set that callers must have runtime-detected (that is
+/// the entire unsafety of calling them); inside, the only `unsafe`
+/// operations are the raw-pointer vector loads and stores, each bounded by
+/// a slice index just above it.
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{MR, NR, NR_WIDE};
+    use core::arch::x86_64::*;
+
+    /// Debug-only validation of the kernel operand contract: `a` holds
+    /// `kc` packed `MR`-groups and every B row fits `width` columns from
+    /// its offset. Release builds rely on the (checked) callers.
+    fn debug_check_operands(
+        kc: usize,
+        a: &[f32],
+        b: &[f32],
+        offsets: &[usize],
+        j0: usize,
+        width: usize,
+    ) {
+        debug_assert!(a.len() >= kc * MR, "A panel too short");
+        debug_assert!(offsets.len() >= kc, "offset table too short");
+        debug_assert!(
+            offsets[..kc].iter().all(|&o| o + j0 + width <= b.len()),
+            "B row out of bounds"
+        );
+    }
+
+    /// AVX2+FMA tile: `ROWS x NR` in two 16-column halves, each half
+    /// holding `ROWS x 2` ymm accumulators (12 of the 16 vector registers
+    /// at `ROWS = 6`, leaving room for the two B loads and the A
+    /// broadcast). Per output element the k-loop is the same fused
+    /// multiply-add chain as the portable kernel, so results are bitwise
+    /// identical. Operand addressing is raw-pointer (bounds validated on
+    /// entry) — per-step slice checks cost ~25% at small `kc`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) fn kernel_avx2<const ROWS: usize>(
+        kc: usize,
+        a: &[f32],
+        b: &[f32],
+        offsets: &[usize],
+        j0: usize,
+        acc: &mut [[f32; NR]; MR],
+    ) {
+        debug_check_operands(kc, a, b, offsets, j0, NR);
+        let (a_ptr, b_ptr, off_ptr) = (a.as_ptr(), b.as_ptr(), offsets.as_ptr());
+        for half in 0..2 {
+            let h0 = half * 16;
+            let mut accv = [[_mm256_setzero_ps(); 2]; ROWS];
+            for (v, row) in accv.iter_mut().zip(acc.iter()) {
+                // SAFETY: each row holds NR = 32 floats, h0 + 16 <= 32.
+                v[0] = unsafe { _mm256_loadu_ps(row[h0..].as_ptr()) };
+                v[1] = unsafe { _mm256_loadu_ps(row[h0 + 8..].as_ptr()) };
+            }
+            for p in 0..kc {
+                // SAFETY: p < kc <= offsets.len(); offsets[p] + j0 + NR
+                // <= b.len() and kc * MR <= a.len(), both validated on
+                // entry (debug) and guaranteed by the packing callers.
+                unsafe {
+                    let base = *off_ptr.add(p) + j0 + h0;
+                    let b0 = _mm256_loadu_ps(b_ptr.add(base));
+                    let b1 = _mm256_loadu_ps(b_ptr.add(base + 8));
+                    let ap = a_ptr.add(p * MR);
+                    for (i, v) in accv.iter_mut().enumerate() {
+                        let av = _mm256_set1_ps(*ap.add(i));
+                        v[0] = _mm256_fmadd_ps(av, b0, v[0]);
+                        v[1] = _mm256_fmadd_ps(av, b1, v[1]);
+                    }
+                }
+            }
+            for (v, row) in accv.iter().zip(acc.iter_mut()) {
+                // SAFETY: as the load above.
+                unsafe { _mm256_storeu_ps(row[h0..].as_mut_ptr(), v[0]) };
+                unsafe { _mm256_storeu_ps(row[h0 + 8..].as_mut_ptr(), v[1]) };
+            }
         }
     }
-    acc[0] = c0;
-    acc[1] = c1;
-}
 
-/// Dispatch one `mr x NR` direct tile (`mr <= MR`) into `acc`, picking the
-/// widest kernel that does no padded-row work.
-#[inline(always)]
-fn direct_tile(kc: usize, a: &[f32], b: &[f32], ldb: usize, mr: usize, acc: &mut [[f32; NR]; MR]) {
-    match mr {
-        5 | 6 => micro_kernel_direct(kc, a, b, ldb, acc),
-        3 | 4 => {
-            let mut small = [[0.0f32; NR]; 4];
-            micro_kernel_direct_4(kc, a, b, ldb, &mut small);
-            acc[..4].copy_from_slice(&small);
+    /// AVX-512 tile: `ROWS x NR` as `ROWS x 2` zmm accumulators (12 of the
+    /// 32 vector registers at `ROWS = 6`). Same fused chain per element as
+    /// the portable kernel — bitwise identical results.
+    #[target_feature(enable = "avx512f")]
+    pub(super) fn kernel_avx512<const ROWS: usize>(
+        kc: usize,
+        a: &[f32],
+        b: &[f32],
+        offsets: &[usize],
+        j0: usize,
+        acc: &mut [[f32; NR]; MR],
+    ) {
+        debug_check_operands(kc, a, b, offsets, j0, NR);
+        let (a_ptr, b_ptr, off_ptr) = (a.as_ptr(), b.as_ptr(), offsets.as_ptr());
+        let mut accv = [[_mm512_setzero_ps(); 2]; ROWS];
+        for (v, row) in accv.iter_mut().zip(acc.iter()) {
+            // SAFETY: each row holds NR = 32 consecutive floats.
+            v[0] = unsafe { _mm512_loadu_ps(row.as_ptr()) };
+            v[1] = unsafe { _mm512_loadu_ps(row[16..].as_ptr()) };
         }
-        _ => {
-            let mut small = [[0.0f32; NR]; 2];
-            micro_kernel_direct_2(kc, a, b, ldb, &mut small);
-            acc[..2].copy_from_slice(&small);
+        for p in 0..kc {
+            // SAFETY: p < kc <= offsets.len(); offsets[p] + j0 + NR <=
+            // b.len() and kc * MR <= a.len(), validated on entry (debug)
+            // and guaranteed by the packing callers.
+            unsafe {
+                let base = *off_ptr.add(p) + j0;
+                let b0 = _mm512_loadu_ps(b_ptr.add(base));
+                let b1 = _mm512_loadu_ps(b_ptr.add(base + 16));
+                let ap = a_ptr.add(p * MR);
+                for (i, v) in accv.iter_mut().enumerate() {
+                    let av = _mm512_set1_ps(*ap.add(i));
+                    v[0] = _mm512_fmadd_ps(av, b0, v[0]);
+                    v[1] = _mm512_fmadd_ps(av, b1, v[1]);
+                }
+            }
+        }
+        for (v, row) in accv.iter().zip(acc.iter_mut()) {
+            // SAFETY: each row holds NR = 32 consecutive floats.
+            unsafe { _mm512_storeu_ps(row.as_mut_ptr(), v[0]) };
+            unsafe { _mm512_storeu_ps(row[16..].as_mut_ptr(), v[1]) };
+        }
+    }
+
+    /// AVX-512 wide tile for short accumulation depths: `ROWS x NR_WIDE`
+    /// as `ROWS x 4` zmm accumulators (24 of 32 registers at `ROWS = 6`).
+    /// Twice the work per loop trip and per epilogue amortizes the fixed
+    /// costs that dominate when `kc` is small. Same per-element chain —
+    /// bitwise identical to running two standard tiles.
+    #[target_feature(enable = "avx512f")]
+    pub(super) fn kernel_avx512_wide<const ROWS: usize>(
+        kc: usize,
+        a: &[f32],
+        b: &[f32],
+        offsets: &[usize],
+        j0: usize,
+        acc: &mut [[f32; NR_WIDE]; MR],
+    ) {
+        debug_check_operands(kc, a, b, offsets, j0, NR_WIDE);
+        let (a_ptr, b_ptr, off_ptr) = (a.as_ptr(), b.as_ptr(), offsets.as_ptr());
+        let mut accv = [[_mm512_setzero_ps(); 4]; ROWS];
+        for (v, row) in accv.iter_mut().zip(acc.iter()) {
+            for (q, lane) in v.iter_mut().enumerate() {
+                // SAFETY: each row holds NR_WIDE = 64 consecutive floats.
+                *lane = unsafe { _mm512_loadu_ps(row[q * 16..].as_ptr()) };
+            }
+        }
+        for p in 0..kc {
+            // SAFETY: p < kc <= offsets.len(); offsets[p] + j0 + NR_WIDE
+            // <= b.len() and kc * MR <= a.len(), validated on entry
+            // (debug) and guaranteed by the conv caller.
+            unsafe {
+                let base = *off_ptr.add(p) + j0;
+                let bv = [
+                    _mm512_loadu_ps(b_ptr.add(base)),
+                    _mm512_loadu_ps(b_ptr.add(base + 16)),
+                    _mm512_loadu_ps(b_ptr.add(base + 32)),
+                    _mm512_loadu_ps(b_ptr.add(base + 48)),
+                ];
+                let ap = a_ptr.add(p * MR);
+                for (i, v) in accv.iter_mut().enumerate() {
+                    let av = _mm512_set1_ps(*ap.add(i));
+                    for (lane, &bq) in v.iter_mut().zip(bv.iter()) {
+                        *lane = _mm512_fmadd_ps(av, bq, *lane);
+                    }
+                }
+            }
+        }
+        for (v, row) in accv.iter().zip(acc.iter_mut()) {
+            for (q, lane) in v.iter().enumerate() {
+                // SAFETY: each row holds NR_WIDE = 64 consecutive floats.
+                unsafe { _mm512_storeu_ps(row[q * 16..].as_mut_ptr(), *lane) };
+            }
         }
     }
 }
@@ -908,6 +1484,87 @@ mod tests {
     }
 
     #[test]
+    fn kernel_tiers_are_bitwise_identical() {
+        // Every runtime-dispatchable tier executes the same per-element
+        // fused chain, so outputs must match to the bit — not just to a
+        // tolerance. Shapes cover full tiles, ragged rows, and ragged
+        // columns of both the direct and packed paths.
+        let mut rng = DetRng::new(0x51D);
+        for (m, n, k, ta, tb) in [
+            (MR, NR, 8, Trans::N, Trans::N),
+            (16, 97, 27, Trans::N, Trans::N),
+            (7, NR + 5, 300, Trans::N, Trans::N),
+            (13, 41, 19, Trans::T, Trans::N),
+            (9, 70, 23, Trans::N, Trans::T),
+        ] {
+            let a = random_vec(&mut rng, m * k);
+            let b = random_vec(&mut rng, k * n);
+            let mut want: Option<Vec<f32>> = None;
+            for kernel in Kernel::available() {
+                let mut scratch = GemmScratch::with_kernel(kernel);
+                let mut c = vec![0.0f32; m * n];
+                gemm(&mut scratch, m, n, k, &a, ta, &b, tb, &mut c);
+                match &want {
+                    None => want = Some(c),
+                    Some(w) => assert_eq!(
+                        w,
+                        &c,
+                        "({m}x{n}x{k}) {ta:?}{tb:?}: kernel {} diverges",
+                        kernel.name()
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_split_is_bitwise_identical() {
+        // Column-splitting changes which thread computes a column, never
+        // the accumulation order inside one — forced thread counts must
+        // reproduce the serial result exactly, on every tier.
+        let mut rng = DetRng::new(0x7B);
+        for (m, n, k, ta) in [
+            (16, 4 * NR + 7, 64, Trans::N),
+            (5, 3 * NR, 9, Trans::N),
+            (11, 2 * NR + 1, 40, Trans::T),
+        ] {
+            let a = random_vec(&mut rng, m * k);
+            let b = random_vec(&mut rng, k * n);
+            for kernel in Kernel::available() {
+                let mut serial = GemmScratch::with_kernel(kernel);
+                serial.threads = Some(1);
+                let mut c1 = vec![0.0f32; m * n];
+                gemm(&mut serial, m, n, k, &a, ta, &b, Trans::N, &mut c1);
+                for t in [2usize, 3, 7] {
+                    let mut par = GemmScratch::with_kernel(kernel);
+                    par.threads = Some(t);
+                    let mut ct = vec![0.0f32; m * n];
+                    gemm(&mut par, m, n, k, &a, ta, &b, Trans::N, &mut ct);
+                    assert_eq!(
+                        c1,
+                        ct,
+                        "({m}x{n}x{k}) {ta:?}N kernel {} threads {t} diverges",
+                        kernel.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forced_unsupported_kernel_degrades_to_detection() {
+        // Forcing a tier this CPU lacks must not crash — `resolve` demotes
+        // it. (On a machine that has every tier this still exercises the
+        // pass-through arm.)
+        let mut scratch = GemmScratch::with_kernel(Kernel::Avx512);
+        let a = [1.0f32, 2.0, 3.0, 4.0];
+        let b = [5.0f32, 6.0, 7.0, 8.0];
+        let mut c = [0.0f32; 4];
+        gemm(&mut scratch, 2, 2, 2, &a, Trans::N, &b, Trans::N, &mut c);
+        assert_eq!(c, [19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
     fn bias_fused_matches_fill_then_accumulate() {
         let mut rng = DetRng::new(31);
         for (m, n, k) in [(1, 9, 4), (7, 65, 27), (16, 900, 144), (13, 37, 5)] {
@@ -948,6 +1605,20 @@ mod tests {
     }
 
     #[test]
+    fn column_chunks_cover_and_align() {
+        for (n, t) in [(1, 4), (NR, 2), (5 * NR + 3, 3), (100 * NR, 7)] {
+            let chunks = column_chunks(n, t);
+            assert!(chunks.len() <= t);
+            assert_eq!(chunks.first().unwrap().0, 0);
+            assert_eq!(chunks.last().unwrap().1, n);
+            for w in chunks.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "gap between chunks");
+                assert_eq!(w[0].1 % NR, 0, "boundary not NR-aligned");
+            }
+        }
+    }
+
+    #[test]
     fn im2col_matches_definition() {
         // 1 channel, 3x3 image, 3x3 kernel: center row of the patch matrix
         // reproduces the image; corner rows show the zero padding.
@@ -976,6 +1647,8 @@ mod tests {
             (1, 3, 2, 5, 3, 5), // kernel larger than the image
             (2, 6, 6, 1, 5, 6), // 1x1 kernel, no padding at all
             (16, 30, 30, 3, 16, 7),
+            (1, 30, 30, 3, 16, 8), // small k: wide-tile path on AVX-512
+            (3, 20, 40, 3, 11, 9), // small k, ragged rows
         ] {
             let mut rng = DetRng::new(seed);
             let input = random_vec(&mut rng, c_in * h * w);
@@ -999,9 +1672,46 @@ mod tests {
                 &mut want,
             );
 
-            let mut got = vec![f32::NAN; out_c * hw];
+            for kernel in Kernel::available() {
+                let mut scratch = GemmScratch::with_kernel(kernel);
+                let mut got = vec![f32::NAN; out_c * hw];
+                conv2d_forward(
+                    &mut scratch,
+                    &input,
+                    c_in,
+                    h,
+                    w,
+                    kk,
+                    &weights,
+                    &bias,
+                    out_c,
+                    &mut got,
+                );
+                for (i, (&g, &w0)) in got.iter().zip(&want).enumerate() {
+                    let tol = 1e-5 * (1.0 + w0.abs()) * (k_total as f32).sqrt();
+                    assert!(
+                        (g - w0).abs() <= tol,
+                        "kernel {} shape c{c_in} {h}x{w} k{kk} out{out_c} idx {i}: {g} vs {w0}",
+                        kernel.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conv2d_forward_threaded_is_bitwise_identical() {
+        let (c_in, h, w, kk, out_c) = (3, 40, 40, 3, 16);
+        let mut rng = DetRng::new(77);
+        let input = random_vec(&mut rng, c_in * h * w);
+        let weights = random_vec(&mut rng, out_c * c_in * kk * kk);
+        let bias = random_vec(&mut rng, out_c);
+        for kernel in Kernel::available() {
+            let mut serial = GemmScratch::with_kernel(kernel);
+            serial.threads = Some(1);
+            let mut base = vec![0.0f32; out_c * h * w];
             conv2d_forward(
-                &mut scratch,
+                &mut serial,
                 &input,
                 c_in,
                 h,
@@ -1010,14 +1720,16 @@ mod tests {
                 &weights,
                 &bias,
                 out_c,
-                &mut got,
+                &mut base,
             );
-            for (i, (&g, &w0)) in got.iter().zip(&want).enumerate() {
-                let tol = 1e-5 * (1.0 + w0.abs()) * (k_total as f32).sqrt();
-                assert!(
-                    (g - w0).abs() <= tol,
-                    "shape c{c_in} {h}x{w} k{kk} out{out_c} idx {i}: {g} vs {w0}"
+            for t in [2usize, 5] {
+                let mut par = GemmScratch::with_kernel(kernel);
+                par.threads = Some(t);
+                let mut got = vec![0.0f32; out_c * h * w];
+                conv2d_forward(
+                    &mut par, &input, c_in, h, w, kk, &weights, &bias, out_c, &mut got,
                 );
+                assert_eq!(base, got, "kernel {} threads {t} diverges", kernel.name());
             }
         }
     }

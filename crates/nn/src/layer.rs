@@ -54,6 +54,12 @@ pub trait Layer {
     fn backward_batch(&mut self, grad_out: &[f32], batch: usize, grad_in: &mut Vec<f32>);
     /// Visit (parameters, gradients) slices for the optimizer.
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32]));
+    /// Cap the worker threads this layer's forward path may spawn: `None`
+    /// sizes automatically from the work (the default), `Some(1)` pins the
+    /// layer single-threaded (callers that parallelize an outer loop, e.g.
+    /// one model per core, set this to avoid oversubscription). Layers
+    /// without a threaded path ignore it.
+    fn set_threads(&mut self, _threads: Option<usize>) {}
     /// Reset accumulated gradients to zero.
     fn zero_grads(&mut self);
     /// Number of trainable parameters.
@@ -219,20 +225,54 @@ impl Layer for Conv2d {
             self.cache_input.extend_from_slice(input);
         }
         out.resize(batch * out_len, 0.0);
-        for b in 0..batch {
-            gemm::conv2d_forward(
-                &mut self.scratch,
-                &input[b * in_len..(b + 1) * in_len],
-                c_in,
-                h,
-                w,
-                self.k,
-                &self.weights,
-                &self.bias,
-                self.out_c,
-                &mut out[b * out_len..(b + 1) * out_len],
-            );
+        // Thread the batch loop across images when there is enough work:
+        // each worker runs whole images through its own scratch (so packing
+        // buffers never contend), and the per-image GEMM stays pinned
+        // single-threaded inside workers. Results are bitwise identical to
+        // the serial loop — images are independent.
+        let threads = gemm::batch_threads(self.scratch.threads, self.flops(), batch);
+        if threads <= 1 {
+            for b in 0..batch {
+                gemm::conv2d_forward(
+                    &mut self.scratch,
+                    &input[b * in_len..(b + 1) * in_len],
+                    c_in,
+                    h,
+                    w,
+                    self.k,
+                    &self.weights,
+                    &self.bias,
+                    self.out_c,
+                    &mut out[b * out_len..(b + 1) * out_len],
+                );
+            }
+            return;
         }
+        let Conv2d {
+            scratch,
+            weights,
+            bias,
+            k,
+            out_c,
+            ..
+        } = self;
+        let (kk, out_c) = (*k, *out_c);
+        let per = batch.div_ceil(threads);
+        let pool = scratch.worker_pool(batch.div_ceil(per));
+        std::thread::scope(|scope| {
+            for ((in_chunk, out_chunk), worker) in input
+                .chunks(per * in_len)
+                .zip(out.chunks_mut(per * out_len))
+                .zip(pool.iter_mut())
+            {
+                let (weights, bias) = (&*weights, &*bias);
+                scope.spawn(move || {
+                    for (img, o) in in_chunk.chunks(in_len).zip(out_chunk.chunks_mut(out_len)) {
+                        gemm::conv2d_forward(worker, img, c_in, h, w, kk, weights, bias, out_c, o);
+                    }
+                });
+            }
+        });
     }
 
     fn backward(&mut self, grad_out: &[f32]) -> Vec<f32> {
@@ -339,6 +379,10 @@ impl Layer for Conv2d {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
         f(&mut self.weights, &mut self.grad_w);
         f(&mut self.bias, &mut self.grad_b);
+    }
+
+    fn set_threads(&mut self, threads: Option<usize>) {
+        self.scratch.threads = threads;
     }
 
     fn zero_grads(&mut self) {
@@ -720,6 +764,10 @@ impl Layer for Dense {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
         f(&mut self.weights, &mut self.grad_w);
         f(&mut self.bias, &mut self.grad_b);
+    }
+
+    fn set_threads(&mut self, threads: Option<usize>) {
+        self.scratch.threads = threads;
     }
 
     fn zero_grads(&mut self) {

@@ -13,9 +13,12 @@
 //! of magnitude faster than the reference CNN — so the hot path is built
 //! around dense matrix multiplication rather than nested convolution loops:
 //!
-//! * [`gemm`] implements a blocked, cache-tiled f32 GEMM with a register-tile
-//!   micro-kernel that LLVM auto-vectorizes to FMA code (build with
-//!   `-C target-cpu=native`; the repo's `.cargo/config.toml` does);
+//! * [`gemm`] implements a blocked, cache-tiled f32 GEMM whose register-tile
+//!   micro-kernel is selected at runtime (`is_x86_feature_detected!`) from
+//!   explicit AVX-512 / AVX2+FMA `std::arch` kernels plus a portable
+//!   `mul_add` fallback — all bitwise-identical — so a plain portable build
+//!   runs at hardware peak with no `-C target-cpu` flags; large products and
+//!   image batches additionally thread across `std::thread::scope` workers;
 //! * [`gemm::im2col`] lowers each image to a patch matrix, turning a
 //!   convolution into one GEMM against the filter matrix, and
 //!   [`gemm::col2im_add`] scatters gradients back for the batched backward
@@ -55,6 +58,11 @@
 //! The zoo crate uses this for the *real* training path (scaled-down
 //! experiments, examples, and tests); the paper-scale experiments use the
 //! calibrated surrogate family instead (see DESIGN.md §2.4).
+
+// The explicit `std::arch` kernels in `gemm` are the only unsafe code in
+// the workspace; keep every unsafe operation inside them individually
+// justified.
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod gemm;
 pub mod init;

@@ -56,6 +56,18 @@ impl Sequential {
         &self.layers
     }
 
+    /// Cap worker threads across every layer (see [`Layer::set_threads`]):
+    /// `None` sizes automatically per layer from the work, `Some(1)` pins
+    /// the whole model single-threaded. Callers that already parallelize
+    /// across models (the zoo trainers) pin their models to one thread;
+    /// serving paths leave the default so big batches fan out across
+    /// cores.
+    pub fn set_threads(&mut self, threads: Option<usize>) {
+        for layer in &mut self.layers {
+            layer.set_threads(threads);
+        }
+    }
+
     /// Run the network forward, returning the raw output vector. A thin
     /// batch-of-1 wrapper over [`Sequential::forward_batch`], so it runs on
     /// the same im2col+GEMM path.
@@ -459,6 +471,32 @@ mod tests {
                 "image {b}: single {single} batched {}",
                 batched[b]
             );
+        }
+    }
+
+    #[test]
+    fn forced_thread_counts_reproduce_serial_logits_bitwise() {
+        // Image-level threading must not change a single bit: images are
+        // independent and each worker runs the same kernels in the same
+        // order.
+        let spec = CnnSpec {
+            input: Shape::new(3, 16, 16),
+            conv_channels: vec![8],
+            kernel: 3,
+            dense_units: 8,
+        };
+        let batch = 9;
+        let input: Vec<f32> = (0..batch * spec.input.len())
+            .map(|i| ((i * 31) % 23) as f32 / 23.0 - 0.5)
+            .collect();
+        let mut serial = spec.build(13).unwrap();
+        serial.set_threads(Some(1));
+        let want = serial.predict_logits_batch(&input, batch);
+        for t in [2usize, 4] {
+            let mut model = spec.build(13).unwrap();
+            model.set_threads(Some(t));
+            let got = model.predict_logits_batch(&input, batch);
+            assert_eq!(want, got, "threads {t} diverges");
         }
     }
 

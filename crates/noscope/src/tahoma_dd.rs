@@ -115,6 +115,52 @@ impl FrameClassifier for TahomaDdSystem {
         unreachable!("terminal level always decides")
     }
 
+    /// Batch-major cascade walk: levels outer, frames inner. The
+    /// per-(variant, split) scoring context is derived once per *level*
+    /// instead of once per (level, frame) — the same hoisting
+    /// `score_population` does for repository building — and frames drop
+    /// out of the working set as soon as a level decides them. Labels and
+    /// costs are bit-identical to per-frame [`TahomaDdSystem::classify`].
+    fn classify_batch(&self, frames: &[&Frame]) -> Vec<(bool, f64)> {
+        let depth = self.cascade.depth();
+        let mut out: Vec<(bool, f64)> = vec![(false, 0.0); frames.len()];
+        let mut undecided: Vec<usize> = (0..frames.len()).collect();
+        for l in 0..depth {
+            if undecided.is_empty() {
+                break;
+            }
+            let m = self.cascade.model_at(l) as usize;
+            let variant = &self.system.repo.entries[m].variant;
+            let stream = self.scorer.variant_stream(variant, Split::Eval);
+            let infer_s = self.cost.infer_s[m];
+            let thr = (l + 1 < depth).then(|| {
+                self.system
+                    .thresholds
+                    .get(m, self.cascade.setting_at(l) as usize)
+            });
+            undecided.retain(|&fi| {
+                let frame = frames[fi];
+                out[fi].1 += infer_s;
+                let score = stream.score(frame.idx, frame.label, frame.difficulty);
+                match thr {
+                    // Terminal level always decides at 0.5.
+                    None => {
+                        out[fi].0 = score >= 0.5;
+                        false
+                    }
+                    Some(thr) => match thr.decide(score) {
+                        Some(label) => {
+                            out[fi].0 = label;
+                            false
+                        }
+                        None => true,
+                    },
+                }
+            });
+        }
+        out
+    }
+
     fn name(&self) -> &str {
         "tahoma+dd"
     }
@@ -171,6 +217,19 @@ mod tests {
             t_report.accuracy,
             ns_report.accuracy
         );
+    }
+
+    #[test]
+    fn batch_classification_matches_per_frame_bitwise() {
+        let ds = VideoDataset::coral(6, 500);
+        let sys = TahomaDdSystem::build(&ds, small_build_cfg(), 0.85);
+        let frames = VideoStream::new(ds.stream.clone()).take_frames(500);
+        let refs: Vec<&Frame> = frames.iter().collect();
+        let batched = sys.classify_batch(&refs);
+        assert_eq!(batched.len(), frames.len());
+        for (frame, &got) in frames.iter().zip(&batched) {
+            assert_eq!(sys.classify(frame), got, "frame {}", frame.idx);
+        }
     }
 
     #[test]

@@ -129,7 +129,10 @@ impl Default for SurrogateBuildConfig {
 }
 
 /// Build a surrogate-backed repository for one predicate, scoring models in
-/// parallel across available cores.
+/// parallel across available cores. Each worker scores its share of the
+/// family batch-major ([`SurrogateScorer::score_population`]): variants
+/// outer, items inner, with the per-variant separation and noise stream
+/// derived once per (variant, split) instead of once per item.
 pub fn build_surrogate_repository(
     pred: PredicateSpec,
     cfg: &SurrogateBuildConfig,

@@ -139,6 +139,9 @@ impl SurrogateScorer {
     }
 
     /// Score of one (model, image) pair. Deterministic in all arguments.
+    /// (One [`VariantStream`] derivation per call — callers scoring many
+    /// items against one variant should hoist it via
+    /// [`SurrogateScorer::variant_stream`].)
     pub fn score(
         &self,
         variant: &ModelVariant,
@@ -147,28 +150,52 @@ impl SurrogateScorer {
         label: bool,
         difficulty: f32,
     ) -> f32 {
-        let d = self.separation(variant);
-        let margin = 0.5 * d * (1.0 - self.params.rho * difficulty as f64);
-        let sign = if label { 1.0 } else { -1.0 };
-        let stream = split_seed(split_seed(self.seed, split.salt()), variant.id.0 as u64);
-        let mut rng = DetRng::from_coords(stream, item_id);
-        let z = sign * margin + rng.normal(0.0, self.params.noise_sd);
-        logistic(self.params.gain * z) as f32
+        self.variant_stream(variant, split)
+            .score(item_id, label, difficulty)
     }
 
-    /// Scores for a whole population, in item order.
+    /// Precompute the per-(variant, split) scoring context — the
+    /// separation `d` (a seeded RNG draw plus exponentials) and the split
+    /// noise-stream seed — so items can then be scored with per-item work
+    /// only. This is the batch-major layout the `tahoma-nn` inference path
+    /// uses: variants outer, items inner, nothing re-derived per item.
+    pub fn variant_stream(&self, variant: &ModelVariant, split: Split) -> VariantStream {
+        VariantStream {
+            half_d: 0.5 * self.separation(variant),
+            stream: split_seed(split_seed(self.seed, split.salt()), variant.id.0 as u64),
+            rho: self.params.rho,
+            noise_sd: self.params.noise_sd,
+            gain: self.params.gain,
+        }
+    }
+
+    /// Batch-major scoring of a whole population into `out`, in item
+    /// order. Bit-identical to mapping [`SurrogateScorer::score`] over the
+    /// items, but the per-variant work is hoisted once through
+    /// [`SurrogateScorer::variant_stream`] — what makes scoring a
+    /// 360-model family over 1000-item splits cheap enough to rebuild
+    /// repositories at query time.
+    pub fn score_population(
+        &self,
+        variant: &ModelVariant,
+        split: Split,
+        pop: &Population,
+        out: &mut Vec<f32>,
+    ) {
+        let stream = self.variant_stream(variant, split);
+        out.clear();
+        out.reserve(pop.len());
+        out.extend(
+            (0..pop.len()).map(|i| stream.score(pop.ids[i], pop.labels[i], pop.difficulties[i])),
+        );
+    }
+
+    /// Scores for a whole population, in item order (an owning wrapper
+    /// over [`SurrogateScorer::score_population`]).
     pub fn scores(&self, variant: &ModelVariant, split: Split, pop: &Population) -> Vec<f32> {
-        (0..pop.len())
-            .map(|i| {
-                self.score(
-                    variant,
-                    split,
-                    pop.ids[i],
-                    pop.labels[i],
-                    pop.difficulties[i],
-                )
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.score_population(variant, split, pop, &mut out);
+        out
     }
 
     /// Analytic expected accuracy at threshold 0.5 over a population:
@@ -184,6 +211,32 @@ impl SurrogateScorer {
             })
             .sum();
         acc / pop.len().max(1) as f64
+    }
+}
+
+/// Frozen per-(variant, split) scoring context (see
+/// [`SurrogateScorer::variant_stream`]): everything derivable before the
+/// items are known. Scoring an item from here is one margin multiply plus
+/// one noise draw — the batch-major inner loop of repository building and
+/// of the streaming cascade classifiers.
+#[derive(Debug, Clone, Copy)]
+pub struct VariantStream {
+    half_d: f64,
+    stream: u64,
+    rho: f64,
+    noise_sd: f64,
+    gain: f64,
+}
+
+impl VariantStream {
+    /// Score one item; bit-identical to [`SurrogateScorer::score`] with
+    /// the originating variant and split.
+    pub fn score(&self, item_id: u64, label: bool, difficulty: f32) -> f32 {
+        let margin = self.half_d * (1.0 - self.rho * difficulty as f64);
+        let sign = if label { 1.0 } else { -1.0 };
+        let mut rng = DetRng::from_coords(self.stream, item_id);
+        let z = sign * margin + rng.normal(0.0, self.noise_sd);
+        logistic(self.gain * z) as f32
     }
 }
 
@@ -230,6 +283,21 @@ mod tests {
         let p = pop(ObjectKind::Fence);
         let v = paper_variants()[17];
         assert_eq!(s.scores(&v, Split::Eval, &p), s.scores(&v, Split::Eval, &p));
+    }
+
+    #[test]
+    fn batch_major_scoring_matches_per_item_scoring_bitwise() {
+        let s = scorer(ObjectKind::Scorpion);
+        let p = pop(ObjectKind::Scorpion);
+        for v in [paper_variants()[0], paper_variants()[213]] {
+            for split in [Split::Config, Split::Eval] {
+                let batched = s.scores(&v, split, &p);
+                let per_item: Vec<f32> = (0..p.len())
+                    .map(|i| s.score(&v, split, p.ids[i], p.labels[i], p.difficulties[i]))
+                    .collect();
+                assert_eq!(batched, per_item, "{} {split:?}", v.tag());
+            }
+        }
     }
 
     #[test]
@@ -337,7 +405,7 @@ mod tests {
                 .step_by(11)
                 .map(|v| accuracy_at_half(&s.scores(v, Split::Eval, &p), &p.labels))
                 .collect();
-            accs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            accs.sort_by(f64::total_cmp);
             let median = accs[accs.len() / 2];
             assert!(r_acc > median, "{kind}: resnet {r_acc} vs median {median}");
         }

@@ -136,6 +136,10 @@ pub fn build_real_repository(
                     let mut model = spec
                         .build(cfg.seed ^ ((chunk_idx as u64) << 32) ^ v.id.0 as u64)
                         .map_err(|e| format!("{}: {e}", v.tag()))?;
+                    // One model per worker already saturates the cores;
+                    // don't let each model's batch loop spawn another
+                    // thread fleet on top.
+                    model.set_threads(Some(1));
                     let inputs = &train_cache[&v.input];
                     let examples: Vec<Example> = inputs
                         .iter()

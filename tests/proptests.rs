@@ -2,23 +2,48 @@
 
 use proptest::prelude::*;
 use tahoma::core::alc;
+use tahoma::core::order::nan_last;
 use tahoma::core::pareto::{is_pareto_optimal, pareto_frontier};
+use tahoma::core::planner::{order_predicates, PlannedPredicate};
 use tahoma::core::thresholds::{calibrate, negative_precision, positive_precision};
-use tahoma::imagery::{transform, BlockCodec, Codec, ColorMode, Image, RawCodec};
+use tahoma::core::Cascade;
+use tahoma::imagery::{transform, BlockCodec, Codec, ColorMode, Image, ObjectKind, RawCodec};
+use tahoma::nn::gemm::{self, GemmScratch, Kernel, Trans};
 use tahoma::nn::{Conv2d, Layer, Shape};
+
+/// Decode a selector pair into a float that may be perfectly ordinary or
+/// one of the degenerate values the planner must survive: ±∞, NaN, zero.
+fn degenerate_f64(selector: u32, raw: f64) -> f64 {
+    match selector % 6 {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        3 => 0.0,
+        _ => raw,
+    }
+}
+
+/// The observable ordering key of a planned predicate (bit-exact so NaNs
+/// compare equal to themselves across permutations).
+fn planner_key(p: &PlannedPredicate) -> (u64, u64, ObjectKind) {
+    (p.expected_cost_s.to_bits(), p.selectivity.to_bits(), p.kind)
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
-    /// The GEMM-path convolution forward agrees with the legacy scalar loop
-    /// across random shapes, kernel sizes and weights. The two paths sum in
-    /// different orders, so equality holds to a k-scaled float tolerance
-    /// rather than bitwise.
+    /// Every kernel tier and thread count of the GEMM-path convolution
+    /// forward agrees with the legacy scalar loop across random shapes,
+    /// kernel sizes and weights (the GEMM paths sum in a different order
+    /// than the scalar loop, so that comparison holds to a k-scaled float
+    /// tolerance; the tiers are additionally bitwise identical to *each
+    /// other*). Shapes up to `c_in = 3` with `kk = 3` keep the AVX-512
+    /// wide small-k tile in play.
     #[test]
     fn conv_gemm_forward_matches_scalar_loop(
         c_in in 1usize..5, out_c in 1usize..9,
         h in 1usize..14, w in 1usize..14,
-        half_k in 0usize..3, seed in 0u64..10_000
+        half_k in 0usize..3, seed in 0u64..10_000, threads in 1usize..4
     ) {
         let shape = Shape::new(c_in, h, w);
         let kk = 2 * half_k + 1;
@@ -28,16 +53,32 @@ proptest! {
             .map(|_| rng.uniform_in(-1.0, 1.0) as f32)
             .collect();
         let scalar = conv.forward_scalar(&input);
-        let gemm = conv.forward(&input);
-        prop_assert_eq!(scalar.len(), gemm.len());
+        let (weights, bias) = conv.weights_bias();
+        let (weights, bias) = (weights.to_vec(), bias.to_vec());
         let k_total = (c_in * kk * kk) as f32;
-        for (i, (&a, &b)) in scalar.iter().zip(&gemm).enumerate() {
-            let tol = 1e-5 * (1.0 + a.abs()) * k_total.sqrt().max(1.0);
-            prop_assert!(
-                (a - b).abs() <= tol,
-                "shape {}x{}x{} k{} out{} idx {}: scalar {} gemm {}",
-                c_in, h, w, kk, out_c, i, a, b
+        let mut baseline: Option<Vec<f32>> = None;
+        for kernel in Kernel::available() {
+            let mut scratch = GemmScratch::with_kernel(kernel);
+            scratch.threads = Some(threads);
+            let mut got = vec![f32::NAN; out_c * h * w];
+            gemm::conv2d_forward(
+                &mut scratch, &input, c_in, h, w, kk, &weights, &bias, out_c, &mut got,
             );
+            prop_assert_eq!(scalar.len(), got.len());
+            for (i, (&a, &b)) in scalar.iter().zip(&got).enumerate() {
+                let tol = 1e-5 * (1.0 + a.abs()) * k_total.sqrt().max(1.0);
+                prop_assert!(
+                    (a - b).abs() <= tol,
+                    "shape {}x{}x{} k{} out{} kernel {} threads {} idx {}: scalar {} gemm {}",
+                    c_in, h, w, kk, out_c, kernel.name(), threads, i, a, b
+                );
+            }
+            match &baseline {
+                None => baseline = Some(got),
+                Some(base) => prop_assert_eq!(
+                    base, &got, "conv kernel {} diverges bitwise", kernel.name()
+                ),
+            }
         }
     }
 
@@ -71,6 +112,123 @@ proptest! {
                     (x - y).abs() <= 1e-5 * (1.0 + x.abs()),
                     "image {} idx {}: single {} batched {}", b, i, x, y
                 );
+            }
+        }
+    }
+
+    /// `order_predicates` never panics on degenerate statistics (NaN, ±∞,
+    /// zero), yields an order that is total (ranks non-decreasing under the
+    /// NaN-last ordering, with documented tie-breaks), and is invariant to
+    /// the input permutation.
+    #[test]
+    fn order_predicates_is_total_and_permutation_invariant(
+        specs in prop::collection::vec(
+            ((0u32..6, 0.0f64..0.1), (0u32..6, 0.0f64..1.0)), 0..24),
+        rotate in 0usize..24
+    ) {
+        let preds: Vec<PlannedPredicate> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, &((cs, craw), (ss, sraw)))| PlannedPredicate {
+                kind: ObjectKind::ALL[i % ObjectKind::ALL.len()],
+                cascade: Cascade::single(0),
+                expected_cost_s: degenerate_f64(cs, craw),
+                selectivity: degenerate_f64(ss, sraw),
+            })
+            .collect();
+        let ordered = order_predicates(preds.clone());
+        prop_assert_eq!(ordered.len(), preds.len());
+
+        // Ranks come out non-decreasing under the NaN-last total order,
+        // and rank ties are cost-ordered (NaN cost last).
+        for w in ordered.windows(2) {
+            let rank_cmp = nan_last(w[0].rank(), w[1].rank());
+            prop_assert!(rank_cmp != std::cmp::Ordering::Greater,
+                "ranks out of order: {} then {}", w[0].rank(), w[1].rank());
+            if rank_cmp == std::cmp::Ordering::Equal {
+                prop_assert!(
+                    nan_last(w[0].expected_cost_s, w[1].expected_cost_s)
+                        != std::cmp::Ordering::Greater,
+                    "rank tie but costs out of order: {} then {}",
+                    w[0].expected_cost_s, w[1].expected_cost_s
+                );
+            }
+        }
+
+        // Multiset preserved: same keys in, same keys out.
+        let mut in_keys: Vec<_> = preds.iter().map(planner_key).collect();
+        let mut out_keys: Vec<_> = ordered.iter().map(planner_key).collect();
+        in_keys.sort();
+        out_keys.sort();
+        prop_assert_eq!(in_keys, out_keys);
+
+        // Permutation invariance: a rotated input produces the same order.
+        let mut rotated = preds.clone();
+        let len = rotated.len();
+        if len > 0 {
+            rotated.rotate_left(rotate % len);
+        }
+        let reordered = order_predicates(rotated);
+        let a: Vec<_> = ordered.iter().map(planner_key).collect();
+        let b: Vec<_> = reordered.iter().map(planner_key).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Every runtime-dispatchable GEMM tier, at every thread count, is
+    /// bitwise identical to the portable single-threaded kernel (all tiers
+    /// run the same per-element fused chain; column-splitting never changes
+    /// accumulation order) and epsilon-close to an f64 reference.
+    #[test]
+    fn gemm_kernels_and_threads_agree(
+        m in 1usize..20, n in 1usize..80, k in 1usize..40,
+        seed in 0u64..10_000, trans_sel in 0u32..4
+    ) {
+        let mut rng = tahoma::mathx::DetRng::new(seed);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.uniform_in(-1.0, 1.0) as f32).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.uniform_in(-1.0, 1.0) as f32).collect();
+        let (ta, tb) = [
+            (Trans::N, Trans::N),
+            (Trans::N, Trans::T),
+            (Trans::T, Trans::N),
+            (Trans::T, Trans::T),
+        ][trans_sel as usize];
+
+        // f64 reference.
+        let at = |i: usize, p: usize| match ta { Trans::N => a[i * k + p], Trans::T => a[p * m + i] };
+        let bt = |p: usize, j: usize| match tb { Trans::N => b[p * n + j], Trans::T => b[j * k + p] };
+        let mut reference = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f64;
+                for p in 0..k {
+                    acc += at(i, p) as f64 * bt(p, j) as f64;
+                }
+                reference[i * n + j] = acc as f32;
+            }
+        }
+
+        let mut baseline: Option<Vec<f32>> = None;
+        for kernel in Kernel::available() {
+            for threads in [1usize, 2, 3] {
+                let mut scratch = GemmScratch::with_kernel(kernel);
+                scratch.threads = Some(threads);
+                let mut c = vec![0.0f32; m * n];
+                gemm::gemm(&mut scratch, m, n, k, &a, ta, &b, tb, &mut c);
+                for (i, (&got, &want)) in c.iter().zip(&reference).enumerate() {
+                    let tol = 1e-5 * (1.0 + want.abs()) * (k as f32).sqrt();
+                    prop_assert!(
+                        (got - want).abs() <= tol,
+                        "({},{},{}) {:?}{:?} kernel {} threads {} idx {}: {} vs {}",
+                        m, n, k, ta, tb, kernel.name(), threads, i, got, want
+                    );
+                }
+                match &baseline {
+                    None => baseline = Some(c),
+                    Some(base) => prop_assert_eq!(
+                        base, &c,
+                        "kernel {} threads {} not bitwise identical", kernel.name(), threads
+                    ),
+                }
             }
         }
     }

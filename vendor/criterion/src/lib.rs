@@ -16,6 +16,12 @@ use std::time::{Duration, Instant};
 const TARGET_SAMPLE: Duration = Duration::from_millis(25);
 /// Warm-up budget before measuring.
 const WARMUP: Duration = Duration::from_millis(80);
+/// Quick-mode (`--quick`, mirroring real criterion's flag) equivalents:
+/// enough to smoke-test that every benchmark runs and produces a sane
+/// number, nowhere near enough for stable medians.
+const QUICK_TARGET_SAMPLE: Duration = Duration::from_millis(3);
+const QUICK_WARMUP: Duration = Duration::from_millis(5);
+const QUICK_SAMPLES: usize = 3;
 
 /// Throughput annotation for a benchmark, used to derive rates.
 #[derive(Debug, Clone, Copy)]
@@ -69,15 +75,19 @@ impl From<String> for BenchmarkId {
 /// Measurement loop handle passed to benchmark closures.
 pub struct Bencher {
     samples_wanted: usize,
+    target_sample: Duration,
+    warmup: Duration,
     /// Median seconds per iteration, filled by [`Bencher::iter`].
     sec_per_iter: Option<f64>,
     iters_per_sample: u64,
 }
 
 impl Bencher {
-    fn new(samples_wanted: usize) -> Bencher {
+    fn new(samples_wanted: usize, target_sample: Duration, warmup: Duration) -> Bencher {
         Bencher {
             samples_wanted,
+            target_sample,
+            warmup,
             sec_per_iter: None,
             iters_per_sample: 0,
         }
@@ -89,12 +99,13 @@ impl Bencher {
         // Warm-up while estimating the per-iteration cost.
         let warm_start = Instant::now();
         let mut warm_iters = 0u64;
-        while warm_iters < 1 || (warm_start.elapsed() < WARMUP && warm_iters < 1_000_000) {
+        while warm_iters < 1 || (warm_start.elapsed() < self.warmup && warm_iters < 1_000_000) {
             std::hint::black_box(f());
             warm_iters += 1;
         }
         let est = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
-        let iters = ((TARGET_SAMPLE.as_secs_f64() / est.max(1e-9)) as u64).clamp(1, 10_000_000);
+        let iters =
+            ((self.target_sample.as_secs_f64() / est.max(1e-9)) as u64).clamp(1, 10_000_000);
 
         let mut samples = Vec::with_capacity(self.samples_wanted);
         for _ in 0..self.samples_wanted {
@@ -147,17 +158,30 @@ fn report(group: Option<&str>, id: &str, b: &Bencher, throughput: Option<Through
 /// Top-level harness state.
 pub struct Criterion {
     sample_size: usize,
+    target_sample: Duration,
+    warmup: Duration,
 }
 
 impl Default for Criterion {
     fn default() -> Criterion {
-        Criterion { sample_size: 20 }
+        Criterion {
+            sample_size: 20,
+            target_sample: TARGET_SAMPLE,
+            warmup: WARMUP,
+        }
     }
 }
 
 impl Criterion {
-    /// Chainable arg hook kept for API compatibility; arguments are ignored.
-    pub fn configure_from_args(self) -> Criterion {
+    /// Honor `--quick` (smoke-mode measurement, as in real criterion: the
+    /// CI bench job uses it so kernel regressions fail loudly without
+    /// paying full measurement time); other arguments are ignored.
+    pub fn configure_from_args(mut self) -> Criterion {
+        if std::env::args().any(|a| a == "--quick") {
+            self.sample_size = QUICK_SAMPLES;
+            self.target_sample = QUICK_TARGET_SAMPLE;
+            self.warmup = QUICK_WARMUP;
+        }
         self
     }
 
@@ -169,7 +193,7 @@ impl Criterion {
 
     /// Run one standalone benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Criterion {
-        let mut b = Bencher::new(self.sample_size);
+        let mut b = Bencher::new(self.sample_size, self.target_sample, self.warmup);
         f(&mut b);
         report(None, id, &b, None);
         self
@@ -178,10 +202,13 @@ impl Criterion {
     /// Open a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let sample_size = self.sample_size;
+        let (target_sample, warmup) = (self.target_sample, self.warmup);
         BenchmarkGroup {
             _parent: self,
             name: name.into(),
             sample_size,
+            target_sample,
+            warmup,
             throughput: None,
         }
     }
@@ -192,6 +219,8 @@ pub struct BenchmarkGroup<'a> {
     _parent: &'a mut Criterion,
     name: String,
     sample_size: usize,
+    target_sample: Duration,
+    warmup: Duration,
     throughput: Option<Throughput>,
 }
 
@@ -215,7 +244,7 @@ impl BenchmarkGroup<'_> {
         mut f: F,
     ) -> &mut Self {
         let id = id.into();
-        let mut b = Bencher::new(self.sample_size);
+        let mut b = Bencher::new(self.sample_size, self.target_sample, self.warmup);
         f(&mut b);
         report(Some(&self.name), &id.id, &b, self.throughput);
         self
@@ -229,7 +258,7 @@ impl BenchmarkGroup<'_> {
         mut f: F,
     ) -> &mut Self {
         let id = id.into();
-        let mut b = Bencher::new(self.sample_size);
+        let mut b = Bencher::new(self.sample_size, self.target_sample, self.warmup);
         f(&mut b, input);
         report(Some(&self.name), &id.id, &b, self.throughput);
         self

@@ -218,7 +218,8 @@ macro_rules! prop_assert {
     };
 }
 
-/// Equality property assertion.
+/// Equality property assertion; the second form appends a formatted
+/// context message, mirroring real proptest's API.
 #[macro_export]
 macro_rules! prop_assert_eq {
     ($left:expr, $right:expr) => {{
@@ -230,6 +231,18 @@ macro_rules! prop_assert_eq {
             stringify!($right),
             l,
             r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {} ({:?} vs {:?}): {}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r,
+            format!($($fmt)*)
         );
     }};
 }
