@@ -8,6 +8,7 @@
 //! is a plane copy while grayscale is a weighted sum of three planes.
 
 use crate::calibration;
+use tahoma_imagery::engine::{TranscodeCosts, TranscodePlan};
 use tahoma_imagery::{ColorMode, Representation};
 
 /// Analytic cost model for the transform stage.
@@ -67,6 +68,40 @@ impl TransformCostModel {
         }
         t
     }
+
+    /// This model's per-unit constants in the form the transcode engine's
+    /// lattice planner prices with. Building plans through this keeps the
+    /// planner-visible cost of a shared materialization in the same units
+    /// as [`TransformCostModel::transform_time`].
+    pub fn transcode_costs(&self) -> TranscodeCosts {
+        TranscodeCosts {
+            op_overhead_s: self.op_overhead_s,
+            extract_s_per_pixel: self.extract_s_per_pixel,
+            gray_s_per_pixel: self.gray_s_per_pixel,
+            resize_s_per_in_sample: self.resize_s_per_in_sample,
+            resize_s_per_out_sample: self.resize_s_per_out_sample,
+        }
+    }
+
+    /// Seconds to materialize a whole representation set from one in-memory
+    /// full-resolution frame under the engine's lattice plan (shared luma
+    /// sweep, borrowed planes, streaming resizes). Far below the sum of the
+    /// per-representation [`TransformCostModel::transform_time`]s whenever
+    /// the set shares work, but not a strict per-element lower bound: the
+    /// plan prices resize reads as 2 gathered samples per output column of
+    /// each touched row, which on a *mild* downscale (e.g. 224→120, where
+    /// every source row is touched) comes out slightly above
+    /// `transform_time`'s every-input-sample model (bounded at ~10%; the
+    /// tests pin both directions).
+    pub fn set_transform_time(&self, reps: &[Representation]) -> f64 {
+        TranscodePlan::new(
+            self.source_size,
+            self.source_size,
+            reps,
+            &self.transcode_costs(),
+        )
+        .planned_cost_s()
+    }
 }
 
 #[cfg(test)]
@@ -117,5 +152,42 @@ mod tests {
             let t = m().transform_time(rep);
             assert!(t.is_finite() && t >= 0.0, "{rep}: {t}");
         }
+    }
+
+    #[test]
+    fn engine_default_costs_mirror_calibration() {
+        // `TranscodeCosts::default()` (used when planning without a cost
+        // model in hand) must stay in sync with the calibrated constants.
+        assert_eq!(TranscodeCosts::default(), m().transcode_costs());
+    }
+
+    #[test]
+    fn planned_set_cost_is_at_most_the_naive_sum() {
+        let model = m();
+        let reps = Representation::paper_set();
+        let naive: f64 = reps.iter().map(|&r| model.transform_time(r)).sum();
+        let planned = model.set_transform_time(&reps);
+        assert!(
+            planned < naive / 2.0,
+            "planned {planned} vs naive {naive}: the lattice shares the \
+             luma sweep and drops the extraction passes"
+        );
+        // A single representation prices close to its direct path: the
+        // plan's read term counts 2 gathered samples per output column of
+        // each touched row, which can slightly exceed the naive
+        // every-input-sample model on mild downscales (224 -> 120 touches
+        // every row) but is far below it on aggressive ones.
+        for &rep in &reps {
+            let planned = model.set_transform_time(&[rep]);
+            let direct = model.transform_time(rep);
+            assert!(
+                planned <= direct * 1.1 + 1e-15,
+                "{rep}: {planned} vs {direct}"
+            );
+        }
+        // An aggressive downscale keeps the full luma sweep but drops most
+        // of the resize's read traffic (60 touched rows instead of 224).
+        let small = Representation::new(30, ColorMode::Gray);
+        assert!(model.set_transform_time(&[small]) < model.transform_time(small) * 0.6);
     }
 }

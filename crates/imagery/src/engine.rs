@@ -1,0 +1,1739 @@
+//! Batched, runtime-dispatched SIMD transcode engine and the physical
+//! representation lattice (paper §V-B, Definition 6).
+//!
+//! Every deployment scenario pays the transform pipeline per frame: CAMERA
+//! transforms on the critical path, ARCHIVE transforms after each full-frame
+//! decode, and ONGOING transcodes every ingested frame into the whole
+//! configured representation set before it ever reaches a model. This module
+//! gives that pipeline the same treatment the GEMM hot path got in
+//! `tahoma_nn`: explicit `std::arch` kernels behind runtime feature
+//! detection, precomputed per-shape tables, reusable scratch, and a plan
+//! that shares work across the representations of one frame.
+//!
+//! # Separable resize with precomputed span tables
+//!
+//! The scalar `resize_bilinear` recomputes `fx`, `x0`, `x1`, `wx` for every
+//! output pixel of every plane of every frame. Here each axis is planned
+//! once per `(input, output)` shape ([`ResizePlan`], cached inside the
+//! engine): per output column the two source indices and lerp weights, per
+//! output row the two source rows and their weights. Execution is a
+//! streaming two-pass sweep — source rows are horizontally resampled into a
+//! two-row ring (each needed row exactly once; the vertical pass reads at
+//! most `2 * out_h` distinct rows, so heavy downscales never touch most of
+//! the input), then each output row is one vertical lerp of two cached
+//! rows. Per output pixel the arithmetic is literally the scalar
+//! reference's `top = p[y0][x0]*(1-wx) + p[y0][x1]*wx; out = top*(1-wy) +
+//! bot*wy` chain, evaluated in the same order with plain IEEE mul/add (no
+//! FMA contraction), so every kernel tier is **bitwise identical** to the
+//! scalar reference.
+//!
+//! # Kernel tiers
+//!
+//! [`Kernel`] mirrors `tahoma_nn::gemm::Kernel`: `Auto` resolves through
+//! `is_x86_feature_detected!` to AVX-512, AVX2, or the portable fallback.
+//! The three per-frame sweeps are vectorized: the horizontal resize pass
+//! (gathered loads through the span tables), the vertical pass + RGB→gray
+//! luma reduction (contiguous), and `standardize`'s mean/variance/normalize
+//! sweeps. The standardize reductions accumulate into **eight f64 lanes**
+//! (element `i` into lane `i % 8`, fixed pairwise tree to finish) in every
+//! tier, so SIMD and portable agree bitwise there too.
+//!
+//! # The representation lattice
+//!
+//! When one frame must be materialized into several representations —
+//! ONGOING ingest, cascade levels, zoo training sets — the naive loop runs
+//! the full `convert → resize` pipeline per representation from the RGB
+//! frame. But the representations of §V-B form a lattice under "can be
+//! derived from": every single-channel plane of the source is already the
+//! full-resolution R/G/B representation (a borrow, not a copy), and one
+//! full-resolution luma pass yields a gray plane every gray target can be
+//! resized from. [`TranscodePlan`] encodes that sharing:
+//!
+//! * the shared luma plane is computed **once** per frame (the naive loop
+//!   recomputes it for every gray target);
+//! * R/G/B targets resize straight from the source's planes — the
+//!   extraction copy disappears entirely;
+//! * each target is then exactly one (possibly trivial) resize.
+//!
+//! Every planned output is **bitwise identical** to the direct
+//! `Representation::apply` path, because the plan only reuses values the
+//! direct path would compute with the same operations. Chained derivations
+//! (e.g. 30x30-gray from 60x60-gray) were considered and rejected: the
+//! streaming resize's cost scales with the *output* size, so a chained
+//! source saves nothing over the full-size gray plane while introducing
+//! resampling error and train/serve skew. The plan is priced with
+//! [`TranscodeCosts`] (fed from `tahoma-costmodel`'s calibrated transform
+//! constants via `TransformCostModel::transcode_costs`) and orders targets
+//! cheapest-first, so planner-visible costs stay honest about the sharing.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use crate::color::{ColorMode, LUMA_WEIGHTS};
+use crate::error::ImageryError;
+use crate::image::Image;
+use crate::repr::Representation;
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Kernel-tier selection. `Auto` (the default) resolves per operation
+/// through `is_x86_feature_detected!`; the explicit variants exist so the
+/// benches and property tests can pin a tier. Forcing a tier the running
+/// CPU does not support resolves to detection instead (never to an illegal
+/// instruction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Kernel {
+    /// Detect the best supported tier at call time.
+    #[default]
+    Auto,
+    /// Plain scalar loops (any CPU) — the bitwise reference.
+    Portable,
+    /// Explicit AVX2 intrinsics (x86-64 with `avx2`).
+    Avx2,
+    /// Explicit AVX-512 intrinsics (x86-64 with `avx512f`).
+    Avx512,
+}
+
+impl Kernel {
+    /// The best tier the running CPU supports.
+    pub fn detect() -> Kernel {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                return Kernel::Avx512;
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return Kernel::Avx2;
+            }
+        }
+        Kernel::Portable
+    }
+
+    /// Every tier the running CPU can execute, portable first (benches and
+    /// property tests iterate this to compare tiers).
+    pub fn available() -> Vec<Kernel> {
+        let mut out = vec![Kernel::Portable];
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                out.push(Kernel::Avx2);
+            }
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                out.push(Kernel::Avx512);
+            }
+        }
+        out
+    }
+
+    /// Whether the running CPU can execute this tier (`Auto` trivially).
+    fn supported(self) -> bool {
+        match self {
+            Kernel::Auto | Kernel::Portable => true,
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Avx512 => std::arch::is_x86_feature_detected!("avx512f"),
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => false,
+        }
+    }
+
+    /// Resolve `Auto` to a concrete supported tier, and demote an
+    /// explicitly requested tier the CPU cannot run.
+    fn resolve(self) -> Kernel {
+        match self {
+            Kernel::Auto => Kernel::detect(),
+            k if k.supported() => k,
+            _ => Kernel::detect(),
+        }
+    }
+
+    /// Short stable name for bench labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Auto => "auto",
+            Kernel::Portable => "portable",
+            Kernel::Avx2 => "avx2",
+            Kernel::Avx512 => "avx512",
+        }
+    }
+}
+
+/// One axis of a bilinear resize: per output coordinate, the two source
+/// indices and their lerp weights, computed exactly as the scalar reference
+/// does per pixel (`f = ((o + 0.5) * in/out - 0.5).max(0)`, floor, clamp).
+#[derive(Debug, Clone)]
+struct AxisPlan {
+    /// Left/top source index per output coordinate (i32 so the SIMD
+    /// gathers load the table directly).
+    i0: Vec<i32>,
+    /// Right/bottom source index (clamped to the last sample).
+    i1: Vec<i32>,
+    /// Weight of `i0` (`1 - frac`).
+    w0: Vec<f32>,
+    /// Weight of `i1` (`frac`).
+    w1: Vec<f32>,
+    /// Largest index in `i1` (bounds precondition for the gather kernels).
+    max_index: usize,
+}
+
+impl AxisPlan {
+    fn new(n_in: usize, n_out: usize) -> AxisPlan {
+        let scale = n_in as f32 / n_out as f32;
+        let mut plan = AxisPlan {
+            i0: Vec::with_capacity(n_out),
+            i1: Vec::with_capacity(n_out),
+            w0: Vec::with_capacity(n_out),
+            w1: Vec::with_capacity(n_out),
+            max_index: 0,
+        };
+        for o in 0..n_out {
+            let f = ((o as f32 + 0.5) * scale - 0.5).max(0.0);
+            let a = (f as usize).min(n_in - 1);
+            let b = (a + 1).min(n_in - 1);
+            let w = f - a as f32;
+            plan.i0.push(a as i32);
+            plan.i1.push(b as i32);
+            plan.w0.push(1.0 - w);
+            plan.w1.push(w);
+            plan.max_index = plan.max_index.max(b);
+        }
+        plan
+    }
+}
+
+/// Precomputed separable bilinear resize tables for one `(in, out)` shape.
+/// Built once and cached in the engine; reused across planes, frames, and
+/// batches.
+#[derive(Debug, Clone)]
+pub struct ResizePlan {
+    in_w: usize,
+    in_h: usize,
+    out_w: usize,
+    out_h: usize,
+    x: AxisPlan,
+    y: AxisPlan,
+}
+
+impl ResizePlan {
+    /// Build the per-axis span/weight tables.
+    pub fn new(in_w: usize, in_h: usize, out_w: usize, out_h: usize) -> ResizePlan {
+        assert!(in_w > 0 && in_h > 0 && out_w > 0 && out_h > 0);
+        ResizePlan {
+            in_w,
+            in_h,
+            out_w,
+            out_h,
+            x: AxisPlan::new(in_w, out_w),
+            y: AxisPlan::new(in_h, out_h),
+        }
+    }
+
+    /// Source and target shapes (`(in_w, in_h), (out_w, out_h)`) the plan
+    /// was built for.
+    pub fn shapes(&self) -> ((usize, usize), (usize, usize)) {
+        ((self.in_w, self.in_h), (self.out_w, self.out_h))
+    }
+
+    /// Number of distinct source rows the streaming vertical pass touches —
+    /// the quantity the honest resize pricing is based on.
+    pub fn rows_touched(&self) -> usize {
+        axis_rows_touched(&self.y)
+    }
+}
+
+/// Distinct source rows a y-axis span table makes the streaming pass
+/// resample. Shared by [`ResizePlan::rows_touched`] and the plan pricing
+/// (which builds only the y-axis table — the x-axis is irrelevant to the
+/// row count).
+fn axis_rows_touched(y: &AxisPlan) -> usize {
+    let mut rows = 0usize;
+    let mut last: Option<(i32, i32)> = None;
+    for oy in 0..y.i0.len() {
+        let (a, b) = (y.i0[oy], y.i1[oy]);
+        let prev = last.unwrap_or((-1, -1));
+        if a != prev.0 && a != prev.1 {
+            rows += 1;
+        }
+        if b != a && b != prev.1 {
+            rows += 1;
+        }
+        last = Some((a, b));
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Kernels. Every tier runs the same IEEE operations in the same order, so
+// all tiers are bitwise identical (property-tested in `tests/proptests.rs`).
+// ---------------------------------------------------------------------------
+
+/// Horizontal resize pass: `dst[o] = src[i0[o]]*w0[o] + src[i1[o]]*w1[o]`.
+fn hlerp(kernel: Kernel, src: &[f32], x: &AxisPlan, dst: &mut [f32]) {
+    assert_eq!(dst.len(), x.i0.len());
+    assert!(x.max_index < src.len(), "axis plan exceeds source row");
+    match kernel {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `kernel` was resolved through `Kernel::supported`, so the
+        // required CPU features are present; slice preconditions asserted
+        // above.
+        Kernel::Avx2 => unsafe { x86::hlerp_avx2(src, &x.i0, &x.i1, &x.w0, &x.w1, dst) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above, avx512f runtime-detected.
+        Kernel::Avx512 => unsafe { x86::hlerp_avx512(src, &x.i0, &x.i1, &x.w0, &x.w1, dst) },
+        _ => {
+            for o in 0..dst.len() {
+                dst[o] = src[x.i0[o] as usize] * x.w0[o] + src[x.i1[o] as usize] * x.w1[o];
+            }
+        }
+    }
+}
+
+/// Vertical resize pass: `dst[i] = top[i]*w0 + bot[i]*w1`.
+fn vlerp(kernel: Kernel, top: &[f32], bot: &[f32], w0: f32, w1: f32, dst: &mut [f32]) {
+    assert!(top.len() >= dst.len() && bot.len() >= dst.len());
+    match kernel {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: features runtime-detected; lengths asserted above.
+        Kernel::Avx2 => unsafe { x86::vlerp_avx2(top, bot, w0, w1, dst) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above.
+        Kernel::Avx512 => unsafe { x86::vlerp_avx512(top, bot, w0, w1, dst) },
+        _ => {
+            for i in 0..dst.len() {
+                dst[i] = top[i] * w0 + bot[i] * w1;
+            }
+        }
+    }
+}
+
+/// RGB→gray luma sweep: `dst[i] = (wr*r[i] + wg*g[i]) + wb*b[i]`, the exact
+/// evaluation order of the scalar `convert_mode`.
+fn luma(kernel: Kernel, r: &[f32], g: &[f32], b: &[f32], dst: &mut [f32]) {
+    let n = dst.len();
+    assert!(r.len() >= n && g.len() >= n && b.len() >= n);
+    let [wr, wg, wb] = LUMA_WEIGHTS;
+    match kernel {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: features runtime-detected; lengths asserted above.
+        Kernel::Avx2 => unsafe { x86::luma_avx2(r, g, b, dst) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above.
+        Kernel::Avx512 => unsafe { x86::luma_avx512(r, g, b, dst) },
+        _ => {
+            for i in 0..n {
+                dst[i] = wr * r[i] + wg * g[i] + wb * b[i];
+            }
+        }
+    }
+}
+
+/// Number of f64 accumulator lanes in the standardize reductions. Fixed
+/// across tiers (AVX-512 holds all 8 in one register, AVX2 in two, the
+/// portable loop in an array) so every tier produces bitwise-identical
+/// sums.
+const RED_LANES: usize = 8;
+
+/// Fixed pairwise reduction tree over the 8 lanes — identical in every
+/// tier, so the final scalar is too.
+fn fold_lanes(acc: [f64; RED_LANES]) -> f64 {
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))
+}
+
+/// Lane-strided sum: element `i` accumulates into lane `i % 8` in f64.
+fn sum_lanes(kernel: Kernel, data: &[f32]) -> [f64; RED_LANES] {
+    let mut acc = [0.0f64; RED_LANES];
+    let chunks = data.chunks_exact(RED_LANES);
+    let tail = chunks.remainder();
+    match kernel {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: features runtime-detected.
+        Kernel::Avx2 => unsafe { x86::sum_lanes_avx2(data, &mut acc) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above.
+        Kernel::Avx512 => unsafe { x86::sum_lanes_avx512(data, &mut acc) },
+        _ => {
+            for c in chunks {
+                for j in 0..RED_LANES {
+                    acc[j] += c[j] as f64;
+                }
+            }
+        }
+    }
+    for (j, &v) in tail.iter().enumerate() {
+        acc[j] += v as f64;
+    }
+    acc
+}
+
+/// Lane-strided sum of squared deviations from `mean`, f64.
+fn sq_dev_lanes(kernel: Kernel, data: &[f32], mean: f64) -> [f64; RED_LANES] {
+    let mut acc = [0.0f64; RED_LANES];
+    let chunks = data.chunks_exact(RED_LANES);
+    let tail = chunks.remainder();
+    match kernel {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: features runtime-detected.
+        Kernel::Avx2 => unsafe { x86::sq_dev_lanes_avx2(data, mean, &mut acc) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above.
+        Kernel::Avx512 => unsafe { x86::sq_dev_lanes_avx512(data, mean, &mut acc) },
+        _ => {
+            for c in chunks {
+                for j in 0..RED_LANES {
+                    let d = c[j] as f64 - mean;
+                    acc[j] += d * d;
+                }
+            }
+        }
+    }
+    for (j, &v) in tail.iter().enumerate() {
+        let d = v as f64 - mean;
+        acc[j] += d * d;
+    }
+    acc
+}
+
+/// Normalize sweep: `dst[i] = (src[i] - mean) * inv` in f32.
+fn scale_shift(kernel: Kernel, src: &[f32], mean: f32, inv: f32, dst: &mut [f32]) {
+    assert!(src.len() >= dst.len());
+    match kernel {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: features runtime-detected; length asserted above.
+        Kernel::Avx2 => unsafe { x86::scale_shift_avx2(src, mean, inv, dst) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above.
+        Kernel::Avx512 => unsafe { x86::scale_shift_avx512(src, mean, inv, dst) },
+        _ => {
+            for i in 0..dst.len() {
+                dst[i] = (src[i] - mean) * inv;
+            }
+        }
+    }
+}
+
+/// Explicit `std::arch` kernels. Each function carries the
+/// `#[target_feature]` set its caller must have runtime-detected (that is
+/// the entire unsafety of calling them); inside, the only unsafe operations
+/// are raw-pointer vector loads/stores and gathers whose bounds the safe
+/// dispatchers assert on entry. Main loops cover `len - len % LANES`
+/// elements; tails run the identical scalar expression.
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{LUMA_WEIGHTS, RED_LANES};
+    use core::arch::x86_64::*;
+
+    #[target_feature(enable = "avx2")]
+    pub(super) fn hlerp_avx2(
+        src: &[f32],
+        i0: &[i32],
+        i1: &[i32],
+        w0: &[f32],
+        w1: &[f32],
+        dst: &mut [f32],
+    ) {
+        let n = dst.len();
+        let main = n - n % 8;
+        let sp = src.as_ptr();
+        let mut o = 0;
+        while o < main {
+            // SAFETY: o + 8 <= n == table lengths (asserted by the
+            // dispatcher), and every gathered index is <= max_index <
+            // src.len().
+            unsafe {
+                let idx0 = _mm256_loadu_si256(i0.as_ptr().add(o) as *const __m256i);
+                let idx1 = _mm256_loadu_si256(i1.as_ptr().add(o) as *const __m256i);
+                let g0 = _mm256_i32gather_ps::<4>(sp, idx0);
+                let g1 = _mm256_i32gather_ps::<4>(sp, idx1);
+                let vw0 = _mm256_loadu_ps(w0.as_ptr().add(o));
+                let vw1 = _mm256_loadu_ps(w1.as_ptr().add(o));
+                let v = _mm256_add_ps(_mm256_mul_ps(g0, vw0), _mm256_mul_ps(g1, vw1));
+                _mm256_storeu_ps(dst.as_mut_ptr().add(o), v);
+            }
+            o += 8;
+        }
+        for j in main..n {
+            dst[j] = src[i0[j] as usize] * w0[j] + src[i1[j] as usize] * w1[j];
+        }
+    }
+
+    #[target_feature(enable = "avx512f")]
+    pub(super) fn hlerp_avx512(
+        src: &[f32],
+        i0: &[i32],
+        i1: &[i32],
+        w0: &[f32],
+        w1: &[f32],
+        dst: &mut [f32],
+    ) {
+        let n = dst.len();
+        let main = n - n % 16;
+        let sp = src.as_ptr();
+        let mut o = 0;
+        while o < main {
+            // SAFETY: o + 16 <= n == table lengths (asserted by the
+            // dispatcher); gathered indices bounded by max_index.
+            unsafe {
+                let idx0 = _mm512_loadu_epi32(i0.as_ptr().add(o));
+                let idx1 = _mm512_loadu_epi32(i1.as_ptr().add(o));
+                let g0 = _mm512_i32gather_ps::<4>(idx0, sp);
+                let g1 = _mm512_i32gather_ps::<4>(idx1, sp);
+                let vw0 = _mm512_loadu_ps(w0.as_ptr().add(o));
+                let vw1 = _mm512_loadu_ps(w1.as_ptr().add(o));
+                let v = _mm512_add_ps(_mm512_mul_ps(g0, vw0), _mm512_mul_ps(g1, vw1));
+                _mm512_storeu_ps(dst.as_mut_ptr().add(o), v);
+            }
+            o += 16;
+        }
+        for j in main..n {
+            dst[j] = src[i0[j] as usize] * w0[j] + src[i1[j] as usize] * w1[j];
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) fn vlerp_avx2(top: &[f32], bot: &[f32], w0: f32, w1: f32, dst: &mut [f32]) {
+        let n = dst.len();
+        let main = n - n % 8;
+        let (vw0, vw1) = (_mm256_set1_ps(w0), _mm256_set1_ps(w1));
+        let mut i = 0;
+        while i < main {
+            // SAFETY: i + 8 <= n <= top.len(), bot.len() (asserted by the
+            // dispatcher).
+            unsafe {
+                let t = _mm256_loadu_ps(top.as_ptr().add(i));
+                let b = _mm256_loadu_ps(bot.as_ptr().add(i));
+                let v = _mm256_add_ps(_mm256_mul_ps(t, vw0), _mm256_mul_ps(b, vw1));
+                _mm256_storeu_ps(dst.as_mut_ptr().add(i), v);
+            }
+            i += 8;
+        }
+        for j in main..n {
+            dst[j] = top[j] * w0 + bot[j] * w1;
+        }
+    }
+
+    #[target_feature(enable = "avx512f")]
+    pub(super) fn vlerp_avx512(top: &[f32], bot: &[f32], w0: f32, w1: f32, dst: &mut [f32]) {
+        let n = dst.len();
+        let main = n - n % 16;
+        let (vw0, vw1) = (_mm512_set1_ps(w0), _mm512_set1_ps(w1));
+        let mut i = 0;
+        while i < main {
+            // SAFETY: i + 16 <= n <= top.len(), bot.len() (asserted by the
+            // dispatcher).
+            unsafe {
+                let t = _mm512_loadu_ps(top.as_ptr().add(i));
+                let b = _mm512_loadu_ps(bot.as_ptr().add(i));
+                let v = _mm512_add_ps(_mm512_mul_ps(t, vw0), _mm512_mul_ps(b, vw1));
+                _mm512_storeu_ps(dst.as_mut_ptr().add(i), v);
+            }
+            i += 16;
+        }
+        for j in main..n {
+            dst[j] = top[j] * w0 + bot[j] * w1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) fn luma_avx2(r: &[f32], g: &[f32], b: &[f32], dst: &mut [f32]) {
+        let n = dst.len();
+        let main = n - n % 8;
+        let [wr, wg, wb] = LUMA_WEIGHTS;
+        let (vr, vg, vb) = (_mm256_set1_ps(wr), _mm256_set1_ps(wg), _mm256_set1_ps(wb));
+        let mut i = 0;
+        while i < main {
+            // SAFETY: i + 8 <= n <= r/g/b.len() (asserted by the
+            // dispatcher).
+            unsafe {
+                let pr = _mm256_mul_ps(vr, _mm256_loadu_ps(r.as_ptr().add(i)));
+                let pg = _mm256_mul_ps(vg, _mm256_loadu_ps(g.as_ptr().add(i)));
+                let pb = _mm256_mul_ps(vb, _mm256_loadu_ps(b.as_ptr().add(i)));
+                let v = _mm256_add_ps(_mm256_add_ps(pr, pg), pb);
+                _mm256_storeu_ps(dst.as_mut_ptr().add(i), v);
+            }
+            i += 8;
+        }
+        for j in main..n {
+            dst[j] = wr * r[j] + wg * g[j] + wb * b[j];
+        }
+    }
+
+    #[target_feature(enable = "avx512f")]
+    pub(super) fn luma_avx512(r: &[f32], g: &[f32], b: &[f32], dst: &mut [f32]) {
+        let n = dst.len();
+        let main = n - n % 16;
+        let [wr, wg, wb] = LUMA_WEIGHTS;
+        let (vr, vg, vb) = (_mm512_set1_ps(wr), _mm512_set1_ps(wg), _mm512_set1_ps(wb));
+        let mut i = 0;
+        while i < main {
+            // SAFETY: i + 16 <= n <= r/g/b.len() (asserted by the
+            // dispatcher).
+            unsafe {
+                let pr = _mm512_mul_ps(vr, _mm512_loadu_ps(r.as_ptr().add(i)));
+                let pg = _mm512_mul_ps(vg, _mm512_loadu_ps(g.as_ptr().add(i)));
+                let pb = _mm512_mul_ps(vb, _mm512_loadu_ps(b.as_ptr().add(i)));
+                let v = _mm512_add_ps(_mm512_add_ps(pr, pg), pb);
+                _mm512_storeu_ps(dst.as_mut_ptr().add(i), v);
+            }
+            i += 16;
+        }
+        for j in main..n {
+            dst[j] = wr * r[j] + wg * g[j] + wb * b[j];
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) fn sum_lanes_avx2(data: &[f32], acc: &mut [f64; RED_LANES]) {
+        let main = data.len() - data.len() % RED_LANES;
+        // Lanes 0..4 in one ymm of f64, lanes 4..8 in another — the same
+        // per-lane add sequence as the portable loop.
+        let mut lo = _mm256_setzero_pd();
+        let mut hi = _mm256_setzero_pd();
+        let mut i = 0;
+        while i < main {
+            // SAFETY: i + 8 <= main <= data.len().
+            unsafe {
+                let p = data.as_ptr().add(i);
+                lo = _mm256_add_pd(lo, _mm256_cvtps_pd(_mm_loadu_ps(p)));
+                hi = _mm256_add_pd(hi, _mm256_cvtps_pd(_mm_loadu_ps(p.add(4))));
+            }
+            i += RED_LANES;
+        }
+        let mut lanes = [0.0f64; RED_LANES];
+        // SAFETY: the two halves of `lanes` are 4 f64 each.
+        unsafe {
+            _mm256_storeu_pd(lanes.as_mut_ptr(), lo);
+            _mm256_storeu_pd(lanes.as_mut_ptr().add(4), hi);
+        }
+        for (a, l) in acc.iter_mut().zip(lanes) {
+            *a += l;
+        }
+    }
+
+    #[target_feature(enable = "avx512f")]
+    pub(super) fn sum_lanes_avx512(data: &[f32], acc: &mut [f64; RED_LANES]) {
+        let main = data.len() - data.len() % RED_LANES;
+        let mut v = _mm512_setzero_pd();
+        let mut i = 0;
+        while i < main {
+            // SAFETY: i + 8 <= main <= data.len().
+            unsafe {
+                v = _mm512_add_pd(v, _mm512_cvtps_pd(_mm256_loadu_ps(data.as_ptr().add(i))));
+            }
+            i += RED_LANES;
+        }
+        let mut lanes = [0.0f64; RED_LANES];
+        // SAFETY: `lanes` holds 8 f64.
+        unsafe { _mm512_storeu_pd(lanes.as_mut_ptr(), v) };
+        for (a, l) in acc.iter_mut().zip(lanes) {
+            *a += l;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) fn sq_dev_lanes_avx2(data: &[f32], mean: f64, acc: &mut [f64; RED_LANES]) {
+        let main = data.len() - data.len() % RED_LANES;
+        let m = _mm256_set1_pd(mean);
+        let mut lo = _mm256_setzero_pd();
+        let mut hi = _mm256_setzero_pd();
+        let mut i = 0;
+        while i < main {
+            // SAFETY: i + 8 <= main <= data.len().
+            unsafe {
+                let p = data.as_ptr().add(i);
+                let d0 = _mm256_sub_pd(_mm256_cvtps_pd(_mm_loadu_ps(p)), m);
+                let d1 = _mm256_sub_pd(_mm256_cvtps_pd(_mm_loadu_ps(p.add(4))), m);
+                lo = _mm256_add_pd(lo, _mm256_mul_pd(d0, d0));
+                hi = _mm256_add_pd(hi, _mm256_mul_pd(d1, d1));
+            }
+            i += RED_LANES;
+        }
+        let mut lanes = [0.0f64; RED_LANES];
+        // SAFETY: the two halves of `lanes` are 4 f64 each.
+        unsafe {
+            _mm256_storeu_pd(lanes.as_mut_ptr(), lo);
+            _mm256_storeu_pd(lanes.as_mut_ptr().add(4), hi);
+        }
+        for (a, l) in acc.iter_mut().zip(lanes) {
+            *a += l;
+        }
+    }
+
+    #[target_feature(enable = "avx512f")]
+    pub(super) fn sq_dev_lanes_avx512(data: &[f32], mean: f64, acc: &mut [f64; RED_LANES]) {
+        let main = data.len() - data.len() % RED_LANES;
+        let m = _mm512_set1_pd(mean);
+        let mut v = _mm512_setzero_pd();
+        let mut i = 0;
+        while i < main {
+            // SAFETY: i + 8 <= main <= data.len().
+            unsafe {
+                let d = _mm512_sub_pd(_mm512_cvtps_pd(_mm256_loadu_ps(data.as_ptr().add(i))), m);
+                v = _mm512_add_pd(v, _mm512_mul_pd(d, d));
+            }
+            i += RED_LANES;
+        }
+        let mut lanes = [0.0f64; RED_LANES];
+        // SAFETY: `lanes` holds 8 f64.
+        unsafe { _mm512_storeu_pd(lanes.as_mut_ptr(), v) };
+        for (a, l) in acc.iter_mut().zip(lanes) {
+            *a += l;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) fn scale_shift_avx2(src: &[f32], mean: f32, inv: f32, dst: &mut [f32]) {
+        let n = dst.len();
+        let main = n - n % 8;
+        let (vm, vi) = (_mm256_set1_ps(mean), _mm256_set1_ps(inv));
+        let mut i = 0;
+        while i < main {
+            // SAFETY: i + 8 <= n <= src.len() (asserted by the dispatcher).
+            unsafe {
+                let v = _mm256_loadu_ps(src.as_ptr().add(i));
+                let out = _mm256_mul_ps(_mm256_sub_ps(v, vm), vi);
+                _mm256_storeu_ps(dst.as_mut_ptr().add(i), out);
+            }
+            i += 8;
+        }
+        for j in main..n {
+            dst[j] = (src[j] - mean) * inv;
+        }
+    }
+
+    #[target_feature(enable = "avx512f")]
+    pub(super) fn scale_shift_avx512(src: &[f32], mean: f32, inv: f32, dst: &mut [f32]) {
+        let n = dst.len();
+        let main = n - n % 16;
+        let (vm, vi) = (_mm512_set1_ps(mean), _mm512_set1_ps(inv));
+        let mut i = 0;
+        while i < main {
+            // SAFETY: i + 16 <= n <= src.len() (asserted by the
+            // dispatcher).
+            unsafe {
+                let v = _mm512_loadu_ps(src.as_ptr().add(i));
+                let out = _mm512_mul_ps(_mm512_sub_ps(v, vm), vi);
+                _mm512_storeu_ps(dst.as_mut_ptr().add(i), out);
+            }
+            i += 16;
+        }
+        for j in main..n {
+            dst[j] = (src[j] - mean) * inv;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Transcode plan: the exact representation lattice.
+// ---------------------------------------------------------------------------
+
+/// Per-unit transform costs used to price a [`TranscodePlan`]. The defaults
+/// mirror `tahoma-costmodel`'s calibrated constants; when planning on
+/// behalf of the cost model, build this through
+/// `TransformCostModel::transcode_costs()` so the two stay in sync (a
+/// costmodel test pins the defaults against the calibration constants).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TranscodeCosts {
+    /// Fixed overhead per materialized target, seconds.
+    pub op_overhead_s: f64,
+    /// Per-pixel cost of a plane copy (same-size extraction), seconds.
+    pub extract_s_per_pixel: f64,
+    /// Per-source-pixel cost of the shared luma sweep, seconds.
+    pub gray_s_per_pixel: f64,
+    /// Per-gathered-input-sample cost of the resize read path, seconds.
+    pub resize_s_per_in_sample: f64,
+    /// Per-output-sample cost of the resize write path, seconds.
+    pub resize_s_per_out_sample: f64,
+}
+
+impl Default for TranscodeCosts {
+    fn default() -> Self {
+        // Mirrors tahoma_costmodel::calibration — pinned by a test there.
+        TranscodeCosts {
+            op_overhead_s: 15e-6,
+            extract_s_per_pixel: 2.5e-9,
+            gray_s_per_pixel: 8e-9,
+            resize_s_per_in_sample: 8e-9,
+            resize_s_per_out_sample: 4e-9,
+        }
+    }
+}
+
+/// How one target representation is produced from the source frame under
+/// the lattice plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TranscodeStep {
+    /// Full-size RGB: clone of the source frame.
+    Identity,
+    /// Same-size single channel: one plane copy (channel index, or the
+    /// shared luma plane for gray).
+    CopyPlane,
+    /// Resize from the source's own plane(s) or the shared luma plane.
+    Resize,
+}
+
+/// A cheapest-source materialization plan for one representation set from
+/// one source shape. See the module docs for the lattice; every planned
+/// output is bitwise identical to the direct per-representation path.
+#[derive(Debug, Clone)]
+pub struct TranscodePlan {
+    source_w: usize,
+    source_h: usize,
+    reps: Vec<Representation>,
+    /// Execution order: indices into `reps`, cheapest target first
+    /// (deterministic; ties broken by the representation's `Ord`).
+    order: Vec<usize>,
+    /// Whether the shared full-size luma plane is materialized.
+    share_luma: bool,
+    steps: Vec<TranscodeStep>,
+    per_rep_cost_s: Vec<f64>,
+    luma_cost_s: f64,
+    costs: TranscodeCosts,
+}
+
+impl TranscodePlan {
+    /// Plan materializing `reps` from a `source_w x source_h` RGB frame.
+    pub fn new(
+        source_w: usize,
+        source_h: usize,
+        reps: &[Representation],
+        costs: &TranscodeCosts,
+    ) -> TranscodePlan {
+        assert!(source_w > 0 && source_h > 0);
+        let share_luma = reps.iter().any(|r| r.mode == ColorMode::Gray);
+        let src_px = (source_w * source_h) as f64;
+        let mut steps = Vec::with_capacity(reps.len());
+        let mut per_rep_cost_s = Vec::with_capacity(reps.len());
+        for rep in reps {
+            let same_size = rep.size == source_w && rep.size == source_h;
+            let out_px = (rep.size * rep.size) as f64;
+            let (step, cost) = if same_size && rep.mode == ColorMode::Rgb {
+                // Clone of the already-materialized frame; priced 0 to stay
+                // consistent with `TransformCostModel::transform_time`.
+                (TranscodeStep::Identity, 0.0)
+            } else if same_size {
+                // Gray's full-size plane is written once by the shared luma
+                // sweep (priced below) directly into the target's buffer;
+                // R/G/B pay one plane copy.
+                let copy = if rep.mode == ColorMode::Gray {
+                    0.0
+                } else {
+                    costs.extract_s_per_pixel * out_px
+                };
+                (TranscodeStep::CopyPlane, costs.op_overhead_s + copy)
+            } else {
+                let ch = rep.mode.channels() as f64;
+                // The streaming H-pass gathers 2 source samples per output
+                // column of each touched row; the V-pass writes out_px.
+                // Only the y-axis table is needed to count touched rows.
+                let rows = axis_rows_touched(&AxisPlan::new(source_h, rep.size));
+                let in_samples = (rows * 2 * rep.size) as f64;
+                (
+                    TranscodeStep::Resize,
+                    costs.op_overhead_s
+                        + ch * (costs.resize_s_per_in_sample * in_samples
+                            + costs.resize_s_per_out_sample * out_px),
+                )
+            };
+            steps.push(step);
+            per_rep_cost_s.push(cost);
+        }
+        let luma_cost_s = if share_luma {
+            costs.gray_s_per_pixel * src_px
+        } else {
+            0.0
+        };
+        let mut order: Vec<usize> = (0..reps.len()).collect();
+        order.sort_by(|&a, &b| {
+            per_rep_cost_s[a]
+                .total_cmp(&per_rep_cost_s[b])
+                .then_with(|| reps[a].cmp(&reps[b]))
+        });
+        TranscodePlan {
+            source_w,
+            source_h,
+            reps: reps.to_vec(),
+            order,
+            share_luma,
+            steps,
+            per_rep_cost_s,
+            luma_cost_s,
+            costs: *costs,
+        }
+    }
+
+    /// The targets, in the order they were given (the order
+    /// [`TranscodeEngine::apply_planned`] returns them in).
+    pub fn reps(&self) -> &[Representation] {
+        &self.reps
+    }
+
+    /// Cheapest-first execution order (indices into [`TranscodePlan::reps`]).
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Whether the plan materializes the shared full-size luma plane.
+    pub fn shares_luma(&self) -> bool {
+        self.share_luma
+    }
+
+    /// How each target (by input index) is produced.
+    pub fn steps(&self) -> &[TranscodeStep] {
+        &self.steps
+    }
+
+    /// Source shape the plan was built for.
+    pub fn source_shape(&self) -> (usize, usize) {
+        (self.source_w, self.source_h)
+    }
+
+    /// Total planned seconds: the shared luma sweep plus every per-target
+    /// step.
+    pub fn planned_cost_s(&self) -> f64 {
+        self.luma_cost_s + self.per_rep_cost_s.iter().sum::<f64>()
+    }
+
+    /// What the naive loop would pay: every target materialized
+    /// independently from the full RGB frame with the seed pipeline (color
+    /// pass over the whole source, then an all-rows resize).
+    pub fn direct_cost_s(&self) -> f64 {
+        let src_px = (self.source_w * self.source_h) as f64;
+        let c = &self.costs;
+        self.reps
+            .iter()
+            .map(|rep| {
+                if rep.size == self.source_w
+                    && rep.size == self.source_h
+                    && rep.mode == ColorMode::Rgb
+                {
+                    return 0.0;
+                }
+                let mut t = c.op_overhead_s;
+                match rep.mode {
+                    ColorMode::Rgb => {}
+                    ColorMode::Gray => t += c.gray_s_per_pixel * src_px,
+                    _ => t += c.extract_s_per_pixel * src_px,
+                }
+                if rep.size != self.source_w || rep.size != self.source_h {
+                    let ch = rep.mode.channels() as f64;
+                    let out_px = (rep.size * rep.size) as f64;
+                    t += ch
+                        * (c.resize_s_per_in_sample * src_px + c.resize_s_per_out_sample * out_px);
+                }
+                t
+            })
+            .sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The engine.
+// ---------------------------------------------------------------------------
+
+/// Two-row ring for the streaming separable resize: holds the last two
+/// horizontally resampled source rows, keyed by source row index.
+#[derive(Debug, Default)]
+struct RowCache {
+    top: Vec<f32>,
+    bot: Vec<f32>,
+    top_idx: i64,
+    bot_idx: i64,
+}
+
+/// Upper bound on pooled output buffers (see
+/// [`TranscodeEngine::recycle`]) — enough for a whole `paper_set`
+/// materialization plus slack, small enough that a shape change cannot
+/// strand unbounded memory.
+const POOL_CAP: usize = 64;
+
+/// Reusable transcode state: kernel selection, cached [`ResizePlan`]s, the
+/// streaming-row scratch, the shared luma plane, and a pool of recycled
+/// output buffers. Keep one per call site (or use [`with_local_engine`])
+/// so plans, scratch, and buffers amortize across frames and batches.
+#[derive(Debug)]
+pub struct TranscodeEngine {
+    kernel: Kernel,
+    plans: HashMap<(usize, usize, usize, usize), ResizePlan>,
+    rows: RowCache,
+    luma_plane: Vec<f32>,
+    /// Recycled output buffers keyed by exact length. Large materialized
+    /// images churn the allocator hard (every buffer past the malloc mmap
+    /// threshold is a fresh kernel mapping); consumers that drop their
+    /// outputs per frame hand them back via [`TranscodeEngine::recycle`]
+    /// and steady-state transcoding allocates nothing.
+    pool: HashMap<usize, Vec<Vec<f32>>>,
+    pooled: usize,
+}
+
+impl Default for TranscodeEngine {
+    fn default() -> Self {
+        TranscodeEngine::new()
+    }
+}
+
+impl TranscodeEngine {
+    /// Engine with runtime kernel detection.
+    pub fn new() -> TranscodeEngine {
+        TranscodeEngine::with_kernel(Kernel::Auto)
+    }
+
+    /// Engine pinned to one kernel tier (benches, property tests).
+    pub fn with_kernel(kernel: Kernel) -> TranscodeEngine {
+        TranscodeEngine {
+            kernel,
+            plans: HashMap::new(),
+            rows: RowCache::default(),
+            luma_plane: Vec::new(),
+            pool: HashMap::new(),
+            pooled: 0,
+        }
+    }
+
+    /// The configured kernel tier (possibly `Auto`).
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// Hand back materialized images whose pixels are no longer needed so
+    /// their buffers feed the next transcode instead of the allocator.
+    /// Purely an optimization — recycling nothing is always correct; every
+    /// output is fully overwritten before it is handed out again.
+    pub fn recycle(&mut self, images: impl IntoIterator<Item = Image>) {
+        for img in images {
+            if self.pooled >= POOL_CAP {
+                return;
+            }
+            let data = img.into_data();
+            self.pool.entry(data.len()).or_default().push(data);
+            self.pooled += 1;
+        }
+    }
+
+    /// A length-`n` output buffer: recycled when one of exactly this length
+    /// is pooled (content is stale — every caller overwrites all `n`
+    /// elements), freshly zeroed otherwise.
+    fn out_buf(pool: &mut HashMap<usize, Vec<Vec<f32>>>, pooled: &mut usize, n: usize) -> Vec<f32> {
+        if let Some(buf) = pool.get_mut(&n).and_then(|q| q.pop()) {
+            *pooled -= 1;
+            return buf;
+        }
+        vec![0.0f32; n]
+    }
+
+    /// Resize one plane through the cached plan for this shape.
+    #[allow(clippy::too_many_arguments)]
+    fn resize_plane(
+        kernel: Kernel,
+        plans: &mut HashMap<(usize, usize, usize, usize), ResizePlan>,
+        rows: &mut RowCache,
+        src: &[f32],
+        in_w: usize,
+        in_h: usize,
+        out_w: usize,
+        out_h: usize,
+        dst: &mut [f32],
+    ) {
+        debug_assert_eq!(src.len(), in_w * in_h);
+        debug_assert_eq!(dst.len(), out_w * out_h);
+        let plan = plans
+            .entry((in_w, in_h, out_w, out_h))
+            .or_insert_with(|| ResizePlan::new(in_w, in_h, out_w, out_h));
+        rows.top.resize(out_w, 0.0);
+        rows.bot.resize(out_w, 0.0);
+        // Invalidate: cached rows belong to whatever plane was resized last.
+        rows.top_idx = -1;
+        rows.bot_idx = -1;
+        for oy in 0..out_h {
+            let y0 = plan.y.i0[oy] as i64;
+            let y1 = plan.y.i1[oy] as i64;
+            // Ensure `top` holds row y0 (y0 is non-decreasing, so a needed
+            // row is either cached or new — never evicted-then-needed).
+            if rows.top_idx != y0 {
+                if rows.bot_idx == y0 {
+                    std::mem::swap(&mut rows.top, &mut rows.bot);
+                    std::mem::swap(&mut rows.top_idx, &mut rows.bot_idx);
+                } else {
+                    let r = y0 as usize;
+                    hlerp(
+                        kernel,
+                        &src[r * in_w..(r + 1) * in_w],
+                        &plan.x,
+                        &mut rows.top,
+                    );
+                    rows.top_idx = y0;
+                }
+            }
+            if y1 != y0 && rows.bot_idx != y1 {
+                let r = y1 as usize;
+                hlerp(
+                    kernel,
+                    &src[r * in_w..(r + 1) * in_w],
+                    &plan.x,
+                    &mut rows.bot,
+                );
+                rows.bot_idx = y1;
+            }
+            let dst_row = &mut dst[oy * out_w..(oy + 1) * out_w];
+            let (w0, w1) = (plan.y.w0[oy], plan.y.w1[oy]);
+            let bot = if y1 == y0 { &rows.top } else { &rows.bot };
+            vlerp(kernel, &rows.top, bot, w0, w1, dst_row);
+        }
+    }
+
+    /// Bilinear resize to `(out_w, out_h)` — the engine-backed counterpart
+    /// of `transform::resize_bilinear`, bitwise identical to the scalar
+    /// reference on every kernel tier.
+    pub fn resize_bilinear(
+        &mut self,
+        src: &Image,
+        out_w: usize,
+        out_h: usize,
+    ) -> Result<Image, ImageryError> {
+        if out_w == 0 || out_h == 0 {
+            return Err(ImageryError::InvalidDimensions {
+                width: out_w,
+                height: out_h,
+            });
+        }
+        let kernel = self.kernel.resolve();
+        let (in_w, in_h) = (src.width(), src.height());
+        let n = out_w * out_h;
+        let mut data = Self::out_buf(&mut self.pool, &mut self.pooled, n * src.channels());
+        for c in 0..src.channels() {
+            Self::resize_plane(
+                kernel,
+                &mut self.plans,
+                &mut self.rows,
+                src.plane(c),
+                in_w,
+                in_h,
+                out_w,
+                out_h,
+                &mut data[c * n..(c + 1) * n],
+            );
+        }
+        Image::from_planar(out_w, out_h, src.mode(), data)
+    }
+
+    /// Compute the luma plane of an RGB image into the shared scratch,
+    /// returning its length.
+    fn fill_luma(&mut self, src: &Image) -> usize {
+        let n = src.width() * src.height();
+        self.luma_plane.resize(n, 0.0);
+        luma(
+            self.kernel.resolve(),
+            src.plane(0),
+            src.plane(1),
+            src.plane(2),
+            &mut self.luma_plane,
+        );
+        n
+    }
+
+    /// Engine-backed color conversion with the same defined conversions as
+    /// `transform::convert_mode`. The identity conversion borrows the
+    /// source instead of cloning it.
+    pub fn convert_mode<'a>(
+        &mut self,
+        src: &'a Image,
+        target: ColorMode,
+    ) -> Result<Cow<'a, Image>, ImageryError> {
+        if src.mode() == target {
+            return Ok(Cow::Borrowed(src));
+        }
+        let (w, h) = (src.width(), src.height());
+        match (src.mode(), target) {
+            (ColorMode::Rgb, t) => {
+                if let Some(c) = t.source_channel() {
+                    let mut buf = Self::out_buf(&mut self.pool, &mut self.pooled, w * h);
+                    buf.copy_from_slice(src.plane(c));
+                    return Ok(Cow::Owned(Image::from_planar(w, h, t, buf)?));
+                }
+                let mut buf = Self::out_buf(&mut self.pool, &mut self.pooled, w * h);
+                luma(
+                    self.kernel.resolve(),
+                    src.plane(0),
+                    src.plane(1),
+                    src.plane(2),
+                    &mut buf,
+                );
+                Ok(Cow::Owned(Image::from_planar(w, h, ColorMode::Gray, buf)?))
+            }
+            (from, ColorMode::Gray) if from.channels() == 1 => {
+                let mut buf = Self::out_buf(&mut self.pool, &mut self.pooled, w * h);
+                buf.copy_from_slice(src.data());
+                Ok(Cow::Owned(Image::from_planar(w, h, ColorMode::Gray, buf)?))
+            }
+            (from, to) => Err(ImageryError::UnsupportedConversion {
+                from: from.tag(),
+                to: to.tag(),
+            }),
+        }
+    }
+
+    /// Standardize to zero mean / unit variance per image. All kernel tiers
+    /// use the eight-lane f64 reduction (see module docs) and agree
+    /// bitwise; results can differ from a naive sequential sum by float
+    /// reassociation only.
+    pub fn standardize(&mut self, src: &Image) -> Image {
+        let kernel = self.kernel.resolve();
+        let data = src.data();
+        let n = data.len() as f64;
+        let mean = fold_lanes(sum_lanes(kernel, data)) / n;
+        let var = fold_lanes(sq_dev_lanes(kernel, data, mean)) / n;
+        let sd = var.sqrt();
+        let inv = if sd > 1e-6 { 1.0 / sd } else { 0.0 };
+        let (mean, inv) = (mean as f32, inv as f32);
+        let mut out = Self::out_buf(&mut self.pool, &mut self.pooled, data.len());
+        scale_shift(kernel, data, mean, inv, &mut out);
+        Image::from_planar(src.width(), src.height(), src.mode(), out)
+            .expect("same shape as source")
+    }
+
+    /// Grayscale thumbnail of any image as a flat `side x side` buffer —
+    /// the difference-detector front end (`tahoma-video`) runs this per
+    /// real frame.
+    pub fn luma_thumbnail(&mut self, src: &Image, side: usize) -> Result<Vec<f32>, ImageryError> {
+        if side == 0 {
+            return Err(ImageryError::InvalidDimensions {
+                width: side,
+                height: side,
+            });
+        }
+        let kernel = self.kernel.resolve();
+        let (w, h) = (src.width(), src.height());
+        let mut out = Self::out_buf(&mut self.pool, &mut self.pooled, side * side);
+        if src.mode() == ColorMode::Rgb {
+            let n = self.fill_luma(src);
+            debug_assert_eq!(n, w * h);
+            Self::resize_plane(
+                kernel,
+                &mut self.plans,
+                &mut self.rows,
+                &self.luma_plane,
+                w,
+                h,
+                side,
+                side,
+                &mut out,
+            );
+        } else {
+            Self::resize_plane(
+                kernel,
+                &mut self.plans,
+                &mut self.rows,
+                src.plane(0),
+                w,
+                h,
+                side,
+                side,
+                &mut out,
+            );
+        }
+        Ok(out)
+    }
+
+    /// Materialize one representation from a full RGB frame — the
+    /// engine-backed counterpart of `Representation::apply`, bitwise
+    /// identical to it on every kernel tier.
+    pub fn apply(&mut self, full: &Image, rep: Representation) -> Result<Image, ImageryError> {
+        if full.mode() != ColorMode::Rgb {
+            return Err(ImageryError::NotRgbSource);
+        }
+        let kernel = self.kernel.resolve();
+        let (w, h) = (full.width(), full.height());
+        let same_size = rep.size == w && rep.size == h;
+        let n = rep.size * rep.size;
+        match rep.mode {
+            ColorMode::Rgb => {
+                if same_size {
+                    let mut buf =
+                        Self::out_buf(&mut self.pool, &mut self.pooled, full.value_count());
+                    buf.copy_from_slice(full.data());
+                    return Image::from_planar(rep.size, rep.size, ColorMode::Rgb, buf);
+                }
+                self.resize_bilinear(full, rep.size, rep.size)
+            }
+            ColorMode::Gray => {
+                if same_size {
+                    // Luma straight into the output buffer — no scratch
+                    // plane, no copy.
+                    let mut buf = Self::out_buf(&mut self.pool, &mut self.pooled, n);
+                    luma(
+                        kernel,
+                        full.plane(0),
+                        full.plane(1),
+                        full.plane(2),
+                        &mut buf,
+                    );
+                    return Image::from_planar(rep.size, rep.size, ColorMode::Gray, buf);
+                }
+                self.fill_luma(full);
+                let mut out = Self::out_buf(&mut self.pool, &mut self.pooled, n);
+                Self::resize_plane(
+                    kernel,
+                    &mut self.plans,
+                    &mut self.rows,
+                    &self.luma_plane,
+                    w,
+                    h,
+                    rep.size,
+                    rep.size,
+                    &mut out,
+                );
+                Image::from_planar(rep.size, rep.size, ColorMode::Gray, out)
+            }
+            mode => {
+                let c = mode.source_channel().expect("R/G/B modes have a channel");
+                if same_size {
+                    let mut buf = Self::out_buf(&mut self.pool, &mut self.pooled, n);
+                    buf.copy_from_slice(full.plane(c));
+                    return Image::from_planar(rep.size, rep.size, mode, buf);
+                }
+                let mut out = Self::out_buf(&mut self.pool, &mut self.pooled, n);
+                Self::resize_plane(
+                    kernel,
+                    &mut self.plans,
+                    &mut self.rows,
+                    full.plane(c),
+                    w,
+                    h,
+                    rep.size,
+                    rep.size,
+                    &mut out,
+                );
+                Image::from_planar(rep.size, rep.size, mode, out)
+            }
+        }
+    }
+
+    /// Execute a [`TranscodePlan`] on one frame. The returned images are
+    /// aligned with `plan.reps()` (input order); internally targets run in
+    /// the plan's cheapest-first order with the shared luma plane computed
+    /// at most once. A frame whose shape differs from the plan's source
+    /// shape returns `InvalidDimensions`.
+    pub fn apply_planned(
+        &mut self,
+        full: &Image,
+        plan: &TranscodePlan,
+    ) -> Result<Vec<Image>, ImageryError> {
+        if full.mode() != ColorMode::Rgb {
+            return Err(ImageryError::NotRgbSource);
+        }
+        if (full.width(), full.height()) != plan.source_shape() {
+            // The plan's tables are shape-specific; a mismatched frame is a
+            // recoverable input error, not a programming invariant.
+            return Err(ImageryError::InvalidDimensions {
+                width: full.width(),
+                height: full.height(),
+            });
+        }
+        let kernel = self.kernel.resolve();
+        let (w, h) = (full.width(), full.height());
+        // A same-size gray target doubles as the shared luma plane: luma
+        // straight into its output buffer and let every other gray target
+        // resize from it — no scratch fill, no extra copy. Otherwise the
+        // shared plane lives in the engine scratch.
+        let mut gray_owner: Option<(usize, Image)> = None;
+        if plan.share_luma {
+            let owner = plan
+                .steps
+                .iter()
+                .zip(&plan.reps)
+                .position(|(s, r)| *s == TranscodeStep::CopyPlane && r.mode == ColorMode::Gray);
+            match owner {
+                Some(i) => {
+                    let mut buf = Self::out_buf(&mut self.pool, &mut self.pooled, w * h);
+                    luma(
+                        kernel,
+                        full.plane(0),
+                        full.plane(1),
+                        full.plane(2),
+                        &mut buf,
+                    );
+                    gray_owner = Some((i, Image::from_planar(w, h, ColorMode::Gray, buf)?));
+                }
+                None => {
+                    self.fill_luma(full);
+                }
+            }
+        }
+        let mut out: Vec<Option<Image>> = (0..plan.reps.len()).map(|_| None).collect();
+        for &i in &plan.order {
+            if gray_owner.as_ref().is_some_and(|(gi, _)| *gi == i) {
+                continue;
+            }
+            let rep = plan.reps[i];
+            let n = rep.size * rep.size;
+            let gray_src: &[f32] = match &gray_owner {
+                Some((_, img)) => img.plane(0),
+                None => &self.luma_plane,
+            };
+            let img = match plan.steps[i] {
+                TranscodeStep::Identity => {
+                    let mut buf =
+                        Self::out_buf(&mut self.pool, &mut self.pooled, full.value_count());
+                    buf.copy_from_slice(full.data());
+                    Image::from_planar(w, h, ColorMode::Rgb, buf)?
+                }
+                TranscodeStep::CopyPlane => {
+                    let plane: &[f32] = match rep.mode {
+                        ColorMode::Gray => gray_src,
+                        mode => full.plane(mode.source_channel().expect("single channel")),
+                    };
+                    let mut buf = Self::out_buf(&mut self.pool, &mut self.pooled, plane.len());
+                    buf.copy_from_slice(plane);
+                    Image::from_planar(rep.size, rep.size, rep.mode, buf)?
+                }
+                TranscodeStep::Resize => match rep.mode {
+                    ColorMode::Rgb => {
+                        let mut data = Self::out_buf(&mut self.pool, &mut self.pooled, 3 * n);
+                        for c in 0..3 {
+                            Self::resize_plane(
+                                kernel,
+                                &mut self.plans,
+                                &mut self.rows,
+                                full.plane(c),
+                                w,
+                                h,
+                                rep.size,
+                                rep.size,
+                                &mut data[c * n..(c + 1) * n],
+                            );
+                        }
+                        Image::from_planar(rep.size, rep.size, ColorMode::Rgb, data)?
+                    }
+                    mode => {
+                        let plane: &[f32] = match mode {
+                            ColorMode::Gray => gray_src,
+                            m => full.plane(m.source_channel().expect("single channel")),
+                        };
+                        let mut data = Self::out_buf(&mut self.pool, &mut self.pooled, n);
+                        Self::resize_plane(
+                            kernel,
+                            &mut self.plans,
+                            &mut self.rows,
+                            plane,
+                            w,
+                            h,
+                            rep.size,
+                            rep.size,
+                            &mut data,
+                        );
+                        Image::from_planar(rep.size, rep.size, mode, data)?
+                    }
+                },
+            };
+            out[i] = Some(img);
+        }
+        if let Some((i, img)) = gray_owner {
+            out[i] = Some(img);
+        }
+        Ok(out
+            .into_iter()
+            .map(|o| o.expect("every slot filled"))
+            .collect())
+    }
+
+    /// Materialize a whole representation set from one frame (plans with
+    /// default costs, then executes). For repeated shapes prefer building
+    /// the [`TranscodePlan`] once and calling
+    /// [`TranscodeEngine::apply_planned`].
+    pub fn apply_set(
+        &mut self,
+        full: &Image,
+        reps: &[Representation],
+    ) -> Result<Vec<Image>, ImageryError> {
+        let plan = TranscodePlan::new(
+            full.width(),
+            full.height(),
+            reps,
+            &TranscodeCosts::default(),
+        );
+        self.apply_planned(full, &plan)
+    }
+
+    /// Materialize a representation set for every frame of a batch,
+    /// reusing one plan and the engine scratch across the whole batch.
+    /// Frames must share one shape (the plan's source shape).
+    pub fn apply_batch(
+        &mut self,
+        frames: &[Image],
+        reps: &[Representation],
+    ) -> Result<Vec<Vec<Image>>, ImageryError> {
+        let Some(first) = frames.first() else {
+            return Ok(Vec::new());
+        };
+        let plan = TranscodePlan::new(
+            first.width(),
+            first.height(),
+            reps,
+            &TranscodeCosts::default(),
+        );
+        frames
+            .iter()
+            .map(|frame| self.apply_planned(frame, &plan))
+            .collect()
+    }
+}
+
+thread_local! {
+    static LOCAL_ENGINE: RefCell<TranscodeEngine> = RefCell::new(TranscodeEngine::new());
+}
+
+/// Run `f` against this thread's shared [`TranscodeEngine`] — the backing
+/// store for the one-shot `transform::*` functions and
+/// `Representation::apply`, so even per-call API users amortize plan tables
+/// and scratch. Do not call recursively from inside `f` (the engine is a
+/// `RefCell`).
+pub fn with_local_engine<R>(f: impl FnOnce(&mut TranscodeEngine) -> R) -> R {
+    LOCAL_ENGINE.with(|e| f(&mut e.borrow_mut()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repr::PAPER_SIZES;
+
+    fn frame(w: usize, h: usize) -> Image {
+        Image::from_fn(w, h, ColorMode::Rgb, |c, y, x| {
+            (((c * 31 + y * 7 + x * 3) % 13) as f32) / 13.0
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn kernel_detection_is_consistent() {
+        let tiers = Kernel::available();
+        assert_eq!(tiers[0], Kernel::Portable);
+        assert!(tiers.contains(&Kernel::detect()));
+        assert_eq!(Kernel::Auto.resolve(), Kernel::detect());
+    }
+
+    #[test]
+    fn engine_resize_matches_reference_bitwise_on_all_tiers() {
+        let img = frame(37, 23);
+        let reference = crate::transform::resize_bilinear_reference(&img, 11, 17).unwrap();
+        for kernel in Kernel::available() {
+            let mut e = TranscodeEngine::with_kernel(kernel);
+            let got = e.resize_bilinear(&img, 11, 17).unwrap();
+            assert_eq!(got.data(), reference.data(), "tier {}", kernel.name());
+        }
+    }
+
+    #[test]
+    fn engine_apply_matches_reference_bitwise() {
+        let img = frame(60, 60);
+        for kernel in Kernel::available() {
+            let mut e = TranscodeEngine::with_kernel(kernel);
+            for &size in &PAPER_SIZES {
+                for &mode in &ColorMode::ALL {
+                    let rep = Representation::new(size, mode);
+                    let want = crate::repr::apply_reference(&img, rep).unwrap();
+                    let got = e.apply(&img, rep).unwrap();
+                    assert_eq!(
+                        got.data(),
+                        want.data(),
+                        "tier {} rep {}",
+                        kernel.name(),
+                        rep
+                    );
+                    assert_eq!(got.mode(), want.mode());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn planned_set_matches_per_rep_apply_bitwise() {
+        let img = frame(120, 120);
+        let reps = Representation::paper_set();
+        for kernel in Kernel::available() {
+            let mut e = TranscodeEngine::with_kernel(kernel);
+            let set = e.apply_set(&img, &reps).unwrap();
+            assert_eq!(set.len(), reps.len());
+            for (rep, got) in reps.iter().zip(&set) {
+                let want = crate::repr::apply_reference(&img, *rep).unwrap();
+                assert_eq!(
+                    got.data(),
+                    want.data(),
+                    "tier {} rep {}",
+                    kernel.name(),
+                    rep
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn apply_batch_matches_per_frame() {
+        let frames = vec![frame(48, 48), frame(48, 48), frame(48, 48)];
+        let reps = vec![
+            Representation::new(12, ColorMode::Gray),
+            Representation::new(24, ColorMode::Rgb),
+        ];
+        let mut e = TranscodeEngine::new();
+        let batched = e.apply_batch(&frames, &reps).unwrap();
+        assert_eq!(batched.len(), 3);
+        for (f, per_frame) in frames.iter().zip(&batched) {
+            for (rep, got) in reps.iter().zip(per_frame) {
+                assert_eq!(got.data(), e.apply(f, *rep).unwrap().data());
+            }
+        }
+        assert!(e.apply_batch(&[], &reps).unwrap().is_empty());
+    }
+
+    #[test]
+    fn recycled_buffers_produce_identical_results() {
+        let img = frame(64, 64);
+        let reps = Representation::paper_set();
+        let mut e = TranscodeEngine::new();
+        let plan = TranscodePlan::new(64, 64, &reps, &TranscodeCosts::default());
+        let first = e.apply_planned(&img, &plan).unwrap();
+        let want: Vec<Vec<f32>> = first.iter().map(|i| i.data().to_vec()).collect();
+        e.recycle(first);
+        // Steady state: every output buffer is recycled, contents must be
+        // fully overwritten.
+        for _ in 0..3 {
+            let next = e.apply_planned(&img, &plan).unwrap();
+            for (img2, w) in next.iter().zip(&want) {
+                assert_eq!(img2.data(), w.as_slice());
+            }
+            e.recycle(next);
+        }
+    }
+
+    #[test]
+    fn standardize_tiers_agree_bitwise() {
+        for n in [1usize, 7, 8, 9, 64, 113] {
+            let img = Image::from_fn(n, 3, ColorMode::Gray, |_, y, x| {
+                ((y * 131 + x * 17) % 29) as f32 / 29.0 - 0.3
+            })
+            .unwrap();
+            let mut base: Option<Image> = None;
+            for kernel in Kernel::available() {
+                let mut e = TranscodeEngine::with_kernel(kernel);
+                let s = e.standardize(&img);
+                match &base {
+                    None => base = Some(s),
+                    Some(b) => assert_eq!(b.data(), s.data(), "tier {}", kernel.name()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn standardize_has_zero_mean_unit_var() {
+        let img = frame(16, 16);
+        let s = TranscodeEngine::new().standardize(&img);
+        let data = s.data();
+        let mean: f32 = data.iter().sum::<f32>() / data.len() as f32;
+        let var: f32 =
+            data.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / data.len() as f32;
+        assert!(mean.abs() < 1e-4);
+        assert!((var - 1.0).abs() < 1e-3);
+        let flat = Image::from_fn(5, 5, ColorMode::Gray, |_, _, _| 0.4).unwrap();
+        assert!(TranscodeEngine::new()
+            .standardize(&flat)
+            .data()
+            .iter()
+            .all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn luma_thumbnail_shapes_and_values() {
+        let img = frame(40, 30);
+        let mut e = TranscodeEngine::new();
+        let t = e.luma_thumbnail(&img, 8).unwrap();
+        assert_eq!(t.len(), 64);
+        // Constant image -> constant luma thumbnail.
+        let flat = Image::from_fn(20, 20, ColorMode::Rgb, |_, _, _| 0.5).unwrap();
+        let t = e.luma_thumbnail(&flat, 4).unwrap();
+        for v in t {
+            assert!((v - 0.5).abs() < 1e-6);
+        }
+        // Single-plane sources skip the luma pass.
+        let gray = Image::from_fn(10, 10, ColorMode::Gray, |_, y, _| y as f32 / 10.0).unwrap();
+        assert_eq!(e.luma_thumbnail(&gray, 5).unwrap().len(), 25);
+        assert!(e.luma_thumbnail(&gray, 0).is_err());
+    }
+
+    #[test]
+    fn plan_shares_luma_and_is_cheaper_than_direct() {
+        let costs = TranscodeCosts::default();
+        let plan = TranscodePlan::new(224, 224, &Representation::paper_set(), &costs);
+        assert!(plan.shares_luma());
+        assert!(
+            plan.planned_cost_s() < plan.direct_cost_s() / 2.0,
+            "planned {} vs direct {}",
+            plan.planned_cost_s(),
+            plan.direct_cost_s()
+        );
+        // No gray targets -> no luma sweep.
+        let rgb_only =
+            TranscodePlan::new(224, 224, &[Representation::new(60, ColorMode::Rgb)], &costs);
+        assert!(!rgb_only.shares_luma());
+    }
+
+    #[test]
+    fn plan_order_is_cheapest_first() {
+        let plan = TranscodePlan::new(
+            224,
+            224,
+            &Representation::paper_set(),
+            &TranscodeCosts::default(),
+        );
+        let costs: Vec<f64> = plan
+            .order()
+            .iter()
+            .map(|&i| plan.per_rep_cost_s[i])
+            .collect();
+        assert!(costs.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn resize_plan_rows_touched_bounds() {
+        let p = ResizePlan::new(224, 224, 30, 30);
+        assert!(p.rows_touched() <= 60);
+        assert!(p.rows_touched() >= 30);
+        let up = ResizePlan::new(30, 30, 224, 224);
+        assert!(up.rows_touched() <= 30);
+    }
+
+    #[test]
+    fn planned_shape_mismatch_is_an_error_not_a_panic() {
+        let reps = vec![Representation::new(8, ColorMode::Gray)];
+        let plan = TranscodePlan::new(32, 32, &reps, &TranscodeCosts::default());
+        let mut e = TranscodeEngine::new();
+        let odd = frame(16, 32);
+        assert!(matches!(
+            e.apply_planned(&odd, &plan),
+            Err(ImageryError::InvalidDimensions {
+                width: 16,
+                height: 32
+            })
+        ));
+    }
+
+    #[test]
+    fn apply_requires_rgb() {
+        let gray = Image::zeros(8, 8, ColorMode::Gray).unwrap();
+        let mut e = TranscodeEngine::new();
+        assert!(matches!(
+            e.apply(&gray, Representation::new(4, ColorMode::Gray)),
+            Err(ImageryError::NotRgbSource)
+        ));
+        assert!(e
+            .apply_set(&gray, &[Representation::new(4, ColorMode::Gray)])
+            .is_err());
+    }
+
+    #[test]
+    fn local_engine_is_usable() {
+        let img = frame(16, 16);
+        let a = with_local_engine(|e| e.resize_bilinear(&img, 8, 8).unwrap());
+        let b = TranscodeEngine::new().resize_bilinear(&img, 8, 8).unwrap();
+        assert_eq!(a.data(), b.data());
+    }
+}

@@ -10,6 +10,11 @@
 //! * [`transform`] — the input transformation functions **F** from §V-B of
 //!   the paper: resolution scaling, channel extraction, grayscale reduction,
 //!   plus flip augmentation and normalization;
+//! * [`engine`] — the runtime-dispatched SIMD transcode engine behind those
+//!   transforms (separable resize with cached span tables, AVX-512/AVX2
+//!   kernels, reusable scratch) and the representation-lattice
+//!   [`engine::TranscodePlan`] that shares work when one frame is
+//!   materialized into many representations;
 //! * [`repr::Representation`] — a (size, color-mode) pair, the unit the cost
 //!   model and cascade evaluator reason about;
 //! * [`codec`] — on-disk encodings (raw planar, PPM, lossy block codec) so
@@ -23,6 +28,7 @@
 pub mod codec;
 pub mod color;
 pub mod dataset;
+pub mod engine;
 pub mod error;
 pub mod image;
 pub mod repr;
@@ -33,6 +39,7 @@ pub mod transform;
 pub use codec::{BlockCodec, Codec, PpmCodec, RawCodec};
 pub use color::ColorMode;
 pub use dataset::{Dataset, DatasetBundle, DatasetSpec, LabeledImage};
+pub use engine::{TranscodeCosts, TranscodeEngine, TranscodePlan};
 pub use error::ImageryError;
 pub use image::Image;
 pub use repr::Representation;

@@ -6,11 +6,19 @@
 //! or loading one, and the cascade evaluator charges each representation
 //! *once per image* even when several cascade levels share it (§VII-A:
 //! "Data handling costs ... only occur once for a given input").
+//!
+//! Representations also form the derivation *lattice* the transcode engine
+//! plans over (see [`crate::engine`]): when several of them are
+//! materialized from one frame, single-channel planes are borrowed from the
+//! source and the luma plane is computed once and shared, so
+//! [`Representation::apply`] — which routes through the thread-local engine
+//! — is only the single-target entry point of that machinery.
 
 use crate::color::ColorMode;
+use crate::engine::with_local_engine;
 use crate::error::ImageryError;
 use crate::image::Image;
-use crate::transform::{convert_mode, resize_bilinear};
+use crate::transform::{convert_mode_reference, resize_bilinear_reference};
 use std::fmt;
 
 /// The full-resolution source size used throughout the paper's experiments.
@@ -74,16 +82,12 @@ impl Representation {
     ///
     /// Pipeline: color reduction first (cheaper: the resize then reads a
     /// single plane), then bilinear resize. Both operations are linear, so
-    /// the result equals the resize-then-reduce order.
+    /// the result equals the resize-then-reduce order. Runs on the
+    /// thread-local [`crate::engine::TranscodeEngine`] (SIMD kernels,
+    /// cached resize tables, no intermediate reduced image); bitwise
+    /// identical to [`apply_reference`].
     pub fn apply(&self, full: &Image) -> Result<Image, ImageryError> {
-        if full.mode() != ColorMode::Rgb {
-            return Err(ImageryError::NotRgbSource);
-        }
-        let reduced = convert_mode(full, self.mode)?;
-        if reduced.width() == self.size && reduced.height() == self.size {
-            return Ok(reduced);
-        }
-        resize_bilinear(&reduced, self.size, self.size)
+        with_local_engine(|e| e.apply(full, *self))
     }
 
     /// Stable identifier, e.g. `"60x60-gray"`.
@@ -103,6 +107,21 @@ impl Representation {
             ColorMode::from_tag(mode)?,
         ))
     }
+}
+
+/// Scalar reference for [`Representation::apply`] — the seed pipeline
+/// (allocating color reduction, then the direct per-pixel bilinear loop).
+/// Property tests pin the engine against this bitwise; the
+/// `repr_transform` bench uses it as the baseline.
+pub fn apply_reference(full: &Image, rep: Representation) -> Result<Image, ImageryError> {
+    if full.mode() != ColorMode::Rgb {
+        return Err(ImageryError::NotRgbSource);
+    }
+    let reduced = convert_mode_reference(full, rep.mode)?;
+    if reduced.width() == rep.size && reduced.height() == rep.size {
+        return Ok(reduced);
+    }
+    resize_bilinear_reference(&reduced, rep.size, rep.size)
 }
 
 impl fmt::Display for Representation {
@@ -166,6 +185,7 @@ mod tests {
 
     #[test]
     fn reduce_then_resize_equals_resize_then_reduce() {
+        use crate::transform::{convert_mode, resize_bilinear};
         let full = Image::from_fn(32, 32, ColorMode::Rgb, |c, y, x| {
             ((c * 31 + y * 7 + x * 3) % 11) as f32 / 11.0
         })
@@ -176,9 +196,24 @@ mod tests {
         };
         let b = {
             let resized = resize_bilinear(&full, 8, 8).unwrap();
-            convert_mode(&resized, ColorMode::Gray).unwrap()
+            convert_mode(&resized, ColorMode::Gray)
+                .unwrap()
+                .into_owned()
         };
         assert!(a.mean_abs_diff(&b).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn apply_matches_reference_bitwise() {
+        let full = Image::from_fn(FULL_SIZE, FULL_SIZE, ColorMode::Rgb, |c, y, x| {
+            ((c * 31 + y * 7 + x * 3) % 11) as f32 / 11.0
+        })
+        .unwrap();
+        for rep in Representation::paper_set() {
+            let fast = rep.apply(&full).unwrap();
+            let slow = apply_reference(&full, rep).unwrap();
+            assert_eq!(fast.data(), slow.data(), "{rep}");
+        }
     }
 
     #[test]

@@ -8,8 +8,16 @@
 //! representation's bytes — no full-frame load, no transform. The store
 //! tracks byte totals so storage-amplification tradeoffs (how many
 //! representations is it worth pre-computing?) are measurable.
+//!
+//! Materialization runs through an owned [`TranscodeEngine`] executing a
+//! [`TranscodePlan`] built once per source shape (see [`crate::engine`]):
+//! the shared luma plane is computed once per frame, single-channel targets
+//! resize straight from the source's planes, and resize span tables are
+//! reused across frames — this is the per-frame serving cost of the
+//! ONGOING scenario, so it gets the engine's full hot-path treatment.
 
 use crate::codec::{Codec, RawCodec};
+use crate::engine::{TranscodeCosts, TranscodeEngine, TranscodePlan};
 use crate::error::ImageryError;
 use crate::image::Image;
 use crate::repr::Representation;
@@ -23,6 +31,13 @@ pub struct RepresentationStore {
     blobs: HashMap<(u64, Representation), Bytes>,
     total_bytes: usize,
     ingested: u64,
+    engine: TranscodeEngine,
+    /// Lattice plans keyed by source shape — each distinct ingested frame
+    /// shape is planned exactly once.
+    plans: HashMap<(usize, usize), TranscodePlan>,
+    /// Shape of the most recently ingested frame (what
+    /// [`RepresentationStore::planned_ingest_cost_s`] prices).
+    last_shape: Option<(usize, usize)>,
 }
 
 impl RepresentationStore {
@@ -35,6 +50,9 @@ impl RepresentationStore {
             blobs: HashMap::new(),
             total_bytes: 0,
             ingested: 0,
+            engine: TranscodeEngine::new(),
+            plans: HashMap::new(),
+            last_shape: None,
         }
     }
 
@@ -44,16 +62,49 @@ impl RepresentationStore {
     }
 
     /// Ingest one full-resolution RGB frame: produce and encode every
-    /// configured representation.
+    /// configured representation through the engine's lattice plan (shared
+    /// luma, borrowed planes, cached resize tables — no per-frame setup).
     pub fn ingest(&mut self, id: u64, full: &Image) -> Result<(), ImageryError> {
-        for &rep in &self.reps.clone() {
-            let materialized = rep.apply(full)?;
-            let bytes = RawCodec.encode(&materialized);
+        let shape = (full.width(), full.height());
+        let reps = &self.reps;
+        let plan = self.plans.entry(shape).or_insert_with(|| {
+            TranscodePlan::new(shape.0, shape.1, reps, &TranscodeCosts::default())
+        });
+        self.last_shape = Some(shape);
+        let materialized = self.engine.apply_planned(full, plan)?;
+        for (&rep, image) in self.reps.iter().zip(&materialized) {
+            let bytes = RawCodec.encode(image);
             self.total_bytes += bytes.len();
             self.blobs.insert((id, rep), bytes);
         }
+        // Only the encoded bytes are kept; the pixel buffers feed the next
+        // frame's materialization instead of the allocator.
+        self.engine.recycle(materialized);
         self.ingested += 1;
         Ok(())
+    }
+
+    /// Ingest a batch of frames. Equivalent to calling
+    /// [`RepresentationStore::ingest`] per frame (one plan and one engine
+    /// scratch serve the whole batch either way).
+    pub fn ingest_batch<'a>(
+        &mut self,
+        frames: impl IntoIterator<Item = (u64, &'a Image)>,
+    ) -> Result<(), ImageryError> {
+        for (id, frame) in frames {
+            self.ingest(id, frame)?;
+        }
+        Ok(())
+    }
+
+    /// The cost-model price of one frame's planned materialization under
+    /// the given per-unit costs, next to what the naive per-representation
+    /// loop would pay. Priced for the most recently ingested frame shape;
+    /// `None` before the first ingest fixes one.
+    pub fn planned_ingest_cost_s(&self, costs: &TranscodeCosts) -> Option<(f64, f64)> {
+        let (w, h) = self.last_shape?;
+        let priced = TranscodePlan::new(w, h, &self.reps, costs);
+        Some((priced.planned_cost_s(), priced.direct_cost_s()))
     }
 
     /// Fetch one stored representation, decoding it to pixels.
@@ -153,6 +204,44 @@ mod tests {
         let mut all = RepresentationStore::new(Representation::paper_set());
         all.ingest(1, &frame(5)).unwrap();
         assert!(all.amplification_vs(60_000) > amp * 5.0);
+    }
+
+    #[test]
+    fn ingest_stores_exactly_the_direct_apply_bytes() {
+        // The lattice-planned materialization is bitwise identical to the
+        // per-representation direct path, so the stored blobs are too.
+        let mut store = RepresentationStore::new(Representation::paper_set());
+        let f = frame(9);
+        store.ingest(3, &f).unwrap();
+        for rep in Representation::paper_set() {
+            let direct = crate::repr::apply_reference(&f, rep).unwrap();
+            let want = RawCodec.encode(&direct);
+            let got = store.blobs.get(&(3, rep)).expect("stored");
+            assert_eq!(got.as_ref(), want.as_ref(), "{rep}");
+        }
+    }
+
+    #[test]
+    fn ingest_batch_matches_sequential_and_prices_plan() {
+        let frames: Vec<Image> = (0..3).map(frame).collect();
+        let mut a = RepresentationStore::new(small_reps());
+        a.ingest_batch(frames.iter().enumerate().map(|(i, f)| (i as u64, f)))
+            .unwrap();
+        let mut b = RepresentationStore::new(small_reps());
+        for (i, f) in frames.iter().enumerate() {
+            b.ingest(i as u64, f).unwrap();
+        }
+        assert_eq!(a.total_bytes(), b.total_bytes());
+        assert_eq!(a.frames(), b.frames());
+        let (planned, direct) = a
+            .planned_ingest_cost_s(&crate::engine::TranscodeCosts::default())
+            .expect("shape fixed by ingest");
+        assert!(planned <= direct, "planned {planned} > direct {direct}");
+        // No plan before any ingest.
+        let empty = RepresentationStore::new(small_reps());
+        assert!(empty
+            .planned_ingest_cost_s(&crate::engine::TranscodeCosts::default())
+            .is_none());
     }
 
     #[test]

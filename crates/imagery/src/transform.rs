@@ -7,17 +7,38 @@
 //! we reduce color first because it is cheaper (the resize then touches one
 //! plane instead of three). The cost model in `tahoma-costmodel` accounts
 //! for exactly this pipeline.
+//!
+//! The hot-path implementations live in [`crate::engine`]: the one-shot
+//! functions here route through the thread-local [`TranscodeEngine`]
+//! (runtime-dispatched SIMD kernels, cached resize tables), and each keeps
+//! a `*_reference` scalar twin — the seed implementation — that the
+//! property tests pin the engine against bitwise and the `repr_transform`
+//! bench uses as its baseline.
+//!
+//! [`TranscodeEngine`]: crate::engine::TranscodeEngine
 
 use crate::color::{ColorMode, LUMA_WEIGHTS};
+use crate::engine::with_local_engine;
 use crate::error::ImageryError;
 use crate::image::Image;
+use std::borrow::Cow;
 
 /// Convert an image to another color mode.
 ///
 /// Defined conversions: RGB -> any mode (extraction / luma), identity for
 /// every mode, and any single-channel mode -> Gray (reinterpretation, the
 /// samples are already one plane). Everything else is an error.
-pub fn convert_mode(src: &Image, target: ColorMode) -> Result<Image, ImageryError> {
+///
+/// The identity conversion borrows the source (`Cow::Borrowed`) instead of
+/// cloning the full buffer; only real conversions allocate.
+pub fn convert_mode(src: &Image, target: ColorMode) -> Result<Cow<'_, Image>, ImageryError> {
+    with_local_engine(|e| e.convert_mode(src, target))
+}
+
+/// Scalar reference for [`convert_mode`] — the seed implementation,
+/// allocation per call included. Kept for property tests and the bench
+/// baseline.
+pub fn convert_mode_reference(src: &Image, target: ColorMode) -> Result<Image, ImageryError> {
     if src.mode() == target {
         return Ok(src.clone());
     }
@@ -51,8 +72,21 @@ pub fn convert_mode(src: &Image, target: ColorMode) -> Result<Image, ImageryErro
 }
 
 /// Bilinear resize to `(out_w, out_h)`. Uses edge clamping; this is the
-/// resize the paper's resolution-scaling transforms perform.
+/// resize the paper's resolution-scaling transforms perform. Runs the
+/// engine's separable two-pass sweep (bitwise identical to
+/// [`resize_bilinear_reference`]).
 pub fn resize_bilinear(src: &Image, out_w: usize, out_h: usize) -> Result<Image, ImageryError> {
+    with_local_engine(|e| e.resize_bilinear(src, out_w, out_h))
+}
+
+/// Scalar reference for [`resize_bilinear`] — the seed's direct per-pixel
+/// loop. The engine's separable sweep evaluates the identical lerp chain
+/// per output pixel, so the two agree bitwise (property-tested).
+pub fn resize_bilinear_reference(
+    src: &Image,
+    out_w: usize,
+    out_h: usize,
+) -> Result<Image, ImageryError> {
     if out_w == 0 || out_h == 0 {
         return Err(ImageryError::InvalidDimensions {
             width: out_w,
@@ -127,22 +161,12 @@ pub fn flip_horizontal(src: &Image) -> Image {
 
 /// Standardize samples to zero mean / unit variance per image (a common CNN
 /// input normalization). Constant images come back all-zero.
+///
+/// Runs the engine's eight-lane f64 reduction (SIMD on supporting CPUs);
+/// every kernel tier agrees bitwise, and the result differs from a naive
+/// sequential f64 sum only by float reassociation of the mean/variance.
 pub fn standardize(src: &Image) -> Image {
-    let data = src.data();
-    let n = data.len() as f64;
-    // Accumulate in f64: f32 summation error on near-constant images would
-    // otherwise manufacture a tiny fake variance and blow up the division.
-    let mean = data.iter().map(|&v| v as f64).sum::<f64>() / n;
-    let var = data
-        .iter()
-        .map(|&v| (v as f64 - mean) * (v as f64 - mean))
-        .sum::<f64>()
-        / n;
-    let sd = var.sqrt();
-    let inv = if sd > 1e-6 { 1.0 / sd } else { 0.0 };
-    let (mean, inv) = (mean as f32, inv as f32);
-    let out: Vec<f32> = data.iter().map(|v| (v - mean) * inv).collect();
-    Image::from_planar(src.width(), src.height(), src.mode(), out).expect("same shape as source")
+    with_local_engine(|e| e.standardize(src))
 }
 
 #[cfg(test)]
@@ -158,10 +182,11 @@ mod tests {
     }
 
     #[test]
-    fn convert_identity_is_clone() {
+    fn convert_identity_is_borrow() {
         let img = gradient_rgb(4, 4);
         let out = convert_mode(&img, ColorMode::Rgb).unwrap();
-        assert_eq!(out, img);
+        assert!(matches!(out, std::borrow::Cow::Borrowed(_)));
+        assert_eq!(out.as_ref(), &img);
     }
 
     #[test]
@@ -192,6 +217,16 @@ mod tests {
     }
 
     #[test]
+    fn convert_matches_reference() {
+        let img = gradient_rgb(9, 5);
+        for mode in ColorMode::ALL {
+            let got = convert_mode(&img, mode).unwrap();
+            let want = convert_mode_reference(&img, mode).unwrap();
+            assert_eq!(got.as_ref(), &want, "mode {mode}");
+        }
+    }
+
+    #[test]
     fn convert_rejects_undefined() {
         let gray = Image::zeros(2, 2, ColorMode::Gray).unwrap();
         assert!(convert_mode(&gray, ColorMode::Red).is_err());
@@ -199,6 +234,7 @@ mod tests {
         // single channel -> gray is a reinterpretation and allowed
         assert!(convert_mode(&red, ColorMode::Gray).is_ok());
         assert!(convert_mode(&red, ColorMode::Rgb).is_err());
+        assert!(convert_mode_reference(&gray, ColorMode::Red).is_err());
     }
 
     #[test]
@@ -234,6 +270,16 @@ mod tests {
     }
 
     #[test]
+    fn bilinear_matches_reference_bitwise() {
+        let img = gradient_rgb(19, 13);
+        for (ow, oh) in [(7, 11), (19, 13), (32, 5), (1, 1)] {
+            let got = resize_bilinear(&img, ow, oh).unwrap();
+            let want = resize_bilinear_reference(&img, ow, oh).unwrap();
+            assert_eq!(got.data(), want.data(), "{ow}x{oh}");
+        }
+    }
+
+    #[test]
     fn nearest_picks_existing_samples() {
         let img = Image::from_planar(2, 1, ColorMode::Gray, vec![0.25, 0.75]).unwrap();
         let out = resize_nearest(&img, 4, 1).unwrap();
@@ -246,6 +292,7 @@ mod tests {
     fn resize_rejects_zero_target() {
         let img = gradient_rgb(4, 4);
         assert!(resize_bilinear(&img, 0, 4).is_err());
+        assert!(resize_bilinear_reference(&img, 0, 4).is_err());
         assert!(resize_nearest(&img, 4, 0).is_err());
     }
 

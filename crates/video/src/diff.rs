@@ -151,6 +151,30 @@ mod tests {
     }
 
     #[test]
+    fn real_frame_thumbnails_drive_the_detector() {
+        // Frames built from raster images via the transcode engine's luma
+        // thumbnail feed the detector exactly like synthetic thumbs: a
+        // repeated scene reuses, a changed scene processes.
+        use tahoma_imagery::{ColorMode, Image, TranscodeEngine};
+        let mut engine = TranscodeEngine::new();
+        let scene = |shift: f32| {
+            Image::from_fn(64, 48, ColorMode::Rgb, |c, y, x| {
+                (((c + y + x) % 9) as f32 / 9.0 + shift).clamp(0.0, 1.0)
+            })
+            .unwrap()
+        };
+        let a = Frame::from_image(0, true, 0.2, &scene(0.0), 16, &mut engine);
+        let b = Frame::from_image(1, true, 0.2, &scene(0.0), 16, &mut engine);
+        let c = Frame::from_image(2, false, 0.2, &scene(0.4), 16, &mut engine);
+        assert_eq!(a.thumb.len(), 256);
+        let mut dd = DifferenceDetector::new(1e-6);
+        assert_eq!(dd.inspect(&a), DdDecision::Process);
+        dd.commit(&a, true);
+        assert_eq!(dd.inspect(&b), DdDecision::Reuse(true), "identical scene");
+        assert_eq!(dd.inspect(&c), DdDecision::Process, "changed scene");
+    }
+
+    #[test]
     fn coral_reuses_much_more_than_jackson() {
         // Footnote 2 of the paper: 25.2% reuse on coral vs 3.8% on jackson.
         let threshold = 2.5e-4;

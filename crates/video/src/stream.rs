@@ -21,6 +21,32 @@ pub struct Frame {
     pub thumb: Vec<f32>,
 }
 
+impl Frame {
+    /// Build a frame from a real raster image: the difference-detector
+    /// thumbnail is the engine's luma downscale (`side x side`, SIMD
+    /// bilinear through cached span tables — this runs once per ingested
+    /// frame, so it shares the transcode engine's hot path). Pass the same
+    /// engine across frames to amortize its resize plan and scratch.
+    pub fn from_image(
+        idx: u64,
+        label: bool,
+        difficulty: f32,
+        image: &tahoma_imagery::Image,
+        thumb_side: usize,
+        engine: &mut tahoma_imagery::TranscodeEngine,
+    ) -> Frame {
+        let thumb = engine
+            .luma_thumbnail(image, thumb_side)
+            .expect("thumbnail side is nonzero and image dims are valid");
+        Frame {
+            idx,
+            label,
+            difficulty,
+            thumb,
+        }
+    }
+}
+
 /// Stream generation parameters.
 #[derive(Debug, Clone)]
 pub struct StreamConfig {

@@ -15,6 +15,7 @@ use crate::repository::{ModelEntry, ModelRepository};
 use crate::variant::{ModelKind, ModelVariant};
 use std::collections::HashMap;
 use tahoma_costmodel::DeviceProfile;
+use tahoma_imagery::engine::{TranscodeCosts, TranscodeEngine, TranscodePlan};
 use tahoma_imagery::{Dataset, DatasetBundle, Representation};
 use tahoma_nn::train::{accuracy, Example};
 use tahoma_nn::{Adam, Trainer};
@@ -46,20 +47,47 @@ impl Default for RealTrainConfig {
     }
 }
 
-/// Transform every image of a split into one representation's flat inputs.
+/// Transform every image of a split into each representation's flat
+/// inputs: one lattice-planned transcode per image materializes the whole
+/// representation set at once (shared luma plane, borrowed channel planes,
+/// cached resize tables — see `tahoma_imagery::engine`), instead of
+/// re-running the full pipeline per (image, representation) pair.
 ///
 /// Inputs are standardized per image (zero mean / unit variance) — without
 /// this, tiny CNNs on all-positive pixel inputs collapse to the constant
 /// predictor (loss pinned at ln 2), the standard failure mode Keras'
 /// preprocessing also guards against.
-fn transformed_inputs(ds: &Dataset, rep: Representation) -> Vec<Vec<f32>> {
-    ds.items
+fn transformed_input_sets(
+    ds: &Dataset,
+    reps: &[Representation],
+) -> HashMap<Representation, Vec<Vec<f32>>> {
+    let mut out: HashMap<Representation, Vec<Vec<f32>>> = reps
         .iter()
-        .map(|item| {
-            let r = rep.apply(&item.image).expect("dataset images are full RGB");
-            tahoma_imagery::transform::standardize(&r).into_data()
-        })
-        .collect()
+        .map(|&r| (r, Vec::with_capacity(ds.items.len())))
+        .collect();
+    let mut engine = TranscodeEngine::new();
+    // One plan per distinct image shape: a homogeneous dataset plans once,
+    // and mixed-size datasets (every shape pattern, including alternating)
+    // still plan each shape exactly once.
+    let mut plans: HashMap<(usize, usize), TranscodePlan> = HashMap::new();
+    for item in &ds.items {
+        let shape = (item.image.width(), item.image.height());
+        let plan = plans.entry(shape).or_insert_with(|| {
+            TranscodePlan::new(shape.0, shape.1, reps, &TranscodeCosts::default())
+        });
+        let mats = engine
+            .apply_planned(&item.image, plan)
+            .expect("dataset images are full RGB");
+        for (&rep, img) in reps.iter().zip(&mats) {
+            out.get_mut(&rep)
+                .expect("map seeded with every rep")
+                .push(engine.standardize(img).into_data());
+        }
+        // Only the standardized copies are kept; the materialized pixel
+        // buffers go back to the engine for the next image.
+        engine.recycle(mats);
+    }
+    out
 }
 
 /// Per-model training outcome (kept for reporting in examples).
@@ -93,18 +121,18 @@ pub fn build_real_repository(
         }
     }
 
-    // Materialize each distinct representation once per split (the same
-    // share-the-transform economics the deployment scenarios price).
-    let reps: std::collections::BTreeSet<Representation> =
-        variants.iter().map(|v| v.input).collect();
-    let mut train_cache: HashMap<Representation, Vec<Vec<f32>>> = HashMap::new();
-    let mut config_cache: HashMap<Representation, Vec<Vec<f32>>> = HashMap::new();
-    let mut eval_cache: HashMap<Representation, Vec<Vec<f32>>> = HashMap::new();
-    for &rep in &reps {
-        train_cache.insert(rep, transformed_inputs(&bundle.train, rep));
-        config_cache.insert(rep, transformed_inputs(&bundle.config, rep));
-        eval_cache.insert(rep, transformed_inputs(&bundle.eval, rep));
-    }
+    // Materialize each distinct representation once per split, all of them
+    // in one engine pass per image (the same share-the-transform economics
+    // the deployment scenarios price).
+    let reps: Vec<Representation> = variants
+        .iter()
+        .map(|v| v.input)
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let train_cache = transformed_input_sets(&bundle.train, &reps);
+    let config_cache = transformed_input_sets(&bundle.config, &reps);
+    let eval_cache = transformed_input_sets(&bundle.eval, &reps);
     let train_labels = bundle.train.labels();
 
     let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
@@ -266,6 +294,62 @@ mod tests {
         for e in &repo.entries {
             for &s in &e.eval_scores {
                 assert!((0.0..=1.0).contains(&s));
+            }
+        }
+    }
+
+    #[test]
+    fn transformed_inputs_handle_mixed_image_shapes() {
+        // The per-shape plan must rebuild when the dataset mixes sizes —
+        // the old per-image apply path accepted this, so the planned path
+        // must too.
+        use tahoma_imagery::{ColorMode, Image, LabeledImage};
+        let img = |s: usize| {
+            Image::from_fn(s, s, ColorMode::Rgb, |c, y, x| {
+                ((c + y + x) % 5) as f32 / 5.0
+            })
+            .unwrap()
+        };
+        let ds = tahoma_imagery::Dataset {
+            name: "mixed".into(),
+            items: vec![
+                LabeledImage {
+                    id: 0,
+                    label: true,
+                    difficulty: 0.1,
+                    image: img(24),
+                },
+                LabeledImage {
+                    id: 1,
+                    label: false,
+                    difficulty: 0.2,
+                    image: img(16),
+                },
+                LabeledImage {
+                    id: 2,
+                    label: true,
+                    difficulty: 0.3,
+                    image: img(24),
+                },
+            ],
+        };
+        let reps = vec![
+            Representation::new(8, ColorMode::Gray),
+            Representation::new(12, ColorMode::Rgb),
+        ];
+        let sets = transformed_input_sets(&ds, &reps);
+        for &rep in &reps {
+            let inputs = &sets[&rep];
+            assert_eq!(inputs.len(), 3);
+            for input in inputs {
+                assert_eq!(input.len(), rep.value_count());
+            }
+        }
+        // Matches the per-image path.
+        for (i, item) in ds.items.iter().enumerate() {
+            for &rep in &reps {
+                let want = tahoma_imagery::transform::standardize(&rep.apply(&item.image).unwrap());
+                assert_eq!(sets[&rep][i], want.into_data(), "item {i} rep {rep}");
             }
         }
     }

@@ -7,7 +7,11 @@ use tahoma::core::pareto::{is_pareto_optimal, pareto_frontier};
 use tahoma::core::planner::{order_predicates, PlannedPredicate};
 use tahoma::core::thresholds::{calibrate, negative_precision, positive_precision};
 use tahoma::core::Cascade;
-use tahoma::imagery::{transform, BlockCodec, Codec, ColorMode, Image, ObjectKind, RawCodec};
+use tahoma::imagery::engine::{Kernel as TKernel, TranscodeCosts, TranscodeEngine, TranscodePlan};
+use tahoma::imagery::repr::apply_reference;
+use tahoma::imagery::{
+    transform, BlockCodec, Codec, ColorMode, Image, ObjectKind, RawCodec, Representation,
+};
 use tahoma::nn::gemm::{self, GemmScratch, Kernel, Trans};
 use tahoma::nn::{Conv2d, Layer, Shape};
 
@@ -365,6 +369,142 @@ proptest! {
         for &v in out.data() {
             prop_assert!(v >= lo - 1e-5 && v <= hi + 1e-5);
         }
+    }
+
+    /// Every transcode-engine kernel tier resizes bitwise-identically to
+    /// the scalar reference loop across arbitrary shapes and color modes —
+    /// the separable two-pass sweep evaluates the same lerp chain per
+    /// output pixel.
+    #[test]
+    fn transcode_resize_tiers_match_reference_bitwise(
+        w in 1usize..40, h in 1usize..40, ow in 1usize..40, oh in 1usize..40,
+        mode_sel in 0usize..5, seed in 0u64..1000
+    ) {
+        let mode = ColorMode::ALL[mode_sel];
+        let mut rng = tahoma::mathx::DetRng::new(seed);
+        let src = Image::from_fn(w, h, mode, |_, _, _| rng.uniform() as f32).unwrap();
+        let want = transform::resize_bilinear_reference(&src, ow, oh).unwrap();
+        for kernel in TKernel::available() {
+            let mut e = TranscodeEngine::with_kernel(kernel);
+            let got = e.resize_bilinear(&src, ow, oh).unwrap();
+            prop_assert_eq!(got.data(), want.data(), "tier {}", kernel.name());
+        }
+    }
+
+    /// Engine `apply`, the lattice-planned `apply_planned`, and `apply_batch`
+    /// all produce outputs bitwise identical to the seed reference pipeline,
+    /// on every kernel tier, for arbitrary (non-square) sources and target
+    /// sets — including with recycled output buffers (steady-state serving).
+    #[test]
+    fn transcode_lattice_matches_direct_reference_bitwise(
+        w in 1usize..48, h in 1usize..48,
+        sizes in prop::collection::vec(1usize..48, 1..5),
+        mode_sels in prop::collection::vec(0usize..5, 1..5),
+        seed in 0u64..1000, batch in 1usize..3
+    ) {
+        let mut rng = tahoma::mathx::DetRng::new(seed);
+        let frames: Vec<Image> = (0..batch)
+            .map(|_| Image::from_fn(w, h, ColorMode::Rgb, |_, _, _| rng.uniform() as f32).unwrap())
+            .collect();
+        let reps: Vec<Representation> = sizes
+            .iter()
+            .zip(mode_sels.iter().cycle())
+            .map(|(&s, &m)| Representation::new(s, ColorMode::ALL[m]))
+            .collect();
+        let references: Vec<Vec<Image>> = frames
+            .iter()
+            .map(|f| reps.iter().map(|&r| apply_reference(f, r).unwrap()).collect())
+            .collect();
+        for kernel in TKernel::available() {
+            let mut e = TranscodeEngine::with_kernel(kernel);
+            // Per-rep apply.
+            for (f, refs) in frames.iter().zip(&references) {
+                for (&rep, want) in reps.iter().zip(refs) {
+                    let got = e.apply(f, rep).unwrap();
+                    prop_assert_eq!(got.data(), want.data(), "apply tier {} rep {}", kernel.name(), rep);
+                    prop_assert_eq!(got.mode(), want.mode());
+                    e.recycle([got]);
+                }
+            }
+            // Lattice-planned set, buffers recycled between frames.
+            let plan = TranscodePlan::new(w, h, &reps, &TranscodeCosts::default());
+            for (f, refs) in frames.iter().zip(&references) {
+                let got = e.apply_planned(f, &plan).unwrap();
+                for ((img, want), &rep) in got.iter().zip(refs).zip(&reps) {
+                    prop_assert_eq!(
+                        img.data(), want.data(),
+                        "planned tier {} rep {}", kernel.name(), rep
+                    );
+                }
+                e.recycle(got);
+            }
+            // Batch API.
+            let batched = e.apply_batch(&frames, &reps).unwrap();
+            for (per_frame, refs) in batched.iter().zip(&references) {
+                for (img, want) in per_frame.iter().zip(refs) {
+                    prop_assert_eq!(img.data(), want.data(), "batch tier {}", kernel.name());
+                }
+            }
+        }
+    }
+
+    /// Every standardize tier agrees bitwise (shared eight-lane f64
+    /// reduction) and produces zero mean / unit variance on non-constant
+    /// images.
+    #[test]
+    fn transcode_standardize_tiers_agree_bitwise(
+        w in 1usize..40, h in 1usize..40, mode_sel in 0usize..5, seed in 0u64..1000
+    ) {
+        let mode = ColorMode::ALL[mode_sel];
+        let mut rng = tahoma::mathx::DetRng::new(seed);
+        let src = Image::from_fn(w, h, mode, |_, _, _| rng.uniform() as f32).unwrap();
+        let mut base: Option<Image> = None;
+        for kernel in TKernel::available() {
+            let mut e = TranscodeEngine::with_kernel(kernel);
+            let s = e.standardize(&src);
+            match &base {
+                None => base = Some(s),
+                Some(b) => prop_assert_eq!(
+                    b.data(), s.data(), "standardize tier {} diverges", kernel.name()
+                ),
+            }
+        }
+        let s = base.expect("portable tier always runs");
+        let data = s.data();
+        let mean: f64 = data.iter().map(|&v| v as f64).sum::<f64>() / data.len() as f64;
+        prop_assert!(mean.abs() < 1e-3, "mean {mean}");
+        let var: f64 = data.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>()
+            / data.len() as f64;
+        // Either standardized (var ~ 1) or a constant image mapped to zero.
+        prop_assert!((var - 1.0).abs() < 1e-2 || data.iter().all(|&v| v == 0.0), "var {var}");
+    }
+
+    /// The lattice plan never prices a set above the naive per-target
+    /// direct pipeline by more than the documented mild-downscale slack,
+    /// and sharing makes gray-heavy sets strictly cheaper.
+    #[test]
+    fn transcode_plan_pricing_is_honest(
+        src in 8usize..256,
+        sizes in prop::collection::vec(1usize..256, 1..8),
+        mode_sels in prop::collection::vec(0usize..5, 1..8)
+    ) {
+        let reps: Vec<Representation> = sizes
+            .iter()
+            .zip(mode_sels.iter().cycle())
+            .map(|(&s, &m)| Representation::new(s, ColorMode::ALL[m]))
+            .collect();
+        let plan = TranscodePlan::new(src, src, &reps, &TranscodeCosts::default());
+        prop_assert!(plan.planned_cost_s().is_finite() && plan.planned_cost_s() >= 0.0);
+        // The gather-read model can exceed the naive all-input-samples
+        // model only on mild downscales, bounded by 2*out/in per axis.
+        prop_assert!(
+            plan.planned_cost_s() <= plan.direct_cost_s() * 2.0 + 1e-12,
+            "planned {} vs direct {}", plan.planned_cost_s(), plan.direct_cost_s()
+        );
+        // The execution order is a permutation of the target set.
+        let mut order = plan.order().to_vec();
+        order.sort_unstable();
+        prop_assert_eq!(order, (0..reps.len()).collect::<Vec<_>>());
     }
 
     /// DetRng is insensitive to interleaving: two streams derived from
