@@ -1,0 +1,113 @@
+//! Criterion bench: the measured per-op-class kernel policy.
+//!
+//! Three views:
+//!
+//! * a one-shot `costmodel::kernels::calibrate()` whose table and winning
+//!   policy are printed up front (the same measurement a serving process
+//!   runs at start-up);
+//! * `kernel_class`: every (op class, tier) calibration workload measured
+//!   criterion-style — the machine-readable per-class trend signal the CI
+//!   bench-trend job archives (`--json`);
+//! * `policy_dispatch`: hot paths dispatched through `Kernel::Auto` after
+//!   `calibrate_and_install()`, pinned against the acceptance bar — Auto
+//!   must run the measured winner (e.g. the 224→120 gray resize at the
+//!   AVX2 gather tier's time, not the AVX-512 gather's).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tahoma_costmodel::kernels;
+use tahoma_imagery::engine::{Kernel as IKernel, TranscodeEngine};
+use tahoma_imagery::{ColorMode, Image, Representation};
+use tahoma_mathx::simd_policy::{OpClass, SimdTier};
+use tahoma_nn::gemm::Kernel as NKernel;
+use tahoma_nn::kernels as nn_kernels;
+
+/// The tiers whose workloads can run on this CPU, per class (mirrors the
+/// calibration's tier sets).
+fn tiers_for(class: OpClass) -> Vec<SimdTier> {
+    match class {
+        OpClass::Gemm | OpClass::GemmWideK | OpClass::Matvec | OpClass::Relu | OpClass::Pool => {
+            NKernel::available().into_iter().map(|k| k.tier()).collect()
+        }
+        _ => IKernel::available().into_iter().map(|k| k.tier()).collect(),
+    }
+}
+
+/// Print the one-shot calibration (table + winning policy) before the
+/// criterion sweeps, so the bench log shows what a serving process would
+/// install on this machine.
+fn bench_calibration_report(_c: &mut Criterion) {
+    let cal = kernels::calibrate();
+    println!("--- one-shot kernel calibration (costmodel::kernels::calibrate) ---");
+    print!("{}", cal.table());
+    println!("--- winning policy ---");
+    print!("{}", cal.policy.serialize());
+    println!();
+}
+
+fn bench_kernel_classes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_class");
+    for class in OpClass::ALL {
+        for tier in tiers_for(class) {
+            let mut work = kernels::workload(class, tier);
+            group.bench_with_input(
+                BenchmarkId::new(class.name(), tier.name()),
+                &tier,
+                |b, _| b.iter(&mut work),
+            );
+        }
+    }
+    group.finish();
+}
+
+/// `Auto` dispatch under the freshly calibrated-and-installed policy: the
+/// end state every serving process reaches. The resize case is the
+/// acceptance bar for the AVX-512-gather fix; matvec is the acceptance bar
+/// for the batch-1 dense speedup.
+fn bench_policy_dispatch(c: &mut Criterion) {
+    let cal = kernels::calibrate_and_install();
+    println!(
+        "policy_dispatch runs under the installed policy (resize-h-gather -> {})",
+        cal.policy.tier(OpClass::ResizeHGather).name()
+    );
+    let mut group = c.benchmark_group("policy_dispatch");
+
+    let src = Image::from_fn(224, 224, ColorMode::Rgb, |c, y, x| {
+        ((c * 13 + y * 7 + x * 3) % 17) as f32 / 17.0
+    })
+    .unwrap();
+    let gray = Representation::new(224, ColorMode::Gray)
+        .apply(&src)
+        .unwrap();
+    let mut engine = TranscodeEngine::new(); // Kernel::Auto -> installed policy
+    group.bench_function("resize_224to120_gray_auto", |b| {
+        b.iter(|| {
+            let img = engine.resize_bilinear(&gray, 120, 120).unwrap();
+            black_box(img.data()[0]);
+            engine.recycle([img]);
+        })
+    });
+
+    let (n_out, n_in) = (16usize, 3600usize);
+    let weights: Vec<f32> = (0..n_out * n_in)
+        .map(|i| (i % 97) as f32 / 97.0 - 0.5)
+        .collect();
+    let bias = vec![0.1f32; n_out];
+    let x: Vec<f32> = (0..n_in).map(|i| (i % 89) as f32 / 89.0 - 0.5).collect();
+    let mut out = vec![0.0f32; n_out];
+    group.bench_function("matvec_16x3600_auto", |b| {
+        b.iter(|| {
+            nn_kernels::matvec(NKernel::Auto, &weights, &bias, &x, &mut out);
+            black_box(out[0]);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_calibration_report,
+    bench_kernel_classes,
+    bench_policy_dispatch
+);
+criterion_main!(benches);

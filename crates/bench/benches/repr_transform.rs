@@ -38,6 +38,14 @@ fn bench_resize_kernels(c: &mut Criterion) {
                 b.iter(|| black_box(e.resize_bilinear(&gray, out, out).unwrap()))
             });
         }
+        // `Auto` under the per-op-class policy: the heuristic default pins
+        // the gathered horizontal pass to AVX2, so this line must track
+        // the avx2 tier above, not the avx512 one (the ROADMAP gather
+        // regression, fixed by policy).
+        let mut e = TranscodeEngine::new();
+        group.bench_with_input(BenchmarkId::new("auto_policy", out), &out, |b, &out| {
+            b.iter(|| black_box(e.resize_bilinear(&gray, out, out).unwrap()))
+        });
     }
     group.finish();
 }

@@ -1,0 +1,209 @@
+//! Bench-trend gate: compare criterion `--json` reports against a
+//! committed baseline and fail on large regressions.
+//!
+//! ```text
+//! bench_trend compare <baseline.json> <current.json>... [--max-ratio 2.0]
+//! bench_trend merge <out.json> <in.json>...
+//! ```
+//!
+//! `compare` matches benchmark ids between the baseline and the current
+//! reports, prints a ratio table, and exits non-zero if any benchmark's
+//! `sec_per_iter` exceeds `max-ratio` times its baseline (default 2.0 —
+//! wide on purpose: CI runs the benches in `--quick` smoke mode, whose
+//! medians are noisy, so the gate catches order-of-magnitude breakage like
+//! a tier silently falling back to scalar, not percent-level drift).
+//! Benchmarks present on only one side are reported but never fail the
+//! gate (new benches land before their baseline; retired ones linger in
+//! the baseline until it is regenerated).
+//!
+//! The JSON schema is the vendored criterion's `--json` output:
+//! `[{"id": "...", "sec_per_iter": 1.2e-5, "iters_per_sample": 42}, ...]`.
+//! Parsing is a purpose-built scanner for exactly that shape (the vendored
+//! dependency set has no serde).
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Extract `(id, sec_per_iter)` pairs from a criterion `--json` report.
+fn parse_entries(text: &str) -> Result<Vec<(String, f64)>, String> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(start) = rest.find("{") {
+        let obj_end = rest[start..].find('}').ok_or("unterminated object")? + start;
+        let obj = &rest[start..=obj_end];
+        let id = field_str(obj, "id").ok_or_else(|| format!("object without id: {obj}"))?;
+        let sec = field_num(obj, "sec_per_iter")
+            .ok_or_else(|| format!("object without sec_per_iter: {obj}"))?;
+        out.push((id, sec));
+        rest = &rest[obj_end + 1..];
+    }
+    Ok(out)
+}
+
+/// The string value of `"name": "..."` inside one JSON object (ids contain
+/// no escapes beyond the two the writer produces).
+fn field_str(obj: &str, name: &str) -> Option<String> {
+    let key = format!("\"{name}\":");
+    let after = &obj[obj.find(&key)? + key.len()..];
+    let open = after.find('"')?;
+    let mut value = String::new();
+    let mut escape = false;
+    for ch in after[open + 1..].chars() {
+        match (escape, ch) {
+            (true, c) => {
+                value.push(c);
+                escape = false;
+            }
+            (false, '\\') => escape = true,
+            (false, '"') => return Some(value),
+            (false, c) => value.push(c),
+        }
+    }
+    None
+}
+
+/// The numeric value of `"name": <number>` inside one JSON object.
+fn field_num(obj: &str, name: &str) -> Option<f64> {
+    let key = format!("\"{name}\":");
+    let after = obj[obj.find(&key)? + key.len()..].trim_start();
+    let end = after
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(after.len());
+    after[..end].parse().ok()
+}
+
+fn load(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_entries(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn fmt_time(sec: f64) -> String {
+    if sec < 1e-6 {
+        format!("{:.2} ns", sec * 1e9)
+    } else if sec < 1e-3 {
+        format!("{:.2} µs", sec * 1e6)
+    } else {
+        format!("{:.2} ms", sec * 1e3)
+    }
+}
+
+fn compare(args: &[String]) -> Result<ExitCode, String> {
+    let mut max_ratio = 2.0f64;
+    let mut paths = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--max-ratio" {
+            max_ratio = it
+                .next()
+                .ok_or("--max-ratio needs a value")?
+                .parse()
+                .map_err(|e| format!("bad --max-ratio: {e}"))?;
+        } else {
+            paths.push(a.clone());
+        }
+    }
+    let [baseline_path, current_paths @ ..] = paths.as_slice() else {
+        return Err("usage: bench_trend compare <baseline.json> <current.json>...".into());
+    };
+    if current_paths.is_empty() {
+        return Err("compare needs at least one current report".into());
+    }
+    let baseline: BTreeMap<String, f64> = load(baseline_path)?.into_iter().collect();
+    let mut current = BTreeMap::new();
+    for p in current_paths {
+        current.extend(load(p)?);
+    }
+
+    let mut regressions = 0usize;
+    let mut missing_baseline = 0usize;
+    println!(
+        "{:<56} {:>12} {:>12} {:>8}  verdict",
+        "benchmark", "baseline", "current", "ratio"
+    );
+    for (id, &cur) in &current {
+        match baseline.get(id) {
+            Some(&base) if base > 0.0 => {
+                let ratio = cur / base;
+                let verdict = if ratio > max_ratio {
+                    regressions += 1;
+                    "REGRESSED"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "{id:<56} {:>12} {:>12} {ratio:>7.2}x  {verdict}",
+                    fmt_time(base),
+                    fmt_time(cur)
+                );
+            }
+            _ => {
+                missing_baseline += 1;
+                println!(
+                    "{id:<56} {:>12} {:>12} {:>8}  new (no baseline)",
+                    "-",
+                    fmt_time(cur),
+                    "-"
+                );
+            }
+        }
+    }
+    for id in baseline.keys().filter(|id| !current.contains_key(*id)) {
+        println!(
+            "{id:<56} {:>12} {:>12} {:>8}  missing from current run",
+            "-", "-", "-"
+        );
+    }
+    println!(
+        "\n{} benchmarks compared, {} new, {} regressed (gate: >{}x)",
+        current.len() - missing_baseline,
+        missing_baseline,
+        regressions,
+        max_ratio
+    );
+    Ok(if regressions > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn merge(args: &[String]) -> Result<ExitCode, String> {
+    let [out_path, in_paths @ ..] = args else {
+        return Err("usage: bench_trend merge <out.json> <in.json>...".into());
+    };
+    if in_paths.is_empty() {
+        return Err("merge needs at least one input report".into());
+    }
+    let mut entries = Vec::new();
+    for p in in_paths {
+        entries.extend(load(p)?);
+    }
+    let mut out = String::from("[\n");
+    for (i, (id, sec)) in entries.iter().enumerate() {
+        let id = id.replace('\\', "\\\\").replace('"', "\\\"");
+        out.push_str(&format!(
+            "  {{\"id\": \"{id}\", \"sec_per_iter\": {sec:e}, \"iters_per_sample\": 0}}{}\n",
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    std::fs::write(out_path, out).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    println!("merged {} entries into {out_path}", entries.len());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.split_first() {
+        Some((cmd, rest)) if cmd == "compare" => compare(rest),
+        Some((cmd, rest)) if cmd == "merge" => merge(rest),
+        _ => Err("usage: bench_trend <compare|merge> ...".into()),
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("bench_trend: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

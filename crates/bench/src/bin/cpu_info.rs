@@ -1,0 +1,38 @@
+//! CPU facts for CI logs and conditional bench steps.
+//!
+//! ```text
+//! cpu_info            # human-readable: parallelism + detected SIMD tiers
+//! cpu_info cores      # just the available_parallelism number (for shell)
+//! ```
+//!
+//! The forced-tier CI matrix logs this on every run; the moment a
+//! multi-core runner appears, the `cores` form gates the `gemm_threads`
+//! scaling bench on it (the top ROADMAP measurement item).
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |v| v.get());
+    if std::env::args().nth(1).as_deref() == Some("cores") {
+        println!("{cores}");
+        return;
+    }
+    println!("available_parallelism: {cores}");
+    let nn_tiers: Vec<&str> = tahoma_nn::gemm::Kernel::available()
+        .into_iter()
+        .map(|k| k.name())
+        .collect();
+    let img_tiers: Vec<&str> = tahoma_imagery::engine::Kernel::available()
+        .into_iter()
+        .map(|k| k.name())
+        .collect();
+    println!("nn kernel tiers: {}", nn_tiers.join(", "));
+    println!("imagery kernel tiers: {}", img_tiers.join(", "));
+    println!(
+        "kernel policy (global): {}",
+        tahoma_mathx::simd_policy::global_policy()
+            .serialize()
+            .lines()
+            .filter(|l| !l.starts_with('#'))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+}

@@ -24,18 +24,25 @@
 //!   representation (§VII-A);
 //! * [`profiler`] — the cost profiler from Fig. 2: analytic (calibrated to
 //!   the paper's GPU testbed) and measured (times this machine's real codec,
-//!   transform and `tahoma-nn` inference).
+//!   transform and `tahoma-nn` inference);
+//! * [`kernels`] — the same measured-profiling discipline applied one layer
+//!   down: microbenchmark every SIMD kernel tier per op class on the
+//!   running CPU and install the winners as the process-global
+//!   `Kernel::Auto` policy, so both the serving hot paths and the costs the
+//!   measured profiler reports to the planner reflect the tuned kernels.
 //!
 //! [`Representation`]: tahoma_imagery::Representation
 
 pub mod calibration;
 pub mod device;
+pub mod kernels;
 pub mod profiler;
 pub mod scenario;
 pub mod storage;
 pub mod transform;
 
 pub use device::DeviceProfile;
+pub use kernels::{calibrate_and_install, KernelCalibration, TierSample};
 pub use profiler::{AnalyticProfiler, CostBreakdown, CostProfiler, MeasuredProfiler};
 pub use scenario::{Scenario, ScenarioCosts};
 pub use storage::StorageProfile;

@@ -75,12 +75,22 @@ use crate::repr::Representation;
 use std::borrow::Cow;
 use std::cell::RefCell;
 use std::collections::HashMap;
+use tahoma_mathx::simd_policy::{self, OpClass, SimdTier};
 
-/// Kernel-tier selection. `Auto` (the default) resolves per operation
-/// through `is_x86_feature_detected!`; the explicit variants exist so the
-/// benches and property tests can pin a tier. Forcing a tier the running
-/// CPU does not support resolves to detection instead (never to an illegal
-/// instruction).
+/// Kernel-tier selection. `Auto` (the default) resolves **per op class**
+/// through the global [`tahoma_mathx::simd_policy`] table — each dispatcher
+/// below looks up its own class (`resize-h-gather`, `resize-v`, `luma`,
+/// `standardize`), falling back to `is_x86_feature_detected!` for untuned
+/// `SimdTier::Auto` entries. The heuristic default pins the gathered
+/// horizontal-resize pass to AVX2 (measurably ~25% faster than the AVX-512
+/// gather on the parts profiled so far) while the contiguous sweeps keep
+/// detection; a measured calibration (`tahoma_costmodel::kernels`) or the
+/// `TAHOMA_KERNEL_POLICY` env override replaces those choices wholesale.
+/// The explicit variants exist so the benches and property tests can pin a
+/// tier. Forcing (or policy-selecting) a tier the running CPU does not
+/// support resolves to detection instead (never to an illegal
+/// instruction) — and since every tier is bitwise identical, any
+/// resolution is equally correct.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Kernel {
     /// Detect the best supported tier at call time.
@@ -138,13 +148,40 @@ impl Kernel {
         }
     }
 
-    /// Resolve `Auto` to a concrete supported tier, and demote an
-    /// explicitly requested tier the CPU cannot run.
-    fn resolve(self) -> Kernel {
-        match self {
+    /// Resolve `Auto` for one op class: look the class up in the global
+    /// [`tahoma_mathx::simd_policy`] table, falling back to feature
+    /// detection when the policy says `Auto` or names a tier this CPU
+    /// cannot run. Explicitly requested tiers bypass the policy (demoted
+    /// to detection only when unsupported).
+    pub fn resolve_class(self, class: OpClass) -> Kernel {
+        let requested = match self {
+            Kernel::Auto => Kernel::from_tier(simd_policy::global_tier(class)),
+            k => k,
+        };
+        match requested {
             Kernel::Auto => Kernel::detect(),
             k if k.supported() => k,
             _ => Kernel::detect(),
+        }
+    }
+
+    /// The crate-local kernel for a policy tier.
+    pub fn from_tier(tier: SimdTier) -> Kernel {
+        match tier {
+            SimdTier::Auto => Kernel::Auto,
+            SimdTier::Portable => Kernel::Portable,
+            SimdTier::Avx2 => Kernel::Avx2,
+            SimdTier::Avx512 => Kernel::Avx512,
+        }
+    }
+
+    /// This kernel's policy-tier name (inverse of [`Kernel::from_tier`]).
+    pub fn tier(self) -> SimdTier {
+        match self {
+            Kernel::Auto => SimdTier::Auto,
+            Kernel::Portable => SimdTier::Portable,
+            Kernel::Avx2 => SimdTier::Avx2,
+            Kernel::Avx512 => SimdTier::Avx512,
         }
     }
 
@@ -269,10 +306,12 @@ fn axis_rows_touched(y: &AxisPlan) -> usize {
 // ---------------------------------------------------------------------------
 
 /// Horizontal resize pass: `dst[o] = src[i0[o]]*w0[o] + src[i1[o]]*w1[o]`.
+/// Gathered loads — its own policy class (`resize-h-gather`), the one
+/// where AVX-512 measured slower than AVX2.
 fn hlerp(kernel: Kernel, src: &[f32], x: &AxisPlan, dst: &mut [f32]) {
     assert_eq!(dst.len(), x.i0.len());
     assert!(x.max_index < src.len(), "axis plan exceeds source row");
-    match kernel {
+    match kernel.resolve_class(OpClass::ResizeHGather) {
         #[cfg(target_arch = "x86_64")]
         // SAFETY: `kernel` was resolved through `Kernel::supported`, so the
         // required CPU features are present; slice preconditions asserted
@@ -289,10 +328,11 @@ fn hlerp(kernel: Kernel, src: &[f32], x: &AxisPlan, dst: &mut [f32]) {
     }
 }
 
-/// Vertical resize pass: `dst[i] = top[i]*w0 + bot[i]*w1`.
+/// Vertical resize pass: `dst[i] = top[i]*w0 + bot[i]*w1` (contiguous;
+/// policy class `resize-v`).
 fn vlerp(kernel: Kernel, top: &[f32], bot: &[f32], w0: f32, w1: f32, dst: &mut [f32]) {
     assert!(top.len() >= dst.len() && bot.len() >= dst.len());
-    match kernel {
+    match kernel.resolve_class(OpClass::ResizeV) {
         #[cfg(target_arch = "x86_64")]
         // SAFETY: features runtime-detected; lengths asserted above.
         Kernel::Avx2 => unsafe { x86::vlerp_avx2(top, bot, w0, w1, dst) },
@@ -308,12 +348,12 @@ fn vlerp(kernel: Kernel, top: &[f32], bot: &[f32], w0: f32, w1: f32, dst: &mut [
 }
 
 /// RGB→gray luma sweep: `dst[i] = (wr*r[i] + wg*g[i]) + wb*b[i]`, the exact
-/// evaluation order of the scalar `convert_mode`.
+/// evaluation order of the scalar `convert_mode` (policy class `luma`).
 fn luma(kernel: Kernel, r: &[f32], g: &[f32], b: &[f32], dst: &mut [f32]) {
     let n = dst.len();
     assert!(r.len() >= n && g.len() >= n && b.len() >= n);
     let [wr, wg, wb] = LUMA_WEIGHTS;
-    match kernel {
+    match kernel.resolve_class(OpClass::Luma) {
         #[cfg(target_arch = "x86_64")]
         // SAFETY: features runtime-detected; lengths asserted above.
         Kernel::Avx2 => unsafe { x86::luma_avx2(r, g, b, dst) },
@@ -340,12 +380,13 @@ fn fold_lanes(acc: [f64; RED_LANES]) -> f64 {
     ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))
 }
 
-/// Lane-strided sum: element `i` accumulates into lane `i % 8` in f64.
+/// Lane-strided sum: element `i` accumulates into lane `i % 8` in f64
+/// (policy class `standardize`, with the other two standardize sweeps).
 fn sum_lanes(kernel: Kernel, data: &[f32]) -> [f64; RED_LANES] {
     let mut acc = [0.0f64; RED_LANES];
     let chunks = data.chunks_exact(RED_LANES);
     let tail = chunks.remainder();
-    match kernel {
+    match kernel.resolve_class(OpClass::Standardize) {
         #[cfg(target_arch = "x86_64")]
         // SAFETY: features runtime-detected.
         Kernel::Avx2 => unsafe { x86::sum_lanes_avx2(data, &mut acc) },
@@ -371,7 +412,7 @@ fn sq_dev_lanes(kernel: Kernel, data: &[f32], mean: f64) -> [f64; RED_LANES] {
     let mut acc = [0.0f64; RED_LANES];
     let chunks = data.chunks_exact(RED_LANES);
     let tail = chunks.remainder();
-    match kernel {
+    match kernel.resolve_class(OpClass::Standardize) {
         #[cfg(target_arch = "x86_64")]
         // SAFETY: features runtime-detected.
         Kernel::Avx2 => unsafe { x86::sq_dev_lanes_avx2(data, mean, &mut acc) },
@@ -394,10 +435,11 @@ fn sq_dev_lanes(kernel: Kernel, data: &[f32], mean: f64) -> [f64; RED_LANES] {
     acc
 }
 
-/// Normalize sweep: `dst[i] = (src[i] - mean) * inv` in f32.
+/// Normalize sweep: `dst[i] = (src[i] - mean) * inv` in f32 (policy class
+/// `standardize`).
 fn scale_shift(kernel: Kernel, src: &[f32], mean: f32, inv: f32, dst: &mut [f32]) {
     assert!(src.len() >= dst.len());
-    match kernel {
+    match kernel.resolve_class(OpClass::Standardize) {
         #[cfg(target_arch = "x86_64")]
         // SAFETY: features runtime-detected; length asserted above.
         Kernel::Avx2 => unsafe { x86::scale_shift_avx2(src, mean, inv, dst) },
@@ -1096,7 +1138,7 @@ impl TranscodeEngine {
                 height: out_h,
             });
         }
-        let kernel = self.kernel.resolve();
+        let kernel = self.kernel;
         let (in_w, in_h) = (src.width(), src.height());
         let n = out_w * out_h;
         let mut data = Self::out_buf(&mut self.pool, &mut self.pooled, n * src.channels());
@@ -1122,7 +1164,7 @@ impl TranscodeEngine {
         let n = src.width() * src.height();
         self.luma_plane.resize(n, 0.0);
         luma(
-            self.kernel.resolve(),
+            self.kernel,
             src.plane(0),
             src.plane(1),
             src.plane(2),
@@ -1152,7 +1194,7 @@ impl TranscodeEngine {
                 }
                 let mut buf = Self::out_buf(&mut self.pool, &mut self.pooled, w * h);
                 luma(
-                    self.kernel.resolve(),
+                    self.kernel,
                     src.plane(0),
                     src.plane(1),
                     src.plane(2),
@@ -1177,7 +1219,7 @@ impl TranscodeEngine {
     /// bitwise; results can differ from a naive sequential sum by float
     /// reassociation only.
     pub fn standardize(&mut self, src: &Image) -> Image {
-        let kernel = self.kernel.resolve();
+        let kernel = self.kernel;
         let data = src.data();
         let n = data.len() as f64;
         let mean = fold_lanes(sum_lanes(kernel, data)) / n;
@@ -1201,7 +1243,7 @@ impl TranscodeEngine {
                 height: side,
             });
         }
-        let kernel = self.kernel.resolve();
+        let kernel = self.kernel;
         let (w, h) = (src.width(), src.height());
         let mut out = Self::out_buf(&mut self.pool, &mut self.pooled, side * side);
         if src.mode() == ColorMode::Rgb {
@@ -1241,7 +1283,7 @@ impl TranscodeEngine {
         if full.mode() != ColorMode::Rgb {
             return Err(ImageryError::NotRgbSource);
         }
-        let kernel = self.kernel.resolve();
+        let kernel = self.kernel;
         let (w, h) = (full.width(), full.height());
         let same_size = rep.size == w && rep.size == h;
         let n = rep.size * rep.size;
@@ -1329,7 +1371,7 @@ impl TranscodeEngine {
                 height: full.height(),
             });
         }
-        let kernel = self.kernel.resolve();
+        let kernel = self.kernel;
         let (w, h) = (full.width(), full.height());
         // A same-size gray target doubles as the shared luma plane: luma
         // straight into its output buffer and let every other gray target
@@ -1491,6 +1533,33 @@ pub fn with_local_engine<R>(f: impl FnOnce(&mut TranscodeEngine) -> R) -> R {
     LOCAL_ENGINE.with(|e| f(&mut e.borrow_mut()))
 }
 
+// ---------------------------------------------------------------------------
+// Calibration entry points. `tahoma_costmodel::kernels` microbenchmarks each
+// op class per tier through these (and `TranscodeEngine::standardize` for
+// the standardize class); they run exactly one sweep of the named class so
+// the measured medians isolate that class's kernel. Not intended for
+// production transcoding — use the engine methods.
+// ---------------------------------------------------------------------------
+
+/// One horizontal gather pass (`resize-h-gather` class): resample `src`
+/// (one source row of the plan's input width) through the plan's x-axis
+/// span tables into `dst` (the plan's output width).
+pub fn hlerp_span(kernel: Kernel, src: &[f32], plan: &ResizePlan, dst: &mut [f32]) {
+    assert_eq!(src.len(), plan.in_w, "source row width");
+    assert_eq!(dst.len(), plan.out_w, "destination row width");
+    hlerp(kernel, src, &plan.x, dst);
+}
+
+/// One vertical lerp pass (`resize-v` class) over a pair of resampled rows.
+pub fn vlerp_rows(kernel: Kernel, top: &[f32], bot: &[f32], w0: f32, w1: f32, dst: &mut [f32]) {
+    vlerp(kernel, top, bot, w0, w1, dst);
+}
+
+/// One RGB→gray luma sweep (`luma` class) over three equal-length planes.
+pub fn luma_sweep(kernel: Kernel, r: &[f32], g: &[f32], b: &[f32], dst: &mut [f32]) {
+    luma(kernel, r, g, b, dst);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1508,7 +1577,41 @@ mod tests {
         let tiers = Kernel::available();
         assert_eq!(tiers[0], Kernel::Portable);
         assert!(tiers.contains(&Kernel::detect()));
-        assert_eq!(Kernel::Auto.resolve(), Kernel::detect());
+        // A class whose policy entry is untuned resolves by detection
+        // (skip when an env override or calibration pinned it).
+        if simd_policy::global_policy().tier(OpClass::Luma) == SimdTier::Auto {
+            assert_eq!(Kernel::Auto.resolve_class(OpClass::Luma), Kernel::detect());
+        }
+    }
+
+    /// The ROADMAP AVX-512-gather regression, pinned heuristically: with
+    /// no calibration installed (the heuristic default policy), `Auto` on
+    /// both resize passes must resolve to the AVX2 tier on any machine
+    /// that has it — never to the slower AVX-512 gather, and never to a
+    /// mixed-license h/v pair (the two passes interleave row by row, so an
+    /// AVX-512 vertical pass would drag the AVX2 gathers into the reduced
+    /// 512-bit frequency license).
+    #[test]
+    fn auto_resize_tiers_default_to_avx2() {
+        let policy = simd_policy::global_policy();
+        for class in [OpClass::ResizeHGather, OpClass::ResizeV] {
+            // Only meaningful when nothing (calibration, env) overrode the
+            // heuristic for this class.
+            if policy.tier(class) != SimdTier::Avx2 {
+                continue;
+            }
+            let resolved = Kernel::Auto.resolve_class(class);
+            if Kernel::Avx2.supported() {
+                assert_eq!(
+                    resolved,
+                    Kernel::Avx2,
+                    "{:?} must not prefer AVX-512",
+                    class
+                );
+            } else {
+                assert_eq!(resolved, Kernel::detect());
+            }
+        }
     }
 
     #[test]

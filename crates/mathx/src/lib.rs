@@ -6,11 +6,19 @@
 //! This crate also provides normal sampling (the approved crate set does not
 //! include `rand_distr`) and the handful of descriptive statistics the
 //! evaluation needs.
+//!
+//! As the lowest crate in the workspace it additionally hosts
+//! [`simd_policy`]: the per-op-class kernel-tier policy that the SIMD
+//! dispatchers in `tahoma-nn` and `tahoma-imagery` consult when resolving
+//! `Kernel::Auto`, and that `tahoma-costmodel`'s measured calibration
+//! tunes.
 
 pub mod rng;
+pub mod simd_policy;
 pub mod stats;
 
 pub use rng::{hash64, split_seed, DetRng};
+pub use simd_policy::{KernelPolicy, OpClass, SimdTier};
 pub use stats::{logistic, mean, normal_cdf, normal_quantile, percentile, std_dev, Summary};
 
 #[cfg(test)]

@@ -29,6 +29,12 @@
 //!   the same `k` order, so their results are **bitwise identical** to each
 //!   other (property-tested in `tests/proptests.rs`); only accumulation
 //!   *across* tiles (vs. the scalar reference path) differs by a few ULPs.
+//!   `Auto` resolves through the per-op-class policy
+//!   ([`tahoma_mathx::simd_policy`]): regular products under the `gemm`
+//!   class, short-accumulation products (`k <=` [`SMALL_K_MAX`] — the
+//!   first-layer convs) under `gemm-wide-k`, so a measured calibration
+//!   (`tahoma_costmodel::kernels`) or `TAHOMA_KERNEL_POLICY` can steer each
+//!   independently of the static widest-ISA heuristic.
 //!
 //! * the macro-kernel threads across `NR`-aligned column ranges of C via
 //!   `std::thread::scope` when the problem is big enough ([`GemmScratch`]'s
@@ -37,6 +43,8 @@
 //!   Column-splitting leaves every output element's accumulation order
 //!   untouched, so threaded results are bitwise equal to single-threaded
 //!   ones.
+
+use tahoma_mathx::simd_policy::{self, OpClass, SimdTier};
 
 /// Micro-kernel tile rows (register blocking in M).
 pub const MR: usize = 6;
@@ -54,7 +62,7 @@ pub const NR_WIDE: usize = 64;
 /// tile: `k = c_in * kk * kk <= 32` covers 1-3 input channels with 3x3
 /// kernels — exactly the first-layer shapes where the standard tile spends
 /// more time on fixed costs than FLOPs.
-const SMALL_K_MAX: usize = 32;
+pub const SMALL_K_MAX: usize = 32;
 
 /// Cache-blocking size along M (rows of A per packed block; multiple of MR).
 const MC: usize = 60;
@@ -72,7 +80,7 @@ const DIRECT_BLOCK_BYTES: usize = 3 * 512 * 1024;
 /// Auto-threading grain: spawn roughly one worker per this many FLOPs
 /// (~0.2 ms of single-thread work), so scoped-thread spawn cost stays a
 /// few percent of each worker's runtime.
-const PAR_MIN_FLOPS: f64 = 1.6e7;
+pub const PAR_MIN_FLOPS: f64 = 1.6e7;
 
 /// Whether an operand is used as stored or transposed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,8 +92,12 @@ pub enum Trans {
 }
 
 /// Micro-kernel selection. `Auto` (the default) resolves per call through
-/// `is_x86_feature_detected!`; the explicit variants exist so benches and
-/// property tests can pin a tier. Forcing a tier the running CPU does not
+/// the per-op-class [`tahoma_mathx::simd_policy`] table — an entry of
+/// `SimdTier::Auto` (the untuned default) falls back to
+/// `is_x86_feature_detected!` — so a calibrated or env-forced policy
+/// (`TAHOMA_KERNEL_POLICY`) steers every `Auto` call site without touching
+/// it. The explicit variants exist so benches and property tests can pin a
+/// tier. Forcing (or policy-selecting) a tier the running CPU does not
 /// support silently resolves to detection instead (never to an illegal
 /// instruction).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -153,14 +165,42 @@ impl Kernel {
         }
     }
 
-    /// Resolve `Auto` to a concrete supported tier, and demote an
-    /// explicitly requested tier the CPU cannot run. (Feature detection is
-    /// cached by the standard library, so this is branch-cheap per call.)
-    fn resolve(self) -> Kernel {
-        match self {
+    /// Resolve `Auto` for one op class: look the class up in the global
+    /// [`tahoma_mathx::simd_policy`] table, falling back to feature
+    /// detection when the policy says `Auto` or names a tier this CPU
+    /// cannot run. Explicitly requested tiers bypass the policy (demoted
+    /// to detection only when unsupported). Policy lookup is one relaxed
+    /// atomic load and feature detection is cached by the standard
+    /// library, so this is branch-cheap per call.
+    pub fn resolve_class(self, class: OpClass) -> Kernel {
+        let requested = match self {
+            Kernel::Auto => Kernel::from_tier(simd_policy::global_tier(class)),
+            k => k,
+        };
+        match requested {
             Kernel::Auto => Kernel::detect(),
             k if k.supported() => k,
             _ => Kernel::detect(),
+        }
+    }
+
+    /// The crate-local kernel for a policy tier.
+    pub fn from_tier(tier: SimdTier) -> Kernel {
+        match tier {
+            SimdTier::Auto => Kernel::Auto,
+            SimdTier::Portable => Kernel::Portable,
+            SimdTier::Avx2 => Kernel::Avx2,
+            SimdTier::Avx512 => Kernel::Avx512,
+        }
+    }
+
+    /// This kernel's policy-tier name (inverse of [`Kernel::from_tier`]).
+    pub fn tier(self) -> SimdTier {
+        match self {
+            Kernel::Auto => SimdTier::Auto,
+            Kernel::Portable => SimdTier::Portable,
+            Kernel::Avx2 => SimdTier::Avx2,
+            Kernel::Avx512 => SimdTier::Avx512,
         }
     }
 
@@ -360,7 +400,7 @@ pub fn gemm(
     if m == 0 || n == 0 || k == 0 {
         return;
     }
-    let kernel = scratch.kernel.resolve();
+    let kernel = scratch.kernel.resolve_class(OpClass::Gemm);
     if ta == Trans::N && tb == Trans::N && k <= DIRECT_K_MAX {
         return gemm_direct_nn(scratch, kernel, m, n, k, a, b, c, None);
     }
@@ -619,7 +659,7 @@ pub fn gemm_nn_bias(
         }
         return gemm(scratch, m, n, k, a, Trans::N, b, Trans::N, c);
     }
-    let kernel = scratch.kernel.resolve();
+    let kernel = scratch.kernel.resolve_class(OpClass::Gemm);
     gemm_direct_nn(scratch, kernel, m, n, k, a, b, c, Some(bias))
 }
 
@@ -669,7 +709,15 @@ pub fn conv2d_forward(
     if hw == 0 || out_c == 0 {
         return;
     }
-    let kernel = scratch.kernel.resolve();
+    // Short accumulation depths are their own policy class: the AVX-512
+    // wide tile and the AVX2 tier trade places depending on the part, so
+    // the measured policy can pick per machine.
+    let class = if k_total <= SMALL_K_MAX {
+        OpClass::GemmWideK
+    } else {
+        OpClass::Gemm
+    };
+    let kernel = scratch.kernel.resolve_class(class);
 
     // 1. Frame every plane in zero slack wide enough for any (ky, kx)
     //    offset, plus a wide-tile guard at the very end for the last strip.

@@ -25,6 +25,7 @@
 
 use crate::gemm::{self, GemmScratch};
 use crate::init::{he_normal, xavier_uniform};
+use crate::kernels;
 use crate::tensor::Shape;
 use tahoma_mathx::DetRng;
 
@@ -474,13 +475,27 @@ impl Layer for MaxPool2 {
         out
     }
 
-    fn forward_batch(&mut self, input: &[f32], batch: usize, out: &mut Vec<f32>, _cache: bool) {
-        // The argmax indices double as the pooling workspace, so they are
-        // recorded regardless of `cache`.
+    fn forward_batch(&mut self, input: &[f32], batch: usize, out: &mut Vec<f32>, cache: bool) {
         let in_len = self.input.len();
         let out_len = self.output_shape().len();
         debug_assert_eq!(input.len(), batch * in_len);
         out.resize(batch * out_len, 0.0);
+        if !cache {
+            // Inference: no argmax bookkeeping — the runtime-dispatched
+            // SIMD max sweep (`pool` policy class), bitwise identical to
+            // `pool_one`'s strict-`>` running max.
+            let (c, h, w) = (self.input.c, self.input.h, self.input.w);
+            let (oh, ow) = (h / 2, w / 2);
+            for b in 0..batch {
+                for ch in 0..c {
+                    let plane = &input[b * in_len + ch * h * w..b * in_len + (ch + 1) * h * w];
+                    let dst =
+                        &mut out[b * out_len + ch * oh * ow..b * out_len + (ch + 1) * oh * ow];
+                    kernels::maxpool2_plane(gemm::Kernel::Auto, plane, h, w, dst);
+                }
+            }
+            return;
+        }
         self.argmax.resize(batch * out_len, 0);
         for b in 0..batch {
             self.pool_one(input, b * in_len, out, b * out_len);
@@ -555,13 +570,15 @@ impl Layer for Relu {
     }
 
     fn forward_batch(&mut self, input: &[f32], _batch: usize, out: &mut Vec<f32>, cache: bool) {
-        out.clear();
         if !cache {
-            // Inference: a pure clamp, no mask bookkeeping — vectorizes to
-            // a single max-with-zero sweep.
-            out.extend(input.iter().map(|&v| v.max(0.0)));
+            // Inference: a pure select sweep, no mask bookkeeping — the
+            // runtime-dispatched SIMD kernel (`relu` policy class), with
+            // the exact `v > 0.0` semantics of the masked path below.
+            out.resize(input.len(), 0.0);
+            kernels::relu(gemm::Kernel::Auto, input, out);
             return;
         }
+        out.clear();
         self.mask.clear();
         self.mask.reserve(input.len());
         out.reserve(input.len());
@@ -688,14 +705,11 @@ impl Layer for Dense {
         }
         out.clear();
         if batch == 1 {
-            // A single image is a matrix-vector product; plain dot products
-            // beat the GEMM path's packing overhead.
-            out.reserve(self.n_out);
-            for o in 0..self.n_out {
-                let row = &self.weights[o * self.n_in..(o + 1) * self.n_in];
-                let dot: f32 = row.iter().zip(input).map(|(w, x)| w * x).sum();
-                out.push(dot + self.bias[o]);
-            }
+            // A single image is a matrix-vector product; the dedicated
+            // matvec kernel (runtime-dispatched SIMD, `matvec` policy
+            // class) beats the GEMM path's packing overhead.
+            out.resize(self.n_out, 0.0);
+            kernels::matvec(self.scratch.kernel, &self.weights, &self.bias, input, out);
             return;
         }
         out.resize(batch * self.n_out, 0.0);

@@ -47,6 +47,9 @@
 //!
 //! * [`tensor::Shape`] — `(channels, height, width)` bookkeeping;
 //! * [`gemm`] — blocked GEMM, im2col/col2im lowering;
+//! * [`kernels`] — explicit SIMD sweeps for the non-GEMM layers (batch-1
+//!   dense matvec, ReLU, max-pool), dispatched per op class through the
+//!   measured kernel policy;
 //! * [`layer`] — forward/backward implementations of every layer, each with
 //!   exact FLOP accounting (the cost model prices inference from these);
 //! * [`model::Sequential`] and [`model::CnnSpec`] — composition and the
@@ -59,13 +62,14 @@
 //! experiments, examples, and tests); the paper-scale experiments use the
 //! calibrated surrogate family instead (see DESIGN.md §2.4).
 
-// The explicit `std::arch` kernels in `gemm` are the only unsafe code in
-// the workspace; keep every unsafe operation inside them individually
-// justified.
+// The explicit `std::arch` kernels in `gemm` and `kernels` are the only
+// unsafe code in this crate; keep every unsafe operation inside them
+// individually justified.
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod gemm;
 pub mod init;
+pub mod kernels;
 pub mod layer;
 pub mod loss;
 pub mod model;

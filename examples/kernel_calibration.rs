@@ -1,0 +1,15 @@
+//! One-shot kernel-tier calibration: microbenchmark every SIMD tier of
+//! every op class on this CPU, print the measured table, and show the
+//! policy a serving process would install (and could save to disk for
+//! `TAHOMA_KERNEL_POLICY=@path` forcing).
+//!
+//! ```text
+//! cargo run --release --example kernel_calibration
+//! ```
+
+fn main() {
+    let cal = tahoma_costmodel::kernels::calibrate();
+    print!("{}", cal.table());
+    println!("\nwinning policy (serialize/save for TAHOMA_KERNEL_POLICY=@path):");
+    print!("{}", cal.policy.serialize());
+}

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Bench-trend pipeline: run the perf-critical benches in --quick smoke mode
+# with machine-readable JSON output, then gate against the committed
+# baseline (fail on any >2x regression; quick-mode noise sits well inside
+# that). CI calls exactly this script; run it locally to reproduce a CI
+# verdict bit-for-bit.
+#
+# The baseline is absolute wall-clock from the machine that last ran
+# --update-baseline, so the gate implicitly assumes comparable hardware;
+# if CI moves to a substantially slower/faster runner class, regenerate
+# the baseline there (or widen the gate via bench_trend's --max-ratio)
+# rather than chasing phantom regressions.
+#
+#   scripts/bench_trend.sh [out_dir]             # run + compare
+#   scripts/bench_trend.sh --update-baseline     # regenerate BENCH_baseline.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+update=0
+if [ "${1:-}" = "--update-baseline" ]; then
+    update=1
+    shift
+fi
+# Absolute output path: cargo runs bench binaries with the package
+# directory (crates/bench) as cwd, so a relative --json would land there.
+out="$(pwd)/${1:-target/bench-trend}"
+mkdir -p "$out"
+
+cargo bench -p tahoma-bench --bench nn_inference   -- --quick --json "$out/nn_inference.json"
+cargo bench -p tahoma-bench --bench repr_transform -- --quick --json "$out/repr_transform.json"
+cargo bench -p tahoma-bench --bench kernel_policy  -- --quick --json "$out/kernel_policy.json" \
+    | tee "$out/kernel_policy.txt"
+
+if [ "$update" = 1 ]; then
+    cargo run --release -p tahoma-bench --bin bench_trend -- merge BENCH_baseline.json \
+        "$out/nn_inference.json" "$out/repr_transform.json" "$out/kernel_policy.json"
+else
+    cargo run --release -p tahoma-bench --bin bench_trend -- compare BENCH_baseline.json \
+        "$out/nn_inference.json" "$out/repr_transform.json" "$out/kernel_policy.json" \
+        | tee "$out/trend.txt"
+fi

@@ -12,8 +12,9 @@ use tahoma::imagery::repr::apply_reference;
 use tahoma::imagery::{
     transform, BlockCodec, Codec, ColorMode, Image, ObjectKind, RawCodec, Representation,
 };
+use tahoma::mathx::simd_policy::{KernelPolicy, OpClass, SimdTier};
 use tahoma::nn::gemm::{self, GemmScratch, Kernel, Trans};
-use tahoma::nn::{Conv2d, Layer, Shape};
+use tahoma::nn::{kernels, Conv2d, Dense, Layer, MaxPool2, Shape};
 
 /// Decode a selector pair into a float that may be perfectly ordinary or
 /// one of the degenerate values the planner must survive: ±∞, NaN, zero.
@@ -505,6 +506,154 @@ proptest! {
         let mut order = plan.order().to_vec();
         order.sort_unstable();
         prop_assert_eq!(order, (0..reps.len()).collect::<Vec<_>>());
+    }
+
+    /// Every matvec kernel tier is bitwise identical to the portable
+    /// 16-lane reference (same per-lane fused chain, same fold tree) and
+    /// epsilon-close to an f64 dot product, across arbitrary shapes —
+    /// including n_in below one vector and ragged tails.
+    #[test]
+    fn matvec_tiers_agree_bitwise(
+        n_out in 1usize..24, n_in in 1usize..300, seed in 0u64..10_000
+    ) {
+        let mut rng = tahoma::mathx::DetRng::new(seed);
+        let weights: Vec<f32> = (0..n_out * n_in)
+            .map(|_| rng.uniform_in(-1.0, 1.0) as f32)
+            .collect();
+        let bias: Vec<f32> = (0..n_out).map(|_| rng.uniform_in(-1.0, 1.0) as f32).collect();
+        let x: Vec<f32> = (0..n_in).map(|_| rng.uniform_in(-1.0, 1.0) as f32).collect();
+        let mut reference = vec![0.0f32; n_out];
+        for o in 0..n_out {
+            let mut acc = bias[o] as f64;
+            for i in 0..n_in {
+                acc += weights[o * n_in + i] as f64 * x[i] as f64;
+            }
+            reference[o] = acc as f32;
+        }
+        let mut baseline: Option<Vec<f32>> = None;
+        for kernel in Kernel::available() {
+            let mut out = vec![f32::NAN; n_out];
+            kernels::matvec(kernel, &weights, &bias, &x, &mut out);
+            for (o, (&got, &want)) in out.iter().zip(&reference).enumerate() {
+                let tol = 1e-5 * (1.0 + want.abs()) * (n_in as f32).sqrt();
+                prop_assert!(
+                    (got - want).abs() <= tol,
+                    "{}x{} out {} kernel {}: {} vs {}", n_out, n_in, o, kernel.name(), got, want
+                );
+            }
+            match &baseline {
+                None => baseline = Some(out),
+                Some(base) => prop_assert_eq!(
+                    base, &out, "matvec tier {} diverges bitwise", kernel.name()
+                ),
+            }
+        }
+        // The layer's batch-1 forward is exactly this kernel.
+        let mut dense = Dense::from_parts(n_in, n_out, weights.clone(), bias.clone());
+        let single = dense.forward(&x);
+        prop_assert_eq!(&single, baseline.as_ref().unwrap());
+    }
+
+    /// Every ReLU tier is bitwise identical to the strict `> 0` select
+    /// across arbitrary inputs including NaN, ±0 and ±∞ — and matches the
+    /// training path's masked semantics.
+    #[test]
+    fn relu_tiers_agree_bitwise(
+        vals in prop::collection::vec((0u32..8, -1.0f32..1.0), 1..200)
+    ) {
+        let src: Vec<f32> = vals
+            .iter()
+            .map(|&(sel, raw)| match sel {
+                0 => f32::NAN,
+                1 => f32::INFINITY,
+                2 => f32::NEG_INFINITY,
+                3 => 0.0,
+                4 => -0.0,
+                _ => raw,
+            })
+            .collect();
+        let want: Vec<u32> = src
+            .iter()
+            .map(|&v| (if v > 0.0 { v } else { 0.0 }).to_bits())
+            .collect();
+        for kernel in Kernel::available() {
+            let mut dst = vec![f32::NAN; src.len()];
+            kernels::relu(kernel, &src, &mut dst);
+            let got: Vec<u32> = dst.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(&got, &want, "relu tier {} diverges", kernel.name());
+        }
+    }
+
+    /// Every max-pool tier is bitwise identical to the training path's
+    /// scalar argmax pool across arbitrary shapes (odd dims exercise the
+    /// floor semantics, small dims the all-tail path).
+    #[test]
+    fn maxpool_tiers_agree_bitwise(
+        c in 1usize..4, h in 2usize..40, w in 2usize..40, seed in 0u64..10_000
+    ) {
+        let shape = Shape::new(c, h, w);
+        let mut rng = tahoma::mathx::DetRng::new(seed);
+        let input: Vec<f32> = (0..shape.len())
+            .map(|_| rng.uniform_in(-1.0, 1.0) as f32)
+            .collect();
+        let mut pool = MaxPool2::new(shape);
+        // cache=true runs the scalar argmax reference; cache=false the
+        // dispatched SIMD sweep — they must agree bitwise.
+        let mut want = Vec::new();
+        pool.forward_batch(&input, 1, &mut want, true);
+        let mut got = Vec::new();
+        pool.forward_batch(&input, 1, &mut got, false);
+        prop_assert_eq!(&want, &got, "inference pool diverges from argmax pool");
+        // And each explicit tier matches too.
+        let (oh, ow) = (h / 2, w / 2);
+        for kernel in Kernel::available() {
+            let mut plane_out = vec![f32::NAN; oh * ow];
+            for ch in 0..c {
+                kernels::maxpool2_plane(
+                    kernel, &input[ch * h * w..(ch + 1) * h * w], h, w, &mut plane_out,
+                );
+                prop_assert_eq!(
+                    &want[ch * oh * ow..(ch + 1) * oh * ow], &plane_out[..],
+                    "pool tier {} ch {} diverges", kernel.name(), ch
+                );
+            }
+        }
+    }
+
+    /// A kernel policy round-trips through its serialized text form for
+    /// arbitrary tier assignments, and the `class=tier` override spec
+    /// applies entry-wise on top of any base policy.
+    #[test]
+    fn kernel_policy_round_trips(
+        tiers in prop::collection::vec(0usize..4, OpClass::ALL.len()..OpClass::ALL.len() + 1),
+        override_sel in prop::collection::vec(0usize..4, OpClass::ALL.len()..OpClass::ALL.len() + 1),
+        n_overrides in 0usize..9
+    ) {
+        let mut policy = KernelPolicy::heuristic();
+        for (class, &t) in OpClass::ALL.into_iter().zip(&tiers) {
+            policy.set(class, SimdTier::ALL[t]);
+        }
+        let text = policy.serialize();
+        prop_assert_eq!(KernelPolicy::parse(&text).unwrap(), policy.clone());
+
+        // Env-style override: the first n classes forced per the spec,
+        // the rest untouched.
+        let spec: Vec<String> = OpClass::ALL
+            .into_iter()
+            .zip(&override_sel)
+            .take(n_overrides)
+            .map(|(class, &t)| format!("{}={}", class.name(), SimdTier::ALL[t].name()))
+            .collect();
+        let mut overridden = policy.clone();
+        overridden.apply_override(&spec.join(",")).unwrap();
+        for (i, (class, &t)) in OpClass::ALL.into_iter().zip(&override_sel).enumerate() {
+            let want = if i < n_overrides {
+                SimdTier::ALL[t]
+            } else {
+                policy.tier(class)
+            };
+            prop_assert_eq!(overridden.tier(class), want, "class {}", class.name());
+        }
     }
 
     /// DetRng is insensitive to interleaving: two streams derived from

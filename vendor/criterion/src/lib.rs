@@ -8,8 +8,22 @@
 //! `sample_size` samples sized to a target sample duration, reporting the
 //! median (and throughput when configured). It prints results instead of
 //! producing HTML reports; there is no statistical regression machinery.
+//!
+//! Two CLI extensions beyond real criterion's surface (both used by the CI
+//! bench-trend pipeline):
+//!
+//! * `--json <path>` — write every measured result as a machine-readable
+//!   JSON array (`[{"id": ..., "sec_per_iter": ..., "iters_per_sample":
+//!   ...}]`) when the process finishes (`criterion_main!` calls
+//!   [`finalize`]);
+//! * a positional argument filters benchmarks by substring of their full
+//!   `group/id` name, mirroring real criterion — non-matching benchmarks
+//!   are skipped entirely (useful to run just `gemm_threads` on multi-core
+//!   runners).
 
 use std::fmt;
+use std::path::PathBuf;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Per-sample target duration; samples run enough iterations to fill it.
@@ -121,6 +135,95 @@ impl Bencher {
     }
 }
 
+/// Process-wide CLI configuration, parsed once. `--bench`/`--test` (and
+/// any other flags cargo forwards) are ignored; the first non-flag
+/// argument is the benchmark name filter.
+struct CliConfig {
+    quick: bool,
+    json: Option<PathBuf>,
+    filter: Option<String>,
+}
+
+fn cli_config() -> &'static CliConfig {
+    static CONFIG: OnceLock<CliConfig> = OnceLock::new();
+    CONFIG.get_or_init(|| {
+        let mut config = CliConfig {
+            quick: false,
+            json: None,
+            filter: None,
+        };
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => config.quick = true,
+                "--json" => {
+                    // The value must be a path, not another flag — a
+                    // swallowed flag would both misconfigure the run and
+                    // write a file literally named like the flag.
+                    match args.peek() {
+                        Some(v) if !v.starts_with('-') => {
+                            config.json = args.next().map(PathBuf::from);
+                        }
+                        _ => eprintln!("warning: --json needs a path argument; ignoring"),
+                    }
+                }
+                a if a.starts_with('-') => {}
+                a => config.filter = Some(a.to_string()),
+            }
+        }
+        config
+    })
+}
+
+/// Whether the name filter (if any) lets this benchmark run.
+fn filter_allows(full_id: &str) -> bool {
+    cli_config()
+        .filter
+        .as_deref()
+        .is_none_or(|f| full_id.contains(f))
+}
+
+/// One measured result, retained for the `--json` report.
+struct RecordedResult {
+    id: String,
+    sec_per_iter: f64,
+    iters_per_sample: u64,
+}
+
+fn recorded() -> &'static Mutex<Vec<RecordedResult>> {
+    static RESULTS: OnceLock<Mutex<Vec<RecordedResult>>> = OnceLock::new();
+    RESULTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Write the `--json` report if one was requested. `criterion_main!` calls
+/// this after every group has run; harmless to call with no results or no
+/// `--json` flag.
+pub fn finalize() {
+    let Some(path) = cli_config().json.as_ref() else {
+        return;
+    };
+    let results = recorded().lock().expect("results mutex");
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        // Benchmark ids are plain identifiers/slashes; escape the two JSON
+        // specials anyway so a stray id cannot corrupt the file.
+        let id = r.id.replace('\\', "\\\\").replace('"', "\\\"");
+        out.push_str(&format!(
+            "  {{\"id\": \"{id}\", \"sec_per_iter\": {:e}, \"iters_per_sample\": {}}}{}\n",
+            r.sec_per_iter,
+            r.iters_per_sample,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create json output directory");
+        }
+    }
+    std::fs::write(path, out).expect("write json report");
+}
+
 fn format_time(sec: f64) -> String {
     if sec < 1e-6 {
         format!("{:.2} ns", sec * 1e9)
@@ -153,6 +256,14 @@ fn report(group: Option<&str>, id: &str, b: &Bencher, throughput: Option<Through
         format_time(sec),
         b.iters_per_sample
     );
+    recorded()
+        .lock()
+        .expect("results mutex")
+        .push(RecordedResult {
+            id: full,
+            sec_per_iter: sec,
+            iters_per_sample: b.iters_per_sample,
+        });
 }
 
 /// Top-level harness state.
@@ -173,11 +284,13 @@ impl Default for Criterion {
 }
 
 impl Criterion {
-    /// Honor `--quick` (smoke-mode measurement, as in real criterion: the
-    /// CI bench job uses it so kernel regressions fail loudly without
-    /// paying full measurement time); other arguments are ignored.
+    /// Honor the CLI: `--quick` (smoke-mode measurement, as in real
+    /// criterion: the CI bench job uses it so kernel regressions fail
+    /// loudly without paying full measurement time), `--json <path>`
+    /// (machine-readable report, written by [`finalize`]), and a
+    /// positional benchmark-name filter; other arguments are ignored.
     pub fn configure_from_args(mut self) -> Criterion {
-        if std::env::args().any(|a| a == "--quick") {
+        if cli_config().quick {
             self.sample_size = QUICK_SAMPLES;
             self.target_sample = QUICK_TARGET_SAMPLE;
             self.warmup = QUICK_WARMUP;
@@ -191,8 +304,12 @@ impl Criterion {
         self
     }
 
-    /// Run one standalone benchmark.
+    /// Run one standalone benchmark (skipped when a name filter excludes
+    /// it).
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Criterion {
+        if !filter_allows(id) {
+            return self;
+        }
         let mut b = Bencher::new(self.sample_size, self.target_sample, self.warmup);
         f(&mut b);
         report(None, id, &b, None);
@@ -237,20 +354,25 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    /// Run one benchmark in the group.
+    /// Run one benchmark in the group (skipped when a name filter excludes
+    /// it).
     pub fn bench_function<F: FnMut(&mut Bencher)>(
         &mut self,
         id: impl Into<BenchmarkId>,
         mut f: F,
     ) -> &mut Self {
         let id = id.into();
+        if !filter_allows(&format!("{}/{}", self.name, id.id)) {
+            return self;
+        }
         let mut b = Bencher::new(self.sample_size, self.target_sample, self.warmup);
         f(&mut b);
         report(Some(&self.name), &id.id, &b, self.throughput);
         self
     }
 
-    /// Run one benchmark with an input value.
+    /// Run one benchmark with an input value (skipped when a name filter
+    /// excludes it).
     pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
         &mut self,
         id: impl Into<BenchmarkId>,
@@ -258,6 +380,9 @@ impl BenchmarkGroup<'_> {
         mut f: F,
     ) -> &mut Self {
         let id = id.into();
+        if !filter_allows(&format!("{}/{}", self.name, id.id)) {
+            return self;
+        }
         let mut b = Bencher::new(self.sample_size, self.target_sample, self.warmup);
         f(&mut b, input);
         report(Some(&self.name), &id.id, &b, self.throughput);
@@ -287,12 +412,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Define `main` from benchmark groups.
+/// Define `main` from benchmark groups. Finishes by writing the `--json`
+/// report when one was requested.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::finalize();
         }
     };
 }
