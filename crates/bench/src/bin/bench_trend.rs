@@ -174,7 +174,24 @@ fn merge(args: &[String]) -> Result<ExitCode, String> {
     if in_paths.is_empty() {
         return Err("merge needs at least one input report".into());
     }
-    let mut entries = Vec::new();
+    // A true merge: seed from the existing output file (if any) so a
+    // partial bench run updates only its own ids, then let the inputs
+    // override matching ids in order. Previously this rewrote the output
+    // from the inputs alone, so merging one bench's report silently
+    // dropped every other benchmark from the baseline — disarming the
+    // regression gate for all of them. To *prune* retired ids, delete the
+    // baseline and re-merge a full run (what bench_trend.sh's
+    // --update-baseline mode does). Only a missing output file counts as
+    // "no baseline yet"; any other read error aborts rather than silently
+    // starting from empty.
+    let mut entries: BTreeMap<String, f64> = match std::fs::read_to_string(out_path) {
+        Ok(text) => parse_entries(&text)
+            .map_err(|e| format!("{out_path}: {e}"))?
+            .into_iter()
+            .collect(),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => BTreeMap::new(),
+        Err(e) => return Err(format!("cannot read {out_path}: {e}")),
+    };
     for p in in_paths {
         entries.extend(load(p)?);
     }

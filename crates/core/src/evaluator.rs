@@ -281,10 +281,23 @@ pub fn simulate_one_naive(
     thresholds: &ThresholdTable,
     cascade: &Cascade,
 ) -> Outcome {
+    simulate_one_naive_stats(repo, thresholds, cascade).0
+}
+
+/// [`simulate_one_naive`] plus the cascade's *positive rate* on the eval
+/// split — the selectivity estimate conjunctive predicate ordering wants
+/// (see `exec::predicate_stats`). One walk produces both so the planner's
+/// statistics can never diverge from the evaluator's decision rules.
+pub fn simulate_one_naive_stats(
+    repo: &ModelRepository,
+    thresholds: &ThresholdTable,
+    cascade: &Cascade,
+) -> (Outcome, f64) {
     let n_images = repo.eval.len();
     let depth = cascade.depth();
     let mut stop_counts = [0u32; MAX_LEVELS];
     let mut correct = 0usize;
+    let mut positive = 0usize;
     for i in 0..n_images {
         let mut label = false;
         let mut stop = depth - 1;
@@ -304,14 +317,18 @@ pub fn simulate_one_naive(
             }
         }
         stop_counts[stop] += 1;
+        if label {
+            positive += 1;
+        }
         if label == repo.eval.labels[i] {
             correct += 1;
         }
     }
-    Outcome {
+    let outcome = Outcome {
         accuracy: correct as f32 / n_images as f32,
         stop_counts,
-    }
+    };
+    (outcome, positive as f64 / n_images.max(1) as f64)
 }
 
 /// Price a whole outcome set, returning per-cascade throughput (fps).

@@ -26,6 +26,11 @@
 //!    decomposes queries into metadata predicates plus binary
 //!    `contains_object` predicates, and an executor that runs the selected
 //!    cascade over a corpus, producing the binary-predicate relation.
+//! 7. **Vectorized execution** ([`exec`]): the batch-at-a-time product
+//!    query path — level-major cascade execution with survivor
+//!    compaction, planner-ordered short-circuiting between content
+//!    predicates, and batch scoring backends (hoisted surrogate streams;
+//!    real CNN inference over the representation store).
 //!
 //! [`pipeline::TahomaSystem`] ties the stages together behind the
 //! architecture in the paper's Fig. 2.
@@ -35,6 +40,7 @@ pub mod builder;
 pub mod cascade;
 pub mod error;
 pub mod evaluator;
+pub mod exec;
 pub mod materialized;
 pub mod order;
 pub mod pareto;
@@ -49,6 +55,7 @@ pub use builder::{build_cascades, BuilderConfig};
 pub use cascade::{Cascade, MAX_LEVELS};
 pub use error::CoreError;
 pub use evaluator::{simulate_all, CascadeOutcomes, CostContext};
+pub use exec::{BatchScorer, ExecOptions, NnBatchScorer, SurrogateBatchScorer, VectorizedExecutor};
 pub use order::{nan_last, nan_lowest};
 pub use pareto::{pareto_frontier, ParetoPoint};
 pub use pipeline::{Frontier, TahomaSystem};

@@ -83,13 +83,29 @@ impl PlannedPredicate {
 /// 4. and finally on [`ObjectKind`], so equal-statistics predicates come
 ///    out in a stable, input-permutation-independent order.
 pub fn order_predicates(mut preds: Vec<PlannedPredicate>) -> Vec<PlannedPredicate> {
-    preds.sort_by(|a, b| {
-        nan_last(a.rank(), b.rank())
-            .then_with(|| nan_last(a.expected_cost_s, b.expected_cost_s))
-            .then_with(|| nan_last(a.selectivity, b.selectivity))
-            .then_with(|| a.kind.cmp(&b.kind))
-    });
+    preds.sort_by(cmp_planned);
     preds
+}
+
+/// The [`order_predicates`] comparator, exposed so index-based orderings
+/// share the exact rule set.
+fn cmp_planned(a: &PlannedPredicate, b: &PlannedPredicate) -> std::cmp::Ordering {
+    nan_last(a.rank(), b.rank())
+        .then_with(|| nan_last(a.expected_cost_s, b.expected_cost_s))
+        .then_with(|| nan_last(a.selectivity, b.selectivity))
+        .then_with(|| a.kind.cmp(&b.kind))
+}
+
+/// The execution-order permutation of `preds` under the exact
+/// [`order_predicates`] rules, without moving the predicates — what the
+/// vectorized executor ([`crate::exec`]) uses to run query positions in
+/// rank order while still reporting relations in query order. Full ties
+/// (identical statistics *and* kind, i.e. a duplicated predicate) keep
+/// their input order, matching the stable sort in [`order_predicates`].
+pub fn order_indices(preds: &[PlannedPredicate]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..preds.len()).collect();
+    idx.sort_by(|&a, &b| cmp_planned(&preds[a], &preds[b]).then(a.cmp(&b)));
+    idx
 }
 
 /// Expected per-item cost of evaluating the predicates in the given order
@@ -180,6 +196,33 @@ mod tests {
     #[test]
     fn empty_plan_is_free() {
         assert_eq!(expected_conjunction_cost_s(&[]), 0.0);
+    }
+
+    #[test]
+    fn order_indices_matches_order_predicates() {
+        let preds = vec![
+            pred(ObjectKind::Acorn, 10e-3, 0.5),
+            pred(ObjectKind::Fence, 1e-3, 0.5),
+            pred(ObjectKind::Wallet, 1e-3, 0.95),
+            pred(ObjectKind::Fence, 1e-3, 0.5), // exact duplicate: stays in input order
+            pred(ObjectKind::Coho, f64::NAN, 1.0),
+        ];
+        let idx = order_indices(&preds);
+        let via_sort = order_predicates(preds.clone());
+        for (rank, &i) in idx.iter().enumerate() {
+            assert_eq!(
+                (preds[i].kind, preds[i].expected_cost_s.to_bits()),
+                (
+                    via_sort[rank].kind,
+                    via_sort[rank].expected_cost_s.to_bits()
+                ),
+                "rank {rank}"
+            );
+        }
+        // The duplicate Fence entries keep input order (1 before 3).
+        let f1 = idx.iter().position(|&i| i == 1).unwrap();
+        let f3 = idx.iter().position(|&i| i == 3).unwrap();
+        assert!(f1 < f3);
     }
 
     #[test]

@@ -12,10 +12,25 @@
 //! metadata filter, materializing the paper's notional binary-predicate
 //! relation and accounting simulated data-handling + inference cost per
 //! image.
+//!
+//! Two execution paths share these types:
+//!
+//! * **Product path** — the vectorized, level-major executor in
+//!   [`crate::exec`] (batch scoring, survivor compaction, planner-ordered
+//!   short-circuiting). [`QueryProcessor::execute`] is a thin wrapper over
+//!   it, pinned to the full-relation `materialize_all` semantics so
+//!   existing consumers see unchanged results.
+//! * **Reference path** —
+//!   [`QueryProcessor::run_cascade_reference`]: the original
+//!   item-at-a-time cascade walk, kept simple on purpose as the
+//!   decision-identity oracle the executor is property-tested against
+//!   (`tests/exec_proptests.rs`) and as the baseline side of the
+//!   `query_exec` bench.
 
 use crate::cascade::{Cascade, MAX_LEVELS};
 use crate::error::CoreError;
 use crate::evaluator::CostContext;
+use crate::exec::{BatchScorer, ExecOptions, ItemScorerBatchAdapter, VectorizedExecutor};
 use crate::thresholds::ThresholdTable;
 use std::collections::BTreeMap;
 use tahoma_imagery::ObjectKind;
@@ -404,6 +419,13 @@ pub trait ItemScorer {
     fn score(&self, model: ModelId, item: &CorpusItem) -> f32;
 }
 
+/// Salt applied to corpus item ids before they enter the surrogate noise
+/// stream, so corpus scores are independent of the eval split's (which use
+/// unsalted ids). [`SurrogateItemScorer`] and the batched
+/// [`crate::exec::SurrogateBatchScorer`] must use the same salt to stay
+/// bit-identical.
+pub const CORPUS_SCORE_SALT: u64 = 0xC0_5A17;
+
 /// Surrogate-backed scorer over a corpus: each model's score is drawn from
 /// the same calibrated family the repository was built with, keyed by the
 /// item's ground truth and difficulty. A distinct noise stream (salted item
@@ -421,7 +443,7 @@ impl ItemScorer for SurrogateItemScorer<'_> {
         self.scorer.score(
             variant,
             tahoma_zoo::surrogate::Split::Eval,
-            item.id ^ 0xC0_5A17,
+            item.id ^ CORPUS_SCORE_SALT,
             item.contains(self.scorer.pred.kind),
             item.difficulty,
         )
@@ -485,6 +507,15 @@ impl<'a> QueryProcessor<'a> {
     ///
     /// `cascades` maps each content predicate in the query to the cascade
     /// implementing it; a missing entry is an error.
+    ///
+    /// A thin wrapper over the vectorized executor ([`crate::exec`]) in
+    /// `materialize_all` mode: every content predicate evaluates over the
+    /// full metadata-survivor set in query order, preserving the original
+    /// full-relation semantics (and, with a deterministic scorer, the
+    /// original results bit for bit — property-tested against
+    /// [`QueryProcessor::run_cascade_reference`]). Batch-native callers
+    /// that want planner-ordered short-circuiting use
+    /// [`QueryProcessor::execute_batched`] directly.
     pub fn execute(
         &self,
         query: &Query,
@@ -492,39 +523,38 @@ impl<'a> QueryProcessor<'a> {
         cascades: &BTreeMap<ObjectKind, Cascade>,
         scorer: &dyn ItemScorer,
     ) -> Result<QueryResult, CoreError> {
-        // Metadata filter.
-        let surviving: Vec<&CorpusItem> = corpus
-            .items
-            .iter()
-            .filter(|item| query.metadata.iter().all(|p| p.holds(item)))
-            .collect();
-
-        // Content predicates.
-        let mut relations = Vec::with_capacity(query.content.len());
-        let mut passing: Vec<u64> = surviving.iter().map(|i| i.id).collect();
-        for &kind in &query.content {
-            let cascade = cascades
-                .get(&kind)
-                .ok_or(CoreError::EmptySet("cascade for content predicate"))?;
-            let relation = self.run_cascade(kind, *cascade, &surviving, scorer)?;
-            let pass_set: std::collections::HashSet<u64> = relation
-                .rows
-                .iter()
-                .filter(|r| r.value)
-                .map(|r| r.id)
-                .collect();
-            passing.retain(|id| pass_set.contains(id));
-            relations.push(relation);
-        }
-        Ok(QueryResult {
-            matched_ids: passing,
-            metadata_survivors: surviving.len(),
-            relations,
-        })
+        let mut adapter = ItemScorerBatchAdapter(scorer);
+        self.execute_batched(
+            query,
+            corpus,
+            cascades,
+            &mut adapter,
+            &ExecOptions {
+                materialize_all: true,
+            },
+        )
     }
 
-    /// Run one cascade over the filtered items, producing its relation.
-    fn run_cascade(
+    /// Execute through the vectorized level-major executor with a batch
+    /// scoring backend — the product query path. See
+    /// [`VectorizedExecutor::execute`] for the semantics of `opts`.
+    pub fn execute_batched(
+        &self,
+        query: &Query,
+        corpus: &Corpus,
+        cascades: &BTreeMap<ObjectKind, Cascade>,
+        scorer: &mut dyn BatchScorer,
+        opts: &ExecOptions,
+    ) -> Result<QueryResult, CoreError> {
+        VectorizedExecutor::new(self.repo, self.thresholds, self.cost)
+            .execute(query, corpus, cascades, scorer, opts)
+    }
+
+    /// Run one cascade over the filtered items item-at-a-time, producing
+    /// its relation — the reference implementation the vectorized path is
+    /// property-tested against. Not used by [`QueryProcessor::execute`]
+    /// anymore; kept deliberately simple.
+    pub fn run_cascade_reference(
         &self,
         kind: ObjectKind,
         cascade: Cascade,

@@ -86,6 +86,18 @@ impl Codec for RawCodec {
     }
 
     fn decode(&self, bytes: &[u8]) -> Result<Image, ImageryError> {
+        self.decode_into(bytes, Vec::new())
+    }
+}
+
+impl RawCodec {
+    /// Decode into a caller-provided buffer (typically recycled from a
+    /// [`crate::engine::TranscodeEngine`] pool), so steady-state decoding
+    /// of same-shaped blobs performs no large allocations. `data` is
+    /// resized to the payload length and fully overwritten; its previous
+    /// contents are irrelevant. The returned [`Image`] owns the buffer —
+    /// hand it back to the pool when done to close the loop.
+    pub fn decode_into(&self, bytes: &[u8], mut data: Vec<f32>) -> Result<Image, ImageryError> {
         let mut buf = bytes;
         if buf.len() < 13 || &buf[..4] != RAW_MAGIC {
             return Err(ImageryError::Decode("bad TAH1 header".into()));
@@ -101,10 +113,8 @@ impl Codec for RawCodec {
                 buf.remaining()
             )));
         }
-        let data: Vec<f32> = buf.chunk()[..expected]
-            .iter()
-            .map(|&b| dequantize(b))
-            .collect();
+        data.clear();
+        data.extend(buf.chunk()[..expected].iter().map(|&b| dequantize(b)));
         Image::from_planar(w, h, mode, data)
     }
 }

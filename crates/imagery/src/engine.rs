@@ -1046,10 +1046,29 @@ impl TranscodeEngine {
             if self.pooled >= POOL_CAP {
                 return;
             }
-            let data = img.into_data();
-            self.pool.entry(data.len()).or_default().push(data);
-            self.pooled += 1;
+            self.recycle_buffer(img.into_data());
         }
+    }
+
+    /// Return a bare buffer to the pool — the counterpart of
+    /// [`TranscodeEngine::take_buffer`] for callers that peeled the pixels
+    /// out of an [`Image`] themselves (e.g. a scorer's per-item input
+    /// cache handing its standardized buffers back at cascade end).
+    pub fn recycle_buffer(&mut self, data: Vec<f32>) {
+        if self.pooled >= POOL_CAP {
+            return;
+        }
+        self.pool.entry(data.len()).or_default().push(data);
+        self.pooled += 1;
+    }
+
+    /// A pooled length-`n` buffer for callers that fill outputs themselves
+    /// — the representation store's pooled decode path
+    /// (`RepresentationStore::fetch_into`) borrows its buffers here.
+    /// Contents are stale; overwrite (or clear-and-refill) all `n`
+    /// elements before use.
+    pub fn take_buffer(&mut self, n: usize) -> Vec<f32> {
+        Self::out_buf(&mut self.pool, &mut self.pooled, n)
     }
 
     /// A length-`n` output buffer: recycled when one of exactly this length

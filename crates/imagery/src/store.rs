@@ -107,10 +107,36 @@ impl RepresentationStore {
         Some((priced.planned_cost_s(), priced.direct_cost_s()))
     }
 
-    /// Fetch one stored representation, decoding it to pixels.
+    /// Fetch one stored representation, decoding it to pixels. Routed
+    /// through [`RepresentationStore::fetch_into`], so repeated fetches of
+    /// same-shaped blobs reuse pooled buffers instead of allocating.
     /// `None` when the frame or representation was never ingested.
-    pub fn fetch(&self, id: u64, rep: Representation) -> Option<Result<Image, ImageryError>> {
-        self.blobs.get(&(id, rep)).map(|b| RawCodec.decode(b))
+    pub fn fetch(&mut self, id: u64, rep: Representation) -> Option<Result<Image, ImageryError>> {
+        self.fetch_into(id, rep)
+    }
+
+    /// Pooled fetch: decode one stored representation into a buffer
+    /// recycled from the engine's pool (fresh only on first use per
+    /// shape). Together with [`RepresentationStore::recycle`] this makes
+    /// steady-state query-time scoring allocation-free, matching the
+    /// ingest path's discipline. `None` when the frame or representation
+    /// was never ingested.
+    pub fn fetch_into(
+        &mut self,
+        id: u64,
+        rep: Representation,
+    ) -> Option<Result<Image, ImageryError>> {
+        let blob = self.blobs.get(&(id, rep))?;
+        let buf = self.engine.take_buffer(rep.value_count());
+        Some(RawCodec.decode_into(blob, buf))
+    }
+
+    /// Hand fetched images back so their buffers feed the next
+    /// [`RepresentationStore::fetch_into`] (or the next ingest) instead of
+    /// the allocator. Purely an optimization, like
+    /// [`TranscodeEngine::recycle`].
+    pub fn recycle(&mut self, images: impl IntoIterator<Item = Image>) {
+        self.engine.recycle(images);
     }
 
     /// Raw stored bytes for one representation (what the ONGOING load cost
@@ -242,6 +268,26 @@ mod tests {
         assert!(empty
             .planned_ingest_cost_s(&crate::engine::TranscodeCosts::default())
             .is_none());
+    }
+
+    #[test]
+    fn pooled_fetch_matches_fresh_decode_and_reuses_buffers() {
+        let mut store = RepresentationStore::new(small_reps());
+        store.ingest(4, &frame(6)).unwrap();
+        store.ingest(5, &frame(7)).unwrap();
+        let rep = Representation::new(30, ColorMode::Gray);
+        // Pooled decode is value-identical to a fresh decode of the blob.
+        let fresh = RawCodec.decode(&store.blobs[&(4, rep)]).unwrap();
+        let pooled = store.fetch_into(4, rep).unwrap().unwrap();
+        assert_eq!(pooled.data(), fresh.data());
+        assert_eq!(pooled.mode(), fresh.mode());
+        // Recycled buffer actually comes back: same allocation next fetch.
+        let ptr = pooled.data().as_ptr();
+        store.recycle([pooled]);
+        let again = store.fetch_into(5, rep).unwrap().unwrap();
+        assert_eq!(again.data().as_ptr(), ptr, "pooled buffer not reused");
+        let direct = RawCodec.decode(&store.blobs[&(5, rep)]).unwrap();
+        assert_eq!(again.data(), direct.data());
     }
 
     #[test]

@@ -129,6 +129,37 @@ impl DetRng {
         mean + sd * self.standard_normal()
     }
 
+    /// First standard-normal draw of a *fresh* generator, skipping the
+    /// Box-Muller sine half entirely: when exactly one variate will ever
+    /// be drawn (the batch scoring hot loop builds one generator per item),
+    /// computing and caching the spare is pure waste. Bitwise identical to
+    /// what [`DetRng::standard_normal`] would return for the same state —
+    /// same two uniforms consumed, same `r * cos(theta)` — so streams stay
+    /// interchangeable between the two entry points.
+    ///
+    /// Must not be mixed with [`DetRng::standard_normal`] on one generator
+    /// after a spare is cached (the cached variate would be silently
+    /// dropped); debug builds assert that.
+    #[inline]
+    pub fn standard_normal_once(&mut self) -> f64 {
+        debug_assert!(
+            self.spare_normal.is_none(),
+            "standard_normal_once on a generator with a cached spare"
+        );
+        let u1 = self.uniform().max(1e-300);
+        let u2 = self.uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        r * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// [`DetRng::normal`] through [`DetRng::standard_normal_once`]: the
+    /// single-draw fast path, bitwise identical to `normal` on a fresh
+    /// generator.
+    #[inline]
+    pub fn normal_once(&mut self, mean: f64, sd: f64) -> f64 {
+        mean + sd * self.standard_normal_once()
+    }
+
     /// Exponential with the given rate (mean = 1/rate).
     #[inline]
     pub fn exponential(&mut self, rate: f64) -> f64 {
@@ -250,6 +281,26 @@ mod tests {
         let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn single_draw_normal_is_bitwise_identical_to_first_draw() {
+        for seed in 0..5_000u64 {
+            let mut full = DetRng::from_coords(seed, seed ^ 0xAB);
+            let mut once = full.clone();
+            assert_eq!(
+                full.standard_normal().to_bits(),
+                once.standard_normal_once().to_bits(),
+                "seed {seed}"
+            );
+            let mut full = DetRng::new(seed);
+            let mut once = full.clone();
+            assert_eq!(
+                full.normal(0.25, 1.5).to_bits(),
+                once.normal_once(0.25, 1.5).to_bits(),
+                "seed {seed}"
+            );
+        }
     }
 
     #[test]

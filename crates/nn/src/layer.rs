@@ -30,7 +30,12 @@ use crate::tensor::Shape;
 use tahoma_mathx::DetRng;
 
 /// A differentiable layer.
-pub trait Layer {
+///
+/// `Send` so whole models move across threads — the zoo trainer builds
+/// networks on worker threads and hands the trained `Sequential`s back for
+/// query-time serving. Layers are plain parameter/scratch buffers, so the
+/// bound costs implementors nothing.
+pub trait Layer: Send {
     /// Human-readable layer kind.
     fn name(&self) -> &'static str;
     /// Downcasting hook used by the serializer.

@@ -115,50 +115,48 @@ impl FrameClassifier for TahomaDdSystem {
         unreachable!("terminal level always decides")
     }
 
-    /// Batch-major cascade walk: levels outer, frames inner. The
-    /// per-(variant, split) scoring context is derived once per *level*
-    /// instead of once per (level, frame) — the same hoisting
-    /// `score_population` does for repository building — and frames drop
-    /// out of the working set as soon as a level decides them. Labels and
-    /// costs are bit-identical to per-frame [`TahomaDdSystem::classify`].
+    /// Batch-major cascade walk through the shared level-major executor
+    /// ([`tahoma_core::exec::run_level_major`]): levels outer, frames
+    /// inner, survivors compacted per level. The per-(variant, split)
+    /// scoring context is derived once per *level* instead of once per
+    /// (level, frame) — the same hoisting `score_population` does for
+    /// repository building. Costs price a frame's deciding level through
+    /// an inference-cost prefix table whose accumulation order matches
+    /// [`TahomaDdSystem::classify`], so labels and costs are bit-identical
+    /// to the per-frame walk.
     fn classify_batch(&self, frames: &[&Frame]) -> Vec<(bool, f64)> {
         let depth = self.cascade.depth();
-        let mut out: Vec<(bool, f64)> = vec![(false, 0.0); frames.len()];
-        let mut undecided: Vec<usize> = (0..frames.len()).collect();
-        for l in 0..depth {
-            if undecided.is_empty() {
-                break;
-            }
-            let m = self.cascade.model_at(l) as usize;
-            let variant = &self.system.repo.entries[m].variant;
-            let stream = self.scorer.variant_stream(variant, Split::Eval);
-            let infer_s = self.cost.infer_s[m];
-            let thr = (l + 1 < depth).then(|| {
-                self.system
-                    .thresholds
-                    .get(m, self.cascade.setting_at(l) as usize)
-            });
-            undecided.retain(|&fi| {
-                let frame = frames[fi];
-                out[fi].1 += infer_s;
-                let score = stream.score(frame.idx, frame.label, frame.difficulty);
-                match thr {
-                    // Terminal level always decides at 0.5.
-                    None => {
-                        out[fi].0 = score >= 0.5;
-                        false
-                    }
-                    Some(thr) => match thr.decide(score) {
-                        Some(label) => {
-                            out[fi].0 = label;
-                            false
-                        }
-                        None => true,
-                    },
-                }
-            });
+        let streams: Vec<_> = (0..depth)
+            .map(|l| {
+                let m = self.cascade.model_at(l) as usize;
+                self.scorer
+                    .variant_stream(&self.system.repo.entries[m].variant, Split::Eval)
+            })
+            .collect();
+        let decisions = tahoma_core::exec::run_level_major(
+            &self.cascade,
+            &self.system.thresholds,
+            frames.len(),
+            |l, _, pack, out| {
+                streams[l].score_into(
+                    pack.iter().map(|&fi| {
+                        let f = frames[fi];
+                        (f.idx, f.label, f.difficulty)
+                    }),
+                    out,
+                );
+            },
+        );
+        let mut prefix = [0.0f64; tahoma_core::MAX_LEVELS];
+        let mut acc = 0.0f64;
+        for (l, slot) in prefix.iter_mut().take(depth).enumerate() {
+            acc += self.cost.infer_s[self.cascade.model_at(l) as usize];
+            *slot = acc;
         }
-        out
+        decisions
+            .iter()
+            .map(|d| (d.value, prefix[d.level as usize]))
+            .collect()
     }
 
     fn name(&self) -> &str {

@@ -230,13 +230,28 @@ pub struct VariantStream {
 
 impl VariantStream {
     /// Score one item; bit-identical to [`SurrogateScorer::score`] with
-    /// the originating variant and split.
+    /// the originating variant and split. The noise draw uses the
+    /// single-variate Box-Muller path ([`DetRng::normal_once`], bitwise
+    /// identical to `normal` on the fresh per-item generator) — this is
+    /// the innermost loop of every cascade executor, and the cached spare
+    /// of the full transform is unreachable from a generator that scores
+    /// one item and dies.
     pub fn score(&self, item_id: u64, label: bool, difficulty: f32) -> f32 {
         let margin = self.half_d * (1.0 - self.rho * difficulty as f64);
         let sign = if label { 1.0 } else { -1.0 };
         let mut rng = DetRng::from_coords(self.stream, item_id);
-        let z = sign * margin + rng.normal(0.0, self.noise_sd);
+        let z = sign * margin + rng.normal_once(0.0, self.noise_sd);
         logistic(self.gain * z) as f32
+    }
+
+    /// Score a pack of `(item_id, label, difficulty)` triples into `out`
+    /// (appending, in pack order) — the batch inner loop of the vectorized
+    /// cascade executors. Bit-identical to mapping
+    /// [`VariantStream::score`] over the pack; the point is that the
+    /// per-variant derivation behind this stream happened exactly once,
+    /// however many packs it scores.
+    pub fn score_into(&self, items: impl Iterator<Item = (u64, bool, f32)>, out: &mut Vec<f32>) {
+        out.extend(items.map(|(id, label, difficulty)| self.score(id, label, difficulty)));
     }
 }
 
@@ -298,6 +313,22 @@ mod tests {
                 assert_eq!(batched, per_item, "{} {split:?}", v.tag());
             }
         }
+    }
+
+    #[test]
+    fn score_into_matches_per_item_scoring_bitwise() {
+        let s = scorer(ObjectKind::Fence);
+        let p = pop(ObjectKind::Fence);
+        let stream = s.variant_stream(&paper_variants()[42], Split::Eval);
+        let mut batched = vec![f32::NAN; 3]; // score_into appends after junk
+        stream.score_into(
+            (0..p.len()).map(|i| (p.ids[i], p.labels[i], p.difficulties[i])),
+            &mut batched,
+        );
+        let per_item: Vec<f32> = (0..p.len())
+            .map(|i| stream.score(p.ids[i], p.labels[i], p.difficulties[i]))
+            .collect();
+        assert_eq!(&batched[3..], per_item.as_slice());
     }
 
     #[test]

@@ -105,13 +105,38 @@ pub struct TrainOutcome {
 ///
 /// All variants must be `ModelKind::Cnn`; reference models have no real
 /// implementation here (the surrogate path covers them) and are rejected.
-/// Returns the repository plus per-model training outcomes.
+/// Returns the repository plus per-model training outcomes. The trained
+/// networks themselves are dropped; query paths that serve real inference
+/// (the vectorized executor's NN backend) use
+/// [`build_real_repository_keeping_models`] instead.
 pub fn build_real_repository(
     bundle: &DatasetBundle,
     variants: &[ModelVariant],
     cfg: &RealTrainConfig,
     device: &DeviceProfile,
 ) -> Result<(ModelRepository, Vec<TrainOutcome>), String> {
+    let (repo, outcomes, _models) =
+        build_real_repository_keeping_models(bundle, variants, cfg, device)?;
+    Ok((repo, outcomes))
+}
+
+/// [`build_real_repository`], but also returning the trained networks,
+/// aligned with `repo.entries` — what a query-time real-inference backend
+/// registers so the same weights that produced the repository's split
+/// scores serve the cascade.
+pub fn build_real_repository_keeping_models(
+    bundle: &DatasetBundle,
+    variants: &[ModelVariant],
+    cfg: &RealTrainConfig,
+    device: &DeviceProfile,
+) -> Result<
+    (
+        ModelRepository,
+        Vec<TrainOutcome>,
+        Vec<tahoma_nn::Sequential>,
+    ),
+    String,
+> {
     if variants.is_empty() {
         return Err("no variants to train".into());
     }
@@ -137,12 +162,13 @@ pub fn build_real_repository(
 
     let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
     let chunk = variants.len().div_ceil(threads);
-    let mut slots: Vec<Option<(ModelEntry, TrainOutcome)>> = Vec::new();
+    type Slot = Option<(ModelEntry, TrainOutcome, tahoma_nn::Sequential)>;
+    let mut slots: Vec<Slot> = Vec::new();
     slots.resize_with(variants.len(), || None);
 
     let result: Result<(), String> = crossbeam::thread::scope(|scope| {
         let mut handles = Vec::new();
-        let mut remaining: &mut [Option<(ModelEntry, TrainOutcome)>] = &mut slots;
+        let mut remaining: &mut [Slot] = &mut slots;
         for (chunk_idx, vs) in variants.chunks(chunk).enumerate() {
             let (head, tail) = remaining.split_at_mut(vs.len());
             remaining = tail;
@@ -205,6 +231,7 @@ pub fn build_real_repository(
                             train_accuracy,
                             epochs_run: report.epochs_run,
                         },
+                        model,
                     ));
                 }
                 Ok(())
@@ -220,10 +247,12 @@ pub fn build_real_repository(
 
     let mut entries = Vec::with_capacity(variants.len());
     let mut outcomes = Vec::with_capacity(variants.len());
+    let mut models = Vec::with_capacity(variants.len());
     for slot in slots {
-        let (entry, outcome) = slot.expect("every slot filled");
+        let (entry, outcome, model) = slot.expect("every slot filled");
         entries.push(entry);
         outcomes.push(outcome);
+        models.push(model);
     }
     let repo = ModelRepository {
         kind: bundle.kind,
@@ -234,7 +263,7 @@ pub fn build_real_repository(
         yolo: None,
     };
     repo.validate()?;
-    Ok((repo, outcomes))
+    Ok((repo, outcomes, models))
 }
 
 #[cfg(test)]

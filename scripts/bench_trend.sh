@@ -28,14 +28,24 @@ mkdir -p "$out"
 
 cargo bench -p tahoma-bench --bench nn_inference   -- --quick --json "$out/nn_inference.json"
 cargo bench -p tahoma-bench --bench repr_transform -- --quick --json "$out/repr_transform.json"
+# query_exec prints the interleaved reference-vs-vectorized speedup table
+# and the real-NN per-stage breakdown alongside its criterion lines.
+cargo bench -p tahoma-bench --bench query_exec     -- --quick --json "$out/query_exec.json" \
+    2>&1 | tee "$out/query_exec.txt"
 cargo bench -p tahoma-bench --bench kernel_policy  -- --quick --json "$out/kernel_policy.json" \
     | tee "$out/kernel_policy.txt"
 
 if [ "$update" = 1 ]; then
+    # Full regeneration: start from scratch so retired/renamed benchmark
+    # ids are pruned (merge otherwise seeds from the existing baseline so
+    # partial runs don't drop other benches' entries).
+    rm -f BENCH_baseline.json
     cargo run --release -p tahoma-bench --bin bench_trend -- merge BENCH_baseline.json \
-        "$out/nn_inference.json" "$out/repr_transform.json" "$out/kernel_policy.json"
+        "$out/nn_inference.json" "$out/repr_transform.json" "$out/query_exec.json" \
+        "$out/kernel_policy.json"
 else
     cargo run --release -p tahoma-bench --bin bench_trend -- compare BENCH_baseline.json \
-        "$out/nn_inference.json" "$out/repr_transform.json" "$out/kernel_policy.json" \
+        "$out/nn_inference.json" "$out/repr_transform.json" "$out/query_exec.json" \
+        "$out/kernel_policy.json" \
         | tee "$out/trend.txt"
 fi

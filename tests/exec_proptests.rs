@@ -1,0 +1,331 @@
+//! Property tests: the vectorized level-major executor is
+//! decision-for-decision (and simulated-cost-for-cost) identical to the
+//! item-at-a-time reference cascade walk, under arbitrary cascades
+//! (depth 1–4, shared and distinct representations), arbitrary threshold
+//! tables, NaN scores (which must follow the PR 2 `nan_last` discipline:
+//! never decide at a thresholded level, lose the `>= 0.5` comparison at
+//! the terminal), and arbitrary metadata-survivor subsets — plus the
+//! planner-ordering regression: short-circuit execution never changes
+//! `matched_ids`.
+
+use proptest::prelude::*;
+use std::collections::{BTreeMap, HashSet};
+use std::sync::OnceLock;
+use tahoma::core::evaluator::CostContext;
+use tahoma::core::exec::{ExecOptions, ItemScorerBatchAdapter, SurrogateBatchScorer};
+use tahoma::core::query::{
+    CorpusItem, ItemScorer, MetaPredicate, QueryResult, SurrogateItemScorer,
+};
+use tahoma::core::thresholds::{DecisionThresholds, ThresholdTable};
+use tahoma::core::{Cascade, VectorizedExecutor};
+use tahoma::mathx::DetRng;
+use tahoma::prelude::*;
+use tahoma::zoo::ModelId;
+
+struct Fixture {
+    repo: tahoma::zoo::ModelRepository,
+    scorer: SurrogateScorer,
+    corpus: Corpus,
+    cost: CostContext,
+}
+
+fn fixture() -> &'static Fixture {
+    static FX: OnceLock<Fixture> = OnceLock::new();
+    FX.get_or_init(|| {
+        let pred = PredicateSpec::for_kind(ObjectKind::Fence);
+        let cfg = SurrogateBuildConfig {
+            n_config: 150,
+            n_eval: 200,
+            seed: 0xE8EC,
+            variants: Some(paper_variants().into_iter().step_by(23).collect()),
+            ..Default::default()
+        };
+        let scorer = SurrogateScorer {
+            pred,
+            params: cfg.params,
+            seed: cfg.seed,
+        };
+        let repo = build_surrogate_repository(pred, &cfg, &DeviceProfile::k80());
+        let profiler = AnalyticProfiler::paper_testbed(Scenario::Ongoing);
+        let cost = CostContext::build(&repo, &profiler);
+        Fixture {
+            repo,
+            scorer,
+            corpus: Corpus::synthetic(400, 0.3, 17),
+            cost,
+        }
+    })
+}
+
+/// A deterministic hash scorer that injects NaN at a controllable rate —
+/// the reference and batched sides see bit-identical scores, so any
+/// divergence is the executor's fault.
+struct HashScorer {
+    seed: u64,
+    nan_pct: u8,
+}
+
+impl ItemScorer for HashScorer {
+    fn score(&self, model: ModelId, item: &CorpusItem) -> f32 {
+        let mut rng = DetRng::from_coords(self.seed ^ ((model.0 as u64) << 32), item.id);
+        if rng.index(100) < self.nan_pct as usize {
+            f32::NAN
+        } else {
+            rng.uniform() as f32
+        }
+    }
+}
+
+/// An arbitrary threshold table for the fixture repository: any float cut
+/// pair is legal (including never-deciding and everything-deciding ones);
+/// the property is that both executors interpret it identically.
+fn random_thresholds(seed: u64, n_models: usize, n_settings: usize) -> ThresholdTable {
+    let mut rng = DetRng::new(seed ^ 0x7AB1E);
+    let per_model = (0..n_models)
+        .map(|_| {
+            (0..n_settings)
+                .map(|_| {
+                    if rng.bernoulli(0.15) {
+                        DecisionThresholds::never_decide()
+                    } else {
+                        DecisionThresholds {
+                            p_low: rng.uniform_in(-0.2, 1.0) as f32,
+                            p_high: rng.uniform_in(-0.2, 1.3) as f32,
+                        }
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    ThresholdTable {
+        settings: vec![0.9; n_settings],
+        per_model,
+    }
+}
+
+fn random_cascade(rng: &mut DetRng, depth: usize, n_models: usize, n_settings: usize) -> Cascade {
+    let levels: Vec<(u16, u8)> = (0..depth)
+        .map(|_| (rng.index(n_models) as u16, rng.index(n_settings) as u8))
+        .collect();
+    Cascade::new(&levels)
+}
+
+/// Subset of the corpus playing the metadata survivors.
+fn random_subset(corpus: &Corpus, seed: u64, keep_pct: usize) -> Vec<&CorpusItem> {
+    let mut rng = DetRng::new(seed ^ 0x5B5E7);
+    corpus
+        .items
+        .iter()
+        .filter(|_| rng.index(100) < keep_pct)
+        .collect()
+}
+
+fn assert_relations_identical(
+    a: &tahoma::core::query::PredicateRelation,
+    b: &tahoma::core::query::PredicateRelation,
+) {
+    assert_eq!(a.rows.len(), b.rows.len());
+    for (ra, rb) in a.rows.iter().zip(&b.rows) {
+        assert_eq!(ra.id, rb.id);
+        assert_eq!(ra.value, rb.value, "item {}", ra.id);
+        assert_eq!(ra.decided_at, rb.decided_at, "item {}", ra.id);
+        assert_eq!(
+            ra.score.to_bits(),
+            rb.score.to_bits(),
+            "item {} score {} vs {}",
+            ra.id,
+            ra.score,
+            rb.score
+        );
+    }
+    assert_eq!(a.level_histogram, b.level_histogram);
+    assert_eq!(a.accuracy, b.accuracy);
+    // Same per-item prefix costs summed in the same order: bitwise equal.
+    assert_eq!(a.simulated_time_s.to_bits(), b.simulated_time_s.to_bits());
+    assert_eq!(a.throughput_fps.to_bits(), b.throughput_fps.to_bits());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Batched vs reference cascade run under a NaN-injecting scorer,
+    /// arbitrary cascades and threshold tables, and arbitrary survivor
+    /// subsets.
+    #[test]
+    fn batched_cascade_is_decision_identical_to_reference(
+        depth in 1usize..5,
+        cascade_seed in 0u64..1_000_000,
+        thr_seed in 0u64..1_000_000,
+        subset_seed in 0u64..1_000_000,
+        keep_pct in 0usize..101,
+        nan_pct in 0u8..30,
+    ) {
+        let fx = fixture();
+        let thresholds = random_thresholds(thr_seed, fx.repo.len(), 5);
+        let mut rng = DetRng::new(cascade_seed);
+        let cascade = random_cascade(&mut rng, depth, fx.repo.len(), 5);
+        let items = random_subset(&fx.corpus, subset_seed, keep_pct);
+        let scorer = HashScorer { seed: cascade_seed ^ thr_seed, nan_pct };
+
+        let processor = QueryProcessor::new(&fx.repo, &thresholds, &fx.cost);
+        let reference = processor
+            .run_cascade_reference(ObjectKind::Fence, cascade, &items, &scorer)
+            .expect("reference runs");
+
+        let executor = VectorizedExecutor::new(&fx.repo, &thresholds, &fx.cost);
+        let mut adapter = ItemScorerBatchAdapter(&scorer);
+        let batched = executor
+            .run_cascade_batched(ObjectKind::Fence, cascade, &items, &mut adapter)
+            .expect("batched runs");
+
+        assert_relations_identical(&reference, &batched);
+    }
+
+    /// The hoisted surrogate batch backend is bit-identical to the
+    /// per-item surrogate scorer through the executor.
+    #[test]
+    fn surrogate_batch_backend_matches_item_scorer(
+        depth in 1usize..5,
+        cascade_seed in 0u64..1_000_000,
+        subset_seed in 0u64..1_000_000,
+    ) {
+        let fx = fixture();
+        let thresholds =
+            tahoma::core::thresholds::calibrate_all(&fx.repo, &PAPER_PRECISION_SETTINGS);
+        let mut rng = DetRng::new(cascade_seed ^ 0xCA5);
+        let cascade = random_cascade(&mut rng, depth, fx.repo.len(), 5);
+        let items = random_subset(&fx.corpus, subset_seed, 70);
+
+        let processor = QueryProcessor::new(&fx.repo, &thresholds, &fx.cost);
+        let item_scorer = SurrogateItemScorer { scorer: &fx.scorer, repo: &fx.repo };
+        let reference = processor
+            .run_cascade_reference(ObjectKind::Fence, cascade, &items, &item_scorer)
+            .expect("reference runs");
+
+        let executor = VectorizedExecutor::new(&fx.repo, &thresholds, &fx.cost);
+        let mut batch_scorer = SurrogateBatchScorer::new(&fx.scorer, &fx.repo);
+        let batched = executor
+            .run_cascade_batched(ObjectKind::Fence, cascade, &items, &mut batch_scorer)
+            .expect("batched runs");
+
+        assert_relations_identical(&reference, &batched);
+    }
+
+    /// Full-query identity: `QueryProcessor::execute` (now a wrapper over
+    /// the vectorized executor in materialize-all mode) reproduces the
+    /// legacy algorithm — reference cascade per predicate over all
+    /// survivors, hash-set conjunction — exactly.
+    #[test]
+    fn execute_matches_legacy_algorithm(
+        thr_seed in 0u64..1_000_000,
+        cascade_seed in 0u64..1_000_000,
+        camera_cut in 1u64..9,
+        n_preds in 1usize..4,
+        nan_pct in 0u8..20,
+    ) {
+        let fx = fixture();
+        let thresholds = random_thresholds(thr_seed, fx.repo.len(), 5);
+        let mut rng = DetRng::new(cascade_seed ^ 0xEEC);
+        let kinds = [ObjectKind::Fence, ObjectKind::Wallet, ObjectKind::Acorn];
+        let query = Query {
+            table: "t".into(),
+            metadata: vec![MetaPredicate::Camera(
+                tahoma::core::query::CmpOp::Lt,
+                camera_cut,
+            )],
+            content: kinds[..n_preds].to_vec(),
+        };
+        let mut cascades = BTreeMap::new();
+        for &kind in &query.content {
+            let depth = 1 + rng.index(4);
+            cascades.insert(kind, random_cascade(&mut rng, depth, fx.repo.len(), 5));
+        }
+        let scorer = HashScorer { seed: thr_seed ^ cascade_seed, nan_pct };
+        let processor = QueryProcessor::new(&fx.repo, &thresholds, &fx.cost);
+
+        // Legacy oracle, reimplemented verbatim.
+        let surviving: Vec<&CorpusItem> = fx
+            .corpus
+            .items
+            .iter()
+            .filter(|item| query.metadata.iter().all(|p| p.holds(item)))
+            .collect();
+        let mut passing: Vec<u64> = surviving.iter().map(|i| i.id).collect();
+        let mut legacy_relations = Vec::new();
+        for &kind in &query.content {
+            let relation = processor
+                .run_cascade_reference(kind, cascades[&kind], &surviving, &scorer)
+                .expect("reference runs");
+            let pass_set: HashSet<u64> =
+                relation.rows.iter().filter(|r| r.value).map(|r| r.id).collect();
+            passing.retain(|id| pass_set.contains(id));
+            legacy_relations.push(relation);
+        }
+
+        let got: QueryResult = processor
+            .execute(&query, &fx.corpus, &cascades, &scorer)
+            .expect("executes");
+        assert_eq!(got.matched_ids, passing);
+        assert_eq!(got.metadata_survivors, surviving.len());
+        assert_eq!(got.relations.len(), legacy_relations.len());
+        for (a, b) in legacy_relations.iter().zip(&got.relations) {
+            assert_relations_identical(a, b);
+        }
+    }
+
+    /// Planner-ordered short-circuit execution never changes
+    /// `matched_ids`, and never scores more items than the full
+    /// materialization.
+    #[test]
+    fn short_circuit_preserves_matched_ids(
+        thr_seed in 0u64..1_000_000,
+        cascade_seed in 0u64..1_000_000,
+        n_preds in 2usize..4,
+        nan_pct in 0u8..20,
+    ) {
+        let fx = fixture();
+        let thresholds = random_thresholds(thr_seed, fx.repo.len(), 5);
+        let mut rng = DetRng::new(cascade_seed ^ 0x5C);
+        let kinds = [ObjectKind::Fence, ObjectKind::Wallet, ObjectKind::Acorn];
+        let query = Query {
+            table: "t".into(),
+            metadata: Vec::new(),
+            content: kinds[..n_preds].to_vec(),
+        };
+        let mut cascades = BTreeMap::new();
+        for &kind in &query.content {
+            let depth = 1 + rng.index(4);
+            cascades.insert(kind, random_cascade(&mut rng, depth, fx.repo.len(), 5));
+        }
+        let scorer = HashScorer { seed: thr_seed ^ !cascade_seed, nan_pct };
+        let processor = QueryProcessor::new(&fx.repo, &thresholds, &fx.cost);
+
+        let mut a1 = ItemScorerBatchAdapter(&scorer);
+        let full = processor
+            .execute_batched(&query, &fx.corpus, &cascades, &mut a1,
+                &ExecOptions { materialize_all: true })
+            .expect("materialize-all executes");
+        let mut a2 = ItemScorerBatchAdapter(&scorer);
+        let shortcut = processor
+            .execute_batched(&query, &fx.corpus, &cascades, &mut a2,
+                &ExecOptions { materialize_all: false })
+            .expect("short-circuit executes");
+
+        assert_eq!(full.matched_ids, shortcut.matched_ids);
+        assert_eq!(full.metadata_survivors, shortcut.metadata_survivors);
+        let scored = |r: &QueryResult| -> usize { r.relations.iter().map(|rel| rel.rows.len()).sum() };
+        assert!(
+            scored(&shortcut) <= scored(&full),
+            "short-circuit scored {} items, full {}",
+            scored(&shortcut),
+            scored(&full)
+        );
+        // Every short-circuit relation's rows are a subset of the full one's.
+        for (f, s) in full.relations.iter().zip(&shortcut.relations) {
+            let full_rows: HashSet<u64> = f.rows.iter().map(|r| r.id).collect();
+            for row in &s.rows {
+                assert!(full_rows.contains(&row.id));
+            }
+        }
+    }
+}

@@ -136,6 +136,77 @@ fn query_results_are_deterministic() {
 }
 
 #[test]
+fn planner_short_circuit_strictly_reduces_scored_items() {
+    // A two-content-predicate query through the vectorized executor: in
+    // short-circuit mode the later predicate evaluates only the earlier
+    // one's survivors, so the total scored-item count strictly drops while
+    // `matched_ids` stays exactly the same.
+    use tahoma::core::exec::{ExecOptions, SurrogateBatchScorer};
+
+    let fx = fixture(ObjectKind::Fence);
+    let query =
+        Query::parse("SELECT * FROM f WHERE contains_object(fence) AND contains_object(wallet)")
+            .unwrap();
+    let profiler = AnalyticProfiler::paper_testbed(Scenario::Ongoing);
+    let chosen = fx
+        .system
+        .select(
+            &profiler,
+            Constraints {
+                max_accuracy_loss: Some(0.03),
+                max_throughput_loss: None,
+            },
+        )
+        .expect("feasible");
+    let cost = CostContext::build(&fx.system.repo, &profiler);
+    let processor = QueryProcessor::new(&fx.system.repo, &fx.system.thresholds, &cost);
+    let mut cascades = BTreeMap::new();
+    for &kind in &query.content {
+        cascades.insert(kind, chosen.cascade);
+    }
+
+    let mut full_scorer = SurrogateBatchScorer::new(&fx.scorer, &fx.system.repo);
+    let full = processor
+        .execute_batched(
+            &query,
+            &fx.corpus,
+            &cascades,
+            &mut full_scorer,
+            &ExecOptions {
+                materialize_all: true,
+            },
+        )
+        .expect("materialize-all executes");
+    let mut sc_scorer = SurrogateBatchScorer::new(&fx.scorer, &fx.system.repo);
+    let shortcut = processor
+        .execute_batched(
+            &query,
+            &fx.corpus,
+            &cascades,
+            &mut sc_scorer,
+            &ExecOptions {
+                materialize_all: false,
+            },
+        )
+        .expect("short-circuit executes");
+
+    assert_eq!(full.matched_ids, shortcut.matched_ids);
+    assert!(!full.matched_ids.is_empty(), "query should match something");
+    let scored = |r: &QueryResult| -> usize { r.relations.iter().map(|rel| rel.rows.len()).sum() };
+    let (nf, ns) = (scored(&full), scored(&shortcut));
+    assert_eq!(nf, 2 * full.metadata_survivors);
+    assert!(
+        ns < nf,
+        "short-circuit scored {ns} items, full materialization {nf}"
+    );
+    // The first-executed predicate still covers every survivor; the other
+    // covers exactly the conjunction input it received.
+    let covered: Vec<usize> = shortcut.relations.iter().map(|r| r.rows.len()).collect();
+    assert!(covered.contains(&shortcut.metadata_survivors));
+    assert!(covered.iter().any(|&n| n < shortcut.metadata_survivors));
+}
+
+#[test]
 fn missing_cascade_for_predicate_is_an_error() {
     let fx = fixture(ObjectKind::Fence);
     let query = Query::parse("SELECT * FROM f WHERE contains_object(acorn)").unwrap();

@@ -127,6 +127,174 @@ fn thresholds_calibrated_on_real_scores_meet_precision_on_config_split() {
 }
 
 #[test]
+fn vectorized_executor_serves_real_models_end_to_end() {
+    // The whole product path with no surrogate anywhere: train real CNNs,
+    // ingest real raster frames into a representation store, and serve a
+    // content query through the vectorized executor's NN backend — store
+    // fetch → pooled decode → (transcode when the exact representation is
+    // not stored) → standardize → `infer_batch` → thresholds.
+    use std::collections::BTreeMap;
+    use tahoma::core::evaluator::CostContext;
+    use tahoma::core::exec::{BatchScorer, ExecOptions, NnBatchScorer};
+    use tahoma::core::thresholds::{DecisionThresholds, ThresholdTable};
+    use tahoma::core::VectorizedExecutor;
+    use tahoma::imagery::RepresentationStore;
+    use tahoma::zoo::trainer::build_real_repository_keeping_models;
+
+    let kind = ObjectKind::Komondor;
+    let spec = DatasetSpec {
+        n_train: 120,
+        n_config: 60,
+        n_eval: 80,
+        ..DatasetSpec::tiny(kind, 24, 9)
+    };
+    let bundle = spec.generate();
+    let rep_gray = Representation::new(12, ColorMode::Gray);
+    let rep_rgb = Representation::new(12, ColorMode::Rgb);
+    let variants = cross_variants(
+        &[ArchSpec {
+            conv_layers: 1,
+            conv_nodes: 6,
+            dense_nodes: 12,
+        }],
+        &[rep_gray, rep_rgb],
+    );
+    let cfg = RealTrainConfig {
+        epochs: 18,
+        batch_size: 16,
+        lr: 0.01,
+        early_stop_loss: 0.08,
+        seed: 5,
+    };
+    let (repo, _outcomes, mut models) =
+        build_real_repository_keeping_models(&bundle, &variants, &cfg, &DeviceProfile::k80())
+            .unwrap();
+    let thresholds = tahoma::core::thresholds::calibrate_all(&repo, &[0.93]);
+    let profiler = AnalyticProfiler::paper_testbed(Scenario::Ongoing);
+    let cost = CostContext::build(&repo, &profiler);
+
+    // The corpus mirrors the eval split; the store holds the gray model's
+    // exact representation plus the RGB source frame — so one cascade
+    // level serves via direct fetch and the other via the transcode
+    // fallback.
+    let source_rep = Representation::new(24, ColorMode::Rgb);
+    let mut store = RepresentationStore::new(vec![rep_gray, source_rep]);
+    let corpus = Corpus {
+        items: bundle
+            .eval
+            .items
+            .iter()
+            .map(|it| tahoma::core::query::CorpusItem {
+                id: it.id,
+                location: "Detroit".into(),
+                camera: 0,
+                timestamp: 0,
+                objects: if it.label { vec![kind] } else { Vec::new() },
+                difficulty: it.difficulty,
+            })
+            .collect(),
+    };
+    for it in &bundle.eval.items {
+        store.ingest(it.id, &it.image).unwrap();
+    }
+    let gray_model = repo
+        .entries
+        .iter()
+        .position(|e| e.variant.input == rep_gray)
+        .unwrap() as u16;
+    let rgb_model = repo
+        .entries
+        .iter()
+        .position(|e| e.variant.input == rep_rgb)
+        .unwrap() as u16;
+
+    // Construction identity: a batch through the scorer equals manual
+    // fetch → standardize → `predict_proba_batch` packing, exactly.
+    let mut input = Vec::new();
+    for it in &corpus.items {
+        let img = store.fetch(it.id, rep_gray).unwrap().unwrap();
+        input.extend_from_slice(tahoma::imagery::transform::standardize(&img).data());
+    }
+    let expected = models[gray_model as usize].predict_proba_batch(&input, corpus.items.len());
+
+    let mut scorer = NnBatchScorer::new(&mut store).with_source(source_rep);
+    scorer.register_repository(&repo, models);
+    let items: Vec<&tahoma::core::query::CorpusItem> = corpus.items.iter().collect();
+    let mut got = Vec::new();
+    scorer.score_batch(
+        ModelId(gray_model as u32),
+        tahoma::core::exec::ScorePack::standalone(&items),
+        &mut got,
+    );
+    assert_eq!(got, expected, "batched NN scores mismatch manual packing");
+
+    // End-to-end query: gray level via direct fetch, RGB terminal via the
+    // transcode fallback. (Executor-vs-reference decision identity is
+    // property-tested with batch-size-invariant scorers in
+    // exec_proptests.rs; NN scores can differ in final-ulp rounding across
+    // GEMM batch shapes, so here we assert the end-to-end semantics.)
+    scorer.reset_stats();
+    let cascade = Cascade::new(&[(gray_model, 0), (rgb_model, 0)]);
+    let mut cascades = BTreeMap::new();
+    cascades.insert(kind, cascade);
+    let query = Query::parse("SELECT * FROM t WHERE contains_object(komondor)").unwrap();
+    let processor = QueryProcessor::new(&repo, &thresholds, &cost);
+    let result = processor
+        .execute_batched(
+            &query,
+            &corpus,
+            &cascades,
+            &mut scorer,
+            &ExecOptions::default(),
+        )
+        .unwrap();
+    let rel = &result.relations[0];
+    assert_eq!(rel.rows.len(), corpus.items.len());
+    assert_eq!(
+        rel.level_histogram.iter().sum::<u64>() as usize,
+        corpus.items.len()
+    );
+    assert!(
+        rel.accuracy > 0.55,
+        "real-NN relation accuracy {} at chance",
+        rel.accuracy
+    );
+    let stats = scorer.stats();
+    assert!(stats.fetch_decode_s > 0.0 && stats.infer_s > 0.0 && stats.standardize_s > 0.0);
+    assert!(
+        stats.items_scored >= corpus.items.len() as u64,
+        "every survivor scored at least once"
+    );
+    if rel.level_histogram[1] > 0 {
+        assert!(
+            stats.transcode_s > 0.0,
+            "terminal level must have exercised the transcode fallback"
+        );
+    }
+
+    // Shared-representation discount: a cascade reusing one representation
+    // across levels materializes it once per item — the second level is
+    // all cache hits when nothing decides early.
+    let never = ThresholdTable {
+        settings: vec![0.0],
+        per_model: vec![vec![DecisionThresholds::never_decide()]; repo.len()],
+    };
+    let executor = VectorizedExecutor::new(&repo, &never, &cost);
+    scorer.reset_stats();
+    let shared = Cascade::new(&[(gray_model, 0), (gray_model, 0)]);
+    let rel2 = executor
+        .run_cascade_batched(kind, shared, &items, &mut scorer)
+        .unwrap();
+    assert_eq!(rel2.rows.len(), items.len());
+    let stats2 = scorer.stats();
+    assert_eq!(
+        stats2.cache_hits,
+        items.len() as u64,
+        "every level-1 input should come from the shared-representation cache"
+    );
+}
+
+#[test]
 fn trained_weights_roundtrip_through_serialization() {
     use tahoma::nn::train::Example;
     use tahoma::nn::{serialize, Adam, CnnSpec, Shape, Trainer};
