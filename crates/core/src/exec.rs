@@ -451,6 +451,294 @@ impl BatchScorer for NnBatchScorer<'_> {
 }
 
 // ---------------------------------------------------------------------------
+// Shared (concurrent) real-NN scoring
+// ---------------------------------------------------------------------------
+
+/// Immutable model zoo for concurrent serving: the same (model id →
+/// network, input representation) table [`NnBatchScorer`] keeps, but built
+/// once and then only ever borrowed shared. Every inference goes through
+/// `Sequential::predict_proba_shared`, so any number of query sessions can
+/// score against one zoo simultaneously, each bringing its own
+/// [`tahoma_nn::InferScratch`].
+pub struct SharedModelZoo {
+    models: HashMap<u32, NnModel>,
+    source_rep: Option<Representation>,
+}
+
+impl SharedModelZoo {
+    /// Empty zoo; register models before serving.
+    pub fn new() -> SharedModelZoo {
+        SharedModelZoo {
+            models: HashMap::new(),
+            source_rep: None,
+        }
+    }
+
+    /// Configure the stored source representation to transcode from when a
+    /// model's exact input representation is not in the store. Must be RGB.
+    pub fn with_source(mut self, rep: Representation) -> SharedModelZoo {
+        self.source_rep = Some(rep);
+        self
+    }
+
+    /// Register the network serving `id`, consuming `rep` as its input.
+    pub fn register(&mut self, id: ModelId, rep: Representation, model: Sequential) {
+        self.models.insert(id.0, NnModel { rep, model });
+    }
+
+    /// Register a whole repository's networks, aligned with `repo.entries`
+    /// (the shape `build_real_repository_keeping_models` returns).
+    pub fn register_repository(&mut self, repo: &ModelRepository, models: Vec<Sequential>) {
+        assert_eq!(repo.len(), models.len(), "one network per repository entry");
+        for (entry, model) in repo.entries.iter().zip(models) {
+            self.register(entry.variant.id, entry.variant.input, model);
+        }
+    }
+
+    /// Input representation of a registered model, `None` if unregistered.
+    pub fn input_rep(&self, model: ModelId) -> Option<Representation> {
+        self.models.get(&model.0).map(|m| m.rep)
+    }
+
+    /// Score `n` standardized input rows (concatenated, row-major) against
+    /// `model` with caller-owned scratch. This is the zoo's only inference
+    /// entry point — brokers and direct callers alike land here, so their
+    /// scores are bitwise identical by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `model` was never registered.
+    pub fn infer(
+        &self,
+        model: ModelId,
+        rows: &[f32],
+        n: usize,
+        scratch: &mut tahoma_nn::InferScratch,
+    ) -> Vec<f32> {
+        let entry = self
+            .models
+            .get(&model.0)
+            .unwrap_or_else(|| panic!("model m{} is not registered", model.0));
+        entry.model.predict_proba_shared(rows, n, scratch)
+    }
+}
+
+impl Default for SharedModelZoo {
+    fn default() -> SharedModelZoo {
+        SharedModelZoo::new()
+    }
+}
+
+/// Where a [`SharedNnScorer`] sends its materialized input rows for
+/// inference. The serving layer implements this with a cross-query batch
+/// broker (merging survivor packs from concurrent queries into one GEMM
+/// call); `None` in the scorer means "score locally on this thread".
+///
+/// Contract: return exactly `n` probabilities, in row order, numerically
+/// identical to [`SharedModelZoo::infer`] with a
+/// [`tahoma_nn::InferScratch::coalescing`] scratch — which batch-shape
+/// invariance makes automatic for any implementation that concatenates
+/// rows and calls the zoo.
+pub trait InferDispatch: Sync {
+    /// Score `n` standardized rows against `model`.
+    fn infer(&self, model: ModelId, rows: &[f32], n: usize) -> Vec<f32>;
+}
+
+/// Per-query mutable state for [`SharedNnScorer`] — everything that was a
+/// field of [`NnBatchScorer`] but is written during scoring lives here, so
+/// the store/zoo stay shared. Sessions are cheap to create and profitable
+/// to reuse (the engine's buffer pool and the GEMM scratch warm up), which
+/// is why the serving layer checks them out of a pool per query.
+#[derive(Default)]
+pub struct NnSessionScratch {
+    engine: TranscodeEngine,
+    infer: tahoma_nn::InferScratch,
+    shared: Vec<Representation>,
+    cache: HashMap<(u64, Representation), Vec<f32>>,
+    input: Vec<f32>,
+    stats: NnStageStats,
+}
+
+impl NnSessionScratch {
+    /// Fresh session scratch. The inference scratch is pinned to the
+    /// batched GEMM path ([`tahoma_nn::InferScratch::coalescing`]) so a
+    /// row's score never depends on whether it was scored alone here or
+    /// merged into a broker batch with other queries' rows.
+    pub fn new() -> NnSessionScratch {
+        NnSessionScratch {
+            infer: tahoma_nn::InferScratch::coalescing(),
+            ..Default::default()
+        }
+    }
+
+    /// Per-stage timings accumulated across queries served with this
+    /// scratch (or since [`NnSessionScratch::reset_stats`]).
+    pub fn stats(&self) -> NnStageStats {
+        self.stats
+    }
+
+    /// Zero the stage accounting.
+    pub fn reset_stats(&mut self) {
+        self.stats = NnStageStats::default();
+    }
+}
+
+/// Concurrent counterpart of [`NnBatchScorer`]: same fetch → decode →
+/// transcode → standardize → batched-GEMM pipeline, same per-cascade
+/// shared-representation cache, but the store and model zoo are borrowed
+/// *shared* — every mutation happens in the query's own
+/// [`NnSessionScratch`]. Optionally routes inference through an
+/// [`InferDispatch`] so the serving layer can coalesce packs from
+/// concurrent queries into one GEMM call.
+///
+/// Scoring is bitwise identical to a serial run regardless of concurrency
+/// or coalescing: inputs are standardized per item (shape-independent),
+/// and the forced-GEMM inference path is batch-shape invariant.
+///
+/// # Panics
+///
+/// Same configuration panics as [`NnBatchScorer`]: unregistered cascade
+/// model, item missing from the store with no source representation, or an
+/// undecodable blob.
+pub struct SharedNnScorer<'a> {
+    store: &'a RepresentationStore,
+    zoo: &'a SharedModelZoo,
+    dispatch: Option<&'a dyn InferDispatch>,
+    scratch: &'a mut NnSessionScratch,
+}
+
+impl<'a> SharedNnScorer<'a> {
+    /// Score locally: inference runs on the calling thread.
+    pub fn new(
+        store: &'a RepresentationStore,
+        zoo: &'a SharedModelZoo,
+        scratch: &'a mut NnSessionScratch,
+    ) -> SharedNnScorer<'a> {
+        SharedNnScorer {
+            store,
+            zoo,
+            dispatch: None,
+            scratch,
+        }
+    }
+
+    /// Route inference through `dispatch` (the serving layer's coalescing
+    /// broker) instead of scoring locally.
+    pub fn with_dispatch(mut self, dispatch: &'a dyn InferDispatch) -> SharedNnScorer<'a> {
+        self.dispatch = Some(dispatch);
+        self
+    }
+
+    /// Standardized input pixels for one (item, representation) — the
+    /// shared-borrow version of [`NnBatchScorer::materialize_input`], with
+    /// every buffer drawn from and recycled to the session's own engine.
+    fn materialize_input(
+        &mut self,
+        item: &CorpusItem,
+        rep: Representation,
+    ) -> tahoma_imagery::Image {
+        let sc = &mut *self.scratch;
+        let t0 = Instant::now();
+        let direct = self.store.fetch_shared(item.id, rep, &mut sc.engine);
+        sc.stats.fetch_decode_s += t0.elapsed().as_secs_f64();
+        let img = match direct {
+            Some(img) => img.unwrap_or_else(|e| panic!("item {} rep {rep}: {e}", item.id)),
+            None => {
+                let src_rep = self.zoo.source_rep.unwrap_or_else(|| {
+                    panic!(
+                        "item {} has no stored {rep} and no source representation is configured",
+                        item.id
+                    )
+                });
+                let t1 = Instant::now();
+                let src = self
+                    .store
+                    .fetch_shared(item.id, src_rep, &mut sc.engine)
+                    .unwrap_or_else(|| panic!("item {} has no stored source {src_rep}", item.id))
+                    .unwrap_or_else(|e| panic!("item {} source {src_rep}: {e}", item.id));
+                sc.stats.fetch_decode_s += t1.elapsed().as_secs_f64();
+                let t2 = Instant::now();
+                let out = sc
+                    .engine
+                    .apply(&src, rep)
+                    .expect("source representation is RGB");
+                sc.stats.transcode_s += t2.elapsed().as_secs_f64();
+                sc.engine.recycle([src]);
+                out
+            }
+        };
+        let t3 = Instant::now();
+        let standardized = sc.engine.standardize(&img);
+        sc.stats.standardize_s += t3.elapsed().as_secs_f64();
+        sc.engine.recycle([img]);
+        standardized
+    }
+}
+
+impl BatchScorer for SharedNnScorer<'_> {
+    fn begin_cascade(&mut self, cascade: &Cascade, _items: &[&CorpusItem]) {
+        let sc = &mut *self.scratch;
+        for (_, data) in sc.cache.drain() {
+            sc.engine.recycle_buffer(data);
+        }
+        sc.shared.clear();
+        let mut reps: Vec<Representation> = Vec::with_capacity(cascade.depth());
+        for l in 0..cascade.depth() {
+            if let Some(rep) = self.zoo.input_rep(ModelId(cascade.model_at(l) as u32)) {
+                reps.push(rep);
+            }
+        }
+        for (i, &rep) in reps.iter().enumerate() {
+            if reps[..i].contains(&rep) && !sc.shared.contains(&rep) {
+                sc.shared.push(rep);
+            }
+        }
+    }
+
+    fn score_batch(&mut self, model: ModelId, pack: ScorePack<'_>, out: &mut Vec<f32>) {
+        let items = pack.items;
+        let rep = self
+            .zoo
+            .input_rep(model)
+            .unwrap_or_else(|| panic!("model m{} is not registered", model.0));
+        let share = self.scratch.shared.contains(&rep);
+        self.scratch.input.clear();
+        self.scratch.input.reserve(items.len() * rep.value_count());
+        let mut input = std::mem::take(&mut self.scratch.input);
+        for item in items {
+            if share {
+                if let Some(cached) = self.scratch.cache.get(&(item.id, rep)) {
+                    self.scratch.stats.cache_hits += 1;
+                    input.extend_from_slice(cached);
+                    continue;
+                }
+            }
+            let standardized = self.materialize_input(item, rep);
+            input.extend_from_slice(standardized.data());
+            if share {
+                self.scratch
+                    .cache
+                    .insert((item.id, rep), standardized.into_data());
+            } else {
+                self.scratch.engine.recycle([standardized]);
+            }
+        }
+        let t = Instant::now();
+        match self.dispatch {
+            Some(broker) => out.extend(broker.infer(model, &input, items.len())),
+            None => out.extend(
+                self.zoo
+                    .infer(model, &input, items.len(), &mut self.scratch.infer),
+            ),
+        }
+        self.scratch.stats.infer_s += t.elapsed().as_secs_f64();
+        self.scratch.stats.batches += 1;
+        self.scratch.stats.items_scored += items.len() as u64;
+        self.scratch.input = input;
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Level-major cascade driver
 // ---------------------------------------------------------------------------
 

@@ -55,7 +55,10 @@ pub use builder::{build_cascades, BuilderConfig};
 pub use cascade::{Cascade, MAX_LEVELS};
 pub use error::CoreError;
 pub use evaluator::{simulate_all, CascadeOutcomes, CostContext};
-pub use exec::{BatchScorer, ExecOptions, NnBatchScorer, SurrogateBatchScorer, VectorizedExecutor};
+pub use exec::{
+    BatchScorer, ExecOptions, InferDispatch, NnBatchScorer, NnSessionScratch, SharedModelZoo,
+    SharedNnScorer, SurrogateBatchScorer, VectorizedExecutor,
+};
 pub use order::{nan_last, nan_lowest};
 pub use pareto::{pareto_frontier, ParetoPoint};
 pub use pipeline::{Frontier, TahomaSystem};

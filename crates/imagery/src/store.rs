@@ -131,6 +131,24 @@ impl RepresentationStore {
         Some(RawCodec.decode_into(blob, buf))
     }
 
+    /// Read-only fetch for concurrent serving: like
+    /// [`RepresentationStore::fetch_into`], but the store is only borrowed
+    /// shared — the decode buffer comes from a caller-owned
+    /// [`TranscodeEngine`] instead of the store's. Many query sessions can
+    /// decode from one store simultaneously, each with its own engine (and
+    /// thus its own buffer pool), because the blob map is never mutated
+    /// after ingest.
+    pub fn fetch_shared(
+        &self,
+        id: u64,
+        rep: Representation,
+        engine: &mut TranscodeEngine,
+    ) -> Option<Result<Image, ImageryError>> {
+        let blob = self.blobs.get(&(id, rep))?;
+        let buf = engine.take_buffer(rep.value_count());
+        Some(RawCodec.decode_into(blob, buf))
+    }
+
     /// Hand fetched images back so their buffers feed the next
     /// [`RepresentationStore::fetch_into`] (or the next ingest) instead of
     /// the allocator. Purely an optimization, like

@@ -11,8 +11,12 @@
 //! [`simd_policy`]: the per-op-class kernel-tier policy that the SIMD
 //! dispatchers in `tahoma-nn` and `tahoma-imagery` consult when resolving
 //! `Kernel::Auto`, and that `tahoma-costmodel`'s measured calibration
-//! tunes.
+//! tunes; and [`pool`]: the persistent scoped worker pool every
+//! data-parallel loop in the workspace (threaded GEMM, batched
+//! convolution, the query service) spawns onto instead of creating OS
+//! threads per call.
 
+pub mod pool;
 pub mod rng;
 pub mod simd_policy;
 pub mod stats;

@@ -37,9 +37,10 @@
 //!   independently of the static widest-ISA heuristic.
 //!
 //! * the macro-kernel threads across `NR`-aligned column ranges of C via
-//!   `std::thread::scope` when the problem is big enough ([`GemmScratch`]'s
-//!   `threads` knob; automatic sizing spawns roughly one thread per
-//!   [`PAR_MIN_FLOPS`] of work, never more than the machine has cores).
+//!   the persistent `tahoma_mathx::pool` workers when the problem is big
+//!   enough ([`GemmScratch`]'s `threads` knob; automatic sizing uses
+//!   roughly one worker per [`PAR_MIN_FLOPS`] of work, never more than the
+//!   machine has cores — and no OS thread is ever created per call).
 //!   Column-splitting leaves every output element's accumulation order
 //!   untouched, so threaded results are bitwise equal to single-threaded
 //!   ones.
@@ -411,7 +412,7 @@ pub fn gemm(
     }
     let chunks = column_chunks(n, t);
     let pool = scratch.worker_pool(chunks.len());
-    std::thread::scope(|scope| {
+    tahoma_mathx::pool::scope(|scope| {
         for (w, &(jlo, jhi)) in pool.iter_mut().zip(&chunks) {
             scope.spawn(move || {
                 gemm_blocked_cols(w, kernel, m, n, k, a, ta, b, tb, c_ptr, jlo, jhi);
@@ -518,7 +519,7 @@ fn gemm_direct_nn(
     }
     let packed_a = &*packed_a;
     let off_main = &*off_main;
-    std::thread::scope(|scope| {
+    tahoma_mathx::pool::scope(|scope| {
         for (jlo, jhi) in column_chunks(n, t) {
             scope.spawn(move || {
                 let mut off_panel = Vec::new();
@@ -787,7 +788,7 @@ pub fn conv2d_forward(
             let padded = &scratch.conv_padded;
             let offsets = &scratch.conv_offsets;
             let per = full_nr.div_ceil(t);
-            std::thread::scope(|scope| {
+            tahoma_mathx::pool::scope(|scope| {
                 let mut s = 0;
                 while s < full_nr {
                     let e = (s + per).min(full_nr);

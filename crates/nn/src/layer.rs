@@ -29,13 +29,55 @@ use crate::kernels;
 use crate::tensor::Shape;
 use tahoma_mathx::DetRng;
 
+/// Per-caller mutable state for the shared (`&self`) inference path.
+///
+/// A trained model's parameters are immutable at serving time, but every
+/// layer's `forward_batch` also touches scratch (GEMM packing buffers,
+/// im2col staging) owned by the layer — which is what forces `&mut self`
+/// and, transitively, one model instance per thread. [`InferScratch`]
+/// pulls all of that mutable state out: one lives per *query* (checked out
+/// from a pool by the serving layer), so any number of threads can score
+/// through a single `Sequential` concurrently via
+/// [`crate::model::Sequential::predict_proba_shared`].
+///
+/// `force_gemm` pins `Dense` to the batched GEMM path even at batch 1.
+/// The GEMM accumulates every output row in the same order regardless of
+/// how many rows ride along (column-split threading and `MR`-row tiling
+/// never reorder a row's k-loop), while the batch-1 matvec kernel uses a
+/// different fold tree — so with `force_gemm` set, a row's score is
+/// bitwise identical whether it is scored alone or merged into a larger
+/// batch. Cross-query batch coalescing relies on exactly this invariance.
+#[derive(Debug, Default)]
+pub struct InferScratch {
+    /// GEMM packing buffers + kernel/threading knobs for every layer.
+    pub gemm: GemmScratch,
+    /// Pin `Dense` to the batch-shape-invariant GEMM path (see above).
+    pub force_gemm: bool,
+    /// Ping-pong activation buffers for [`crate::model::Sequential`].
+    pub(crate) buf_a: Vec<f32>,
+    pub(crate) buf_b: Vec<f32>,
+}
+
+impl InferScratch {
+    /// Scratch with the batch-shape-invariant dense path pinned on — what
+    /// serving paths that merge packs across queries must use.
+    pub fn coalescing() -> InferScratch {
+        InferScratch {
+            force_gemm: true,
+            ..InferScratch::default()
+        }
+    }
+}
+
 /// A differentiable layer.
 ///
-/// `Send` so whole models move across threads — the zoo trainer builds
-/// networks on worker threads and hands the trained `Sequential`s back for
-/// query-time serving. Layers are plain parameter/scratch buffers, so the
-/// bound costs implementors nothing.
-pub trait Layer: Send {
+/// `Send + Sync` so whole models move across threads *and* serve from
+/// behind a shared reference — the zoo trainer builds networks on worker
+/// threads, and the query service scores through one `Sequential` from
+/// many request threads at once (see [`Layer::infer_shared`]). Layers are
+/// plain parameter/scratch buffers, so the bounds cost implementors
+/// nothing.
+pub trait Layer: Send + Sync {
     /// Human-readable layer kind.
     fn name(&self) -> &'static str;
     /// Downcasting hook used by the serializer.
@@ -58,6 +100,19 @@ pub trait Layer: Send {
     /// gradients over the batch. Must be called after `forward_batch` with
     /// the same `batch`.
     fn backward_batch(&mut self, grad_out: &[f32], batch: usize, grad_in: &mut Vec<f32>);
+    /// Shared-reference inference forward: identical results to
+    /// `forward_batch(input, batch, out, /*cache=*/false)`, but all
+    /// mutable state lives in the caller's [`InferScratch`], so one layer
+    /// instance serves any number of threads concurrently. Layer-owned
+    /// scratch/threading knobs are ignored; the scratch's
+    /// [`GemmScratch::kernel`]/`threads` apply instead.
+    fn infer_shared(
+        &self,
+        input: &[f32],
+        batch: usize,
+        out: &mut Vec<f32>,
+        scratch: &mut InferScratch,
+    );
     /// Visit (parameters, gradients) slices for the optimizer.
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32]));
     /// Cap the worker threads this layer's forward path may spawn: `None`
@@ -265,7 +320,7 @@ impl Layer for Conv2d {
         let (kk, out_c) = (*k, *out_c);
         let per = batch.div_ceil(threads);
         let pool = scratch.worker_pool(batch.div_ceil(per));
-        std::thread::scope(|scope| {
+        tahoma_mathx::pool::scope(|scope| {
             for ((in_chunk, out_chunk), worker) in input
                 .chunks(per * in_len)
                 .zip(out.chunks_mut(per * out_len))
@@ -279,6 +334,37 @@ impl Layer for Conv2d {
                 });
             }
         });
+    }
+
+    fn infer_shared(
+        &self,
+        input: &[f32],
+        batch: usize,
+        out: &mut Vec<f32>,
+        scratch: &mut InferScratch,
+    ) {
+        let (c_in, h, w) = (self.input.c, self.input.h, self.input.w);
+        let in_len = self.input.len();
+        let out_len = self.out_c * h * w;
+        debug_assert_eq!(input.len(), batch * in_len);
+        out.resize(batch * out_len, 0.0);
+        // Images run serially through the caller's scratch: each image's
+        // result depends only on its own pixels, so the output is bitwise
+        // identical whatever batch it rides in.
+        for b in 0..batch {
+            gemm::conv2d_forward(
+                &mut scratch.gemm,
+                &input[b * in_len..(b + 1) * in_len],
+                c_in,
+                h,
+                w,
+                self.k,
+                &self.weights,
+                &self.bias,
+                self.out_c,
+                &mut out[b * out_len..(b + 1) * out_len],
+            );
+        }
     }
 
     fn backward(&mut self, grad_out: &[f32]) -> Vec<f32> {
@@ -507,6 +593,28 @@ impl Layer for MaxPool2 {
         }
     }
 
+    fn infer_shared(
+        &self,
+        input: &[f32],
+        batch: usize,
+        out: &mut Vec<f32>,
+        scratch: &mut InferScratch,
+    ) {
+        let in_len = self.input.len();
+        let out_len = self.output_shape().len();
+        debug_assert_eq!(input.len(), batch * in_len);
+        out.resize(batch * out_len, 0.0);
+        let (c, h, w) = (self.input.c, self.input.h, self.input.w);
+        let (oh, ow) = (h / 2, w / 2);
+        for b in 0..batch {
+            for ch in 0..c {
+                let plane = &input[b * in_len + ch * h * w..b * in_len + (ch + 1) * h * w];
+                let dst = &mut out[b * out_len + ch * oh * ow..b * out_len + (ch + 1) * oh * ow];
+                kernels::maxpool2_plane(scratch.gemm.kernel, plane, h, w, dst);
+            }
+        }
+    }
+
     fn backward(&mut self, grad_out: &[f32]) -> Vec<f32> {
         let mut grad_in = vec![0.0f32; self.input.len()];
         for (oidx, &src) in self.argmax.iter().enumerate() {
@@ -592,6 +700,17 @@ impl Layer for Relu {
             self.mask.push(keep);
             out.push(if keep { v } else { 0.0 });
         }
+    }
+
+    fn infer_shared(
+        &self,
+        input: &[f32],
+        _batch: usize,
+        out: &mut Vec<f32>,
+        scratch: &mut InferScratch,
+    ) {
+        out.resize(input.len(), 0.0);
+        kernels::relu(scratch.gemm.kernel, input, out);
     }
 
     fn backward(&mut self, grad_out: &[f32]) -> Vec<f32> {
@@ -724,6 +843,35 @@ impl Layer for Dense {
         // out[batch x n_out] += X[batch x n_in] · Wᵀ (W stored n_out x n_in).
         gemm::gemm_nt(
             &mut self.scratch,
+            batch,
+            self.n_out,
+            self.n_in,
+            input,
+            &self.weights,
+            out,
+        );
+    }
+
+    fn infer_shared(
+        &self,
+        input: &[f32],
+        batch: usize,
+        out: &mut Vec<f32>,
+        scratch: &mut InferScratch,
+    ) {
+        debug_assert_eq!(input.len(), batch * self.n_in);
+        out.clear();
+        if batch == 1 && !scratch.force_gemm {
+            out.resize(self.n_out, 0.0);
+            kernels::matvec(scratch.gemm.kernel, &self.weights, &self.bias, input, out);
+            return;
+        }
+        out.resize(batch * self.n_out, 0.0);
+        for row in out.chunks_exact_mut(self.n_out) {
+            row.copy_from_slice(&self.bias);
+        }
+        gemm::gemm_nt(
+            &mut scratch.gemm,
             batch,
             self.n_out,
             self.n_in,

@@ -79,7 +79,7 @@ pub mod tensor;
 pub mod train;
 
 pub use gemm::GemmScratch;
-pub use layer::{Conv2d, Dense, Layer, MaxPool2, Relu};
+pub use layer::{Conv2d, Dense, InferScratch, Layer, MaxPool2, Relu};
 pub use loss::{bce_with_logits, bce_with_logits_grad};
 pub use model::{CnnSpec, Sequential};
 pub use optim::{Adam, Optimizer, Sgd};

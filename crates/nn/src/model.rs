@@ -6,7 +6,7 @@
 //! varies `L` in {1, 2, 4}, `n_conv` in {16, 32}, and `n_dense` in
 //! {16, 32, 64} (§VII-A).
 
-use crate::layer::{Conv2d, Dense, Layer, MaxPool2, Relu};
+use crate::layer::{Conv2d, Dense, InferScratch, Layer, MaxPool2, Relu};
 use crate::tensor::Shape;
 use std::fmt;
 use tahoma_mathx::{logistic, DetRng};
@@ -115,6 +115,65 @@ impl Sequential {
             std::mem::swap(buf_a, buf_b);
         }
         buf_a.clone()
+    }
+
+    /// Shared-reference batched inference: identical numerics to
+    /// [`Sequential::infer_batch`] for the same batch shape, but `&self` —
+    /// every piece of mutable state (GEMM packing buffers, ping-pong
+    /// activations) lives in the caller's [`InferScratch`], so one trained
+    /// model serves any number of threads concurrently, each with its own
+    /// scratch checked out from a pool. With
+    /// [`InferScratch::coalescing`]-configured scratch, each image's output
+    /// is additionally bitwise independent of the batch it rides in, which
+    /// is what lets a scoring broker merge packs from concurrent queries
+    /// into one call.
+    pub fn infer_batch_shared(
+        &self,
+        input: &[f32],
+        batch: usize,
+        scratch: &mut InferScratch,
+    ) -> Vec<f32> {
+        assert!(batch > 0, "infer_batch_shared requires batch >= 1");
+        assert_eq!(
+            input.len(),
+            batch * self.input.len(),
+            "input length {} != batch {batch} x {}",
+            input.len(),
+            self.input.len()
+        );
+        let mut buf_a = std::mem::take(&mut scratch.buf_a);
+        let mut buf_b = std::mem::take(&mut scratch.buf_b);
+        buf_a.clear();
+        buf_a.extend_from_slice(input);
+        for layer in &self.layers {
+            layer.infer_shared(&buf_a, batch, &mut buf_b, scratch);
+            std::mem::swap(&mut buf_a, &mut buf_b);
+        }
+        let out = buf_a.clone();
+        scratch.buf_a = buf_a;
+        scratch.buf_b = buf_b;
+        out
+    }
+
+    /// Shared-reference [`Sequential::predict_proba_batch`]: one
+    /// probability per image through [`Sequential::infer_batch_shared`].
+    /// Panics unless the model has a single output.
+    pub fn predict_proba_shared(
+        &self,
+        input: &[f32],
+        batch: usize,
+        scratch: &mut InferScratch,
+    ) -> Vec<f32> {
+        let mut out = self.infer_batch_shared(input, batch, scratch);
+        assert_eq!(
+            out.len(),
+            batch,
+            "predict_proba_shared requires single-output model"
+        );
+        for v in &mut out {
+            *v = logistic(*v as f64) as f32;
+        }
+        out
     }
 
     /// Forward pass returning the single output logit. Panics unless the
@@ -557,6 +616,77 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn shared_inference_matches_owned_path_bitwise() {
+        let mut model = tiny_spec().build(21).unwrap();
+        let mut scratch = InferScratch::default();
+        for batch in [1usize, 3, 7] {
+            let input: Vec<f32> = (0..batch * 64)
+                .map(|i| ((i * 29) % 31) as f32 / 31.0 - 0.5)
+                .collect();
+            let owned = model.predict_proba_batch(&input, batch);
+            let shared = {
+                let m: &Sequential = &model;
+                let mut out = m.infer_batch_shared(&input, batch, &mut scratch);
+                for v in &mut out {
+                    *v = logistic(*v as f64) as f32;
+                }
+                out
+            };
+            assert_eq!(owned, shared, "batch {batch} diverges");
+        }
+    }
+
+    #[test]
+    fn coalescing_scratch_scores_are_batch_shape_invariant() {
+        // The broker's contract: a row's score must not depend on how many
+        // other rows were merged into the same inference call.
+        let model = tiny_spec().build(22).unwrap();
+        let n = 9usize;
+        let input: Vec<f32> = (0..n * 64)
+            .map(|i| ((i * 17) % 23) as f32 / 23.0 - 0.3)
+            .collect();
+        let mut scratch = InferScratch::coalescing();
+        let merged = model.predict_proba_shared(&input, n, &mut scratch);
+        // Score the same rows alone and in ragged sub-batches.
+        let mut alone = Vec::new();
+        for b in 0..n {
+            alone.extend(model.predict_proba_shared(&input[b * 64..(b + 1) * 64], 1, &mut scratch));
+        }
+        assert_eq!(
+            merged, alone,
+            "batch-1 vs batch-{n} diverges under force_gemm"
+        );
+        let mut ragged = Vec::new();
+        for chunk in input.chunks(4 * 64) {
+            let b = chunk.len() / 64;
+            ragged.extend(model.predict_proba_shared(chunk, b, &mut scratch));
+        }
+        assert_eq!(
+            merged, ragged,
+            "ragged sub-batches diverge under force_gemm"
+        );
+    }
+
+    #[test]
+    fn concurrent_threads_share_one_model() {
+        let model = tiny_spec().build(23).unwrap();
+        let input: Vec<f32> = (0..64).map(|i| (i as f32 / 32.0) - 1.0).collect();
+        let want = model.predict_proba_shared(&input, 1, &mut InferScratch::coalescing());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let (model, input, want) = (&model, &input, &want);
+                s.spawn(move || {
+                    let mut scratch = InferScratch::coalescing();
+                    for _ in 0..20 {
+                        let got = model.predict_proba_shared(input, 1, &mut scratch);
+                        assert_eq!(&got, want);
+                    }
+                });
+            }
+        });
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! The `tahoma-serve` binary: stand up a query service over a synthetic
+//! fixture and serve the line protocol on TCP.
+//!
+//! ```text
+//! tahoma-serve [--addr HOST:PORT] [--backend surrogate|nn]
+//!              [--kinds fence,wallet,...] [--corpus N] [--seed S]
+//!              [--workers N] [--queue N]
+//! ```
+//!
+//! Prints `listening on ADDR` once ready (the CI smoke job greps for it),
+//! then runs until a client sends `SHUTDOWN`.
+
+use std::process::exit;
+use std::sync::Arc;
+use tahoma_imagery::ObjectKind;
+use tahoma_serve::fixture::{nn_service, surrogate_service, NnFixtureConfig};
+use tahoma_serve::{serve, ServerConfig};
+
+struct Args {
+    addr: String,
+    backend: String,
+    kinds: Vec<ObjectKind>,
+    corpus: usize,
+    seed: u64,
+    workers: usize,
+    queue: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tahoma-serve [--addr HOST:PORT] [--backend surrogate|nn] \
+         [--kinds fence,wallet,...] [--corpus N] [--seed S] [--workers N] [--queue N]"
+    );
+    exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:7343".to_string(),
+        backend: "surrogate".to_string(),
+        kinds: vec![ObjectKind::Fence, ObjectKind::Wallet],
+        corpus: 1024,
+        seed: 0x7A40,
+        workers: 4,
+        queue: 32,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--addr" => args.addr = val(),
+            "--backend" => args.backend = val(),
+            "--kinds" => {
+                args.kinds = val()
+                    .split(',')
+                    .map(|name| {
+                        ObjectKind::from_name(name.trim()).unwrap_or_else(|| {
+                            eprintln!("unknown object kind: {name}");
+                            exit(2);
+                        })
+                    })
+                    .collect();
+            }
+            "--corpus" => args.corpus = val().parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = val().parse().unwrap_or_else(|_| usage()),
+            "--workers" => args.workers = val().parse().unwrap_or_else(|_| usage()),
+            "--queue" => args.queue = val().parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage();
+            }
+        }
+    }
+    if args.kinds.is_empty() {
+        usage();
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    eprintln!(
+        "building {} service: kinds={:?} corpus={} seed={}",
+        args.backend, args.kinds, args.corpus, args.seed
+    );
+    let service = match args.backend.as_str() {
+        "surrogate" => surrogate_service(&args.kinds, args.corpus, args.seed),
+        "nn" => nn_service(&NnFixtureConfig {
+            kinds: args.kinds.clone(),
+            corpus_n: args.corpus,
+            seed: args.seed,
+            ..Default::default()
+        }),
+        other => {
+            eprintln!("unknown backend: {other}");
+            usage();
+        }
+    };
+    let handle = serve(
+        Arc::new(service),
+        ServerConfig {
+            addr: args.addr,
+            workers: args.workers,
+            queue_cap: args.queue,
+        },
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("bind failed: {e}");
+        exit(1);
+    });
+    println!("listening on {}", handle.addr());
+    handle.join();
+    eprintln!("shutdown complete");
+}

@@ -1,0 +1,311 @@
+//! Cross-query batch coalescing: merge survivor packs from concurrent
+//! queries into single batched inference calls.
+//!
+//! The §IV cost model prices inference per *call*: a batched GEMM pass has
+//! a fixed setup cost (packing, kernel dispatch, cache warm-up) amortized
+//! over its rows, which is why the executor scores whole survivor packs at
+//! once instead of items one by one. The same argument holds one level up:
+//! when two concurrent queries each bring a half-full pack for the *same
+//! model*, running them as one merged call pays the fixed cost once. The
+//! broker implements this with a leader/follower protocol per model:
+//!
+//! 1. A query submitting rows for model `m` joins the open batch for `m`
+//!    (or opens one, becoming its **leader**).
+//! 2. The leader waits a short coalescing window for followers to join —
+//!    skipped entirely when the service has at most one query in flight,
+//!    so an idle server adds zero latency — then seals the batch, runs one
+//!    [`SharedModelZoo::infer`] call over the concatenated rows, and
+//!    publishes the scores.
+//! 3. Followers block until the batch completes and slice out their rows'
+//!    scores. A batch that reaches [`Broker`]'s row cap seals immediately.
+//!
+//! Coalescing is invisible in the results: the shared inference path pins
+//! the batched GEMM kernel ([`InferScratch::coalescing`]), whose per-row
+//! reduction order does not depend on how many rows ride in the call, so
+//! every row's score is bitwise identical whether it was scored alone or
+//! merged with strangers (asserted by `tests/concurrency.rs`).
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+use tahoma_core::exec::{InferDispatch, SharedModelZoo};
+use tahoma_nn::InferScratch;
+use tahoma_zoo::ModelId;
+
+/// Poison-tolerant lock: broker bookkeeping stays usable after a leader's
+/// inference panicked (the panic is re-raised on every participant; the
+/// shared maps are never left mid-update because critical sections do not
+/// call user code).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+struct BatchState {
+    rows: Vec<f32>,
+    sizes: Vec<usize>,
+    sealed: bool,
+    done: bool,
+    failed: bool,
+    scores: Vec<f32>,
+}
+
+struct Batch {
+    state: Mutex<BatchState>,
+    cv: Condvar,
+}
+
+impl Batch {
+    fn new() -> Batch {
+        Batch {
+            state: Mutex::new(BatchState {
+                rows: Vec::new(),
+                sizes: Vec::new(),
+                sealed: false,
+                done: false,
+                failed: false,
+                scores: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// Counters a [`Broker`] accumulates over its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BrokerStats {
+    /// `infer` submissions received.
+    pub submits: u64,
+    /// Zoo inference calls actually issued.
+    pub calls: u64,
+    /// Inference calls that merged rows from more than one submission.
+    pub merged_calls: u64,
+    /// Total rows scored through the broker.
+    pub rows: u64,
+}
+
+/// Per-model-zoo coalescing broker. One instance serves one
+/// [`SharedModelZoo`] (model ids are zoo-scoped); the service keeps one
+/// broker per served predicate.
+pub struct Broker {
+    zoo: Arc<SharedModelZoo>,
+    open: Mutex<HashMap<u32, Arc<Batch>>>,
+    window: Duration,
+    max_rows: usize,
+    /// Queries in flight that still owe this broker's predicate a cascade
+    /// execution (maintained by the service). Leaders skip the coalescing
+    /// window when there is nobody to coalesce with and seal early once
+    /// every interested query has a pack aboard.
+    active: Arc<AtomicUsize>,
+    scratch: Mutex<Vec<InferScratch>>,
+    submits: AtomicU64,
+    calls: AtomicU64,
+    merged_calls: AtomicU64,
+    rows: AtomicU64,
+}
+
+impl Broker {
+    /// Default coalescing window. This is a latency *bound*, not a fixed
+    /// wait: leaders seal as soon as every interested query has a pack
+    /// aboard, so the deadline only fires when a co-interested query is
+    /// slow to bring its pack. Sized to the time a burst of queries needs
+    /// to materialize their packs back-to-back on a loaded host, and on
+    /// the order of one merged inference call.
+    pub const DEFAULT_WINDOW: Duration = Duration::from_millis(2);
+
+    /// Default cap on merged rows per inference call.
+    pub const DEFAULT_MAX_ROWS: usize = 1024;
+
+    /// Create a broker over `zoo`. `active` counts the in-flight queries
+    /// interested in this broker's predicate.
+    pub fn new(zoo: Arc<SharedModelZoo>, active: Arc<AtomicUsize>) -> Broker {
+        Broker {
+            zoo,
+            open: Mutex::new(HashMap::new()),
+            window: Broker::DEFAULT_WINDOW,
+            max_rows: Broker::DEFAULT_MAX_ROWS,
+            active,
+            scratch: Mutex::new(Vec::new()),
+            submits: AtomicU64::new(0),
+            calls: AtomicU64::new(0),
+            merged_calls: AtomicU64::new(0),
+            rows: AtomicU64::new(0),
+        }
+    }
+
+    /// Override the coalescing window (0 disables waiting; packs still
+    /// merge when they arrive while a leader holds the batch open).
+    pub fn with_window(mut self, window: Duration) -> Broker {
+        self.window = window;
+        self
+    }
+
+    /// Override the merged-row cap.
+    pub fn with_max_rows(mut self, max_rows: usize) -> Broker {
+        self.max_rows = max_rows.max(1);
+        self
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> BrokerStats {
+        BrokerStats {
+            submits: self.submits.load(Ordering::Relaxed),
+            calls: self.calls.load(Ordering::Relaxed),
+            merged_calls: self.merged_calls.load(Ordering::Relaxed),
+            rows: self.rows.load(Ordering::Relaxed),
+        }
+    }
+
+    fn run_zoo(&self, model: ModelId, rows: &[f32], n: usize) -> std::thread::Result<Vec<f32>> {
+        let mut scratch = lock(&self.scratch)
+            .pop()
+            .unwrap_or_else(InferScratch::coalescing);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            self.zoo.infer(model, rows, n, &mut scratch)
+        }));
+        lock(&self.scratch).push(scratch);
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        result
+    }
+
+    /// Leader path: give followers `window` to join, then seal the batch
+    /// (taking it off the open map so later submissions start fresh), run
+    /// one zoo call over the merged rows, and publish the scores.
+    fn lead(&self, model: ModelId, batch: &Arc<Batch>) {
+        if self.window > Duration::ZERO && self.active.load(Ordering::Relaxed) > 1 {
+            // Poll in short slices: besides sealing and the deadline, stop
+            // waiting as soon as every in-flight query has a pack in this
+            // batch (nobody is left to join — each query submits at most
+            // once per cascade level, then blocks on the result) or the
+            // service goes (nearly) idle. Both conditions read the live
+            // `active` counter, so a dying burst never strands the leader
+            // in a dead window.
+            const POLL: Duration = Duration::from_micros(50);
+            let deadline = Instant::now() + self.window;
+            let mut st = lock(&batch.state);
+            while !st.sealed {
+                let active = self.active.load(Ordering::Relaxed);
+                if active <= 1 || st.sizes.len() >= active {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (g, _) = batch
+                    .cv
+                    .wait_timeout(st, (deadline - now).min(POLL))
+                    .unwrap_or_else(|p| p.into_inner());
+                st = g;
+            }
+        }
+        // Seal under the open-map lock (map -> batch lock order, same as
+        // the join path) unless a row-cap join already did.
+        {
+            let mut open = lock(&self.open);
+            let mut st = lock(&batch.state);
+            if !st.sealed {
+                st.sealed = true;
+                if open.get(&model.0).is_some_and(|b| Arc::ptr_eq(b, batch)) {
+                    open.remove(&model.0);
+                }
+            }
+        }
+        let (rows, sizes) = {
+            let mut st = lock(&batch.state);
+            (std::mem::take(&mut st.rows), st.sizes.clone())
+        };
+        let n: usize = sizes.iter().sum();
+        self.rows.fetch_add(n as u64, Ordering::Relaxed);
+        if sizes.len() > 1 {
+            self.merged_calls.fetch_add(1, Ordering::Relaxed);
+        }
+        let result = self.run_zoo(model, &rows, n);
+        let mut st = lock(&batch.state);
+        let err = match result {
+            Ok(scores) => {
+                st.scores = scores;
+                None
+            }
+            Err(p) => {
+                st.failed = true;
+                Some(p)
+            }
+        };
+        st.done = true;
+        batch.cv.notify_all();
+        drop(st);
+        if let Some(p) = err {
+            // Followers see `failed` and panic on their own threads; the
+            // leader re-raises the original payload.
+            resume_unwind(p);
+        }
+    }
+}
+
+impl InferDispatch for Broker {
+    fn infer(&self, model: ModelId, rows: &[f32], n: usize) -> Vec<f32> {
+        self.submits.fetch_add(1, Ordering::Relaxed);
+        // Idle fast path: nobody to coalesce with — score directly, no
+        // batch machinery, no window.
+        if self.active.load(Ordering::Relaxed) <= 1 {
+            self.rows.fetch_add(n as u64, Ordering::Relaxed);
+            return match self.run_zoo(model, rows, n) {
+                Ok(scores) => scores,
+                Err(p) => resume_unwind(p),
+            };
+        }
+        // Join (or open) the model's batch.
+        let (batch, my_index, leader) = {
+            let mut open = lock(&self.open);
+            match open.get(&model.0) {
+                Some(b) => {
+                    let b = Arc::clone(b);
+                    let mut st = lock(&b.state);
+                    debug_assert!(!st.sealed, "sealed batches leave the open map");
+                    st.rows.extend_from_slice(rows);
+                    st.sizes.push(n);
+                    let idx = st.sizes.len() - 1;
+                    if st.sizes.iter().sum::<usize>() >= self.max_rows {
+                        st.sealed = true;
+                        open.remove(&model.0);
+                    }
+                    // Wake the leader either way: it may now be able to
+                    // seal early (all active queries joined).
+                    b.cv.notify_all();
+                    drop(st);
+                    (b, idx, false)
+                }
+                None => {
+                    let b = Arc::new(Batch::new());
+                    {
+                        let mut st = lock(&b.state);
+                        st.rows.extend_from_slice(rows);
+                        st.sizes.push(n);
+                    }
+                    open.insert(model.0, Arc::clone(&b));
+                    (b, 0, true)
+                }
+            }
+        };
+        if leader {
+            self.lead(model, &batch);
+        }
+        // Wait for completion (leaders are already done) and slice out our
+        // scores.
+        let mut st = lock(&batch.state);
+        while !st.done {
+            st = batch.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+        if st.failed {
+            drop(st);
+            panic!("coalesced inference failed for model m{}", model.0);
+        }
+        let off: usize = st.sizes[..my_index].iter().sum();
+        st.scores[off..off + n].to_vec()
+    }
+}

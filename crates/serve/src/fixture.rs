@@ -1,0 +1,248 @@
+//! Ready-to-serve service fixtures, shared by the `query_serve` bench,
+//! `tests/concurrency.rs`, the `tahoma-serve` binary, and the CI smoke
+//! job.
+//!
+//! Two backends:
+//!
+//! * [`surrogate_service`] — per-kind surrogate model families over the
+//!   paper's variant grid, planned through the full paper cascade space.
+//!   No pixels move; this is the cheap fixture for protocol/server tests
+//!   and for exercising the plan cache over many predicates.
+//! * [`nn_service`] — real CNN inference end to end: a shared
+//!   [`RepresentationStore`] of raster frames, one two-level model zoo per
+//!   kind, and decision cuts calibrated from each network's live score
+//!   distribution (untrained weights cluster instead of separating, so the
+//!   surrogate config split's calibration would never decide anything).
+//!   This is the fixture coalescing is measured on.
+//!
+//! Both build every served kind over ONE shared corpus so metadata
+//! predicates and cross-kind conjunctions are consistent, and both are
+//! deterministic in `seed` — two services built with the same arguments
+//! answer every query identically, which the concurrency tests lean on.
+
+use crate::service::QueryService;
+use std::sync::Arc;
+use std::time::Duration;
+use tahoma_core::exec::{BatchScorer, NnSessionScratch, ScorePack, SharedModelZoo, SharedNnScorer};
+use tahoma_core::pipeline::TahomaSystem;
+use tahoma_core::query::{Corpus, CorpusItem};
+use tahoma_core::thresholds::{DecisionThresholds, ThresholdTable};
+use tahoma_core::BuilderConfig;
+use tahoma_costmodel::{AnalyticProfiler, DeviceProfile, Scenario};
+use tahoma_imagery::{ColorMode, Image, ObjectKind, Representation, RepresentationStore};
+use tahoma_zoo::repository::{build_surrogate_repository, SurrogateBuildConfig};
+use tahoma_zoo::variant::{cross_variants, paper_variants};
+use tahoma_zoo::{ArchSpec, ModelId, ModelKind, PredicateSpec, SurrogateScorer};
+
+/// Accuracy-loss target every fixture service plans at (matches the SQL
+/// console's default).
+pub const ACCURACY_LOSS: f64 = 0.02;
+
+/// Surrogate-backed service over `kinds`, all sharing one synthetic
+/// corpus of `corpus_n` items.
+pub fn surrogate_service(kinds: &[ObjectKind], corpus_n: usize, seed: u64) -> QueryService {
+    let profiler = AnalyticProfiler::paper_testbed(Scenario::Ongoing);
+    let mut service = QueryService::new(profiler, ACCURACY_LOSS);
+    let corpus = Arc::new(Corpus::synthetic(corpus_n, 0.3, seed));
+    for &kind in kinds {
+        let pred = PredicateSpec::for_kind(kind);
+        let cfg = SurrogateBuildConfig {
+            n_config: 300,
+            n_eval: 400,
+            seed: seed ^ (0x51C0 + kind.index() as u64),
+            variants: Some(paper_variants().into_iter().step_by(8).collect()),
+            ..Default::default()
+        };
+        let scorer = SurrogateScorer {
+            pred,
+            params: cfg.params,
+            seed: cfg.seed,
+        };
+        let repo = build_surrogate_repository(pred, &cfg, &DeviceProfile::k80());
+        let system = TahomaSystem::initialize_paper_main(repo);
+        service.add_surrogate_kind(kind, system, scorer, Arc::clone(&corpus));
+    }
+    service
+}
+
+/// Knobs for the real-NN fixture.
+#[derive(Debug, Clone)]
+pub struct NnFixtureConfig {
+    /// Served predicates (each gets its own two-level zoo).
+    pub kinds: Vec<ObjectKind>,
+    /// Shared corpus size.
+    pub corpus_n: usize,
+    /// Per-kind object prevalence in the synthetic corpus.
+    pub prevalence: f64,
+    /// Root seed: frames, surrogate pricing, and network weights all
+    /// derive from it.
+    pub seed: u64,
+    /// Broker coalescing window.
+    pub window: Duration,
+    /// Broker merged-row cap.
+    pub max_rows: usize,
+}
+
+impl Default for NnFixtureConfig {
+    fn default() -> NnFixtureConfig {
+        NnFixtureConfig {
+            kinds: vec![ObjectKind::Fence, ObjectKind::Wallet],
+            corpus_n: 384,
+            prevalence: 0.35,
+            seed: 0x7A40,
+            window: crate::broker::Broker::DEFAULT_WINDOW,
+            max_rows: crate::broker::Broker::DEFAULT_MAX_ROWS,
+        }
+    }
+}
+
+/// Deterministic synthetic raster frame (same construction as the
+/// `query_exec` bench).
+pub fn frame(seed: u64, size: usize) -> Image {
+    Image::from_fn(size, size, ColorMode::Rgb, |c, y, x| {
+        (((c as u64 * 31 + y as u64 * 7 + x as u64 * 3 + seed) % 13) as f32) / 13.0
+    })
+    .unwrap()
+}
+
+/// Decision cuts for one model from its live score distribution: three
+/// progressively stricter settings (matching the fixture's three planner
+/// precision settings), each deciding the tails and leaving the middle to
+/// the next level.
+fn quantile_cuts(scores: &mut [f32]) -> Vec<DecisionThresholds> {
+    scores.sort_by(f32::total_cmp);
+    let cut = |q: f64| scores[((scores.len() - 1) as f64 * q) as usize];
+    [(0.35, 0.65), (0.30, 0.70), (0.20, 0.80)]
+        .iter()
+        .map(|&(lo, hi)| DecisionThresholds {
+            p_low: cut(lo),
+            p_high: cut(hi),
+        })
+        .collect()
+}
+
+/// Real-NN service: shared frame store, per-kind zoos with untrained CNNs
+/// at two representation levels, live-calibrated execution thresholds,
+/// coalescing brokers wired to `cfg.window`/`cfg.max_rows`.
+pub fn nn_service(cfg: &NnFixtureConfig) -> QueryService {
+    let rep0 = Representation::new(24, ColorMode::Gray);
+    let rep1 = Representation::new(32, ColorMode::Rgb);
+    // Wide dense heads on purpose: the packed weight matrix is the per-call
+    // fixed cost (§IV batch pricing) that cross-query coalescing amortizes,
+    // so the serving fixture gives it realistic weight relative to per-row
+    // compute (production detectors are far denser still).
+    let arch0 = ArchSpec {
+        conv_layers: 1,
+        conv_nodes: 8,
+        dense_nodes: 256,
+    };
+    let arch1 = ArchSpec {
+        conv_layers: 2,
+        conv_nodes: 8,
+        dense_nodes: 320,
+    };
+    let profiler = AnalyticProfiler::paper_testbed(Scenario::Ongoing);
+    let mut service = QueryService::new(profiler.clone(), ACCURACY_LOSS);
+    let corpus = Arc::new(Corpus::synthetic(cfg.corpus_n, cfg.prevalence, cfg.seed));
+
+    // One store serves every kind: frames are per item, not per predicate.
+    let mut store = RepresentationStore::new(vec![rep0, rep1]);
+    for item in &corpus.items {
+        store
+            .ingest(item.id, &frame(item.id ^ cfg.seed, 64))
+            .unwrap();
+    }
+    let store = Arc::new(store);
+    let items: Vec<&CorpusItem> = corpus.items.iter().collect();
+
+    for (ki, &kind) in cfg.kinds.iter().enumerate() {
+        // A surrogate repository supplies the (model id -> variant) table
+        // and pricing; the scores come from the real networks below.
+        let pred = PredicateSpec::for_kind(kind);
+        let repo_cfg = SurrogateBuildConfig {
+            n_config: 50,
+            n_eval: 50,
+            seed: cfg.seed ^ (ki as u64 + 1),
+            variants: Some(
+                cross_variants(&[arch0, arch1], &[rep0, rep1])
+                    .into_iter()
+                    .filter(|v| {
+                        (v.input == rep0 && matches!(v.kind, ModelKind::Cnn(a) if a == arch0))
+                            || (v.input == rep1
+                                && matches!(v.kind, ModelKind::Cnn(a) if a == arch1))
+                    })
+                    .enumerate()
+                    .map(|(i, mut v)| {
+                        v.id = ModelId(i as u32);
+                        v
+                    })
+                    .collect(),
+            ),
+            ..Default::default()
+        };
+        let repo = build_surrogate_repository(pred, &repo_cfg, &DeviceProfile::k80());
+        let builder = BuilderConfig {
+            pool: repo.specialized_ids(),
+            reference: None,
+            n_settings: 3,
+            max_pool_depth: 2,
+            with_reference_terminal: false,
+        };
+        let system = TahomaSystem::initialize(repo, &[0.93, 0.95, 0.99], &builder);
+
+        let mut zoo = SharedModelZoo::new();
+        let net_seed = cfg.seed ^ (0xA11 + 2 * ki as u64);
+        zoo.register(
+            ModelId(0),
+            rep0,
+            arch0.cnn_spec(rep0).build(net_seed).expect("valid spec"),
+        );
+        zoo.register(
+            ModelId(1),
+            rep1,
+            arch1
+                .cnn_spec(rep1)
+                .build(net_seed + 1)
+                .expect("valid spec"),
+        );
+
+        // Execution-time threshold override calibrated from the live score
+        // distributions (planning still uses the system's table).
+        let mut per_model = Vec::with_capacity(system.repo.len());
+        {
+            let mut scratch = NnSessionScratch::new();
+            let mut scorer = SharedNnScorer::new(&store, &zoo, &mut scratch);
+            for id in 0..system.repo.len() {
+                if zoo.input_rep(ModelId(id as u32)).is_none() {
+                    // The appended reference entry has no network; it never
+                    // appears in a planned cascade and must never decide.
+                    per_model.push(vec![DecisionThresholds::never_decide(); 3]);
+                    continue;
+                }
+                let mut scores = Vec::new();
+                scorer.score_batch(
+                    ModelId(id as u32),
+                    ScorePack::standalone(&items),
+                    &mut scores,
+                );
+                per_model.push(quantile_cuts(&mut scores));
+            }
+        }
+        let exec_thresholds = ThresholdTable {
+            settings: vec![0.93, 0.95, 0.99],
+            per_model,
+        };
+
+        service.add_nn_kind(
+            kind,
+            system,
+            Some(exec_thresholds),
+            Arc::clone(&store),
+            zoo,
+            Arc::clone(&corpus),
+            cfg.window,
+            cfg.max_rows,
+        );
+    }
+    service
+}

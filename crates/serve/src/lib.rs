@@ -1,0 +1,53 @@
+//! Concurrent query service: a shared-executor front door over the
+//! vectorized cascade executor, with plan caching and cross-query batch
+//! coalescing.
+//!
+//! The paper's system is presented as a *database service*: many analysts
+//! issue content-based queries against one corpus, and the optimizer's
+//! savings (cascades, physical-representation sharing, §IV's cost model)
+//! accrue per query. Everything below the service layer in this repo was
+//! single-query: one `VectorizedExecutor` run at a time against `&mut`
+//! backends. This crate is the multi-tenant front door:
+//!
+//! * [`service::QueryService`] owns one shared corpus, one shared
+//!   [`tahoma_imagery::RepresentationStore`], and one trained model zoo
+//!   per served predicate, and executes SQL queries with `&self` — any
+//!   number of threads serve queries concurrently against the same
+//!   immutable plans and weights, with per-query mutable state checked out
+//!   of a scratch pool ([`tahoma_core::exec::NnSessionScratch`]).
+//! * [`plan_cache::PlanCache`] memoizes the planning prefix — per-kind
+//!   cascade selection over the Pareto frontier plus the cross-predicate
+//!   execution order — keyed on (predicate set, accuracy target). A repeat
+//!   query skips straight to execution.
+//! * [`broker::Broker`] implements cross-query batch coalescing: survivor
+//!   packs from concurrent queries that target the same model are merged
+//!   into a single batched GEMM inference call. This is §IV's batch
+//!   pricing argument applied *across* queries: the cost model already
+//!   prices inference per batch (fixed per-call overhead amortized over
+//!   `batch_size` items), so two half-full packs cost nearly as much as
+//!   one merged pack — merging them buys the second query's inference at
+//!   marginal cost. Coalescing never changes results: the shared inference
+//!   path pins the batched GEMM kernel
+//!   ([`tahoma_nn::InferScratch::coalescing`]), whose per-row reduction
+//!   order is independent of how many rows ride in the call, so a row's
+//!   score is bitwise identical however packs are merged.
+//! * [`server`] exposes the service over TCP with a line protocol
+//!   ([`protocol`]), a fixed worker pool, and admission control: a bounded
+//!   accept queue that sheds load with `BUSY` instead of queueing without
+//!   bound.
+//!
+//! [`fixture`] builds ready-to-serve services (surrogate-backed and
+//! real-NN-backed) shared by the `query_serve` bench, the concurrency
+//! tests, the `tahoma-serve` binary, and the CI smoke job.
+
+pub mod broker;
+pub mod fixture;
+pub mod plan_cache;
+pub mod protocol;
+pub mod server;
+pub mod service;
+
+pub use broker::Broker;
+pub use plan_cache::{CachedPlan, PlanCache};
+pub use server::{serve, ServerConfig, ServerHandle};
+pub use service::{ExecPolicy, QueryService, ServeError, ServeOutcome, ServiceStats};

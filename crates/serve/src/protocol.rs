@@ -1,0 +1,141 @@
+//! The wire protocol: UTF-8 lines over TCP, one request per line.
+//!
+//! Requests:
+//!
+//! ```text
+//! QUERY <sql>          execute under the service's default policy
+//! QUERYU <sql>         execute uncached/uncoalesced (A/B baseline)
+//! PING                 liveness probe
+//! STATS                service counters
+//! SHUTDOWN             stop the server (connection gets BYE first)
+//! ```
+//!
+//! Responses (one line each):
+//!
+//! ```text
+//! OK n=<matches> survivors=<m> plan=<hit|miss> sum=<fnv64 of ids, hex>
+//! OK queries=... plan_hits=... plan_misses=... broker_calls=... \
+//!    broker_merged=... broker_rows=... shed=...      (STATS)
+//! PONG
+//! BYE
+//! BUSY                 shed at admission (queue full); retry later
+//! ERR <message>
+//! ```
+//!
+//! `sum` is an order-sensitive FNV-1a 64 over the matched ids, so clients
+//! (and the CI smoke job) can verify that every replica of a query —
+//! serial, concurrent, coalesced — produced identical results without
+//! shipping the id list.
+
+use crate::service::{ServeOutcome, ServiceStats};
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Execute SQL under the default policy.
+    Query(String),
+    /// Execute SQL with plan cache and coalescing disabled.
+    QueryUncached(String),
+    /// Liveness probe.
+    Ping,
+    /// Service counters.
+    Stats,
+    /// Stop the server.
+    Shutdown,
+}
+
+/// Parse one request line. Errors are human-readable and become `ERR`
+/// responses verbatim.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let line = line.trim();
+    let (verb, rest) = match line.split_once(char::is_whitespace) {
+        Some((v, r)) => (v, r.trim()),
+        None => (line, ""),
+    };
+    match verb.to_ascii_uppercase().as_str() {
+        "QUERY" if !rest.is_empty() => Ok(Request::Query(rest.to_string())),
+        "QUERYU" if !rest.is_empty() => Ok(Request::QueryUncached(rest.to_string())),
+        "QUERY" | "QUERYU" => Err("empty query".to_string()),
+        "PING" => Ok(Request::Ping),
+        "STATS" => Ok(Request::Stats),
+        "SHUTDOWN" => Ok(Request::Shutdown),
+        "" => Err("empty request".to_string()),
+        other => Err(format!("unknown verb {other}")),
+    }
+}
+
+/// Order-sensitive FNV-1a 64 over a sequence of ids.
+pub fn fnv1a64(ids: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &id in ids {
+        for byte in id.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+/// Encode a successful query outcome.
+pub fn encode_outcome(out: &ServeOutcome) -> String {
+    format!(
+        "OK n={} survivors={} plan={} sum={:016x}",
+        out.matched_ids.len(),
+        out.metadata_survivors,
+        if out.plan_hit { "hit" } else { "miss" },
+        fnv1a64(&out.matched_ids),
+    )
+}
+
+/// Encode the `STATS` response. `shed` is the server's admission-control
+/// counter (the service itself never sheds).
+pub fn encode_stats(stats: &ServiceStats, shed: u64) -> String {
+    format!(
+        "OK queries={} plan_hits={} plan_misses={} broker_calls={} broker_merged={} \
+         broker_rows={} shed={}",
+        stats.queries,
+        stats.plan_hits,
+        stats.plan_misses,
+        stats.broker.calls,
+        stats.broker.merged_calls,
+        stats.broker.rows,
+        shed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_verbs_case_insensitively() {
+        assert_eq!(
+            parse_request("query SELECT * FROM f").unwrap(),
+            Request::Query("SELECT * FROM f".into())
+        );
+        assert_eq!(parse_request("  PING  ").unwrap(), Request::Ping);
+        assert_eq!(parse_request("shutdown").unwrap(), Request::Shutdown);
+        assert_eq!(parse_request("STATS").unwrap(), Request::Stats);
+        assert!(parse_request("QUERY").is_err());
+        assert!(parse_request("NOPE x").is_err());
+        assert!(parse_request("").is_err());
+    }
+
+    #[test]
+    fn id_hash_is_order_sensitive_and_stable() {
+        assert_ne!(fnv1a64(&[1, 2]), fnv1a64(&[2, 1]));
+        assert_eq!(fnv1a64(&[]), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(&[1, 2, 3]), fnv1a64(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn outcome_encoding_is_one_line() {
+        let line = encode_outcome(&ServeOutcome {
+            matched_ids: vec![3, 5],
+            metadata_survivors: 9,
+            plan_hit: true,
+        });
+        assert!(line.starts_with("OK n=2 survivors=9 plan=hit sum="));
+        assert!(!line.contains('\n'));
+    }
+}

@@ -1,0 +1,239 @@
+//! TCP front end: fixed worker pool, bounded accept queue, load shedding.
+//!
+//! Admission control is deliberately simple and explicit: `workers`
+//! threads each serve one connection at a time, and at most `queue_cap`
+//! accepted connections wait in line. A connection arriving beyond that
+//! gets a one-line `BUSY` and is closed — the server sheds load instead
+//! of queueing without bound, so latency under overload stays flat for
+//! the queries it does admit (and the shed count is visible via `STATS`).
+//!
+//! Shutdown is cooperative: any client sending `SHUTDOWN` gets `BYE`, the
+//! stop flag flips, the acceptor is unblocked by a self-connection, and
+//! every worker drains its current connection before exiting.
+//! [`ServerHandle::join`] returns once all of that has happened.
+
+use crate::protocol::{encode_outcome, encode_stats, parse_request, Request};
+use crate::service::{ExecPolicy, QueryService};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Server knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Connection-serving worker threads.
+    pub workers: usize,
+    /// Bounded accept queue: connections waiting beyond this are shed
+    /// with `BUSY`.
+    pub queue_cap: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_cap: 32,
+        }
+    }
+}
+
+struct Shared {
+    service: Arc<QueryService>,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_cv: Condvar,
+    queue_cap: usize,
+    stop: AtomicBool,
+    shed: AtomicU64,
+}
+
+/// A running server; dropping the handle does NOT stop it — send
+/// `SHUTDOWN` (or call [`ServerHandle::shutdown`]) and [`ServerHandle::join`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections shed with `BUSY` so far.
+    pub fn shed(&self) -> u64 {
+        self.shared.shed.load(Ordering::Relaxed)
+    }
+
+    /// Request shutdown from the owning process (equivalent to a client
+    /// `SHUTDOWN`).
+    pub fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock the acceptor.
+        let _ = TcpStream::connect(self.addr);
+        self.shared.queue_cv.notify_all();
+    }
+
+    /// Wait for the acceptor and every worker to exit.
+    pub fn join(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Start serving `service` per `config`. Returns once the listener is
+/// bound and the workers are up.
+pub fn serve(service: Arc<QueryService>, config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        service,
+        queue: Mutex::new(VecDeque::new()),
+        queue_cv: Condvar::new(),
+        queue_cap: config.queue_cap.max(1),
+        stop: AtomicBool::new(false),
+        shed: AtomicU64::new(0),
+    });
+    let mut threads = Vec::with_capacity(config.workers + 1);
+    for i in 0..config.workers.max(1) {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("tahoma-serve-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn server worker"),
+        );
+    }
+    {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("tahoma-serve-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("spawn acceptor"),
+        );
+    }
+    Ok(ServerHandle {
+        addr,
+        shared,
+        threads,
+    })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    for conn in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let mut q = shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+        if q.len() >= shared.queue_cap {
+            drop(q);
+            shared.shed.fetch_add(1, Ordering::Relaxed);
+            let mut s = stream;
+            let _ = s.write_all(b"BUSY\n");
+            continue;
+        }
+        q.push_back(stream);
+        drop(q);
+        shared.queue_cv.notify_one();
+    }
+    // Wake every worker so they observe `stop`.
+    shared.queue_cv.notify_all();
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut q = shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            loop {
+                if let Some(s) = q.pop_front() {
+                    break Some(s);
+                }
+                if shared.stop.load(Ordering::SeqCst) {
+                    break None;
+                }
+                q = shared.queue_cv.wait(q).unwrap_or_else(|p| p.into_inner());
+            }
+        };
+        let Some(stream) = stream else { return };
+        serve_connection(stream, shared);
+        if shared.stop.load(Ordering::SeqCst) {
+            // Drain whatever is already queued, then exit.
+            let empty = shared
+                .queue
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .is_empty();
+            if empty {
+                shared.queue_cv.notify_all();
+                return;
+            }
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, shared: &Shared) {
+    let Ok(peer_read) = stream.try_clone() else {
+        return;
+    };
+    let reader = BufReader::new(peer_read);
+    let mut writer = stream;
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        let response = match parse_request(&line) {
+            Err(e) => format!("ERR {e}"),
+            Ok(Request::Ping) => "PONG".to_string(),
+            Ok(Request::Stats) => {
+                encode_stats(&shared.service.stats(), shared.shed.load(Ordering::Relaxed))
+            }
+            Ok(Request::Shutdown) => {
+                let _ = writer.write_all(b"BYE\n");
+                shared.stop.store(true, Ordering::SeqCst);
+                // Self-kick: unblock the acceptor so it re-checks `stop`.
+                if let Ok(addr) = writer.local_addr() {
+                    let _ = TcpStream::connect(addr);
+                }
+                shared.queue_cv.notify_all();
+                return;
+            }
+            Ok(Request::Query(sql)) => run_query(shared, &sql, ExecPolicy::default()),
+            Ok(Request::QueryUncached(sql)) => run_query(
+                shared,
+                &sql,
+                ExecPolicy {
+                    use_plan_cache: false,
+                    coalesce: false,
+                },
+            ),
+        };
+        if writer
+            .write_all(format!("{response}\n").as_bytes())
+            .is_err()
+        {
+            break;
+        }
+    }
+}
+
+fn run_query(shared: &Shared, sql: &str, policy: ExecPolicy) -> String {
+    // A scoring panic (deployment misconfiguration) must not take the
+    // worker thread down with it — surface it as an ERR line.
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        shared.service.execute_with(sql, policy)
+    }));
+    match outcome {
+        Ok(Ok(out)) => encode_outcome(&out),
+        Ok(Err(e)) => format!("ERR {e}"),
+        Err(_) => "ERR internal: query execution panicked".to_string(),
+    }
+}

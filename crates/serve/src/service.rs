@@ -1,0 +1,470 @@
+//! The shared-executor front door: one [`QueryService`] owns the corpus,
+//! the representation store, and a model zoo per served predicate, and
+//! executes SQL queries with `&self` from any number of threads.
+//!
+//! Per query, execution is the planning prefix (cascade selection per
+//! content predicate — served from the [`PlanCache`] on repeat queries)
+//! followed by per-predicate cascade execution through the vectorized
+//! executor. Content predicates run cheapest-first over a progressively
+//! narrowing survivor set: because every scoring backend is deterministic
+//! per (model, item) — the NN path by batch-shape-invariant forced-GEMM
+//! inference — an item pruned by one predicate can never re-enter another,
+//! so narrowing changes cost, never results (the cross-predicate analogue
+//! of the executor's planner-ordered short-circuiting).
+//!
+//! All mutable per-query state lives in scratch checked out of per-kind
+//! pools; the store, zoos, thresholds, and cost tables are only ever
+//! borrowed shared. Concurrent queries therefore return bitwise-identical
+//! results to a serial run — with or without broker coalescing — which
+//! `tests/concurrency.rs` asserts under load.
+
+use crate::broker::{Broker, BrokerStats};
+use crate::plan_cache::{CachedPlan, PlanCache};
+use std::collections::{BTreeMap, HashSet};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use tahoma_core::evaluator::CostContext;
+use tahoma_core::exec::{ExecOptions, NnSessionScratch, SharedModelZoo, SharedNnScorer};
+use tahoma_core::pipeline::TahomaSystem;
+use tahoma_core::query::{Corpus, Query, QueryProcessor};
+use tahoma_core::thresholds::ThresholdTable;
+use tahoma_core::{Cascade, Constraints, SurrogateBatchScorer};
+use tahoma_costmodel::AnalyticProfiler;
+use tahoma_imagery::{ObjectKind, RepresentationStore};
+use tahoma_zoo::SurrogateScorer;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Per-query execution switches (the protocol exposes them for A/B runs;
+/// the defaults are what a production front door would run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecPolicy {
+    /// Serve repeat plans from the [`PlanCache`].
+    pub use_plan_cache: bool,
+    /// Route NN inference through the coalescing [`Broker`].
+    pub coalesce: bool,
+}
+
+impl Default for ExecPolicy {
+    fn default() -> ExecPolicy {
+        ExecPolicy {
+            use_plan_cache: true,
+            coalesce: true,
+        }
+    }
+}
+
+/// What a query returns to the client.
+#[derive(Debug, Clone)]
+pub struct ServeOutcome {
+    /// Ids satisfying every predicate, in corpus order.
+    pub matched_ids: Vec<u64>,
+    /// Items surviving the metadata filter (classified by the first
+    /// content predicate).
+    pub metadata_survivors: usize,
+    /// Whether planning was served from the cache.
+    pub plan_hit: bool,
+}
+
+/// Service-level error, stringly typed at the protocol boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The SQL failed to parse.
+    Query(String),
+    /// The query names a predicate this service was not configured for.
+    UnservedKind(ObjectKind),
+    /// No cascade satisfies the accuracy constraint.
+    Planning(String),
+    /// Cascade execution failed.
+    Exec(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Query(e) => write!(f, "query: {e}"),
+            ServeError::UnservedKind(k) => write!(f, "predicate not served: {k}"),
+            ServeError::Planning(e) => write!(f, "planning: {e}"),
+            ServeError::Exec(e) => write!(f, "execution: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Aggregated service counters (the `STATS` protocol verb).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServiceStats {
+    /// Queries executed (successfully or not) since startup.
+    pub queries: u64,
+    /// Plan-cache hits.
+    pub plan_hits: u64,
+    /// Plan-cache misses.
+    pub plan_misses: u64,
+    /// Broker counters summed over every served kind.
+    pub broker: BrokerStats,
+}
+
+enum KindBackend {
+    /// Surrogate scoring (no pixels): per-query scorer over shared tables.
+    Surrogate(SurrogateScorer),
+    /// Real-NN scoring over the shared store and zoo.
+    Nn(NnBackend),
+}
+
+struct NnBackend {
+    store: Arc<RepresentationStore>,
+    zoo: Arc<SharedModelZoo>,
+    broker: Broker,
+    /// Queries in flight that still owe this kind a cascade execution;
+    /// shared with the broker, whose leaders seal early once every
+    /// interested query has a pack aboard (and skip batching entirely
+    /// when a kind has at most one interested query).
+    active: Arc<AtomicUsize>,
+    scratch: Mutex<Vec<NnSessionScratch>>,
+}
+
+struct KindState {
+    system: TahomaSystem,
+    cost: CostContext,
+    /// Execution-time threshold override (the NN fixtures calibrate
+    /// decision cuts from live score distributions rather than the
+    /// surrogate config split); planning always uses the system's table.
+    exec_thresholds: Option<ThresholdTable>,
+    corpus: Arc<Corpus>,
+    backend: KindBackend,
+}
+
+/// The concurrent query service. Construct, register kinds, then share
+/// behind an `Arc` and call [`QueryService::execute`] from any thread.
+pub struct QueryService {
+    profiler: AnalyticProfiler,
+    accuracy_loss: f64,
+    kinds: BTreeMap<ObjectKind, KindState>,
+    plan_cache: PlanCache,
+    queries: AtomicU64,
+}
+
+/// Per-kind in-flight registrations held by one executing query.
+/// Releases a kind as soon as its cascade entry completes — a query past
+/// the fence predicate must not keep fence batch leaders waiting — and
+/// releases everything on drop (error paths included).
+struct InterestGuard {
+    counters: Vec<(ObjectKind, Arc<AtomicUsize>)>,
+}
+
+impl InterestGuard {
+    fn release(&mut self, kind: ObjectKind) {
+        if let Some(pos) = self.counters.iter().position(|(k, _)| *k == kind) {
+            let (_, c) = self.counters.swap_remove(pos);
+            c.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Drop for InterestGuard {
+    fn drop(&mut self) {
+        for (_, c) in &self.counters {
+            c.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl QueryService {
+    /// A service pricing costs with `profiler` and planning every query at
+    /// `accuracy_loss` maximum accuracy loss (the paper's `U_acc`).
+    pub fn new(profiler: AnalyticProfiler, accuracy_loss: f64) -> QueryService {
+        QueryService {
+            profiler,
+            accuracy_loss,
+            kinds: BTreeMap::new(),
+            plan_cache: PlanCache::new(),
+            queries: AtomicU64::new(0),
+        }
+    }
+
+    /// Serve `kind` with surrogate scoring.
+    pub fn add_surrogate_kind(
+        &mut self,
+        kind: ObjectKind,
+        system: TahomaSystem,
+        scorer: SurrogateScorer,
+        corpus: Arc<Corpus>,
+    ) {
+        let cost = CostContext::build(&system.repo, &self.profiler);
+        self.kinds.insert(
+            kind,
+            KindState {
+                system,
+                cost,
+                exec_thresholds: None,
+                corpus,
+                backend: KindBackend::Surrogate(scorer),
+            },
+        );
+    }
+
+    /// Serve `kind` with real-NN scoring over `store` and `zoo`. The
+    /// broker is created here so it shares the kind's in-flight interest
+    /// counter; `exec_thresholds`, when given, replaces the system's
+    /// calibrated table at execution time only.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_nn_kind(
+        &mut self,
+        kind: ObjectKind,
+        system: TahomaSystem,
+        exec_thresholds: Option<ThresholdTable>,
+        store: Arc<RepresentationStore>,
+        zoo: SharedModelZoo,
+        corpus: Arc<Corpus>,
+        window: std::time::Duration,
+        max_rows: usize,
+    ) {
+        let cost = CostContext::build(&system.repo, &self.profiler);
+        let zoo = Arc::new(zoo);
+        let active = Arc::new(AtomicUsize::new(0));
+        let broker = Broker::new(Arc::clone(&zoo), Arc::clone(&active))
+            .with_window(window)
+            .with_max_rows(max_rows);
+        self.kinds.insert(
+            kind,
+            KindState {
+                system,
+                cost,
+                exec_thresholds,
+                corpus,
+                backend: KindBackend::Nn(NnBackend {
+                    store,
+                    zoo,
+                    broker,
+                    active,
+                    scratch: Mutex::new(Vec::new()),
+                }),
+            },
+        );
+    }
+
+    /// The predicates this service answers.
+    pub fn served_kinds(&self) -> Vec<ObjectKind> {
+        self.kinds.keys().copied().collect()
+    }
+
+    /// Items in the (first registered kind's) corpus.
+    pub fn corpus_len(&self) -> usize {
+        self.kinds
+            .values()
+            .next()
+            .map_or(0, |st| st.corpus.items.len())
+    }
+
+    /// Aggregated counters.
+    pub fn stats(&self) -> ServiceStats {
+        let mut broker = BrokerStats::default();
+        for st in self.kinds.values() {
+            if let KindBackend::Nn(nn) = &st.backend {
+                let b = nn.broker.stats();
+                broker.submits += b.submits;
+                broker.calls += b.calls;
+                broker.merged_calls += b.merged_calls;
+                broker.rows += b.rows;
+            }
+        }
+        ServiceStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            plan_hits: self.plan_cache.hits(),
+            plan_misses: self.plan_cache.misses(),
+            broker,
+        }
+    }
+
+    /// Plan the given predicate set: cascade selection per kind under the
+    /// service's accuracy target, ordered cheapest-first. Returns the plan
+    /// and whether it came from the cache. Public so the `query_serve`
+    /// bench can measure cold vs cached planning in isolation.
+    pub fn plan_for(
+        &self,
+        kinds: &[ObjectKind],
+        use_cache: bool,
+    ) -> Result<(Arc<CachedPlan>, bool), ServeError> {
+        let acc_milli = (self.accuracy_loss * 1000.0).round() as u32;
+        if use_cache {
+            if let Some(plan) = self.plan_cache.get(kinds, acc_milli) {
+                return Ok((plan, true));
+            }
+        }
+        let mut uniq: Vec<ObjectKind> = kinds.to_vec();
+        uniq.sort_unstable();
+        uniq.dedup();
+        let mut entries = Vec::with_capacity(uniq.len());
+        for kind in uniq {
+            let st = self
+                .kinds
+                .get(&kind)
+                .ok_or(ServeError::UnservedKind(kind))?;
+            let selected = st
+                .system
+                .select(
+                    &self.profiler,
+                    Constraints {
+                        max_accuracy_loss: Some(self.accuracy_loss),
+                        max_throughput_loss: None,
+                    },
+                )
+                .map_err(|e| ServeError::Planning(e.to_string()))?;
+            entries.push((kind, selected));
+        }
+        // Cheapest predicate first: the narrowing conjunction leaves the
+        // slow cascades the smallest survivor sets.
+        entries.sort_by(|a, b| b.1.throughput.total_cmp(&a.1.throughput));
+        let plan = CachedPlan { entries };
+        let plan = if use_cache {
+            self.plan_cache.insert(kinds, acc_milli, plan)
+        } else {
+            Arc::new(plan)
+        };
+        Ok((plan, false))
+    }
+
+    /// Execute a SQL query under the default [`ExecPolicy`].
+    pub fn execute(&self, sql: &str) -> Result<ServeOutcome, ServeError> {
+        self.execute_with(sql, ExecPolicy::default())
+    }
+
+    /// Execute a SQL query with explicit policy switches.
+    pub fn execute_with(&self, sql: &str, policy: ExecPolicy) -> Result<ServeOutcome, ServeError> {
+        let query = Query::parse(sql).map_err(|e| ServeError::Query(e.to_string()))?;
+        for &kind in &query.content {
+            if !self.kinds.contains_key(&kind) {
+                return Err(ServeError::UnservedKind(kind));
+            }
+        }
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        // Register interest with every NN kind this query will execute, so
+        // the kinds' brokers know how many concurrent packs to expect.
+        let mut interest = InterestGuard {
+            counters: Vec::new(),
+        };
+        {
+            let mut uniq: Vec<ObjectKind> = query.content.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            for kind in uniq {
+                if let Some(KindState {
+                    backend: KindBackend::Nn(nn),
+                    ..
+                }) = self.kinds.get(&kind)
+                {
+                    nn.active.fetch_add(1, Ordering::Relaxed);
+                    interest.counters.push((kind, Arc::clone(&nn.active)));
+                }
+            }
+        }
+        if policy.coalesce && !interest.counters.is_empty() {
+            // Registration rendezvous: queries arriving together must all
+            // be registered before any of them chooses between the broker's
+            // idle fast path and batching. One yield lets same-instant
+            // arrivals (burst clients, queued requests) reach their own
+            // registration first; when nothing else is runnable it is a
+            // few hundred nanoseconds.
+            std::thread::yield_now();
+        }
+
+        if query.content.is_empty() {
+            // Metadata-only query: filter any kind's corpus (metadata is
+            // shared across kinds by construction).
+            let corpus = self
+                .kinds
+                .values()
+                .next()
+                .map(|st| Arc::clone(&st.corpus))
+                .unwrap_or_default();
+            let matched: Vec<u64> = corpus
+                .items
+                .iter()
+                .filter(|it| query.metadata.iter().all(|p| p.holds(it)))
+                .map(|it| it.id)
+                .collect();
+            return Ok(ServeOutcome {
+                metadata_survivors: matched.len(),
+                matched_ids: matched,
+                plan_hit: false,
+            });
+        }
+
+        let (plan, plan_hit) = self.plan_for(&query.content, policy.use_plan_cache)?;
+        let mut matched: Option<Vec<u64>> = None;
+        let mut survivors = 0usize;
+        for (i, (kind, selected)) in plan.entries.iter().enumerate() {
+            let st = self.kinds.get(kind).expect("planned kinds are served");
+            // Progressive narrowing: after the first predicate, only the
+            // current conjunction survivors are classified.
+            let narrowed;
+            let corpus: &Corpus = match &matched {
+                None => &st.corpus,
+                Some(ids) => {
+                    let keep: HashSet<u64> = ids.iter().copied().collect();
+                    narrowed = Corpus {
+                        items: st
+                            .corpus
+                            .items
+                            .iter()
+                            .filter(|it| keep.contains(&it.id))
+                            .cloned()
+                            .collect(),
+                    };
+                    &narrowed
+                }
+            };
+            let single = Query {
+                table: query.table.clone(),
+                metadata: query.metadata.clone(),
+                content: vec![*kind],
+            };
+            let mut cascades: BTreeMap<ObjectKind, Cascade> = BTreeMap::new();
+            cascades.insert(*kind, selected.cascade);
+            let thresholds = st.exec_thresholds.as_ref().unwrap_or(&st.system.thresholds);
+            let processor = QueryProcessor::new(&st.system.repo, thresholds, &st.cost);
+            let opts = ExecOptions {
+                materialize_all: false,
+            };
+            let result = match &st.backend {
+                KindBackend::Surrogate(sc) => {
+                    let mut scorer = SurrogateBatchScorer::new(sc, &st.system.repo);
+                    processor.execute_batched(&single, corpus, &cascades, &mut scorer, &opts)
+                }
+                KindBackend::Nn(nn) => {
+                    let mut scratch = lock(&nn.scratch)
+                        .pop()
+                        .unwrap_or_else(NnSessionScratch::new);
+                    let result = {
+                        let mut scorer = SharedNnScorer::new(&nn.store, &nn.zoo, &mut scratch);
+                        if policy.coalesce {
+                            scorer = scorer.with_dispatch(&nn.broker);
+                        }
+                        processor.execute_batched(&single, corpus, &cascades, &mut scorer, &opts)
+                    };
+                    lock(&nn.scratch).push(scratch);
+                    result
+                }
+            }
+            .map_err(|e| ServeError::Exec(e.to_string()))?;
+            interest.release(*kind);
+            if i == 0 {
+                survivors = result.metadata_survivors;
+            }
+            // The narrowed corpus already restricts to prior survivors, so
+            // this predicate's matches ARE the running intersection.
+            matched = Some(result.matched_ids);
+        }
+        Ok(ServeOutcome {
+            matched_ids: matched.unwrap_or_default(),
+            metadata_survivors: survivors,
+            plan_hit,
+        })
+    }
+}

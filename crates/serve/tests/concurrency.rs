@@ -1,0 +1,251 @@
+//! Concurrency invariants of the query service.
+//!
+//! The contract under test: a [`QueryService`] shared by any number of
+//! threads returns, for every query, results bitwise identical to a serial
+//! run with every optimization disabled — plan caching and broker
+//! coalescing change cost, never answers.
+
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+use tahoma_imagery::ObjectKind;
+use tahoma_serve::fixture::{nn_service, surrogate_service, NnFixtureConfig};
+use tahoma_serve::{serve, ExecPolicy, QueryService, ServerConfig};
+
+const QUERIES: &[&str] = &[
+    "SELECT * FROM frames WHERE contains_object(fence)",
+    "SELECT * FROM frames WHERE contains_object(wallet)",
+    "SELECT * FROM frames WHERE contains_object(fence) AND contains_object(wallet)",
+    "SELECT * FROM frames WHERE contains_object(fence) AND location = 'Detroit'",
+    "SELECT * FROM frames WHERE contains_object(wallet) AND camera < 4",
+    "SELECT * FROM frames WHERE location = 'Flint'",
+];
+
+const UNCACHED_SERIAL: ExecPolicy = ExecPolicy {
+    use_plan_cache: false,
+    coalesce: false,
+};
+
+fn nn_fixture() -> Arc<QueryService> {
+    static SERVICE: OnceLock<Arc<QueryService>> = OnceLock::new();
+    Arc::clone(SERVICE.get_or_init(|| {
+        Arc::new(nn_service(&NnFixtureConfig {
+            corpus_n: 96,
+            // A wide window forces real cross-query merges on slow runners.
+            window: Duration::from_millis(2),
+            ..Default::default()
+        }))
+    }))
+}
+
+/// Serial reference answers with every optimization off.
+fn reference_answers(service: &QueryService) -> Vec<Vec<u64>> {
+    QUERIES
+        .iter()
+        .map(|sql| {
+            service
+                .execute_with(sql, UNCACHED_SERIAL)
+                .expect("reference query")
+                .matched_ids
+        })
+        .collect()
+}
+
+/// N threads hammer one shared service with coalescing and plan caching
+/// on; every answer must be bitwise identical to the serial reference.
+#[test]
+fn concurrent_coalesced_results_match_serial() {
+    let service = nn_fixture();
+    let expected = Arc::new(reference_answers(&service));
+    let threads = 6;
+    let rounds = 2;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let service = Arc::clone(&service);
+            let expected = Arc::clone(&expected);
+            s.spawn(move || {
+                for r in 0..rounds {
+                    // Stagger the query mix per thread so different queries
+                    // overlap in flight (the broker's merge case).
+                    for (qi, sql) in QUERIES
+                        .iter()
+                        .enumerate()
+                        .cycle()
+                        .skip(t + r)
+                        .take(QUERIES.len())
+                    {
+                        let out = service.execute(sql).expect("concurrent query");
+                        assert_eq!(
+                            out.matched_ids, expected[qi],
+                            "thread {t} round {r} diverged on {sql:?}"
+                        );
+                    }
+                }
+            });
+        }
+    });
+    let stats = service.stats();
+    assert!(stats.queries >= (threads * rounds * QUERIES.len()) as u64);
+    // The 2ms window plus 8 threads must have produced at least one real
+    // cross-query merge (the coalescing path, not just the fast path).
+    assert!(
+        stats.broker.merged_calls > 0,
+        "no batches merged under 8-thread load: {stats:?}"
+    );
+}
+
+/// Same service, coalescing disabled per query: concurrency alone must
+/// not change answers either.
+#[test]
+fn concurrent_uncoalesced_results_match_serial() {
+    let service = nn_fixture();
+    let expected = Arc::new(reference_answers(&service));
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let service = Arc::clone(&service);
+            let expected = Arc::clone(&expected);
+            s.spawn(move || {
+                for (qi, sql) in QUERIES.iter().enumerate() {
+                    let out = service
+                        .execute_with(
+                            sql,
+                            ExecPolicy {
+                                use_plan_cache: true,
+                                coalesce: false,
+                            },
+                        )
+                        .expect("concurrent query");
+                    assert_eq!(out.matched_ids, expected[qi], "diverged on {sql:?}");
+                }
+            });
+        }
+    });
+}
+
+/// Full-stack smoke: TCP server, concurrent protocol clients, shutdown.
+#[test]
+fn server_protocol_roundtrip_with_concurrent_clients() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    let service = Arc::new(surrogate_service(
+        &[ObjectKind::Fence, ObjectKind::Wallet],
+        256,
+        0xBEEF,
+    ));
+    let handle = serve(
+        service,
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 3,
+            queue_cap: 16,
+        },
+    )
+    .expect("bind");
+    let addr = handle.addr();
+
+    let ask = |lines: &[&str]| -> Vec<String> {
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+        let mut out = Vec::new();
+        for line in lines {
+            conn.write_all(format!("{line}\n").as_bytes())
+                .expect("send");
+            let mut resp = String::new();
+            reader.read_line(&mut resp).expect("recv");
+            out.push(resp.trim_end().to_string());
+        }
+        out
+    };
+
+    assert_eq!(ask(&["PING"]), ["PONG"]);
+    assert!(ask(&["BOGUS"])[0].starts_with("ERR"));
+
+    // The canonical answer for one query, then the same query from 6
+    // concurrent clients: every response line must be identical (same
+    // count, same id hash).
+    let sql = "QUERY SELECT * FROM frames WHERE contains_object(fence) AND camera < 6";
+    let first = ask(&[sql]).remove(0);
+    assert!(first.starts_with("OK "), "unexpected response: {first}");
+    let echoes: Vec<String> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut conn = TcpStream::connect(addr).expect("connect");
+                    conn.write_all(format!("{sql}\n").as_bytes()).expect("send");
+                    let mut reader = BufReader::new(conn);
+                    let mut resp = String::new();
+                    reader.read_line(&mut resp).expect("recv");
+                    resp.trim_end().to_string()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let strip_plan = |line: &str| line.replace("plan=miss", "plan=hit");
+    for echo in &echoes {
+        assert_eq!(
+            strip_plan(echo),
+            strip_plan(&first),
+            "client answers diverged"
+        );
+    }
+
+    let stats = ask(&["STATS"]).remove(0);
+    assert!(stats.starts_with("OK queries="), "bad stats line: {stats}");
+
+    assert_eq!(ask(&["SHUTDOWN"]), ["BYE"]);
+    handle.join();
+}
+
+mod plan_cache_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn surrogate_fixture() -> Arc<QueryService> {
+        static SERVICE: OnceLock<Arc<QueryService>> = OnceLock::new();
+        Arc::clone(SERVICE.get_or_init(|| {
+            Arc::new(surrogate_service(
+                &[ObjectKind::Fence, ObjectKind::Wallet, ObjectKind::Acorn],
+                128,
+                0x90,
+            ))
+        }))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// A plan served from the cache is identical to planning the same
+        /// predicate set from scratch, for every subset and ordering of
+        /// the served kinds.
+        #[test]
+        fn cached_plan_equals_fresh_planning(bits in 1u8..8, swap in 0u8..2) {
+            let service = surrogate_fixture();
+            let all = [ObjectKind::Fence, ObjectKind::Wallet, ObjectKind::Acorn];
+            let mut kinds: Vec<ObjectKind> = all
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| bits & (1 << i) != 0)
+                .map(|(_, &k)| k)
+                .collect();
+            if swap == 1 {
+                kinds.reverse();
+            }
+            // Warm (or hit) the cache, then compare against a fresh plan.
+            let (cached, _) = service.plan_for(&kinds, true).expect("cached planning");
+            let (fresh, hit) = service.plan_for(&kinds, false).expect("fresh planning");
+            prop_assert!(!hit);
+            prop_assert_eq!(cached.entries.len(), fresh.entries.len());
+            for (c, f) in cached.entries.iter().zip(fresh.entries.iter()) {
+                prop_assert_eq!(c.0, f.0);
+                prop_assert_eq!(c.1.cascade, f.1.cascade);
+                prop_assert_eq!(c.1.accuracy.to_bits(), f.1.accuracy.to_bits());
+                prop_assert_eq!(c.1.throughput.to_bits(), f.1.throughput.to_bits());
+            }
+            // And a second cached call returns the very same allocation.
+            let (again, hit) = service.plan_for(&kinds, true).expect("repeat planning");
+            prop_assert!(hit);
+            prop_assert!(Arc::ptr_eq(&cached, &again));
+        }
+    }
+}

@@ -7,23 +7,172 @@
 //! cargo run --release --example sql_console -- \
 //!     "SELECT * FROM frames WHERE contains_object(scorpion) AND camera < 3"
 //! ```
+//!
+//! With `--connect`, the console becomes a client for a running
+//! `tahoma-serve` instance instead of executing locally — and doubles as a
+//! small load-test tool (the CI smoke job drives it this way):
+//!
+//! ```text
+//! cargo run --release --example sql_console -- --connect 127.0.0.1:7343 \
+//!     --clients 4 --repeat 8 [--shutdown] [SQL...]
+//! ```
+//!
+//! Every (client, repeat) response for the same SQL must be identical
+//! (modulo the `plan=hit|miss` field); any divergence exits non-zero.
 
 use std::collections::BTreeMap;
 use tahoma::core::evaluator::CostContext;
 use tahoma::core::query::SurrogateItemScorer;
 use tahoma::prelude::*;
 
+fn default_queries() -> Vec<String> {
+    vec![
+        "SELECT * FROM frames WHERE contains_object(fence)".to_string(),
+        "SELECT * FROM frames WHERE contains_object(fence) AND location = 'Detroit'".to_string(),
+        "SELECT * FROM frames WHERE contains_object(komondor) AND \
+         contains_object(fence) AND timestamp >= 1700100000"
+            .to_string(),
+    ]
+}
+
+/// Client mode: speak the tahoma-serve line protocol over TCP.
+mod client {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+    use std::time::Instant;
+
+    pub struct Options {
+        pub addr: String,
+        pub clients: usize,
+        pub repeat: usize,
+        pub shutdown: bool,
+        pub queries: Vec<String>,
+    }
+
+    /// One request line, with bounded retry on admission-control `BUSY`.
+    fn ask(addr: &str, line: &str) -> Result<String, String> {
+        for attempt in 0..32 {
+            let mut conn = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+            conn.write_all(format!("{line}\n").as_bytes())
+                .map_err(|e| format!("send: {e}"))?;
+            let mut resp = String::new();
+            BufReader::new(&mut conn)
+                .read_line(&mut resp)
+                .map_err(|e| format!("recv: {e}"))?;
+            let resp = resp.trim_end().to_string();
+            if resp == "BUSY" {
+                // Shed at admission; back off briefly and retry.
+                std::thread::sleep(std::time::Duration::from_millis(2 << attempt.min(5)));
+                continue;
+            }
+            return Ok(resp);
+        }
+        Err("server still BUSY after 32 attempts".to_string())
+    }
+
+    pub fn run(opts: &Options) -> Result<(), String> {
+        let ping = ask(&opts.addr, "PING")?;
+        if ping != "PONG" {
+            return Err(format!("unexpected PING response: {ping}"));
+        }
+        for sql in &opts.queries {
+            // `clients` threads each issue the query `repeat` times over
+            // their own connections, concurrently.
+            let request = format!("QUERY {sql}");
+            let mut all: Vec<(String, f64)> = Vec::new();
+            let results: Vec<Result<Vec<(String, f64)>, String>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..opts.clients)
+                    .map(|_| {
+                        let request = &request;
+                        scope.spawn(move || {
+                            let mut mine = Vec::new();
+                            for _ in 0..opts.repeat {
+                                let t = Instant::now();
+                                let resp = ask(&opts.addr, request)?;
+                                mine.push((resp, t.elapsed().as_secs_f64()));
+                            }
+                            Ok(mine)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            for r in results {
+                all.extend(r?);
+            }
+            // All responses must agree modulo the plan=hit|miss field.
+            let canon = |s: &str| s.replace("plan=miss", "plan=hit");
+            let first = &all[0].0;
+            if !first.starts_with("OK ") {
+                return Err(format!("query failed: {first}"));
+            }
+            if let Some((bad, _)) = all.iter().find(|(r, _)| canon(r) != canon(first)) {
+                return Err(format!(
+                    "responses diverged for {sql:?}:\n  {first}\n  {bad}"
+                ));
+            }
+            let mut lat: Vec<f64> = all.iter().map(|&(_, s)| s).collect();
+            lat.sort_by(f64::total_cmp);
+            let q = |p: f64| lat[((lat.len() - 1) as f64 * p) as usize] * 1e3;
+            println!(
+                "{} x{}: {}  (p50 {:.2} ms, p95 {:.2} ms)",
+                sql,
+                all.len(),
+                first,
+                q(0.50),
+                q(0.95)
+            );
+        }
+        let stats = ask(&opts.addr, "STATS")?;
+        println!("{stats}");
+        if opts.shutdown {
+            let bye = ask(&opts.addr, "SHUTDOWN")?;
+            if bye != "BYE" {
+                return Err(format!("unexpected SHUTDOWN response: {bye}"));
+            }
+            println!("server shut down");
+        }
+        Ok(())
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // Client mode: --connect ADDR [--clients N] [--repeat R] [--shutdown].
+    if args.first().map(String::as_str) == Some("--connect") {
+        let mut opts = client::Options {
+            addr: String::new(),
+            clients: 1,
+            repeat: 1,
+            shutdown: false,
+            queries: Vec::new(),
+        };
+        let mut it = args.into_iter().skip(1);
+        opts.addr = it.next().unwrap_or_else(|| {
+            eprintln!("--connect needs HOST:PORT");
+            std::process::exit(2);
+        });
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--clients" => opts.clients = it.next().and_then(|v| v.parse().ok()).unwrap_or(1),
+                "--repeat" => opts.repeat = it.next().and_then(|v| v.parse().ok()).unwrap_or(1),
+                "--shutdown" => opts.shutdown = true,
+                _ => opts.queries.push(arg),
+            }
+        }
+        if opts.queries.is_empty() {
+            opts.queries = default_queries();
+        }
+        if let Err(e) = client::run(&opts) {
+            eprintln!("client error: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
     let queries: Vec<String> = if args.is_empty() {
-        vec![
-            "SELECT * FROM frames WHERE contains_object(fence)".to_string(),
-            "SELECT * FROM frames WHERE contains_object(fence) AND location = 'Detroit'"
-                .to_string(),
-            "SELECT * FROM frames WHERE contains_object(komondor) AND \
-             contains_object(fence) AND timestamp >= 1700100000"
-                .to_string(),
-        ]
+        default_queries()
     } else {
         args
     };

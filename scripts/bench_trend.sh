@@ -34,6 +34,10 @@ cargo bench -p tahoma-bench --bench query_exec     -- --quick --json "$out/query
     2>&1 | tee "$out/query_exec.txt"
 cargo bench -p tahoma-bench --bench kernel_policy  -- --quick --json "$out/kernel_policy.json" \
     | tee "$out/kernel_policy.txt"
+# query_serve prints the plan-cache and coalescing interleaved ratios and
+# the clients={1,4,16} QPS/latency table alongside its criterion lines.
+cargo bench -p tahoma-bench --bench query_serve    -- --quick --json "$out/query_serve.json" \
+    2>&1 | tee "$out/query_serve.txt"
 
 if [ "$update" = 1 ]; then
     # Full regeneration: start from scratch so retired/renamed benchmark
@@ -42,10 +46,10 @@ if [ "$update" = 1 ]; then
     rm -f BENCH_baseline.json
     cargo run --release -p tahoma-bench --bin bench_trend -- merge BENCH_baseline.json \
         "$out/nn_inference.json" "$out/repr_transform.json" "$out/query_exec.json" \
-        "$out/kernel_policy.json"
+        "$out/kernel_policy.json" "$out/query_serve.json"
 else
     cargo run --release -p tahoma-bench --bin bench_trend -- compare BENCH_baseline.json \
         "$out/nn_inference.json" "$out/repr_transform.json" "$out/query_exec.json" \
-        "$out/kernel_policy.json" \
+        "$out/kernel_policy.json" "$out/query_serve.json" \
         | tee "$out/trend.txt"
 fi

@@ -15,7 +15,9 @@
 //! * [`core`] — thresholds, cascades, Pareto frontiers, ALC, selection,
 //!   query processing (the paper's contribution);
 //! * [`video`] — temporally coherent streams and difference detection;
-//! * [`noscope`] — the NoScope-style baseline and TAHOMA+DD.
+//! * [`noscope`] — the NoScope-style baseline and TAHOMA+DD;
+//! * [`serve`] — the concurrent query service (shared executor, plan
+//!   cache, cross-query batch coalescing).
 //!
 //! ## Quickstart
 //!
@@ -50,6 +52,7 @@ pub use tahoma_imagery as imagery;
 pub use tahoma_mathx as mathx;
 pub use tahoma_nn as nn;
 pub use tahoma_noscope as noscope;
+pub use tahoma_serve as serve;
 pub use tahoma_video as video;
 pub use tahoma_zoo as zoo;
 
