@@ -1,0 +1,232 @@
+//! `audit-allow.toml` parsing and matching.
+//!
+//! The audit is deny-by-default: the only sanctioned escape hatch is an
+//! entry here, and every entry must say *why*. The format is a restricted
+//! TOML subset (array-of-tables with string values only) parsed by hand —
+//! the build box is offline, so no `toml` crate:
+//!
+//! ```toml
+//! [[allow]]
+//! file = "crates/serve/src/fixture.rs"
+//! lint = "A4"
+//! # optional: only lines containing the needle are excused
+//! needle = "expect(\"valid spec\")"
+//! reason = "fixture construction runs once at startup, not on the hot path"
+//! ```
+//!
+//! Unused entries are themselves violations (`A0`): a stale exception is
+//! a hole in the fence, and the audit run that no longer needs it must
+//! delete it.
+
+use crate::lints::Violation;
+
+/// One exception: `lint` violations in `file` (optionally narrowed to
+/// lines containing `needle`) are excused for `reason`.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    pub file: String,
+    pub lint: String,
+    pub needle: Option<String>,
+    pub reason: String,
+    /// Source line of the entry header in `audit-allow.toml`.
+    pub line: u32,
+}
+
+/// Parsed allowlist.
+#[derive(Debug, Default, Clone)]
+pub struct Allowlist {
+    pub entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// Parse the restricted-TOML allowlist. Errors are strings with line
+    /// context — a malformed allowlist must fail the audit loudly, not
+    /// silently excuse everything.
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        struct Partial {
+            file: Option<String>,
+            lint: Option<String>,
+            needle: Option<String>,
+            reason: Option<String>,
+            line: u32,
+        }
+        let mut entries = Vec::new();
+        let mut cur: Option<Partial> = None;
+        let finish = |p: Partial, entries: &mut Vec<AllowEntry>| -> Result<(), String> {
+            let file = p
+                .file
+                .ok_or(format!("allow entry at line {} missing `file`", p.line))?;
+            let lint = p
+                .lint
+                .ok_or(format!("allow entry at line {} missing `lint`", p.line))?;
+            let reason = p
+                .reason
+                .ok_or(format!("allow entry at line {} missing `reason`", p.line))?;
+            if reason.trim().is_empty() {
+                return Err(format!(
+                    "allow entry at line {} has an empty reason",
+                    p.line
+                ));
+            }
+            entries.push(AllowEntry {
+                file,
+                lint,
+                needle: p.needle,
+                reason,
+                line: p.line,
+            });
+            Ok(())
+        };
+        for (i, raw) in text.lines().enumerate() {
+            let lineno = i as u32 + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[allow]]" {
+                if let Some(p) = cur.take() {
+                    finish(p, &mut entries)?;
+                }
+                cur = Some(Partial {
+                    file: None,
+                    lint: None,
+                    needle: None,
+                    reason: None,
+                    line: lineno,
+                });
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!(
+                    "line {lineno}: expected `key = \"value\"`, got `{line}`"
+                ));
+            };
+            let key = key.trim();
+            let value = parse_string(value.trim()).ok_or(format!(
+                "line {lineno}: value for `{key}` must be a quoted string"
+            ))?;
+            let Some(p) = cur.as_mut() else {
+                return Err(format!("line {lineno}: `{key}` outside an [[allow]] entry"));
+            };
+            let slot = match key {
+                "file" => &mut p.file,
+                "lint" => &mut p.lint,
+                "needle" => &mut p.needle,
+                "reason" => &mut p.reason,
+                _ => return Err(format!("line {lineno}: unknown key `{key}`")),
+            };
+            if slot.is_some() {
+                return Err(format!("line {lineno}: duplicate key `{key}`"));
+            }
+            *slot = Some(value);
+        }
+        if let Some(p) = cur.take() {
+            finish(p, &mut entries)?;
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// Split `violations` into (remaining, allowed_count) and report which
+    /// entries went unused.
+    pub fn apply(&self, violations: Vec<Violation>) -> (Vec<Violation>, usize, Vec<&AllowEntry>) {
+        let mut used = vec![false; self.entries.len()];
+        let mut remaining = Vec::new();
+        let mut allowed = 0usize;
+        for v in violations {
+            let hit = self.entries.iter().enumerate().find(|(_, e)| {
+                e.lint == v.lint
+                    && e.file == v.file
+                    && e.needle
+                        .as_deref()
+                        .is_none_or(|n| v.excerpt.contains(n) || v.message.contains(n))
+            });
+            match hit {
+                Some((idx, _)) => {
+                    used[idx] = true;
+                    allowed += 1;
+                }
+                None => remaining.push(v),
+            }
+        }
+        let unused = self
+            .entries
+            .iter()
+            .zip(&used)
+            .filter(|(_, u)| !**u)
+            .map(|(e, _)| e)
+            .collect();
+        (remaining, allowed, unused)
+    }
+}
+
+/// Parse a double-quoted TOML string with `\"` / `\\` escapes.
+fn parse_string(v: &str) -> Option<String> {
+    // Strip a trailing comment only if it appears after the closing quote.
+    let v = v.trim();
+    let rest = v.strip_prefix('"')?;
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                other => {
+                    out.push('\\');
+                    out.push(other);
+                }
+            },
+            '"' => {
+                let tail = chars.as_str().trim();
+                if tail.is_empty() || tail.starts_with('#') {
+                    return Some(out);
+                }
+                return None;
+            }
+            _ => out.push(c),
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_rejects_missing_reason() {
+        let ok = Allowlist::parse(
+            "# comment\n[[allow]]\nfile = \"a/src/lib.rs\"\nlint = \"A4\"\nreason = \"why\"\n",
+        )
+        .unwrap();
+        assert_eq!(ok.entries.len(), 1);
+        assert!(ok.entries[0].needle.is_none());
+
+        let missing = Allowlist::parse("[[allow]]\nfile = \"x\"\nlint = \"A1\"\n");
+        assert!(missing.is_err());
+        let empty = Allowlist::parse("[[allow]]\nfile = \"x\"\nlint = \"A1\"\nreason = \"  \"\n");
+        assert!(empty.is_err());
+    }
+
+    #[test]
+    fn needle_narrows_and_unused_entries_surface() {
+        let list = Allowlist::parse(
+            "[[allow]]\nfile = \"f.rs\"\nlint = \"A4\"\nneedle = \"expect\"\nreason = \"r\"\n\
+             [[allow]]\nfile = \"g.rs\"\nlint = \"A1\"\nreason = \"r\"\n",
+        )
+        .unwrap();
+        let v = |file: &str, excerpt: &str| Violation {
+            lint: "A4",
+            file: file.to_string(),
+            line: 1,
+            message: String::new(),
+            excerpt: excerpt.to_string(),
+        };
+        let (rest, allowed, unused) =
+            list.apply(vec![v("f.rs", "x.expect(\"y\")"), v("f.rs", "x.unwrap()")]);
+        assert_eq!((rest.len(), allowed, unused.len()), (1, 1, 1));
+        assert_eq!(unused[0].file, "g.rs");
+    }
+}

@@ -1,0 +1,45 @@
+//! `tahoma-audit`: the workspace invariant linter.
+//!
+//! PRs 1–6 built the hot path on ~75 `unsafe` SIMD sites, NaN-total
+//! orderings, and a Mutex/Condvar coalescing broker — invariants that
+//! were enforced only by convention. This crate machine-checks them on
+//! every CI run (see `SAFETY.md` at the workspace root for the policy the
+//! lints encode, and [`lints`] for the rule catalogue A1–A6).
+//!
+//! Run it locally with `scripts/audit.sh`, or directly:
+//!
+//! ```text
+//! cargo run -p tahoma-audit --           # human table, exit 1 on findings
+//! cargo run -p tahoma-audit -- --json    # machine-readable, for CI
+//! ```
+//!
+//! Exceptions live in `audit-allow.toml`; every entry carries a reason
+//! and stale entries fail the audit (lint `A0`).
+
+pub mod allow;
+pub mod lexer;
+pub mod lints;
+pub mod report;
+pub mod workspace;
+
+pub use allow::Allowlist;
+pub use lints::Violation;
+pub use report::Report;
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Audit every `.rs` file under `root` and apply `allow`.
+pub fn run_audit(root: &Path, allow: &Allowlist) -> std::io::Result<Report> {
+    let sources = workspace::read_sources(root)?;
+    Ok(audit_in_memory(&sources, allow))
+}
+
+/// Audit pre-read sources (fixture tests feed violations through this
+/// without touching the filesystem).
+pub fn audit_in_memory(sources: &BTreeMap<String, String>, allow: &Allowlist) -> Report {
+    let violations = lints::audit_sources(sources);
+    let files = sources.len();
+    let (remaining, allowed, unused) = allow.apply(violations);
+    Report::new(remaining, allowed, unused, files)
+}

@@ -1,0 +1,82 @@
+//! CLI for the workspace audit. Exit codes: 0 clean, 1 violations,
+//! 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use tahoma_audit::{run_audit, Allowlist};
+
+fn usage() -> &'static str {
+    "usage: tahoma-audit [--root PATH] [--allow PATH] [--json]\n\
+     \n\
+     Lints every .rs file in the workspace (deny by default; see SAFETY.md).\n\
+     --root   workspace root (default: discovered from the current directory)\n\
+     --allow  allowlist path (default: <root>/audit-allow.toml; absent = empty)\n\
+     --json   machine-readable output for CI\n"
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut allow_path: Option<PathBuf> = None;
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return fail("--root requires a path"),
+            },
+            "--allow" => match args.next() {
+                Some(p) => allow_path = Some(PathBuf::from(p)),
+                None => return fail("--allow requires a path"),
+            },
+            "--help" | "-h" => {
+                print!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => return fail(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match tahoma_audit::workspace::find_root(&cwd) {
+                Some(r) => r,
+                None => return fail("no workspace root found above the current directory"),
+            }
+        }
+    };
+
+    let allow_path = allow_path.unwrap_or_else(|| root.join("audit-allow.toml"));
+    let allow = match std::fs::read_to_string(&allow_path) {
+        Ok(text) => match Allowlist::parse(&text) {
+            Ok(a) => a,
+            Err(e) => return fail(&format!("{}: {e}", allow_path.display())),
+        },
+        Err(_) => Allowlist::default(),
+    };
+
+    match run_audit(&root, &allow) {
+        Ok(report) => {
+            if json {
+                print!("{}", report.json());
+            } else {
+                print!("{}", report.human());
+            }
+            if report.clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => fail(&format!("audit failed to read sources: {e}")),
+    }
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("tahoma-audit: {msg}");
+    eprint!("{}", usage());
+    ExitCode::from(2)
+}

@@ -372,7 +372,7 @@ impl<'a> NnBatchScorer<'a> {
                 let out = self
                     .engine
                     .apply(&src, rep)
-                    .expect("source representation is RGB");
+                    .unwrap_or_else(|e| panic!("item {} transcode to {rep}: {e}", item.id));
                 self.stats.transcode_s += t2.elapsed().as_secs_f64();
                 self.store.recycle([src]);
                 (out, false)
@@ -440,7 +440,12 @@ impl BatchScorer for NnBatchScorer<'_> {
                 self.engine.recycle([standardized]);
             }
         }
-        let entry = self.models.get_mut(&model.0).expect("checked above");
+        // Second lookup because `materialize_input` needed `&mut self` in
+        // between; the map itself is never mutated after registration.
+        let entry = self
+            .models
+            .get_mut(&model.0)
+            .unwrap_or_else(|| panic!("model m{} is not registered", model.0));
         let t = Instant::now();
         out.extend(entry.model.predict_proba_batch(&input, items.len()));
         self.stats.infer_s += t.elapsed().as_secs_f64();
@@ -661,7 +666,7 @@ impl<'a> SharedNnScorer<'a> {
                 let out = sc
                     .engine
                     .apply(&src, rep)
-                    .expect("source representation is RGB");
+                    .unwrap_or_else(|e| panic!("item {} transcode to {rep}: {e}", item.id));
                 sc.stats.transcode_s += t2.elapsed().as_secs_f64();
                 sc.engine.recycle([src]);
                 out
@@ -1090,7 +1095,8 @@ impl<'a> VectorizedExecutor<'a> {
             metadata_survivors: surviving.len(),
             relations: relations
                 .into_iter()
-                .map(|r| r.expect("every content predicate executed"))
+                // The loop above assigns `Some` at every index.
+                .map(|r| r.unwrap_or_else(|| unreachable!("every content predicate executed")))
                 .collect(),
         })
     }

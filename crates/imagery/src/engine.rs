@@ -65,6 +65,11 @@
 //! [`TranscodeCosts`] (fed from `tahoma-costmodel`'s calibrated transform
 //! constants via `TransformCostModel::transcode_costs`) and orders targets
 //! cheapest-first, so planner-visible costs stay honest about the sharing.
+//!
+//! This is one of the four files sanctioned to contain raw-pointer
+//! arithmetic; see `SAFETY.md` at the repository root for the unsafe
+//! policy and the `checked-kernels` feature that asserts the span-table
+//! bounds and gather indices here at runtime.
 
 #![deny(unsafe_op_in_unsafe_fn)]
 
@@ -75,6 +80,7 @@ use crate::repr::Representation;
 use std::borrow::Cow;
 use std::cell::RefCell;
 use std::collections::HashMap;
+use tahoma_mathx::checked;
 use tahoma_mathx::simd_policy::{self, OpClass, SimdTier};
 
 /// Kernel-tier selection. `Auto` (the default) resolves **per op class**
@@ -311,6 +317,16 @@ fn axis_rows_touched(y: &AxisPlan) -> usize {
 fn hlerp(kernel: Kernel, src: &[f32], x: &AxisPlan, dst: &mut [f32]) {
     assert_eq!(dst.len(), x.i0.len());
     assert!(x.max_index < src.len(), "axis plan exceeds source row");
+    // Audit mode verifies what the asserts above only imply: the three
+    // sibling tables really cover `dst.len()` lanes, and every individual
+    // gather index (not just the plan's recorded max) is inside `src`.
+    if checked::active() {
+        checked::span(x.i1.len(), 0, dst.len(), "hlerp i1 table");
+        checked::span(x.w0.len(), 0, dst.len(), "hlerp w0 table");
+        checked::span(x.w1.len(), 0, dst.len(), "hlerp w1 table");
+        checked::gather(&x.i0, src.len(), "hlerp i0");
+        checked::gather(&x.i1, src.len(), "hlerp i1");
+    }
     match kernel.resolve_class(OpClass::ResizeHGather) {
         #[cfg(target_arch = "x86_64")]
         // SAFETY: `kernel` was resolved through `Kernel::supported`, so the
@@ -332,6 +348,8 @@ fn hlerp(kernel: Kernel, src: &[f32], x: &AxisPlan, dst: &mut [f32]) {
 /// policy class `resize-v`).
 fn vlerp(kernel: Kernel, top: &[f32], bot: &[f32], w0: f32, w1: f32, dst: &mut [f32]) {
     assert!(top.len() >= dst.len() && bot.len() >= dst.len());
+    checked::span(top.len(), 0, dst.len(), "vlerp top row");
+    checked::span(bot.len(), 0, dst.len(), "vlerp bottom row");
     match kernel.resolve_class(OpClass::ResizeV) {
         #[cfg(target_arch = "x86_64")]
         // SAFETY: features runtime-detected; lengths asserted above.
@@ -352,6 +370,11 @@ fn vlerp(kernel: Kernel, top: &[f32], bot: &[f32], w0: f32, w1: f32, dst: &mut [
 fn luma(kernel: Kernel, r: &[f32], g: &[f32], b: &[f32], dst: &mut [f32]) {
     let n = dst.len();
     assert!(r.len() >= n && g.len() >= n && b.len() >= n);
+    if checked::active() {
+        checked::span(r.len(), 0, n, "luma red plane");
+        checked::span(g.len(), 0, n, "luma green plane");
+        checked::span(b.len(), 0, n, "luma blue plane");
+    }
     let [wr, wg, wb] = LUMA_WEIGHTS;
     match kernel.resolve_class(OpClass::Luma) {
         #[cfg(target_arch = "x86_64")]
@@ -383,6 +406,7 @@ fn fold_lanes(acc: [f64; RED_LANES]) -> f64 {
 /// Lane-strided sum: element `i` accumulates into lane `i % 8` in f64
 /// (policy class `standardize`, with the other two standardize sweeps).
 fn sum_lanes(kernel: Kernel, data: &[f32]) -> [f64; RED_LANES] {
+    checked::aligned(data.as_ptr(), "standardize sum input");
     let mut acc = [0.0f64; RED_LANES];
     let chunks = data.chunks_exact(RED_LANES);
     let tail = chunks.remainder();
@@ -409,6 +433,7 @@ fn sum_lanes(kernel: Kernel, data: &[f32]) -> [f64; RED_LANES] {
 
 /// Lane-strided sum of squared deviations from `mean`, f64.
 fn sq_dev_lanes(kernel: Kernel, data: &[f32], mean: f64) -> [f64; RED_LANES] {
+    checked::aligned(data.as_ptr(), "standardize sq-dev input");
     let mut acc = [0.0f64; RED_LANES];
     let chunks = data.chunks_exact(RED_LANES);
     let tail = chunks.remainder();
@@ -439,6 +464,7 @@ fn sq_dev_lanes(kernel: Kernel, data: &[f32], mean: f64) -> [f64; RED_LANES] {
 /// `standardize`).
 fn scale_shift(kernel: Kernel, src: &[f32], mean: f32, inv: f32, dst: &mut [f32]) {
     assert!(src.len() >= dst.len());
+    checked::span(src.len(), 0, dst.len(), "scale-shift source");
     match kernel.resolve_class(OpClass::Standardize) {
         #[cfg(target_arch = "x86_64")]
         // SAFETY: features runtime-detected; length asserted above.

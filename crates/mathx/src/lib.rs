@@ -15,7 +15,17 @@
 //! data-parallel loop in the workspace (threaded GEMM, batched
 //! convolution, the query service) spawns onto instead of creating OS
 //! threads per call.
+//!
+//! [`checked`] hosts the `checked-kernels` audit assertions: invariant
+//! statements the workspace's unsafe SIMD kernels make before every raw
+//! pointer operation, compiled to nothing unless the feature is on.
 
+// Unsafe hygiene (audited by `tahoma-audit`, lint A2; policy in
+// SAFETY.md): every operation inside an `unsafe fn` must carry its own
+// `unsafe` block.
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod checked;
 pub mod pool;
 pub mod rng;
 pub mod simd_policy;

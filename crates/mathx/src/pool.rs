@@ -40,6 +40,11 @@
 //! The transmute in [`Scope::spawn`] is sound because [`scope`] does not
 //! return — not even by unwinding — until every job it spawned has run to
 //! completion, which bounds every borrow.
+//!
+//! This is one of the four files sanctioned to contain `unsafe`; see
+//! `SAFETY.md` at the repository root for the unsafe policy and the
+//! `checked-kernels` feature, under which [`scope`] asserts its
+//! no-live-jobs invariant before returning.
 
 use std::collections::VecDeque;
 use std::marker::PhantomData;
@@ -228,6 +233,12 @@ where
             let _ = sc.sync.done_cv.wait_timeout(st, Duration::from_millis(1));
         }
     }
+    // The soundness of the 'scope -> 'static transmute in `spawn` is
+    // exactly this: no job survives the scope that lent it borrows.
+    crate::checked::invariant(
+        lock(&sc.sync.state).pending == 0,
+        "pool scope returning with live borrowed jobs",
+    );
     let panic = lock(&sc.sync.state).panic.take();
     match result {
         Err(p) => resume_unwind(p),

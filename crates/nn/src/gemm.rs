@@ -44,7 +44,14 @@
 //!   Column-splitting leaves every output element's accumulation order
 //!   untouched, so threaded results are bitwise equal to single-threaded
 //!   ones.
+//!
+//! This is one of the four files sanctioned to contain raw-pointer
+//! arithmetic; the workspace unsafe policy, the required shape of every
+//! SAFETY comment, and the `checked-kernels` audit feature that promotes
+//! the bounds/alignment/disjointness claims here into hard assertions are
+//! documented in `SAFETY.md` at the repository root.
 
+use tahoma_mathx::checked;
 use tahoma_mathx::simd_policy::{self, OpClass, SimdTier};
 
 /// Micro-kernel tile rows (register blocking in M).
@@ -411,6 +418,7 @@ pub fn gemm(
         return gemm_blocked_cols(scratch, kernel, m, n, k, a, ta, b, tb, c_ptr, 0, n);
     }
     let chunks = column_chunks(n, t);
+    checked::disjoint_chunks(&chunks, n, "gemm column partition");
     let pool = scratch.worker_pool(chunks.len());
     tahoma_mathx::pool::scope(|scope| {
         for (w, &(jlo, jhi)) in pool.iter_mut().zip(&chunks) {
@@ -468,6 +476,7 @@ fn gemm_blocked_cols(
                         let row0 = ic + ip * MR;
                         let col0 = jc + jp * NR;
                         for (i, acc_row) in acc.iter().enumerate().take(mr) {
+                            checked::span(m * n, (row0 + i) * n + col0, nr, "gemm C tile row");
                             // SAFETY: row/col in bounds; this worker owns
                             // columns [jlo, jhi) exclusively.
                             unsafe { add_row(c.0.add((row0 + i) * n + col0), &acc_row[..nr]) };
@@ -519,8 +528,10 @@ fn gemm_direct_nn(
     }
     let packed_a = &*packed_a;
     let off_main = &*off_main;
+    let chunks = column_chunks(n, t);
+    checked::disjoint_chunks(&chunks, n, "direct gemm column partition");
     tahoma_mathx::pool::scope(|scope| {
-        for (jlo, jhi) in column_chunks(n, t) {
+        for (jlo, jhi) in chunks {
             scope.spawn(move || {
                 let mut off_panel = Vec::new();
                 let mut tail_b = Vec::new();
@@ -589,6 +600,7 @@ fn direct_nn_cols(
                 tile(kernel, k, a_panel, b, off_main, j0, mr, &mut acc);
                 for (i, acc_row) in acc.iter().enumerate().take(mr) {
                     let row = ip * MR + i;
+                    checked::span(m * n, row * n + j0, NR, "direct gemm C strip");
                     // SAFETY: row < m, j0 + NR <= n; this worker owns
                     // columns [jlo, jhi) exclusively.
                     unsafe {
@@ -620,6 +632,7 @@ fn direct_nn_cols(
                 tile(kernel, k, a_panel, tail_b, off_panel, 0, mr, &mut acc);
                 for (i, acc_row) in acc.iter().enumerate().take(mr) {
                     let row = ip * MR + i;
+                    checked::span(m * n, row * n + j0, tail, "direct gemm C tail");
                     // SAFETY: as above; only `tail` columns are live.
                     unsafe {
                         let dst = c.0.add(row * n + j0);
@@ -929,6 +942,7 @@ fn conv_sweep(
                 wide_tile(kernel, k_total, a_panel, padded, offsets, j0, mr, &mut acc);
                 for (i, acc_row) in acc.iter().enumerate().take(mr) {
                     let row = ip * MR + i;
+                    checked::span(out_c * hw, row * hw + j0, NR_WIDE, "conv out wide strip");
                     // SAFETY: j0 + NR_WIDE <= s1 * NR <= hw; this worker
                     // owns strips [s0, s1) exclusively.
                     unsafe { set_bias_row(out.0.add(row * hw + j0), bias[row], &acc_row[..]) };
@@ -944,6 +958,7 @@ fn conv_sweep(
             tile(kernel, k_total, a_panel, padded, offsets, j0, mr, &mut acc);
             for (i, acc_row) in acc.iter().enumerate().take(mr) {
                 let row = ip * MR + i;
+                checked::span(out_c * hw, row * hw + j0, NR, "conv out strip");
                 // SAFETY: j0 + NR <= hw; strips [s0, s1) owned exclusively.
                 unsafe { set_bias_row(out.0.add(row * hw + j0), bias[row], &acc_row[..]) };
             }
@@ -1118,9 +1133,12 @@ mod x86 {
     use super::{MR, NR, NR_WIDE};
     use core::arch::x86_64::*;
 
-    /// Debug-only validation of the kernel operand contract: `a` holds
-    /// `kc` packed `MR`-groups and every B row fits `width` columns from
-    /// its offset. Release builds rely on the (checked) callers.
+    /// Validation of the kernel operand contract: `a` holds `kc` packed
+    /// `MR`-groups and every B row fits `width` columns from its offset.
+    /// Debug builds check via `debug_assert!`; `checked-kernels` audit
+    /// builds check in every profile; plain release builds rely on the
+    /// (checked) callers.
+    #[inline(always)]
     fn debug_check_operands(
         kc: usize,
         a: &[f32],
@@ -1135,6 +1153,14 @@ mod x86 {
             offsets[..kc].iter().all(|&o| o + j0 + width <= b.len()),
             "B row out of bounds"
         );
+        if tahoma_mathx::checked::active() {
+            tahoma_mathx::checked::span(a.len(), 0, kc * MR, "gemm kernel A panel");
+            tahoma_mathx::checked::span(offsets.len(), 0, kc, "gemm kernel offset table");
+            tahoma_mathx::checked::aligned(b.as_ptr(), "gemm kernel B base");
+            for &o in &offsets[..kc] {
+                tahoma_mathx::checked::span(b.len(), o + j0, width, "gemm kernel B row");
+            }
+        }
     }
 
     /// AVX2+FMA tile: `ROWS x NR` in two 16-column halves, each half

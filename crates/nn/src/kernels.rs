@@ -27,8 +27,14 @@
 //!   over the four window values in the same order (top-left, top-right,
 //!   bottom-left, bottom-right, starting from `-inf`), as a
 //!   compare-and-blend chain over deinterleaved even/odd vectors.
+//!
+//! This is one of the four files sanctioned to contain raw-pointer
+//! arithmetic; see `SAFETY.md` at the repository root for the unsafe
+//! policy and the `checked-kernels` feature that asserts every vector
+//! span here at runtime.
 
 use crate::gemm::Kernel;
+use tahoma_mathx::checked;
 use tahoma_mathx::simd_policy::OpClass;
 
 /// f32 accumulator lanes in the matvec reduction: element `i` of a dot
@@ -60,6 +66,14 @@ pub fn matvec(kernel: Kernel, weights: &[f32], bias: &[f32], x: &[f32], out: &mu
     let (n_out, n_in) = (out.len(), x.len());
     assert_eq!(weights.len(), n_out * n_in, "weight matrix shape");
     assert_eq!(bias.len(), n_out, "bias length");
+    // Audit mode restates the bounds every vector load below relies on
+    // (each row slice plus the shared x vector) as hard assertions.
+    if checked::active() {
+        checked::aligned(weights.as_ptr(), "matvec weights");
+        for o in 0..n_out {
+            checked::span(weights.len(), o * n_in, n_in, "matvec weight row");
+        }
+    }
     match kernel.resolve_class(OpClass::Matvec) {
         #[cfg(target_arch = "x86_64")]
         // SAFETY: tier only produced after runtime detection of avx512f.
@@ -89,6 +103,7 @@ pub fn matvec(kernel: Kernel, weights: &[f32], bias: &[f32], x: &[f32], out: &mu
 /// all tiers agree bitwise (NaN and `-0.0` both map to `+0.0`).
 pub fn relu(kernel: Kernel, src: &[f32], dst: &mut [f32]) {
     assert_eq!(src.len(), dst.len(), "relu buffer length");
+    checked::span(src.len(), 0, dst.len(), "relu sweep");
     match kernel.resolve_class(OpClass::Relu) {
         #[cfg(target_arch = "x86_64")]
         // SAFETY: tier only produced after runtime detection of avx512f.
@@ -114,6 +129,11 @@ pub fn maxpool2_plane(kernel: Kernel, plane: &[f32], h: usize, w: usize, out: &m
     let (oh, ow) = (h / 2, w / 2);
     assert!(plane.len() >= h * w, "input plane length");
     assert_eq!(out.len(), oh * ow, "output plane length");
+    // Audit mode restates the two-row window reads of the deepest output
+    // row — every shallower row reads strictly inside this span.
+    if oh > 0 {
+        checked::span(plane.len(), (2 * oh - 1) * w, 2 * ow, "maxpool bottom row");
+    }
     // One dispatch per plane, with the row loop inside the
     // `#[target_feature]` kernels — per-row dispatch would rebuild the
     // shuffle constants and pay an uninlinable call 15 times per 30x30

@@ -55,6 +55,8 @@ struct BatchState {
 }
 
 struct Batch {
+    // LOCK-ORDER: 50 — acquired after the broker's open map (the seal and
+    // join paths nest map -> state), never before it.
     state: Mutex<BatchState>,
     cv: Condvar,
 }
@@ -93,6 +95,8 @@ pub struct BrokerStats {
 /// broker per served predicate.
 pub struct Broker {
     zoo: Arc<SharedModelZoo>,
+    // LOCK-ORDER: 40 — the outer lock of the join/seal protocol; batch
+    // state (rank 50) is taken while this is held, nothing else is.
     open: Mutex<HashMap<u32, Arc<Batch>>>,
     window: Duration,
     max_rows: usize,
@@ -101,6 +105,8 @@ pub struct Broker {
     /// window when there is nobody to coalesce with and seal early once
     /// every interested query has a pack aboard.
     active: Arc<AtomicUsize>,
+    // LOCK-ORDER: 60 — inference-scratch pool; popped/pushed with no
+    // other broker lock held (zoo calls run outside every lock).
     scratch: Mutex<Vec<InferScratch>>,
     submits: AtomicU64,
     calls: AtomicU64,
@@ -203,6 +209,7 @@ impl Broker {
                 st = g;
             }
         }
+        crate::sched::point(crate::sched::site::SEAL);
         // Seal under the open-map lock (map -> batch lock order, same as
         // the join path) unless a row-cap join already did.
         {
@@ -224,6 +231,7 @@ impl Broker {
         if sizes.len() > 1 {
             self.merged_calls.fetch_add(1, Ordering::Relaxed);
         }
+        crate::sched::point(crate::sched::site::RUN);
         let result = self.run_zoo(model, &rows, n);
         let mut st = lock(&batch.state);
         let err = match result {
@@ -239,6 +247,7 @@ impl Broker {
         st.done = true;
         batch.cv.notify_all();
         drop(st);
+        crate::sched::point(crate::sched::site::PUBLISH);
         if let Some(p) = err {
             // Followers see `failed` and panic on their own threads; the
             // leader re-raises the original payload.
@@ -250,6 +259,7 @@ impl Broker {
 impl InferDispatch for Broker {
     fn infer(&self, model: ModelId, rows: &[f32], n: usize) -> Vec<f32> {
         self.submits.fetch_add(1, Ordering::Relaxed);
+        crate::sched::point(crate::sched::site::SUBMIT);
         // Idle fast path: nobody to coalesce with — score directly, no
         // batch machinery, no window.
         if self.active.load(Ordering::Relaxed) <= 1 {
@@ -260,6 +270,7 @@ impl InferDispatch for Broker {
             };
         }
         // Join (or open) the model's batch.
+        crate::sched::point(crate::sched::site::JOIN);
         let (batch, my_index, leader) = {
             let mut open = lock(&self.open);
             match open.get(&model.0) {
@@ -294,9 +305,12 @@ impl InferDispatch for Broker {
         };
         if leader {
             self.lead(model, &batch);
+        } else {
+            crate::sched::point(crate::sched::site::APPEND);
         }
         // Wait for completion (leaders are already done) and slice out our
         // scores.
+        crate::sched::point(crate::sched::site::WAIT);
         let mut st = lock(&batch.state);
         while !st.done {
             st = batch.cv.wait(st).unwrap_or_else(|p| p.into_inner());

@@ -39,11 +39,18 @@
 //! [`fixture`] builds ready-to-serve services (surrogate-backed and
 //! real-NN-backed) shared by the `query_serve` bench, the concurrency
 //! tests, the `tahoma-serve` binary, and the CI smoke job.
+//!
+//! Concurrency invariants in this crate are machine-checked: every
+//! `Mutex` field carries a `// LOCK-ORDER: n` rank audited by
+//! `tahoma-audit` (lint A6, policy in `SAFETY.md`), and [`sched`]
+//! provides the seeded schedule-perturbation points the broker's
+//! interleaving tests drive.
 
 pub mod broker;
 pub mod fixture;
 pub mod plan_cache;
 pub mod protocol;
+pub mod sched;
 pub mod server;
 pub mod service;
 

@@ -18,9 +18,20 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use tahoma_core::pipeline::SelectedCascade;
 use tahoma_imagery::ObjectKind;
+
+/// Poison-recovering lock. A panic elsewhere in the service (a scoring
+/// worker, a query thread) must not wedge the plan cache: the map holds
+/// finished `Arc<CachedPlan>`s that are inserted whole, so there is no
+/// partially-applied state to fear from a poisoned guard.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
 
 /// A fully planned query: one selected cascade per content predicate, in
 /// execution order (cheapest predicate first, so the conjunction narrows
@@ -44,6 +55,8 @@ fn key(kinds: &[ObjectKind], acc_milli: u32) -> Key {
 /// Concurrent (predicate set, accuracy target) → [`CachedPlan`] map.
 #[derive(Default)]
 pub struct PlanCache {
+    // LOCK-ORDER: 20 — held only for map probes/inserts; never while
+    // planning, executing, or taking any broker lock.
     map: Mutex<HashMap<Key, Arc<CachedPlan>>>,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -57,12 +70,7 @@ impl PlanCache {
 
     /// Look up a plan; counts a hit or a miss.
     pub fn get(&self, kinds: &[ObjectKind], acc_milli: u32) -> Option<Arc<CachedPlan>> {
-        let found = self
-            .map
-            .lock()
-            .unwrap()
-            .get(&key(kinds, acc_milli))
-            .cloned();
+        let found = lock(&self.map).get(&key(kinds, acc_milli)).cloned();
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -80,7 +88,7 @@ impl PlanCache {
         acc_milli: u32,
         plan: CachedPlan,
     ) -> Arc<CachedPlan> {
-        let mut map = self.map.lock().unwrap();
+        let mut map = lock(&self.map);
         Arc::clone(
             map.entry(key(kinds, acc_milli))
                 .or_insert_with(|| Arc::new(plan)),
@@ -99,7 +107,7 @@ impl PlanCache {
 
     /// Cached plan count.
     pub fn len(&self) -> usize {
-        self.map.lock().unwrap().len()
+        lock(&self.map).len()
     }
 
     /// True when nothing is cached.

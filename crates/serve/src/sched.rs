@@ -1,0 +1,111 @@
+//! Seeded schedule perturbation for concurrency tests.
+//!
+//! The broker's leader/follower protocol is lock-correct for *every*
+//! interleaving, but the interleavings a quiet test box actually explores
+//! are a thin slice: threads rarely get preempted inside the few
+//! microseconds between a join and a seal. This module widens the slice
+//! deterministically. Production code calls [`point`] at the protocol's
+//! decision edges (join, append, seal, publish, wait); when a test has
+//! installed a seed on the calling thread, the point mixes
+//! `seed ^ site ^ counter` (splitmix64) and either yields, spins briefly,
+//! or proceeds — so each seed reproduces one exact perturbation pattern,
+//! and 1000 seeds explore 1000 different ones (`tests/broker_schedule.rs`
+//! asserts results stay bitwise identical to serial under all of them).
+//!
+//! Cost when disarmed: one relaxed atomic load and a predictable branch —
+//! nothing else. No thread-local is touched until a test arms the hooks,
+//! and they are never armed outside tests.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Perturbation sites, used to decorrelate decisions across call sites.
+/// The values are arbitrary but stable so a seed reproduces a schedule
+/// even when new sites are added at the end.
+pub mod site {
+    /// Entry of `Broker::infer`, before the idle fast-path check.
+    pub const SUBMIT: u32 = 1;
+    /// Before taking the open map to join/open a batch.
+    pub const JOIN: u32 = 2;
+    /// Follower: after appending rows and waking the leader.
+    pub const APPEND: u32 = 3;
+    /// Leader: after the coalescing window, before sealing.
+    pub const SEAL: u32 = 4;
+    /// Leader: before the merged zoo call.
+    pub const RUN: u32 = 5;
+    /// Leader: after publishing scores and waking followers.
+    pub const PUBLISH: u32 = 6;
+    /// Follower: before blocking on batch completion.
+    pub const WAIT: u32 = 7;
+}
+
+/// Process-wide arm flag: fast-path guard so un-instrumented processes
+/// pay one relaxed load per point and never touch the thread-local.
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+thread_local! {
+    /// Per-thread perturbation state: `Some((seed, counter))` once
+    /// [`install`] ran on this thread.
+    static STATE: Cell<Option<(u64, u64)>> = const { Cell::new(None) };
+}
+
+/// Arm perturbation on the current thread with `seed`. Distinct threads
+/// of one test should install distinct seeds (e.g. `seed ^ thread_rank`).
+/// Returns a guard that disarms the thread when dropped, so seeds never
+/// leak across tests sharing a pool thread.
+#[must_use]
+pub fn install(seed: u64) -> Installed {
+    ARMED.store(true, Ordering::Relaxed);
+    STATE.with(|s| s.set(Some((seed, 0))));
+    Installed { _priv: () }
+}
+
+/// Guard returned by [`install`]; clears the thread's perturbation state
+/// on drop.
+pub struct Installed {
+    _priv: (),
+}
+
+impl Drop for Installed {
+    fn drop(&mut self) {
+        STATE.with(|s| s.set(None));
+    }
+}
+
+/// splitmix64 finalizer: decorrelates consecutive counters into
+/// independent-looking decisions.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A perturbation point. No-op unless the current thread installed a
+/// seed; otherwise deterministically yields, spins, or proceeds.
+#[inline]
+pub fn point(site: u32) {
+    if !ARMED.load(Ordering::Relaxed) {
+        return;
+    }
+    STATE.with(|s| {
+        let Some((seed, counter)) = s.get() else {
+            return;
+        };
+        s.set(Some((seed, counter + 1)));
+        let r = mix(seed ^ ((site as u64) << 32) ^ counter);
+        match r % 8 {
+            // Give up the slice entirely: forces another runnable thread
+            // (leader or follower) to make progress here.
+            0 | 1 => std::thread::yield_now(),
+            // Short busy spin: shifts timing without a syscall, enough to
+            // move a racing thread past its own edge.
+            2 => {
+                for _ in 0..(r >> 8) % 64 {
+                    std::hint::spin_loop();
+                }
+            }
+            _ => {}
+        }
+    });
+}

@@ -47,6 +47,8 @@ impl Default for ServerConfig {
 
 struct Shared {
     service: Arc<QueryService>,
+    // LOCK-ORDER: 10 — held only to push/pop connections; query execution
+    // (and every deeper lock) runs strictly after the guard is dropped.
     queue: Mutex<VecDeque<TcpStream>>,
     queue_cv: Condvar,
     queue_cap: usize,
@@ -104,23 +106,30 @@ pub fn serve(service: Arc<QueryService>, config: ServerConfig) -> std::io::Resul
         shed: AtomicU64::new(0),
     });
     let mut threads = Vec::with_capacity(config.workers + 1);
-    for i in 0..config.workers.max(1) {
+    let mut spawn = |name: String, f: Box<dyn FnOnce() + Send>| -> std::io::Result<()> {
+        threads.push(std::thread::Builder::new().name(name).spawn(f)?);
+        Ok(())
+    };
+    let boot = || -> std::io::Result<()> {
+        for i in 0..config.workers.max(1) {
+            let shared = Arc::clone(&shared);
+            spawn(
+                format!("tahoma-serve-{i}"),
+                Box::new(move || worker_loop(&shared)),
+            )?;
+        }
         let shared = Arc::clone(&shared);
-        threads.push(
-            std::thread::Builder::new()
-                .name(format!("tahoma-serve-{i}"))
-                .spawn(move || worker_loop(&shared))
-                .expect("spawn server worker"),
-        );
-    }
-    {
-        let shared = Arc::clone(&shared);
-        threads.push(
-            std::thread::Builder::new()
-                .name("tahoma-serve-accept".to_string())
-                .spawn(move || accept_loop(&listener, &shared))
-                .expect("spawn acceptor"),
-        );
+        spawn(
+            "tahoma-serve-accept".to_string(),
+            Box::new(move || accept_loop(&listener, &shared)),
+        )
+    };
+    if let Err(e) = boot() {
+        // Partial boot: stop whatever did spawn before surfacing the
+        // error, so no orphan worker outlives the failed `serve` call.
+        shared.stop.store(true, Ordering::SeqCst);
+        shared.queue_cv.notify_all();
+        return Err(e);
     }
     Ok(ServerHandle {
         addr,

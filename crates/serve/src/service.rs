@@ -126,7 +126,9 @@ struct NnBackend {
     /// interested query has a pack aboard (and skip batching entirely
     /// when a kind has at most one interested query).
     active: Arc<AtomicUsize>,
-    scratch: Mutex<Vec<NnSessionScratch>>,
+    // LOCK-ORDER: 30 — session-scratch pool; held only to pop/push a
+    // buffer, never across scoring (the broker's locks rank above).
+    sessions: Mutex<Vec<NnSessionScratch>>,
 }
 
 struct KindState {
@@ -243,7 +245,7 @@ impl QueryService {
                     zoo,
                     broker,
                     active,
-                    scratch: Mutex::new(Vec::new()),
+                    sessions: Mutex::new(Vec::new()),
                 }),
             },
         );
@@ -400,7 +402,13 @@ impl QueryService {
         let mut matched: Option<Vec<u64>> = None;
         let mut survivors = 0usize;
         for (i, (kind, selected)) in plan.entries.iter().enumerate() {
-            let st = self.kinds.get(kind).expect("planned kinds are served");
+            // Plans only name kinds that were registered, but a cache
+            // shared across reconfiguration could outlive that invariant —
+            // surface a typed error instead of panicking the worker.
+            let st = self
+                .kinds
+                .get(kind)
+                .ok_or_else(|| ServeError::Exec(format!("planned kind {kind:?} is not served")))?;
             // Progressive narrowing: after the first predicate, only the
             // current conjunction survivors are classified.
             let narrowed;
@@ -438,7 +446,7 @@ impl QueryService {
                     processor.execute_batched(&single, corpus, &cascades, &mut scorer, &opts)
                 }
                 KindBackend::Nn(nn) => {
-                    let mut scratch = lock(&nn.scratch)
+                    let mut scratch = lock(&nn.sessions)
                         .pop()
                         .unwrap_or_else(NnSessionScratch::new);
                     let result = {
@@ -448,7 +456,7 @@ impl QueryService {
                         }
                         processor.execute_batched(&single, corpus, &cascades, &mut scorer, &opts)
                     };
-                    lock(&nn.scratch).push(scratch);
+                    lock(&nn.sessions).push(scratch);
                     result
                 }
             }

@@ -1,0 +1,186 @@
+//! Seeded schedule-perturbation harness for the coalescing broker
+//! (`tahoma_serve::sched`).
+//!
+//! Interleaving bugs in the leader/follower protocol hide behind "it
+//! passed this run": the OS happens to schedule submitters so that joins
+//! land before seals and nobody observes the racy window. This harness
+//! drives the broker's injected yield points
+//! ([`tahoma_serve::sched::point`]) from a per-thread seeded RNG, so each
+//! of 1000 seeds explores a different deterministic pattern of yields and
+//! spins at the protocol's decision sites (submit, join, append, seal,
+//! run, publish, wait). The invariant under test is the broker's whole
+//! contract: under every perturbed schedule, every submitter gets scores
+//! bitwise identical to a serial [`SharedModelZoo::infer`] call on its
+//! own pack.
+//!
+//! A second test covers the failure path the same way: a leader whose
+//! zoo call panics must propagate the panic to every follower of that
+//! batch — never wedge them on the condvar — and leave the broker
+//! reusable.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tahoma_core::exec::{InferDispatch, SharedModelZoo};
+use tahoma_imagery::{ColorMode, Representation};
+use tahoma_nn::InferScratch;
+use tahoma_serve::{sched, Broker};
+use tahoma_zoo::{ArchSpec, ModelId};
+
+const THREADS: usize = 3;
+const SEEDS: u64 = 1000;
+const ROW_LEN: usize = 12 * 12; // 12x12 gray input
+
+fn tiny_zoo() -> SharedModelZoo {
+    let rep = Representation::new(12, ColorMode::Gray);
+    let arch = ArchSpec {
+        conv_layers: 1,
+        conv_nodes: 4,
+        dense_nodes: 8,
+    };
+    let mut zoo = SharedModelZoo::new();
+    zoo.register(
+        ModelId(0),
+        rep,
+        arch.cnn_spec(rep).build(41).expect("net 0"),
+    );
+    zoo.register(
+        ModelId(1),
+        rep,
+        arch.cnn_spec(rep).build(42).expect("net 1"),
+    );
+    zoo
+}
+
+/// Thread `t`'s fixed input pack: `t + 1` rows of deterministic noise.
+fn pack_for(t: usize) -> (Vec<f32>, usize) {
+    let n = t + 1;
+    let mut rng = tahoma_mathx::DetRng::new(0xC0FFEE ^ t as u64);
+    let rows = (0..n * ROW_LEN)
+        .map(|_| rng.normal(0.0, 1.0) as f32)
+        .collect();
+    (rows, n)
+}
+
+/// The model thread `t` targets in a round: even seeds converge all
+/// threads on one model (maximum merge pressure), odd seeds split them
+/// across both models (concurrent independent batches).
+fn model_for(seed: u64, t: usize) -> ModelId {
+    if seed.is_multiple_of(2) {
+        ModelId(0)
+    } else {
+        ModelId((t % 2) as u32)
+    }
+}
+
+#[test]
+fn thousand_seeds_bitwise_identical_to_serial() {
+    let zoo = Arc::new(tiny_zoo());
+    let packs: Vec<(Vec<f32>, usize)> = (0..THREADS).map(pack_for).collect();
+    // Serial reference, one pack at a time — what every perturbed
+    // concurrent round must reproduce exactly.
+    let mut scratch = InferScratch::coalescing();
+    let expected: Vec<[Vec<f32>; 2]> = packs
+        .iter()
+        .map(|(rows, n)| {
+            [
+                zoo.infer(ModelId(0), rows, *n, &mut scratch),
+                zoo.infer(ModelId(1), rows, *n, &mut scratch),
+            ]
+        })
+        .collect();
+
+    let active = Arc::new(AtomicUsize::new(THREADS));
+    let broker =
+        Broker::new(Arc::clone(&zoo), Arc::clone(&active)).with_window(Duration::from_micros(200));
+
+    for seed in 0..SEEDS {
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let broker = &broker;
+                let packs = &packs;
+                let expected = &expected;
+                s.spawn(move || {
+                    let _perturb = sched::install(seed.wrapping_mul(31) ^ t as u64);
+                    let (rows, n) = &packs[t];
+                    let model = model_for(seed, t);
+                    let scores = broker.infer(model, rows, *n);
+                    assert_eq!(
+                        scores.len(),
+                        *n,
+                        "seed {seed} thread {t}: wrong score count"
+                    );
+                    let want = &expected[t][model.0 as usize];
+                    for (i, (got, want)) in scores.iter().zip(want).enumerate() {
+                        assert_eq!(
+                            got.to_bits(),
+                            want.to_bits(),
+                            "seed {seed} thread {t} row {i}: {got} != serial {want}"
+                        );
+                    }
+                });
+            }
+        });
+    }
+
+    let stats = broker.stats();
+    assert_eq!(stats.submits, SEEDS * THREADS as u64);
+    // Across 1000 perturbed rounds with all threads converging on one
+    // model every other round, real cross-submission merges must occur —
+    // otherwise the harness only ever exercised the solo path.
+    assert!(
+        stats.merged_calls > 0,
+        "no merged batches across {SEEDS} seeds: {stats:?}"
+    );
+}
+
+/// A panicking zoo call (here: an unregistered model) must re-raise on the
+/// leader, panic — not wedge — every follower of the batch, and leave the
+/// broker usable for the next query.
+#[test]
+fn leader_panic_reaches_followers_and_broker_survives() {
+    let zoo = Arc::new(tiny_zoo());
+    let packs: Vec<(Vec<f32>, usize)> = (0..2).map(pack_for).collect();
+    let active = Arc::new(AtomicUsize::new(2));
+    // A long window so both submitters reliably land in the same batch
+    // (the leader seals early once both are aboard).
+    let broker =
+        Broker::new(Arc::clone(&zoo), Arc::clone(&active)).with_window(Duration::from_millis(50));
+
+    for seed in 0..16u64 {
+        let outcomes: Vec<std::thread::Result<Vec<f32>>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..2)
+                .map(|t| {
+                    let broker = &broker;
+                    let packs = &packs;
+                    s.spawn(move || {
+                        let _perturb = sched::install(seed ^ (t as u64) << 8);
+                        let (rows, n) = &packs[t];
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            broker.infer(ModelId(99), rows, *n)
+                        }))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("harness thread must not die"))
+                .collect()
+        });
+        for (t, out) in outcomes.iter().enumerate() {
+            assert!(
+                out.is_err(),
+                "seed {seed} thread {t}: inference on an unregistered model \
+                 must panic, not return"
+            );
+        }
+    }
+
+    // The broker's bookkeeping survived 16 panicked batches: a healthy
+    // query scores correctly and the open map holds no leftover batch.
+    active.store(1, Ordering::SeqCst);
+    let (rows, n) = &packs[1];
+    let scores = broker.infer(ModelId(1), rows, *n);
+    let mut scratch = InferScratch::coalescing();
+    assert_eq!(scores, zoo.infer(ModelId(1), rows, *n, &mut scratch));
+}

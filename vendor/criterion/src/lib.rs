@@ -129,7 +129,7 @@ impl Bencher {
             }
             samples.push(t0.elapsed().as_secs_f64() / iters as f64);
         }
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        samples.sort_by(f64::total_cmp);
         self.sec_per_iter = Some(samples[samples.len() / 2]);
         self.iters_per_sample = iters;
     }
