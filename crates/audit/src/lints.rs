@@ -9,8 +9,8 @@
 //! | A2 | every crate containing `unsafe` declares `#![deny(unsafe_op_in_unsafe_fn)]` in its root |
 //! | A3 | no `partial_cmp(..).unwrap()/.expect(..)` outside `core::order` |
 //! | A4 | no `unwrap()/expect()` in `serve/src` or `core::exec` hot paths |
-//! | A5 | raw-pointer ops confined to the four kernel files |
-//! | A6 | `Mutex` fields in `serve` carry `// LOCK-ORDER: n` ranks, and locks are acquired in ascending rank |
+//! | A5 | raw-pointer ops confined to the audited kernel/storage files |
+//! | A6 | `Mutex` fields in `serve` and the segment store carry `// LOCK-ORDER: n` ranks, and locks are acquired in ascending rank |
 //!
 //! Everything here is heuristic token matching, tuned to this workspace's
 //! idioms (see `SAFETY.md`); the integration tests pin the behavior on
@@ -33,11 +33,14 @@ pub struct Violation {
     pub excerpt: String,
 }
 
-/// The four files allowed to contain raw-pointer arithmetic (A5).
-pub const KERNEL_FILES: [&str; 4] = [
+/// The files allowed to contain raw-pointer arithmetic (A5): the four
+/// SIMD kernel files plus the segment store's mmap wrapper, whose SAFETY
+/// contracts are documented in `SAFETY.md`.
+pub const KERNEL_FILES: [&str; 5] = [
     "crates/nn/src/gemm.rs",
     "crates/nn/src/kernels.rs",
     "crates/imagery/src/engine.rs",
+    "crates/imagery/src/segment.rs",
     "crates/mathx/src/pool.rs",
 ];
 
@@ -392,7 +395,15 @@ struct LockRank {
     line: u32,
 }
 
-/// A6 pass 1 (per serve file): every `name: Mutex<..>` struct field must
+/// True when `rel` is in A6 scope: the serving layer's lock graph plus
+/// the segment store's per-shard writer/index locks (`tahoma-serve`
+/// fetches through the store, so the shard ranks live in the same global
+/// registry as the service ranks).
+fn a6_in_scope(rel: &str) -> bool {
+    rel.starts_with("crates/serve/src/") || rel == "crates/imagery/src/segment.rs"
+}
+
+/// A6 pass 1 (per in-scope file): every `name: Mutex<..>` struct field must
 /// carry a `// LOCK-ORDER: n` comment on the field line or within the
 /// three lines above; ranks are registered by field name.
 fn a6_collect_ranks(
@@ -647,7 +658,7 @@ pub fn audit_sources(files: &BTreeMap<String, String>) -> Vec<Violation> {
         a3_partial_cmp_unwrap(&ctx, &mut out);
         a4_hot_path_unwraps(&ctx, &mut out);
         a5_raw_pointer_ops(&ctx, &mut out);
-        if ctx.rel.starts_with("crates/serve/src/") {
+        if a6_in_scope(&ctx.rel) {
             a6_collect_ranks(&ctx, &mut ranks, &mut out);
         }
         ctxs.push(ctx);
@@ -655,7 +666,7 @@ pub fn audit_sources(files: &BTreeMap<String, String>) -> Vec<Violation> {
 
     // A6 pass 2 needs the full rank registry.
     for ctx in &ctxs {
-        if ctx.rel.starts_with("crates/serve/src/") {
+        if a6_in_scope(&ctx.rel) {
             a6_check_acquisitions(ctx, &ranks, &mut out);
         }
     }

@@ -199,6 +199,18 @@ impl S {
 }
 
 #[test]
+fn a6_scope_covers_the_segment_store_shard_locks() {
+    // The sharded segment store holds per-shard mutexes outside the serve
+    // crate; its file is explicitly in A6 scope so those ranks stay audited.
+    let unranked = "use std::sync::Mutex;\npub struct Shard {\n    seg_writer: Mutex<u32>,\n}\n";
+    let report = audit(&[("crates/imagery/src/segment.rs", unranked)]);
+    assert_eq!(lints_of(&report), ["A6"], "{}", report.human());
+    // The rest of the imagery crate is not in A6 scope.
+    let ok = audit(&[("crates/imagery/src/store.rs", unranked)]);
+    assert!(ok.clean(), "{}", ok.human());
+}
+
+#[test]
 fn allowlist_excuses_named_violation_and_stale_entries_fail() {
     let files = fixture(&[(
         "crates/serve/src/service.rs",

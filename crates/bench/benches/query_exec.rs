@@ -276,7 +276,7 @@ fn bench_nn_exec(c: &mut Criterion) {
     for item in &corpus.items {
         store.ingest(item.id, &frame(item.id, 120)).unwrap();
     }
-    let mut scorer = NnBatchScorer::new(&mut store);
+    let mut scorer = NnBatchScorer::new(&store);
     scorer.register(ModelId(0), rep0, build_model(arch0, rep0, 11));
     scorer.register(ModelId(1), rep1, build_model(arch1, rep1, 12));
 
@@ -325,7 +325,7 @@ fn bench_nn_exec(c: &mut Criterion) {
     for item in &corpus.items {
         source_store.ingest(item.id, &frame(item.id, 120)).unwrap();
     }
-    let mut fallback = NnBatchScorer::new(&mut source_store).with_source(source);
+    let mut fallback = NnBatchScorer::new(&source_store).with_source(source);
     fallback.register(ModelId(0), rep0, build_model(arch0, rep0, 11));
     fallback.register(ModelId(1), rep1, build_model(arch1, rep1, 12));
     group.bench_function(format!("end_to_end_transcode_{NN_N}"), |b| {
@@ -362,18 +362,18 @@ fn bench_nn_stages(c: &mut Criterion) {
         store.ingest(id, &frame(id, 120)).unwrap();
     }
     let mut group = c.benchmark_group("query_exec/nn_stage");
+    let src = frame(3, 120);
+    let mut engine = TranscodeEngine::new();
     group.bench_function("fetch_decode_30gray", |b| {
         let mut id = 0u64;
         b.iter(|| {
-            let img = store.fetch_into(id % 64, rep0).unwrap().unwrap();
+            let img = store.fetch(id % 64, rep0, &mut engine).unwrap().unwrap();
             id += 1;
             let out = black_box(img.data()[0]);
-            store.recycle([img]);
+            engine.recycle([img]);
             out
         })
     });
-    let src = frame(3, 120);
-    let mut engine = TranscodeEngine::new();
     group.bench_function("transcode_120rgb_to_30gray", |b| {
         b.iter(|| {
             let img = engine.apply(&src, rep0).unwrap();

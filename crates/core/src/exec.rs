@@ -259,9 +259,10 @@ struct NnModel {
 /// cached per item for the duration of the cascade run, so the §V-B
 /// sharing discount (`rep_marginal_s` charged once per distinct
 /// representation) holds for the live pixel work too. Decode and
-/// standardize buffers recycle through the store's and the scorer's engine
-/// pools; steady-state scoring performs no large allocations outside the
-/// cache inserts for shared representations.
+/// standardize buffers recycle through the scorer's own engine pool (the
+/// store is borrowed shared and never touched mutably); steady-state
+/// scoring performs no large allocations outside the cache inserts for
+/// shared representations.
 ///
 /// Scores depend on the GEMM batch shape only in final-ulp rounding (the
 /// batch-1 dense path uses the matvec kernel's fold tree); decisions are
@@ -276,7 +277,7 @@ struct NnModel {
 /// stored blob fails to decode — all deployment-configuration errors, not
 /// data-dependent conditions.
 pub struct NnBatchScorer<'a> {
-    store: &'a mut RepresentationStore,
+    store: &'a RepresentationStore,
     models: HashMap<u32, NnModel>,
     engine: TranscodeEngine,
     source_rep: Option<Representation>,
@@ -287,8 +288,10 @@ pub struct NnBatchScorer<'a> {
 }
 
 impl<'a> NnBatchScorer<'a> {
-    /// Create a scorer over a store. Register models before executing.
-    pub fn new(store: &'a mut RepresentationStore) -> NnBatchScorer<'a> {
+    /// Create a scorer over a store (borrowed shared: every store read
+    /// goes through the caller-engine fetch path, so scorers can share a
+    /// store). Register models before executing.
+    pub fn new(store: &'a RepresentationStore) -> NnBatchScorer<'a> {
         NnBatchScorer {
             store,
             models: HashMap::new(),
@@ -343,17 +346,13 @@ impl<'a> NnBatchScorer<'a> {
         rep: Representation,
     ) -> tahoma_imagery::Image {
         let t0 = Instant::now();
-        let direct = self.store.fetch_into(item.id, rep);
+        let direct = self.store.fetch(item.id, rep, &mut self.engine);
         self.stats.fetch_decode_s += t0.elapsed().as_secs_f64();
-        // Decode buffers borrowed from the store's pool go back to the
-        // store; transcode outputs come from (and return to) the scorer's
-        // own engine pool. Mixing the two starves the store's pool and
-        // every subsequent fetch allocates fresh.
-        let (img, from_store) = match direct {
-            Some(img) => (
-                img.unwrap_or_else(|e| panic!("item {} rep {rep}: {e}", item.id)),
-                true,
-            ),
+        // Every buffer — decoded fetches and transcode outputs alike —
+        // comes from and returns to the scorer's own engine pool; the
+        // store itself is only borrowed shared.
+        let img = match direct {
+            Some(img) => img.unwrap_or_else(|e| panic!("item {} rep {rep}: {e}", item.id)),
             None => {
                 let src_rep = self.source_rep.unwrap_or_else(|| {
                     panic!(
@@ -364,7 +363,7 @@ impl<'a> NnBatchScorer<'a> {
                 let t1 = Instant::now();
                 let src = self
                     .store
-                    .fetch_into(item.id, src_rep)
+                    .fetch(item.id, src_rep, &mut self.engine)
                     .unwrap_or_else(|| panic!("item {} has no stored source {src_rep}", item.id))
                     .unwrap_or_else(|e| panic!("item {} source {src_rep}: {e}", item.id));
                 self.stats.fetch_decode_s += t1.elapsed().as_secs_f64();
@@ -374,18 +373,14 @@ impl<'a> NnBatchScorer<'a> {
                     .apply(&src, rep)
                     .unwrap_or_else(|e| panic!("item {} transcode to {rep}: {e}", item.id));
                 self.stats.transcode_s += t2.elapsed().as_secs_f64();
-                self.store.recycle([src]);
-                (out, false)
+                self.engine.recycle([src]);
+                out
             }
         };
         let t3 = Instant::now();
         let standardized = self.engine.standardize(&img);
         self.stats.standardize_s += t3.elapsed().as_secs_f64();
-        if from_store {
-            self.store.recycle([img]);
-        } else {
-            self.engine.recycle([img]);
-        }
+        self.engine.recycle([img]);
         standardized
     }
 }
@@ -644,7 +639,7 @@ impl<'a> SharedNnScorer<'a> {
     ) -> tahoma_imagery::Image {
         let sc = &mut *self.scratch;
         let t0 = Instant::now();
-        let direct = self.store.fetch_shared(item.id, rep, &mut sc.engine);
+        let direct = self.store.fetch(item.id, rep, &mut sc.engine);
         sc.stats.fetch_decode_s += t0.elapsed().as_secs_f64();
         let img = match direct {
             Some(img) => img.unwrap_or_else(|e| panic!("item {} rep {rep}: {e}", item.id)),
@@ -658,7 +653,7 @@ impl<'a> SharedNnScorer<'a> {
                 let t1 = Instant::now();
                 let src = self
                     .store
-                    .fetch_shared(item.id, src_rep, &mut sc.engine)
+                    .fetch(item.id, src_rep, &mut sc.engine)
                     .unwrap_or_else(|| panic!("item {} has no stored source {src_rep}", item.id))
                     .unwrap_or_else(|e| panic!("item {} source {src_rep}: {e}", item.id));
                 sc.stats.fetch_decode_s += t1.elapsed().as_secs_f64();

@@ -29,12 +29,18 @@
 //!   down: microbenchmark every SIMD kernel tier per op class on the
 //!   running CPU and install the winners as the process-global
 //!   `Kernel::Auto` policy, so both the serving hot paths and the costs the
-//!   measured profiler reports to the planner reflect the tuned kernels.
+//!   measured profiler reports to the planner reflect the tuned kernels;
+//! * [`io`] — the measured-profiling discipline applied to the persistent
+//!   representation store: calibrate the real fetch+decode path
+//!   ([`io::IoProfile::measure`]) and spend a §V storage budget on the
+//!   lattice nodes with the best latency gain per stored byte
+//!   ([`io::plan_materialization`]).
 //!
 //! [`Representation`]: tahoma_imagery::Representation
 
 pub mod calibration;
 pub mod device;
+pub mod io;
 pub mod kernels;
 pub mod profiler;
 pub mod scenario;
@@ -42,6 +48,7 @@ pub mod storage;
 pub mod transform;
 
 pub use device::DeviceProfile;
+pub use io::{plan_materialization, IoProfile, MaterializationPlan};
 pub use kernels::{calibrate_and_install, KernelCalibration, TierSample};
 pub use profiler::{AnalyticProfiler, CostBreakdown, CostProfiler, MeasuredProfiler};
 pub use scenario::{Scenario, ScenarioCosts};

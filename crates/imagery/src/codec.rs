@@ -41,7 +41,7 @@ fn dequantize(b: u8) -> f32 {
     b as f32 / 255.0
 }
 
-fn mode_code(mode: ColorMode) -> u8 {
+pub(crate) fn mode_code(mode: ColorMode) -> u8 {
     match mode {
         ColorMode::Rgb => 0,
         ColorMode::Red => 1,
@@ -51,7 +51,7 @@ fn mode_code(mode: ColorMode) -> u8 {
     }
 }
 
-fn mode_from_code(code: u8) -> Result<ColorMode, ImageryError> {
+pub(crate) fn mode_from_code(code: u8) -> Result<ColorMode, ImageryError> {
     Ok(match code {
         0 => ColorMode::Rgb,
         1 => ColorMode::Red,
@@ -68,13 +68,19 @@ pub struct RawCodec;
 
 const RAW_MAGIC: &[u8; 4] = b"TAH1";
 
+/// Byte length of the `TAH1` header (magic + width + height + mode). A raw
+/// blob for representation `r` is exactly `RAW_HEADER_LEN +
+/// r.value_count()` bytes; the storage-budget planner in `tahoma-costmodel`
+/// prices stored bytes with this.
+pub const RAW_HEADER_LEN: usize = 13;
+
 impl Codec for RawCodec {
     fn name(&self) -> &'static str {
         "raw"
     }
 
     fn encode(&self, img: &Image) -> Bytes {
-        let mut buf = BytesMut::with_capacity(13 + img.value_count());
+        let mut buf = BytesMut::with_capacity(RAW_HEADER_LEN + img.value_count());
         buf.put_slice(RAW_MAGIC);
         buf.put_u32_le(img.width() as u32);
         buf.put_u32_le(img.height() as u32);
@@ -99,7 +105,7 @@ impl RawCodec {
     /// hand it back to the pool when done to close the loop.
     pub fn decode_into(&self, bytes: &[u8], mut data: Vec<f32>) -> Result<Image, ImageryError> {
         let mut buf = bytes;
-        if buf.len() < 13 || &buf[..4] != RAW_MAGIC {
+        if buf.len() < RAW_HEADER_LEN || &buf[..4] != RAW_MAGIC {
             return Err(ImageryError::Decode("bad TAH1 header".into()));
         }
         buf.advance(4);

@@ -1032,6 +1032,10 @@ pub struct TranscodeEngine {
     /// and steady-state transcoding allocates nothing.
     pool: HashMap<usize, Vec<Vec<f32>>>,
     pooled: usize,
+    /// Reusable byte scratch for the store's positioned-read (pread) fetch
+    /// path, so persistent-tier fetches stay allocation-free in steady
+    /// state just like the pixel pool above.
+    io_buf: Vec<u8>,
 }
 
 impl Default for TranscodeEngine {
@@ -1055,6 +1059,7 @@ impl TranscodeEngine {
             luma_plane: Vec::new(),
             pool: HashMap::new(),
             pooled: 0,
+            io_buf: Vec::new(),
         }
     }
 
@@ -1086,6 +1091,20 @@ impl TranscodeEngine {
         }
         self.pool.entry(data.len()).or_default().push(data);
         self.pooled += 1;
+    }
+
+    /// Borrow the engine's byte scratch for a positioned read (the
+    /// persistent store's pread fetch path). Pair with
+    /// [`TranscodeEngine::put_io_buf`] so its capacity amortizes.
+    pub(crate) fn take_io_buf(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.io_buf)
+    }
+
+    /// Return the byte scratch taken by [`TranscodeEngine::take_io_buf`].
+    pub(crate) fn put_io_buf(&mut self, buf: Vec<u8>) {
+        if buf.capacity() > self.io_buf.capacity() {
+            self.io_buf = buf;
+        }
     }
 
     /// A pooled length-`n` buffer for callers that fill outputs themselves

@@ -18,6 +18,9 @@ pub enum ImageryError {
     Decode(String),
     /// The operation needs a full-resolution RGB source image.
     NotRgbSource,
+    /// The persistent store tier hit an I/O error (message carries the
+    /// `std::io::Error` rendering; the io error itself is not `Clone`).
+    Io(String),
 }
 
 impl fmt::Display for ImageryError {
@@ -39,11 +42,18 @@ impl fmt::Display for ImageryError {
             ImageryError::NotRgbSource => {
                 write!(f, "operation requires a full-resolution RGB source image")
             }
+            ImageryError::Io(msg) => write!(f, "store i/o error: {msg}"),
         }
     }
 }
 
 impl std::error::Error for ImageryError {}
+
+impl From<std::io::Error> for ImageryError {
+    fn from(e: std::io::Error) -> ImageryError {
+        ImageryError::Io(e.to_string())
+    }
+}
 
 #[cfg(test)]
 mod tests {

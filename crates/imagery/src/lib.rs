@@ -20,6 +20,13 @@
 //! * [`codec`] — on-disk encodings (raw planar, PPM, lossy block codec) so
 //!   that load/decode costs in the ARCHIVE and ONGOING deployment scenarios
 //!   are grounded in real byte counts and real decode work;
+//! * [`store`] — the representation store behind the ONGOING scenario's
+//!   ingest-time materialization, with a RAM tier for fixtures and a
+//!   persistent tier whose per-item materialization set is chosen by the
+//!   §V byte-budget policy in `tahoma_costmodel::io`;
+//! * [`segment`] — the persistent tier's substrate: item-id-sharded
+//!   append-only segment files with CRC-framed records, mmap (or pread)
+//!   read access, and crash recovery to the last complete record;
 //! * [`synth`] — the synthetic planted-object corpus that substitutes for
 //!   ImageNet categories (see DESIGN.md §2), and
 //! * [`dataset`] — labeled datasets with the paper's train/config/eval split
@@ -38,6 +45,7 @@ pub mod engine;
 pub mod error;
 pub mod image;
 pub mod repr;
+pub mod segment;
 pub mod store;
 pub mod synth;
 pub mod transform;
@@ -49,5 +57,6 @@ pub use engine::{TranscodeCosts, TranscodeEngine, TranscodePlan};
 pub use error::ImageryError;
 pub use image::Image;
 pub use repr::Representation;
+pub use segment::{AccessMode, RecoveryReport, SegmentStore};
 pub use store::RepresentationStore;
 pub use synth::{ObjectKind, SceneParams, SceneRenderer};

@@ -1,0 +1,1078 @@
+//! Sharded, persistent, append-only segment files — the storage layer
+//! behind [`crate::store::RepresentationStore`]'s persistent tier.
+//!
+//! The paper's ONGOING scenario (§III) assumes representations are
+//! *persisted at ingest* ("transformed into appropriate representations
+//! that are stored on SSD for later queries") and fetched per query; §V
+//! prices the resulting storage amplification. This module is that layout
+//! made real:
+//!
+//! * **Item-id sharding.** `id % shards` picks the segment file, so ingest
+//!   appends and query fetches on different shards never contend — each
+//!   shard has its own writer and index locks.
+//! * **Append-only segment files.** Each record is a fixed-width header
+//!   (`TREC` magic, item id, representation, payload length, payload
+//!   CRC32) followed by the raw-codec payload, framed via the vendored
+//!   `bytes` shim. The in-memory index maps `(id, rep)` to a payload
+//!   offset and is rebuilt by a header scan on open.
+//! * **mmap read side with a pread fallback.** Readers clone an
+//!   `Arc`-snapshotted memory map and fetch without any lock held; when
+//!   mapping is unavailable (non-unix, `TAHOMA_STORE_NO_MMAP=1`, or an
+//!   `mmap` failure) fetches fall back to positioned reads into a
+//!   caller-supplied scratch buffer.
+//! * **Crash consistency.** Appends go through positioned writes into
+//!   preallocated capacity (the zero-filled tail doubles as a scan
+//!   terminator); on open the scan verifies each record's CRC and
+//!   truncates to the last complete record — a torn tail loses at most
+//!   the records past the tear, never yields corrupt payload bytes.
+//!
+//! Lock order (audited, lint A6; see `SAFETY.md`): per shard, the writer
+//! lock (`seg_writer`, rank 70) is acquired before the index lock
+//! (`seg_index`, rank 71). Fetches take only `seg_index`, and only long
+//! enough to snapshot an entry + `Arc<Mmap>`; payload bytes are read with
+//! no lock held. Both ranks sit above every `tahoma-serve` rank, so a
+//! serving thread holding service locks may always enter the store.
+
+use crate::codec::{mode_code, mode_from_code};
+use crate::repr::Representation;
+use bytes::{Buf, BufMut};
+use std::collections::{BTreeMap, HashSet};
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, BufReader, Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Magic bytes opening every segment file.
+pub const SEGMENT_MAGIC: [u8; 4] = *b"TSG1";
+/// Segment format version (bumped on layout changes).
+pub const SEGMENT_VERSION: u32 = 1;
+/// Segment file header: magic + version + shard index + reserved word.
+pub const SEGMENT_HEADER_LEN: u64 = 16;
+/// Magic bytes opening every record.
+pub const RECORD_MAGIC: [u8; 4] = *b"TREC";
+/// Record header: magic(4) + id(8) + size(4) + mode(1) + len(4) + crc(4).
+pub const RECORD_HEADER_LEN: usize = 25;
+
+/// Smallest preallocation step for a shard file. Appends extend capacity
+/// by doubling (at least this much) so `set_len`/remap cost amortizes.
+const MIN_CAPACITY_STEP: u64 = 1 << 20;
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE 802.3 polynomial, the zlib/PNG variant).
+
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut n = 0usize;
+    while n < 256 {
+        let mut c = n as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[n] = c;
+        n += 1;
+    }
+    table
+};
+
+const CRC_INIT: u32 = 0xFFFF_FFFF;
+
+#[inline]
+fn crc_update(mut state: u32, chunk: &[u8]) -> u32 {
+    for &b in chunk {
+        state = CRC_TABLE[((state ^ u32::from(b)) & 0xFF) as usize] ^ (state >> 8);
+    }
+    state
+}
+
+#[inline]
+fn crc_finish(state: u32) -> u32 {
+    !state
+}
+
+/// CRC32 (IEEE) of a byte slice, e.g. `crc32(b"123456789") == 0xCBF4_3926`.
+pub fn crc32(data: &[u8]) -> u32 {
+    crc_finish(crc_update(CRC_INIT, data))
+}
+
+// ---------------------------------------------------------------------------
+// Memory-mapped read view.
+
+#[cfg(unix)]
+mod mm {
+    //! Minimal read-only `mmap` wrapper. The container vendors no `libc`
+    //! crate, but every Rust binary on unix already links the platform
+    //! libc, so the two symbols are declared directly.
+
+    use std::ffi::c_void;
+    use std::fs::File;
+    use std::os::unix::io::AsRawFd;
+
+    const PROT_READ: i32 = 1;
+    const MAP_SHARED: i32 = 1;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+
+    /// A read-only `MAP_SHARED` mapping of the first `len` bytes of a
+    /// file. `MAP_SHARED` means positioned writes through another handle
+    /// to the same file are page-cache coherent with reads through the
+    /// map, which is what lets the shard writer append while readers hold
+    /// an older map of the same (preallocated) capacity.
+    #[derive(Debug)]
+    pub struct Mmap {
+        ptr: *mut c_void,
+        len: usize,
+    }
+
+    impl Mmap {
+        /// Map `len` bytes of `file` read-only, or `None` when the kernel
+        /// refuses (callers fall back to pread).
+        pub fn new(file: &File, len: usize) -> Option<Mmap> {
+            if len == 0 {
+                return None;
+            }
+            // SAFETY: ffi call with a null placement hint, a length the
+            // caller bounds by the file's allocated size, read-only
+            // protection, and a file descriptor that outlives the call
+            // (`file` is borrowed across it). The returned region is only
+            // ever exposed as `&[u8]` of exactly `len` bytes.
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_SHARED,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 || ptr.is_null() {
+                None
+            } else {
+                Some(Mmap { ptr, len })
+            }
+        }
+
+        /// The mapped bytes.
+        pub fn as_slice(&self) -> &[u8] {
+            // SAFETY: `ptr` came from a successful `mmap` of exactly
+            // `len` readable bytes and stays mapped until `Drop` runs
+            // (`munmap` is the only unmap site, and `&self` borrows
+            // prevent it running concurrently). The mapping is private to
+            // this struct and read-only, so no aliasing `&mut` exists.
+            // Reads within `len` are in-bounds even past the file's
+            // logical end: capacity is preallocated with `set_len`, so
+            // every mapped page is backed.
+            unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+        }
+
+        /// Mapped length in bytes.
+        pub fn len(&self) -> usize {
+            self.len
+        }
+
+        /// True when nothing is mapped (never constructed; see `new`).
+        pub fn is_empty(&self) -> bool {
+            self.len == 0
+        }
+    }
+
+    // SAFETY: the mapping is read-only and the struct owns it exclusively
+    // until Drop; sharing `&Mmap` across threads only performs concurrent
+    // reads of immutable-from-this-side pages, and moving the struct moves
+    // plain pointer + length values.
+    unsafe impl Send for Mmap {}
+    // SAFETY: as above — `&Mmap` exposes only `&[u8]` reads.
+    unsafe impl Sync for Mmap {}
+
+    impl Drop for Mmap {
+        fn drop(&mut self) {
+            // SAFETY: `ptr`/`len` are the exact values returned by the
+            // successful `mmap` in `new`; this is the only unmap site and
+            // runs at most once (Drop). Any `&[u8]` handed out borrowed
+            // `self`, so none outlive this point.
+            unsafe {
+                munmap(self.ptr, self.len);
+            }
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod mm {
+    //! Non-unix stub: never constructs, so every fetch takes the
+    //! positioned-read path.
+
+    use std::fs::File;
+
+    #[derive(Debug)]
+    pub struct Mmap;
+
+    impl Mmap {
+        pub fn new(_file: &File, _len: usize) -> Option<Mmap> {
+            None
+        }
+
+        pub fn as_slice(&self) -> &[u8] {
+            &[]
+        }
+
+        pub fn len(&self) -> usize {
+            0
+        }
+
+        pub fn is_empty(&self) -> bool {
+            true
+        }
+    }
+}
+
+pub use mm::Mmap;
+
+// ---------------------------------------------------------------------------
+// Positioned I/O helpers (pread/pwrite equivalents).
+
+#[cfg(unix)]
+fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    file.read_exact_at(buf, offset)
+}
+
+#[cfg(windows)]
+fn read_exact_at(file: &File, mut buf: &mut [u8], mut offset: u64) -> io::Result<()> {
+    use std::os::windows::fs::FileExt;
+    while !buf.is_empty() {
+        let n = file.seek_read(buf, offset)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "short positioned read",
+            ));
+        }
+        buf = &mut buf[n..];
+        offset += n as u64;
+    }
+    Ok(())
+}
+
+#[cfg(unix)]
+fn write_all_at(file: &File, buf: &[u8], offset: u64) -> io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    file.write_all_at(buf, offset)
+}
+
+#[cfg(windows)]
+fn write_all_at(file: &File, mut buf: &[u8], mut offset: u64) -> io::Result<()> {
+    use std::os::windows::fs::FileExt;
+    while !buf.is_empty() {
+        let n = file.seek_write(buf, offset)?;
+        buf = &buf[n..];
+        offset += n as u64;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Framing.
+
+/// How the read side accesses segment bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessMode {
+    /// Memory-map each shard file (unix); falls back to `Pread` per shard
+    /// when the mapping cannot be established.
+    Mmap,
+    /// Positioned reads into a caller-supplied scratch buffer.
+    Pread,
+}
+
+impl AccessMode {
+    /// Platform default: mmap on unix unless `TAHOMA_STORE_NO_MMAP` is
+    /// set, positioned reads elsewhere.
+    pub fn auto() -> AccessMode {
+        if cfg!(unix) && std::env::var_os("TAHOMA_STORE_NO_MMAP").is_none() {
+            AccessMode::Mmap
+        } else {
+            AccessMode::Pread
+        }
+    }
+}
+
+/// A parsed record header.
+#[derive(Debug, Clone, Copy)]
+struct RecHeader {
+    id: u64,
+    rep: Representation,
+    len: u32,
+    crc: u32,
+}
+
+/// Frame one record header + payload into `buf` (cleared first).
+fn encode_record(buf: &mut Vec<u8>, id: u64, rep: Representation, payload: &[u8]) {
+    buf.clear();
+    buf.reserve(RECORD_HEADER_LEN + payload.len());
+    buf.put_slice(&RECORD_MAGIC);
+    buf.put_u64_le(id);
+    buf.put_u32_le(rep.size as u32);
+    buf.put_u8(mode_code(rep.mode));
+    buf.put_u32_le(payload.len() as u32);
+    buf.put_u32_le(crc32(payload));
+    buf.put_slice(payload);
+}
+
+/// Parse a record header, `None` on bad magic / unknown mode / absurd
+/// size — all of which terminate the recovery scan.
+fn parse_record_header(bytes: &[u8]) -> Option<RecHeader> {
+    if bytes.len() < RECORD_HEADER_LEN || bytes[..4] != RECORD_MAGIC {
+        return None;
+    }
+    let mut b = &bytes[4..];
+    let id = b.get_u64_le();
+    let size = b.get_u32_le();
+    let mode = mode_from_code(b.get_u8()).ok()?;
+    let len = b.get_u32_le();
+    let crc = b.get_u32_le();
+    if size == 0 || size > 1 << 16 {
+        return None;
+    }
+    Some(RecHeader {
+        id,
+        rep: Representation::new(size as usize, mode),
+        len,
+        crc,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Shard state.
+
+#[derive(Debug)]
+struct ShardWriter {
+    file: File,
+    /// End of the valid record region (everything below is durable frame
+    /// data; everything above is preallocated zeros).
+    committed: u64,
+    /// Allocated file length (`set_len`), what the mmap covers.
+    capacity: u64,
+    /// Capacity changed since the last published map.
+    map_stale: bool,
+    /// Reusable frame buffer so steady-state appends don't allocate.
+    scratch: Vec<u8>,
+}
+
+#[derive(Debug, Default)]
+struct ShardIndex {
+    /// `(id, rep)` → (payload offset, payload length).
+    entries: BTreeMap<(u64, Representation), (u64, u32)>,
+    /// Current read map (mmap mode only). Readers clone the `Arc` under
+    /// the lock and read bytes after releasing it; superseded maps are
+    /// unmapped when their last reader drops.
+    map: Option<Arc<Mmap>>,
+    /// Committed bytes including record headers (stats).
+    bytes: u64,
+}
+
+#[derive(Debug)]
+struct Shard {
+    /// Dedicated read handle: positioned reads need no lock and never
+    /// touch the writer's cursorless append handle.
+    reader: File,
+    // Append state: file handle, committed/capacity watermarks, frame
+    // scratch. Held across the publish into `seg_index` (rank ascends).
+    // LOCK-ORDER: 70
+    seg_writer: Mutex<ShardWriter>,
+    // Entry map + current mmap snapshot. Fetches hold this only long
+    // enough to copy an entry and clone the map Arc.
+    // LOCK-ORDER: 71
+    seg_index: Mutex<ShardIndex>,
+}
+
+/// Poison-tolerant lock (same idiom as `tahoma-serve`): an unrelated
+/// panic must not wedge the store; critical sections publish fully-formed
+/// values, so a poisoned guard holds consistent state.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// What the open-time recovery scan found.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Complete, CRC-valid records indexed.
+    pub records: u64,
+    /// Bytes discarded past the last complete record (torn tails and
+    /// preallocated-but-unwritten capacity).
+    pub truncated_bytes: u64,
+    /// Shards whose file had to be (re)initialized from scratch.
+    pub reinitialized_shards: usize,
+}
+
+struct ScanResult {
+    committed: u64,
+    records: u64,
+    entries: BTreeMap<(u64, Representation), (u64, u32)>,
+    bytes: u64,
+}
+
+/// Item-id-sharded persistent segment store. All operations take `&self`;
+/// per-shard mutexes serialize appends while fetches run lock-free after
+/// an index snapshot.
+#[derive(Debug)]
+pub struct SegmentStore {
+    dir: PathBuf,
+    mode: AccessMode,
+    shards: Vec<Shard>,
+}
+
+fn shard_path(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("shard-{shard:04}.seg"))
+}
+
+fn encode_file_header(shard: u32) -> [u8; SEGMENT_HEADER_LEN as usize] {
+    let mut h = [0u8; SEGMENT_HEADER_LEN as usize];
+    h[..4].copy_from_slice(&SEGMENT_MAGIC);
+    h[4..8].copy_from_slice(&SEGMENT_VERSION.to_le_bytes());
+    h[8..12].copy_from_slice(&shard.to_le_bytes());
+    h
+}
+
+fn bad_data(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+impl SegmentStore {
+    /// Create a fresh store under `dir` (existing shard files are
+    /// truncated). `shards` must be at least 1.
+    pub fn create(dir: &Path, shards: usize, mode: AccessMode) -> io::Result<SegmentStore> {
+        assert!(shards >= 1, "segment store needs at least one shard");
+        fs::create_dir_all(dir)?;
+        let mut out = Vec::with_capacity(shards);
+        for s in 0..shards {
+            let file = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(shard_path(dir, s))?;
+            write_all_at(&file, &encode_file_header(s as u32), 0)?;
+            let reader = File::open(shard_path(dir, s))?;
+            out.push(Shard {
+                reader,
+                seg_writer: Mutex::new(ShardWriter {
+                    file,
+                    committed: SEGMENT_HEADER_LEN,
+                    capacity: SEGMENT_HEADER_LEN,
+                    map_stale: false,
+                    scratch: Vec::new(),
+                }),
+                seg_index: Mutex::new(ShardIndex::default()),
+            });
+        }
+        Ok(SegmentStore {
+            dir: dir.to_path_buf(),
+            mode,
+            shards: out,
+        })
+    }
+
+    /// Open an existing store, rebuilding each shard's index by scanning
+    /// record headers and verifying payload CRCs. The scan stops at the
+    /// first incomplete or corrupt record (a torn tail from a crash, or
+    /// the zero-filled preallocation region) and the file is truncated to
+    /// the last complete record — later appends resume cleanly.
+    pub fn open(
+        dir: &Path,
+        shards: usize,
+        mode: AccessMode,
+    ) -> io::Result<(SegmentStore, RecoveryReport)> {
+        assert!(shards >= 1, "segment store needs at least one shard");
+        let mut report = RecoveryReport::default();
+        let mut out = Vec::with_capacity(shards);
+        for s in 0..shards {
+            let path = shard_path(dir, s);
+            let file = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                // Existing bytes are the recovered data — never truncate
+                // here; the scan below trims any torn tail itself.
+                .truncate(false)
+                .open(&path)?;
+            let file_len = file.metadata()?.len();
+            let scan = if file_len < SEGMENT_HEADER_LEN {
+                // Crash before this shard's header made it to disk (or a
+                // brand-new file): reinitialize as empty.
+                write_all_at(&file, &encode_file_header(s as u32), 0)?;
+                report.reinitialized_shards += 1;
+                ScanResult {
+                    committed: SEGMENT_HEADER_LEN,
+                    records: 0,
+                    entries: BTreeMap::new(),
+                    bytes: 0,
+                }
+            } else {
+                Self::scan_shard(&file, s as u32)?
+            };
+            report.records += scan.records;
+            report.truncated_bytes += file_len.saturating_sub(scan.committed.min(file_len));
+            // Drop the torn tail / preallocated zeros so the file length
+            // is again exactly the committed data.
+            file.set_len(scan.committed)?;
+            let reader = File::open(&path)?;
+            let map = match mode {
+                AccessMode::Mmap => Mmap::new(&file, scan.committed as usize).map(Arc::new),
+                AccessMode::Pread => None,
+            };
+            out.push(Shard {
+                reader,
+                seg_writer: Mutex::new(ShardWriter {
+                    file,
+                    committed: scan.committed,
+                    capacity: scan.committed,
+                    map_stale: false,
+                    scratch: Vec::new(),
+                }),
+                seg_index: Mutex::new(ShardIndex {
+                    entries: scan.entries,
+                    map,
+                    bytes: scan.bytes,
+                }),
+            });
+        }
+        Ok((
+            SegmentStore {
+                dir: dir.to_path_buf(),
+                mode,
+                shards: out,
+            },
+            report,
+        ))
+    }
+
+    /// Sequentially scan one shard file: validate the file header, then
+    /// walk records verifying CRCs until the first incomplete/corrupt one.
+    fn scan_shard(file: &File, shard: u32) -> io::Result<ScanResult> {
+        let file_len = file.metadata()?.len();
+        let mut rd = BufReader::with_capacity(1 << 16, file);
+        // The handle may have been scanned before (verify after open);
+        // the scan always starts from byte 0.
+        rd.seek(SeekFrom::Start(0))?;
+        let mut header = [0u8; SEGMENT_HEADER_LEN as usize];
+        rd.read_exact(&mut header)?;
+        if header[..4] != SEGMENT_MAGIC {
+            return Err(bad_data(format!("shard {shard}: bad segment magic")));
+        }
+        let version = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        if version != SEGMENT_VERSION {
+            return Err(bad_data(format!(
+                "shard {shard}: segment version {version}, expected {SEGMENT_VERSION}"
+            )));
+        }
+        let stored_shard = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+        if stored_shard != shard {
+            return Err(bad_data(format!(
+                "shard file mismatch: header says shard {stored_shard}, path says {shard}"
+            )));
+        }
+
+        let mut entries = BTreeMap::new();
+        let mut committed = SEGMENT_HEADER_LEN;
+        let mut records = 0u64;
+        let mut bytes = 0u64;
+        let mut rec_header = [0u8; RECORD_HEADER_LEN];
+        let mut chunk = [0u8; 1 << 16];
+        loop {
+            if committed + RECORD_HEADER_LEN as u64 > file_len {
+                break;
+            }
+            rd.read_exact(&mut rec_header)?;
+            let Some(h) = parse_record_header(&rec_header) else {
+                break; // zero tail, torn header, or foreign bytes
+            };
+            let payload_end = committed + RECORD_HEADER_LEN as u64 + u64::from(h.len);
+            if payload_end > file_len {
+                break; // payload torn past EOF
+            }
+            // Stream the payload through the CRC without materializing it.
+            let mut remaining = h.len as usize;
+            let mut state = CRC_INIT;
+            while remaining > 0 {
+                let take = remaining.min(chunk.len());
+                rd.read_exact(&mut chunk[..take])?;
+                state = crc_update(state, &chunk[..take]);
+                remaining -= take;
+            }
+            if crc_finish(state) != h.crc {
+                break; // torn payload overwritten by zeros, or bit rot
+            }
+            entries.insert((h.id, h.rep), (committed + RECORD_HEADER_LEN as u64, h.len));
+            records += 1;
+            bytes += RECORD_HEADER_LEN as u64 + u64::from(h.len);
+            committed = payload_end;
+        }
+        Ok(ScanResult {
+            committed,
+            records,
+            entries,
+            bytes,
+        })
+    }
+
+    /// Shard index for an item id.
+    #[inline]
+    pub fn shard_of(&self, id: u64) -> usize {
+        (id % self.shards.len() as u64) as usize
+    }
+
+    /// Append one record. Only this item's shard is locked, so ingest
+    /// fans out across shards. The entry becomes fetchable once the index
+    /// publish completes.
+    pub fn append(&self, id: u64, rep: Representation, payload: &[u8]) -> io::Result<()> {
+        let shard = &self.shards[self.shard_of(id)];
+        let rec_len = RECORD_HEADER_LEN as u64 + payload.len() as u64;
+        let mut w = lock(&shard.seg_writer);
+        let off = w.committed;
+        let end = off + rec_len;
+        if end > w.capacity {
+            // Preallocate in doubling steps: the zero tail terminates the
+            // recovery scan, and a stable capacity keeps one mmap valid
+            // across many appends.
+            let cap = end.max(w.capacity * 2).max(MIN_CAPACITY_STEP);
+            w.file.set_len(cap)?;
+            w.capacity = cap;
+            w.map_stale = true;
+        }
+        let mut buf = std::mem::take(&mut w.scratch);
+        encode_record(&mut buf, id, rep, payload);
+        let res = write_all_at(&w.file, &buf, off);
+        w.scratch = buf;
+        res?;
+        w.committed = end;
+        // Publish under the index lock while still holding the writer
+        // lock (ranks 70 → 71, ascending).
+        let mut ix = lock(&shard.seg_index);
+        if self.mode == AccessMode::Mmap && (w.map_stale || ix.map.is_none()) {
+            ix.map = Mmap::new(&w.file, w.capacity as usize).map(Arc::new);
+            if ix.map.is_some() {
+                w.map_stale = false;
+            }
+        }
+        ix.entries.insert(
+            (id, rep),
+            (off + RECORD_HEADER_LEN as u64, payload.len() as u32),
+        );
+        ix.bytes += rec_len;
+        Ok(())
+    }
+
+    /// Run `f` over one record's payload bytes. In mmap mode the bytes
+    /// come straight from the page cache with no copy; otherwise they are
+    /// pread into `scratch` (resized as needed). `Ok(None)` when the
+    /// record was never appended.
+    pub fn with_payload<R>(
+        &self,
+        id: u64,
+        rep: Representation,
+        scratch: &mut Vec<u8>,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> io::Result<Option<R>> {
+        let shard = &self.shards[self.shard_of(id)];
+        let (off, len, map) = {
+            let ix = lock(&shard.seg_index);
+            let Some(&(off, len)) = ix.entries.get(&(id, rep)) else {
+                return Ok(None);
+            };
+            (off, len, ix.map.clone())
+        };
+        let end = off as usize + len as usize;
+        if let Some(m) = map {
+            if end <= m.len() {
+                return Ok(Some(f(&m.as_slice()[off as usize..end])));
+            }
+        }
+        scratch.resize(len as usize, 0);
+        read_exact_at(&shard.reader, scratch, off)?;
+        Ok(Some(f(scratch)))
+    }
+
+    /// Stored payload length for a record, if present.
+    pub fn payload_len(&self, id: u64, rep: Representation) -> Option<usize> {
+        let shard = &self.shards[self.shard_of(id)];
+        let ix = lock(&shard.seg_index);
+        ix.entries.get(&(id, rep)).map(|&(_, len)| len as usize)
+    }
+
+    /// True when the record exists.
+    pub fn contains(&self, id: u64, rep: Representation) -> bool {
+        self.payload_len(id, rep).is_some()
+    }
+
+    /// Total indexed records across shards.
+    pub fn records(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| lock(&s.seg_index).entries.len() as u64)
+            .sum()
+    }
+
+    /// Committed bytes across shards (record headers + payloads, not
+    /// counting file headers or preallocated capacity).
+    pub fn committed_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| lock(&s.seg_index).bytes).sum()
+    }
+
+    /// Distinct item ids across shards.
+    pub fn distinct_ids(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| {
+                let ix = lock(&s.seg_index);
+                let ids: HashSet<u64> = ix.entries.keys().map(|&(id, _)| id).collect();
+                ids.len() as u64
+            })
+            .sum()
+    }
+
+    /// Every `(id, rep)` key, shard by shard (test/verification surface;
+    /// snapshots the index, so O(records) memory).
+    pub fn keys(&self) -> Vec<(u64, Representation)> {
+        let mut out = Vec::new();
+        for s in &self.shards {
+            out.extend(lock(&s.seg_index).entries.keys().copied());
+        }
+        out
+    }
+
+    /// Durability + compaction point: truncate each shard to its
+    /// committed length (dropping preallocated zeros) and flush file
+    /// data. After `sync`, `open` finds exactly the appended records.
+    pub fn sync(&self) -> io::Result<()> {
+        for s in &self.shards {
+            let mut w = lock(&s.seg_writer);
+            if w.capacity != w.committed {
+                w.file.set_len(w.committed)?;
+                w.capacity = w.committed;
+                // Existing maps stay valid for reads below `committed`
+                // (their pages are still backed); new appends regrow and
+                // remap.
+                w.map_stale = true;
+            }
+            w.file.sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// Re-scan every shard file, CRC-checking all records, and compare
+    /// against the live index — the persistence smoke test's deep check.
+    /// Returns the number of verified records.
+    pub fn verify_all(&self) -> io::Result<u64> {
+        let mut verified = 0u64;
+        for (s, shard) in self.shards.iter().enumerate() {
+            // Stabilize the file length for the sequential scan.
+            let w = lock(&shard.seg_writer);
+            let scan = Self::scan_shard(&w.file, s as u32)?;
+            drop(w);
+            let ix = lock(&shard.seg_index);
+            if scan.entries != ix.entries {
+                return Err(bad_data(format!(
+                    "shard {s}: on-disk scan found {} records, index holds {}",
+                    scan.entries.len(),
+                    ix.entries.len()
+                )));
+            }
+            verified += scan.records;
+        }
+        Ok(verified)
+    }
+
+    /// Shard count.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Configured access mode (individual shards may still fall back to
+    /// pread when a mapping cannot be established).
+    pub fn mode(&self) -> AccessMode {
+        self.mode
+    }
+
+    /// Store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::ColorMode;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let seq = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("tahoma-seg-{tag}-{}-{seq}", std::process::id()));
+        fs::create_dir_all(&dir).expect("temp dir");
+        dir
+    }
+
+    fn rep(size: usize, mode: ColorMode) -> Representation {
+        Representation::new(size, mode)
+    }
+
+    fn payload(id: u64, len: usize) -> Vec<u8> {
+        (0..len)
+            .map(|i| ((id as usize * 131 + i * 7) % 251) as u8)
+            .collect()
+    }
+
+    fn fetch(store: &SegmentStore, id: u64, r: Representation) -> Option<Vec<u8>> {
+        let mut scratch = Vec::new();
+        store
+            .with_payload(id, r, &mut scratch, |b| b.to_vec())
+            .expect("io")
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn append_fetch_roundtrip_both_modes() {
+        for mode in [AccessMode::Mmap, AccessMode::Pread] {
+            let dir = tmp_dir("roundtrip");
+            let store = SegmentStore::create(&dir, 4, mode).expect("create");
+            let reps = [rep(30, ColorMode::Gray), rep(60, ColorMode::Rgb)];
+            for id in 0..64u64 {
+                for (k, &r) in reps.iter().enumerate() {
+                    store
+                        .append(id, r, &payload(id * 10 + k as u64, 100 + k * 57))
+                        .expect("append");
+                }
+            }
+            assert_eq!(store.records(), 128);
+            assert_eq!(store.distinct_ids(), 64);
+            for id in 0..64u64 {
+                for (k, &r) in reps.iter().enumerate() {
+                    let got = fetch(&store, id, r).expect("present");
+                    assert_eq!(got, payload(id * 10 + k as u64, 100 + k * 57), "{mode:?}");
+                }
+            }
+            assert!(fetch(&store, 999, reps[0]).is_none());
+            assert!(fetch(&store, 0, rep(224, ColorMode::Blue)).is_none());
+            fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn reopen_recovers_everything_after_sync() {
+        let dir = tmp_dir("reopen");
+        let r = rep(30, ColorMode::Gray);
+        {
+            let store = SegmentStore::create(&dir, 3, AccessMode::Pread).expect("create");
+            for id in 0..40u64 {
+                store.append(id, r, &payload(id, 64)).expect("append");
+            }
+            store.sync().expect("sync");
+        }
+        let (store, report) = SegmentStore::open(&dir, 3, AccessMode::Mmap).expect("open");
+        assert_eq!(report.records, 40);
+        assert_eq!(report.truncated_bytes, 0);
+        assert_eq!(report.reinitialized_shards, 0);
+        for id in 0..40u64 {
+            assert_eq!(fetch(&store, id, r).expect("present"), payload(id, 64));
+        }
+        assert_eq!(store.verify_all().expect("verify"), 40);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reopen_without_sync_drops_only_preallocated_tail() {
+        // No sync: files keep their preallocated zero tails, exactly the
+        // state after a crash between appends. Recovery must keep every
+        // complete record and truncate the zeros.
+        let dir = tmp_dir("nosync");
+        let r = rep(30, ColorMode::Gray);
+        {
+            let store = SegmentStore::create(&dir, 2, AccessMode::Mmap).expect("create");
+            for id in 0..10u64 {
+                store.append(id, r, &payload(id, 256)).expect("append");
+            }
+            // `store` dropped without sync.
+        }
+        let (store, report) = SegmentStore::open(&dir, 2, AccessMode::Mmap).expect("open");
+        assert_eq!(report.records, 10);
+        assert!(
+            report.truncated_bytes > 0,
+            "prealloc tail should be dropped"
+        );
+        for id in 0..10u64 {
+            assert_eq!(fetch(&store, id, r).expect("present"), payload(id, 256));
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_recovers_to_last_complete_record() {
+        let dir = tmp_dir("torn");
+        let r = rep(30, ColorMode::Gray);
+        let n = 12u64;
+        {
+            let store = SegmentStore::create(&dir, 1, AccessMode::Pread).expect("create");
+            for id in 0..n {
+                store.append(id, r, &payload(id, 200)).expect("append");
+            }
+            store.sync().expect("sync");
+        }
+        let path = shard_path(&dir, 0);
+        let orig = fs::read(&path).expect("read");
+        let full = orig.len() as u64;
+        let rec = (RECORD_HEADER_LEN + 200) as u64;
+        // Tear cases: mid-payload of the last record, mid-header of the
+        // last record, exactly at a record boundary, and a deep tear.
+        for (cut, survivors) in [
+            (full - 100, n - 1),          // payload torn
+            (full - rec + 10, n - 1),     // header torn
+            (full - rec, n - 1),          // clean boundary
+            (full - 2 * rec - 37, n - 3), // deep tear loses two + partial
+        ] {
+            fs::write(&path, &orig).expect("restore");
+            let f = OpenOptions::new().write(true).open(&path).expect("open");
+            f.set_len(cut).expect("tear");
+            drop(f);
+            let (store, report) = SegmentStore::open(&dir, 1, AccessMode::Mmap).expect("open");
+            assert_eq!(report.records, survivors, "cut at {cut}");
+            for id in 0..survivors {
+                assert_eq!(fetch(&store, id, r).expect("survivor"), payload(id, 200));
+            }
+            for id in survivors..n {
+                assert!(
+                    fetch(&store, id, r).is_none(),
+                    "torn record {id} resurrected"
+                );
+            }
+            // Appends after recovery work and re-verify.
+            store.append(1000, r, &payload(1000, 200)).expect("append");
+            assert_eq!(
+                fetch(&store, 1000, r).expect("appended"),
+                payload(1000, 200)
+            );
+            store.sync().expect("sync");
+            assert_eq!(store.verify_all().expect("verify"), survivors + 1);
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_payload_is_dropped_not_served() {
+        let dir = tmp_dir("corrupt");
+        let r = rep(30, ColorMode::Gray);
+        {
+            let store = SegmentStore::create(&dir, 1, AccessMode::Pread).expect("create");
+            for id in 0..5u64 {
+                store.append(id, r, &payload(id, 128)).expect("append");
+            }
+            store.sync().expect("sync");
+        }
+        let path = shard_path(&dir, 0);
+        let mut bytes = fs::read(&path).expect("read");
+        // Flip one payload byte of the final record.
+        let n = bytes.len();
+        bytes[n - 10] ^= 0xFF;
+        fs::write(&path, &bytes).expect("write");
+        let (store, report) = SegmentStore::open(&dir, 1, AccessMode::Pread).expect("open");
+        assert_eq!(report.records, 4, "corrupt record must not be indexed");
+        assert!(fetch(&store, 4, r).is_none());
+        for id in 0..4u64 {
+            assert_eq!(fetch(&store, id, r).expect("intact"), payload(id, 128));
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn verify_all_detects_bit_rot_under_live_index() {
+        let dir = tmp_dir("bitrot");
+        let r = rep(30, ColorMode::Gray);
+        let store = SegmentStore::create(&dir, 1, AccessMode::Pread).expect("create");
+        for id in 0..6u64 {
+            store.append(id, r, &payload(id, 64)).expect("append");
+        }
+        store.sync().expect("sync");
+        assert_eq!(store.verify_all().expect("clean"), 6);
+        // Corrupt a middle record behind the store's back.
+        let path = shard_path(&dir, 0);
+        let mut bytes = fs::read(&path).expect("read");
+        let mid =
+            SEGMENT_HEADER_LEN as usize + 2 * (RECORD_HEADER_LEN + 64) + RECORD_HEADER_LEN + 5;
+        bytes[mid] ^= 0x01;
+        fs::write(&path, &bytes).expect("write");
+        assert!(
+            store.verify_all().is_err(),
+            "bit rot must fail verification"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn last_write_wins_for_duplicate_keys() {
+        let dir = tmp_dir("dup");
+        let r = rep(30, ColorMode::Gray);
+        let store = SegmentStore::create(&dir, 2, AccessMode::Pread).expect("create");
+        store.append(7, r, &payload(1, 50)).expect("append");
+        store.append(7, r, &payload(2, 80)).expect("append");
+        assert_eq!(fetch(&store, 7, r).expect("present"), payload(2, 80));
+        assert_eq!(store.records(), 1);
+        store.sync().expect("sync");
+        drop(store);
+        let (store, _) = SegmentStore::open(&dir, 2, AccessMode::Pread).expect("open");
+        assert_eq!(fetch(&store, 7, r).expect("present"), payload(2, 80));
+        assert_eq!(store.records(), 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_shard_fanout_appends_and_fetches() {
+        let dir = tmp_dir("fanout");
+        let store = SegmentStore::create(&dir, 4, AccessMode::Mmap).expect("create");
+        let r = rep(30, ColorMode::Gray);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let store = &store;
+                s.spawn(move || {
+                    for i in 0..50u64 {
+                        let id = t + i * 4; // each thread owns one shard
+                        store.append(id, r, &payload(id, 120)).expect("append");
+                        let mut scratch = Vec::new();
+                        let got = store
+                            .with_payload(id, r, &mut scratch, |b| b.to_vec())
+                            .expect("io")
+                            .expect("just appended");
+                        assert_eq!(got, payload(id, 120));
+                    }
+                });
+            }
+        });
+        assert_eq!(store.records(), 200);
+        fs::remove_dir_all(&dir).ok();
+    }
+}

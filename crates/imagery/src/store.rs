@@ -6,8 +6,30 @@
 //! per frame with the raw codec (one byte per sample, the layout the cost
 //! model prices). At query time a model fetches exactly its
 //! representation's bytes — no full-frame load, no transform. The store
-//! tracks byte totals so storage-amplification tradeoffs (how many
-//! representations is it worth pre-computing?) are measurable.
+//! tracks byte totals so storage-amplification tradeoffs (paper §V: how
+//! many representations is it worth pre-computing?) are measurable — and,
+//! with the persistent tier, *payable*: `tahoma_costmodel::io` prices each
+//! lattice node's materialize-vs-transcode-on-demand decision against this
+//! store's measured read throughput, which is how a byte budget turns into
+//! a concrete representation set for [`RepresentationStore::persistent`].
+//!
+//! Two storage tiers, one API:
+//!
+//! * **RAM** ([`RepresentationStore::new`]) — encoded blobs in a hash map,
+//!   the fixture/testing layout, and the latency floor the persistent tier
+//!   is benchmarked against.
+//! * **Persistent** ([`RepresentationStore::persistent`] /
+//!   [`RepresentationStore::open`]) — item-id-sharded append-only segment
+//!   files with mmap (or pread) read access, crash recovery, and CRC
+//!   integrity (see [`crate::segment`]). The corpus no longer has to fit
+//!   in RAM, and a process restart [`RepresentationStore::open`]s the
+//!   ingested corpus back byte-identically.
+//!
+//! All reads go through the shared-borrow [`RepresentationStore::fetch`]:
+//! the caller supplies the [`TranscodeEngine`] whose buffer pool receives
+//! the decode, so many query sessions fetch from one store concurrently,
+//! each with its own pool. (The store's own engine is used only at
+//! ingest.)
 //!
 //! Materialization runs through an owned [`TranscodeEngine`] executing a
 //! [`TranscodePlan`] built once per source shape (see [`crate::engine`]):
@@ -21,14 +43,37 @@ use crate::engine::{TranscodeCosts, TranscodeEngine, TranscodePlan};
 use crate::error::ImageryError;
 use crate::image::Image;
 use crate::repr::Representation;
+use crate::segment::{AccessMode, RecoveryReport, SegmentStore, RECORD_HEADER_LEN};
 use bytes::Bytes;
 use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
 
-/// In-memory stand-in for the SSD-backed representation store.
+/// Store manifest file name (records shard count + representation set so
+/// [`RepresentationStore::open`] needs only the directory).
+const MANIFEST: &str = "manifest.tsm";
+const MANIFEST_HEADER: &str = "tahoma-store v1";
+
+/// Where the encoded blobs live.
+#[derive(Debug)]
+enum Tier {
+    /// Per-process hash map (the fixture layout and the latency floor).
+    Ram(HashMap<(u64, Representation), Bytes>),
+    /// Sharded append-only segment files (see [`crate::segment`]).
+    Disk(SegmentStore),
+}
+
+impl Default for Tier {
+    fn default() -> Tier {
+        Tier::Ram(HashMap::new())
+    }
+}
+
+/// The representation store; see the module docs for the tier layout.
 #[derive(Debug, Default)]
 pub struct RepresentationStore {
     reps: Vec<Representation>,
-    blobs: HashMap<(u64, Representation), Bytes>,
+    tier: Tier,
     total_bytes: usize,
     ingested: u64,
     engine: TranscodeEngine,
@@ -41,19 +86,73 @@ pub struct RepresentationStore {
 }
 
 impl RepresentationStore {
-    /// Create a store that materializes the given representations on
-    /// ingest. Panics on an empty set.
+    /// Create a RAM-tier store that materializes the given representations
+    /// on ingest. Panics on an empty set.
     pub fn new(reps: Vec<Representation>) -> RepresentationStore {
         assert!(!reps.is_empty(), "store needs at least one representation");
         RepresentationStore {
             reps,
-            blobs: HashMap::new(),
-            total_bytes: 0,
-            ingested: 0,
-            engine: TranscodeEngine::new(),
-            plans: HashMap::new(),
-            last_shape: None,
+            ..RepresentationStore::default()
         }
+    }
+
+    /// Create a persistent store under `dir` with `shards` segment files
+    /// (existing segment data is truncated) using the platform-default
+    /// access mode. The manifest written alongside lets
+    /// [`RepresentationStore::open`] reconstruct the configuration.
+    pub fn persistent(
+        reps: Vec<Representation>,
+        dir: &Path,
+        shards: usize,
+    ) -> Result<RepresentationStore, ImageryError> {
+        Self::persistent_with_mode(reps, dir, shards, AccessMode::auto())
+    }
+
+    /// [`RepresentationStore::persistent`] with an explicit access mode
+    /// (benches pin `Mmap` vs `Pread` to measure both read paths).
+    pub fn persistent_with_mode(
+        reps: Vec<Representation>,
+        dir: &Path,
+        shards: usize,
+        mode: AccessMode,
+    ) -> Result<RepresentationStore, ImageryError> {
+        assert!(!reps.is_empty(), "store needs at least one representation");
+        let seg = SegmentStore::create(dir, shards, mode)?;
+        write_manifest(dir, shards, &reps)?;
+        Ok(RepresentationStore {
+            reps,
+            tier: Tier::Disk(seg),
+            ..RepresentationStore::default()
+        })
+    }
+
+    /// Reopen a persistent store from its directory, recovering each shard
+    /// to its last complete record (see [`crate::segment`]). Frame and
+    /// byte accounting are rebuilt from the recovered indexes.
+    pub fn open(dir: &Path) -> Result<(RepresentationStore, RecoveryReport), ImageryError> {
+        Self::open_with_mode(dir, AccessMode::auto())
+    }
+
+    /// [`RepresentationStore::open`] with an explicit access mode.
+    pub fn open_with_mode(
+        dir: &Path,
+        mode: AccessMode,
+    ) -> Result<(RepresentationStore, RecoveryReport), ImageryError> {
+        let (shards, reps) = read_manifest(dir)?;
+        let (seg, report) = SegmentStore::open(dir, shards, mode)?;
+        let ingested = seg.distinct_ids();
+        let total_bytes =
+            (seg.committed_bytes() - seg.records() * RECORD_HEADER_LEN as u64) as usize;
+        Ok((
+            RepresentationStore {
+                reps,
+                tier: Tier::Disk(seg),
+                total_bytes,
+                ingested,
+                ..RepresentationStore::default()
+            },
+            report,
+        ))
     }
 
     /// The representations materialized per frame.
@@ -64,6 +163,8 @@ impl RepresentationStore {
     /// Ingest one full-resolution RGB frame: produce and encode every
     /// configured representation through the engine's lattice plan (shared
     /// luma, borrowed planes, cached resize tables — no per-frame setup).
+    /// Persistent-tier appends touch only the shards owning this id, so
+    /// concurrent ingest streams fan out across shards.
     pub fn ingest(&mut self, id: u64, full: &Image) -> Result<(), ImageryError> {
         let shape = (full.width(), full.height());
         let reps = &self.reps;
@@ -75,7 +176,12 @@ impl RepresentationStore {
         for (&rep, image) in self.reps.iter().zip(&materialized) {
             let bytes = RawCodec.encode(image);
             self.total_bytes += bytes.len();
-            self.blobs.insert((id, rep), bytes);
+            match &mut self.tier {
+                Tier::Ram(blobs) => {
+                    blobs.insert((id, rep), bytes);
+                }
+                Tier::Disk(seg) => seg.append(id, rep, &bytes)?,
+            }
         }
         // Only the encoded bytes are kept; the pixel buffers feed the next
         // frame's materialization instead of the allocator.
@@ -107,63 +213,75 @@ impl RepresentationStore {
         Some((priced.planned_cost_s(), priced.direct_cost_s()))
     }
 
-    /// Fetch one stored representation, decoding it to pixels. Routed
-    /// through [`RepresentationStore::fetch_into`], so repeated fetches of
-    /// same-shaped blobs reuse pooled buffers instead of allocating.
-    /// `None` when the frame or representation was never ingested.
-    pub fn fetch(&mut self, id: u64, rep: Representation) -> Option<Result<Image, ImageryError>> {
-        self.fetch_into(id, rep)
-    }
-
-    /// Pooled fetch: decode one stored representation into a buffer
-    /// recycled from the engine's pool (fresh only on first use per
-    /// shape). Together with [`RepresentationStore::recycle`] this makes
-    /// steady-state query-time scoring allocation-free, matching the
-    /// ingest path's discipline. `None` when the frame or representation
-    /// was never ingested.
-    pub fn fetch_into(
-        &mut self,
-        id: u64,
-        rep: Representation,
-    ) -> Option<Result<Image, ImageryError>> {
-        let blob = self.blobs.get(&(id, rep))?;
-        let buf = self.engine.take_buffer(rep.value_count());
-        Some(RawCodec.decode_into(blob, buf))
-    }
-
-    /// Read-only fetch for concurrent serving: like
-    /// [`RepresentationStore::fetch_into`], but the store is only borrowed
-    /// shared — the decode buffer comes from a caller-owned
-    /// [`TranscodeEngine`] instead of the store's. Many query sessions can
-    /// decode from one store simultaneously, each with its own engine (and
-    /// thus its own buffer pool), because the blob map is never mutated
-    /// after ingest.
-    pub fn fetch_shared(
+    /// Fetch one stored representation, decoding it into a buffer from the
+    /// caller's engine pool — the single read path for both tiers. The
+    /// store is only borrowed shared, so any number of query sessions
+    /// fetch concurrently, each with its own [`TranscodeEngine`] (and thus
+    /// its own buffer pool); hand decoded images back to *that* engine's
+    /// [`TranscodeEngine::recycle`] and steady-state fetching allocates
+    /// nothing. `None` when the frame or representation was never
+    /// ingested; `Some(Err(ImageryError::Io(..)))` when the persistent
+    /// tier's read fails.
+    pub fn fetch(
         &self,
         id: u64,
         rep: Representation,
         engine: &mut TranscodeEngine,
     ) -> Option<Result<Image, ImageryError>> {
-        let blob = self.blobs.get(&(id, rep))?;
-        let buf = engine.take_buffer(rep.value_count());
-        Some(RawCodec.decode_into(blob, buf))
+        match &self.tier {
+            Tier::Ram(blobs) => {
+                let blob = blobs.get(&(id, rep))?;
+                let buf = engine.take_buffer(rep.value_count());
+                Some(RawCodec.decode_into(blob, buf))
+            }
+            Tier::Disk(seg) => {
+                // The engine's byte scratch serves the pread path; in mmap
+                // mode the decode reads straight out of the page cache.
+                let mut io_buf = engine.take_io_buf();
+                let fetched = seg.with_payload(id, rep, &mut io_buf, |blob| {
+                    let buf = engine.take_buffer(rep.value_count());
+                    RawCodec.decode_into(blob, buf)
+                });
+                engine.put_io_buf(io_buf);
+                match fetched {
+                    Ok(decoded) => decoded,
+                    Err(e) => Some(Err(e.into())),
+                }
+            }
+        }
     }
 
-    /// Hand fetched images back so their buffers feed the next
-    /// [`RepresentationStore::fetch_into`] (or the next ingest) instead of
-    /// the allocator. Purely an optimization, like
-    /// [`TranscodeEngine::recycle`].
-    pub fn recycle(&mut self, images: impl IntoIterator<Item = Image>) {
-        self.engine.recycle(images);
+    /// Run `f` over one stored representation's encoded bytes without
+    /// decoding — the byte-identity surface the persistence tests and the
+    /// smoke verifier compare tiers through. `Ok(None)` when the record
+    /// was never ingested.
+    pub fn with_blob<R>(
+        &self,
+        id: u64,
+        rep: Representation,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<Option<R>, ImageryError> {
+        match &self.tier {
+            Tier::Ram(blobs) => Ok(blobs.get(&(id, rep)).map(|b| f(b))),
+            Tier::Disk(seg) => {
+                let mut scratch = Vec::new();
+                Ok(seg.with_payload(id, rep, &mut scratch, f)?)
+            }
+        }
     }
 
     /// Raw stored bytes for one representation (what the ONGOING load cost
     /// is proportional to).
     pub fn stored_bytes(&self, id: u64, rep: Representation) -> Option<usize> {
-        self.blobs.get(&(id, rep)).map(|b| b.len())
+        match &self.tier {
+            Tier::Ram(blobs) => blobs.get(&(id, rep)).map(|b| b.len()),
+            Tier::Disk(seg) => seg.payload_len(id, rep),
+        }
     }
 
-    /// Total bytes across all frames and representations.
+    /// Total bytes across all frames and representations (encoded payload
+    /// bytes; the persistent tier's per-record framing overhead is not
+    /// counted, so the figure is tier-independent).
     pub fn total_bytes(&self) -> usize {
         self.total_bytes
     }
@@ -181,12 +299,107 @@ impl RepresentationStore {
         }
         (self.total_bytes as f64 / self.ingested as f64) / full_frame_bytes as f64
     }
+
+    /// True when backed by segment files.
+    pub fn is_persistent(&self) -> bool {
+        matches!(self.tier, Tier::Disk(_))
+    }
+
+    /// The persistent tier's directory, if any.
+    pub fn storage_dir(&self) -> Option<&Path> {
+        match &self.tier {
+            Tier::Ram(_) => None,
+            Tier::Disk(seg) => Some(seg.dir()),
+        }
+    }
+
+    /// The persistent tier's segment store, if any (bench/diagnostic
+    /// surface).
+    pub fn segments(&self) -> Option<&SegmentStore> {
+        match &self.tier {
+            Tier::Ram(_) => None,
+            Tier::Disk(seg) => Some(seg),
+        }
+    }
+
+    /// Persistent tier: truncate preallocation and flush shard files (see
+    /// [`SegmentStore::sync`]). No-op for the RAM tier.
+    pub fn sync(&self) -> Result<(), ImageryError> {
+        match &self.tier {
+            Tier::Ram(_) => Ok(()),
+            Tier::Disk(seg) => Ok(seg.sync()?),
+        }
+    }
+
+    /// Deep integrity check: re-scan and CRC-verify every persistent
+    /// record against the live index ([`SegmentStore::verify_all`]);
+    /// counts blobs for the RAM tier. Returns the number of verified
+    /// records.
+    pub fn verify(&self) -> Result<u64, ImageryError> {
+        match &self.tier {
+            Tier::Ram(blobs) => Ok(blobs.len() as u64),
+            Tier::Disk(seg) => Ok(seg.verify_all()?),
+        }
+    }
+}
+
+fn write_manifest(dir: &Path, shards: usize, reps: &[Representation]) -> Result<(), ImageryError> {
+    let tags: Vec<String> = reps.iter().map(|r| r.tag()).collect();
+    let body = format!(
+        "{MANIFEST_HEADER}\nshards={shards}\nreps={}\n",
+        tags.join(",")
+    );
+    fs::write(manifest_path(dir), body)?;
+    Ok(())
+}
+
+fn read_manifest(dir: &Path) -> Result<(usize, Vec<Representation>), ImageryError> {
+    let path = manifest_path(dir);
+    let body = fs::read_to_string(&path)?;
+    let mut shards = None;
+    let mut reps = Vec::new();
+    for (i, line) in body.lines().enumerate() {
+        if i == 0 {
+            if line.trim() != MANIFEST_HEADER {
+                return Err(ImageryError::Decode(format!(
+                    "{}: not a store manifest",
+                    path.display()
+                )));
+            }
+            continue;
+        }
+        if let Some(v) = line.strip_prefix("shards=") {
+            shards = v.trim().parse::<usize>().ok();
+        } else if let Some(v) = line.strip_prefix("reps=") {
+            for tag in v.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+                let rep = Representation::from_tag(tag).ok_or_else(|| {
+                    ImageryError::Decode(format!("manifest rep tag `{tag}` unparseable"))
+                })?;
+                reps.push(rep);
+            }
+        }
+    }
+    let shards = shards.filter(|&s| s >= 1).ok_or_else(|| {
+        ImageryError::Decode(format!("{}: missing/invalid shards=", path.display()))
+    })?;
+    if reps.is_empty() {
+        return Err(ImageryError::Decode(format!(
+            "{}: missing/empty reps=",
+            path.display()
+        )));
+    }
+    Ok((shards, reps))
+}
+
+fn manifest_path(dir: &Path) -> PathBuf {
+    dir.join(MANIFEST)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::color::ColorMode;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     fn frame(seed: u64) -> Image {
         Image::from_fn(224, 224, ColorMode::Rgb, |c, y, x| {
@@ -202,12 +415,29 @@ mod tests {
         ]
     }
 
+    static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let seq = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("tahoma-store-{tag}-{}-{seq}", std::process::id()));
+        fs::create_dir_all(&dir).expect("temp dir");
+        dir
+    }
+
+    fn fetch_one(store: &RepresentationStore, id: u64, rep: Representation) -> Option<Image> {
+        let mut engine = TranscodeEngine::new();
+        store
+            .fetch(id, rep, &mut engine)
+            .map(|r| r.expect("decodes"))
+    }
+
     #[test]
     fn ingest_then_fetch_roundtrips() {
         let mut store = RepresentationStore::new(small_reps());
         store.ingest(7, &frame(1)).unwrap();
         let rep = Representation::new(30, ColorMode::Gray);
-        let img = store.fetch(7, rep).expect("stored").expect("decodes");
+        let img = fetch_one(&store, 7, rep).expect("stored");
         assert_eq!(img.width(), 30);
         assert_eq!(img.mode(), ColorMode::Gray);
         // Stored bytes equal header + one byte per sample.
@@ -218,10 +448,8 @@ mod tests {
     fn missing_entries_are_none() {
         let mut store = RepresentationStore::new(small_reps());
         store.ingest(1, &frame(2)).unwrap();
-        assert!(store.fetch(2, small_reps()[0]).is_none());
-        assert!(store
-            .fetch(1, Representation::new(120, ColorMode::Red))
-            .is_none());
+        assert!(fetch_one(&store, 2, small_reps()[0]).is_none());
+        assert!(fetch_one(&store, 1, Representation::new(120, ColorMode::Red)).is_none());
     }
 
     #[test]
@@ -260,8 +488,11 @@ mod tests {
         for rep in Representation::paper_set() {
             let direct = crate::repr::apply_reference(&f, rep).unwrap();
             let want = RawCodec.encode(&direct);
-            let got = store.blobs.get(&(3, rep)).expect("stored");
-            assert_eq!(got.as_ref(), want.as_ref(), "{rep}");
+            let same = store
+                .with_blob(3, rep, |got| got == want.as_ref())
+                .unwrap()
+                .expect("stored");
+            assert!(same, "{rep}");
         }
     }
 
@@ -294,18 +525,99 @@ mod tests {
         store.ingest(4, &frame(6)).unwrap();
         store.ingest(5, &frame(7)).unwrap();
         let rep = Representation::new(30, ColorMode::Gray);
+        let mut engine = TranscodeEngine::new();
         // Pooled decode is value-identical to a fresh decode of the blob.
-        let fresh = RawCodec.decode(&store.blobs[&(4, rep)]).unwrap();
-        let pooled = store.fetch_into(4, rep).unwrap().unwrap();
+        let fresh = store
+            .with_blob(4, rep, |b| RawCodec.decode(b).unwrap())
+            .unwrap()
+            .expect("stored");
+        let pooled = store.fetch(4, rep, &mut engine).unwrap().unwrap();
         assert_eq!(pooled.data(), fresh.data());
         assert_eq!(pooled.mode(), fresh.mode());
         // Recycled buffer actually comes back: same allocation next fetch.
         let ptr = pooled.data().as_ptr();
-        store.recycle([pooled]);
-        let again = store.fetch_into(5, rep).unwrap().unwrap();
+        engine.recycle([pooled]);
+        let again = store.fetch(5, rep, &mut engine).unwrap().unwrap();
         assert_eq!(again.data().as_ptr(), ptr, "pooled buffer not reused");
-        let direct = RawCodec.decode(&store.blobs[&(5, rep)]).unwrap();
+        let direct = store
+            .with_blob(5, rep, |b| RawCodec.decode(b).unwrap())
+            .unwrap()
+            .expect("stored");
         assert_eq!(again.data(), direct.data());
+    }
+
+    #[test]
+    fn persistent_tier_is_byte_identical_to_ram() {
+        let dir = tmp_dir("identity");
+        let mut ram = RepresentationStore::new(small_reps());
+        let mut disk = RepresentationStore::persistent(small_reps(), &dir, 3).expect("persistent");
+        assert!(disk.is_persistent() && !ram.is_persistent());
+        for id in 0..12u64 {
+            let f = frame(id);
+            ram.ingest(id, &f).unwrap();
+            disk.ingest(id, &f).unwrap();
+        }
+        assert_eq!(ram.total_bytes(), disk.total_bytes());
+        let mut engine = TranscodeEngine::new();
+        for id in 0..12u64 {
+            for &rep in ram.representations() {
+                let a = ram.with_blob(id, rep, |b| b.to_vec()).unwrap().unwrap();
+                let b = disk.with_blob(id, rep, |b| b.to_vec()).unwrap().unwrap();
+                assert_eq!(a, b, "blob mismatch id {id} rep {rep}");
+                let ia = ram.fetch(id, rep, &mut engine).unwrap().unwrap();
+                let ib = disk.fetch(id, rep, &mut engine).unwrap().unwrap();
+                assert_eq!(ia.data(), ib.data(), "decode mismatch id {id} rep {rep}");
+                engine.recycle([ia, ib]);
+            }
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn persistent_store_reopens_byte_identically() {
+        let dir = tmp_dir("reopen");
+        let mut blobs = Vec::new();
+        {
+            let mut store =
+                RepresentationStore::persistent(small_reps(), &dir, 2).expect("persistent");
+            for id in 0..8u64 {
+                store.ingest(id, &frame(id + 100)).unwrap();
+            }
+            store.sync().expect("sync");
+            for id in 0..8u64 {
+                for &rep in small_reps().iter() {
+                    blobs.push(store.with_blob(id, rep, |b| b.to_vec()).unwrap().unwrap());
+                }
+            }
+            // Process "drops" here.
+        }
+        let (store, report) = RepresentationStore::open(&dir).expect("open");
+        assert_eq!(report.records, 16);
+        assert_eq!(store.frames(), 8);
+        assert_eq!(store.representations(), small_reps().as_slice());
+        let mut it = blobs.iter();
+        for id in 0..8u64 {
+            for &rep in small_reps().iter() {
+                let got = store.with_blob(id, rep, |b| b.to_vec()).unwrap().unwrap();
+                assert_eq!(&got, it.next().unwrap(), "id {id} rep {rep}");
+            }
+        }
+        assert_eq!(store.verify().expect("verify"), 16);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_rejects_garbage_manifest() {
+        let dir = tmp_dir("badmanifest");
+        fs::write(dir.join("manifest.tsm"), "not a manifest\n").unwrap();
+        assert!(RepresentationStore::open(&dir).is_err());
+        fs::write(
+            dir.join("manifest.tsm"),
+            "tahoma-store v1\nshards=0\nreps=30x30-gray\n",
+        )
+        .unwrap();
+        assert!(RepresentationStore::open(&dir).is_err());
+        fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -4,8 +4,12 @@
 //! ```text
 //! tahoma-serve [--addr HOST:PORT] [--backend surrogate|nn]
 //!              [--kinds fence,wallet,...] [--corpus N] [--seed S]
-//!              [--workers N] [--queue N]
+//!              [--workers N] [--queue N] [--store-dir DIR]
 //! ```
+//!
+//! `--store-dir` (NN backend only) backs the frame store with the
+//! persistent mmap-backed segment tier under DIR; a compatible existing
+//! store is reopened without re-ingesting.
 //!
 //! Prints `listening on ADDR` once ready (the CI smoke job greps for it),
 //! then runs until a client sends `SHUTDOWN`.
@@ -24,12 +28,14 @@ struct Args {
     seed: u64,
     workers: usize,
     queue: usize,
+    store_dir: Option<std::path::PathBuf>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: tahoma-serve [--addr HOST:PORT] [--backend surrogate|nn] \
-         [--kinds fence,wallet,...] [--corpus N] [--seed S] [--workers N] [--queue N]"
+         [--kinds fence,wallet,...] [--corpus N] [--seed S] [--workers N] [--queue N] \
+         [--store-dir DIR]"
     );
     exit(2);
 }
@@ -43,6 +49,7 @@ fn parse_args() -> Args {
         seed: 0x7A40,
         workers: 4,
         queue: 32,
+        store_dir: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -65,6 +72,7 @@ fn parse_args() -> Args {
             "--seed" => args.seed = val().parse().unwrap_or_else(|_| usage()),
             "--workers" => args.workers = val().parse().unwrap_or_else(|_| usage()),
             "--queue" => args.queue = val().parse().unwrap_or_else(|_| usage()),
+            "--store-dir" => args.store_dir = Some(val().into()),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag: {other}");
@@ -85,11 +93,18 @@ fn main() {
         args.backend, args.kinds, args.corpus, args.seed
     );
     let service = match args.backend.as_str() {
-        "surrogate" => surrogate_service(&args.kinds, args.corpus, args.seed),
+        "surrogate" => {
+            if args.store_dir.is_some() {
+                eprintln!("--store-dir only applies to the nn backend");
+                usage();
+            }
+            surrogate_service(&args.kinds, args.corpus, args.seed)
+        }
         "nn" => nn_service(&NnFixtureConfig {
             kinds: args.kinds.clone(),
             corpus_n: args.corpus,
             seed: args.seed,
+            store_dir: args.store_dir.clone(),
             ..Default::default()
         }),
         other => {

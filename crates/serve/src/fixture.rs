@@ -21,6 +21,7 @@
 //! answer every query identically, which the concurrency tests lean on.
 
 use crate::service::QueryService;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 use tahoma_core::exec::{BatchScorer, NnSessionScratch, ScorePack, SharedModelZoo, SharedNnScorer};
@@ -81,6 +82,13 @@ pub struct NnFixtureConfig {
     pub window: Duration,
     /// Broker merged-row cap.
     pub max_rows: usize,
+    /// When set, back the shared frame store with the persistent segment
+    /// tier under this directory instead of RAM. A directory holding a
+    /// compatible store (same representations, same corpus size — the
+    /// frames are deterministic in `seed`) is reopened as-is, so a service
+    /// can restart without re-ingesting; anything else is recreated from
+    /// scratch.
+    pub store_dir: Option<PathBuf>,
 }
 
 impl Default for NnFixtureConfig {
@@ -92,6 +100,7 @@ impl Default for NnFixtureConfig {
             seed: 0x7A40,
             window: crate::broker::Broker::DEFAULT_WINDOW,
             max_rows: crate::broker::Broker::DEFAULT_MAX_ROWS,
+            store_dir: None,
         }
     }
 }
@@ -146,11 +155,31 @@ pub fn nn_service(cfg: &NnFixtureConfig) -> QueryService {
     let corpus = Arc::new(Corpus::synthetic(cfg.corpus_n, cfg.prevalence, cfg.seed));
 
     // One store serves every kind: frames are per item, not per predicate.
-    let mut store = RepresentationStore::new(vec![rep0, rep1]);
-    for item in &corpus.items {
-        store
-            .ingest(item.id, &frame(item.id ^ cfg.seed, 64))
-            .unwrap();
+    // With `store_dir` set the reps live on the persistent segment tier; a
+    // compatible directory is reopened (recovery + CRC verification)
+    // instead of re-ingested, so reopen serves the exact bytes the
+    // previous process wrote.
+    let reps = vec![rep0, rep1];
+    let mut store = match &cfg.store_dir {
+        None => RepresentationStore::new(reps),
+        Some(dir) => match RepresentationStore::open(dir) {
+            Ok((existing, _report))
+                if existing.representations() == reps
+                    && existing.frames() == corpus.items.len() as u64
+                    && existing.verify().is_ok() =>
+            {
+                existing
+            }
+            _ => RepresentationStore::persistent(reps, dir, 8).unwrap(),
+        },
+    };
+    if store.frames() == 0 {
+        for item in &corpus.items {
+            store
+                .ingest(item.id, &frame(item.id ^ cfg.seed, 64))
+                .unwrap();
+        }
+        store.sync().unwrap();
     }
     let store = Arc::new(store);
     let items: Vec<&CorpusItem> = corpus.items.iter().collect();

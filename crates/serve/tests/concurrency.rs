@@ -121,6 +121,52 @@ fn concurrent_uncoalesced_results_match_serial() {
     });
 }
 
+/// The persistent segment tier must be invisible in answers: a service
+/// whose frame store lives on disk returns bitwise-identical results to
+/// the RAM-backed fixture — including after a simulated restart that
+/// reopens the store directory (recovery + CRC verification, no
+/// re-ingest) — and stays identical under concurrent load.
+#[test]
+fn persistent_store_service_matches_ram_and_survives_reopen() {
+    let dir = std::env::temp_dir().join(format!("tahoma-serve-persist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let expected = Arc::new(reference_answers(&nn_fixture()));
+    let persist_cfg = NnFixtureConfig {
+        corpus_n: 96,
+        window: Duration::from_millis(2),
+        store_dir: Some(dir.clone()),
+        ..Default::default()
+    };
+
+    // First build: fresh ingest onto the segment tier.
+    {
+        let service = nn_service(&persist_cfg);
+        let got = reference_answers(&service);
+        assert_eq!(got, *expected, "persistent tier diverged from RAM");
+    }
+
+    // "Restart": a fresh service finds a compatible store in the
+    // directory and reopens it instead of re-ingesting; concurrent
+    // clients must still see the RAM-identical answers.
+    let service = Arc::new(nn_service(&persist_cfg));
+    std::thread::scope(|s| {
+        for t in 0..4 {
+            let service = Arc::clone(&service);
+            let expected = Arc::clone(&expected);
+            s.spawn(move || {
+                for (qi, sql) in QUERIES.iter().enumerate() {
+                    let out = service.execute(sql).expect("concurrent query");
+                    assert_eq!(
+                        out.matched_ids, expected[qi],
+                        "thread {t}: reopened store diverged on {sql:?}"
+                    );
+                }
+            });
+        }
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Full-stack smoke: TCP server, concurrent protocol clients, shutdown.
 #[test]
 fn server_protocol_roundtrip_with_concurrent_clients() {

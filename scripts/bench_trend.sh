@@ -38,6 +38,11 @@ cargo bench -p tahoma-bench --bench kernel_policy  -- --quick --json "$out/kerne
 # the clients={1,4,16} QPS/latency table alongside its criterion lines.
 cargo bench -p tahoma-bench --bench query_serve    -- --quick --json "$out/query_serve.json" \
     2>&1 | tee "$out/query_serve.txt"
+# store_scale prints ingest/cold-open/budget-policy tables and asserts the
+# persistent-vs-RAM warm-latency bar and the §V policy-beats-extremes
+# comparison alongside its criterion lines.
+cargo bench -p tahoma-bench --bench store_scale    -- --quick --json "$out/store_scale.json" \
+    2>&1 | tee "$out/store_scale.txt"
 
 if [ "$update" = 1 ]; then
     # Full regeneration: start from scratch so retired/renamed benchmark
@@ -46,10 +51,10 @@ if [ "$update" = 1 ]; then
     rm -f BENCH_baseline.json
     cargo run --release -p tahoma-bench --bin bench_trend -- merge BENCH_baseline.json \
         "$out/nn_inference.json" "$out/repr_transform.json" "$out/query_exec.json" \
-        "$out/kernel_policy.json" "$out/query_serve.json"
+        "$out/kernel_policy.json" "$out/query_serve.json" "$out/store_scale.json"
 else
     cargo run --release -p tahoma-bench --bin bench_trend -- compare BENCH_baseline.json \
         "$out/nn_inference.json" "$out/repr_transform.json" "$out/query_exec.json" \
-        "$out/kernel_policy.json" "$out/query_serve.json" \
+        "$out/kernel_policy.json" "$out/query_serve.json" "$out/store_scale.json" \
         | tee "$out/trend.txt"
 fi

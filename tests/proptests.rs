@@ -16,6 +16,18 @@ use tahoma::mathx::simd_policy::{KernelPolicy, OpClass, SimdTier};
 use tahoma::nn::gemm::{self, GemmScratch, Kernel, Trans};
 use tahoma::nn::{kernels, Conv2d, Dense, Layer, MaxPool2, Shape};
 
+/// Fresh scratch directory for store property tests (unique per case so
+/// shrinking never observes a previous case's files).
+fn proptest_dir(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "tahoma-prop-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
 /// Decode a selector pair into a float that may be perfectly ordinary or
 /// one of the degenerate values the planner must survive: ±∞, NaN, zero.
 fn degenerate_f64(selector: u32, raw: f64) -> f64 {
@@ -654,6 +666,112 @@ proptest! {
             };
             prop_assert_eq!(overridden.tier(class), want, "class {}", class.name());
         }
+    }
+
+    /// Segment framing round-trips arbitrary (id, representation,
+    /// payload) sets — payloads of any bytes including empty, duplicate
+    /// keys resolving last-write-wins — through append → fetch, and again
+    /// through sync → reopen (the recovery scan), in both access modes.
+    #[test]
+    fn segment_framing_roundtrips_arbitrary_records(
+        recs in prop::collection::vec(
+            (0u64..1000, 0usize..5, 1usize..90,
+             prop::collection::vec(0u8..255, 0..300)),
+            1..32),
+        shards in 1usize..5,
+        mode_sel in 0usize..2,
+    ) {
+        use std::collections::BTreeMap;
+        use tahoma::imagery::{AccessMode, SegmentStore};
+        let mode = [AccessMode::Mmap, AccessMode::Pread][mode_sel];
+        let dir = proptest_dir("segment-framing");
+        let store = SegmentStore::create(&dir, shards, mode).unwrap();
+        let mut expect: BTreeMap<(u64, Representation), Vec<u8>> = BTreeMap::new();
+        for (id, m, size, payload) in &recs {
+            let rep = Representation::new(*size, ColorMode::ALL[*m]);
+            store.append(*id, rep, payload).unwrap();
+            expect.insert((*id, rep), payload.clone());
+        }
+        let mut scratch = Vec::new();
+        for ((id, rep), want) in &expect {
+            let got = store
+                .with_payload(*id, *rep, &mut scratch, |b| b.to_vec())
+                .unwrap();
+            prop_assert_eq!(got.as_ref(), Some(want), "live fetch {} {}", id, rep);
+        }
+        store.sync().unwrap();
+        prop_assert_eq!(store.records(), recs.len() as u64);
+        drop(store);
+
+        let (reopened, report) = SegmentStore::open(&dir, shards, mode).unwrap();
+        prop_assert_eq!(report.truncated_bytes, 0, "clean reopen truncated bytes");
+        prop_assert_eq!(report.records, recs.len() as u64);
+        for ((id, rep), want) in &expect {
+            let got = reopened
+                .with_payload(*id, *rep, &mut scratch, |b| b.to_vec())
+                .unwrap();
+            prop_assert_eq!(got.as_ref(), Some(want), "reopened fetch {} {}", id, rep);
+        }
+        prop_assert_eq!(reopened.verify_all().unwrap(), recs.len() as u64);
+        drop(reopened);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The persistent tier is invisible at the byte level: the same
+    /// frames ingested into a RAM store and a segment-backed store decode
+    /// to bitwise-identical pixels for every representation, both live
+    /// and after sync → reopen.
+    #[test]
+    fn persistent_store_tier_matches_ram_bitwise(
+        n in 1usize..10, src in 8usize..40, seed in 0u64..1000,
+        sizes in prop::collection::vec(1usize..32, 1..4),
+        mode_sels in prop::collection::vec(0usize..5, 1..4),
+    ) {
+        use tahoma::imagery::{RepresentationStore, TranscodeEngine};
+        let mut reps: Vec<Representation> = Vec::new();
+        for (&s, &m) in sizes.iter().zip(mode_sels.iter().cycle()) {
+            let rep = Representation::new(s, ColorMode::ALL[m]);
+            if !reps.contains(&rep) {
+                reps.push(rep);
+            }
+        }
+        let mut rng = tahoma::mathx::DetRng::new(seed);
+        let mut frames = Vec::with_capacity(n);
+        for _ in 0..n {
+            frames.push(
+                Image::from_fn(src, src, ColorMode::Rgb, |_, _, _| rng.uniform() as f32)
+                    .unwrap(),
+            );
+        }
+        let dir = proptest_dir("store-tier");
+        let mut ram = RepresentationStore::new(reps.clone());
+        let mut disk = RepresentationStore::persistent(reps.clone(), &dir, 3).unwrap();
+        for (i, f) in frames.iter().enumerate() {
+            ram.ingest(i as u64, f).unwrap();
+            disk.ingest(i as u64, f).unwrap();
+        }
+        let mut engine = TranscodeEngine::new();
+        for id in 0..n as u64 {
+            for &rep in &reps {
+                let a = ram.fetch(id, rep, &mut engine).unwrap().unwrap();
+                let b = disk.fetch(id, rep, &mut engine).unwrap().unwrap();
+                prop_assert_eq!(a.data(), b.data(), "live {} {}", id, rep);
+                engine.recycle([a, b]);
+            }
+        }
+        disk.sync().unwrap();
+        drop(disk);
+        let (reopened, _report) = RepresentationStore::open(&dir).unwrap();
+        for id in 0..n as u64 {
+            for &rep in &reps {
+                let a = ram.fetch(id, rep, &mut engine).unwrap().unwrap();
+                let b = reopened.fetch(id, rep, &mut engine).unwrap().unwrap();
+                prop_assert_eq!(a.data(), b.data(), "reopened {} {}", id, rep);
+                engine.recycle([a, b]);
+            }
+        }
+        drop(reopened);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// DetRng is insensitive to interleaving: two streams derived from

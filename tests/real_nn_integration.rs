@@ -211,13 +211,14 @@ fn vectorized_executor_serves_real_models_end_to_end() {
     // Construction identity: a batch through the scorer equals manual
     // fetch → standardize → `predict_proba_batch` packing, exactly.
     let mut input = Vec::new();
+    let mut engine = tahoma::imagery::TranscodeEngine::new();
     for it in &corpus.items {
-        let img = store.fetch(it.id, rep_gray).unwrap().unwrap();
+        let img = store.fetch(it.id, rep_gray, &mut engine).unwrap().unwrap();
         input.extend_from_slice(tahoma::imagery::transform::standardize(&img).data());
     }
     let expected = models[gray_model as usize].predict_proba_batch(&input, corpus.items.len());
 
-    let mut scorer = NnBatchScorer::new(&mut store).with_source(source_rep);
+    let mut scorer = NnBatchScorer::new(&store).with_source(source_rep);
     scorer.register_repository(&repo, models);
     let items: Vec<&tahoma::core::query::CorpusItem> = corpus.items.iter().collect();
     let mut got = Vec::new();

@@ -137,6 +137,13 @@ pub trait Buf {
         v
     }
 
+    /// Read a little-endian u64.
+    fn get_u64_le(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self.chunk()[..8].try_into().expect("8 bytes"));
+        self.advance(8);
+        v
+    }
+
     /// Read a little-endian f32.
     fn get_f32_le(&mut self) -> f32 {
         f32::from_bits(self.get_u32_le())
@@ -172,6 +179,11 @@ pub trait BufMut {
         self.put_slice(&v.to_le_bytes());
     }
 
+    /// Append a little-endian u64.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
     /// Append a little-endian f32.
     fn put_f32_le(&mut self, v: f32) {
         self.put_u32_le(v.to_bits());
@@ -181,6 +193,14 @@ pub trait BufMut {
 impl BufMut for BytesMut {
     fn put_slice(&mut self, src: &[u8]) {
         self.data.extend_from_slice(src);
+    }
+}
+
+// The real crate provides this blanket-style impl too; the segment store
+// frames records into a reusable `Vec<u8>` scratch through it.
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
     }
 }
 
@@ -194,6 +214,7 @@ mod tests {
         b.put_slice(b"HDR!");
         b.put_u8(7);
         b.put_u32_le(0xDEAD_BEEF);
+        b.put_u64_le(0x0123_4567_89AB_CDEF);
         b.put_f32_le(1.5);
         let frozen = b.freeze();
         let mut r: &[u8] = &frozen;
@@ -201,6 +222,7 @@ mod tests {
         r.advance(4);
         assert_eq!(r.get_u8(), 7);
         assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), 0x0123_4567_89AB_CDEF);
         assert_eq!(r.get_f32_le(), 1.5);
         assert_eq!(r.remaining(), 0);
     }

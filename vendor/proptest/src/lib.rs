@@ -154,6 +154,18 @@ impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
     }
 }
 
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.sample(rng),
+            self.1.sample(rng),
+            self.2.sample(rng),
+            self.3.sample(rng),
+        )
+    }
+}
+
 /// Fixed-choice strategy over a cloned slice of values.
 pub struct Just<T: Clone>(pub T);
 
