@@ -10,7 +10,7 @@
 //! | A3 | no `partial_cmp(..).unwrap()/.expect(..)` outside `core::order` |
 //! | A4 | no `unwrap()/expect()` in `serve/src` or `core::exec` hot paths |
 //! | A5 | raw-pointer ops confined to the audited kernel/storage files |
-//! | A6 | `Mutex` fields in `serve` and the segment store carry `// LOCK-ORDER: n` ranks, and locks are acquired in ascending rank |
+//! | A6 | `Mutex` fields in `serve` and the representation/segment stores carry `// LOCK-ORDER: n` ranks, and locks are acquired in ascending rank |
 //!
 //! Everything here is heuristic token matching, tuned to this workspace's
 //! idioms (see `SAFETY.md`); the integration tests pin the behavior on
@@ -396,11 +396,14 @@ struct LockRank {
 }
 
 /// True when `rel` is in A6 scope: the serving layer's lock graph plus
-/// the segment store's per-shard writer/index locks (`tahoma-serve`
-/// fetches through the store, so the shard ranks live in the same global
+/// the representation store's ingest/blob locks and the segment store's
+/// per-shard writer/index locks (`tahoma-serve` ingests and fetches
+/// through the store, so the store ranks live in the same global
 /// registry as the service ranks).
 fn a6_in_scope(rel: &str) -> bool {
-    rel.starts_with("crates/serve/src/") || rel == "crates/imagery/src/segment.rs"
+    rel.starts_with("crates/serve/src/")
+        || rel == "crates/imagery/src/store.rs"
+        || rel == "crates/imagery/src/segment.rs"
 }
 
 /// A6 pass 1 (per in-scope file): every `name: Mutex<..>` struct field must

@@ -200,13 +200,16 @@ impl S {
 
 #[test]
 fn a6_scope_covers_the_segment_store_shard_locks() {
-    // The sharded segment store holds per-shard mutexes outside the serve
-    // crate; its file is explicitly in A6 scope so those ranks stay audited.
+    // The representation store and the sharded segment store hold
+    // mutexes outside the serve crate; both files are explicitly in A6
+    // scope so those ranks stay audited.
     let unranked = "use std::sync::Mutex;\npub struct Shard {\n    seg_writer: Mutex<u32>,\n}\n";
     let report = audit(&[("crates/imagery/src/segment.rs", unranked)]);
     assert_eq!(lints_of(&report), ["A6"], "{}", report.human());
+    let report = audit(&[("crates/imagery/src/store.rs", unranked)]);
+    assert_eq!(lints_of(&report), ["A6"], "{}", report.human());
     // The rest of the imagery crate is not in A6 scope.
-    let ok = audit(&[("crates/imagery/src/store.rs", unranked)]);
+    let ok = audit(&[("crates/imagery/src/codec.rs", unranked)]);
     assert!(ok.clean(), "{}", ok.human());
 }
 

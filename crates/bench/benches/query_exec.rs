@@ -272,7 +272,7 @@ fn bench_nn_exec(c: &mut Criterion) {
     let cost = CostContext::build(&repo, &profiler);
 
     // ONGOING layout: the store holds each level's exact representation.
-    let mut store = RepresentationStore::new(vec![rep0, rep1]);
+    let store = RepresentationStore::new(vec![rep0, rep1]);
     for item in &corpus.items {
         store.ingest(item.id, &frame(item.id, 120)).unwrap();
     }
@@ -321,7 +321,7 @@ fn bench_nn_exec(c: &mut Criterion) {
 
     // Transcode fallback: only the full 120px frame is stored; every level
     // input is derived through the engine at query time.
-    let mut source_store = RepresentationStore::new(vec![source]);
+    let source_store = RepresentationStore::new(vec![source]);
     for item in &corpus.items {
         source_store.ingest(item.id, &frame(item.id, 120)).unwrap();
     }
@@ -357,7 +357,7 @@ fn bench_nn_exec(c: &mut Criterion) {
 /// The NN pipeline's stages in isolation, for the baseline gate.
 fn bench_nn_stages(c: &mut Criterion) {
     let rep0 = Representation::new(30, ColorMode::Gray);
-    let mut store = RepresentationStore::new(vec![rep0]);
+    let store = RepresentationStore::new(vec![rep0]);
     for id in 0..64u64 {
         store.ingest(id, &frame(id, 120)).unwrap();
     }

@@ -141,7 +141,7 @@ fn bench_store_ingest(c: &mut Criterion) {
     let src = frame(224);
     let mut group = c.benchmark_group("store_ingest_paper_set");
     group.bench_function("engine", |b| {
-        let mut store = tahoma_imagery::RepresentationStore::new(Representation::paper_set());
+        let store = tahoma_imagery::RepresentationStore::new(Representation::paper_set());
         // Constant id: each iteration overwrites the same blobs, so the
         // store stays bounded and the loop measures steady-state ingest
         // rather than progressive map growth.

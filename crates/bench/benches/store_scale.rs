@@ -412,7 +412,7 @@ fn bench_budget_policy(_c: &mut Criterion) {
     // the rest through the serving fallback (source fetch + transcode).
     let run = |stored: &[Representation]| -> (f64, f64) {
         let dir = bench_dir("budget");
-        let mut store = RepresentationStore::persistent(stored.to_vec(), &dir, 4).expect("store");
+        let store = RepresentationStore::persistent(stored.to_vec(), &dir, 4).expect("store");
         let t0 = Instant::now();
         for id in 0..n {
             store

@@ -41,7 +41,7 @@ fn usage() -> ! {
 }
 
 fn ingest(dir: &Path, n: u64) {
-    let mut store = RepresentationStore::persistent(reps(), dir, SHARDS).unwrap_or_else(|e| {
+    let store = RepresentationStore::persistent(reps(), dir, SHARDS).unwrap_or_else(|e| {
         eprintln!("create {}: {e}", dir.display());
         exit(1);
     });
@@ -91,7 +91,7 @@ fn verify(dir: &Path, n: u64) {
     // Recompute every blob from the deterministic frames and compare
     // byte-for-byte with what the store serves.
     let mut mismatches = 0u64;
-    let mut reference = RepresentationStore::new(reps());
+    let reference = RepresentationStore::new(reps());
     for id in 0..n {
         reference.ingest(id, &frame(id)).expect("reference ingest");
         for &rep in &reps() {

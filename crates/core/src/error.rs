@@ -17,6 +17,9 @@ pub enum CoreError {
     UnknownCategory(String),
     /// A query referenced an unknown metadata field.
     UnknownField(String),
+    /// A continuous-query window was mis-specified or ticked ahead of its
+    /// arrivals (see [`crate::continuous`]).
+    Window(String),
 }
 
 impl fmt::Display for CoreError {
@@ -30,6 +33,7 @@ impl fmt::Display for CoreError {
             }
             CoreError::UnknownCategory(c) => write!(f, "unknown object category '{c}'"),
             CoreError::UnknownField(field) => write!(f, "unknown metadata field '{field}'"),
+            CoreError::Window(message) => write!(f, "continuous window: {message}"),
         }
     }
 }

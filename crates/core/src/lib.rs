@@ -31,6 +31,11 @@
 //!    compaction, planner-ordered short-circuiting between content
 //!    predicates, and batch scoring backends (hoisted surrogate streams;
 //!    real CNN inference over the representation store).
+//! 8. **Continuous queries** ([`continuous`]): standing queries over live
+//!    streams — sliding count windows (RANGE/STEP), tick-driven, with
+//!    incremental scoring of only the newly-arrived items and per-tick
+//!    result deltas; exactly equal to from-scratch window re-evaluation
+//!    because cascade decisions are deterministic per (model, item).
 //!
 //! [`pipeline::TahomaSystem`] ties the stages together behind the
 //! architecture in the paper's Fig. 2.
@@ -38,6 +43,7 @@
 pub mod alc;
 pub mod builder;
 pub mod cascade;
+pub mod continuous;
 pub mod error;
 pub mod evaluator;
 pub mod exec;
@@ -53,6 +59,7 @@ pub mod thresholds;
 pub use alc::{alc, average_throughput, shared_accuracy_range, speedup};
 pub use builder::{build_cascades, BuilderConfig};
 pub use cascade::{Cascade, MAX_LEVELS};
+pub use continuous::{ContinuousExecutor, TickDeltas, WindowSpec};
 pub use error::CoreError;
 pub use evaluator::{simulate_all, CascadeOutcomes, CostContext};
 pub use exec::{

@@ -109,7 +109,7 @@ fn measure_in(
     profiler: &MeasuredProfiler,
     dir: &std::path::Path,
 ) -> Result<IoProfile, ImageryError> {
-    let mut store = RepresentationStore::persistent(vec![SMALL_REP, LARGE_REP], dir, 4)?;
+    let store = RepresentationStore::persistent(vec![SMALL_REP, LARGE_REP], dir, 4)?;
     // A few distinct synthetic frames cycled across ids: enough to defeat
     // any value-dependent shortcut while keeping frame generation off the
     // calibration's critical path.

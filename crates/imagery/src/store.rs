@@ -29,7 +29,13 @@
 //! the caller supplies the [`TranscodeEngine`] whose buffer pool receives
 //! the decode, so many query sessions fetch from one store concurrently,
 //! each with its own pool. (The store's own engine is used only at
-//! ingest.)
+//! ingest.) Since the continuous-query layer, *writes* share the same
+//! borrow: [`RepresentationStore::ingest`] is `&self` and internally
+//! synchronized, so live streams ingest through the same `Arc`-shared
+//! handle the query sessions fetch from — materialization serializes on
+//! the store's engine lock, persistent-tier appends fan out across shard
+//! locks, and RAM-tier blobs sit behind one map lock (ranks in
+//! `SAFETY.md`).
 //!
 //! Materialization runs through an owned [`TranscodeEngine`] executing a
 //! [`TranscodePlan`] built once per source shape (see [`crate::engine`]):
@@ -48,34 +54,57 @@ use bytes::Bytes;
 use std::collections::HashMap;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
 
 /// Store manifest file name (records shard count + representation set so
 /// [`RepresentationStore::open`] needs only the directory).
 const MANIFEST: &str = "manifest.tsm";
 const MANIFEST_HEADER: &str = "tahoma-store v1";
 
+/// Lock a mutex, recovering the data on poison: every blob/plan update is
+/// complete before the guard drops, so a panicking peer never leaves a
+/// half-written entry behind (same policy as [`crate::segment`]).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// RAM tier: encoded blobs behind one map lock so live streams can ingest
+/// through a shared handle while query sessions fetch.
+#[derive(Debug, Default)]
+struct RamTier {
+    // Blob map. Fetches clone the `Bytes` handle (an `Arc` bump) and
+    // decode outside the critical section, so the lock is held only for
+    // the map probe. Ranked above every serve-layer lock because query
+    // threads reach a fetch while holding broker state (see SAFETY.md).
+    // LOCK-ORDER: 66
+    blobs: Mutex<HashMap<(u64, Representation), Bytes>>,
+}
+
 /// Where the encoded blobs live.
 #[derive(Debug)]
 enum Tier {
     /// Per-process hash map (the fixture layout and the latency floor).
-    Ram(HashMap<(u64, Representation), Bytes>),
+    Ram(RamTier),
     /// Sharded append-only segment files (see [`crate::segment`]).
     Disk(SegmentStore),
 }
 
 impl Default for Tier {
     fn default() -> Tier {
-        Tier::Ram(HashMap::new())
+        Tier::Ram(RamTier::default())
     }
 }
 
-/// The representation store; see the module docs for the tier layout.
+/// Ingest-side state: the store's own transcode engine plus the lattice
+/// plans it executes. One lock serializes materialization (the engine's
+/// buffer pool is single-threaded scratch); persistent-tier appends then
+/// fan out across shard locks (rank 70/71) while this is held.
 #[derive(Debug, Default)]
-pub struct RepresentationStore {
-    reps: Vec<Representation>,
-    tier: Tier,
-    total_bytes: usize,
-    ingested: u64,
+struct IngestState {
     engine: TranscodeEngine,
     /// Lattice plans keyed by source shape — each distinct ingested frame
     /// shape is planned exactly once.
@@ -83,6 +112,19 @@ pub struct RepresentationStore {
     /// Shape of the most recently ingested frame (what
     /// [`RepresentationStore::planned_ingest_cost_s`] prices).
     last_shape: Option<(usize, usize)>,
+}
+
+/// The representation store; see the module docs for the tier layout.
+#[derive(Debug, Default)]
+pub struct RepresentationStore {
+    reps: Vec<Representation>,
+    tier: Tier,
+    total_bytes: AtomicUsize,
+    ingested: AtomicU64,
+    // LOCK-ORDER: 65 — ingest-side engine + plans; held across the
+    // materialize + append of one frame, below the blob map (66) and the
+    // shard locks (70/71), never while any serve-layer lock is wanted.
+    ingest_state: Mutex<IngestState>,
 }
 
 impl RepresentationStore {
@@ -147,8 +189,8 @@ impl RepresentationStore {
             RepresentationStore {
                 reps,
                 tier: Tier::Disk(seg),
-                total_bytes,
-                ingested,
+                total_bytes: AtomicUsize::new(total_bytes),
+                ingested: AtomicU64::new(ingested),
                 ..RepresentationStore::default()
             },
             report,
@@ -163,30 +205,38 @@ impl RepresentationStore {
     /// Ingest one full-resolution RGB frame: produce and encode every
     /// configured representation through the engine's lattice plan (shared
     /// luma, borrowed planes, cached resize tables — no per-frame setup).
-    /// Persistent-tier appends touch only the shards owning this id, so
-    /// concurrent ingest streams fan out across shards.
-    pub fn ingest(&mut self, id: u64, full: &Image) -> Result<(), ImageryError> {
+    ///
+    /// Takes `&self`: the ingest path is internally synchronized so live
+    /// streams can feed a store that query sessions are concurrently
+    /// fetching from (the serve layer shares one store behind an `Arc`).
+    /// Materialization serializes on the store's engine; persistent-tier
+    /// appends touch only the shards owning this id.
+    pub fn ingest(&self, id: u64, full: &Image) -> Result<(), ImageryError> {
         let shape = (full.width(), full.height());
+        let mut st = lock(&self.ingest_state);
+        let st = &mut *st;
         let reps = &self.reps;
-        let plan = self.plans.entry(shape).or_insert_with(|| {
+        let plan = st.plans.entry(shape).or_insert_with(|| {
             TranscodePlan::new(shape.0, shape.1, reps, &TranscodeCosts::default())
         });
-        self.last_shape = Some(shape);
-        let materialized = self.engine.apply_planned(full, plan)?;
+        st.last_shape = Some(shape);
+        let materialized = st.engine.apply_planned(full, plan)?;
+        let mut added = 0usize;
         for (&rep, image) in self.reps.iter().zip(&materialized) {
             let bytes = RawCodec.encode(image);
-            self.total_bytes += bytes.len();
-            match &mut self.tier {
-                Tier::Ram(blobs) => {
-                    blobs.insert((id, rep), bytes);
+            added += bytes.len();
+            match &self.tier {
+                Tier::Ram(ram) => {
+                    lock(&ram.blobs).insert((id, rep), bytes);
                 }
                 Tier::Disk(seg) => seg.append(id, rep, &bytes)?,
             }
         }
         // Only the encoded bytes are kept; the pixel buffers feed the next
         // frame's materialization instead of the allocator.
-        self.engine.recycle(materialized);
-        self.ingested += 1;
+        st.engine.recycle(materialized);
+        self.total_bytes.fetch_add(added, Ordering::Relaxed);
+        self.ingested.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -194,7 +244,7 @@ impl RepresentationStore {
     /// [`RepresentationStore::ingest`] per frame (one plan and one engine
     /// scratch serve the whole batch either way).
     pub fn ingest_batch<'a>(
-        &mut self,
+        &self,
         frames: impl IntoIterator<Item = (u64, &'a Image)>,
     ) -> Result<(), ImageryError> {
         for (id, frame) in frames {
@@ -208,7 +258,7 @@ impl RepresentationStore {
     /// loop would pay. Priced for the most recently ingested frame shape;
     /// `None` before the first ingest fixes one.
     pub fn planned_ingest_cost_s(&self, costs: &TranscodeCosts) -> Option<(f64, f64)> {
-        let (w, h) = self.last_shape?;
+        let (w, h) = lock(&self.ingest_state).last_shape?;
         let priced = TranscodePlan::new(w, h, &self.reps, costs);
         Some((priced.planned_cost_s(), priced.direct_cost_s()))
     }
@@ -229,10 +279,12 @@ impl RepresentationStore {
         engine: &mut TranscodeEngine,
     ) -> Option<Result<Image, ImageryError>> {
         match &self.tier {
-            Tier::Ram(blobs) => {
-                let blob = blobs.get(&(id, rep))?;
+            Tier::Ram(ram) => {
+                // Clone the Arc-backed handle so the decode runs outside
+                // the map lock.
+                let blob = lock(&ram.blobs).get(&(id, rep)).cloned()?;
                 let buf = engine.take_buffer(rep.value_count());
-                Some(RawCodec.decode_into(blob, buf))
+                Some(RawCodec.decode_into(&blob, buf))
             }
             Tier::Disk(seg) => {
                 // The engine's byte scratch serves the pread path; in mmap
@@ -262,7 +314,7 @@ impl RepresentationStore {
         f: impl FnOnce(&[u8]) -> R,
     ) -> Result<Option<R>, ImageryError> {
         match &self.tier {
-            Tier::Ram(blobs) => Ok(blobs.get(&(id, rep)).map(|b| f(b))),
+            Tier::Ram(ram) => Ok(lock(&ram.blobs).get(&(id, rep)).cloned().map(|b| f(&b))),
             Tier::Disk(seg) => {
                 let mut scratch = Vec::new();
                 Ok(seg.with_payload(id, rep, &mut scratch, f)?)
@@ -274,7 +326,7 @@ impl RepresentationStore {
     /// is proportional to).
     pub fn stored_bytes(&self, id: u64, rep: Representation) -> Option<usize> {
         match &self.tier {
-            Tier::Ram(blobs) => blobs.get(&(id, rep)).map(|b| b.len()),
+            Tier::Ram(ram) => lock(&ram.blobs).get(&(id, rep)).map(|b| b.len()),
             Tier::Disk(seg) => seg.payload_len(id, rep),
         }
     }
@@ -283,21 +335,22 @@ impl RepresentationStore {
     /// bytes; the persistent tier's per-record framing overhead is not
     /// counted, so the figure is tier-independent).
     pub fn total_bytes(&self) -> usize {
-        self.total_bytes
+        self.total_bytes.load(Ordering::Relaxed)
     }
 
     /// Frames ingested.
     pub fn frames(&self) -> u64 {
-        self.ingested
+        self.ingested.load(Ordering::Relaxed)
     }
 
     /// Storage amplification vs keeping only the compressed full frame of
     /// `full_frame_bytes` (e.g. the ARCHIVE layout's ~60 KB).
     pub fn amplification_vs(&self, full_frame_bytes: usize) -> f64 {
-        if self.ingested == 0 || full_frame_bytes == 0 {
+        let frames = self.frames();
+        if frames == 0 || full_frame_bytes == 0 {
             return 0.0;
         }
-        (self.total_bytes as f64 / self.ingested as f64) / full_frame_bytes as f64
+        (self.total_bytes() as f64 / frames as f64) / full_frame_bytes as f64
     }
 
     /// True when backed by segment files.
@@ -337,7 +390,7 @@ impl RepresentationStore {
     /// records.
     pub fn verify(&self) -> Result<u64, ImageryError> {
         match &self.tier {
-            Tier::Ram(blobs) => Ok(blobs.len() as u64),
+            Tier::Ram(ram) => Ok(lock(&ram.blobs).len() as u64),
             Tier::Disk(seg) => Ok(seg.verify_all()?),
         }
     }
@@ -434,7 +487,7 @@ mod tests {
 
     #[test]
     fn ingest_then_fetch_roundtrips() {
-        let mut store = RepresentationStore::new(small_reps());
+        let store = RepresentationStore::new(small_reps());
         store.ingest(7, &frame(1)).unwrap();
         let rep = Representation::new(30, ColorMode::Gray);
         let img = fetch_one(&store, 7, rep).expect("stored");
@@ -446,7 +499,7 @@ mod tests {
 
     #[test]
     fn missing_entries_are_none() {
-        let mut store = RepresentationStore::new(small_reps());
+        let store = RepresentationStore::new(small_reps());
         store.ingest(1, &frame(2)).unwrap();
         assert!(fetch_one(&store, 2, small_reps()[0]).is_none());
         assert!(fetch_one(&store, 1, Representation::new(120, ColorMode::Red)).is_none());
@@ -454,7 +507,7 @@ mod tests {
 
     #[test]
     fn byte_accounting_accumulates() {
-        let mut store = RepresentationStore::new(small_reps());
+        let store = RepresentationStore::new(small_reps());
         store.ingest(1, &frame(3)).unwrap();
         let per_frame = store.total_bytes();
         store.ingest(2, &frame(4)).unwrap();
@@ -468,12 +521,12 @@ mod tests {
     fn small_rep_store_is_cheaper_than_archive_frames() {
         // The ONGOING bet: a handful of small representations costs less
         // storage than even one compressed full frame.
-        let mut store = RepresentationStore::new(small_reps());
+        let store = RepresentationStore::new(small_reps());
         store.ingest(1, &frame(5)).unwrap();
         let amp = store.amplification_vs(60_000);
         assert!(amp < 0.5, "amplification {amp}");
         // ...but materializing all 20 paper representations is not free.
-        let mut all = RepresentationStore::new(Representation::paper_set());
+        let all = RepresentationStore::new(Representation::paper_set());
         all.ingest(1, &frame(5)).unwrap();
         assert!(all.amplification_vs(60_000) > amp * 5.0);
     }
@@ -482,7 +535,7 @@ mod tests {
     fn ingest_stores_exactly_the_direct_apply_bytes() {
         // The lattice-planned materialization is bitwise identical to the
         // per-representation direct path, so the stored blobs are too.
-        let mut store = RepresentationStore::new(Representation::paper_set());
+        let store = RepresentationStore::new(Representation::paper_set());
         let f = frame(9);
         store.ingest(3, &f).unwrap();
         for rep in Representation::paper_set() {
@@ -499,10 +552,10 @@ mod tests {
     #[test]
     fn ingest_batch_matches_sequential_and_prices_plan() {
         let frames: Vec<Image> = (0..3).map(frame).collect();
-        let mut a = RepresentationStore::new(small_reps());
+        let a = RepresentationStore::new(small_reps());
         a.ingest_batch(frames.iter().enumerate().map(|(i, f)| (i as u64, f)))
             .unwrap();
-        let mut b = RepresentationStore::new(small_reps());
+        let b = RepresentationStore::new(small_reps());
         for (i, f) in frames.iter().enumerate() {
             b.ingest(i as u64, f).unwrap();
         }
@@ -521,7 +574,7 @@ mod tests {
 
     #[test]
     fn pooled_fetch_matches_fresh_decode_and_reuses_buffers() {
-        let mut store = RepresentationStore::new(small_reps());
+        let store = RepresentationStore::new(small_reps());
         store.ingest(4, &frame(6)).unwrap();
         store.ingest(5, &frame(7)).unwrap();
         let rep = Representation::new(30, ColorMode::Gray);
@@ -549,8 +602,8 @@ mod tests {
     #[test]
     fn persistent_tier_is_byte_identical_to_ram() {
         let dir = tmp_dir("identity");
-        let mut ram = RepresentationStore::new(small_reps());
-        let mut disk = RepresentationStore::persistent(small_reps(), &dir, 3).expect("persistent");
+        let ram = RepresentationStore::new(small_reps());
+        let disk = RepresentationStore::persistent(small_reps(), &dir, 3).expect("persistent");
         assert!(disk.is_persistent() && !ram.is_persistent());
         for id in 0..12u64 {
             let f = frame(id);
@@ -578,8 +631,7 @@ mod tests {
         let dir = tmp_dir("reopen");
         let mut blobs = Vec::new();
         {
-            let mut store =
-                RepresentationStore::persistent(small_reps(), &dir, 2).expect("persistent");
+            let store = RepresentationStore::persistent(small_reps(), &dir, 2).expect("persistent");
             for id in 0..8u64 {
                 store.ingest(id, &frame(id + 100)).unwrap();
             }
@@ -618,6 +670,49 @@ mod tests {
         .unwrap();
         assert!(RepresentationStore::open(&dir).is_err());
         fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shared_ingest_while_fetching_matches_serial() {
+        // The continuous-query contract: writers ingest through `&self`
+        // while readers fetch, and the end state is byte-identical to a
+        // serial ingest of the same frames.
+        let store = std::sync::Arc::new(RepresentationStore::new(small_reps()));
+        let serial = RepresentationStore::new(small_reps());
+        for id in 0..24u64 {
+            serial.ingest(id, &frame(id)).unwrap();
+        }
+        std::thread::scope(|s| {
+            for t in 0..3u64 {
+                let store = std::sync::Arc::clone(&store);
+                s.spawn(move || {
+                    for id in (t * 8)..(t * 8 + 8) {
+                        store.ingest(id, &frame(id)).unwrap();
+                    }
+                });
+            }
+            // A reader hammers fetch concurrently; every hit must decode.
+            let reader = std::sync::Arc::clone(&store);
+            s.spawn(move || {
+                let mut engine = TranscodeEngine::new();
+                let rep = small_reps()[0];
+                for id in (0..24u64).cycle().take(2000) {
+                    if let Some(r) = reader.fetch(id, rep, &mut engine) {
+                        let img = r.expect("decodes");
+                        engine.recycle([img]);
+                    }
+                }
+            });
+        });
+        assert_eq!(store.frames(), 24);
+        assert_eq!(store.total_bytes(), serial.total_bytes());
+        for id in 0..24u64 {
+            for &rep in serial.representations() {
+                let a = serial.with_blob(id, rep, |b| b.to_vec()).unwrap().unwrap();
+                let b = store.with_blob(id, rep, |b| b.to_vec()).unwrap().unwrap();
+                assert_eq!(a, b, "blob mismatch id {id} rep {rep}");
+            }
+        }
     }
 
     #[test]

@@ -118,6 +118,7 @@ fn main() {
             addr: args.addr,
             workers: args.workers,
             queue_cap: args.queue,
+            stream_seed: args.seed,
         },
     )
     .unwrap_or_else(|e| {

@@ -160,7 +160,7 @@ pub fn nn_service(cfg: &NnFixtureConfig) -> QueryService {
     // instead of re-ingested, so reopen serves the exact bytes the
     // previous process wrote.
     let reps = vec![rep0, rep1];
-    let mut store = match &cfg.store_dir {
+    let store = match &cfg.store_dir {
         None => RepresentationStore::new(reps),
         Some(dir) => match RepresentationStore::open(dir) {
             Ok((existing, _report))

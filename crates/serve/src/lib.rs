@@ -35,6 +35,13 @@
 //!   ([`protocol`]), a fixed worker pool, and admission control: a bounded
 //!   accept queue that sheds load with `BUSY` instead of queueing without
 //!   bound.
+//! * [`stream::StreamRegistry`] hosts *standing* continuous queries over
+//!   live video streams (`REGISTER`/`TICK`/`DELTAS` on the same wire):
+//!   each tick ingests the stream's next frames through the store's
+//!   lattice-planned transcode path and slides a RANGE/STEP count window
+//!   incrementally ([`tahoma_core::continuous`]), scoring only the
+//!   entrants through the same per-kind backends — so standing-query
+//!   packs coalesce with ad-hoc traffic in the broker.
 //!
 //! [`fixture`] builds ready-to-serve services (surrogate-backed and
 //! real-NN-backed) shared by the `query_serve` bench, the concurrency
@@ -53,8 +60,10 @@ pub mod protocol;
 pub mod sched;
 pub mod server;
 pub mod service;
+pub mod stream;
 
 pub use broker::Broker;
 pub use plan_cache::{CachedPlan, PlanCache};
 pub use server::{serve, ServerConfig, ServerHandle};
 pub use service::{ExecPolicy, QueryService, ServeError, ServeOutcome, ServiceStats};
+pub use stream::{RegisterReport, StreamRegistry, StreamStatus, TickReport};

@@ -5,6 +5,14 @@
 //! ```text
 //! QUERY <sql>          execute under the service's default policy
 //! QUERYU <sql>         execute uncached/uncoalesced (A/B baseline)
+//! REGISTER <stream> RANGE <n> STEP <n> <sql>
+//!                      register a standing continuous query over a live
+//!                      stream (coral | jackson) with a sliding count
+//!                      window; returns its qid
+//! TICK <qid>           ingest the standing query's next STEP frames and
+//!                      slide its window once; returns the result delta
+//! DELTAS <qid>         cumulative standing-query state + server-side
+//!                      incremental-vs-rescan equivalence check
 //! PING                 liveness probe
 //! STATS                service counters
 //! SHUTDOWN             stop the server (connection gets BYE first)
@@ -14,6 +22,11 @@
 //!
 //! ```text
 //! OK n=<matches> survivors=<m> plan=<hit|miss> sum=<fnv64 of ids, hex>
+//! OK qid=<id> stream=<name> range=<n> step=<n>     (REGISTER)
+//! OK qid=<id> tick=<t> window=<s>..<e> matched=<m> entered=<n> \
+//!    scored=<n> sum=<hex> added=<ids|-> removed=<ids|->   (TICK)
+//! OK qid=<id> ticks=<t> window=<s>..<e> matched=<m> scored=<n> \
+//!    sum=<hex> rescan=<hex> agree=<yes|no>                (DELTAS)
 //! OK queries=... plan_hits=... plan_misses=... broker_calls=... \
 //!    broker_merged=... broker_rows=... shed=...      (STATS)
 //! PONG
@@ -23,11 +36,14 @@
 //! ```
 //!
 //! `sum` is an order-sensitive FNV-1a 64 over the matched ids, so clients
-//! (and the CI smoke job) can verify that every replica of a query —
-//! serial, concurrent, coalesced — produced identical results without
-//! shipping the id list.
+//! (and the CI smoke jobs) can verify that every replica of a query —
+//! serial, concurrent, coalesced, or a standing window reconstructed
+//! tick-by-tick from `added`/`removed` deltas — produced identical
+//! results without shipping the id list. (`TICK` does ship the delta ids:
+//! they are the standing query's output.)
 
 use crate::service::{ServeOutcome, ServiceStats};
+use crate::stream::{RegisterReport, StreamStatus, TickReport};
 
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,6 +52,21 @@ pub enum Request {
     Query(String),
     /// Execute SQL with plan cache and coalescing disabled.
     QueryUncached(String),
+    /// Register a standing continuous query over a live stream.
+    Register {
+        /// Stream name (`coral` or `jackson`).
+        stream: String,
+        /// Window width in arrivals.
+        range: u64,
+        /// Arrivals per tick.
+        step: u64,
+        /// The standing SQL query.
+        sql: String,
+    },
+    /// Slide a standing query's window one step.
+    Tick(u64),
+    /// Report a standing query's cumulative state.
+    Deltas(u64),
     /// Liveness probe.
     Ping,
     /// Service counters.
@@ -56,12 +87,57 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "QUERY" if !rest.is_empty() => Ok(Request::Query(rest.to_string())),
         "QUERYU" if !rest.is_empty() => Ok(Request::QueryUncached(rest.to_string())),
         "QUERY" | "QUERYU" => Err("empty query".to_string()),
+        "REGISTER" => parse_register(rest),
+        "TICK" => parse_qid(rest).map(Request::Tick),
+        "DELTAS" => parse_qid(rest).map(Request::Deltas),
         "PING" => Ok(Request::Ping),
         "STATS" => Ok(Request::Stats),
         "SHUTDOWN" => Ok(Request::Shutdown),
         "" => Err("empty request".to_string()),
         other => Err(format!("unknown verb {other}")),
     }
+}
+
+/// Split the leading whitespace-delimited word off `s`.
+fn split_word(s: &str) -> Option<(&str, &str)> {
+    let t = s.trim_start();
+    if t.is_empty() {
+        return None;
+    }
+    match t.split_once(char::is_whitespace) {
+        Some((w, rest)) => Some((w, rest)),
+        None => Some((t, "")),
+    }
+}
+
+fn parse_register(rest: &str) -> Result<Request, String> {
+    const USAGE: &str = "usage: REGISTER <stream> RANGE <n> STEP <n> <sql>";
+    let (stream, rest) = split_word(rest).ok_or(USAGE)?;
+    let (kw_range, rest) = split_word(rest).ok_or(USAGE)?;
+    let (range, rest) = split_word(rest).ok_or(USAGE)?;
+    let (kw_step, rest) = split_word(rest).ok_or(USAGE)?;
+    let (step, sql) = split_word(rest).ok_or(USAGE)?;
+    if !kw_range.eq_ignore_ascii_case("RANGE") || !kw_step.eq_ignore_ascii_case("STEP") {
+        return Err(USAGE.to_string());
+    }
+    let range: u64 = range.parse().map_err(|_| format!("bad RANGE '{range}'"))?;
+    let step: u64 = step.parse().map_err(|_| format!("bad STEP '{step}'"))?;
+    let sql = sql.trim();
+    if sql.is_empty() {
+        return Err("empty standing query".to_string());
+    }
+    Ok(Request::Register {
+        stream: stream.to_string(),
+        range,
+        step,
+        sql: sql.to_string(),
+    })
+}
+
+fn parse_qid(rest: &str) -> Result<u64, String> {
+    rest.trim()
+        .parse()
+        .map_err(|_| format!("bad standing-query id '{}'", rest.trim()))
 }
 
 /// Order-sensitive FNV-1a 64 over a sequence of ids.
@@ -84,6 +160,60 @@ pub fn encode_outcome(out: &ServeOutcome) -> String {
         out.metadata_survivors,
         if out.plan_hit { "hit" } else { "miss" },
         fnv1a64(&out.matched_ids),
+    )
+}
+
+/// Comma-joined id list, `-` when empty (so the line always has the same
+/// field count).
+fn encode_ids(ids: &[u64]) -> String {
+    if ids.is_empty() {
+        "-".to_string()
+    } else {
+        ids.iter().map(u64::to_string).collect::<Vec<_>>().join(",")
+    }
+}
+
+/// Encode a successful `REGISTER`.
+pub fn encode_register(r: &RegisterReport) -> String {
+    format!(
+        "OK qid={} stream={} range={} step={}",
+        r.qid, r.stream, r.range, r.step
+    )
+}
+
+/// Encode a successful `TICK`: the slide's delta ids ride at the end of
+/// the line so the fixed-position fields parse the same way every tick.
+pub fn encode_tick(t: &TickReport) -> String {
+    format!(
+        "OK qid={} tick={} window={}..{} matched={} entered={} scored={} sum={:016x} \
+         added={} removed={}",
+        t.qid,
+        t.deltas.tick,
+        t.deltas.window_start,
+        t.deltas.window_end,
+        t.matched,
+        t.deltas.entered,
+        t.deltas.scored,
+        t.sum,
+        encode_ids(&t.deltas.added),
+        encode_ids(&t.deltas.removed),
+    )
+}
+
+/// Encode a successful `DELTAS`.
+pub fn encode_stream_status(s: &StreamStatus) -> String {
+    format!(
+        "OK qid={} ticks={} window={}..{} matched={} scored={} sum={:016x} rescan={:016x} \
+         agree={}",
+        s.qid,
+        s.ticks,
+        s.window_start,
+        s.window_end,
+        s.matched,
+        s.scored,
+        s.sum,
+        s.rescan_sum,
+        if s.agree { "yes" } else { "no" },
     )
 }
 
@@ -119,6 +249,74 @@ mod tests {
         assert!(parse_request("QUERY").is_err());
         assert!(parse_request("NOPE x").is_err());
         assert!(parse_request("").is_err());
+    }
+
+    #[test]
+    fn parses_streaming_verbs() {
+        assert_eq!(
+            parse_request("REGISTER coral RANGE 32 STEP 8 SELECT * FROM frames WHERE x = 1")
+                .unwrap(),
+            Request::Register {
+                stream: "coral".into(),
+                range: 32,
+                step: 8,
+                sql: "SELECT * FROM frames WHERE x = 1".into(),
+            }
+        );
+        assert_eq!(
+            parse_request("register jackson range 4 step 4 q").unwrap(),
+            Request::Register {
+                stream: "jackson".into(),
+                range: 4,
+                step: 4,
+                sql: "q".into(),
+            }
+        );
+        assert_eq!(parse_request("TICK 3").unwrap(), Request::Tick(3));
+        assert_eq!(parse_request("DELTAS 7").unwrap(), Request::Deltas(7));
+        assert!(parse_request("REGISTER coral RANGE 32 STEP 8").is_err());
+        assert!(parse_request("REGISTER coral RANGE x STEP 8 q").is_err());
+        assert!(parse_request("REGISTER coral STEP 8 RANGE 4 q").is_err());
+        assert!(parse_request("TICK").is_err());
+        assert!(parse_request("DELTAS x").is_err());
+    }
+
+    #[test]
+    fn stream_encodings_are_one_line() {
+        use tahoma_core::continuous::TickDeltas;
+        let tick = encode_tick(&TickReport {
+            qid: 2,
+            matched: 2,
+            sum: 0xABCD,
+            deltas: TickDeltas {
+                tick: 5,
+                window_start: 8,
+                window_end: 40,
+                added: vec![3, 9],
+                removed: vec![],
+                matched: 2,
+                entered: 8,
+                scored: 8,
+            },
+        });
+        assert_eq!(
+            tick,
+            "OK qid=2 tick=5 window=8..40 matched=2 entered=8 scored=8 \
+             sum=000000000000abcd added=3,9 removed=-"
+        );
+        let status = encode_stream_status(&StreamStatus {
+            qid: 2,
+            ticks: 5,
+            window_start: 8,
+            window_end: 40,
+            matched: 2,
+            scored: 40,
+            sum: 1,
+            rescan_sum: 1,
+            agree: true,
+        });
+        assert!(status.ends_with("sum=0000000000000001 rescan=0000000000000001 agree=yes"));
+        assert!(!tick.contains('\n') && !status.contains('\n'));
     }
 
     #[test]

@@ -12,8 +12,12 @@
 //! every worker drains its current connection before exiting.
 //! [`ServerHandle::join`] returns once all of that has happened.
 
-use crate::protocol::{encode_outcome, encode_stats, parse_request, Request};
+use crate::protocol::{
+    encode_outcome, encode_register, encode_stats, encode_stream_status, encode_tick,
+    parse_request, Request,
+};
 use crate::service::{ExecPolicy, QueryService};
+use crate::stream::StreamRegistry;
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -33,6 +37,10 @@ pub struct ServerConfig {
     /// Bounded accept queue: connections waiting beyond this are shed
     /// with `BUSY`.
     pub queue_cap: usize,
+    /// Seed for the standing-query stream registry: registered streams
+    /// derive their deterministic frame sequences from it, so two servers
+    /// booted with the same seed serve identical streams.
+    pub stream_seed: u64,
 }
 
 impl Default for ServerConfig {
@@ -41,12 +49,14 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 4,
             queue_cap: 32,
+            stream_seed: 0x57AE,
         }
     }
 }
 
 struct Shared {
     service: Arc<QueryService>,
+    streams: StreamRegistry,
     // LOCK-ORDER: 10 — held only to push/pop connections; query execution
     // (and every deeper lock) runs strictly after the guard is dropped.
     queue: Mutex<VecDeque<TcpStream>>,
@@ -99,6 +109,7 @@ pub fn serve(service: Arc<QueryService>, config: ServerConfig) -> std::io::Resul
     let addr = listener.local_addr()?;
     let shared = Arc::new(Shared {
         service,
+        streams: StreamRegistry::new(config.stream_seed),
         queue: Mutex::new(VecDeque::new()),
         queue_cv: Condvar::new(),
         queue_cap: config.queue_cap.max(1),
@@ -224,6 +235,29 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
                     coalesce: false,
                 },
             ),
+            Ok(Request::Register {
+                stream,
+                range,
+                step,
+                sql,
+            }) => guarded(|| {
+                shared
+                    .streams
+                    .register(&shared.service, &stream, range, step, &sql)
+                    .map(|r| encode_register(&r))
+            }),
+            Ok(Request::Tick(qid)) => guarded(|| {
+                shared
+                    .streams
+                    .tick(&shared.service, qid)
+                    .map(|t| encode_tick(&t))
+            }),
+            Ok(Request::Deltas(qid)) => guarded(|| {
+                shared
+                    .streams
+                    .status(&shared.service, qid)
+                    .map(|s| encode_stream_status(&s))
+            }),
         };
         if writer
             .write_all(format!("{response}\n").as_bytes())
@@ -235,14 +269,25 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
 }
 
 fn run_query(shared: &Shared, sql: &str, policy: ExecPolicy) -> String {
-    // A scoring panic (deployment misconfiguration) must not take the
-    // worker thread down with it — surface it as an ERR line.
-    let outcome = catch_unwind(AssertUnwindSafe(|| {
-        shared.service.execute_with(sql, policy)
-    }));
-    match outcome {
-        Ok(Ok(out)) => encode_outcome(&out),
+    guarded(|| {
+        shared
+            .service
+            .execute_with(sql, policy)
+            .map(|o| encode_outcome(&o))
+    })
+}
+
+/// Run one request handler, turning typed errors — and panics, which must
+/// not take the worker thread down (a scoring panic is a deployment
+/// misconfiguration, not a serving failure) — into `ERR` lines.
+fn guarded<F, E>(f: F) -> String
+where
+    F: FnOnce() -> Result<String, E>,
+    E: std::fmt::Display,
+{
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(Ok(line)) => line,
         Ok(Err(e)) => format!("ERR {e}"),
-        Err(_) => "ERR internal: query execution panicked".to_string(),
+        Err(_) => "ERR internal: request execution panicked".to_string(),
     }
 }

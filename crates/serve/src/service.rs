@@ -24,9 +24,11 @@ use std::collections::{BTreeMap, HashSet};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use tahoma_core::evaluator::CostContext;
-use tahoma_core::exec::{ExecOptions, NnSessionScratch, SharedModelZoo, SharedNnScorer};
+use tahoma_core::exec::{
+    ExecOptions, NnSessionScratch, SharedModelZoo, SharedNnScorer, VectorizedExecutor,
+};
 use tahoma_core::pipeline::TahomaSystem;
-use tahoma_core::query::{Corpus, Query, QueryProcessor};
+use tahoma_core::query::{Corpus, CorpusItem, Query, QueryProcessor};
 use tahoma_core::thresholds::ThresholdTable;
 use tahoma_core::{Cascade, Constraints, SurrogateBatchScorer};
 use tahoma_costmodel::AnalyticProfiler;
@@ -156,7 +158,7 @@ pub struct QueryService {
 /// Releases a kind as soon as its cascade entry completes — a query past
 /// the fence predicate must not keep fence batch leaders waiting — and
 /// releases everything on drop (error paths included).
-struct InterestGuard {
+pub(crate) struct InterestGuard {
     counters: Vec<(ObjectKind, Arc<AtomicUsize>)>,
 }
 
@@ -346,35 +348,7 @@ impl QueryService {
             }
         }
         self.queries.fetch_add(1, Ordering::Relaxed);
-        // Register interest with every NN kind this query will execute, so
-        // the kinds' brokers know how many concurrent packs to expect.
-        let mut interest = InterestGuard {
-            counters: Vec::new(),
-        };
-        {
-            let mut uniq: Vec<ObjectKind> = query.content.clone();
-            uniq.sort_unstable();
-            uniq.dedup();
-            for kind in uniq {
-                if let Some(KindState {
-                    backend: KindBackend::Nn(nn),
-                    ..
-                }) = self.kinds.get(&kind)
-                {
-                    nn.active.fetch_add(1, Ordering::Relaxed);
-                    interest.counters.push((kind, Arc::clone(&nn.active)));
-                }
-            }
-        }
-        if policy.coalesce && !interest.counters.is_empty() {
-            // Registration rendezvous: queries arriving together must all
-            // be registered before any of them chooses between the broker's
-            // idle fast path and batching. One yield lets same-instant
-            // arrivals (burst clients, queued requests) reach their own
-            // registration first; when nothing else is runnable it is a
-            // few hundred nanoseconds.
-            std::thread::yield_now();
-        }
+        let mut interest = self.register_interest(&query.content, policy.coalesce);
 
         if query.content.is_empty() {
             // Metadata-only query: filter any kind's corpus (metadata is
@@ -474,5 +448,92 @@ impl QueryService {
             metadata_survivors: survivors,
             plan_hit,
         })
+    }
+
+    /// Register interest with every NN kind in `kinds` (duplicates
+    /// collapse), so the kinds' brokers know how many concurrent packs to
+    /// expect. Standing-query ticks take the same guard ad-hoc queries do,
+    /// which is what lets their packs coalesce with ad-hoc traffic.
+    pub(crate) fn register_interest(&self, kinds: &[ObjectKind], coalesce: bool) -> InterestGuard {
+        let mut interest = InterestGuard {
+            counters: Vec::new(),
+        };
+        let mut uniq: Vec<ObjectKind> = kinds.to_vec();
+        uniq.sort_unstable();
+        uniq.dedup();
+        for kind in uniq {
+            if let Some(KindState {
+                backend: KindBackend::Nn(nn),
+                ..
+            }) = self.kinds.get(&kind)
+            {
+                nn.active.fetch_add(1, Ordering::Relaxed);
+                interest.counters.push((kind, Arc::clone(&nn.active)));
+            }
+        }
+        if coalesce && !interest.counters.is_empty() {
+            // Registration rendezvous: queries arriving together must all
+            // be registered before any of them chooses between the broker's
+            // idle fast path and batching. One yield lets same-instant
+            // arrivals (burst clients, queued requests) reach their own
+            // registration first; when nothing else is runnable it is a
+            // few hundred nanoseconds.
+            std::thread::yield_now();
+        }
+        interest
+    }
+
+    /// Score one pack through `kind`'s backend and return one pass flag
+    /// per pack item. This is the continuous executor's evaluation seam:
+    /// a standing query's tick routes each content predicate here, so
+    /// entrant packs run through exactly the machinery ad-hoc queries use
+    /// — same thresholds, same scratch pool, same coalescing broker —
+    /// which is what makes incremental window results comparable to a
+    /// `QUERY` over the same items.
+    pub(crate) fn eval_kind_pack(
+        &self,
+        kind: ObjectKind,
+        cascade: Cascade,
+        pack: &[&CorpusItem],
+        coalesce: bool,
+    ) -> Result<Vec<bool>, ServeError> {
+        let st = self
+            .kinds
+            .get(&kind)
+            .ok_or(ServeError::UnservedKind(kind))?;
+        let thresholds = st.exec_thresholds.as_ref().unwrap_or(&st.system.thresholds);
+        let exec = VectorizedExecutor::new(&st.system.repo, thresholds, &st.cost);
+        let rel = match &st.backend {
+            KindBackend::Surrogate(sc) => {
+                let mut scorer = SurrogateBatchScorer::new(sc, &st.system.repo);
+                exec.run_cascade_batched(kind, cascade, pack, &mut scorer)
+            }
+            KindBackend::Nn(nn) => {
+                let mut scratch = lock(&nn.sessions)
+                    .pop()
+                    .unwrap_or_else(NnSessionScratch::new);
+                let rel = {
+                    let mut scorer = SharedNnScorer::new(&nn.store, &nn.zoo, &mut scratch);
+                    if coalesce {
+                        scorer = scorer.with_dispatch(&nn.broker);
+                    }
+                    exec.run_cascade_batched(kind, cascade, pack, &mut scorer)
+                };
+                lock(&nn.sessions).push(scratch);
+                rel
+            }
+        }
+        .map_err(|e| ServeError::Exec(e.to_string()))?;
+        Ok(rel.rows.iter().map(|r| r.value).collect())
+    }
+
+    /// The shared representation store behind `kind`'s NN backend, if any
+    /// — the ingest target for stream frames whose standing query scores
+    /// that kind with real networks (surrogate backends move no pixels).
+    pub(crate) fn nn_store(&self, kind: ObjectKind) -> Option<Arc<RepresentationStore>> {
+        match self.kinds.get(&kind).map(|st| &st.backend) {
+            Some(KindBackend::Nn(nn)) => Some(Arc::clone(&nn.store)),
+            _ => None,
+        }
     }
 }

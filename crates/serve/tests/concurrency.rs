@@ -184,6 +184,7 @@ fn server_protocol_roundtrip_with_concurrent_clients() {
             addr: "127.0.0.1:0".to_string(),
             workers: 3,
             queue_cap: 16,
+            ..ServerConfig::default()
         },
     )
     .expect("bind");

@@ -1,0 +1,150 @@
+//! Stream → ingest glue: turn a [`VideoStream`]'s abstract frames into
+//! full raster images ready for representation-store ingest.
+//!
+//! [`VideoStream`] generates the *dynamics* of a camera feed (Markov
+//! object presence, drifting background, difficulty walk) and a small DD
+//! thumbnail per frame; the continuous-query pipeline additionally needs
+//! each arriving frame as a full-resolution raster so the store can run
+//! its lattice-planned transcode at ingest (the paper's §V ingest-time
+//! materialization). [`StreamIngest`] composes the two deterministic
+//! generators the same way `tahoma_noscope::datasets` does for its batch
+//! datasets: the stream decides *whether* the object is present and how
+//! hard the frame is, the scene renderer decides *what the pixels look
+//! like* for that `(frame index, label)` pair — so replaying a stream
+//! config reproduces the identical frame sequence, which is what makes
+//! the streaming smoke test and benches assertable.
+//!
+//! Frames are numbered `id_base + idx` so several camera streams can
+//! ingest into one shared store without id collisions (the serve layer
+//! hands each registered stream a disjoint base).
+
+use crate::stream::{Frame, StreamConfig, VideoStream};
+use tahoma_imagery::{Image, ObjectKind, SceneParams, SceneRenderer, TranscodeEngine};
+
+/// Seed perturbation tying a stream's renderer to its config seed (same
+/// constant as the NoScope datasets, so a `StreamIngest` over
+/// `StreamConfig::coral(seed)` renders the exact frames the batch dataset
+/// would).
+const RENDER_SEED_XOR: u64 = 0xF8A3E;
+
+/// One arriving frame, ready for ingest: the store-wide id, the stream
+/// frame (label, difficulty, DD thumbnail), and the full raster.
+#[derive(Debug, Clone)]
+pub struct IngestFrame {
+    /// Store-wide frame id (`id_base + frame.idx`).
+    pub id: u64,
+    /// The stream frame (ground-truth label, difficulty, thumbnail).
+    pub frame: Frame,
+    /// Full-resolution rendered raster (what the store materializes from).
+    pub image: Image,
+}
+
+/// A live camera feed producing ingest-ready frames: a [`VideoStream`]
+/// for dynamics plus a [`SceneRenderer`] for pixels.
+#[derive(Debug, Clone)]
+pub struct StreamIngest {
+    stream: VideoStream,
+    renderer: SceneRenderer,
+    id_base: u64,
+}
+
+impl StreamIngest {
+    /// Create a feed. `kind` is the object the scene renderer plants when
+    /// the stream says the frame is positive; `scene_size` is the square
+    /// raster side in pixels; `id_base` offsets frame ids so streams
+    /// sharing a store stay disjoint.
+    pub fn new(
+        config: StreamConfig,
+        kind: ObjectKind,
+        scene_size: usize,
+        id_base: u64,
+    ) -> StreamIngest {
+        let renderer = SceneRenderer::new(
+            kind,
+            SceneParams::small(scene_size),
+            config.seed ^ RENDER_SEED_XOR,
+        );
+        StreamIngest {
+            stream: VideoStream::new(config),
+            renderer,
+            id_base,
+        }
+    }
+
+    /// The stream configuration.
+    pub fn config(&self) -> &StreamConfig {
+        self.stream.config()
+    }
+
+    /// The kind the renderer plants.
+    pub fn kind(&self) -> ObjectKind {
+        self.renderer.kind()
+    }
+
+    /// The id the next produced frame will get.
+    pub fn next_id(&self) -> u64 {
+        self.id_base + self.stream.position()
+    }
+
+    /// Produce the next arriving frame: advance the stream one step and
+    /// render its raster. Pass the same `engine` across calls so the
+    /// thumbnail resize plan and buffer pool amortize (the raster itself
+    /// is a fresh allocation — it is handed to the store).
+    pub fn next_ingest(&mut self, engine: &mut TranscodeEngine) -> IngestFrame {
+        let f = self.stream.next_frame();
+        let (image, _) = self.renderer.render(f.idx, f.label);
+        let frame = Frame::from_image(
+            f.idx,
+            f.label,
+            f.difficulty,
+            &image,
+            self.stream.config().thumb_side,
+            engine,
+        );
+        IngestFrame {
+            id: self.id_base + frame.idx,
+            frame,
+            image,
+        }
+    }
+
+    /// Produce the next `n` arriving frames.
+    pub fn take_ingest(&mut self, n: usize, engine: &mut TranscodeEngine) -> Vec<IngestFrame> {
+        (0..n).map(|_| self.next_ingest(engine)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_is_deterministic_and_ids_offset() {
+        let mut engine = TranscodeEngine::new();
+        let mut a = StreamIngest::new(StreamConfig::coral(42), ObjectKind::Coho, 48, 0);
+        let mut b = StreamIngest::new(StreamConfig::coral(42), ObjectKind::Coho, 48, 1 << 32);
+        for i in 0..6u64 {
+            let fa = a.next_ingest(&mut engine);
+            let fb = b.next_ingest(&mut engine);
+            assert_eq!(fa.id, i);
+            assert_eq!(fb.id, (1u64 << 32) + i);
+            assert_eq!(fa.frame.label, fb.frame.label);
+            assert_eq!(fa.image.data(), fb.image.data(), "frame {i}");
+        }
+    }
+
+    #[test]
+    fn labels_match_stream_replay() {
+        // The glue must not perturb the stream: labels equal a bare
+        // VideoStream replay of the same config.
+        let mut engine = TranscodeEngine::new();
+        let mut fed = StreamIngest::new(StreamConfig::jackson(7), ObjectKind::Wallet, 32, 0);
+        let mut bare = VideoStream::new(StreamConfig::jackson(7));
+        for _ in 0..20 {
+            let f = fed.next_ingest(&mut engine);
+            let g = bare.next_frame();
+            assert_eq!(f.frame.idx, g.idx);
+            assert_eq!(f.frame.label, g.label);
+        }
+    }
+}

@@ -11,11 +11,13 @@
 //! current frame is close enough to the last labeled one.
 
 pub mod diff;
+pub mod ingest;
 pub mod skip;
 pub mod smooth;
 pub mod stream;
 
 pub use diff::DifferenceDetector;
+pub use ingest::{IngestFrame, StreamIngest};
 pub use skip::FrameSkipper;
 pub use smooth::MajoritySmoother;
 pub use stream::{Frame, StreamConfig, VideoStream};

@@ -166,6 +166,12 @@ impl VideoStream {
         &self.config
     }
 
+    /// Index of the next frame [`VideoStream::next_frame`] will produce
+    /// (equals the number of frames generated so far).
+    pub fn position(&self) -> u64 {
+        self.next_idx
+    }
+
     /// Generate the next frame.
     pub fn next_frame(&mut self) -> Frame {
         let cfg = &self.config;

@@ -19,6 +19,21 @@
 //!
 //! Every (client, repeat) response for the same SQL must be identical
 //! (modulo the `plan=hit|miss` field); any divergence exits non-zero.
+//!
+//! With `--stream`, the client registers the SQL as a *standing*
+//! continuous query over a live stream and drives its sliding window
+//! tick by tick (the CI stream-smoke job's path):
+//!
+//! ```text
+//! cargo run --release --example sql_console -- --connect 127.0.0.1:7343 \
+//!     --stream coral --range 32 --step 8 --ticks 6 [--shutdown] [SQL]
+//! ```
+//!
+//! The client reconstructs the matched set purely from the per-tick
+//! `added`/`removed` deltas and checks its FNV hash against the server's
+//! `sum=` on every tick; the final `DELTAS` must report `agree=yes` (the
+//! server's own incremental-vs-rescan check) and the same hash. Any
+//! mismatch exits non-zero.
 
 use std::collections::BTreeMap;
 use tahoma::core::evaluator::CostContext;
@@ -47,6 +62,12 @@ mod client {
         pub repeat: usize,
         pub shutdown: bool,
         pub queries: Vec<String>,
+        /// When set, register the first query as a standing continuous
+        /// query over this stream instead of running ad-hoc queries.
+        pub stream: Option<String>,
+        pub range: u64,
+        pub step: u64,
+        pub ticks: u64,
     }
 
     /// One request line, with bounded retry on admission-control `BUSY`.
@@ -70,7 +91,104 @@ mod client {
         Err("server still BUSY after 32 attempts".to_string())
     }
 
+    /// Extract a `key=value` field from a response line.
+    fn field<'a>(resp: &'a str, key: &str) -> Result<&'a str, String> {
+        let prefix = format!("{key}=");
+        resp.split_whitespace()
+            .find_map(|tok| tok.strip_prefix(prefix.as_str()))
+            .ok_or_else(|| format!("missing {key}= in: {resp}"))
+    }
+
+    fn id_list(spec: &str) -> Result<Vec<u64>, String> {
+        if spec == "-" {
+            return Ok(Vec::new());
+        }
+        spec.split(',')
+            .map(|s| s.parse().map_err(|_| format!("bad id '{s}'")))
+            .collect()
+    }
+
+    /// Standing-query mode: REGISTER, then drive `ticks` window slides,
+    /// reconstructing the matched set from the wire deltas alone and
+    /// verifying it against the server's hash at every step.
+    pub fn run_stream(opts: &Options, stream: &str) -> Result<(), String> {
+        let ping = ask(&opts.addr, "PING")?;
+        if ping != "PONG" {
+            return Err(format!("unexpected PING response: {ping}"));
+        }
+        let sql = opts
+            .queries
+            .first()
+            .ok_or("standing mode needs one SQL query")?;
+        let resp = ask(
+            &opts.addr,
+            &format!(
+                "REGISTER {stream} RANGE {} STEP {} {sql}",
+                opts.range, opts.step
+            ),
+        )?;
+        if !resp.starts_with("OK ") {
+            return Err(format!("REGISTER failed: {resp}"));
+        }
+        let qid: u64 = field(&resp, "qid")?
+            .parse()
+            .map_err(|e| format!("bad qid: {e}"))?;
+        println!("{resp}");
+        let mut rebuilt: Vec<u64> = Vec::new();
+        for t in 1..=opts.ticks {
+            let resp = ask(&opts.addr, &format!("TICK {qid}"))?;
+            if !resp.starts_with("OK ") {
+                return Err(format!("TICK {t} failed: {resp}"));
+            }
+            let removed = id_list(field(&resp, "removed")?)?;
+            let added = id_list(field(&resp, "added")?)?;
+            rebuilt.retain(|id| !removed.contains(id));
+            rebuilt.extend(&added);
+            let sum = u64::from_str_radix(field(&resp, "sum")?, 16)
+                .map_err(|e| format!("bad sum: {e}"))?;
+            let local = tahoma::serve::protocol::fnv1a64(&rebuilt);
+            if local != sum {
+                return Err(format!(
+                    "tick {t}: delta replay hash {local:016x} != server sum {sum:016x}\n  {resp}"
+                ));
+            }
+            println!("{resp}");
+        }
+        let status = ask(&opts.addr, &format!("DELTAS {qid}"))?;
+        if !status.starts_with("OK ") {
+            return Err(format!("DELTAS failed: {status}"));
+        }
+        println!("{status}");
+        if field(&status, "agree")? != "yes" {
+            return Err(format!("server incremental != rescan: {status}"));
+        }
+        let sum =
+            u64::from_str_radix(field(&status, "sum")?, 16).map_err(|e| format!("bad sum: {e}"))?;
+        let local = tahoma::serve::protocol::fnv1a64(&rebuilt);
+        if local != sum {
+            return Err(format!(
+                "final delta replay hash {local:016x} != server sum {sum:016x}"
+            ));
+        }
+        println!(
+            "delta replay verified: {} matched ids reconstructed over {} ticks",
+            rebuilt.len(),
+            opts.ticks
+        );
+        if opts.shutdown {
+            let bye = ask(&opts.addr, "SHUTDOWN")?;
+            if bye != "BYE" {
+                return Err(format!("unexpected SHUTDOWN response: {bye}"));
+            }
+            println!("server shut down");
+        }
+        Ok(())
+    }
+
     pub fn run(opts: &Options) -> Result<(), String> {
+        if let Some(stream) = &opts.stream {
+            return run_stream(opts, &stream.clone());
+        }
         let ping = ask(&opts.addr, "PING")?;
         if ping != "PONG" {
             return Err(format!("unexpected PING response: {ping}"));
@@ -147,6 +265,10 @@ fn main() {
             repeat: 1,
             shutdown: false,
             queries: Vec::new(),
+            stream: None,
+            range: 32,
+            step: 8,
+            ticks: 6,
         };
         let mut it = args.into_iter().skip(1);
         opts.addr = it.next().unwrap_or_else(|| {
@@ -157,6 +279,10 @@ fn main() {
             match arg.as_str() {
                 "--clients" => opts.clients = it.next().and_then(|v| v.parse().ok()).unwrap_or(1),
                 "--repeat" => opts.repeat = it.next().and_then(|v| v.parse().ok()).unwrap_or(1),
+                "--stream" => opts.stream = it.next(),
+                "--range" => opts.range = it.next().and_then(|v| v.parse().ok()).unwrap_or(32),
+                "--step" => opts.step = it.next().and_then(|v| v.parse().ok()).unwrap_or(8),
+                "--ticks" => opts.ticks = it.next().and_then(|v| v.parse().ok()).unwrap_or(6),
                 "--shutdown" => opts.shutdown = true,
                 _ => opts.queries.push(arg),
             }

@@ -43,6 +43,11 @@ cargo bench -p tahoma-bench --bench query_serve    -- --quick --json "$out/query
 # comparison alongside its criterion lines.
 cargo bench -p tahoma-bench --bench store_scale    -- --quick --json "$out/store_scale.json" \
     2>&1 | tee "$out/store_scale.txt"
+# stream_query prints the per-tick frames/s table (two window sizes) and
+# asserts the incremental-vs-rescan speedup (>= 2x at RANGE=8xSTEP) and
+# incremental == rescan equivalence alongside its criterion lines.
+cargo bench -p tahoma-bench --bench stream_query   -- --quick --json "$out/stream_query.json" \
+    2>&1 | tee "$out/stream_query.txt"
 
 if [ "$update" = 1 ]; then
     # Full regeneration: start from scratch so retired/renamed benchmark
@@ -51,10 +56,11 @@ if [ "$update" = 1 ]; then
     rm -f BENCH_baseline.json
     cargo run --release -p tahoma-bench --bin bench_trend -- merge BENCH_baseline.json \
         "$out/nn_inference.json" "$out/repr_transform.json" "$out/query_exec.json" \
-        "$out/kernel_policy.json" "$out/query_serve.json" "$out/store_scale.json"
+        "$out/kernel_policy.json" "$out/query_serve.json" "$out/store_scale.json" \
+        "$out/stream_query.json"
 else
     cargo run --release -p tahoma-bench --bin bench_trend -- compare BENCH_baseline.json \
         "$out/nn_inference.json" "$out/repr_transform.json" "$out/query_exec.json" \
         "$out/kernel_policy.json" "$out/query_serve.json" "$out/store_scale.json" \
-        | tee "$out/trend.txt"
+        "$out/stream_query.json" | tee "$out/trend.txt"
 fi

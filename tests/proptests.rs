@@ -744,8 +744,8 @@ proptest! {
             );
         }
         let dir = proptest_dir("store-tier");
-        let mut ram = RepresentationStore::new(reps.clone());
-        let mut disk = RepresentationStore::persistent(reps.clone(), &dir, 3).unwrap();
+        let ram = RepresentationStore::new(reps.clone());
+        let disk = RepresentationStore::persistent(reps.clone(), &dir, 3).unwrap();
         for (i, f) in frames.iter().enumerate() {
             ram.ingest(i as u64, f).unwrap();
             disk.ingest(i as u64, f).unwrap();

@@ -178,7 +178,7 @@ fn vectorized_executor_serves_real_models_end_to_end() {
     // level serves via direct fetch and the other via the transcode
     // fallback.
     let source_rep = Representation::new(24, ColorMode::Rgb);
-    let mut store = RepresentationStore::new(vec![rep_gray, source_rep]);
+    let store = RepresentationStore::new(vec![rep_gray, source_rep]);
     let corpus = Corpus {
         items: bundle
             .eval
