@@ -4,7 +4,7 @@
 //! orderings, and a Mutex/Condvar coalescing broker — invariants that
 //! were enforced only by convention. This crate machine-checks them on
 //! every CI run (see `SAFETY.md` at the workspace root for the policy the
-//! lints encode, and [`lints`] for the rule catalogue A1–A6).
+//! lints encode, and [`lints`] for the rule catalogue A1–A7).
 //!
 //! Run it locally with `scripts/audit.sh`, or directly:
 //!

@@ -1,4 +1,4 @@
-//! The audit rules (A1–A6), implemented over [`crate::lexer`] token
+//! The audit rules (A1–A7), implemented over [`crate::lexer`] token
 //! streams. Deny by default: every rule reports a [`Violation`] unless the
 //! code carries the required annotation; exceptions live in
 //! `audit-allow.toml`, never here.
@@ -11,6 +11,7 @@
 //! | A4 | no `unwrap()/expect()` in `serve/src` or `core::exec` hot paths |
 //! | A5 | raw-pointer ops confined to the audited kernel/storage files |
 //! | A6 | `Mutex` fields in `serve` and the representation/segment stores carry `// LOCK-ORDER: n` ranks, and locks are acquired in ascending rank |
+//! | A7 | fault-injection sites (`tahoma_faults` uses) confined to the allowlisted failure-surface modules, each marked with a `// FAULT:` comment |
 //!
 //! Everything here is heuristic token matching, tuned to this workspace's
 //! idioms (see `SAFETY.md`); the integration tests pin the behavior on
@@ -22,7 +23,7 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 /// One lint finding, pointing at a file line.
 #[derive(Debug, Clone)]
 pub struct Violation {
-    /// Lint id (`A1`…`A6`, or `A0` for stale allowlist entries).
+    /// Lint id (`A1`…`A7`, or `A0` for stale allowlist entries).
     pub lint: &'static str,
     /// Forward-slash path relative to the workspace root.
     pub file: String,
@@ -47,6 +48,18 @@ pub const KERNEL_FILES: [&str; 5] = [
 /// File exempt from A3: the workspace's single home for NaN-aware
 /// ordering, where `partial_cmp` unwraps are the point under test.
 pub const ORDER_FILE: &str = "crates/core/src/order.rs";
+
+/// The modules allowed to host fault-injection sites (A7): the serving
+/// stack's deliberate failure surface — segment/representation storage,
+/// the coalescing broker, the wire protocol edge, and the standing-query
+/// ticker. Each site's contract is documented in `RELIABILITY.md`.
+pub const FAULT_MODULES: [&str; 5] = [
+    "crates/imagery/src/segment.rs",
+    "crates/imagery/src/store.rs",
+    "crates/serve/src/broker.rs",
+    "crates/serve/src/server.rs",
+    "crates/serve/src/stream.rs",
+];
 
 /// Per-file context shared by the rules.
 struct FileCtx {
@@ -369,6 +382,81 @@ fn a5_raw_pointer_ops(ctx: &FileCtx, out: &mut Vec<Violation>) {
     }
 }
 
+/// A7: fault-injection sites confined to [`FAULT_MODULES`] and marked.
+/// Outside the allowlist, any non-test `tahoma_faults` use is flagged —
+/// injection points are part of the audited failure surface, not
+/// something to sprinkle ad hoc. Inside it, every site needs a
+/// `// FAULT:` comment stating what failure it models, with the same
+/// adjacent-run tolerance as A1. The faults crate itself and test code
+/// (which *arms* plans rather than hosting sites) are exempt.
+fn a7_fault_sites(ctx: &FileCtx, out: &mut Vec<Violation>) {
+    if ctx.rel.starts_with("crates/faults/") || ctx.rel.contains("/tests/") {
+        return;
+    }
+    let allowed = FAULT_MODULES.contains(&ctx.rel.as_str());
+    let mut flagged: HashSet<u32> = HashSet::new();
+    let mut covered_lines: HashSet<u32> = HashSet::new();
+    for (ti, t) in ctx.lx.toks.iter().enumerate() {
+        let TokKind::Ident(id) = &t.kind else {
+            continue;
+        };
+        if id != "tahoma_faults" || ctx.in_test(ti) {
+            continue;
+        }
+        let line = t.line;
+        if !allowed {
+            if flagged.insert(line) {
+                out.push(
+                    ctx.violation(
+                        "A7",
+                        line,
+                        "fault-injection site outside the A7 module allowlist — keep injection \
+                     points on the audited failure surface (see RELIABILITY.md)"
+                            .to_string(),
+                    ),
+                );
+            }
+            continue;
+        }
+        // Same upward scan as A1: tolerate blank/comment/attribute lines,
+        // earlier lines of the same statement, and already-covered lines.
+        let mut stmt_start = line;
+        for k in (0..ti).rev() {
+            match ctx.lx.toks[k].kind {
+                TokKind::Punct(';') | TokKind::Punct('{') | TokKind::Punct('}') => break,
+                _ => stmt_start = stmt_start.min(ctx.lx.toks[k].line),
+            }
+        }
+        let is_fault_comment = |c: &&Comment| !c.doc && c.text.contains("FAULT:");
+        let mut covered = ctx.comments_touching(line).any(|c| is_fault_comment(&c));
+        let mut l = line.saturating_sub(1);
+        while !covered && l >= 1 {
+            covered = ctx.comments_touching(l).any(|c| is_fault_comment(&c));
+            if covered {
+                break;
+            }
+            let has_code = ctx.code_lines.contains(&l) && !ctx.attr_lines.contains(&l);
+            if has_code && l < stmt_start && !covered_lines.contains(&l) {
+                break;
+            }
+            l -= 1;
+        }
+        if covered {
+            covered_lines.insert(line);
+        } else if flagged.insert(line) {
+            out.push(
+                ctx.violation(
+                    "A7",
+                    line,
+                    "fault-injection site without a `// FAULT:` comment naming the failure it \
+                 models"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+}
+
 /// Index of the `)` matching the `(` at `open`.
 fn match_paren(lx: &Lexed, open: usize) -> Option<usize> {
     let mut depth = 0i32;
@@ -661,6 +749,7 @@ pub fn audit_sources(files: &BTreeMap<String, String>) -> Vec<Violation> {
         a3_partial_cmp_unwrap(&ctx, &mut out);
         a4_hot_path_unwraps(&ctx, &mut out);
         a5_raw_pointer_ops(&ctx, &mut out);
+        a7_fault_sites(&ctx, &mut out);
         if a6_in_scope(&ctx.rel) {
             a6_collect_ranks(&ctx, &mut ranks, &mut out);
         }

@@ -214,6 +214,38 @@ fn a6_scope_covers_the_segment_store_shard_locks() {
 }
 
 #[test]
+fn a7_fault_sites_confined_to_allowlisted_modules_and_marked() {
+    // An injection site in a non-allowlisted module is flagged no matter
+    // how well it is commented.
+    let stray = "pub fn f() {\n    // FAULT: stray site.\n    tahoma_faults::fire(3);\n}\n";
+    let report = audit(&[("crates/core/src/exec.rs", stray)]);
+    assert_eq!(lints_of(&report), ["A7"], "{}", report.human());
+
+    // In an allowlisted module, an unmarked site is flagged...
+    let unmarked = "pub fn f() {\n    tahoma_faults::fire(3);\n}\n";
+    let report = audit(&[("crates/serve/src/broker.rs", unmarked)]);
+    assert_eq!(lints_of(&report), ["A7"], "{}", report.human());
+
+    // ...a `// FAULT:` comment clears it, and one comment covers an
+    // adjacent run of sites (the segment read path's idiom).
+    let marked = "pub fn f() {\n    // FAULT: leader dies mid-batch.\n    tahoma_faults::fire(3);\n    tahoma_faults::stall(4);\n}\n";
+    let ok = audit(&[("crates/serve/src/broker.rs", marked)]);
+    assert!(ok.clean(), "{}", ok.human());
+
+    // Test code arms plans rather than hosting sites: exempt, both as
+    // in-file test modules and as tests/ files.
+    let test_mod = "pub fn ok() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { tahoma_faults::fire(1); }\n}\n";
+    let ok = audit(&[("crates/core/src/exec.rs", test_mod)]);
+    assert!(ok.clean(), "{}", ok.human());
+    let ok = audit(&[("crates/serve/tests/chaos.rs", unmarked)]);
+    assert!(ok.clean(), "{}", ok.human());
+
+    // The faults crate itself is where the machinery lives.
+    let ok = audit(&[("crates/faults/src/lib.rs", unmarked)]);
+    assert!(ok.clean(), "{}", ok.human());
+}
+
+#[test]
 fn allowlist_excuses_named_violation_and_stale_entries_fail() {
     let files = fixture(&[(
         "crates/serve/src/service.rs",

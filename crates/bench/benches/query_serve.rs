@@ -51,6 +51,7 @@ fn query(i: usize) -> String {
 const SERIAL: ExecPolicy = ExecPolicy {
     use_plan_cache: true,
     coalesce: false,
+    deadline: None,
 };
 
 fn fixture() -> Arc<QueryService> {

@@ -226,6 +226,11 @@ impl ContinuousExecutor {
     /// surviving pack); expired items are retired; every other decision
     /// carries over. Requires the tick's `STEP` arrivals to be ingested.
     ///
+    /// Failure-atomic: if `eval` returns an error, no window state has
+    /// changed — arrivals stay pending, decisions stay carried — so the
+    /// identical tick can be retried (the serve layer's degraded-stream
+    /// recovery depends on this; see RELIABILITY.md).
+    ///
     /// `eval` receives the predicate kind, its registered cascade, and the
     /// pack of surviving items, and returns one pass/fail per pack item —
     /// it must be deterministic per (kind, item) for the incremental ≡
@@ -247,49 +252,49 @@ impl ContinuousExecutor {
         }
         let start = end.saturating_sub(self.window.range);
 
-        // Retire expired entries (ascending positions: all at the front).
-        let mut removed = Vec::new();
-        while self.entries.front().is_some_and(|e| e.pos < start) {
-            let e = self.entries.pop_front().expect("front checked");
-            if e.passes {
-                removed.push(e.item.id);
-            }
-        }
+        // Plan the slide without mutating anything: which entries expire
+        // (ascending positions, all at the front), how many gap arrivals
+        // to drop (STEP > RANGE: positions no window ever covers), and
+        // which pending arrivals enter this window.
+        let n_expired = self.entries.iter().take_while(|e| e.pos < start).count();
+        let removed: Vec<u64> = self
+            .entries
+            .iter()
+            .take(n_expired)
+            .filter(|e| e.passes)
+            .map(|e| e.item.id)
+            .collect();
+        let front_pos = self.next_pos - self.pending.len() as u64;
+        let n_gap = (start.saturating_sub(front_pos) as usize).min(self.pending.len());
+        let entrant_pos = front_pos + n_gap as u64;
+        let n_entrants = (end.saturating_sub(entrant_pos) as usize).min(self.pending.len() - n_gap);
 
-        // Drop gap arrivals (STEP > RANGE: positions no window ever
-        // covers), then pull this tick's entrants.
-        let mut front_pos = self.next_pos - self.pending.len() as u64;
-        while front_pos < start && !self.pending.is_empty() {
-            self.pending.pop_front();
-            front_pos += 1;
-        }
-        let mut entrants: Vec<WindowEntry> = Vec::new();
-        while front_pos < end && !self.pending.is_empty() {
-            let item = self.pending.pop_front().expect("non-empty checked");
-            entrants.push(WindowEntry {
-                pos: front_pos,
-                item,
-                passes: false,
-            });
-            front_pos += 1;
-        }
-
-        // Score the entrants: metadata filter, then each content cascade
-        // over the shrinking survivor pack (short-circuit conjunction;
-        // decisions are order-independent so this matches materialize-all
-        // semantics item for item).
-        let items: Vec<&CorpusItem> = entrants.iter().map(|e| &e.item).collect();
+        // Score the entrants in place: metadata filter, then each content
+        // cascade over the shrinking survivor pack (short-circuit
+        // conjunction; decisions are order-independent so this matches
+        // materialize-all semantics item for item). A failure here — the
+        // `?` — leaves the executor bit-for-bit untouched, so the serve
+        // layer can retry the same tick idempotently (RELIABILITY.md).
+        let items: Vec<&CorpusItem> = self.pending.iter().skip(n_gap).take(n_entrants).collect();
         let (passes, scored) = evaluate(&self.query, &self.cascades, &items, &mut eval)?;
         drop(items);
+
+        // Eval succeeded: commit the slide.
+        self.entries.drain(..n_expired);
+        self.pending.drain(..n_gap);
         let mut added = Vec::new();
-        for (e, pass) in entrants.iter_mut().zip(&passes) {
-            e.passes = *pass;
+        for (k, pass) in passes.iter().enumerate() {
+            let item = self.pending.pop_front().expect("entrants counted above");
             if *pass {
-                added.push(e.item.id);
+                added.push(item.id);
             }
+            self.entries.push_back(WindowEntry {
+                pos: entrant_pos + k as u64,
+                item,
+                passes: *pass,
+            });
         }
-        let entered = entrants.len();
-        self.entries.extend(entrants);
+        let entered = n_entrants;
 
         self.end = end;
         self.ticks += 1;

@@ -55,7 +55,7 @@ use crate::thresholds::ThresholdTable;
 use std::collections::{BTreeMap, HashMap};
 use std::time::Instant;
 use tahoma_imagery::engine::TranscodeEngine;
-use tahoma_imagery::{ObjectKind, Representation, RepresentationStore};
+use tahoma_imagery::{Fetched, ObjectKind, Representation, RepresentationStore};
 use tahoma_nn::Sequential;
 use tahoma_zoo::surrogate::{Split, VariantStream};
 use tahoma_zoo::{ModelId, ModelRepository, SurrogateScorer};
@@ -236,6 +236,10 @@ pub struct NnStageStats {
     /// Pack slots served from the shared-representation cache instead of a
     /// fresh fetch/transcode.
     pub cache_hits: u64,
+    /// Pack slots whose stored representation was quarantined (corrupt or
+    /// persistently unreadable) and were served through the
+    /// transcode-from-source degradation path instead (RELIABILITY.md).
+    pub degraded_fetches: u64,
 }
 
 struct NnModel {
@@ -272,10 +276,12 @@ struct NnModel {
 /// # Panics
 ///
 /// `score_batch` panics when a cascade level's model was never
-/// [`NnBatchScorer::register`]ed, when an item's representation is absent
-/// from the store and no source representation was configured, or when a
-/// stored blob fails to decode — all deployment-configuration errors, not
-/// data-dependent conditions.
+/// [`NnBatchScorer::register`]ed, or when an item's representation is
+/// absent (or quarantined) from the store and no usable source
+/// representation was configured — deployment-configuration errors, not
+/// data-dependent conditions. A corrupt or persistently unreadable stored
+/// blob does *not* panic: the store quarantines it and the scorer degrades
+/// to the transcode-from-source path (see RELIABILITY.md).
 pub struct NnBatchScorer<'a> {
     store: &'a RepresentationStore,
     models: HashMap<u32, NnModel>,
@@ -346,14 +352,21 @@ impl<'a> NnBatchScorer<'a> {
         rep: Representation,
     ) -> tahoma_imagery::Image {
         let t0 = Instant::now();
-        let direct = self.store.fetch(item.id, rep, &mut self.engine);
+        let direct = self.store.fetch_classified(item.id, rep, &mut self.engine);
         self.stats.fetch_decode_s += t0.elapsed().as_secs_f64();
         // Every buffer — decoded fetches and transcode outputs alike —
         // comes from and returns to the scorer's own engine pool; the
         // store itself is only borrowed shared.
         let img = match direct {
-            Some(img) => img.unwrap_or_else(|e| panic!("item {} rep {rep}: {e}", item.id)),
-            None => {
+            Fetched::Hit(img) => img,
+            Fetched::Absent | Fetched::Quarantined => {
+                // Quarantined records degrade to the same source-transcode
+                // fallback as never-materialized ones — same source pixels,
+                // same transcode, bitwise the same input — but are counted
+                // so the serve layer can surface the degradation.
+                if matches!(direct, Fetched::Quarantined) {
+                    self.stats.degraded_fetches += 1;
+                }
                 let src_rep = self.source_rep.unwrap_or_else(|| {
                     panic!(
                         "item {} has no stored {rep} and no source representation is configured",
@@ -361,16 +374,21 @@ impl<'a> NnBatchScorer<'a> {
                     )
                 });
                 let t1 = Instant::now();
+                // The pinned path retries harder and never quarantines:
+                // losing the source would make the degradation permanent.
                 let src = self
                     .store
-                    .fetch(item.id, src_rep, &mut self.engine)
+                    .fetch_pinned(item.id, src_rep, &mut self.engine)
                     .unwrap_or_else(|| panic!("item {} has no stored source {src_rep}", item.id))
                     .unwrap_or_else(|e| panic!("item {} source {src_rep}: {e}", item.id));
                 self.stats.fetch_decode_s += t1.elapsed().as_secs_f64();
                 let t2 = Instant::now();
+                // Replay the ingest-time lattice plan, not a direct
+                // transcode: multi-hop plans make the two differ, and the
+                // degraded input must be bitwise what was stored.
                 let out = self
-                    .engine
-                    .apply(&src, rep)
+                    .store
+                    .rederive(&src, rep)
                     .unwrap_or_else(|e| panic!("item {} transcode to {rep}: {e}", item.id));
                 self.stats.transcode_s += t2.elapsed().as_secs_f64();
                 self.engine.recycle([src]);
@@ -598,8 +616,8 @@ impl NnSessionScratch {
 /// # Panics
 ///
 /// Same configuration panics as [`NnBatchScorer`]: unregistered cascade
-/// model, item missing from the store with no source representation, or an
-/// undecodable blob.
+/// model, or item missing/quarantined with no usable source
+/// representation. Corrupt blobs quarantine and degrade instead.
 pub struct SharedNnScorer<'a> {
     store: &'a RepresentationStore,
     zoo: &'a SharedModelZoo,
@@ -639,11 +657,16 @@ impl<'a> SharedNnScorer<'a> {
     ) -> tahoma_imagery::Image {
         let sc = &mut *self.scratch;
         let t0 = Instant::now();
-        let direct = self.store.fetch(item.id, rep, &mut sc.engine);
+        let direct = self.store.fetch_classified(item.id, rep, &mut sc.engine);
         sc.stats.fetch_decode_s += t0.elapsed().as_secs_f64();
         let img = match direct {
-            Some(img) => img.unwrap_or_else(|e| panic!("item {} rep {rep}: {e}", item.id)),
-            None => {
+            Fetched::Hit(img) => img,
+            Fetched::Absent | Fetched::Quarantined => {
+                // Quarantined → same source-transcode fallback as absent
+                // (bitwise-identical input), counted for STATS visibility.
+                if matches!(direct, Fetched::Quarantined) {
+                    sc.stats.degraded_fetches += 1;
+                }
                 let src_rep = self.zoo.source_rep.unwrap_or_else(|| {
                     panic!(
                         "item {} has no stored {rep} and no source representation is configured",
@@ -651,16 +674,20 @@ impl<'a> SharedNnScorer<'a> {
                     )
                 });
                 let t1 = Instant::now();
+                // Pinned: the source must not be quarantined by a fault
+                // burst, or the degradation would become permanent.
                 let src = self
                     .store
-                    .fetch(item.id, src_rep, &mut sc.engine)
+                    .fetch_pinned(item.id, src_rep, &mut sc.engine)
                     .unwrap_or_else(|| panic!("item {} has no stored source {src_rep}", item.id))
                     .unwrap_or_else(|e| panic!("item {} source {src_rep}: {e}", item.id));
                 sc.stats.fetch_decode_s += t1.elapsed().as_secs_f64();
                 let t2 = Instant::now();
-                let out = sc
-                    .engine
-                    .apply(&src, rep)
+                // Lattice-plan replay, not direct transcode: the degraded
+                // input must be bitwise what ingest stored.
+                let out = self
+                    .store
+                    .rederive(&src, rep)
                     .unwrap_or_else(|e| panic!("item {} transcode to {rep}: {e}", item.id));
                 sc.stats.transcode_s += t2.elapsed().as_secs_f64();
                 sc.engine.recycle([src]);

@@ -34,7 +34,11 @@
 //!   representation store: calibrate the real fetch+decode path
 //!   ([`io::IoProfile::measure`]) and spend a §V storage budget on the
 //!   lattice nodes with the best latency gain per stored byte
-//!   ([`io::plan_materialization`]).
+//!   ([`io::plan_materialization`]);
+//! * [`reliability`] — error classification (transient vs permanent) and
+//!   expected-cost pricing of the store's bounded-retry and degradation
+//!   policies (RELIABILITY.md), which the serve layer's deadline budgeting
+//!   consumes.
 //!
 //! [`Representation`]: tahoma_imagery::Representation
 
@@ -43,6 +47,7 @@ pub mod device;
 pub mod io;
 pub mod kernels;
 pub mod profiler;
+pub mod reliability;
 pub mod scenario;
 pub mod storage;
 pub mod transform;
@@ -51,6 +56,7 @@ pub use device::DeviceProfile;
 pub use io::{plan_materialization, IoProfile, MaterializationPlan};
 pub use kernels::{calibrate_and_install, KernelCalibration, TierSample};
 pub use profiler::{AnalyticProfiler, CostBreakdown, CostProfiler, MeasuredProfiler};
+pub use reliability::{ErrorClass, RetryPolicy};
 pub use scenario::{Scenario, ScenarioCosts};
 pub use storage::StorageProfile;
 pub use transform::TransformCostModel;

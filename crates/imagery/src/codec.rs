@@ -41,6 +41,19 @@ fn dequantize(b: u8) -> f32 {
     b as f32 / 255.0
 }
 
+/// Quantize-roundtrip every sample through the storage quantizer, in
+/// place: afterwards the image is exactly what encoding then decoding it
+/// produces (the u8 grid is a fixed point: `quantize(dequantize(b)) == b`).
+/// Ingest normalizes frames through this *before* deriving
+/// representations, so a representation re-derived from the decoded
+/// stored source is bitwise identical to the stored record — the
+/// quarantine degradation path's exactness guarantee (RELIABILITY.md).
+pub fn quantize_roundtrip(img: &mut Image) {
+    for v in img.data_mut() {
+        *v = dequantize(quantize(*v));
+    }
+}
+
 pub(crate) fn mode_code(mode: ColorMode) -> u8 {
     match mode {
         ColorMode::Rgb => 0,

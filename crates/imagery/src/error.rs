@@ -21,6 +21,11 @@ pub enum ImageryError {
     /// The persistent store tier hit an I/O error (message carries the
     /// `std::io::Error` rendering; the io error itself is not `Clone`).
     Io(String),
+    /// A *retryable* I/O error: the kind (interrupted syscall, timeout,
+    /// short read) suggests the same operation may succeed if repeated.
+    /// The fetch layer retries these with bounded jittered backoff before
+    /// degrading (see RELIABILITY.md); everything else is permanent.
+    TransientIo(String),
 }
 
 impl fmt::Display for ImageryError {
@@ -43,7 +48,19 @@ impl fmt::Display for ImageryError {
                 write!(f, "operation requires a full-resolution RGB source image")
             }
             ImageryError::Io(msg) => write!(f, "store i/o error: {msg}"),
+            ImageryError::TransientIo(msg) => {
+                write!(f, "transient store i/o error: {msg}")
+            }
         }
+    }
+}
+
+impl ImageryError {
+    /// Whether retrying the failed operation may succeed. Only
+    /// [`ImageryError::TransientIo`] qualifies; corruption, decode
+    /// failures, and permanent I/O errors do not.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, ImageryError::TransientIo(_))
     }
 }
 
@@ -51,7 +68,16 @@ impl std::error::Error for ImageryError {}
 
 impl From<std::io::Error> for ImageryError {
     fn from(e: std::io::Error) -> ImageryError {
-        ImageryError::Io(e.to_string())
+        use std::io::ErrorKind;
+        match e.kind() {
+            // Interrupted syscalls, timeouts, and short reads are worth a
+            // retry; anything else (NotFound, PermissionDenied, corrupt
+            // data, ...) is treated as permanent.
+            ErrorKind::Interrupted | ErrorKind::TimedOut | ErrorKind::WouldBlock => {
+                ImageryError::TransientIo(e.to_string())
+            }
+            _ => ImageryError::Io(e.to_string()),
+        }
     }
 }
 

@@ -644,6 +644,11 @@ impl SegmentStore {
     /// fans out across shards. The entry becomes fetchable once the index
     /// publish completes.
     pub fn append(&self, id: u64, rep: Representation, payload: &[u8]) -> io::Result<()> {
+        // FAULT: transient write error, injected before any shard state
+        // changes so a retried append starts from a clean slate.
+        if let Some(e) = tahoma_faults::transient_io(tahoma_faults::site::SEG_WRITE) {
+            return Err(e);
+        }
         let shard = &self.shards[self.shard_of(id)];
         let rec_len = RECORD_HEADER_LEN as u64 + payload.len() as u64;
         let mut w = lock(&shard.seg_writer);
@@ -668,7 +673,13 @@ impl SegmentStore {
         // lock (ranks 70 → 71, ascending).
         let mut ix = lock(&shard.seg_index);
         if self.mode == AccessMode::Mmap && (w.map_stale || ix.map.is_none()) {
-            ix.map = Mmap::new(&w.file, w.capacity as usize).map(Arc::new);
+            // FAULT: a failed mmap (re)publish drops the shard to the pread
+            // fallback; the next append retries the mapping.
+            ix.map = if tahoma_faults::fire(tahoma_faults::site::SEG_MMAP) {
+                None
+            } else {
+                Mmap::new(&w.file, w.capacity as usize).map(Arc::new)
+            };
             if ix.map.is_some() {
                 w.map_stale = false;
             }
@@ -700,6 +711,26 @@ impl SegmentStore {
             };
             (off, len, ix.map.clone())
         };
+        // FAULT: a slow read stalls without erroring, then a transient
+        // read error is retryable by the fetch layer.
+        tahoma_faults::stall(tahoma_faults::site::SEG_READ_SLOW);
+        if let Some(e) = tahoma_faults::transient_io(tahoma_faults::site::SEG_READ) {
+            return Err(e);
+        }
+        // FAULT: a short read surfaces as Interrupted — retryable.
+        if tahoma_faults::fire(tahoma_faults::site::SEG_READ_SHORT) {
+            return Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                format!("injected short read for record ({id}, {rep})"),
+            ));
+        }
+        // FAULT: a CRC mismatch is permanent — the fetch layer quarantines
+        // the record and degrades to transcode-from-source.
+        if tahoma_faults::fire(tahoma_faults::site::SEG_READ_CORRUPT) {
+            return Err(bad_data(format!(
+                "injected CRC mismatch for record ({id}, {rep})"
+            )));
+        }
         let end = off as usize + len as usize;
         if let Some(m) = map {
             if end <= m.len() {
@@ -799,6 +830,31 @@ impl SegmentStore {
             verified += scan.records;
         }
         Ok(verified)
+    }
+
+    /// Re-scan every shard and return the indexed records whose on-disk
+    /// bytes are no longer verifiable — the quarantine feed for serve
+    /// startup's `--verify-on-open`. Unlike [`SegmentStore::verify_all`],
+    /// corruption is *reported*, not an error; only I/O failures reading
+    /// the shard files surface as `Err`. The scan stops at the first bad
+    /// record per shard, so everything after a corrupt record in the same
+    /// shard is reported too (conservative: quarantined records fall back
+    /// to transcode-from-source, never to wrong bytes).
+    pub fn unverifiable_records(&self) -> io::Result<Vec<(u64, Representation)>> {
+        let mut bad = Vec::new();
+        for (s, shard) in self.shards.iter().enumerate() {
+            // Stabilize the file length for the sequential scan.
+            let w = lock(&shard.seg_writer);
+            let scan = Self::scan_shard(&w.file, s as u32)?;
+            drop(w);
+            let ix = lock(&shard.seg_index);
+            for (key, val) in &ix.entries {
+                if scan.entries.get(key) != Some(val) {
+                    bad.push(*key);
+                }
+            }
+        }
+        Ok(bad)
     }
 
     /// Shard count.

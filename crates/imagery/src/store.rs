@@ -51,7 +51,7 @@ use crate::image::Image;
 use crate::repr::Representation;
 use crate::segment::{AccessMode, RecoveryReport, SegmentStore, RECORD_HEADER_LEN};
 use bytes::Bytes;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -114,6 +114,52 @@ struct IngestState {
     last_shape: Option<(usize, usize)>,
 }
 
+/// Classified result of [`RepresentationStore::fetch_classified`].
+#[derive(Debug)]
+pub enum Fetched {
+    /// Decoded image, in a pooled buffer from the caller's engine.
+    Hit(Image),
+    /// The record was never ingested — the caller's ordinary fallback
+    /// (transcode from a stored source representation) applies.
+    Absent,
+    /// The record exists but is quarantined — CRC-corrupt, undecodable,
+    /// or persistently unreadable after retries. The stored bytes are
+    /// never served; callers must fall back to transcode-from-source and
+    /// surface the result as degraded (see RELIABILITY.md).
+    Quarantined,
+}
+
+/// Reliability counters accumulated by the fetch/ingest paths (surfaced
+/// through the serve layer's `STATS`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReliabilityStats {
+    /// Transient-error retries performed (fetch and ingest).
+    pub retries: u64,
+    /// Fetches answered `Quarantined` (the caller degraded to a source
+    /// transcode instead of the materialized representation).
+    pub degraded_fetches: u64,
+    /// Records currently quarantined.
+    pub quarantined: u64,
+}
+
+/// Transient-error retry budget: total attempts per operation (the first
+/// try plus bounded retries with jittered backoff).
+const MAX_ATTEMPTS: u32 = 4;
+
+/// Deterministic backoff with per-(record, attempt) jitter: exponential
+/// base so repeated transients spread out, splitmix-derived jitter so
+/// concurrent retriers of different records decorrelate.
+fn backoff(id: u64, attempt: u32) {
+    let mut z = id
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(attempt as u64);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    let jitter_us = (z ^ (z >> 31)) % 64;
+    let base_us = 32u64 << attempt.min(8);
+    std::thread::sleep(std::time::Duration::from_micros(base_us + jitter_us));
+}
+
 /// The representation store; see the module docs for the tier layout.
 #[derive(Debug, Default)]
 pub struct RepresentationStore {
@@ -125,6 +171,15 @@ pub struct RepresentationStore {
     // materialize + append of one frame, below the blob map (66) and the
     // shard locks (70/71), never while any serve-layer lock is wanted.
     ingest_state: Mutex<IngestState>,
+    // Quarantined (id, rep) keys: records whose stored bytes must never
+    // be served again. Guarded by a length fast path so the fault-free
+    // fetch path pays one relaxed load, no lock.
+    // LOCK-ORDER: 67 — taken during fetch/verify only, after the blob map
+    // (66) is released and before any shard lock (70/71) is wanted.
+    quarantine: Mutex<HashSet<(u64, Representation)>>,
+    quarantine_len: AtomicUsize,
+    retries: AtomicU64,
+    degraded_fetches: AtomicU64,
 }
 
 impl RepresentationStore {
@@ -212,6 +267,11 @@ impl RepresentationStore {
     /// Materialization serializes on the store's engine; persistent-tier
     /// appends touch only the shards owning this id.
     pub fn ingest(&self, id: u64, full: &Image) -> Result<(), ImageryError> {
+        // FAULT: transient ingest fault upstream of any state change, so
+        // the caller's retry re-runs the whole frame cleanly.
+        if let Some(e) = tahoma_faults::transient_io(tahoma_faults::site::STORE_INGEST) {
+            return Err(e.into());
+        }
         let shape = (full.width(), full.height());
         let mut st = lock(&self.ingest_state);
         let st = &mut *st;
@@ -220,7 +280,15 @@ impl RepresentationStore {
             TranscodePlan::new(shape.0, shape.1, reps, &TranscodeCosts::default())
         });
         st.last_shape = Some(shape);
-        let materialized = st.engine.apply_planned(full, plan)?;
+        // Snap the frame to the storage quantizer's u8 grid before any
+        // derivation: every stored representation is then a function of
+        // exactly what the stored source decodes back to, which is what
+        // makes `rederive` (the quarantine degradation rung) bitwise
+        // exact (RELIABILITY.md).
+        let mut full_q = full.clone();
+        crate::codec::quantize_roundtrip(&mut full_q);
+        let materialized = st.engine.apply_planned(&full_q, plan)?;
+        st.engine.recycle([full_q]);
         let mut added = 0usize;
         for (&rep, image) in self.reps.iter().zip(&materialized) {
             let bytes = RawCodec.encode(image);
@@ -229,7 +297,26 @@ impl RepresentationStore {
                 Tier::Ram(ram) => {
                     lock(&ram.blobs).insert((id, rep), bytes);
                 }
-                Tier::Disk(seg) => seg.append(id, rep, &bytes)?,
+                // Bounded retry on transient append errors; re-appending a
+                // key is idempotent at the index (last record wins), so a
+                // retried write can never serve torn bytes.
+                Tier::Disk(seg) => {
+                    let mut attempt = 0;
+                    loop {
+                        match seg.append(id, rep, &bytes) {
+                            Ok(()) => break,
+                            Err(e) => {
+                                let e: ImageryError = e.into();
+                                attempt += 1;
+                                if !e.is_transient() || attempt >= MAX_ATTEMPTS {
+                                    return Err(e);
+                                }
+                                self.retries.fetch_add(1, Ordering::Relaxed);
+                                backoff(id, attempt);
+                            }
+                        }
+                    }
+                }
             }
         }
         // Only the encoded bytes are kept; the pixel buffers feed the next
@@ -238,6 +325,39 @@ impl RepresentationStore {
         self.total_bytes.fetch_add(added, Ordering::Relaxed);
         self.ingested.fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Re-derive one configured representation from a caller-supplied
+    /// full-resolution frame by replaying the *same lattice plan* ingest
+    /// ran — the recovered pixels are bitwise identical to the stored
+    /// record they stand in for (multi-hop plans route through
+    /// intermediate representations, so a direct source→rep transcode
+    /// would NOT reproduce them). This is the quarantine degradation
+    /// rung's compute half: fetch the pinned source, re-derive the input
+    /// (RELIABILITY.md).
+    ///
+    /// A representation the store never materialized has no stored record
+    /// to reproduce, so it is transcoded directly — the on-the-fly path
+    /// executors use for reps outside the configured set.
+    pub fn rederive(&self, full: &Image, rep: Representation) -> Result<Image, ImageryError> {
+        let Some(idx) = self.reps.iter().position(|&r| r == rep) else {
+            return lock(&self.ingest_state).engine.apply(full, rep);
+        };
+        let shape = (full.width(), full.height());
+        let mut st = lock(&self.ingest_state);
+        let st = &mut *st;
+        let reps = &self.reps;
+        let plan = st.plans.entry(shape).or_insert_with(|| {
+            TranscodePlan::new(shape.0, shape.1, reps, &TranscodeCosts::default())
+        });
+        let mut materialized = st.engine.apply_planned(full, plan)?;
+        let mut out = materialized.swap_remove(idx);
+        st.engine.recycle(materialized);
+        // A normal fetch serves *decoded* pixels (the stored u8 grid), so
+        // the stand-in must land on that grid too, not on the
+        // full-precision derivation.
+        crate::codec::quantize_roundtrip(&mut out);
+        Ok(out)
     }
 
     /// Ingest a batch of frames. Equivalent to calling
@@ -269,10 +389,106 @@ impl RepresentationStore {
     /// fetch concurrently, each with its own [`TranscodeEngine`] (and thus
     /// its own buffer pool); hand decoded images back to *that* engine's
     /// [`TranscodeEngine::recycle`] and steady-state fetching allocates
-    /// nothing. `None` when the frame or representation was never
-    /// ingested; `Some(Err(ImageryError::Io(..)))` when the persistent
-    /// tier's read fails.
+    /// nothing. `None` when the frame or representation was never ingested
+    /// *or* the record is quarantined — callers that need to distinguish
+    /// (and count degradation) use [`RepresentationStore::fetch_classified`].
     pub fn fetch(
+        &self,
+        id: u64,
+        rep: Representation,
+        engine: &mut TranscodeEngine,
+    ) -> Option<Result<Image, ImageryError>> {
+        match self.fetch_classified(id, rep, engine) {
+            Fetched::Hit(img) => Some(Ok(img)),
+            Fetched::Absent | Fetched::Quarantined => None,
+        }
+    }
+
+    /// [`RepresentationStore::fetch`] with the miss classified: transient
+    /// read errors are retried with bounded jittered backoff; a record
+    /// that stays unreadable — or whose bytes are corrupt/undecodable —
+    /// is quarantined and reported [`Fetched::Quarantined`] so the caller
+    /// degrades to transcode-from-source instead of failing (the
+    /// degradation ladder, RELIABILITY.md).
+    pub fn fetch_classified(
+        &self,
+        id: u64,
+        rep: Representation,
+        engine: &mut TranscodeEngine,
+    ) -> Fetched {
+        if self.is_quarantined(id, rep) {
+            self.degraded_fetches.fetch_add(1, Ordering::Relaxed);
+            return Fetched::Quarantined;
+        }
+        let mut attempt = 0;
+        loop {
+            // FAULT: transient fetch fault above the tier dispatch (both
+            // tiers; the segment layer injects its own below).
+            let fetched = match tahoma_faults::transient_io(tahoma_faults::site::STORE_FETCH) {
+                Some(e) => Some(Err(e.into())),
+                None => self.tier_fetch(id, rep, engine),
+            };
+            match fetched {
+                None => return Fetched::Absent,
+                Some(Ok(img)) => return Fetched::Hit(img),
+                Some(Err(e)) => {
+                    attempt += 1;
+                    if e.is_transient() && attempt < MAX_ATTEMPTS {
+                        self.retries.fetch_add(1, Ordering::Relaxed);
+                        backoff(id, attempt);
+                        continue;
+                    }
+                    // Permanent (corrupt/undecodable) or retries exhausted:
+                    // never serve these bytes again.
+                    self.quarantine_record(id, rep);
+                    self.degraded_fetches.fetch_add(1, Ordering::Relaxed);
+                    return Fetched::Quarantined;
+                }
+            }
+        }
+    }
+
+    /// Fetch a record that must not be reclassified on failure — the
+    /// transcode *source* that quarantined model inputs degrade to.
+    /// Quarantining here would convert a transient fault into permanent
+    /// data loss (the source is the bottom rung of the degradation
+    /// ladder), so this path retries twice as hard, retries *every* error
+    /// class (under fault pressure even a CRC mismatch can be a one-off
+    /// torn read), never quarantines, and surfaces the last error to the
+    /// caller instead of hiding it behind [`Fetched::Quarantined`].
+    pub fn fetch_pinned(
+        &self,
+        id: u64,
+        rep: Representation,
+        engine: &mut TranscodeEngine,
+    ) -> Option<Result<Image, ImageryError>> {
+        let mut attempt = 0;
+        loop {
+            // FAULT: same above-tier injection as `fetch_classified`, so
+            // pinned reads face the same schedule pressure as normal ones.
+            let fetched = match tahoma_faults::transient_io(tahoma_faults::site::STORE_FETCH) {
+                Some(e) => Some(Err(e.into())),
+                None => self.tier_fetch(id, rep, engine),
+            };
+            match fetched {
+                None => return None,
+                Some(Ok(img)) => return Some(Ok(img)),
+                Some(Err(e)) => {
+                    attempt += 1;
+                    if attempt < 2 * MAX_ATTEMPTS {
+                        self.retries.fetch_add(1, Ordering::Relaxed);
+                        backoff(id, attempt);
+                        continue;
+                    }
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+
+    /// One read attempt against the backing tier (no retry, no
+    /// quarantine).
+    fn tier_fetch(
         &self,
         id: u64,
         rep: Representation,
@@ -300,6 +516,32 @@ impl RepresentationStore {
                     Err(e) => Some(Err(e.into())),
                 }
             }
+        }
+    }
+
+    /// Quarantine one record: its stored bytes are never served again;
+    /// fetches answer [`Fetched::Quarantined`] and callers fall back to
+    /// transcode-from-source.
+    pub fn quarantine_record(&self, id: u64, rep: Representation) {
+        let mut q = lock(&self.quarantine);
+        if q.insert((id, rep)) {
+            self.quarantine_len.store(q.len(), Ordering::Relaxed);
+        }
+    }
+
+    /// Whether a record is quarantined. One relaxed load when the
+    /// quarantine set is empty (the fault-free hot path).
+    pub fn is_quarantined(&self, id: u64, rep: Representation) -> bool {
+        self.quarantine_len.load(Ordering::Relaxed) > 0
+            && lock(&self.quarantine).contains(&(id, rep))
+    }
+
+    /// Reliability counters (retries, degraded fetches, quarantine size).
+    pub fn reliability_stats(&self) -> ReliabilityStats {
+        ReliabilityStats {
+            retries: self.retries.load(Ordering::Relaxed),
+            degraded_fetches: self.degraded_fetches.load(Ordering::Relaxed),
+            quarantined: self.quarantine_len.load(Ordering::Relaxed) as u64,
         }
     }
 
@@ -394,6 +636,24 @@ impl RepresentationStore {
             Tier::Disk(seg) => Ok(seg.verify_all()?),
         }
     }
+
+    /// Startup integrity sweep (serve's `--verify-on-open`): CRC-verify
+    /// every persistent record and *quarantine* the unverifiable ones
+    /// instead of failing — fetches of a quarantined record degrade to
+    /// transcode-from-source. Returns `(verified, quarantined)` record
+    /// counts. No-op `(blobs, 0)` for the RAM tier.
+    pub fn verify_and_quarantine(&self) -> Result<(u64, usize), ImageryError> {
+        match &self.tier {
+            Tier::Ram(ram) => Ok((lock(&ram.blobs).len() as u64, 0)),
+            Tier::Disk(seg) => {
+                let bad = seg.unverifiable_records()?;
+                for &(id, rep) in &bad {
+                    self.quarantine_record(id, rep);
+                }
+                Ok((seg.records() - bad.len() as u64, bad.len()))
+            }
+        }
+    }
 }
 
 fn write_manifest(dir: &Path, shards: usize, reps: &[Representation]) -> Result<(), ImageryError> {
@@ -486,6 +746,29 @@ mod tests {
     }
 
     #[test]
+    fn rederive_from_stored_source_is_bitwise_identical() {
+        // The degradation contract: a quarantined model input re-derived
+        // from the stored source rep must reproduce the stored bytes
+        // exactly. Source rep matches the ingested frame shape (the serve
+        // fixture's layout).
+        let src_rep = Representation::new(224, ColorMode::Rgb);
+        let mut reps = small_reps();
+        reps.push(src_rep);
+        let store = RepresentationStore::new(reps.clone());
+        store.ingest(7, &frame(3)).unwrap();
+        let src = fetch_one(&store, 7, src_rep).expect("stored source");
+        for rep in [reps[0], reps[1]] {
+            let derived = store.rederive(&src, rep).expect("rederives");
+            let derived_bytes = RawCodec.encode(&derived);
+            let stored = store
+                .with_blob(7, rep, |b| b.to_vec())
+                .expect("readable")
+                .expect("stored");
+            assert_eq!(&derived_bytes[..], &stored[..], "rederive({rep}) diverged");
+        }
+    }
+
+    #[test]
     fn ingest_then_fetch_roundtrips() {
         let store = RepresentationStore::new(small_reps());
         store.ingest(7, &frame(1)).unwrap();
@@ -538,8 +821,12 @@ mod tests {
         let store = RepresentationStore::new(Representation::paper_set());
         let f = frame(9);
         store.ingest(3, &f).unwrap();
+        // Ingest snaps the frame to the storage quantizer's grid first
+        // (the rederive exactness guarantee); mirror it for the reference.
+        let mut f_q = f.clone();
+        crate::codec::quantize_roundtrip(&mut f_q);
         for rep in Representation::paper_set() {
-            let direct = crate::repr::apply_reference(&f, rep).unwrap();
+            let direct = crate::repr::apply_reference(&f_q, rep).unwrap();
             let want = RawCodec.encode(&direct);
             let same = store
                 .with_blob(3, rep, |got| got == want.as_ref())

@@ -5,11 +5,17 @@
 //! tahoma-serve [--addr HOST:PORT] [--backend surrogate|nn]
 //!              [--kinds fence,wallet,...] [--corpus N] [--seed S]
 //!              [--workers N] [--queue N] [--store-dir DIR]
+//!              [--verify-on-open] [--deadline-ms N]
 //! ```
 //!
 //! `--store-dir` (NN backend only) backs the frame store with the
 //! persistent mmap-backed segment tier under DIR; a compatible existing
-//! store is reopened without re-ingesting.
+//! store is reopened without re-ingesting. `--verify-on-open` sweeps every
+//! stored record's CRC at boot and quarantines (rather than boot-fails on)
+//! corrupt ones — they serve through the transcode-from-source degradation
+//! path and are counted in `STATS`. `--deadline-ms` applies a server-side
+//! deadline to every plain `QUERY`/`QUERYU` (clients can always set a
+//! per-request one with the `DEADLINE` verb).
 //!
 //! Prints `listening on ADDR` once ready (the CI smoke job greps for it),
 //! then runs until a client sends `SHUTDOWN`.
@@ -29,13 +35,15 @@ struct Args {
     workers: usize,
     queue: usize,
     store_dir: Option<std::path::PathBuf>,
+    verify_on_open: bool,
+    deadline_ms: Option<u64>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: tahoma-serve [--addr HOST:PORT] [--backend surrogate|nn] \
          [--kinds fence,wallet,...] [--corpus N] [--seed S] [--workers N] [--queue N] \
-         [--store-dir DIR]"
+         [--store-dir DIR] [--verify-on-open] [--deadline-ms N]"
     );
     exit(2);
 }
@@ -50,6 +58,8 @@ fn parse_args() -> Args {
         workers: 4,
         queue: 32,
         store_dir: None,
+        verify_on_open: false,
+        deadline_ms: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -73,6 +83,14 @@ fn parse_args() -> Args {
             "--workers" => args.workers = val().parse().unwrap_or_else(|_| usage()),
             "--queue" => args.queue = val().parse().unwrap_or_else(|_| usage()),
             "--store-dir" => args.store_dir = Some(val().into()),
+            "--verify-on-open" => args.verify_on_open = true,
+            "--deadline-ms" => {
+                let ms: u64 = val().parse().unwrap_or_else(|_| usage());
+                if ms == 0 {
+                    usage();
+                }
+                args.deadline_ms = Some(ms);
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag: {other}");
@@ -94,8 +112,8 @@ fn main() {
     );
     let service = match args.backend.as_str() {
         "surrogate" => {
-            if args.store_dir.is_some() {
-                eprintln!("--store-dir only applies to the nn backend");
+            if args.store_dir.is_some() || args.verify_on_open {
+                eprintln!("--store-dir / --verify-on-open only apply to the nn backend");
                 usage();
             }
             surrogate_service(&args.kinds, args.corpus, args.seed)
@@ -105,6 +123,7 @@ fn main() {
             corpus_n: args.corpus,
             seed: args.seed,
             store_dir: args.store_dir.clone(),
+            verify_on_open: args.verify_on_open,
             ..Default::default()
         }),
         other => {
@@ -119,6 +138,7 @@ fn main() {
             workers: args.workers,
             queue_cap: args.queue,
             stream_seed: args.seed,
+            default_deadline_ms: args.deadline_ms,
         },
     )
     .unwrap_or_else(|e| {

@@ -24,6 +24,15 @@
 //! reduction order does not depend on how many rows ride in the call, so
 //! every row's score is bitwise identical whether it was scored alone or
 //! merged with strangers (asserted by `tests/concurrency.rs`).
+//!
+//! That same batch-shape invariance powers the broker's failure story:
+//! when a leader's merged zoo call dies (a panic inside inference — or an
+//! injected leader death, `tahoma_faults::site::BROKER_LEAD`), every
+//! participant of the failed batch *re-executes its own rows solo* and
+//! gets scores bitwise identical to the merged call it lost
+//! (RELIABILITY.md's failover rung). Deterministic panics — an
+//! unregistered model — re-raise on the solo retry, so real
+//! configuration errors still propagate to every participant.
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -88,6 +97,9 @@ pub struct BrokerStats {
     pub merged_calls: u64,
     /// Total rows scored through the broker.
     pub rows: u64,
+    /// Failed merged calls whose participants re-executed solo (one count
+    /// per recovering participant, not per failed batch).
+    pub failovers: u64,
 }
 
 /// Per-model-zoo coalescing broker. One instance serves one
@@ -112,6 +124,7 @@ pub struct Broker {
     calls: AtomicU64,
     merged_calls: AtomicU64,
     rows: AtomicU64,
+    failovers: AtomicU64,
 }
 
 impl Broker {
@@ -140,6 +153,7 @@ impl Broker {
             calls: AtomicU64::new(0),
             merged_calls: AtomicU64::new(0),
             rows: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
         }
     }
 
@@ -163,14 +177,31 @@ impl Broker {
             calls: self.calls.load(Ordering::Relaxed),
             merged_calls: self.merged_calls.load(Ordering::Relaxed),
             rows: self.rows.load(Ordering::Relaxed),
+            failovers: self.failovers.load(Ordering::Relaxed),
         }
     }
 
-    fn run_zoo(&self, model: ModelId, rows: &[f32], n: usize) -> std::thread::Result<Vec<f32>> {
+    /// One guarded zoo call. `inject` is true on first executions and
+    /// false on failover re-executions: an injected death is transient by
+    /// definition, so the recovery path must not re-draw it (a *real* zoo
+    /// death is deterministic and reproduces on the retry regardless).
+    fn run_zoo(
+        &self,
+        model: ModelId,
+        rows: &[f32],
+        n: usize,
+        inject: bool,
+    ) -> std::thread::Result<Vec<f32>> {
         let mut scratch = lock(&self.scratch)
             .pop()
             .unwrap_or_else(InferScratch::coalescing);
         let result = catch_unwind(AssertUnwindSafe(|| {
+            // FAULT: the inference call dies — a panic inside the guarded
+            // call, indistinguishable from a real zoo death; callers
+            // recover through the solo-failover rung.
+            if inject && tahoma_faults::fire(tahoma_faults::site::BROKER_LEAD) {
+                panic!("injected fault: broker inference death (site BROKER_LEAD)");
+            }
             self.zoo.infer(model, rows, n, &mut scratch)
         }));
         lock(&self.scratch).push(scratch);
@@ -232,27 +263,21 @@ impl Broker {
             self.merged_calls.fetch_add(1, Ordering::Relaxed);
         }
         crate::sched::point(crate::sched::site::RUN);
-        let result = self.run_zoo(model, &rows, n);
+        let result = self.run_zoo(model, &rows, n, true);
         let mut st = lock(&batch.state);
-        let err = match result {
-            Ok(scores) => {
-                st.scores = scores;
-                None
-            }
-            Err(p) => {
-                st.failed = true;
-                Some(p)
-            }
-        };
+        match result {
+            Ok(scores) => st.scores = scores,
+            // Publish the failure instead of unwinding: every participant
+            // (the leader included) sees `failed` in the common wait path
+            // and re-executes its own rows solo — the failover rung. The
+            // panic payload is intentionally dropped here; a deterministic
+            // panic reproduces on the solo retry and re-raises there.
+            Err(_) => st.failed = true,
+        }
         st.done = true;
         batch.cv.notify_all();
         drop(st);
         crate::sched::point(crate::sched::site::PUBLISH);
-        if let Some(p) = err {
-            // Followers see `failed` and panic on their own threads; the
-            // leader re-raises the original payload.
-            resume_unwind(p);
-        }
     }
 }
 
@@ -264,9 +289,18 @@ impl InferDispatch for Broker {
         // batch machinery, no window.
         if self.active.load(Ordering::Relaxed) <= 1 {
             self.rows.fetch_add(n as u64, Ordering::Relaxed);
-            return match self.run_zoo(model, rows, n) {
+            return match self.run_zoo(model, rows, n, true) {
                 Ok(scores) => scores,
-                Err(p) => resume_unwind(p),
+                // Same failover rung as a dead merged call: one
+                // injection-free solo retry, then a reproducing (real)
+                // panic re-raises to the request guard.
+                Err(_) => {
+                    self.failovers.fetch_add(1, Ordering::Relaxed);
+                    match self.run_zoo(model, rows, n, false) {
+                        Ok(scores) => scores,
+                        Err(p) => resume_unwind(p),
+                    }
+                }
             };
         }
         // Join (or open) the model's batch.
@@ -316,8 +350,19 @@ impl InferDispatch for Broker {
             st = batch.cv.wait(st).unwrap_or_else(|p| p.into_inner());
         }
         if st.failed {
+            // Failover: the merged call died; score our own rows solo.
+            // Batch-shape invariance makes the recovered scores bitwise
+            // identical to the merged call that failed, so the failover is
+            // invisible in results. A panic that reproduces solo (e.g. an
+            // unregistered model) re-raises here, reaching every
+            // participant of the failed batch.
             drop(st);
-            panic!("coalesced inference failed for model m{}", model.0);
+            self.failovers.fetch_add(1, Ordering::Relaxed);
+            self.rows.fetch_add(n as u64, Ordering::Relaxed);
+            return match self.run_zoo(model, rows, n, false) {
+                Ok(scores) => scores,
+                Err(p) => resume_unwind(p),
+            };
         }
         let off: usize = st.sizes[..my_index].iter().sum();
         st.scores[off..off + n].to_vec()

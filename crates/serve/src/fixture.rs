@@ -89,6 +89,12 @@ pub struct NnFixtureConfig {
     /// can restart without re-ingesting; anything else is recreated from
     /// scratch.
     pub store_dir: Option<PathBuf>,
+    /// Sweep every stored record's CRC at build time
+    /// ([`RepresentationStore::verify_and_quarantine`]); corrupt records
+    /// are quarantined — served via the transcode-from-source degradation
+    /// path — instead of failing the boot. The `tahoma-serve` binary's
+    /// `--verify-on-open` flag sets this.
+    pub verify_on_open: bool,
 }
 
 impl Default for NnFixtureConfig {
@@ -101,6 +107,7 @@ impl Default for NnFixtureConfig {
             window: crate::broker::Broker::DEFAULT_WINDOW,
             max_rows: crate::broker::Broker::DEFAULT_MAX_ROWS,
             store_dir: None,
+            verify_on_open: false,
         }
     }
 }
@@ -136,6 +143,10 @@ fn quantile_cuts(scores: &mut [f32]) -> Vec<DecisionThresholds> {
 pub fn nn_service(cfg: &NnFixtureConfig) -> QueryService {
     let rep0 = Representation::new(24, ColorMode::Gray);
     let rep1 = Representation::new(32, ColorMode::Rgb);
+    // Full-resolution source frames are stored alongside the model inputs
+    // so a quarantined (CRC-bad) model-input record can be re-derived by
+    // transcoding — the degradation ladder's last store rung (RELIABILITY.md).
+    let rep_src = Representation::new(64, ColorMode::Rgb);
     // Wide dense heads on purpose: the packed weight matrix is the per-call
     // fixed cost (§IV batch pricing) that cross-query coalescing amortizes,
     // so the serving fixture gives it realistic weight relative to per-row
@@ -159,14 +170,14 @@ pub fn nn_service(cfg: &NnFixtureConfig) -> QueryService {
     // compatible directory is reopened (recovery + CRC verification)
     // instead of re-ingested, so reopen serves the exact bytes the
     // previous process wrote.
-    let reps = vec![rep0, rep1];
+    let reps = vec![rep0, rep1, rep_src];
     let store = match &cfg.store_dir {
         None => RepresentationStore::new(reps),
         Some(dir) => match RepresentationStore::open(dir) {
             Ok((existing, _report))
                 if existing.representations() == reps
                     && existing.frames() == corpus.items.len() as u64
-                    && existing.verify().is_ok() =>
+                    && (cfg.verify_on_open || existing.verify().is_ok()) =>
             {
                 existing
             }
@@ -180,6 +191,11 @@ pub fn nn_service(cfg: &NnFixtureConfig) -> QueryService {
                 .unwrap();
         }
         store.sync().unwrap();
+    }
+    if cfg.verify_on_open {
+        // Quarantine rather than reject: CRC-bad records degrade to the
+        // transcode-from-source path, and the count shows up in `STATS`.
+        let _ = store.verify_and_quarantine();
     }
     let store = Arc::new(store);
     let items: Vec<&CorpusItem> = corpus.items.iter().collect();
@@ -219,7 +235,7 @@ pub fn nn_service(cfg: &NnFixtureConfig) -> QueryService {
         };
         let system = TahomaSystem::initialize(repo, &[0.93, 0.95, 0.99], &builder);
 
-        let mut zoo = SharedModelZoo::new();
+        let mut zoo = SharedModelZoo::new().with_source(rep_src);
         let net_seed = cfg.seed ^ (0xA11 + 2 * ki as u64);
         zoo.register(
             ModelId(0),

@@ -52,6 +52,11 @@
 //! `tahoma-audit` (lint A6, policy in `SAFETY.md`), and [`sched`]
 //! provides the seeded schedule-perturbation points the broker's
 //! interleaving tests drive.
+//!
+//! The failure story — per-query deadlines, transient-error retry, the
+//! degradation ladder, bounded protocol input, and the seeded
+//! fault-injection chaos campaign that proves them — is documented in
+//! `RELIABILITY.md` (injection sites audited by lint A7).
 
 pub mod broker;
 pub mod fixture;
@@ -65,5 +70,5 @@ pub mod stream;
 pub use broker::Broker;
 pub use plan_cache::{CachedPlan, PlanCache};
 pub use server::{serve, ServerConfig, ServerHandle};
-pub use service::{ExecPolicy, QueryService, ServeError, ServeOutcome, ServiceStats};
+pub use service::{Deadline, ExecPolicy, QueryService, ServeError, ServeOutcome, ServiceStats};
 pub use stream::{RegisterReport, StreamRegistry, StreamStatus, TickReport};

@@ -5,6 +5,10 @@
 //! ```text
 //! QUERY <sql>          execute under the service's default policy
 //! QUERYU <sql>         execute uncached/uncoalesced (A/B baseline)
+//! DEADLINE <ms> <QUERY|QUERYU ...>
+//!                      execute with a server-side budget: past <ms>
+//!                      milliseconds the query stops at the next predicate
+//!                      boundary and answers TIMEOUT instead of OK
 //! REGISTER <stream> RANGE <n> STEP <n> <sql>
 //!                      register a standing continuous query over a live
 //!                      stream (coral | jackson) with a sliding count
@@ -22,16 +26,21 @@
 //!
 //! ```text
 //! OK n=<matches> survivors=<m> plan=<hit|miss> sum=<fnv64 of ids, hex>
+//!    [degraded=<n>]    (only when n > 0: pack slots served through the
+//!                       quarantine fallback — results still exact)
 //! OK qid=<id> stream=<name> range=<n> step=<n>     (REGISTER)
 //! OK qid=<id> tick=<t> window=<s>..<e> matched=<m> entered=<n> \
 //!    scored=<n> sum=<hex> added=<ids|-> removed=<ids|->   (TICK)
 //! OK qid=<id> ticks=<t> window=<s>..<e> matched=<m> scored=<n> \
-//!    sum=<hex> rescan=<hex> agree=<yes|no>                (DELTAS)
+//!    sum=<hex> rescan=<hex> agree=<yes|no> [state=degraded]  (DELTAS)
 //! OK queries=... plan_hits=... plan_misses=... broker_calls=... \
-//!    broker_merged=... broker_rows=... shed=...      (STATS)
+//!    broker_merged=... broker_rows=... shed=... retries=... \
+//!    timeouts=... degraded_fetches=... quarantined=... \
+//!    broker_failovers=...                             (STATS)
 //! PONG
 //! BYE
 //! BUSY                 shed at admission (queue full); retry later
+//! TIMEOUT budget_ms=<n>   deadline expired (clean stop, not a failure)
 //! ERR <message>
 //! ```
 //!
@@ -52,6 +61,13 @@ pub enum Request {
     Query(String),
     /// Execute SQL with plan cache and coalescing disabled.
     QueryUncached(String),
+    /// Execute the wrapped query under a millisecond budget.
+    Deadline {
+        /// Budget in milliseconds.
+        ms: u64,
+        /// The wrapped request (`Query` or `QueryUncached` only).
+        inner: Box<Request>,
+    },
     /// Register a standing continuous query over a live stream.
     Register {
         /// Stream name (`coral` or `jackson`).
@@ -87,6 +103,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "QUERY" if !rest.is_empty() => Ok(Request::Query(rest.to_string())),
         "QUERYU" if !rest.is_empty() => Ok(Request::QueryUncached(rest.to_string())),
         "QUERY" | "QUERYU" => Err("empty query".to_string()),
+        "DEADLINE" => parse_deadline(rest),
         "REGISTER" => parse_register(rest),
         "TICK" => parse_qid(rest).map(Request::Tick),
         "DELTAS" => parse_qid(rest).map(Request::Deltas),
@@ -134,6 +151,22 @@ fn parse_register(rest: &str) -> Result<Request, String> {
     })
 }
 
+fn parse_deadline(rest: &str) -> Result<Request, String> {
+    const USAGE: &str = "usage: DEADLINE <ms> <QUERY|QUERYU ...>";
+    let (ms, inner_line) = split_word(rest).ok_or(USAGE)?;
+    let ms: u64 = ms.parse().map_err(|_| format!("bad deadline '{ms}' ms"))?;
+    if ms == 0 {
+        return Err("deadline must be >= 1 ms".to_string());
+    }
+    match parse_request(inner_line)? {
+        inner @ (Request::Query(_) | Request::QueryUncached(_)) => Ok(Request::Deadline {
+            ms,
+            inner: Box::new(inner),
+        }),
+        _ => Err("DEADLINE wraps QUERY or QUERYU only".to_string()),
+    }
+}
+
 fn parse_qid(rest: &str) -> Result<u64, String> {
     rest.trim()
         .parse()
@@ -152,15 +185,33 @@ pub fn fnv1a64(ids: &[u64]) -> u64 {
     h
 }
 
-/// Encode a successful query outcome.
+/// Encode a successful query outcome. The `degraded=` field only appears
+/// when the query actually degraded, so healthy responses are unchanged
+/// byte for byte.
 pub fn encode_outcome(out: &ServeOutcome) -> String {
-    format!(
+    let mut line = format!(
         "OK n={} survivors={} plan={} sum={:016x}",
         out.matched_ids.len(),
         out.metadata_survivors,
         if out.plan_hit { "hit" } else { "miss" },
         fnv1a64(&out.matched_ids),
-    )
+    );
+    if out.degraded > 0 {
+        line.push_str(&format!(" degraded={}", out.degraded));
+    }
+    line
+}
+
+/// Encode a service error: an expired deadline gets its own well-formed
+/// `TIMEOUT` response (a clean stop, distinguishable from failure);
+/// everything else is an `ERR` line.
+pub fn encode_serve_error(e: &crate::service::ServeError) -> String {
+    match e {
+        crate::service::ServeError::Timeout { budget_ms } => {
+            format!("TIMEOUT budget_ms={budget_ms}")
+        }
+        other => format!("ERR {other}"),
+    }
 }
 
 /// Comma-joined id list, `-` when empty (so the line always has the same
@@ -200,9 +251,10 @@ pub fn encode_tick(t: &TickReport) -> String {
     )
 }
 
-/// Encode a successful `DELTAS`.
+/// Encode a successful `DELTAS`. The `state=degraded` marker only appears
+/// on quarantined standing queries, so healthy status lines are unchanged.
 pub fn encode_stream_status(s: &StreamStatus) -> String {
-    format!(
+    let mut line = format!(
         "OK qid={} ticks={} window={}..{} matched={} scored={} sum={:016x} rescan={:016x} \
          agree={}",
         s.qid,
@@ -214,7 +266,11 @@ pub fn encode_stream_status(s: &StreamStatus) -> String {
         s.sum,
         s.rescan_sum,
         if s.agree { "yes" } else { "no" },
-    )
+    );
+    if s.degraded {
+        line.push_str(" state=degraded");
+    }
+    line
 }
 
 /// Encode the `STATS` response. `shed` is the server's admission-control
@@ -222,7 +278,8 @@ pub fn encode_stream_status(s: &StreamStatus) -> String {
 pub fn encode_stats(stats: &ServiceStats, shed: u64) -> String {
     format!(
         "OK queries={} plan_hits={} plan_misses={} broker_calls={} broker_merged={} \
-         broker_rows={} shed={}",
+         broker_rows={} shed={} retries={} timeouts={} degraded_fetches={} quarantined={} \
+         broker_failovers={}",
         stats.queries,
         stats.plan_hits,
         stats.plan_misses,
@@ -230,6 +287,11 @@ pub fn encode_stats(stats: &ServiceStats, shed: u64) -> String {
         stats.broker.merged_calls,
         stats.broker.rows,
         shed,
+        stats.store.retries,
+        stats.timeouts,
+        stats.store.degraded_fetches,
+        stats.store.quarantined,
+        stats.broker.failovers,
     )
 }
 
@@ -304,7 +366,7 @@ mod tests {
             "OK qid=2 tick=5 window=8..40 matched=2 entered=8 scored=8 \
              sum=000000000000abcd added=3,9 removed=-"
         );
-        let status = encode_stream_status(&StreamStatus {
+        let mut st = StreamStatus {
             qid: 2,
             ticks: 5,
             window_start: 8,
@@ -314,9 +376,13 @@ mod tests {
             sum: 1,
             rescan_sum: 1,
             agree: true,
-        });
+            degraded: false,
+        };
+        let status = encode_stream_status(&st);
         assert!(status.ends_with("sum=0000000000000001 rescan=0000000000000001 agree=yes"));
         assert!(!tick.contains('\n') && !status.contains('\n'));
+        st.degraded = true;
+        assert!(encode_stream_status(&st).ends_with("agree=yes state=degraded"));
     }
 
     #[test]
@@ -328,12 +394,52 @@ mod tests {
 
     #[test]
     fn outcome_encoding_is_one_line() {
-        let line = encode_outcome(&ServeOutcome {
+        let mut out = ServeOutcome {
             matched_ids: vec![3, 5],
             metadata_survivors: 9,
             plan_hit: true,
-        });
+            degraded: 0,
+        };
+        let line = encode_outcome(&out);
         assert!(line.starts_with("OK n=2 survivors=9 plan=hit sum="));
         assert!(!line.contains('\n'));
+        assert!(!line.contains("degraded"), "healthy lines carry no marker");
+        out.degraded = 3;
+        assert!(encode_outcome(&out).ends_with(" degraded=3"));
+    }
+
+    #[test]
+    fn deadline_wrapper_parses_and_validates() {
+        assert_eq!(
+            parse_request("DEADLINE 250 QUERY SELECT * FROM f").unwrap(),
+            Request::Deadline {
+                ms: 250,
+                inner: Box::new(Request::Query("SELECT * FROM f".into())),
+            }
+        );
+        assert_eq!(
+            parse_request("deadline 9 queryu q").unwrap(),
+            Request::Deadline {
+                ms: 9,
+                inner: Box::new(Request::QueryUncached("q".into())),
+            }
+        );
+        assert!(parse_request("DEADLINE").is_err());
+        assert!(parse_request("DEADLINE x QUERY q").is_err());
+        assert!(parse_request("DEADLINE 0 QUERY q").is_err());
+        assert!(parse_request("DEADLINE 5 PING").is_err());
+        assert!(parse_request("DEADLINE 5 DEADLINE 5 QUERY q").is_err());
+        assert!(parse_request("DEADLINE 5").is_err());
+    }
+
+    #[test]
+    fn timeout_errors_get_their_own_response() {
+        use crate::service::ServeError;
+        assert_eq!(
+            encode_serve_error(&ServeError::Timeout { budget_ms: 40 }),
+            "TIMEOUT budget_ms=40"
+        );
+        let err = encode_serve_error(&ServeError::Query("bad sql".into()));
+        assert!(err.starts_with("ERR "), "{err}");
     }
 }

@@ -13,10 +13,10 @@
 //! [`ServerHandle::join`] returns once all of that has happened.
 
 use crate::protocol::{
-    encode_outcome, encode_register, encode_stats, encode_stream_status, encode_tick,
-    parse_request, Request,
+    encode_outcome, encode_register, encode_serve_error, encode_stats, encode_stream_status,
+    encode_tick, parse_request, Request,
 };
-use crate::service::{ExecPolicy, QueryService};
+use crate::service::{Deadline, ExecPolicy, QueryService, ServeError};
 use crate::stream::StreamRegistry;
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
@@ -41,6 +41,11 @@ pub struct ServerConfig {
     /// derive their deterministic frame sequences from it, so two servers
     /// booted with the same seed serve identical streams.
     pub stream_seed: u64,
+    /// Server-side deadline applied to every plain `QUERY`/`QUERYU` that
+    /// the client did not wrap in an explicit `DEADLINE` verb. `None`
+    /// (the default) leaves ad-hoc queries unbounded, matching the
+    /// pre-deadline wire behaviour byte for byte.
+    pub default_deadline_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -50,9 +55,17 @@ impl Default for ServerConfig {
             workers: 4,
             queue_cap: 32,
             stream_seed: 0x57AE,
+            default_deadline_ms: None,
         }
     }
 }
+
+/// Longest accepted request line in bytes, excluding the terminating
+/// newline. Anything longer is answered with a one-line `ERR` and the
+/// remainder of the oversized line is discarded so the connection resyncs
+/// at the next newline — a client (or fuzzer) streaming garbage can never
+/// grow server memory past this bound.
+pub const MAX_LINE_BYTES: usize = 8 * 1024;
 
 struct Shared {
     service: Arc<QueryService>,
@@ -64,6 +77,7 @@ struct Shared {
     queue_cap: usize,
     stop: AtomicBool,
     shed: AtomicU64,
+    default_deadline_ms: Option<u64>,
 }
 
 /// A running server; dropping the handle does NOT stop it — send
@@ -115,6 +129,7 @@ pub fn serve(service: Arc<QueryService>, config: ServerConfig) -> std::io::Resul
         queue_cap: config.queue_cap.max(1),
         stop: AtomicBool::new(false),
         shed: AtomicU64::new(0),
+        default_deadline_ms: config.default_deadline_ms,
     });
     let mut threads = Vec::with_capacity(config.workers + 1);
     let mut spawn = |name: String, f: Box<dyn FnOnce() + Send>| -> std::io::Result<()> {
@@ -202,14 +217,119 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
+/// One bounded read from the wire.
+enum ReadLine {
+    /// A complete, UTF-8-valid line within [`MAX_LINE_BYTES`].
+    Line(String),
+    /// The line overran [`MAX_LINE_BYTES`]; the overflow was discarded up
+    /// to (and including) the next newline, so the stream is resynced.
+    TooLong,
+    /// Bytes arrived but they were not valid UTF-8.
+    NotUtf8,
+    /// EOF or a non-retryable read error: drop the connection.
+    Closed,
+}
+
+/// Read one newline-terminated line without ever buffering more than
+/// [`MAX_LINE_BYTES`] of it — the bounded-input replacement for
+/// `BufRead::lines`, which would happily grow a `String` as fast as a
+/// hostile client can stream bytes.
+fn read_bounded_line<R: BufRead>(reader: &mut R) -> ReadLine {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut over = false;
+    loop {
+        // FAULT: the client connection drops mid-request; the worker must
+        // abandon the line and recycle cleanly, never block or panic.
+        if tahoma_faults::fire(tahoma_faults::site::PROTO_READ) {
+            return ReadLine::Closed;
+        }
+        let available = match reader.fill_buf() {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return ReadLine::Closed,
+        };
+        if available.is_empty() {
+            // EOF. A partial final line (no trailing newline) is served if
+            // intact; an oversized one was already discarded.
+            return match (over, buf.is_empty()) {
+                (true, _) => ReadLine::TooLong,
+                (false, true) => ReadLine::Closed,
+                (false, false) => finish_line(buf),
+            };
+        }
+        if let Some(pos) = available.iter().position(|&b| b == b'\n') {
+            if !over && buf.len() + pos <= MAX_LINE_BYTES {
+                buf.extend_from_slice(&available[..pos]);
+            } else {
+                over = true;
+            }
+            reader.consume(pos + 1);
+            return if over {
+                ReadLine::TooLong
+            } else {
+                finish_line(buf)
+            };
+        }
+        let n = available.len();
+        if !over && buf.len() + n <= MAX_LINE_BYTES {
+            buf.extend_from_slice(available);
+        } else {
+            over = true;
+        }
+        reader.consume(n);
+    }
+}
+
+fn finish_line(buf: Vec<u8>) -> ReadLine {
+    match String::from_utf8(buf) {
+        Ok(mut line) => {
+            if line.ends_with('\r') {
+                line.pop();
+            }
+            ReadLine::Line(line)
+        }
+        Err(_) => ReadLine::NotUtf8,
+    }
+}
+
+/// Write one response line. Injection point for a client that vanished
+/// between request and response.
+fn respond(writer: &mut TcpStream, response: &str) -> std::io::Result<()> {
+    // FAULT: the response write fails (peer reset / partial write); the
+    // worker drops the connection and moves on.
+    if let Some(e) = tahoma_faults::transient_io(tahoma_faults::site::PROTO_WRITE) {
+        return Err(e);
+    }
+    writer.write_all(format!("{response}\n").as_bytes())
+}
+
 fn serve_connection(stream: TcpStream, shared: &Shared) {
     let Ok(peer_read) = stream.try_clone() else {
         return;
     };
-    let reader = BufReader::new(peer_read);
+    let mut reader = BufReader::new(peer_read);
     let mut writer = stream;
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
+    loop {
+        let line = match read_bounded_line(&mut reader) {
+            ReadLine::Closed => break,
+            ReadLine::TooLong => {
+                let msg = format!("ERR request line exceeds {MAX_LINE_BYTES} bytes");
+                if respond(&mut writer, &msg).is_err() {
+                    break;
+                }
+                continue;
+            }
+            ReadLine::NotUtf8 => {
+                if respond(&mut writer, "ERR request is not valid UTF-8").is_err() {
+                    break;
+                }
+                continue;
+            }
+            ReadLine::Line(line) => line,
+        };
+        // FAULT: a stalled peer (or scheduler hiccup) delays the worker
+        // between read and dispatch — surfaces queue/deadline interplay.
+        tahoma_faults::stall(tahoma_faults::site::PROTO_STALL);
         let response = match parse_request(&line) {
             Err(e) => format!("ERR {e}"),
             Ok(Request::Ping) => "PONG".to_string(),
@@ -217,7 +337,7 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
                 encode_stats(&shared.service.stats(), shared.shed.load(Ordering::Relaxed))
             }
             Ok(Request::Shutdown) => {
-                let _ = writer.write_all(b"BYE\n");
+                let _ = respond(&mut writer, "BYE");
                 shared.stop.store(true, Ordering::SeqCst);
                 // Self-kick: unblock the acceptor so it re-checks `stop`.
                 if let Ok(addr) = writer.local_addr() {
@@ -226,15 +346,48 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
                 shared.queue_cv.notify_all();
                 return;
             }
-            Ok(Request::Query(sql)) => run_query(shared, &sql, ExecPolicy::default()),
+            Ok(Request::Query(sql)) => run_query(
+                shared,
+                &sql,
+                ExecPolicy {
+                    deadline: shared.default_deadline_ms.map(Deadline::in_ms),
+                    ..ExecPolicy::default()
+                },
+            ),
             Ok(Request::QueryUncached(sql)) => run_query(
                 shared,
                 &sql,
                 ExecPolicy {
                     use_plan_cache: false,
                     coalesce: false,
+                    deadline: shared.default_deadline_ms.map(Deadline::in_ms),
                 },
             ),
+            Ok(Request::Deadline { ms, inner }) => {
+                let deadline = Some(Deadline::in_ms(ms));
+                match *inner {
+                    Request::Query(sql) => run_query(
+                        shared,
+                        &sql,
+                        ExecPolicy {
+                            deadline,
+                            ..ExecPolicy::default()
+                        },
+                    ),
+                    Request::QueryUncached(sql) => run_query(
+                        shared,
+                        &sql,
+                        ExecPolicy {
+                            use_plan_cache: false,
+                            coalesce: false,
+                            deadline,
+                        },
+                    ),
+                    // The parser only wraps QUERY/QUERYU; anything else here
+                    // is a protocol bug, answered rather than panicked on.
+                    _ => "ERR DEADLINE wraps QUERY or QUERYU only".to_string(),
+                }
+            }
             Ok(Request::Register {
                 stream,
                 range,
@@ -259,10 +412,7 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
                     .map(|s| encode_stream_status(&s))
             }),
         };
-        if writer
-            .write_all(format!("{response}\n").as_bytes())
-            .is_err()
-        {
+        if respond(&mut writer, &response).is_err() {
             break;
         }
     }
@@ -279,15 +429,93 @@ fn run_query(shared: &Shared, sql: &str, policy: ExecPolicy) -> String {
 
 /// Run one request handler, turning typed errors — and panics, which must
 /// not take the worker thread down (a scoring panic is a deployment
-/// misconfiguration, not a serving failure) — into `ERR` lines.
-fn guarded<F, E>(f: F) -> String
+/// misconfiguration, not a serving failure) — into single response lines.
+/// [`ServeError::Timeout`] gets its own `TIMEOUT` verb via
+/// [`encode_serve_error`]; everything else collapses to `ERR`.
+fn guarded<F>(f: F) -> String
 where
-    F: FnOnce() -> Result<String, E>,
-    E: std::fmt::Display,
+    F: FnOnce() -> Result<String, ServeError>,
 {
     match catch_unwind(AssertUnwindSafe(f)) {
         Ok(Ok(line)) => line,
-        Ok(Err(e)) => format!("ERR {e}"),
+        Ok(Err(e)) => encode_serve_error(&e),
         Err(_) => "ERR internal: request execution panicked".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{finish_line, read_bounded_line, ReadLine, MAX_LINE_BYTES};
+    use std::io::Cursor;
+
+    fn read_all(bytes: &[u8]) -> Vec<ReadLine> {
+        let mut reader = Cursor::new(bytes.to_vec());
+        let mut out = Vec::new();
+        loop {
+            match read_bounded_line(&mut reader) {
+                ReadLine::Closed => return out,
+                other => out.push(other),
+            }
+        }
+    }
+
+    fn as_line(r: &ReadLine) -> Option<&str> {
+        match r {
+            ReadLine::Line(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn short_lines_pass_through_and_crlf_is_stripped() {
+        let got = read_all(b"PING\r\nSTATS\nlast-without-newline");
+        assert_eq!(got.len(), 3);
+        assert_eq!(as_line(&got[0]), Some("PING"));
+        assert_eq!(as_line(&got[1]), Some("STATS"));
+        assert_eq!(as_line(&got[2]), Some("last-without-newline"));
+    }
+
+    #[test]
+    fn oversized_line_is_rejected_and_stream_resyncs() {
+        let mut bytes = vec![b'x'; MAX_LINE_BYTES + 1];
+        bytes.push(b'\n');
+        bytes.extend_from_slice(b"PING\n");
+        let got = read_all(&bytes);
+        assert_eq!(got.len(), 2);
+        assert!(matches!(got[0], ReadLine::TooLong));
+        assert_eq!(as_line(&got[1]), Some("PING"));
+    }
+
+    #[test]
+    fn exactly_max_bytes_is_still_a_line() {
+        let mut bytes = vec![b'y'; MAX_LINE_BYTES];
+        bytes.push(b'\n');
+        let got = read_all(&bytes);
+        assert_eq!(got.len(), 1);
+        assert_eq!(as_line(&got[0]).map(str::len), Some(MAX_LINE_BYTES));
+    }
+
+    #[test]
+    fn oversized_line_truncated_by_eof_is_still_too_long() {
+        let bytes = vec![b'z'; MAX_LINE_BYTES + 100];
+        let got = read_all(&bytes);
+        assert_eq!(got.len(), 1);
+        assert!(matches!(got[0], ReadLine::TooLong));
+    }
+
+    #[test]
+    fn invalid_utf8_is_flagged_without_killing_the_connection() {
+        let got = read_all(b"\xff\xfe garbage\nPING\n");
+        assert_eq!(got.len(), 2);
+        assert!(matches!(got[0], ReadLine::NotUtf8));
+        assert_eq!(as_line(&got[1]), Some("PING"));
+    }
+
+    #[test]
+    fn finish_line_strips_one_trailing_cr_only() {
+        match finish_line(b"a\r\r".to_vec()) {
+            ReadLine::Line(s) => assert_eq!(s, "a\r"),
+            _ => panic!("expected a line"),
+        }
     }
 }

@@ -50,6 +50,11 @@ pub struct ExecPolicy {
     pub use_plan_cache: bool,
     /// Route NN inference through the coalescing [`Broker`].
     pub coalesce: bool,
+    /// Server-side execution budget: past this deadline the query stops at
+    /// the next predicate boundary with [`ServeError::Timeout`] (the
+    /// protocol's `DEADLINE` wrapper and the server's default budget both
+    /// land here; policy in RELIABILITY.md). `None` = unbounded.
+    pub deadline: Option<Deadline>,
 }
 
 impl Default for ExecPolicy {
@@ -57,7 +62,33 @@ impl Default for ExecPolicy {
         ExecPolicy {
             use_plan_cache: true,
             coalesce: true,
+            deadline: None,
         }
+    }
+}
+
+/// A query's execution budget: the absolute expiry instant plus the
+/// original budget (kept so the `TIMEOUT` response can say what ran out).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    /// Absolute expiry.
+    pub at: std::time::Instant,
+    /// The budget this deadline was derived from, in milliseconds.
+    pub budget_ms: u64,
+}
+
+impl Deadline {
+    /// A deadline `budget_ms` from now.
+    pub fn in_ms(budget_ms: u64) -> Deadline {
+        Deadline {
+            at: std::time::Instant::now() + std::time::Duration::from_millis(budget_ms),
+            budget_ms,
+        }
+    }
+
+    /// Whether the budget has run out.
+    pub fn expired(&self) -> bool {
+        std::time::Instant::now() >= self.at
     }
 }
 
@@ -71,6 +102,10 @@ pub struct ServeOutcome {
     pub metadata_survivors: usize,
     /// Whether planning was served from the cache.
     pub plan_hit: bool,
+    /// Pack slots this query served through the quarantine degradation
+    /// path (transcode-from-source instead of the stored representation).
+    /// Zero on a healthy store; surfaced on the wire as ` degraded=N`.
+    pub degraded: u64,
 }
 
 /// Service-level error, stringly typed at the protocol boundary.
@@ -84,6 +119,13 @@ pub enum ServeError {
     Planning(String),
     /// Cascade execution failed.
     Exec(String),
+    /// The query's deadline expired before execution finished. Encoded on
+    /// the wire as a `TIMEOUT` response, not an `ERR` — the budget ran
+    /// out; nothing is wrong with the query or the service.
+    Timeout {
+        /// The budget that expired, in milliseconds.
+        budget_ms: u64,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -93,6 +135,9 @@ impl std::fmt::Display for ServeError {
             ServeError::UnservedKind(k) => write!(f, "predicate not served: {k}"),
             ServeError::Planning(e) => write!(f, "planning: {e}"),
             ServeError::Exec(e) => write!(f, "execution: {e}"),
+            ServeError::Timeout { budget_ms } => {
+                write!(f, "deadline exceeded after {budget_ms} ms budget")
+            }
         }
     }
 }
@@ -110,6 +155,11 @@ pub struct ServiceStats {
     pub plan_misses: u64,
     /// Broker counters summed over every served kind.
     pub broker: BrokerStats,
+    /// Store reliability counters (retries, degraded fetches, quarantine
+    /// size) summed over the distinct stores behind the served kinds.
+    pub store: tahoma_imagery::ReliabilityStats,
+    /// Queries stopped by an expired [`Deadline`].
+    pub timeouts: u64,
 }
 
 enum KindBackend {
@@ -152,6 +202,7 @@ pub struct QueryService {
     kinds: BTreeMap<ObjectKind, KindState>,
     plan_cache: PlanCache,
     queries: AtomicU64,
+    timeouts: AtomicU64,
 }
 
 /// Per-kind in-flight registrations held by one executing query.
@@ -189,6 +240,7 @@ impl QueryService {
             kinds: BTreeMap::new(),
             plan_cache: PlanCache::new(),
             queries: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
         }
     }
 
@@ -269,6 +321,10 @@ impl QueryService {
     /// Aggregated counters.
     pub fn stats(&self) -> ServiceStats {
         let mut broker = BrokerStats::default();
+        let mut store = tahoma_imagery::ReliabilityStats::default();
+        // Kinds may share one store (the NN fixture does); sum each
+        // distinct store's counters once.
+        let mut seen_stores: Vec<*const RepresentationStore> = Vec::new();
         for st in self.kinds.values() {
             if let KindBackend::Nn(nn) = &st.backend {
                 let b = nn.broker.stats();
@@ -276,6 +332,15 @@ impl QueryService {
                 broker.calls += b.calls;
                 broker.merged_calls += b.merged_calls;
                 broker.rows += b.rows;
+                broker.failovers += b.failovers;
+                let ptr = Arc::as_ptr(&nn.store);
+                if !seen_stores.contains(&ptr) {
+                    seen_stores.push(ptr);
+                    let rs = nn.store.reliability_stats();
+                    store.retries += rs.retries;
+                    store.degraded_fetches += rs.degraded_fetches;
+                    store.quarantined += rs.quarantined;
+                }
             }
         }
         ServiceStats {
@@ -283,7 +348,25 @@ impl QueryService {
             plan_hits: self.plan_cache.hits(),
             plan_misses: self.plan_cache.misses(),
             broker,
+            store,
+            timeouts: self.timeouts.load(Ordering::Relaxed),
         }
+    }
+
+    /// Fail with [`ServeError::Timeout`] when the policy's deadline has
+    /// expired. Checked at predicate boundaries: execution never abandons
+    /// a cascade mid-flight (scratch and broker state stay consistent),
+    /// so a `TIMEOUT` response is always a clean stop.
+    fn check_deadline(&self, policy: &ExecPolicy) -> Result<(), ServeError> {
+        if let Some(dl) = policy.deadline {
+            if dl.expired() {
+                self.timeouts.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::Timeout {
+                    budget_ms: dl.budget_ms,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Plan the given predicate set: cascade selection per kind under the
@@ -369,13 +452,19 @@ impl QueryService {
                 metadata_survivors: matched.len(),
                 matched_ids: matched,
                 plan_hit: false,
+                degraded: 0,
             });
         }
 
+        self.check_deadline(&policy)?;
         let (plan, plan_hit) = self.plan_for(&query.content, policy.use_plan_cache)?;
         let mut matched: Option<Vec<u64>> = None;
         let mut survivors = 0usize;
+        let mut degraded = 0u64;
         for (i, (kind, selected)) in plan.entries.iter().enumerate() {
+            // Predicate boundary: the cheapest place to stop a query whose
+            // budget ran out (each entry is one whole cascade execution).
+            self.check_deadline(&policy)?;
             // Plans only name kinds that were registered, but a cache
             // shared across reconfiguration could outlive that invariant —
             // surface a typed error instead of panicking the worker.
@@ -423,6 +512,10 @@ impl QueryService {
                     let mut scratch = lock(&nn.sessions)
                         .pop()
                         .unwrap_or_else(NnSessionScratch::new);
+                    // Scratch pools are shared across queries: the delta
+                    // around this execution is this query's own degraded
+                    // slot count.
+                    let degraded_before = scratch.stats().degraded_fetches;
                     let result = {
                         let mut scorer = SharedNnScorer::new(&nn.store, &nn.zoo, &mut scratch);
                         if policy.coalesce {
@@ -430,6 +523,7 @@ impl QueryService {
                         }
                         processor.execute_batched(&single, corpus, &cascades, &mut scorer, &opts)
                     };
+                    degraded += scratch.stats().degraded_fetches - degraded_before;
                     lock(&nn.sessions).push(scratch);
                     result
                 }
@@ -447,6 +541,7 @@ impl QueryService {
             matched_ids: matched.unwrap_or_default(),
             metadata_survivors: survivors,
             plan_hit,
+            degraded,
         })
     }
 

@@ -35,6 +35,7 @@
 use crate::protocol::fnv1a64;
 use crate::service::{QueryService, ServeError};
 use std::collections::{BTreeMap, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use tahoma_core::continuous::{ContinuousExecutor, TickDeltas, WindowSpec};
@@ -110,6 +111,12 @@ pub struct StreamStatus {
     pub rescan_sum: u64,
     /// Whether the incremental result set equals the rescan, id for id.
     pub agree: bool,
+    /// Whether the standing query is quarantined: a tick evaluation
+    /// failed twice in a row, the window froze at its last consistent
+    /// state, and further `TICK`s are refused (re-`REGISTER` to recover).
+    /// Encoded on the wire as ` state=degraded`; a degraded status skips
+    /// the rescan (`rescan_sum=0`, `agree=no`).
+    pub degraded: bool,
 }
 
 /// One standing query's mutable state: the window executor, its camera
@@ -126,6 +133,15 @@ struct StandingState {
     /// Deduplicated content kinds, for broker interest registration.
     kinds: Vec<ObjectKind>,
     camera: u64,
+    /// A rendered frame whose store materialization failed mid-tick; the
+    /// next tick retries it before advancing the feed, so a transient
+    /// ingest fault never loses a frame (the retried window is identical
+    /// to the fault-free one).
+    pending_frame: Option<IngestFrame>,
+    /// Sticky quarantine reason: set when a tick evaluation failed twice
+    /// in a row. A degraded query refuses further ticks and reports
+    /// `state=degraded` via `DELTAS` (see RELIABILITY.md).
+    degraded: Option<String>,
 }
 
 /// A registered standing query. Shared via `Arc` so the registry lock is
@@ -236,6 +252,8 @@ impl StreamRegistry {
                 stores,
                 kinds,
                 camera: qid % 8,
+                pending_frame: None,
+                degraded: None,
             }),
         });
         lock(&self.standing).insert(qid, sq);
@@ -257,31 +275,73 @@ impl StreamRegistry {
     /// Drive one window slide: ingest the tick's `STEP` arriving frames
     /// (render → store materialization → executor buffer), then tick the
     /// window, scoring only the entrants. Ingest tops up to the tick's
-    /// window end, so a tick that failed mid-way is simply retried.
+    /// window end and parks a frame whose materialization failed, so a
+    /// tick that errored mid-way is simply retried with nothing lost.
+    ///
+    /// A failed window evaluation is retried once on the spot — the
+    /// executor's tick is failure-atomic, so the retry replays the
+    /// identical slide. If the retry also fails, the standing query is
+    /// quarantined: its window freezes at the last consistent state,
+    /// further `TICK`s answer an explicit `DEGRADED` error, and `DELTAS`
+    /// reports `state=degraded` (the degradation ladder, RELIABILITY.md).
     pub fn tick(&self, service: &QueryService, qid: u64) -> Result<TickReport, ServeError> {
         let sq = self.get(qid)?;
         let mut st = lock(&sq.window);
         let st = &mut *st;
+        if let Some(reason) = &st.degraded {
+            return Err(ServeError::Exec(format!(
+                "standing query {qid} is DEGRADED ({reason}); window frozen, re-REGISTER to recover"
+            )));
+        }
         let _interest = service.register_interest(&st.kinds, true);
         let need = (st.cx.ticks() + 1) * st.cx.window().step();
         while st.cx.arrived() < need {
-            let arriving = st.feed.next_ingest(&mut st.engine);
+            let arriving = match st.pending_frame.take() {
+                Some(parked) => parked,
+                None => st.feed.next_ingest(&mut st.engine),
+            };
             for store in &st.stores {
-                store
-                    .ingest(arriving.id, &arriving.image)
-                    .map_err(|e| ServeError::Exec(format!("stream ingest: {e}")))?;
+                if let Err(e) = store.ingest(arriving.id, &arriving.image) {
+                    // Park the frame: the next tick retries this exact
+                    // ingest (re-appending already-written stores is
+                    // idempotent — last record wins).
+                    st.pending_frame = Some(arriving);
+                    return Err(ServeError::Exec(format!("stream ingest: {e}")));
+                }
             }
             let item = corpus_item(&arriving, st.feed.kind(), st.camera, &sq.stream_name);
             st.cx.ingest(item);
         }
-        let deltas = st
-            .cx
-            .tick(|kind, cascade, pack| {
-                service
-                    .eval_kind_pack(kind, cascade, pack, true)
-                    .map_err(|e| CoreError::Window(e.to_string()))
-            })
-            .map_err(|e| ServeError::Exec(e.to_string()))?;
+        let mut retried = false;
+        let deltas = loop {
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                st.cx.tick(|kind, cascade, pack| {
+                    // FAULT: one window evaluation dies (transient); the
+                    // failure-atomic tick makes the in-place retry replay
+                    // the identical slide.
+                    if let Some(e) = tahoma_faults::transient_io(tahoma_faults::site::STREAM_TICK) {
+                        return Err(CoreError::Window(format!("injected tick fault: {e}")));
+                    }
+                    service
+                        .eval_kind_pack(kind, cascade, pack, true)
+                        .map_err(|e| CoreError::Window(e.to_string()))
+                })
+            }));
+            let failure = match attempt {
+                Ok(Ok(d)) => break d,
+                Ok(Err(e)) => e.to_string(),
+                Err(_) => "window evaluation panicked".to_string(),
+            };
+            if !retried {
+                retried = true;
+                continue;
+            }
+            st.degraded = Some(failure.clone());
+            return Err(ServeError::Exec(format!(
+                "standing query {qid} DEGRADED: {failure} (tick failed twice; window frozen, \
+                 re-REGISTER to recover)"
+            )));
+        };
         let matched = st.cx.matched();
         Ok(TickReport {
             qid,
@@ -299,14 +359,22 @@ impl StreamRegistry {
         let st = lock(&sq.window);
         let _interest = service.register_interest(&st.kinds, true);
         let matched = st.cx.matched();
-        let rescan = st
-            .cx
-            .rescan(|kind, cascade, pack| {
-                service
-                    .eval_kind_pack(kind, cascade, pack, true)
-                    .map_err(|e| CoreError::Window(e.to_string()))
-            })
-            .map_err(|e| ServeError::Exec(e.to_string()))?;
+        // A quarantined query skips the rescan (the backend that failed
+        // its ticks would likely fail it too) and reports itself
+        // explicitly instead: state=degraded, agree=no.
+        let (rescan_sum, agree) = if st.degraded.is_some() {
+            (0, false)
+        } else {
+            let rescan = st
+                .cx
+                .rescan(|kind, cascade, pack| {
+                    service
+                        .eval_kind_pack(kind, cascade, pack, true)
+                        .map_err(|e| CoreError::Window(e.to_string()))
+                })
+                .map_err(|e| ServeError::Exec(e.to_string()))?;
+            (fnv1a64(&rescan), matched == rescan)
+        };
         let ticks = st.cx.ticks();
         let window_end = ticks * st.cx.window().step();
         let window_start = window_end.saturating_sub(st.cx.window().range());
@@ -318,8 +386,9 @@ impl StreamRegistry {
             matched: matched.len(),
             scored: st.cx.scored_total(),
             sum: fnv1a64(&matched),
-            rescan_sum: fnv1a64(&rescan),
-            agree: matched == rescan,
+            rescan_sum,
+            agree,
+            degraded: st.degraded.is_some(),
         })
     }
 }

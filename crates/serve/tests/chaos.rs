@@ -1,0 +1,396 @@
+//! Chaos campaign: ≥1000 seeded fault schedules through the full serve
+//! fixture — ad-hoc and standing queries, both store tiers, plus a TCP
+//! phase with protocol-layer faults.
+//!
+//! Invariants asserted for every schedule (the tentpole proof,
+//! RELIABILITY.md):
+//!
+//! * no panic escapes a request boundary;
+//! * every response is correct-or-explicit-error — an `Ok` carries results
+//!   and an `Err` renders a non-empty, classified message;
+//! * results after transient-fault retries are bitwise identical to the
+//!   fault-free run (same matched ids, same order-sensitive FNV sums);
+//! * degradation is explicit and sticky where designed (standing queries
+//!   report `state=degraded`, never silently wrong windows).
+//!
+//! Faults are armed process-wide, so every test here serializes on one
+//! campaign lock; the file itself only compiles under `fault-inject`.
+#![cfg(feature = "fault-inject")]
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, MutexGuard};
+use tahoma_faults::{injected_total, install, FaultPlan};
+use tahoma_imagery::ObjectKind;
+use tahoma_serve::fixture::{nn_service, NnFixtureConfig};
+use tahoma_serve::{
+    serve, Deadline, ExecPolicy, QueryService, ServeError, ServerConfig, StreamRegistry,
+};
+
+/// One installed fault plan at a time: the arm flag is process-global.
+fn campaign_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    match LOCK.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+const QUERIES: &[&str] = &[
+    "SELECT * FROM frames WHERE contains_object(fence)",
+    "SELECT * FROM frames WHERE contains_object(wallet) AND camera < 4",
+    "SELECT * FROM frames WHERE contains_object(fence) AND contains_object(wallet)",
+];
+const STREAM_SQL: &str = "SELECT * FROM frames WHERE contains_object(fence)";
+const STREAM_SEED: u64 = 0xBEEF;
+const TICKS: usize = 2;
+
+fn small_fixture(store_dir: Option<std::path::PathBuf>) -> QueryService {
+    nn_service(&NnFixtureConfig {
+        kinds: vec![ObjectKind::Fence, ObjectKind::Wallet],
+        corpus_n: 32,
+        seed: 0x7A40,
+        store_dir,
+        ..Default::default()
+    })
+}
+
+/// Per-tick fault-free reference for the standing-query script.
+struct TickBase {
+    matched: usize,
+    sum: u64,
+    added: Vec<u64>,
+    removed: Vec<u64>,
+}
+
+/// The fault-free run every schedule must reproduce bitwise.
+struct Baseline {
+    adhoc: Vec<Vec<u64>>,
+    ticks: Vec<TickBase>,
+    final_sum: u64,
+    final_matched: usize,
+}
+
+/// A fresh registry per run: same registry seed + same registration order
+/// means the standing query gets the same qid and the same frames, so the
+/// faulty run's window is comparable tick for tick.
+fn fresh_standing(service: &QueryService) -> (StreamRegistry, u64) {
+    let registry = StreamRegistry::new(STREAM_SEED);
+    let r = registry
+        .register(service, "coral", 8, 2, STREAM_SQL)
+        .expect("baseline register");
+    (registry, r.qid)
+}
+
+fn baseline(service: &QueryService) -> Baseline {
+    let adhoc = QUERIES
+        .iter()
+        .map(|sql| {
+            service
+                .execute_with(sql, ExecPolicy::default())
+                .expect("fault-free query")
+                .matched_ids
+        })
+        .collect();
+    let (registry, qid) = fresh_standing(service);
+    let ticks = (0..TICKS)
+        .map(|_| {
+            let t = registry.tick(service, qid).expect("fault-free tick");
+            TickBase {
+                matched: t.matched,
+                sum: t.sum,
+                added: t.deltas.added,
+                removed: t.deltas.removed,
+            }
+        })
+        .collect();
+    let s = registry.status(service, qid).expect("fault-free status");
+    assert!(s.agree && !s.degraded, "fault-free stream must be healthy");
+    Baseline {
+        adhoc,
+        ticks,
+        final_sum: s.sum,
+        final_matched: s.matched,
+    }
+}
+
+/// Drive the fixed request script under one seeded fault schedule and
+/// check every invariant. Returns (faults_injected, client_retries,
+/// stream_degraded).
+fn run_schedule(service: &QueryService, seed: u64, base: &Baseline) -> (u64, u64, bool) {
+    // Sweep the injection pressure with the seed: 10‰ .. 100‰ per site.
+    let rate = 10 + (seed % 7) as u16 * 15;
+    let armed = install(FaultPlan::new(seed).with_uniform_rate(rate));
+    let mut client_retries = 0u64;
+
+    for (qi, sql) in QUERIES.iter().enumerate() {
+        let mut settled = false;
+        for _ in 0..8 {
+            let res = catch_unwind(AssertUnwindSafe(|| {
+                service.execute_with(sql, ExecPolicy::default())
+            }))
+            .unwrap_or_else(|_| panic!("panic escaped request boundary (seed {seed} query {qi})"));
+            match res {
+                Ok(out) => {
+                    assert_eq!(
+                        out.matched_ids, base.adhoc[qi],
+                        "seed {seed} query {qi}: results diverged from fault-free run"
+                    );
+                    settled = true;
+                    break;
+                }
+                Err(e) => {
+                    assert!(
+                        !e.to_string().is_empty(),
+                        "seed {seed} query {qi}: empty error"
+                    );
+                    client_retries += 1;
+                }
+            }
+        }
+        assert!(settled, "seed {seed} query {qi}: client retries exhausted");
+    }
+
+    let (registry, qid) = fresh_standing(service);
+    let mut done = 0usize;
+    let mut degraded = false;
+    let mut attempts = 0;
+    while done < TICKS && !degraded {
+        attempts += 1;
+        assert!(attempts <= 40, "seed {seed}: tick retries exhausted");
+        let res = catch_unwind(AssertUnwindSafe(|| registry.tick(service, qid)))
+            .unwrap_or_else(|_| panic!("panic escaped tick boundary (seed {seed})"));
+        match res {
+            Ok(t) => {
+                let b = &base.ticks[done];
+                assert_eq!(t.deltas.tick, done as u64 + 1, "seed {seed}: tick count");
+                assert_eq!(
+                    (t.matched, t.sum),
+                    (b.matched, b.sum),
+                    "seed {seed} tick {done}: window diverged from fault-free run"
+                );
+                assert_eq!(t.deltas.added, b.added, "seed {seed} tick {done}: added");
+                assert_eq!(
+                    t.deltas.removed, b.removed,
+                    "seed {seed} tick {done}: removed"
+                );
+                done += 1;
+            }
+            Err(e) => {
+                let msg = e.to_string();
+                if msg.contains("DEGRADED") {
+                    degraded = true;
+                } else {
+                    // The only other tick-time failure is a parked-frame
+                    // ingest fault; retrying the tick must lose nothing.
+                    assert!(
+                        msg.contains("ingest"),
+                        "seed {seed}: unexpected tick error: {msg}"
+                    );
+                    client_retries += 1;
+                }
+            }
+        }
+    }
+    let status = catch_unwind(AssertUnwindSafe(|| registry.status(service, qid)))
+        .unwrap_or_else(|_| panic!("panic escaped status boundary (seed {seed})"));
+    match status {
+        Ok(s) => {
+            if degraded {
+                assert!(
+                    s.degraded && !s.agree,
+                    "seed {seed}: quarantined stream must report state=degraded"
+                );
+            } else {
+                assert!(!s.degraded, "seed {seed}: healthy stream marked degraded");
+                assert_eq!(s.ticks, TICKS as u64, "seed {seed}: status ticks");
+                assert_eq!(
+                    (s.matched, s.sum),
+                    (base.final_matched, base.final_sum),
+                    "seed {seed}: final window diverged from fault-free run"
+                );
+                assert!(s.agree, "seed {seed}: incremental != rescan after faults");
+            }
+        }
+        Err(e) => assert!(!e.to_string().is_empty(), "seed {seed}: empty status error"),
+    }
+    // Per-plan injection totals are sampled before the guard drops (the
+    // drop disarms and clears the plan's counters).
+    let injected = injected_total();
+    drop(armed);
+    (injected, client_retries, degraded)
+}
+
+fn campaign(service: &QueryService, seeds: std::ops::Range<u64>, tag: &str) {
+    let base = baseline(service);
+    let n = seeds.end - seeds.start;
+    let mut injected = 0u64;
+    let mut retries = 0u64;
+    let mut degraded = 0u64;
+    for seed in seeds {
+        let (i, r, d) = run_schedule(service, seed, &base);
+        injected += i;
+        retries += r;
+        degraded += u64::from(d);
+    }
+    // The campaign must actually have exercised the fault paths, not
+    // trivially passed with injection disarmed or misconfigured.
+    assert!(
+        injected >= n,
+        "{tag}: only {injected} faults injected across {n} schedules"
+    );
+    let stats = service.stats();
+    assert!(
+        stats.store.retries + stats.store.degraded_fetches > 0,
+        "{tag}: no store-level fault handling observed"
+    );
+    println!(
+        "{tag}: injected={injected} client_retries={retries} degraded_streams={degraded} \
+         store_retries={} degraded_fetches={} quarantined={} failovers={}",
+        stats.store.retries,
+        stats.store.degraded_fetches,
+        stats.store.quarantined,
+        stats.broker.failovers,
+    );
+}
+
+#[test]
+fn chaos_ram_tier_768_schedules() {
+    let _campaign = campaign_lock();
+    let service = small_fixture(None);
+    campaign(&service, 0..768, "ram");
+}
+
+#[test]
+fn chaos_persistent_tier_256_schedules() {
+    let _campaign = campaign_lock();
+    let dir = std::env::temp_dir().join(format!("tahoma-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let service = small_fixture(Some(dir.clone()));
+    campaign(&service, 1000..1256, "persistent");
+    drop(service);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Deadlines: an already-expired budget answers `TIMEOUT` (a clean,
+/// well-formed stop), and a generous one answers identically to the
+/// fault-free run.
+#[test]
+fn deadlines_timeout_cleanly_and_generous_budgets_change_nothing() {
+    let _campaign = campaign_lock();
+    let service = small_fixture(None);
+    let base = service
+        .execute_with(QUERIES[0], ExecPolicy::default())
+        .expect("fault-free")
+        .matched_ids;
+    let expired = ExecPolicy {
+        deadline: Some(Deadline::in_ms(0)),
+        ..ExecPolicy::default()
+    };
+    match service.execute_with(QUERIES[0], expired) {
+        Err(ServeError::Timeout { budget_ms }) => assert_eq!(budget_ms, 0),
+        other => panic!("expired deadline must TIMEOUT, got {other:?}"),
+    }
+    let generous = ExecPolicy {
+        deadline: Some(Deadline::in_ms(600_000)),
+        ..ExecPolicy::default()
+    };
+    let out = service
+        .execute_with(QUERIES[0], generous)
+        .expect("generous deadline");
+    assert_eq!(out.matched_ids, base);
+    assert!(service.stats().timeouts >= 1);
+}
+
+/// TCP phase: protocol-layer faults (dropped reads, failed writes,
+/// stalls) on top of the full stack. Connections may die mid-script —
+/// the client reconnects — but every line that does arrive must be a
+/// well-formed response, and successful `QUERY` responses must match the
+/// fault-free wire bytes (modulo the plan-cache hit/miss marker).
+#[test]
+fn chaos_tcp_64_schedules() {
+    let _campaign = campaign_lock();
+    let service = Arc::new(small_fixture(None));
+    let handle = serve(Arc::clone(&service), ServerConfig::default()).expect("bind");
+    let addr = handle.addr();
+
+    let normalize = |line: &str| {
+        line.replace(" plan=hit", " plan=?")
+            .replace(" plan=miss", " plan=?")
+    };
+    let ask = |line: &str| -> Option<String> {
+        let mut conn = TcpStream::connect(addr).ok()?;
+        conn.write_all(line.as_bytes()).ok()?;
+        conn.write_all(b"\n").ok()?;
+        let mut reader = BufReader::new(conn);
+        let mut resp = String::new();
+        match reader.read_line(&mut resp) {
+            Ok(n) if n > 0 => Some(resp.trim_end().to_string()),
+            _ => None,
+        }
+    };
+
+    // Fault-free wire baseline.
+    let query_line = format!("QUERY {}", QUERIES[0]);
+    let base = normalize(&ask(&query_line).expect("fault-free wire query"));
+    assert!(base.starts_with("OK n="), "unexpected baseline: {base}");
+    let wrapped = normalize(&ask(&format!("DEADLINE 600000 {query_line}")).expect("wrapped"));
+    assert_eq!(wrapped, base, "a generous DEADLINE must not change results");
+    let oversized = format!("QUERY {}", "x".repeat(20_000));
+    let over_resp = ask(&oversized).expect("oversized line answered");
+    assert!(
+        over_resp.starts_with("ERR") && over_resp.contains("8192"),
+        "oversized line must be rejected in bounds: {over_resp}"
+    );
+
+    let mut dropped = 0u64;
+    let mut timeouts = 0u64;
+    for seed in 2000..2064u64 {
+        let rate = 20 + (seed % 5) as u16 * 20;
+        let armed = install(FaultPlan::new(seed).with_uniform_rate(rate));
+        let script = [
+            "PING",
+            query_line.as_str(),
+            "DEADLINE 1 SELECT nonsense",
+            &oversized,
+            "STATS",
+        ];
+        for line in script {
+            match ask(line) {
+                None => dropped += 1, // injected disconnect; reconnect next line
+                Some(resp) => {
+                    assert!(
+                        ["OK", "ERR", "TIMEOUT", "PONG", "BUSY", "BYE"]
+                            .iter()
+                            .any(|p| resp.starts_with(p)),
+                        "seed {seed}: malformed response {resp:?}"
+                    );
+                    if line == query_line {
+                        assert_eq!(
+                            normalize(&resp),
+                            base,
+                            "seed {seed}: wire results diverged under faults"
+                        );
+                    }
+                }
+            }
+        }
+        // A tight deadline on a real query must answer TIMEOUT or finish
+        // with the exact fault-free bytes — never a partial result.
+        if let Some(resp) = ask(&format!("DEADLINE 1 {query_line}")) {
+            if resp.starts_with("TIMEOUT") {
+                assert!(resp.contains("budget_ms=1"), "seed {seed}: {resp}");
+                timeouts += 1;
+            } else {
+                assert_eq!(normalize(&resp), base, "seed {seed}: tight-deadline result");
+            }
+        } else {
+            dropped += 1;
+        }
+        drop(armed);
+    }
+    println!("tcp: dropped={dropped} timeouts={timeouts}");
+    handle.shutdown();
+    handle.join();
+}

@@ -23,6 +23,7 @@ const QUERIES: &[&str] = &[
 const UNCACHED_SERIAL: ExecPolicy = ExecPolicy {
     use_plan_cache: false,
     coalesce: false,
+    deadline: None,
 };
 
 fn nn_fixture() -> Arc<QueryService> {
@@ -111,6 +112,7 @@ fn concurrent_uncoalesced_results_match_serial() {
                             ExecPolicy {
                                 use_plan_cache: true,
                                 coalesce: false,
+                                deadline: None,
                             },
                         )
                         .expect("concurrent query");

@@ -1,0 +1,159 @@
+//! Property tests for the wire protocol's input edge: randomized byte
+//! soup, hostile fragments, and shuffled verb grammar must never panic
+//! `parse_request` (or the SQL parser behind `QUERY`), and every valid
+//! round-trip the generator can build must parse back to itself.
+//!
+//! The oversized-line / resync behaviour of the bounded reader is covered
+//! by unit tests in `server.rs`; this file owns the grammar surface.
+
+use proptest::prelude::*;
+use tahoma_core::query::Query;
+use tahoma_serve::protocol::{parse_request, Request};
+
+/// splitmix64 — deterministic fragment picker (the vendored proptest has
+/// no string strategies, so string shapes derive from integer seeds).
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// Fragments chosen to stress every branch of the grammar: real verbs,
+/// near-miss keywords, numbers at parse boundaries, whitespace runs,
+/// quotes, and non-ASCII (valid UTF-8 — invalid UTF-8 is rejected one
+/// layer down, before the parser ever sees it).
+const FRAGMENTS: &[&str] = &[
+    "QUERY",
+    "QUERYU",
+    "query",
+    "DEADLINE",
+    "REGISTER",
+    "RANGE",
+    "STEP",
+    "TICK",
+    "DELTAS",
+    "PING",
+    "STATS",
+    "SHUTDOWN",
+    "SELECT",
+    "*",
+    "FROM",
+    "frames",
+    "WHERE",
+    "contains_object(fence)",
+    "contains_object(",
+    "0",
+    "1",
+    "18446744073709551615",
+    "18446744073709551616",
+    "-1",
+    "9.5",
+    "coral",
+    "''",
+    "\"unterminated",
+    "\t",
+    "   ",
+    "\u{3053}\u{3093}",
+    "\r",
+    "((((",
+    ";",
+];
+
+fn soup(seed: u64, words: usize) -> String {
+    (0..words)
+        .map(|i| FRAGMENTS[(mix(seed ^ (i as u64) << 17) % FRAGMENTS.len() as u64) as usize])
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(500))]
+
+    /// Whatever line the soup generator emits, `parse_request` returns —
+    /// Ok or Err, never a panic — and an Err is a non-empty message
+    /// (it is shipped to the client verbatim after `ERR `).
+    #[test]
+    fn parse_request_total_on_fragment_soup(seed in 0u64..1_000_000, words in 0usize..12) {
+        let line = soup(seed, words);
+        if let Err(msg) = parse_request(&line) {
+            prop_assert!(!msg.is_empty());
+        }
+    }
+
+    /// Same totality bar for the SQL parser sitting behind `QUERY` — a
+    /// request that survives the protocol layer hands its payload here.
+    #[test]
+    fn sql_parser_total_on_fragment_soup(seed in 0u64..1_000_000, words in 0usize..12) {
+        let sql = soup(seed.wrapping_mul(3), words);
+        let _ = Query::parse(&sql);
+    }
+
+    /// Raw byte soup squeezed into valid UTF-8: every 1-byte codepoint
+    /// including controls and DEL. The parser must stay total.
+    #[test]
+    fn parse_request_total_on_control_bytes(seed in 0u64..1_000_000, len in 0usize..200) {
+        let line: String = (0..len)
+            .map(|i| (mix(seed ^ i as u64) % 128) as u8 as char)
+            .collect();
+        if let Err(msg) = parse_request(&line) {
+            prop_assert!(!msg.is_empty());
+        }
+    }
+
+    /// Structured round-trip: a well-formed DEADLINE-wrapped query parses
+    /// to exactly the request the generator intended.
+    #[test]
+    fn deadline_roundtrip(ms in 1u64..1_000_000, seed in 0u64..1_000) {
+        let sql = format!("SELECT * FROM frames WHERE q{seed}");
+        let line = format!("DEADLINE {ms} QUERY {sql}");
+        prop_assert_eq!(
+            parse_request(&line),
+            Ok(Request::Deadline { ms, inner: Box::new(Request::Query(sql)) })
+        );
+    }
+
+    /// REGISTER grammar round-trip with randomized numerics and spacing.
+    #[test]
+    fn register_roundtrip(range in 1u64..10_000, step in 1u64..10_000, pad in 1usize..4) {
+        let sp = " ".repeat(pad);
+        let line = format!("REGISTER coral{sp}RANGE {range}{sp}STEP {step} SELECT * FROM frames");
+        prop_assert_eq!(
+            parse_request(&line),
+            Ok(Request::Register {
+                stream: "coral".to_string(),
+                range,
+                step,
+                sql: "SELECT * FROM frames".to_string(),
+            })
+        );
+    }
+}
+
+/// Deterministic spot checks for edges the soup may not hit every run.
+#[test]
+fn parse_request_rejects_hostile_edges_without_panicking() {
+    for line in [
+        "",
+        " ",
+        "DEADLINE",
+        "DEADLINE 0 QUERY x",
+        "DEADLINE 10 PING",
+        "DEADLINE 10 DEADLINE 10 QUERY x",
+        "DEADLINE 99999999999999999999 QUERY x",
+        "REGISTER coral RANGE x STEP 2 SELECT 1",
+        "REGISTER coral RANGE 8 STEP 2",
+        "TICK -3",
+        "DELTAS 99999999999999999999",
+        "QUERY",
+        "QUERYU \u{0}\u{1}\u{2}",
+    ] {
+        match parse_request(line) {
+            Ok(req) => assert!(
+                matches!(req, Request::QueryUncached(_)),
+                "unexpected accept for {line:?}: {req:?}"
+            ),
+            Err(msg) => assert!(!msg.is_empty(), "empty ERR message for {line:?}"),
+        }
+    }
+}
